@@ -1,0 +1,305 @@
+//! Textual rendering of storage-algebra expressions.
+//!
+//! The rendering produced here is accepted back by [`crate::parse`], so
+//! expressions can round-trip through their textual form (with the exception
+//! of explicit [`crate::Comprehension`]s and predicate-based partitions,
+//! which have no concrete syntax and are rendered descriptively).
+
+use crate::comprehension::{Condition, ElemExpr};
+use crate::expr::{LayoutExpr, PartitionBy, SortOrder};
+use std::fmt;
+
+impl fmt::Display for LayoutExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, f)
+    }
+}
+
+fn join(items: &[String]) -> String {
+    items.join(",")
+}
+
+fn write_condition(cond: &Condition, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match cond {
+        Condition::True => write!(f, "true"),
+        Condition::Cmp { left, op, right } => {
+            write_elem(left, f)?;
+            write!(f, "{op}")?;
+            write_elem(right, f)
+        }
+        Condition::Range { field, lo, hi } => write!(f, "{field}:{lo}..{hi}"),
+        Condition::And(items) => {
+            for (i, c) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_condition(c, f)?;
+            }
+            Ok(())
+        }
+        Condition::Or(items) => {
+            for (i, c) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_condition(c, f)?;
+            }
+            Ok(())
+        }
+        Condition::Not(inner) => {
+            write!(f, "!(")?;
+            write_condition(inner, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_elem(e: &ElemExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        ElemExpr::Literal(v) => write!(f, "{v}"),
+        ElemExpr::Field(name) => write!(f, "{name}"),
+        ElemExpr::Pos => write!(f, "pos()"),
+        ElemExpr::Count => write!(f, "count()"),
+        ElemExpr::Bin(inner) => {
+            write!(f, "bin(")?;
+            write_elem(inner, f)?;
+            write!(f, ")")
+        }
+        ElemExpr::Interleave(items) => {
+            write!(f, "interleave(")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_elem(item, f)?;
+            }
+            write!(f, ")")
+        }
+        ElemExpr::Sub(a, b) => {
+            write_elem(a, f)?;
+            write!(f, " - ")?;
+            write_elem(b, f)
+        }
+        ElemExpr::Add(a, b) => {
+            write_elem(a, f)?;
+            write!(f, " + ")?;
+            write_elem(b, f)
+        }
+    }
+}
+
+fn write_expr(expr: &LayoutExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        LayoutExpr::Table(name) => write!(f, "{name}"),
+        LayoutExpr::Project { input, fields } => {
+            write!(f, "project[{}]({input})", join(fields))
+        }
+        LayoutExpr::Append { input, fields } => {
+            let names: Vec<String> = fields.iter().map(|fd| fd.to_string()).collect();
+            write!(f, "append[{}]({input})", join(&names))
+        }
+        LayoutExpr::Select { input, predicate } => {
+            write!(f, "select[")?;
+            write_condition(predicate, f)?;
+            write!(f, "]({input})")
+        }
+        LayoutExpr::Partition { input, by } => match by {
+            PartitionBy::Field(field) => write!(f, "partition[{field}]({input})"),
+            PartitionBy::Stride(field, stride) => {
+                write!(f, "partition[{field};{stride}]({input})")
+            }
+            PartitionBy::Predicate(cond) => {
+                write!(f, "partition[")?;
+                write_condition(cond, f)?;
+                write!(f, "]({input})")
+            }
+        },
+        LayoutExpr::VerticalPartition { input, groups } => {
+            let rendered: Vec<String> = groups.iter().map(|g| g.join(",")).collect();
+            write!(f, "vertical[{}]({input})", rendered.join("|"))
+        }
+        LayoutExpr::RowMajor { input } => write!(f, "rows({input})"),
+        LayoutExpr::ColumnMajor { input } => write!(f, "columns({input})"),
+        LayoutExpr::Pax { input, spec } => {
+            write!(f, "pax[{}]({input})", spec.records_per_page)
+        }
+        LayoutExpr::Fold { input, key, values } => {
+            write!(f, "fold[{}|{}]({input})", join(key), join(values))
+        }
+        LayoutExpr::Unfold { input } => write!(f, "unfold({input})"),
+        LayoutExpr::Prejoin {
+            left,
+            right,
+            join_attr,
+        } => write!(f, "prejoin[{join_attr}]({left}, {right})"),
+        LayoutExpr::Compress {
+            input,
+            fields,
+            codec,
+        } => {
+            if fields.is_empty() {
+                write!(f, "{codec}({input})")
+            } else {
+                write!(f, "{codec}[{}]({input})", join(fields))
+            }
+        }
+        LayoutExpr::OrderBy { input, keys } => {
+            let rendered: Vec<String> = keys
+                .iter()
+                .map(|k| match k.order {
+                    SortOrder::Asc => k.field.clone(),
+                    SortOrder::Desc => format!("{} desc", k.field),
+                })
+                .collect();
+            write!(f, "orderby[{}]({input})", rendered.join(","))
+        }
+        LayoutExpr::GroupBy { input, keys } => {
+            write!(f, "groupby[{}]({input})", join(keys))
+        }
+        LayoutExpr::Limit { input, n } => write!(f, "limit[{n}]({input})"),
+        LayoutExpr::Grid { input, dims } => {
+            let fields: Vec<String> = dims.iter().map(|d| d.field.clone()).collect();
+            let strides: Vec<String> = dims.iter().map(|d| d.stride.to_string()).collect();
+            write!(f, "grid[{};{}]({input})", fields.join(","), strides.join(","))
+        }
+        LayoutExpr::ZOrder { input, fields } => {
+            if fields.is_empty() {
+                write!(f, "zorder({input})")
+            } else {
+                write!(f, "zorder[{}]({input})", join(fields))
+            }
+        }
+        LayoutExpr::Transpose { input } => write!(f, "transpose({input})"),
+        LayoutExpr::Chunk { input, size } => write!(f, "chunk[{size}]({input})"),
+        LayoutExpr::Comprehension(c) => {
+            write!(f, "<comprehension over {}>", c.base_tables().join(","))
+        }
+    }
+}
+
+/// Pretty-prints an expression as an indented tree, one transform per line;
+/// useful in logs and in the design advisor's explanations.
+pub fn explain(expr: &LayoutExpr) -> String {
+    let mut out = String::new();
+    explain_into(expr, 0, &mut out);
+    out
+}
+
+fn explain_into(expr: &LayoutExpr, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let header = match expr {
+        LayoutExpr::Table(name) => format!("table {name}"),
+        LayoutExpr::Project { fields, .. } => format!("project [{}]", fields.join(", ")),
+        LayoutExpr::Append { fields, .. } => format!(
+            "append [{}]",
+            fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        LayoutExpr::Select { .. } => "select".to_string(),
+        LayoutExpr::Partition { .. } => "partition".to_string(),
+        LayoutExpr::VerticalPartition { groups, .. } => {
+            format!("vertical partition into {} group(s)", groups.len())
+        }
+        LayoutExpr::RowMajor { .. } => "row-major".to_string(),
+        LayoutExpr::ColumnMajor { .. } => "column-major".to_string(),
+        LayoutExpr::Pax { spec, .. } => format!("pax ({} records/page)", spec.records_per_page),
+        LayoutExpr::Fold { key, values, .. } => {
+            format!("fold key=[{}] values=[{}]", key.join(", "), values.join(", "))
+        }
+        LayoutExpr::Unfold { .. } => "unfold".to_string(),
+        LayoutExpr::Prejoin { join_attr, .. } => format!("prejoin on {join_attr}"),
+        LayoutExpr::Compress { fields, codec, .. } => {
+            format!("compress {codec} [{}]", fields.join(", "))
+        }
+        LayoutExpr::OrderBy { keys, .. } => format!(
+            "orderby [{}]",
+            keys.iter()
+                .map(|k| format!("{} {}", k.field, k.order))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        LayoutExpr::GroupBy { keys, .. } => format!("groupby [{}]", keys.join(", ")),
+        LayoutExpr::Limit { n, .. } => format!("limit {n}"),
+        LayoutExpr::Grid { dims, .. } => format!(
+            "grid [{}]",
+            dims.iter()
+                .map(|d| format!("{}/{}", d.field, d.stride))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        LayoutExpr::ZOrder { fields, .. } => {
+            if fields.is_empty() {
+                "zorder (cells)".to_string()
+            } else {
+                format!("zorder [{}]", fields.join(", "))
+            }
+        }
+        LayoutExpr::Transpose { .. } => "transpose".to_string(),
+        LayoutExpr::Chunk { size, .. } => format!("chunk {size}"),
+        LayoutExpr::Comprehension(_) => "comprehension".to_string(),
+    };
+    out.push_str(&pad);
+    out.push_str(&header);
+    out.push('\n');
+    for child in expr.children() {
+        explain_into(child, indent + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CodecSpec, LayoutExpr};
+
+    #[test]
+    fn intro_example_renders_compactly() {
+        let e = LayoutExpr::table("Sales")
+            .grid([("year", 1.0), ("zipcode", 100.0)])
+            .zorder();
+        assert_eq!(e.to_string(), "zorder(grid[year,zipcode;1,100](Sales))");
+    }
+
+    #[test]
+    fn n4_case_study_rendering() {
+        let n4 = LayoutExpr::table("Traces")
+            .order_by(["t"])
+            .group_by(["id"])
+            .project(["lat", "lon"])
+            .grid([("lat", 0.002), ("lon", 0.002)])
+            .zorder()
+            .delta(["lat", "lon"]);
+        assert_eq!(
+            n4.to_string(),
+            "delta[lat,lon](zorder(grid[lat,lon;0.002,0.002](project[lat,lon](groupby[id](orderby[t](Traces))))))"
+        );
+    }
+
+    #[test]
+    fn select_and_fold_render() {
+        use crate::comprehension::Condition;
+        let e = LayoutExpr::table("T")
+            .select(Condition::eq("Area", 617i64))
+            .fold(["Area"], ["Zip", "Addr"]);
+        assert_eq!(e.to_string(), "fold[Area|Zip,Addr](select[Area=617](T))");
+    }
+
+    #[test]
+    fn compress_without_fields() {
+        let e = LayoutExpr::table("T").compress(Vec::<String>::new(), CodecSpec::Rle);
+        assert_eq!(e.to_string(), "rle(T)");
+    }
+
+    #[test]
+    fn explain_tree_shape() {
+        let e = LayoutExpr::table("T").project(["a"]).zorder();
+        let text = explain(&e);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("zorder"));
+        assert!(lines[1].trim_start().starts_with("project"));
+        assert!(lines[2].trim_start().starts_with("table T"));
+    }
+}

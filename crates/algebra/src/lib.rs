@@ -1,0 +1,142 @@
+//! # RodentStore storage algebra
+//!
+//! This crate implements the *storage algebra* described in "The Case for
+//! RodentStore, an Adaptive, Declarative Storage System" (CIDR 2009). The
+//! algebra is a declarative language for describing how a logical schema
+//! should be laid out physically: expressions transform the canonical
+//! row-major representation of a table into nested lists of rows, columns,
+//! grid cells, arrays, compressed runs, and so on.
+//!
+//! The crate provides:
+//!
+//! * [`DataType`] / [`Value`] — the scalar and nested data model
+//!   (`τ := int | float | string | … | l:τ | [τ1, …, τn]`).
+//! * [`Schema`] / [`Field`] — logical table schemas.
+//! * [`Nesting`] — runtime nested lists of elements, together with the
+//!   *physical representation* `φ(N)` (left-to-right recursive flattening).
+//! * [`LayoutExpr`] — the algebra AST: `project`, `select`, `partition`,
+//!   `fold`/`unfold`, `prejoin`, `delta`, `compress`, `orderby`, `zorder`,
+//!   `grid`, `transpose`, `chunk`, and explicit list
+//!   [`Comprehension`]s.
+//! * [`parse`] — a textual front end (`zorder(grid[lat,lon; 0.002,0.002](T))`).
+//! * [`validate`] — static checking of an expression against a schema,
+//!   producing the derived output description used by the interpreter.
+//! * [`rewrite`] — algebraic equivalences used by the design optimizer to
+//!   enumerate and canonicalize candidate layouts.
+//!
+//! The algebra is deliberately *higher level* than classical physical design
+//! description languages: it describes the decomposition of logical tables
+//! into relatively large chunks (objects) rather than byte-precise formats.
+//! The companion `rodentstore-layout` crate interprets expressions into
+//! on-disk structures.
+//!
+//! ```
+//! use rodentstore_algebra::{Schema, Field, DataType, LayoutExpr, validate};
+//!
+//! let schema = Schema::new(
+//!     "Traces",
+//!     vec![
+//!         Field::new("t", DataType::Int),
+//!         Field::new("lat", DataType::Float),
+//!         Field::new("lon", DataType::Float),
+//!         Field::new("id", DataType::String),
+//!     ],
+//! );
+//!
+//! // N4 from the paper's case study: grid the (lat, lon) points, z-order the
+//! // cells, and delta-compress the coordinates within each cell.
+//! let expr = LayoutExpr::table("Traces")
+//!     .project(["lat", "lon"])
+//!     .grid([("lat", 0.002), ("lon", 0.002)])
+//!     .zorder()
+//!     .delta(["lat", "lon"]);
+//!
+//! let derived = validate::check(&expr, &schema).unwrap();
+//! assert_eq!(derived.fields(), &["lat".to_string(), "lon".to_string()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comprehension;
+pub mod display;
+pub mod expr;
+pub mod nesting;
+pub mod parser;
+pub mod rewrite;
+pub mod schema;
+pub mod types;
+pub mod validate;
+pub mod value;
+
+pub use comprehension::{Clause, Comprehension, Condition, ElemExpr, Generator};
+pub use expr::{CodecSpec, GridDim, LayoutExpr, PaxSpec, SortKey, SortOrder, TransformKind};
+pub use nesting::Nesting;
+pub use parser::parse;
+pub use schema::{Field, Schema};
+pub use types::DataType;
+pub use validate::{check, DerivedLayout};
+pub use value::{Record, Value};
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing, validating, or evaluating
+/// storage-algebra expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// A referenced field does not exist in the input schema.
+    UnknownField {
+        /// Field name that could not be resolved.
+        field: String,
+        /// Name of the schema or nesting in which resolution was attempted.
+        within: String,
+    },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A transform was applied to an input with an incompatible shape
+    /// (e.g. `transpose` over a non-rectangular nesting).
+    ShapeMismatch(String),
+    /// A transform received invalid parameters (e.g. a zero grid stride).
+    InvalidParameter(String),
+    /// The textual parser failed.
+    Parse {
+        /// Byte offset of the error in the input string.
+        position: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// Two values of incompatible types were combined.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        found: String,
+    },
+    /// A duplicate field name was introduced.
+    DuplicateField(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownField { field, within } => {
+                write!(f, "unknown field `{field}` in `{within}`")
+            }
+            AlgebraError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            AlgebraError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            AlgebraError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            AlgebraError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            AlgebraError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            AlgebraError::DuplicateField(name) => write!(f, "duplicate field `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

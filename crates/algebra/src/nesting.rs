@@ -1,0 +1,350 @@
+//! Nestings — the runtime structure manipulated by the storage algebra.
+//!
+//! A [`Nesting`] is an ordered list of elements, each of which is either an
+//! atomic [`Value`] or another nesting. Nesting clauses `[·]` are the primary
+//! construct of the algebra: column stores, PAX pages, grid cells, folded
+//! groups, and arrays are all described as hierarchically organized chunks —
+//! i.e. nestings.
+//!
+//! The *physical representation* `φ(N)` of a nesting is obtained by
+//! recursively enumerating all entries from the leftmost one; it defines the
+//! order in which data is written to disk (see [`Nesting::flatten`]).
+
+use crate::value::Value;
+use crate::{AlgebraError, Result};
+use std::fmt;
+
+/// A nested list of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Nesting {
+    /// An atomic element.
+    Atom(Value),
+    /// An ordered list of sub-nestings `[e1, …, en]`.
+    List(Vec<Nesting>),
+}
+
+impl Nesting {
+    /// An empty nesting `[]`.
+    pub fn empty() -> Nesting {
+        Nesting::List(Vec::new())
+    }
+
+    /// Wraps a scalar value.
+    pub fn atom(value: impl Into<Value>) -> Nesting {
+        Nesting::Atom(value.into())
+    }
+
+    /// Builds a nesting from an iterator of sub-nestings.
+    pub fn list(items: impl IntoIterator<Item = Nesting>) -> Nesting {
+        Nesting::List(items.into_iter().collect())
+    }
+
+    /// Builds a flat nesting of atoms from an iterator of values.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Nesting {
+        Nesting::List(values.into_iter().map(Nesting::Atom).collect())
+    }
+
+    /// Builds a two-level nesting from an iterator of records, the canonical
+    /// row-major representation `[[r.A, r.B, …] | \r ← T]`.
+    pub fn from_records<I, R>(records: I) -> Nesting
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = Value>,
+    {
+        Nesting::List(
+            records
+                .into_iter()
+                .map(|r| Nesting::from_values(r))
+                .collect(),
+        )
+    }
+
+    /// Returns `true` if the nesting is an atom.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Nesting::Atom(_))
+    }
+
+    /// Returns the children if the nesting is a list.
+    pub fn as_list(&self) -> Option<&[Nesting]> {
+        match self {
+            Nesting::List(items) => Some(items),
+            Nesting::Atom(_) => None,
+        }
+    }
+
+    /// Returns the wrapped value if the nesting is an atom.
+    pub fn as_atom(&self) -> Option<&Value> {
+        match self {
+            Nesting::Atom(v) => Some(v),
+            Nesting::List(_) => None,
+        }
+    }
+
+    /// Number of first-level entries (atoms count as a single entry).
+    pub fn len(&self) -> usize {
+        match self {
+            Nesting::Atom(_) => 1,
+            Nesting::List(items) => items.len(),
+        }
+    }
+
+    /// Whether the nesting contains no first-level entries.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Nesting::List(items) if items.is_empty())
+    }
+
+    /// Maximum nesting depth: an atom has depth 0, a flat list of atoms has
+    /// depth 1, a list of lists of atoms has depth 2, and so on.
+    pub fn depth(&self) -> usize {
+        match self {
+            Nesting::Atom(_) => 0,
+            Nesting::List(items) => 1 + items.iter().map(Nesting::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Total number of atoms contained anywhere in the nesting.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Nesting::Atom(_) => 1,
+            Nesting::List(items) => items.iter().map(Nesting::atom_count).sum(),
+        }
+    }
+
+    /// The physical representation `φ(N)`: all atoms enumerated recursively
+    /// starting from the leftmost entry. This is the order in which data is
+    /// written to disk.
+    pub fn flatten(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.atom_count());
+        self.flatten_into(&mut out);
+        out
+    }
+
+    fn flatten_into(&self, out: &mut Vec<Value>) {
+        match self {
+            Nesting::Atom(v) => out.push(v.clone()),
+            Nesting::List(items) => {
+                for item in items {
+                    item.flatten_into(out);
+                }
+            }
+        }
+    }
+
+    /// Iterates over the first-level entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, Nesting> {
+        static EMPTY: [Nesting; 0] = [];
+        match self {
+            Nesting::List(items) => items.iter(),
+            Nesting::Atom(_) => EMPTY.iter(),
+        }
+    }
+
+    /// Returns the first-level entry at `index`.
+    pub fn get(&self, index: usize) -> Option<&Nesting> {
+        match self {
+            Nesting::List(items) => items.get(index),
+            Nesting::Atom(_) => None,
+        }
+    }
+
+    /// Treats each first-level entry as a record (flat list of atoms) and
+    /// returns them as value vectors. Errors if an entry is an atom or has
+    /// nested children.
+    pub fn to_records(&self) -> Result<Vec<Vec<Value>>> {
+        let items = self.as_list().ok_or_else(|| {
+            AlgebraError::ShapeMismatch("expected a list of records, found an atom".into())
+        })?;
+        let mut records = Vec::with_capacity(items.len());
+        for entry in items {
+            let row = entry.as_list().ok_or_else(|| {
+                AlgebraError::ShapeMismatch(
+                    "expected record entries to be lists of atoms".into(),
+                )
+            })?;
+            let mut rec = Vec::with_capacity(row.len());
+            for cell in row {
+                match cell {
+                    Nesting::Atom(v) => rec.push(v.clone()),
+                    Nesting::List(_) => {
+                        return Err(AlgebraError::ShapeMismatch(
+                            "record cell is itself a nesting; unnest it first".into(),
+                        ))
+                    }
+                }
+            }
+            records.push(rec);
+        }
+        Ok(records)
+    }
+
+    /// Checks that the nesting is rectangular at the top two levels (every
+    /// first-level entry has the same number of children) and returns
+    /// `(rows, cols)`.
+    pub fn rectangular_shape(&self) -> Result<(usize, usize)> {
+        let rows = self.as_list().ok_or_else(|| {
+            AlgebraError::ShapeMismatch("expected a list, found an atom".into())
+        })?;
+        if rows.is_empty() {
+            return Ok((0, 0));
+        }
+        let cols = rows[0].len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(AlgebraError::ShapeMismatch(format!(
+                    "row {i} has {} entries, expected {cols}",
+                    row.len()
+                )));
+            }
+        }
+        Ok((rows.len(), cols))
+    }
+
+    /// Matrix transposition over the top two levels:
+    /// `transpose([[1,2,3],[4,5,6]]) = [[1,4],[2,5],[3,6]]`.
+    pub fn transpose(&self) -> Result<Nesting> {
+        let (rows, cols) = self.rectangular_shape()?;
+        let data = self.as_list().expect("rectangular_shape checked list");
+        let mut out: Vec<Vec<Nesting>> = (0..cols).map(|_| Vec::with_capacity(rows)).collect();
+        for row in data {
+            for (c, cell) in row.iter().enumerate() {
+                out[c].push(cell.clone());
+            }
+        }
+        Ok(Nesting::List(out.into_iter().map(Nesting::List).collect()))
+    }
+
+    /// Approximate serialized size in bytes of all atoms plus per-list
+    /// overhead; used by the cost model.
+    pub fn estimated_size(&self) -> usize {
+        match self {
+            Nesting::Atom(v) => v.estimated_size(),
+            Nesting::List(items) => {
+                4 + items.iter().map(Nesting::estimated_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Nesting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nesting::Atom(v) => write!(f, "{v}"),
+            Nesting::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Nesting {
+    type Item = &'a Nesting;
+    type IntoIter = std::slice::Iter<'a, Nesting>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_3x2() -> Nesting {
+        // The paper's Nm = [[1, 2, 3], [4, 5, 6]] example.
+        Nesting::from_records(vec![
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            vec![Value::Int(4), Value::Int(5), Value::Int(6)],
+        ])
+    }
+
+    #[test]
+    fn flatten_is_left_to_right_recursive() {
+        let n = Nesting::list([
+            Nesting::from_values([Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Nesting::from_values([Value::Int(12), Value::Int(13), Value::Int(14)]),
+        ]);
+        let phi = n.flatten();
+        assert_eq!(
+            phi,
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(12),
+                Value::Int(13),
+                Value::Int(14)
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let n = matrix_3x2();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.atom_count(), 6);
+        assert_eq!(Nesting::atom(5).depth(), 0);
+        assert_eq!(Nesting::empty().depth(), 1);
+    }
+
+    #[test]
+    fn transpose_matches_paper_example() {
+        // transpose(Nm) = [[1, 4], [2, 5], [3, 6]]
+        let t = matrix_3x2().transpose().unwrap();
+        assert_eq!(
+            t,
+            Nesting::from_records(vec![
+                vec![Value::Int(1), Value::Int(4)],
+                vec![Value::Int(2), Value::Int(5)],
+                vec![Value::Int(3), Value::Int(6)],
+            ])
+        );
+        // transposing twice returns the original
+        assert_eq!(t.transpose().unwrap(), matrix_3x2());
+    }
+
+    #[test]
+    fn transpose_rejects_ragged() {
+        let ragged = Nesting::from_records(vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(3)],
+        ]);
+        assert!(matches!(
+            ragged.transpose(),
+            Err(AlgebraError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn to_records_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Str("a".into())],
+            vec![Value::Int(2), Value::Str("b".into())],
+        ];
+        let n = Nesting::from_records(rows.clone());
+        assert_eq!(n.to_records().unwrap(), rows);
+    }
+
+    #[test]
+    fn to_records_rejects_nested_cells() {
+        let n = Nesting::list([Nesting::list([Nesting::list([Nesting::atom(1i64)])])]);
+        assert!(n.to_records().is_err());
+    }
+
+    #[test]
+    fn empty_shape() {
+        assert_eq!(Nesting::empty().rectangular_shape().unwrap(), (0, 0));
+        assert!(Nesting::empty().is_empty());
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(matrix_3x2().to_string(), "[[1, 2, 3], [4, 5, 6]]");
+    }
+}

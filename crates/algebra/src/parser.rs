@@ -1,0 +1,520 @@
+//! Textual front end for the storage algebra.
+//!
+//! The grammar mirrors the notation used in the paper and the rendering
+//! produced by [`crate::display`]:
+//!
+//! ```text
+//! expr      := transform | table
+//! table     := IDENT
+//! transform := NAME [ '[' args ']' ] '(' expr { ',' expr } ')'
+//! ```
+//!
+//! Examples accepted by the parser:
+//!
+//! ```text
+//! zorder(grid[year,zipcode;1,100](Sales))
+//! delta[lat,lon](zorder(grid[lat,lon;0.002,0.002](project[lat,lon](Traces))))
+//! fold[Area|Zip,Addr](select[Area=617](T))
+//! orderby[t,id desc](vertical[lat,lon|t](Traces))
+//! prejoin[cid](Orders, Customers)
+//! ```
+//!
+//! Explicit list comprehensions, `append`, and predicate-based partitions
+//! have no concrete syntax; build them programmatically instead.
+
+use crate::comprehension::{CmpOp, Condition, ElemExpr};
+use crate::expr::{CodecSpec, GridDim, LayoutExpr, PartitionBy, PaxSpec, SortKey, SortOrder};
+use crate::value::Value;
+use crate::{AlgebraError, Result};
+
+/// Parses a storage-algebra expression from its textual form.
+pub fn parse(input: &str) -> Result<LayoutExpr> {
+    let mut parser = Parser::new(input);
+    let expr = parser.parse_expr()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> AlgebraError {
+        AlgebraError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{c}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Parses either `expr` at this position.
+    fn parse_expr(&mut self) -> Result<LayoutExpr> {
+        self.skip_ws();
+        let name = self.ident()?;
+        self.skip_ws();
+        match self.peek() {
+            Some('[') | Some('(') => self.parse_transform(name),
+            _ => Ok(LayoutExpr::Table(name)),
+        }
+    }
+
+    fn parse_transform(&mut self, name: String) -> Result<LayoutExpr> {
+        // Optional bracketed argument section.
+        let args = if self.eat('[') {
+            let start = self.pos;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.bump() {
+                    Some('[') => depth += 1,
+                    Some(']') => depth -= 1,
+                    Some(_) => {}
+                    None => return Err(self.error("unterminated `[` argument list")),
+                }
+            }
+            Some(self.input[start..self.pos - 1].to_string())
+        } else {
+            None
+        };
+
+        self.expect('(')?;
+        let mut inputs = vec![self.parse_expr()?];
+        while self.eat(',') {
+            inputs.push(self.parse_expr()?);
+        }
+        self.expect(')')?;
+
+        build_transform(&name, args.as_deref(), inputs)
+            .map_err(|e| self.rewrap(e))
+    }
+
+    fn rewrap(&self, e: AlgebraError) -> AlgebraError {
+        match e {
+            AlgebraError::Parse { message, .. } => AlgebraError::Parse {
+                position: self.pos,
+                message,
+            },
+            other => other,
+        }
+    }
+}
+
+fn parse_err(message: impl Into<String>) -> AlgebraError {
+    AlgebraError::Parse {
+        position: 0,
+        message: message.into(),
+    }
+}
+
+fn one_input(mut inputs: Vec<LayoutExpr>, name: &str) -> Result<LayoutExpr> {
+    if inputs.len() != 1 {
+        return Err(parse_err(format!(
+            "`{name}` expects exactly one input, got {}",
+            inputs.len()
+        )));
+    }
+    Ok(inputs.remove(0))
+}
+
+fn split_names(args: &str) -> Vec<String> {
+    args.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn build_transform(
+    name: &str,
+    args: Option<&str>,
+    inputs: Vec<LayoutExpr>,
+) -> Result<LayoutExpr> {
+    let lname = name.to_ascii_lowercase();
+    match lname.as_str() {
+        "project" => {
+            let fields = split_names(args.ok_or_else(|| parse_err("project requires [fields]"))?);
+            Ok(one_input(inputs, name)?.project(fields))
+        }
+        "select" => {
+            let cond = parse_condition(args.ok_or_else(|| parse_err("select requires [cond]"))?)?;
+            Ok(one_input(inputs, name)?.select(cond))
+        }
+        "partition" => {
+            let args = args.ok_or_else(|| parse_err("partition requires [field] or [field;stride]"))?;
+            let input = one_input(inputs, name)?;
+            if let Some((field, stride)) = args.split_once(';') {
+                let stride: f64 = stride
+                    .trim()
+                    .parse()
+                    .map_err(|_| parse_err("invalid partition stride"))?;
+                Ok(input.partition(PartitionBy::Stride(field.trim().to_string(), stride)))
+            } else if args.contains('=') || args.contains("..") {
+                Ok(input.partition(PartitionBy::Predicate(parse_condition(args)?)))
+            } else {
+                Ok(input.partition(PartitionBy::Field(args.trim().to_string())))
+            }
+        }
+        "vertical" => {
+            let args = args.ok_or_else(|| parse_err("vertical requires [a,b|c,...]"))?;
+            let groups: Vec<Vec<String>> = args.split('|').map(split_names).collect();
+            Ok(one_input(inputs, name)?.vertical(groups))
+        }
+        "rows" => Ok(LayoutExpr::RowMajor {
+            input: Box::new(one_input(inputs, name)?),
+        }),
+        "columns" => Ok(LayoutExpr::ColumnMajor {
+            input: Box::new(one_input(inputs, name)?),
+        }),
+        "pax" => {
+            let input = one_input(inputs, name)?;
+            match args {
+                Some(a) => {
+                    let n: usize = a
+                        .trim()
+                        .parse()
+                        .map_err(|_| parse_err("pax expects a record count"))?;
+                    Ok(input.pax_with(n))
+                }
+                None => Ok(LayoutExpr::Pax {
+                    input: Box::new(input),
+                    spec: PaxSpec::default(),
+                }),
+            }
+        }
+        "fold" => {
+            let args = args.ok_or_else(|| parse_err("fold requires [key|values]"))?;
+            let (key, values) = args
+                .split_once('|')
+                .ok_or_else(|| parse_err("fold requires [key|values]"))?;
+            Ok(one_input(inputs, name)?.fold(split_names(key), split_names(values)))
+        }
+        "unfold" => Ok(one_input(inputs, name)?.unfold()),
+        "prejoin" => {
+            let attr = args.ok_or_else(|| parse_err("prejoin requires [join_attr]"))?;
+            if inputs.len() != 2 {
+                return Err(parse_err("prejoin expects two inputs"));
+            }
+            let mut it = inputs.into_iter();
+            let left = it.next().expect("len checked");
+            let right = it.next().expect("len checked");
+            Ok(left.prejoin(right, attr.trim()))
+        }
+        "delta" | "rle" | "dict" | "bitpack" | "for" => {
+            let codec = match lname.as_str() {
+                "delta" => CodecSpec::Delta,
+                "rle" => CodecSpec::Rle,
+                "dict" => CodecSpec::Dictionary,
+                "bitpack" => CodecSpec::BitPack,
+                _ => CodecSpec::FrameOfReference,
+            };
+            let fields = args.map(split_names).unwrap_or_default();
+            Ok(one_input(inputs, name)?.compress(fields, codec))
+        }
+        "orderby" => {
+            let args = args.ok_or_else(|| parse_err("orderby requires [keys]"))?;
+            let keys: Vec<SortKey> = split_names(args)
+                .into_iter()
+                .map(|spec| {
+                    let lower = spec.to_ascii_lowercase();
+                    if let Some(field) = lower.strip_suffix(" desc") {
+                        SortKey {
+                            field: spec[..field.len()].trim().to_string(),
+                            order: SortOrder::Desc,
+                        }
+                    } else if let Some(field) = lower.strip_suffix(" asc") {
+                        SortKey {
+                            field: spec[..field.len()].trim().to_string(),
+                            order: SortOrder::Asc,
+                        }
+                    } else {
+                        SortKey::asc(spec)
+                    }
+                })
+                .collect();
+            Ok(one_input(inputs, name)?.order_by_keys(keys))
+        }
+        "groupby" => {
+            let keys = split_names(args.ok_or_else(|| parse_err("groupby requires [keys]"))?);
+            Ok(one_input(inputs, name)?.group_by(keys))
+        }
+        "limit" => {
+            let n: usize = args
+                .ok_or_else(|| parse_err("limit requires [n]"))?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err("limit expects an integer"))?;
+            Ok(one_input(inputs, name)?.limit(n))
+        }
+        "grid" => {
+            let args = args.ok_or_else(|| parse_err("grid requires [fields;strides]"))?;
+            let (fields, strides) = args
+                .split_once(';')
+                .ok_or_else(|| parse_err("grid requires [fields;strides]"))?;
+            let fields = split_names(fields);
+            let strides: Vec<f64> = strides
+                .split(',')
+                .map(|s| s.trim().parse::<f64>())
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|_| parse_err("invalid grid stride"))?;
+            if fields.len() != strides.len() {
+                return Err(parse_err("grid needs one stride per field"));
+            }
+            let dims: Vec<GridDim> = fields
+                .into_iter()
+                .zip(strides)
+                .map(|(f, s)| GridDim::new(f, s))
+                .collect();
+            Ok(LayoutExpr::Grid {
+                input: Box::new(one_input(inputs, name)?),
+                dims,
+            })
+        }
+        "zorder" => {
+            let fields = args.map(split_names).unwrap_or_default();
+            Ok(LayoutExpr::ZOrder {
+                input: Box::new(one_input(inputs, name)?),
+                fields,
+            })
+        }
+        "transpose" => Ok(one_input(inputs, name)?.transpose()),
+        "chunk" => {
+            let n: usize = args
+                .ok_or_else(|| parse_err("chunk requires [size]"))?
+                .trim()
+                .parse()
+                .map_err(|_| parse_err("chunk expects an integer"))?;
+            Ok(one_input(inputs, name)?.chunk(n))
+        }
+        _ => Err(parse_err(format!("unknown transform `{name}`"))),
+    }
+}
+
+/// Parses a condition: conjunctions of `field op literal` and
+/// `field:lo..hi` range terms separated by `&`.
+fn parse_condition(text: &str) -> Result<Condition> {
+    let terms: Vec<&str> = text.split('&').map(str::trim).collect();
+    let mut conditions = Vec::with_capacity(terms.len());
+    for term in terms {
+        if term.eq_ignore_ascii_case("true") || term.is_empty() {
+            conditions.push(Condition::True);
+            continue;
+        }
+        if let Some((field, range)) = term.split_once(':') {
+            let (lo, hi) = range
+                .split_once("..")
+                .ok_or_else(|| parse_err("range condition requires lo..hi"))?;
+            conditions.push(Condition::Range {
+                field: field.trim().to_string(),
+                lo: parse_literal(lo.trim())?,
+                hi: parse_literal(hi.trim())?,
+            });
+            continue;
+        }
+        let (op, op_str) = if term.contains("!=") {
+            (CmpOp::Ne, "!=")
+        } else if term.contains(">=") {
+            (CmpOp::Ge, ">=")
+        } else if term.contains("<=") {
+            (CmpOp::Le, "<=")
+        } else if term.contains('>') {
+            (CmpOp::Gt, ">")
+        } else if term.contains('<') {
+            (CmpOp::Lt, "<")
+        } else if term.contains('=') {
+            (CmpOp::Eq, "=")
+        } else {
+            return Err(parse_err(format!("cannot parse condition `{term}`")));
+        };
+        let (left, right) = term.split_once(op_str).expect("operator located above");
+        conditions.push(Condition::Cmp {
+            left: ElemExpr::field(left.trim()),
+            op,
+            right: ElemExpr::Literal(parse_literal(right.trim())?),
+        });
+    }
+    Ok(if conditions.len() == 1 {
+        conditions.remove(0)
+    } else {
+        Condition::And(conditions)
+    })
+}
+
+fn parse_literal(text: &str) -> Result<Value> {
+    if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
+        return Ok(Value::Str(text[1..text.len() - 1].to_string()));
+    }
+    if text.eq_ignore_ascii_case("true") {
+        return Ok(Value::Bool(true));
+    }
+    if text.eq_ignore_ascii_case("false") {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Ok(Value::Str(text.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::TransformKind;
+
+    #[test]
+    fn parses_intro_example() {
+        let e = parse("zorder(grid[year,zipcode;1,100](Sales))").unwrap();
+        assert_eq!(e.kind(), TransformKind::ZOrder);
+        assert_eq!(e.base_tables(), vec!["Sales"]);
+        // Round-trip through display.
+        assert_eq!(parse(&e.to_string()).unwrap(), e);
+    }
+
+    #[test]
+    fn parses_case_study_n4() {
+        let text = "delta[lat,lon](zorder(grid[lat,lon;0.002,0.002](project[lat,lon](groupby[id](orderby[t](Traces))))))";
+        let e = parse(text).unwrap();
+        assert_eq!(e.node_count(), 7);
+        assert_eq!(e.to_string(), text);
+    }
+
+    #[test]
+    fn parses_select_fold_and_prejoin() {
+        let e = parse("fold[Area|Zip,Addr](select[Area=617](T))").unwrap();
+        assert!(e.contains_kind(TransformKind::Fold));
+        assert!(e.contains_kind(TransformKind::Select));
+
+        let p = parse("prejoin[cid](Orders, Customers)").unwrap();
+        assert_eq!(p.base_tables(), vec!["Orders", "Customers"]);
+    }
+
+    #[test]
+    fn parses_orderby_desc_and_vertical_groups() {
+        let e = parse("orderby[t,id desc](vertical[lat,lon|t](Traces))").unwrap();
+        match &e {
+            LayoutExpr::OrderBy { keys, .. } => {
+                assert_eq!(keys[0].order, SortOrder::Asc);
+                assert_eq!(keys[1].order, SortOrder::Desc);
+                assert_eq!(keys[1].field, "id");
+            }
+            _ => panic!("expected orderby"),
+        }
+        let inner = e.input().unwrap();
+        match inner {
+            LayoutExpr::VerticalPartition { groups, .. } => {
+                assert_eq!(groups, &vec![vec!["lat".to_string(), "lon".into()], vec!["t".into()]]);
+            }
+            _ => panic!("expected vertical"),
+        }
+    }
+
+    #[test]
+    fn parses_range_conditions() {
+        let e = parse("select[lat:42.0..42.5 & lon:-71.2..-70.9](Traces)").unwrap();
+        match &e {
+            LayoutExpr::Select { predicate, .. } => match predicate {
+                Condition::And(items) => assert_eq!(items.len(), 2),
+                _ => panic!("expected conjunction"),
+            },
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_transform_and_trailing_input() {
+        assert!(parse("frobnicate(T)").is_err());
+        assert!(parse("rows(T) extra").is_err());
+        assert!(parse("grid[a;](T)").is_err());
+        assert!(parse("prejoin[k](A)").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse("zorder( grid[ lat , lon ; 0.5, 0.5 ]( T ) )").unwrap();
+        let b = parse("zorder(grid[lat,lon;0.5,0.5](T))").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn literal_parsing() {
+        assert_eq!(parse_literal("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_literal("4.5").unwrap(), Value::Float(4.5));
+        assert_eq!(parse_literal("\"x\"").unwrap(), Value::Str("x".into()));
+        assert_eq!(parse_literal("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_literal("boston").unwrap(), Value::Str("boston".into()));
+    }
+
+    #[test]
+    fn pax_and_chunk_and_limit() {
+        let e = parse("pax[128](T)").unwrap();
+        match &e {
+            LayoutExpr::Pax { spec, .. } => assert_eq!(spec.records_per_page, 128),
+            _ => panic!(),
+        }
+        assert!(matches!(parse("chunk[64](T)").unwrap(), LayoutExpr::Chunk { size: 64, .. }));
+        assert!(matches!(parse("limit[9](T)").unwrap(), LayoutExpr::Limit { n: 9, .. }));
+        assert!(matches!(parse("pax(T)").unwrap(), LayoutExpr::Pax { .. }));
+    }
+}

@@ -1,0 +1,360 @@
+//! Algebraic rewrites over layout expressions.
+//!
+//! The storage algebra admits many syntactically different expressions that
+//! denote the same physical layout. The design optimizer uses the rewrites in
+//! this module to canonicalize candidates (so equivalent designs are costed
+//! only once) and to simplify machine-generated expressions before they are
+//! shown to administrators.
+//!
+//! The rules implemented here are *semantics-preserving*:
+//!
+//! * adjacent `project`s collapse into the outer one;
+//! * an `orderby` directly above another `orderby` supersedes it;
+//! * `transpose(transpose(N)) = N`;
+//! * `unfold(fold(N)) = N`;
+//! * `rows(rows(N)) = rows(N)` and the same for `columns`;
+//! * a vertical partition directly above another vertical partition replaces
+//!   it;
+//! * `limit` above `limit` keeps the smaller bound;
+//! * identical adjacent compression steps are deduplicated.
+
+use crate::expr::LayoutExpr;
+
+/// Applies all rewrite rules bottom-up until a fixpoint is reached.
+pub fn simplify(expr: &LayoutExpr) -> LayoutExpr {
+    let mut current = expr.clone();
+    loop {
+        let next = simplify_once(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// Two expressions are considered equivalent when their simplified forms are
+/// structurally identical. This is a sound but incomplete check: it never
+/// reports equivalence for layouts that differ, but may miss deeper
+/// equivalences (e.g. comprehension vs. transform formulations).
+pub fn equivalent(a: &LayoutExpr, b: &LayoutExpr) -> bool {
+    simplify(a) == simplify(b)
+}
+
+fn simplify_once(expr: &LayoutExpr) -> LayoutExpr {
+    // First simplify children, then try to rewrite this node.
+    let rebuilt = rebuild_with_simplified_children(expr);
+    rewrite_node(rebuilt)
+}
+
+fn rebuild_with_simplified_children(expr: &LayoutExpr) -> LayoutExpr {
+    use LayoutExpr::*;
+    match expr {
+        Table(_) | Comprehension(_) => expr.clone(),
+        Project { input, fields } => Project {
+            input: Box::new(simplify_once(input)),
+            fields: fields.clone(),
+        },
+        Append { input, fields } => Append {
+            input: Box::new(simplify_once(input)),
+            fields: fields.clone(),
+        },
+        Select { input, predicate } => Select {
+            input: Box::new(simplify_once(input)),
+            predicate: predicate.clone(),
+        },
+        Partition { input, by } => Partition {
+            input: Box::new(simplify_once(input)),
+            by: by.clone(),
+        },
+        VerticalPartition { input, groups } => VerticalPartition {
+            input: Box::new(simplify_once(input)),
+            groups: groups.clone(),
+        },
+        RowMajor { input } => RowMajor {
+            input: Box::new(simplify_once(input)),
+        },
+        ColumnMajor { input } => ColumnMajor {
+            input: Box::new(simplify_once(input)),
+        },
+        Pax { input, spec } => Pax {
+            input: Box::new(simplify_once(input)),
+            spec: spec.clone(),
+        },
+        Fold { input, key, values } => Fold {
+            input: Box::new(simplify_once(input)),
+            key: key.clone(),
+            values: values.clone(),
+        },
+        Unfold { input } => Unfold {
+            input: Box::new(simplify_once(input)),
+        },
+        Prejoin {
+            left,
+            right,
+            join_attr,
+        } => Prejoin {
+            left: Box::new(simplify_once(left)),
+            right: Box::new(simplify_once(right)),
+            join_attr: join_attr.clone(),
+        },
+        Compress {
+            input,
+            fields,
+            codec,
+        } => Compress {
+            input: Box::new(simplify_once(input)),
+            fields: fields.clone(),
+            codec: *codec,
+        },
+        OrderBy { input, keys } => OrderBy {
+            input: Box::new(simplify_once(input)),
+            keys: keys.clone(),
+        },
+        GroupBy { input, keys } => GroupBy {
+            input: Box::new(simplify_once(input)),
+            keys: keys.clone(),
+        },
+        Limit { input, n } => Limit {
+            input: Box::new(simplify_once(input)),
+            n: *n,
+        },
+        Grid { input, dims } => Grid {
+            input: Box::new(simplify_once(input)),
+            dims: dims.clone(),
+        },
+        ZOrder { input, fields } => ZOrder {
+            input: Box::new(simplify_once(input)),
+            fields: fields.clone(),
+        },
+        Transpose { input } => Transpose {
+            input: Box::new(simplify_once(input)),
+        },
+        Chunk { input, size } => Chunk {
+            input: Box::new(simplify_once(input)),
+            size: *size,
+        },
+    }
+}
+
+fn rewrite_node(expr: LayoutExpr) -> LayoutExpr {
+    use LayoutExpr::*;
+    match expr {
+        // project[A](project[B](N)) = project[A](N)  (A must be a subset of B
+        // for the expression to validate, so dropping the inner project is
+        // always sound).
+        Project { input, fields } => match *input {
+            Project {
+                input: inner_input, ..
+            } => Project {
+                input: inner_input,
+                fields,
+            },
+            other => Project {
+                input: Box::new(other),
+                fields,
+            },
+        },
+        // orderby[K1](orderby[K2](N)) = orderby[K1](N): the outer ordering
+        // fully determines the physical order.
+        OrderBy { input, keys } => match *input {
+            OrderBy {
+                input: inner_input, ..
+            } => OrderBy {
+                input: inner_input,
+                keys,
+            },
+            other => OrderBy {
+                input: Box::new(other),
+                keys,
+            },
+        },
+        // transpose(transpose(N)) = N
+        Transpose { input } => match *input {
+            Transpose { input: inner } => *inner,
+            other => Transpose {
+                input: Box::new(other),
+            },
+        },
+        // unfold(fold(N)) = N
+        Unfold { input } => match *input {
+            Fold { input: inner, .. } => *inner,
+            other => Unfold {
+                input: Box::new(other),
+            },
+        },
+        // rows(rows(N)) = rows(N); rows(columns(N)) = rows(N)
+        RowMajor { input } => match *input {
+            RowMajor { input: inner } | ColumnMajor { input: inner } => RowMajor { input: inner },
+            other => RowMajor {
+                input: Box::new(other),
+            },
+        },
+        ColumnMajor { input } => match *input {
+            ColumnMajor { input: inner } | RowMajor { input: inner } => {
+                ColumnMajor { input: inner }
+            }
+            other => ColumnMajor {
+                input: Box::new(other),
+            },
+        },
+        // A vertical partition replaces a directly underlying one.
+        VerticalPartition { input, groups } => match *input {
+            VerticalPartition {
+                input: inner_input, ..
+            } => VerticalPartition {
+                input: inner_input,
+                groups,
+            },
+            other => VerticalPartition {
+                input: Box::new(other),
+                groups,
+            },
+        },
+        // limit[a](limit[b](N)) = limit[min(a,b)](N)
+        Limit { input, n } => match *input {
+            Limit {
+                input: inner_input,
+                n: inner_n,
+            } => Limit {
+                input: inner_input,
+                n: n.min(inner_n),
+            },
+            other => Limit {
+                input: Box::new(other),
+                n,
+            },
+        },
+        // Identical adjacent compression steps collapse.
+        Compress {
+            input,
+            fields,
+            codec,
+        } => match *input {
+            Compress {
+                input: inner_input,
+                fields: inner_fields,
+                codec: inner_codec,
+            } if inner_fields == fields && inner_codec == codec => Compress {
+                input: inner_input,
+                fields,
+                codec,
+            },
+            other => Compress {
+                input: Box::new(other),
+                fields,
+                codec,
+            },
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CodecSpec, LayoutExpr, TransformKind};
+
+    #[test]
+    fn double_transpose_cancels() {
+        let e = LayoutExpr::table("T").transpose().transpose();
+        assert_eq!(simplify(&e), LayoutExpr::table("T"));
+    }
+
+    #[test]
+    fn nested_projects_collapse() {
+        let e = LayoutExpr::table("T")
+            .project(["a", "b", "c"])
+            .project(["a", "b"])
+            .project(["a"]);
+        let s = simplify(&e);
+        assert_eq!(s, LayoutExpr::table("T").project(["a"]));
+    }
+
+    #[test]
+    fn outer_orderby_wins() {
+        let e = LayoutExpr::table("T").order_by(["a"]).order_by(["b"]);
+        let s = simplify(&e);
+        match s {
+            LayoutExpr::OrderBy { keys, input } => {
+                assert_eq!(keys[0].field, "b");
+                assert_eq!(*input, LayoutExpr::table("T"));
+            }
+            _ => panic!("expected orderby"),
+        }
+    }
+
+    #[test]
+    fn unfold_cancels_fold() {
+        let e = LayoutExpr::table("T").fold(["a"], ["b"]).unfold();
+        assert_eq!(simplify(&e), LayoutExpr::table("T"));
+    }
+
+    #[test]
+    fn limits_take_minimum() {
+        let e = LayoutExpr::table("T").limit(100).limit(10).limit(50);
+        match simplify(&e) {
+            LayoutExpr::Limit { n, .. } => assert_eq!(n, 10),
+            _ => panic!("expected limit"),
+        }
+    }
+
+    #[test]
+    fn row_column_idempotence() {
+        let e = LayoutExpr::table("T").rows().rows();
+        assert_eq!(simplify(&e).node_count(), 2);
+        let e2 = LayoutExpr::table("T").rows().column_major();
+        let s2 = simplify(&e2);
+        assert_eq!(s2.kind(), TransformKind::ColumnMajor);
+        assert_eq!(s2.node_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_compression_collapses_but_distinct_kept() {
+        let dup = LayoutExpr::table("T")
+            .delta(["a"])
+            .delta(["a"]);
+        assert_eq!(simplify(&dup).node_count(), 2);
+
+        let distinct = LayoutExpr::table("T")
+            .delta(["a"])
+            .compress(["a"], CodecSpec::Rle);
+        assert_eq!(simplify(&distinct).node_count(), 3);
+    }
+
+    #[test]
+    fn vertical_partition_replacement() {
+        let e = LayoutExpr::table("T")
+            .vertical([vec!["a"], vec!["b"]])
+            .vertical([vec!["a", "b"]]);
+        match simplify(&e) {
+            LayoutExpr::VerticalPartition { groups, input } => {
+                assert_eq!(groups, vec![vec!["a".to_string(), "b".into()]]);
+                assert_eq!(*input, LayoutExpr::table("T"));
+            }
+            _ => panic!("expected vertical partition"),
+        }
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_detects_simplified_pairs() {
+        let a = LayoutExpr::table("T").transpose().transpose().project(["x"]);
+        let b = LayoutExpr::table("T").project(["x"]);
+        assert!(equivalent(&a, &b));
+        let c = LayoutExpr::table("T").project(["y"]);
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn simplify_reaches_fixpoint_on_deep_chains() {
+        let mut e = LayoutExpr::table("T");
+        for _ in 0..6 {
+            e = e.transpose();
+        }
+        assert_eq!(simplify(&e), LayoutExpr::table("T"));
+        let mut o = LayoutExpr::table("T");
+        for i in 0..5 {
+            o = o.order_by([format!("f{i}")]);
+        }
+        assert_eq!(simplify(&o).node_count(), 2);
+    }
+}

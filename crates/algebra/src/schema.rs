@@ -1,0 +1,295 @@
+//! Logical schemas.
+//!
+//! A [`Schema`] describes a logical table: an ordered list of named, typed
+//! [`Field`]s. Storage-algebra expressions are validated against a schema and
+//! the interpreter uses it to resolve field references to record positions.
+
+use crate::types::DataType;
+use crate::value::{Record, Value};
+use crate::{AlgebraError, Result};
+use std::fmt;
+
+/// A single named, typed column of a logical table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Creates a new field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.ty)
+    }
+}
+
+/// An ordered collection of fields together with the table name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema. Panics in debug builds if two fields share a name;
+    /// use [`Schema::try_new`] for fallible construction.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        Self::try_new(name, fields).expect("duplicate field names in schema")
+    }
+
+    /// Fallible constructor that rejects duplicate field names.
+    pub fn try_new(name: impl Into<String>, fields: Vec<Field>) -> Result<Self> {
+        let name = name.into();
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(AlgebraError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Schema { name, fields })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field names in declaration order.
+    pub fn field_names(&self) -> Vec<String> {
+        self.fields.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, field: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == field)
+            .ok_or_else(|| AlgebraError::UnknownField {
+                field: field.to_string(),
+                within: self.name.clone(),
+            })
+    }
+
+    /// Field descriptor by name.
+    pub fn field(&self, field: &str) -> Result<&Field> {
+        let idx = self.index_of(field)?;
+        Ok(&self.fields[idx])
+    }
+
+    /// Resolves a list of names to positions, preserving order.
+    pub fn indices_of(&self, fields: &[String]) -> Result<Vec<usize>> {
+        fields.iter().map(|f| self.index_of(f)).collect()
+    }
+
+    /// Returns a new schema containing only the given fields, in the given
+    /// order (the schema produced by `project`).
+    pub fn project(&self, fields: &[String]) -> Result<Schema> {
+        let mut projected = Vec::with_capacity(fields.len());
+        for f in fields {
+            projected.push(self.field(f)?.clone());
+        }
+        Schema::try_new(format!("{}#proj", self.name), projected)
+    }
+
+    /// Returns a schema with the given fields appended (the schema produced
+    /// by `append`).
+    pub fn append(&self, extra: &[Field]) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        for f in extra {
+            fields.push(f.clone());
+        }
+        Schema::try_new(self.name.clone(), fields)
+    }
+
+    /// Returns a schema for the prejoin of two tables: the concatenation of
+    /// both field lists, with right-side duplicates renamed `right.<name>`.
+    pub fn prejoin(&self, right: &Schema) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        for f in right.fields() {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("{}.{}", right.name(), f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.ty.clone()));
+        }
+        Schema::try_new(format!("{}_{}", self.name, right.name), fields)
+    }
+
+    /// Estimated width in bytes of a record under the default row encoding.
+    pub fn estimated_record_width(&self) -> usize {
+        self.fields.iter().map(|f| f.ty.estimated_width()).sum()
+    }
+
+    /// Checks that a record conforms to the schema (arity and, for non-null
+    /// scalar values, type compatibility).
+    pub fn validate_record(&self, record: &Record) -> Result<()> {
+        if record.len() != self.fields.len() {
+            return Err(AlgebraError::ShapeMismatch(format!(
+                "record arity {} does not match schema `{}` arity {}",
+                record.len(),
+                self.name,
+                self.fields.len()
+            )));
+        }
+        for (value, field) in record.iter().zip(self.fields.iter()) {
+            if value.is_null() {
+                continue;
+            }
+            let vt = value.data_type();
+            if !vt.comparable_with(&field.ty) && vt.unwrap_named() != field.ty.unwrap_named() {
+                return Err(AlgebraError::TypeMismatch {
+                    expected: format!("{} for field `{}`", field.ty, field.name),
+                    found: vt.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the values of the named fields from a record.
+    pub fn extract(&self, record: &Record, fields: &[String]) -> Result<Vec<Value>> {
+        let idx = self.indices_of(fields)?;
+        Ok(idx.iter().map(|&i| record[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traces() -> Schema {
+        Schema::new(
+            "Traces",
+            vec![
+                Field::new("t", DataType::Timestamp),
+                Field::new("lat", DataType::Float),
+                Field::new("lon", DataType::Float),
+                Field::new("id", DataType::String),
+            ],
+        )
+    }
+
+    #[test]
+    fn index_resolution() {
+        let s = traces();
+        assert_eq!(s.index_of("lat").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("speed"),
+            Err(AlgebraError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let err = Schema::try_new(
+            "T",
+            vec![
+                Field::new("a", DataType::Int),
+                Field::new("a", DataType::Float),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, AlgebraError::DuplicateField("a".into()));
+    }
+
+    #[test]
+    fn projection_preserves_order_given() {
+        let s = traces();
+        let p = s.project(&["lon".into(), "lat".into()]).unwrap();
+        assert_eq!(p.field_names(), vec!["lon", "lat"]);
+        assert_eq!(p.arity(), 2);
+    }
+
+    #[test]
+    fn prejoin_renames_duplicates() {
+        let left = traces();
+        let right = Schema::new(
+            "Vehicles",
+            vec![
+                Field::new("id", DataType::String),
+                Field::new("make", DataType::String),
+            ],
+        );
+        let joined = left.prejoin(&right).unwrap();
+        assert_eq!(
+            joined.field_names(),
+            vec!["t", "lat", "lon", "id", "Vehicles.id", "make"]
+        );
+    }
+
+    #[test]
+    fn record_validation() {
+        let s = traces();
+        let good = vec![
+            Value::Timestamp(1),
+            Value::Float(42.3),
+            Value::Float(-71.1),
+            Value::Str("car-7".into()),
+        ];
+        s.validate_record(&good).unwrap();
+
+        let wrong_arity = vec![Value::Int(1)];
+        assert!(s.validate_record(&wrong_arity).is_err());
+
+        let wrong_type = vec![
+            Value::Timestamp(1),
+            Value::Str("oops".into()),
+            Value::Float(-71.1),
+            Value::Str("car-7".into()),
+        ];
+        assert!(s.validate_record(&wrong_type).is_err());
+    }
+
+    #[test]
+    fn extract_by_name() {
+        let s = traces();
+        let r = vec![
+            Value::Timestamp(9),
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Str("v".into()),
+        ];
+        let vals = s.extract(&r, &["lon".into(), "t".into()]).unwrap();
+        assert_eq!(vals, vec![Value::Float(2.0), Value::Timestamp(9)]);
+    }
+
+    #[test]
+    fn estimated_width_accounts_for_strings() {
+        let s = traces();
+        assert_eq!(s.estimated_record_width(), 8 + 8 + 8 + 16);
+    }
+}

@@ -1,0 +1,214 @@
+//! Data types supported by the storage algebra.
+//!
+//! The paper defines the type grammar
+//! `τ := int | float | string | … | l:τ | [τ1, …, τn]`:
+//! a collection of scalar types of fixed or variable size, a *naming* clause
+//! that attaches a literal label to a type, and a *nesting* clause that
+//! builds arbitrary nested list types.
+
+use std::fmt;
+
+/// A storage-algebra data type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point (the paper's `float`/`double` are both
+    /// represented with full precision; width selection is a layout concern).
+    Float,
+    /// Boolean.
+    Bool,
+    /// Variable-length UTF-8 string.
+    String,
+    /// A timestamp, stored as microseconds since the Unix epoch.
+    Timestamp,
+    /// The naming clause `l : τ` — associates a literal label with a type.
+    Named(String, Box<DataType>),
+    /// The nesting clause `[τ1, …, τn]` — an ordered list of component types.
+    List(Vec<DataType>),
+}
+
+impl DataType {
+    /// Returns `true` for scalar (non-nested) types. `Named` is scalar when
+    /// its inner type is.
+    pub fn is_scalar(&self) -> bool {
+        match self {
+            DataType::Int
+            | DataType::Float
+            | DataType::Bool
+            | DataType::String
+            | DataType::Timestamp => true,
+            DataType::Named(_, inner) => inner.is_scalar(),
+            DataType::List(_) => false,
+        }
+    }
+
+    /// Returns `true` if values of this type have a fixed byte width.
+    pub fn is_fixed_width(&self) -> bool {
+        match self {
+            DataType::Int | DataType::Float | DataType::Bool | DataType::Timestamp => true,
+            DataType::String => false,
+            DataType::Named(_, inner) => inner.is_fixed_width(),
+            DataType::List(items) => items.iter().all(DataType::is_fixed_width),
+        }
+    }
+
+    /// Byte width of the type when serialized with the default encoding, or
+    /// `None` for variable-width types. Used by the cost model for
+    /// dense-packing estimates.
+    pub fn fixed_width(&self) -> Option<usize> {
+        match self {
+            DataType::Int | DataType::Float | DataType::Timestamp => Some(8),
+            DataType::Bool => Some(1),
+            DataType::String => None,
+            DataType::Named(_, inner) => inner.fixed_width(),
+            DataType::List(items) => {
+                let mut total = 0usize;
+                for item in items {
+                    total += item.fixed_width()?;
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Average width estimate in bytes, used for costing variable-width data.
+    /// Strings are assumed to average 16 bytes unless the caller knows better.
+    pub fn estimated_width(&self) -> usize {
+        match self {
+            DataType::String => 16,
+            DataType::Named(_, inner) => inner.estimated_width(),
+            DataType::List(items) => items.iter().map(DataType::estimated_width).sum(),
+            other => other.fixed_width().unwrap_or(8),
+        }
+    }
+
+    /// Strips any number of `Named` wrappers, returning the underlying type.
+    pub fn unwrap_named(&self) -> &DataType {
+        match self {
+            DataType::Named(_, inner) => inner.unwrap_named(),
+            other => other,
+        }
+    }
+
+    /// Returns `true` when two types are compatible for comparison and
+    /// ordering purposes (ignoring names).
+    pub fn comparable_with(&self, other: &DataType) -> bool {
+        use DataType::*;
+        match (self.unwrap_named(), other.unwrap_named()) {
+            (Int, Int)
+            | (Float, Float)
+            | (Bool, Bool)
+            | (String, String)
+            | (Timestamp, Timestamp) => true,
+            // Int/Float promote for comparisons, matching Value::compare.
+            (Int, Float) | (Float, Int) => true,
+            (Int, Timestamp) | (Timestamp, Int) => true,
+            (List(a), List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.comparable_with(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the type is numeric (supports delta compression, arithmetic).
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.unwrap_named(),
+            DataType::Int | DataType::Float | DataType::Timestamp
+        )
+    }
+
+    /// Constructs a named type `l : τ`.
+    pub fn named(label: impl Into<String>, inner: DataType) -> DataType {
+        DataType::Named(label.into(), Box::new(inner))
+    }
+
+    /// Constructs a nested list type `[τ1, …, τn]`.
+    pub fn list(items: impl IntoIterator<Item = DataType>) -> DataType {
+        DataType::List(items.into_iter().collect())
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Bool => write!(f, "bool"),
+            DataType::String => write!(f, "string"),
+            DataType::Timestamp => write!(f, "timestamp"),
+            DataType::Named(label, inner) => write!(f, "{label}:{inner}"),
+            DataType::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_classification() {
+        assert!(DataType::Int.is_scalar());
+        assert!(DataType::String.is_scalar());
+        assert!(!DataType::list([DataType::Int]).is_scalar());
+        assert!(DataType::named("zip", DataType::Int).is_scalar());
+    }
+
+    #[test]
+    fn fixed_width_of_nested_lists() {
+        let t = DataType::list([DataType::Int, DataType::Float, DataType::Bool]);
+        assert!(t.is_fixed_width());
+        assert_eq!(t.fixed_width(), Some(17));
+
+        let v = DataType::list([DataType::Int, DataType::String]);
+        assert!(!v.is_fixed_width());
+        assert_eq!(v.fixed_width(), None);
+        assert_eq!(v.estimated_width(), 24);
+    }
+
+    #[test]
+    fn named_types_unwrap_and_compare() {
+        let zip = DataType::named("zip", DataType::Int);
+        assert_eq!(zip.unwrap_named(), &DataType::Int);
+        assert!(zip.comparable_with(&DataType::Int));
+        assert!(zip.comparable_with(&DataType::Float));
+        assert!(!zip.comparable_with(&DataType::String));
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let t = DataType::named(
+            "cell",
+            DataType::list([DataType::Float, DataType::Float, DataType::String]),
+        );
+        assert_eq!(t.to_string(), "cell:[float, float, string]");
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Timestamp.is_numeric());
+        assert!(!DataType::String.is_numeric());
+        assert!(DataType::named("t", DataType::Float).is_numeric());
+    }
+
+    #[test]
+    fn list_comparability_requires_same_arity() {
+        let a = DataType::list([DataType::Int, DataType::Int]);
+        let b = DataType::list([DataType::Int]);
+        let c = DataType::list([DataType::Float, DataType::Int]);
+        assert!(!a.comparable_with(&b));
+        assert!(a.comparable_with(&c));
+    }
+}

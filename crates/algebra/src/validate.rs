@@ -1,0 +1,645 @@
+//! Static validation of storage-algebra expressions.
+//!
+//! [`check`] walks an expression bottom-up against the logical schema(s) it
+//! references and produces a [`DerivedLayout`]: the output schema plus the
+//! physical properties declared by the expression (orderings, gridding,
+//! compression, vertical groups, folding, …). The layout interpreter and the
+//! access-method layer use the derived description to decide how data can be
+//! pruned and in which orders it can be delivered efficiently, and the design
+//! optimizer uses it to cost candidate expressions.
+
+use crate::comprehension::Comprehension;
+use crate::expr::{CodecSpec, GridDim, LayoutExpr, PartitionBy, PaxSpec, SortKey};
+use crate::schema::{Field, Schema};
+use crate::types::DataType;
+use crate::{AlgebraError, Result};
+use std::collections::HashMap;
+
+/// Looks up logical schemas by table name. Implemented by single schemas,
+/// maps, and the RodentStore catalog.
+pub trait SchemaProvider {
+    /// Returns the schema of `table`, if known.
+    fn schema_for(&self, table: &str) -> Option<Schema>;
+}
+
+impl SchemaProvider for Schema {
+    fn schema_for(&self, table: &str) -> Option<Schema> {
+        if self.name() == table {
+            Some(self.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl SchemaProvider for HashMap<String, Schema> {
+    fn schema_for(&self, table: &str) -> Option<Schema> {
+        self.get(table).cloned()
+    }
+}
+
+impl SchemaProvider for Vec<Schema> {
+    fn schema_for(&self, table: &str) -> Option<Schema> {
+        self.iter().find(|s| s.name() == table).cloned()
+    }
+}
+
+/// The physical properties derived from a validated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedLayout {
+    /// Output logical schema (what the access methods expose).
+    pub schema: Schema,
+    /// Field names of the output schema, in order.
+    fields: Vec<String>,
+    /// Sort orders the layout is efficient for (outermost `orderby` first).
+    pub orderings: Vec<Vec<SortKey>>,
+    /// Gridding dimensions, if the data is arranged on an n-dimensional
+    /// lattice.
+    pub grid: Option<Vec<GridDim>>,
+    /// Whether grid cells (or attributes) are arranged along a Z-order curve.
+    pub zordered: bool,
+    /// Per-field compression schemes, outermost last.
+    pub codecs: Vec<(String, CodecSpec)>,
+    /// Vertical partition groups. Empty means a single row-oriented object;
+    /// one singleton group per field is a full column decomposition.
+    pub groups: Vec<Vec<String>>,
+    /// `fold` structure: `(key fields, nested value fields)`.
+    pub folded: Option<(Vec<String>, Vec<String>)>,
+    /// Grouping keys declared by `groupby` clauses.
+    pub grouped_by: Vec<String>,
+    /// PAX parameters, when the layout stores mini-pages.
+    pub pax: Option<PaxSpec>,
+    /// Whether a horizontal partitioning step is present.
+    pub partitioned: bool,
+    /// Chunk size for array chunking, if any.
+    pub chunk: Option<usize>,
+    /// Whether the top two nesting levels were transposed.
+    pub transposed: bool,
+}
+
+impl DerivedLayout {
+    fn from_schema(schema: Schema) -> Self {
+        let fields = schema.field_names();
+        DerivedLayout {
+            schema,
+            fields,
+            orderings: Vec::new(),
+            grid: None,
+            zordered: false,
+            codecs: Vec::new(),
+            groups: Vec::new(),
+            folded: None,
+            grouped_by: Vec::new(),
+            pax: None,
+            partitioned: false,
+            chunk: None,
+            transposed: false,
+        }
+    }
+
+    /// Output field names in order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Estimated width in bytes of one logical record under this layout,
+    /// before compression.
+    pub fn estimated_record_width(&self) -> usize {
+        self.schema.estimated_record_width()
+    }
+
+    /// Whether the layout stores each field (or group of fields) in its own
+    /// object (column-store style).
+    pub fn is_vertically_partitioned(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    /// Whether a codec is declared for the given field.
+    pub fn codec_for(&self, field: &str) -> Option<CodecSpec> {
+        self.codecs
+            .iter()
+            .rev()
+            .find(|(f, _)| f == field)
+            .map(|(_, c)| *c)
+    }
+
+    /// The outermost declared ordering, if any — the "default order" of the
+    /// stored representation.
+    pub fn primary_ordering(&self) -> Option<&[SortKey]> {
+        self.orderings.last().map(|k| k.as_slice())
+    }
+
+    fn set_fields_from_schema(&mut self) {
+        self.fields = self.schema.field_names();
+    }
+}
+
+/// Validates `expr` against a single-table schema.
+pub fn check(expr: &LayoutExpr, schema: &Schema) -> Result<DerivedLayout> {
+    check_with(expr, schema)
+}
+
+/// Validates `expr`, resolving table references through `provider`.
+pub fn check_with(expr: &LayoutExpr, provider: &dyn SchemaProvider) -> Result<DerivedLayout> {
+    match expr {
+        LayoutExpr::Table(name) => {
+            let schema = provider
+                .schema_for(name)
+                .ok_or_else(|| AlgebraError::UnknownTable(name.clone()))?;
+            Ok(DerivedLayout::from_schema(schema))
+        }
+        LayoutExpr::Project { input, fields } => {
+            let mut d = check_with(input, provider)?;
+            if fields.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "project requires at least one field".into(),
+                ));
+            }
+            d.schema = d.schema.project(fields)?;
+            d.set_fields_from_schema();
+            d.codecs.retain(|(f, _)| fields.contains(f));
+            d.orderings
+                .retain(|keys| keys.iter().all(|k| fields.contains(&k.field)));
+            if let Some(dims) = &d.grid {
+                if !dims.iter().all(|dim| fields.contains(&dim.field)) {
+                    d.grid = None;
+                    d.zordered = false;
+                }
+            }
+            d.groups.retain_mut(|g| {
+                g.retain(|f| fields.contains(f));
+                !g.is_empty()
+            });
+            Ok(d)
+        }
+        LayoutExpr::Append { input, fields } => {
+            let mut d = check_with(input, provider)?;
+            d.schema = d.schema.append(fields)?;
+            d.set_fields_from_schema();
+            Ok(d)
+        }
+        LayoutExpr::Select { input, predicate } => {
+            let d = check_with(input, provider)?;
+            for f in predicate.referenced_fields() {
+                d.schema.index_of(&f)?;
+            }
+            Ok(d)
+        }
+        LayoutExpr::Partition { input, by } => {
+            let mut d = check_with(input, provider)?;
+            match by {
+                PartitionBy::Field(field) => {
+                    d.schema.index_of(field)?;
+                }
+                PartitionBy::Stride(field, stride) => {
+                    let f = d.schema.field(field)?;
+                    if !f.ty.is_numeric() {
+                        return Err(AlgebraError::InvalidParameter(format!(
+                            "partition stride requires a numeric field, `{field}` is {}",
+                            f.ty
+                        )));
+                    }
+                    if *stride <= 0.0 {
+                        return Err(AlgebraError::InvalidParameter(
+                            "partition stride must be positive".into(),
+                        ));
+                    }
+                }
+                PartitionBy::Predicate(cond) => {
+                    for f in cond.referenced_fields() {
+                        d.schema.index_of(&f)?;
+                    }
+                }
+            }
+            d.partitioned = true;
+            Ok(d)
+        }
+        LayoutExpr::VerticalPartition { input, groups } => {
+            let mut d = check_with(input, provider)?;
+            if groups.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "vertical partition requires at least one group".into(),
+                ));
+            }
+            let mut seen: Vec<&String> = Vec::new();
+            for group in groups {
+                for field in group {
+                    d.schema.index_of(field)?;
+                    if seen.contains(&field) {
+                        return Err(AlgebraError::DuplicateField(field.clone()));
+                    }
+                    seen.push(field);
+                }
+            }
+            d.groups = groups.clone();
+            Ok(d)
+        }
+        LayoutExpr::RowMajor { input } => {
+            let mut d = check_with(input, provider)?;
+            d.groups = Vec::new();
+            Ok(d)
+        }
+        LayoutExpr::ColumnMajor { input } => {
+            let mut d = check_with(input, provider)?;
+            d.groups = d.schema.field_names().into_iter().map(|f| vec![f]).collect();
+            Ok(d)
+        }
+        LayoutExpr::Pax { input, spec } => {
+            let mut d = check_with(input, provider)?;
+            if spec.records_per_page == 0 {
+                return Err(AlgebraError::InvalidParameter(
+                    "pax requires a positive records-per-page".into(),
+                ));
+            }
+            d.pax = Some(spec.clone());
+            Ok(d)
+        }
+        LayoutExpr::Fold { input, key, values } => {
+            let mut d = check_with(input, provider)?;
+            if key.is_empty() || values.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "fold requires non-empty key and value field lists".into(),
+                ));
+            }
+            for f in key.iter().chain(values.iter()) {
+                d.schema.index_of(f)?;
+            }
+            if key.iter().any(|k| values.contains(k)) {
+                return Err(AlgebraError::InvalidParameter(
+                    "fold key and value fields must be disjoint".into(),
+                ));
+            }
+            let mut reordered: Vec<String> = key.clone();
+            reordered.extend(values.clone());
+            d.schema = d.schema.project(&reordered)?;
+            d.set_fields_from_schema();
+            d.folded = Some((key.clone(), values.clone()));
+            Ok(d)
+        }
+        LayoutExpr::Unfold { input } => {
+            let mut d = check_with(input, provider)?;
+            if d.folded.is_none() {
+                return Err(AlgebraError::ShapeMismatch(
+                    "unfold applied to a layout that is not folded".into(),
+                ));
+            }
+            d.folded = None;
+            Ok(d)
+        }
+        LayoutExpr::Prejoin {
+            left,
+            right,
+            join_attr,
+        } => {
+            let dl = check_with(left, provider)?;
+            let dr = check_with(right, provider)?;
+            dl.schema.index_of(join_attr)?;
+            dr.schema.index_of(join_attr)?;
+            let mut d = DerivedLayout::from_schema(dl.schema.prejoin(&dr.schema)?);
+            d.partitioned = dl.partitioned || dr.partitioned;
+            Ok(d)
+        }
+        LayoutExpr::Compress {
+            input,
+            fields,
+            codec,
+        } => {
+            let mut d = check_with(input, provider)?;
+            let targets: Vec<String> = if fields.is_empty() {
+                d.schema.field_names()
+            } else {
+                fields.clone()
+            };
+            for f in &targets {
+                let fd = d.schema.field(f)?;
+                let needs_numeric = matches!(
+                    codec,
+                    CodecSpec::Delta | CodecSpec::BitPack | CodecSpec::FrameOfReference
+                );
+                if needs_numeric && !fd.ty.is_numeric() {
+                    return Err(AlgebraError::InvalidParameter(format!(
+                        "{codec} compression requires numeric fields, `{f}` is {}",
+                        fd.ty
+                    )));
+                }
+            }
+            for f in targets {
+                d.codecs.push((f, *codec));
+            }
+            Ok(d)
+        }
+        LayoutExpr::OrderBy { input, keys } => {
+            let mut d = check_with(input, provider)?;
+            if keys.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "orderby requires at least one key".into(),
+                ));
+            }
+            for k in keys {
+                d.schema.index_of(&k.field)?;
+            }
+            d.orderings.push(keys.clone());
+            Ok(d)
+        }
+        LayoutExpr::GroupBy { input, keys } => {
+            let mut d = check_with(input, provider)?;
+            for k in keys {
+                d.schema.index_of(k)?;
+            }
+            d.grouped_by.extend(keys.clone());
+            Ok(d)
+        }
+        LayoutExpr::Limit { input, .. } => check_with(input, provider),
+        LayoutExpr::Grid { input, dims } => {
+            let mut d = check_with(input, provider)?;
+            if dims.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "grid requires at least one dimension".into(),
+                ));
+            }
+            for dim in dims {
+                let f = d.schema.field(&dim.field)?;
+                if !f.ty.is_numeric() {
+                    return Err(AlgebraError::InvalidParameter(format!(
+                        "grid dimension `{}` must be numeric, found {}",
+                        dim.field, f.ty
+                    )));
+                }
+                if dim.stride <= 0.0 || !dim.stride.is_finite() {
+                    return Err(AlgebraError::InvalidParameter(format!(
+                        "grid stride for `{}` must be positive and finite",
+                        dim.field
+                    )));
+                }
+            }
+            d.grid = Some(dims.clone());
+            d.partitioned = true;
+            Ok(d)
+        }
+        LayoutExpr::ZOrder { input, fields } => {
+            let mut d = check_with(input, provider)?;
+            if fields.is_empty() {
+                if d.grid.is_none() {
+                    return Err(AlgebraError::ShapeMismatch(
+                        "zorder() without fields requires an underlying grid".into(),
+                    ));
+                }
+            } else {
+                for f in fields {
+                    let fd = d.schema.field(f)?;
+                    if !fd.ty.is_numeric() {
+                        return Err(AlgebraError::InvalidParameter(format!(
+                            "zorder attribute `{f}` must be numeric, found {}",
+                            fd.ty
+                        )));
+                    }
+                }
+            }
+            d.zordered = true;
+            Ok(d)
+        }
+        LayoutExpr::Transpose { input } => {
+            let mut d = check_with(input, provider)?;
+            d.transposed = !d.transposed;
+            Ok(d)
+        }
+        LayoutExpr::Chunk { input, size } => {
+            let mut d = check_with(input, provider)?;
+            if *size == 0 {
+                return Err(AlgebraError::InvalidParameter(
+                    "chunk size must be positive".into(),
+                ));
+            }
+            d.chunk = Some(*size);
+            Ok(d)
+        }
+        LayoutExpr::Comprehension(c) => check_comprehension(c, provider),
+    }
+}
+
+fn check_comprehension(
+    c: &Comprehension,
+    provider: &dyn SchemaProvider,
+) -> Result<DerivedLayout> {
+    let tables = c.base_tables();
+    let table = tables.first().ok_or_else(|| {
+        AlgebraError::InvalidParameter("comprehension requires at least one table generator".into())
+    })?;
+    let schema = provider
+        .schema_for(table)
+        .ok_or_else(|| AlgebraError::UnknownTable(table.clone()))?;
+    for f in c.referenced_fields() {
+        schema.index_of(&f)?;
+    }
+    // Derive the output schema from the head expressions.
+    let mut out_fields = Vec::with_capacity(c.head.len());
+    for (i, h) in c.head.iter().enumerate() {
+        match h {
+            crate::comprehension::ElemExpr::Field(name) => {
+                out_fields.push(schema.field(name)?.clone());
+            }
+            other => {
+                let ty = if other.referenced_fields().is_empty() {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                };
+                out_fields.push(Field::new(format!("expr{i}"), ty));
+            }
+        }
+    }
+    let out_schema = Schema::try_new(format!("{table}#compr"), out_fields)?;
+    Ok(DerivedLayout::from_schema(out_schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comprehension::Condition;
+    use crate::expr::SortOrder;
+
+    fn traces() -> Schema {
+        Schema::new(
+            "Traces",
+            vec![
+                Field::new("t", DataType::Timestamp),
+                Field::new("lat", DataType::Float),
+                Field::new("lon", DataType::Float),
+                Field::new("id", DataType::String),
+            ],
+        )
+    }
+
+    #[test]
+    fn n4_layout_derivation() {
+        let n4 = LayoutExpr::table("Traces")
+            .order_by(["t"])
+            .group_by(["id"])
+            .project(["lat", "lon"])
+            .grid([("lat", 0.002), ("lon", 0.002)])
+            .zorder()
+            .delta(["lat", "lon"]);
+        let d = check(&n4, &traces()).unwrap();
+        assert_eq!(d.fields(), &["lat".to_string(), "lon".to_string()]);
+        assert!(d.zordered);
+        assert!(d.grid.is_some());
+        assert_eq!(d.codec_for("lat"), Some(CodecSpec::Delta));
+        assert_eq!(d.codec_for("id"), None);
+        assert_eq!(d.grouped_by, vec!["id"]);
+        // the orderby on `t` does not survive the projection to lat/lon
+        assert!(d.orderings.is_empty());
+    }
+
+    #[test]
+    fn unknown_field_and_table_rejected() {
+        let bad_field = LayoutExpr::table("Traces").project(["speed"]);
+        assert!(matches!(
+            check(&bad_field, &traces()),
+            Err(AlgebraError::UnknownField { .. })
+        ));
+        let bad_table = LayoutExpr::table("Nope").project(["lat"]);
+        assert!(matches!(
+            check(&bad_table, &traces()),
+            Err(AlgebraError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn zorder_requires_grid_or_fields() {
+        let bare = LayoutExpr::table("Traces").zorder();
+        assert!(check(&bare, &traces()).is_err());
+        let on_fields = LayoutExpr::table("Traces").zorder_on(["lat", "lon"]);
+        assert!(check(&on_fields, &traces()).unwrap().zordered);
+    }
+
+    #[test]
+    fn delta_requires_numeric_fields() {
+        let bad = LayoutExpr::table("Traces").delta(["id"]);
+        assert!(matches!(
+            check(&bad, &traces()),
+            Err(AlgebraError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn grid_parameter_validation() {
+        let bad_stride = LayoutExpr::table("Traces").grid([("lat", 0.0)]);
+        assert!(check(&bad_stride, &traces()).is_err());
+        let bad_field = LayoutExpr::table("Traces").grid([("id", 1.0)]);
+        assert!(check(&bad_field, &traces()).is_err());
+    }
+
+    #[test]
+    fn vertical_groups_and_duplicates() {
+        let ok = LayoutExpr::table("Traces").vertical([vec!["lat", "lon"], vec!["t"]]);
+        let d = check(&ok, &traces()).unwrap();
+        assert!(d.is_vertically_partitioned());
+        assert_eq!(d.groups.len(), 2);
+
+        let dup = LayoutExpr::table("Traces").vertical([vec!["lat"], vec!["lat"]]);
+        assert!(matches!(
+            check(&dup, &traces()),
+            Err(AlgebraError::DuplicateField(_))
+        ));
+    }
+
+    #[test]
+    fn fold_and_unfold() {
+        let schema = Schema::new(
+            "T",
+            vec![
+                Field::new("Zip", DataType::Int),
+                Field::new("Area", DataType::Int),
+                Field::new("Addr", DataType::String),
+            ],
+        );
+        let folded = LayoutExpr::table("T").fold(["Area"], ["Zip", "Addr"]);
+        let d = check(&folded, &schema).unwrap();
+        assert_eq!(
+            d.folded,
+            Some((vec!["Area".to_string()], vec!["Zip".to_string(), "Addr".to_string()]))
+        );
+        assert_eq!(d.fields(), &["Area".to_string(), "Zip".into(), "Addr".into()]);
+
+        let unfolded = LayoutExpr::table("T")
+            .fold(["Area"], ["Zip", "Addr"])
+            .unfold();
+        assert!(check(&unfolded, &schema).unwrap().folded.is_none());
+
+        let bad_unfold = LayoutExpr::table("T").unfold();
+        assert!(check(&bad_unfold, &schema).is_err());
+
+        let overlapping = LayoutExpr::table("T").fold(["Area"], ["Area", "Zip"]);
+        assert!(check(&overlapping, &schema).is_err());
+    }
+
+    #[test]
+    fn prejoin_schema_and_attr_check() {
+        let orders = Schema::new(
+            "Orders",
+            vec![
+                Field::new("oid", DataType::Int),
+                Field::new("cid", DataType::Int),
+            ],
+        );
+        let customers = Schema::new(
+            "Customers",
+            vec![
+                Field::new("cid", DataType::Int),
+                Field::new("name", DataType::String),
+            ],
+        );
+        let provider: Vec<Schema> = vec![orders, customers];
+        let e = LayoutExpr::table("Orders").prejoin(LayoutExpr::table("Customers"), "cid");
+        let d = check_with(&e, &provider).unwrap();
+        assert_eq!(d.fields().len(), 4);
+
+        let bad = LayoutExpr::table("Orders").prejoin(LayoutExpr::table("Customers"), "zip");
+        assert!(check_with(&bad, &provider).is_err());
+    }
+
+    #[test]
+    fn orderby_recorded_and_primary_ordering() {
+        let e = LayoutExpr::table("Traces")
+            .order_by(["id"])
+            .order_by_keys(vec![SortKey::desc("t")]);
+        let d = check(&e, &traces()).unwrap();
+        assert_eq!(d.orderings.len(), 2);
+        let primary = d.primary_ordering().unwrap();
+        assert_eq!(primary[0].field, "t");
+        assert_eq!(primary[0].order, SortOrder::Desc);
+    }
+
+    #[test]
+    fn select_validates_predicate_fields() {
+        let ok = LayoutExpr::table("Traces").select(Condition::range("lat", 42.0, 42.5));
+        assert!(check(&ok, &traces()).is_ok());
+        let bad = LayoutExpr::table("Traces").select(Condition::eq("speed", 1i64));
+        assert!(check(&bad, &traces()).is_err());
+    }
+
+    #[test]
+    fn comprehension_output_schema() {
+        let c = Comprehension::over_table("Traces", ["lat", "lon"]);
+        let d = check(&LayoutExpr::Comprehension(c), &traces()).unwrap();
+        assert_eq!(d.fields(), &["lat".to_string(), "lon".to_string()]);
+    }
+
+    #[test]
+    fn pax_and_chunk_validation() {
+        let ok = LayoutExpr::table("Traces").pax_with(64).chunk(128);
+        let d = check(&ok, &traces()).unwrap();
+        assert_eq!(d.pax.as_ref().unwrap().records_per_page, 64);
+        assert_eq!(d.chunk, Some(128));
+        assert!(check(&LayoutExpr::table("Traces").pax_with(0), &traces()).is_err());
+        assert!(check(&LayoutExpr::table("Traces").chunk(0), &traces()).is_err());
+    }
+
+    #[test]
+    fn transpose_toggles() {
+        let once = LayoutExpr::table("Traces").transpose();
+        assert!(check(&once, &traces()).unwrap().transposed);
+        let twice = LayoutExpr::table("Traces").transpose().transpose();
+        assert!(!check(&twice, &traces()).unwrap().transposed);
+    }
+}

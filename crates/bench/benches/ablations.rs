@@ -1,0 +1,130 @@
+//! Ablation benches for the design-space questions Sections 4–5 raise:
+//! page size, grid cell size, compression on/off, and the reorganization
+//! strategy used when a layout changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodentstore::{Database, ReorgStrategy, ScanRequest};
+use rodentstore_algebra::LayoutExpr;
+use rodentstore_bench::{measure_layout, Figure2Config, LayoutDesign};
+use rodentstore_exec::AccessMethods;
+use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_storage::pager::Pager;
+use rodentstore_workload::{figure2_queries, generate_traces, traces_schema, CartelConfig};
+use std::sync::Arc;
+
+fn cartel() -> (CartelConfig, Vec<Vec<rodentstore_algebra::Value>>) {
+    let config = CartelConfig {
+        observations: 20_000,
+        vehicles: 40,
+        ..CartelConfig::default()
+    };
+    let records = generate_traces(&config);
+    (config, records)
+}
+
+fn grid_design(
+    records: &[Vec<rodentstore_algebra::Value>],
+    page_size: usize,
+    cell: f64,
+    delta: bool,
+    label: &str,
+) -> LayoutDesign {
+    let provider = MemTableProvider::single(traces_schema(), records.to_vec());
+    let mut expr = LayoutExpr::table("Traces")
+        .project(["lat", "lon"])
+        .grid([("lat", cell), ("lon", cell)])
+        .zorder();
+    if delta {
+        expr = expr.delta(["lat", "lon"]);
+    }
+    let pager = Arc::new(Pager::in_memory_with_page_size(page_size));
+    let layout = render(&expr, &provider, Arc::clone(&pager), RenderOptions::default()).unwrap();
+    LayoutDesign {
+        label: label.to_string(),
+        access: AccessMethods::new(layout),
+        pager,
+    }
+}
+
+fn bench_page_and_cell_size(c: &mut Criterion) {
+    let (config, records) = cartel();
+    let queries = figure2_queries(&config.bbox, 3)
+        .into_iter()
+        .take(10)
+        .collect::<Vec<_>>();
+
+    let mut group = c.benchmark_group("ablation_pagesize");
+    group.sample_size(10);
+    for page_size in [512usize, 2048, 8192] {
+        let design = grid_design(&records, page_size, 0.02, false, "grid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(page_size),
+            &design,
+            |b, design| b.iter(|| measure_layout(design, &queries).pages_per_query),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_cellsize");
+    group.sample_size(10);
+    for cell in [0.005f64, 0.02, 0.08] {
+        let design = grid_design(&records, 1024, cell, false, "grid");
+        group.bench_with_input(BenchmarkId::from_parameter(cell), &design, |b, design| {
+            b.iter(|| measure_layout(design, &queries).pages_per_query)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_compression");
+    group.sample_size(10);
+    for delta in [false, true] {
+        let design = grid_design(&records, 1024, 0.02, delta, "grid");
+        let name = if delta { "delta" } else { "plain" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &design, |b, design| {
+            b.iter(|| measure_layout(design, &queries).pages_per_query)
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorganization(c: &mut Criterion) {
+    let figure2 = Figure2Config::small();
+    let cartel = CartelConfig {
+        observations: figure2.observations / 3,
+        vehicles: 30,
+        ..CartelConfig::default()
+    };
+    let records = generate_traces(&cartel);
+
+    let mut group = c.benchmark_group("ablation_reorg");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("eager", ReorgStrategy::Eager),
+        ("lazy", ReorgStrategy::Lazy),
+        ("new_data_only", ReorgStrategy::NewDataOnly),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut db = Database::with_page_size(1024);
+                db.create_table(traces_schema()).unwrap();
+                db.insert("Traces", records.clone()).unwrap();
+                db.apply_layout(
+                    "Traces",
+                    LayoutExpr::table("Traces").project(["lat", "lon"]),
+                    strategy,
+                )
+                .unwrap();
+                // One insert after the layout change plus one scan, so every
+                // strategy pays its characteristic cost somewhere.
+                db.insert("Traces", records[..100].to_vec()).unwrap();
+                db.scan("Traces", &ScanRequest::all().fields(["lat"]))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_and_cell_size, bench_reorganization);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks the storage design advisor (Section 5): greedy candidate
+//! enumeration alone versus greedy plus simulated-annealing stride
+//! refinement, over the CarTel spatial workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore_algebra::Condition;
+use rodentstore_exec::CostParams;
+use rodentstore_optimizer::{advise, AdvisorOptions, CostModel, Workload};
+use rodentstore_workload::{figure2_queries, generate_traces, traces_schema, CartelConfig};
+
+fn bench_advisor(c: &mut Criterion) {
+    let cartel = CartelConfig {
+        observations: 8_000,
+        vehicles: 40,
+        ..CartelConfig::default()
+    };
+    let schema = traces_schema();
+    let records = generate_traces(&cartel);
+    let conditions: Vec<Condition> = figure2_queries(&cartel.bbox, 11)
+        .into_iter()
+        .take(5)
+        .map(|q| q.to_condition())
+        .collect();
+    let workload = Workload::from_conditions(vec!["lat".into(), "lon".into()], conditions);
+
+    let options = |anneal: usize| AdvisorOptions {
+        cost_model: CostModel {
+            sample_size: 4_000,
+            page_size: 1024,
+            cost_params: CostParams {
+                seek_ms: 1.0,
+                transfer_mb_per_s: 2.0,
+            },
+        },
+        anneal_iterations: anneal,
+        seed: 5,
+    };
+
+    let mut group = c.benchmark_group("advisor_search");
+    group.sample_size(10);
+    group.bench_function("greedy_only", |b| {
+        b.iter(|| advise(&schema, &records, &workload, &options(0)).unwrap().best.total_ms)
+    });
+    group.bench_function("greedy_plus_annealing", |b| {
+        b.iter(|| advise(&schema, &records, &workload, &options(8)).unwrap().best.total_ms)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_advisor);
+criterion_main!(benches);

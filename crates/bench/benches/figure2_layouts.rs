@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 2: wall-clock time of the spatial query
+//! workload against each of the case-study designs (scaled-down dataset).
+//! The pages-per-query numbers — the paper's actual metric — are produced by
+//! the `figure2` binary and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodentstore_bench::{build_designs, Figure2Config};
+use rodentstore_exec::ScanRequest;
+
+fn bench_figure2(c: &mut Criterion) {
+    let config = Figure2Config::small();
+    let designs = build_designs(&config);
+    let mut group = c.benchmark_group("figure2_layouts");
+    group.sample_size(10);
+
+    for design in &designs.layouts {
+        group.bench_with_input(
+            BenchmarkId::new("queries", &design.label),
+            design,
+            |b, design| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in &designs.queries {
+                        let rows = design
+                            .access
+                            .scan(&ScanRequest::all().predicate(q.to_condition()))
+                            .unwrap();
+                        total += rows.len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::new("queries", "rtree"), |b| {
+        b.iter(|| designs.rtree.measure(&designs.queries).pages_per_query)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

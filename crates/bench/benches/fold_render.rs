@@ -1,0 +1,62 @@
+//! Ablation for Section 4.2: rendering the `fold` transform with the naive
+//! nested-for-loop algorithm (the paper's Algorithm 1) versus the sort/hash
+//! based single-pass renderer RodentStore uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore_algebra::{LayoutExpr, Value};
+use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_storage::pager::Pager;
+use rodentstore_workload::{generate_sales, sales_schema, SalesConfig};
+use std::sync::Arc;
+
+/// The paper's Algorithm 1: nested for loops over the input, quadratic in the
+/// number of records.
+fn nested_loop_fold(records: &[Vec<Value>], key_idx: usize, value_idx: &[usize]) -> Vec<Vec<Value>> {
+    let mut outer_seen: Vec<Value> = Vec::new();
+    let mut out = Vec::new();
+    for r in records {
+        if outer_seen.contains(&r[key_idx]) {
+            continue;
+        }
+        let mut inner = Vec::new();
+        for r2 in records {
+            if r2[key_idx] == r[key_idx] {
+                inner.push(Value::List(
+                    value_idx.iter().map(|&i| r2[i].clone()).collect(),
+                ));
+            }
+        }
+        outer_seen.push(r[key_idx].clone());
+        out.push(vec![r[key_idx].clone(), Value::List(inner)]);
+    }
+    out
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let config = SalesConfig {
+        rows: 4_000,
+        zipcodes: 60,
+        ..SalesConfig::default()
+    };
+    let records = generate_sales(&config);
+    let provider = MemTableProvider::single(sales_schema(), records.clone());
+    let fold_expr = LayoutExpr::table("Sales").fold(["zipcode"], ["year", "amount"]);
+
+    let mut group = c.benchmark_group("fold_render");
+    group.sample_size(10);
+    group.bench_function("nested_loop_fold", |b| {
+        b.iter(|| nested_loop_fold(&records, 0, &[1, 6]).len())
+    });
+    group.bench_function("sort_based_fold_render", |b| {
+        b.iter(|| {
+            let pager = Arc::new(Pager::in_memory_with_page_size(4096));
+            render(&fold_expr, &provider, pager, RenderOptions::default())
+                .unwrap()
+                .total_pages()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fold);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reproduces Figure 2 of the paper: average pages read per spatial query
+//! for the five physical designs of the CarTel case study.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rodentstore-bench --bin figure2 [observations] [queries] [page_size]
+//! ```
+//!
+//! Defaults: 200,000 observations, 200 queries, 1024-byte pages (a 50×
+//! scaled-down version of the paper's 10M-observation / ~1 KB-page setup;
+//! the relative ordering and the orders-of-magnitude gaps are what the
+//! reproduction targets, not the absolute page counts).
+
+use rodentstore_bench::{format_results, run_figure2, Figure2Config};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config = Figure2Config::default();
+    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+        config.observations = v;
+    }
+    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+        config.queries = v;
+    }
+    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+        config.page_size = v;
+    }
+
+    eprintln!(
+        "building designs over {} observations (this renders 4 layouts plus an R-tree)...",
+        config.observations
+    );
+    let results = run_figure2(&config);
+    print!("{}", format_results(&config, &results));
+
+    // Paper reference values for context (10M observations, ~1 KB pages).
+    println!();
+    println!("paper (Figure 2, 10M observations): N1=206064  N2=82430  N3=1792  N4=771  rtree=15780 pages/query");
+}

@@ -1,0 +1,120 @@
+//! Variable-length integer encoding (LEB128 + ZigZag).
+//!
+//! Small magnitudes — the common case after delta or frame-of-reference
+//! encoding — occupy one or two bytes instead of eight.
+
+use crate::{CompressError, Result};
+
+/// Maps a signed integer to an unsigned one so that values close to zero
+/// (positive or negative) get small codes.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a LEB128 varint to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `input` at `pos`, advancing `pos`.
+pub fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input
+            .get(*pos)
+            .ok_or_else(|| CompressError::Corrupted("truncated varint".into()))?;
+        *pos += 1;
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CompressError::Corrupted("varint overflow".into()));
+        }
+    }
+}
+
+/// Appends a zigzag-encoded signed varint.
+pub fn write_signed_varint(out: &mut Vec<u8>, value: i64) {
+    write_varint(out, zigzag_encode(value));
+}
+
+/// Reads a zigzag-encoded signed varint.
+pub fn read_signed_varint(input: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(zigzag_decode(read_varint(input, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip_and_small_codes() {
+        for v in [-1000i64, -2, -1, 0, 1, 2, 1000, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn signed_varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, -300, 300, i64::MIN, i64::MAX];
+        for &v in &values {
+            write_signed_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_signed_varint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_use_single_bytes() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 42);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_signed_varint(&mut buf, -3);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let buf = vec![0x80u8, 0x80];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The catalog: schemas, layout expressions, and canonical data per table.
+
+use crate::reorg::ReorgStrategy;
+use crate::{Result, RodentError};
+use rodentstore_algebra::expr::LayoutExpr;
+use rodentstore_algebra::schema::Schema;
+use rodentstore_algebra::value::Record;
+use rodentstore_exec::AccessMethods;
+
+/// Catalog entry for one logical table.
+pub struct TableEntry {
+    /// Logical schema.
+    pub schema: Schema,
+    /// Canonical row-major contents (the input to layout rendering).
+    pub records: Vec<Record>,
+    /// The currently declared layout expression, if any.
+    pub layout_expr: Option<LayoutExpr>,
+    /// The rendered layout (absent until rendered — lazily or eagerly).
+    pub access: Option<AccessMethods>,
+    /// Reorganization strategy used when the layout changes.
+    pub strategy: ReorgStrategy,
+    /// Records inserted since the layout was last rendered (used by the
+    /// new-data-only strategy and to detect staleness).
+    pub pending: Vec<Record>,
+}
+
+impl std::fmt::Debug for TableEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableEntry")
+            .field("schema", &self.schema.to_string())
+            .field("rows", &self.records.len())
+            .field("pending", &self.pending.len())
+            .field(
+                "layout",
+                &self.layout_expr.as_ref().map(|e| e.to_string()),
+            )
+            .finish()
+    }
+}
+
+impl TableEntry {
+    /// Creates an empty entry for a schema.
+    pub fn new(schema: Schema) -> TableEntry {
+        TableEntry {
+            schema,
+            records: Vec::new(),
+            layout_expr: None,
+            access: None,
+            strategy: ReorgStrategy::Eager,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Total number of rows (rendered plus pending).
+    pub fn row_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// The catalog of all tables in a database.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: Vec<(String, TableEntry)>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a new table.
+    pub fn create(&mut self, schema: Schema) -> Result<()> {
+        let name = schema.name().to_string();
+        if self.get(&name).is_ok() {
+            return Err(RodentError::TableExists(name));
+        }
+        self.tables.push((name, TableEntry::new(schema)));
+        Ok(())
+    }
+
+    /// Removes a table.
+    pub fn drop(&mut self, table: &str) -> Result<()> {
+        let before = self.tables.len();
+        self.tables.retain(|(name, _)| name != table);
+        if self.tables.len() == before {
+            return Err(RodentError::UnknownTable(table.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Immutable access to a table entry.
+    pub fn get(&self, table: &str) -> Result<&TableEntry> {
+        self.tables
+            .iter()
+            .find(|(name, _)| name == table)
+            .map(|(_, entry)| entry)
+            .ok_or_else(|| RodentError::UnknownTable(table.to_string()))
+    }
+
+    /// Mutable access to a table entry.
+    pub fn get_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .iter_mut()
+            .find(|(name, _)| name == table)
+            .map(|(_, entry)| entry)
+            .ok_or_else(|| RodentError::UnknownTable(table.to_string()))
+    }
+
+    /// Names of all tables, in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|(name, _)| name.clone()).collect()
+    }
+
+    /// All schemas (used to validate multi-table expressions like `prejoin`).
+    pub fn schemas(&self) -> Vec<Schema> {
+        self.tables
+            .iter()
+            .map(|(_, entry)| entry.schema.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::schema::Field;
+    use rodentstore_algebra::types::DataType;
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(name, vec![Field::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut catalog = Catalog::new();
+        catalog.create(schema("A")).unwrap();
+        catalog.create(schema("B")).unwrap();
+        assert_eq!(catalog.table_names(), vec!["A", "B"]);
+        assert!(catalog.get("A").is_ok());
+        assert!(matches!(
+            catalog.create(schema("A")),
+            Err(RodentError::TableExists(_))
+        ));
+        catalog.drop("A").unwrap();
+        assert!(matches!(catalog.get("A"), Err(RodentError::UnknownTable(_))));
+        assert!(matches!(catalog.drop("A"), Err(RodentError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn entries_track_rows_and_layout() {
+        let mut catalog = Catalog::new();
+        catalog.create(schema("A")).unwrap();
+        let entry = catalog.get_mut("A").unwrap();
+        entry.records.push(vec![rodentstore_algebra::Value::Int(1)]);
+        assert_eq!(entry.row_count(), 1);
+        assert!(entry.layout_expr.is_none());
+        assert_eq!(catalog.schemas().len(), 1);
+    }
+}

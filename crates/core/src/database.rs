@@ -1,0 +1,565 @@
+//! The RodentStore database façade.
+
+use crate::catalog::Catalog;
+use crate::reorg::ReorgStrategy;
+use crate::{Result, RodentError};
+use rodentstore_algebra::expr::LayoutExpr;
+use rodentstore_algebra::parse;
+use rodentstore_algebra::schema::Schema;
+use rodentstore_algebra::validate;
+use rodentstore_algebra::value::Record;
+use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
+use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_optimizer::{advise, AdvisorOptions, Recommendation, Workload};
+use rodentstore_storage::pager::Pager;
+use rodentstore_storage::stats::IoSnapshot;
+use rodentstore_storage::wal::Wal;
+use std::sync::Arc;
+
+/// A RodentStore database: a catalog of tables, a shared pager, and the
+/// machinery to declare and change physical layouts.
+pub struct Database {
+    catalog: Catalog,
+    pager: Arc<Pager>,
+    wal: Wal,
+    cost_params: CostParams,
+    render_options: RenderOptions,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("pages", &self.pager.page_count())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates an in-memory database with the default (16 KiB) page size.
+    pub fn in_memory() -> Database {
+        Database::with_pager(Arc::new(Pager::in_memory()))
+    }
+
+    /// Creates an in-memory database with an explicit page size.
+    pub fn with_page_size(page_size: usize) -> Database {
+        Database::with_pager(Arc::new(Pager::in_memory_with_page_size(page_size)))
+    }
+
+    /// Creates a database over an arbitrary pager (e.g. file-backed).
+    pub fn with_pager(pager: Arc<Pager>) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            pager,
+            wal: Wal::new(),
+            cost_params: CostParams::default(),
+            render_options: RenderOptions::default(),
+        }
+    }
+
+    /// Overrides the disk-model parameters used for cost estimates.
+    pub fn set_cost_params(&mut self, cost_params: CostParams) {
+        self.cost_params = cost_params;
+    }
+
+    /// The shared pager (for I/O statistics, page counts, …).
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Snapshot of the I/O statistics.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.pager.stats().snapshot()
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The write-ahead log (substrate for transactional page writes).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Creates a table from its logical schema.
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        self.catalog.create(schema)
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, table: &str) -> Result<()> {
+        self.catalog.drop(table)
+    }
+
+    /// Inserts records into a table. If a layout is declared with the eager
+    /// or lazy strategy the representation is refreshed on next access; with
+    /// the new-data-only strategy the records are kept in a separate
+    /// row-oriented buffer that scans merge in.
+    pub fn insert(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
+        let entry = self.catalog.get_mut(table)?;
+        for r in &records {
+            entry.schema.validate_record(r)?;
+        }
+        let has_layout = entry.access.is_some() || entry.layout_expr.is_some();
+        entry.records.extend(records.iter().cloned());
+        if has_layout {
+            entry.pending.extend(records);
+            if entry.strategy.absorbs_new_data_on_access() {
+                // Invalidate the rendered representation; it is rebuilt on the
+                // next access (lazy) — eager rebuilds immediately below.
+                entry.access = None;
+            }
+            if entry.strategy == ReorgStrategy::Eager {
+                self.ensure_rendered(table)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of logical rows in a table.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.catalog.get(table)?.row_count())
+    }
+
+    /// Declares the physical layout of a table using the textual algebra
+    /// syntax, with the eager reorganization strategy.
+    pub fn apply_layout_text(&mut self, table: &str, expr: &str) -> Result<()> {
+        let expr = parse(expr)?;
+        self.apply_layout(table, expr, ReorgStrategy::Eager)
+    }
+
+    /// Declares the physical layout of a table.
+    pub fn apply_layout(
+        &mut self,
+        table: &str,
+        expr: LayoutExpr,
+        strategy: ReorgStrategy,
+    ) -> Result<()> {
+        // Validate against the whole catalog so prejoins across tables work.
+        validate::check_with(&expr, &self.catalog.schemas())?;
+        {
+            let entry = self.catalog.get_mut(table)?;
+            entry.layout_expr = Some(expr);
+            entry.strategy = strategy;
+            entry.access = None;
+            entry.pending.clear();
+        }
+        if strategy.renders_immediately() {
+            self.ensure_rendered(table)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the declared layout of `table` if it is not already rendered
+    /// (no-op for tables without a declared layout).
+    pub fn ensure_rendered(&mut self, table: &str) -> Result<()> {
+        let needs_render = {
+            let entry = self.catalog.get(table)?;
+            entry.layout_expr.is_some()
+                && (entry.access.is_none()
+                    || (entry.strategy.absorbs_new_data_on_access()
+                        && !entry.pending.is_empty()))
+        };
+        if !needs_render {
+            return Ok(());
+        }
+        let (expr, strategy) = {
+            let entry = self.catalog.get(table)?;
+            (
+                entry.layout_expr.clone().expect("checked above"),
+                entry.strategy,
+            )
+        };
+        // Build a provider with every table's canonical records (prejoin may
+        // need more than one table). Under the new-data-only strategy, rows
+        // inserted after the layout was declared stay in the row buffer and
+        // are excluded from the rendered representation.
+        let mut provider = MemTableProvider::new();
+        for name in self.catalog.table_names() {
+            let entry = self.catalog.get(&name)?;
+            let mut records = entry.records.clone();
+            if name == table && !strategy.absorbs_new_data_on_access() {
+                records.truncate(records.len().saturating_sub(entry.pending.len()));
+            }
+            provider.add(entry.schema.clone(), records);
+        }
+        let layout = render(
+            &expr,
+            &provider,
+            Arc::clone(&self.pager),
+            RenderOptions {
+                name: Some(format!("{table}__layout")),
+                ..self.render_options.clone()
+            },
+        )?;
+        let access = AccessMethods::with_cost_params(layout, self.cost_params);
+        let entry = self.catalog.get_mut(table)?;
+        entry.access = Some(access);
+        if strategy.absorbs_new_data_on_access() {
+            entry.pending.clear();
+        }
+        Ok(())
+    }
+
+    /// Scans a table. Tables without a declared layout are scanned from their
+    /// canonical row-major representation; tables with a layout use the
+    /// rendered objects (rendering lazily if necessary). Under the
+    /// new-data-only strategy, rows inserted after the layout was declared
+    /// are merged in from the row buffer.
+    pub fn scan(&mut self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
+        self.ensure_rendered(table)?;
+        let entry = self.catalog.get(table)?;
+        let mut rows = match &entry.access {
+            Some(access) => access.scan(request)?,
+            None => scan_canonical(&entry.schema, &entry.records, request)?,
+        };
+        if entry.access.is_some() && !entry.pending.is_empty() {
+            rows.extend(scan_canonical(&entry.schema, &entry.pending, request)?);
+        }
+        Ok(rows)
+    }
+
+    /// Opens a cursor over a scan.
+    pub fn open_cursor(&mut self, table: &str, request: &ScanRequest) -> Result<Cursor> {
+        Ok(Cursor::new(self.scan(table, request)?))
+    }
+
+    /// Returns the element at `index` of the table's stored representation.
+    pub fn get_element(
+        &mut self,
+        table: &str,
+        index: usize,
+        fields: Option<&[String]>,
+    ) -> Result<Record> {
+        self.ensure_rendered(table)?;
+        let entry = self.catalog.get(table)?;
+        match &entry.access {
+            Some(access) => Ok(access.get_element(index, fields)?),
+            None => entry
+                .records
+                .get(index)
+                .cloned()
+                .map(|r| match fields {
+                    Some(fields) => entry
+                        .schema
+                        .extract(&r, fields)
+                        .map_err(RodentError::Algebra),
+                    None => Ok(r),
+                })
+                .transpose()?
+                .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range"))),
+        }
+    }
+
+    /// Estimated cost of a scan in milliseconds (the `scan_cost` access
+    /// method). Tables without a rendered layout report a cost proportional
+    /// to their canonical size.
+    pub fn scan_cost(&mut self, table: &str, request: &ScanRequest) -> Result<f64> {
+        self.ensure_rendered(table)?;
+        let entry = self.catalog.get(table)?;
+        match &entry.access {
+            Some(access) => Ok(access.scan_cost(request)?),
+            None => {
+                let bytes = entry.records.len() as f64
+                    * entry.schema.estimated_record_width() as f64;
+                Ok(self.cost_params.seek_ms
+                    + bytes / (self.cost_params.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0)
+            }
+        }
+    }
+
+    /// Estimated number of pages a scan would read.
+    pub fn scan_pages(&mut self, table: &str, request: &ScanRequest) -> Result<u64> {
+        self.ensure_rendered(table)?;
+        let entry = self.catalog.get(table)?;
+        match &entry.access {
+            Some(access) => Ok(access.scan_pages(request)),
+            None => Ok(0),
+        }
+    }
+
+    /// The sort orders the table's current organization is efficient for.
+    pub fn order_list(&mut self, table: &str) -> Result<Vec<Vec<rodentstore_algebra::expr::SortKey>>> {
+        self.ensure_rendered(table)?;
+        let entry = self.catalog.get(table)?;
+        Ok(entry
+            .access
+            .as_ref()
+            .map(|a| a.order_list())
+            .unwrap_or_default())
+    }
+
+    /// Runs the storage design advisor for a table and workload, returning
+    /// the recommendation without applying it.
+    pub fn recommend_layout(
+        &self,
+        table: &str,
+        workload: &Workload,
+        options: &AdvisorOptions,
+    ) -> Result<Recommendation> {
+        let entry = self.catalog.get(table)?;
+        Ok(advise(&entry.schema, &entry.records, workload, options)?)
+    }
+
+    /// Runs the advisor and applies the recommended layout eagerly.
+    pub fn auto_tune(
+        &mut self,
+        table: &str,
+        workload: &Workload,
+        options: &AdvisorOptions,
+    ) -> Result<Recommendation> {
+        let recommendation = self.recommend_layout(table, workload, options)?;
+        self.apply_layout(table, recommendation.best.expr.clone(), ReorgStrategy::Eager)?;
+        Ok(recommendation)
+    }
+}
+
+/// Scans in-memory canonical records (used before any layout is declared and
+/// for the new-data-only pending buffer).
+fn scan_canonical(
+    schema: &Schema,
+    records: &[Record],
+    request: &ScanRequest,
+) -> Result<Vec<Record>> {
+    let out_fields: Vec<String> = request
+        .fields
+        .clone()
+        .unwrap_or_else(|| schema.field_names());
+    let indices = schema.indices_of(&out_fields)?;
+    let mut rows = Vec::new();
+    for r in records {
+        if let Some(pred) = &request.predicate {
+            if !pred.eval(schema, r)? {
+                continue;
+            }
+        }
+        rows.push(indices.iter().map(|&i| r[i].clone()).collect());
+    }
+    if let Some(order) = &request.order {
+        let mut key_positions = Vec::new();
+        for key in order {
+            if let Some(pos) = out_fields.iter().position(|f| *f == key.field) {
+                key_positions.push((pos, key.order));
+            }
+        }
+        rows.sort_by(|a: &Record, b: &Record| {
+            for (pos, dir) in &key_positions {
+                let ord = a[*pos].compare(&b[*pos]);
+                let ord = match dir {
+                    rodentstore_algebra::expr::SortOrder::Asc => ord,
+                    rodentstore_algebra::expr::SortOrder::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::comprehension::Condition;
+    use rodentstore_algebra::schema::Field;
+    use rodentstore_algebra::types::DataType;
+    use rodentstore_algebra::value::Value;
+    use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+
+    fn small_db() -> Database {
+        let mut db = Database::with_page_size(2048);
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 1_500,
+                vehicles: 10,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_without_layout_uses_canonical_rows() {
+        let mut db = small_db();
+        let rows = db.scan("Traces", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), 1_500);
+        let narrow = db
+            .scan("Traces", &ScanRequest::all().fields(["lat"]))
+            .unwrap();
+        assert!(narrow.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn textual_layout_changes_the_physical_representation() {
+        let mut db = small_db();
+        db.apply_layout_text(
+            "Traces",
+            "zorder(grid[lat,lon;0.02,0.02](project[lat,lon](Traces)))",
+        )
+        .unwrap();
+        let pred = Condition::range("lat", 42.30, 42.34).and(Condition::range("lon", -71.1, -71.05));
+        let rows = db
+            .scan("Traces", &ScanRequest::all().predicate(pred.clone()))
+            .unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows
+            .iter()
+            .all(|r| (42.30..=42.34).contains(&r[0].as_f64().unwrap())));
+        // Pruned scans should touch fewer pages than the whole layout.
+        let total = db.scan_pages("Traces", &ScanRequest::all()).unwrap();
+        let pruned = db
+            .scan_pages("Traces", &ScanRequest::all().predicate(pred))
+            .unwrap();
+        assert!(pruned < total);
+    }
+
+    #[test]
+    fn lazy_layouts_render_on_first_access() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").columns(["t", "lat", "lon", "id"]),
+            ReorgStrategy::Lazy,
+        )
+        .unwrap();
+        // Nothing rendered yet.
+        assert!(db.catalog().get("Traces").unwrap().access.is_none());
+        db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        assert!(db.catalog().get("Traces").unwrap().access.is_some());
+    }
+
+    #[test]
+    fn new_data_only_strategy_merges_pending_rows() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::NewDataOnly,
+        )
+        .unwrap();
+        let before = db.scan("Traces", &ScanRequest::all()).unwrap().len();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_000),
+                Value::Float(42.31),
+                Value::Float(-71.06),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        let after = db.scan("Traces", &ScanRequest::all()).unwrap().len();
+        assert_eq!(after, before + 1);
+        // The pending row is still buffered, not folded into the layout.
+        assert_eq!(db.catalog().get("Traces").unwrap().pending.len(), 1);
+    }
+
+    #[test]
+    fn eager_strategy_absorbs_inserts() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_000),
+                Value::Float(42.31),
+                Value::Float(-71.06),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        assert!(db.catalog().get("Traces").unwrap().pending.is_empty());
+        assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 1_501);
+    }
+
+    #[test]
+    fn schema_violations_and_unknown_tables_are_rejected() {
+        let mut db = small_db();
+        assert!(db.insert("Traces", vec![vec![Value::Int(1)]]).is_err());
+        assert!(db.scan("Nope", &ScanRequest::all()).is_err());
+        assert!(db
+            .apply_layout_text("Traces", "project[altitude](Traces)")
+            .is_err());
+    }
+
+    #[test]
+    fn get_element_and_order_list() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").order_by(["t"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        let first = db.get_element("Traces", 0, None).unwrap();
+        assert_eq!(first.len(), 4);
+        let orders = db.order_list("Traces").unwrap();
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0][0].field, "t");
+    }
+
+    #[test]
+    fn auto_tune_applies_a_recommendation() {
+        let mut db = Database::with_page_size(1024);
+        db.create_table(Schema::new(
+            "Points",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+                Field::new("tag", DataType::String),
+            ],
+        ))
+        .unwrap();
+        let records: Vec<Record> = (0..800)
+            .map(|i| {
+                vec![
+                    Value::Float((i % 40) as f64),
+                    Value::Float((i / 40) as f64),
+                    Value::Str(format!("tag{}", i % 5)),
+                ]
+            })
+            .collect();
+        db.insert("Points", records).unwrap();
+        let workload = Workload::new().query(
+            ScanRequest::all()
+                .fields(["x", "y"])
+                .predicate(Condition::range("x", 3.0, 6.0).and(Condition::range("y", 3.0, 6.0))),
+        );
+        let options = AdvisorOptions {
+            cost_model: rodentstore_optimizer::CostModel {
+                sample_size: 800,
+                page_size: 512,
+                cost_params: CostParams {
+                    seek_ms: 0.5,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 2,
+            seed: 3,
+        };
+        let rec = db.auto_tune("Points", &workload, &options).unwrap();
+        assert!(db.catalog().get("Points").unwrap().layout_expr.is_some());
+        assert!(rec.explored.len() > 3);
+        // The tuned table still answers queries correctly.
+        let rows = db
+            .scan(
+                "Points",
+                &ScanRequest::all()
+                    .fields(["x", "y"])
+                    .predicate(Condition::range("x", 3.0, 6.0)),
+            )
+            .unwrap();
+        assert!(rows.iter().all(|r| (3.0..=6.0).contains(&r[0].as_f64().unwrap())));
+    }
+}

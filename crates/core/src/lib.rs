@@ -1,0 +1,118 @@
+//! # RodentStore — an adaptive, declarative storage system
+//!
+//! RodentStore is a storage system in which the physical representation of a
+//! logical table is described declaratively with a *storage algebra*:
+//! expressions such as `zorder(grid[lat,lon; 0.002,0.002](project[lat,lon](Traces)))`
+//! tell the system how to group tuples into rows, columns, arrays and grid
+//! cells, in which order to place them on disk, and which compression schemes
+//! to apply. An algebra interpreter renders expressions into page-based
+//! storage; a small access-method API (`scan`, `get_element`, `next`,
+//! `scan_cost`, `get_element_cost`, `order_list`) exposes the data to any
+//! front end; and a cost-based design advisor recommends layouts for a given
+//! workload.
+//!
+//! This crate is the user-facing façade tying the subsystems together:
+//!
+//! * [`Database`] — create tables, load data, apply or change layouts
+//!   (eagerly, lazily, or only for new data), and run queries;
+//! * [`Catalog`] — the table/layout metadata;
+//! * [`reorg`] — the reorganization strategies of Section 5 of the paper.
+//!
+//! ```
+//! use rodentstore::{Database, ScanRequest, Condition};
+//! use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+//!
+//! let mut db = Database::in_memory();
+//! db.create_table(traces_schema()).unwrap();
+//! db.insert("Traces", generate_traces(&CartelConfig {
+//!     observations: 2_000, vehicles: 10, ..CartelConfig::default()
+//! })).unwrap();
+//!
+//! // Declare the case-study layout N3: grid the coordinates.
+//! db.apply_layout_text("Traces", "grid[lat,lon;0.02,0.02](project[lat,lon](Traces))")
+//!     .unwrap();
+//!
+//! let rows = db.scan("Traces", &ScanRequest::all()
+//!     .predicate(Condition::range("lat", 42.30, 42.35))).unwrap();
+//! assert!(rows.iter().all(|r| (42.30..=42.35).contains(&r[0].as_f64().unwrap())));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod database;
+pub mod reorg;
+
+pub use catalog::{Catalog, TableEntry};
+pub use database::Database;
+pub use reorg::ReorgStrategy;
+
+// Re-export the pieces users need to drive the system without importing
+// every sub-crate explicitly.
+pub use rodentstore_algebra::{parse, Condition, DataType, Field, LayoutExpr, Schema, Value};
+pub use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
+pub use rodentstore_layout::{PhysicalLayout, RenderOptions};
+pub use rodentstore_optimizer::{advise, AdvisorOptions, Recommendation, Workload};
+pub use rodentstore_storage::{IoSnapshot, IoStats};
+
+use std::fmt;
+
+/// Errors surfaced by the RodentStore façade.
+#[derive(Debug)]
+pub enum RodentError {
+    /// Algebra parsing or validation failed.
+    Algebra(rodentstore_algebra::AlgebraError),
+    /// Rendering or reading a layout failed.
+    Layout(rodentstore_layout::LayoutError),
+    /// The access-method layer rejected a request.
+    Exec(rodentstore_exec::ExecError),
+    /// The design advisor failed.
+    Optimizer(rodentstore_optimizer::OptimizerError),
+    /// A table was not found in the catalog.
+    UnknownTable(String),
+    /// A table with the same name already exists.
+    TableExists(String),
+    /// The operation is invalid in the current state.
+    Invalid(String),
+}
+
+impl fmt::Display for RodentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RodentError::Algebra(e) => write!(f, "{e}"),
+            RodentError::Layout(e) => write!(f, "{e}"),
+            RodentError::Exec(e) => write!(f, "{e}"),
+            RodentError::Optimizer(e) => write!(f, "{e}"),
+            RodentError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            RodentError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            RodentError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RodentError {}
+
+impl From<rodentstore_algebra::AlgebraError> for RodentError {
+    fn from(e: rodentstore_algebra::AlgebraError) -> Self {
+        RodentError::Algebra(e)
+    }
+}
+impl From<rodentstore_layout::LayoutError> for RodentError {
+    fn from(e: rodentstore_layout::LayoutError) -> Self {
+        RodentError::Layout(e)
+    }
+}
+impl From<rodentstore_exec::ExecError> for RodentError {
+    fn from(e: rodentstore_exec::ExecError) -> Self {
+        RodentError::Exec(e)
+    }
+}
+impl From<rodentstore_optimizer::OptimizerError> for RodentError {
+    fn from(e: rodentstore_optimizer::OptimizerError) -> Self {
+        RodentError::Optimizer(e)
+    }
+}
+
+/// Result alias for RodentStore operations.
+pub type Result<T> = std::result::Result<T, RodentError>;

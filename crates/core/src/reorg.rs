@@ -1,0 +1,70 @@
+//! Reorganization strategies.
+//!
+//! Section 5 of the paper discusses what to do when a new physical design is
+//! declared for data that already exists:
+//!
+//! * **eager** — rewrite every object immediately;
+//! * **new-data-only** — keep old data as it was and store only newly
+//!   inserted data in the new representation (cheap, but old data keeps its
+//!   old access characteristics and reads must merge both);
+//! * **lazy** — rewrite objects in the background or when they are accessed;
+//!   RodentStore renders the new representation on first access.
+
+use std::fmt;
+
+/// When the stored representation is rewritten after a layout change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReorgStrategy {
+    /// Rewrite everything as soon as the layout is declared.
+    #[default]
+    Eager,
+    /// Keep existing data in its current representation; only new inserts use
+    /// the new layout. Scans merge both representations.
+    NewDataOnly,
+    /// Defer the rewrite until the table is next accessed.
+    Lazy,
+}
+
+impl fmt::Display for ReorgStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorgStrategy::Eager => write!(f, "eager"),
+            ReorgStrategy::NewDataOnly => write!(f, "new-data-only"),
+            ReorgStrategy::Lazy => write!(f, "lazy"),
+        }
+    }
+}
+
+impl ReorgStrategy {
+    /// Whether declaring a layout should render it immediately.
+    pub fn renders_immediately(&self) -> bool {
+        matches!(self, ReorgStrategy::Eager)
+    }
+
+    /// Whether pending (newly inserted) rows should be folded into the
+    /// rendered representation on access.
+    pub fn absorbs_new_data_on_access(&self) -> bool {
+        matches!(self, ReorgStrategy::Eager | ReorgStrategy::Lazy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_defaults() {
+        assert_eq!(ReorgStrategy::default(), ReorgStrategy::Eager);
+        assert_eq!(ReorgStrategy::Lazy.to_string(), "lazy");
+        assert_eq!(ReorgStrategy::NewDataOnly.to_string(), "new-data-only");
+    }
+
+    #[test]
+    fn strategy_semantics() {
+        assert!(ReorgStrategy::Eager.renders_immediately());
+        assert!(!ReorgStrategy::Lazy.renders_immediately());
+        assert!(!ReorgStrategy::NewDataOnly.renders_immediately());
+        assert!(ReorgStrategy::Eager.absorbs_new_data_on_access());
+        assert!(!ReorgStrategy::NewDataOnly.absorbs_new_data_on_access());
+    }
+}

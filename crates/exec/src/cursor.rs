@@ -1,0 +1,103 @@
+//! Cursors: the `next()` access method.
+
+use rodentstore_algebra::value::Record;
+
+/// A simple forward cursor over the results of a scan.
+///
+/// RodentStore materializes the (already filtered and projected) result of a
+/// scan and hands out tuples one at a time; the paper notes that emitting
+/// blocks of nested or run-length-compressed tuples is an interesting
+/// extension, which would slot in here.
+#[derive(Debug)]
+pub struct Cursor {
+    rows: Vec<Record>,
+    position: usize,
+}
+
+impl Cursor {
+    /// Creates a cursor over materialized rows.
+    pub fn new(rows: Vec<Record>) -> Cursor {
+        Cursor { rows, position: 0 }
+    }
+
+    /// Returns the next tuple, or `None` when exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&Record> {
+        let row = self.rows.get(self.position);
+        if row.is_some() {
+            self.position += 1;
+        }
+        row
+    }
+
+    /// Resets the cursor to the first tuple.
+    pub fn rewind(&mut self) {
+        self.position = 0;
+    }
+
+    /// Number of tuples remaining.
+    pub fn remaining(&self) -> usize {
+        self.rows.len().saturating_sub(self.position)
+    }
+
+    /// Total number of tuples in the cursor.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the cursor holds no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Iterator for Cursor {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        let row = self.rows.get(self.position).cloned();
+        if row.is_some() {
+            self.position += 1;
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::value::Value;
+
+    fn rows(n: usize) -> Vec<Record> {
+        (0..n).map(|i| vec![Value::Int(i as i64)]).collect()
+    }
+
+    #[test]
+    fn next_and_rewind() {
+        let mut c = Cursor::new(rows(3));
+        assert_eq!(c.remaining(), 3);
+        assert_eq!(c.next().unwrap()[0], Value::Int(0));
+        assert_eq!(c.next().unwrap()[0], Value::Int(1));
+        c.rewind();
+        assert_eq!(c.next().unwrap()[0], Value::Int(0));
+        assert_eq!(c.remaining(), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut c = Cursor::new(rows(1));
+        assert!(c.next().is_some());
+        assert!(c.next().is_none());
+        assert!(c.next().is_none());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let c = Cursor::new(rows(5));
+        let collected: Vec<Record> = c.collect();
+        assert_eq!(collected.len(), 5);
+        assert!(Cursor::new(vec![]).is_empty());
+        assert_eq!(Cursor::new(rows(2)).len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! # Index structures for RodentStore
+//!
+//! The paper scopes index innovation out of RodentStore ("RodentStore will
+//! include both B+Trees as well as a variety of geo-spatial indices, but we
+//! don't anticipate innovating in this regard"), yet the system — and the
+//! case-study evaluation — needs them:
+//!
+//! * [`BTree`] — a page-backed B+Tree used for key and ordering lookups.
+//! * [`RTree`] — a page-backed R-Tree; the paper's Figure 2 uses a secondary
+//!   R-Tree over trajectories as the conventional baseline that the
+//!   grid/z-order/delta layouts are compared against.
+//!
+//! Both indexes store one node per page of a shared
+//! [`rodentstore_storage::Pager`], so index probes show up in the same I/O
+//! statistics (pages read, seeks) as table scans, and the cost model can
+//! compare access paths uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod btree;
+pub mod rtree;
+
+pub use bounds::Rect;
+pub use btree::BTree;
+pub use rtree::RTree;
+
+use rodentstore_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the index structures.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The pager's page size is too small to hold a node.
+    PageTooSmall {
+        /// Configured page size.
+        page_size: usize,
+        /// Minimum page size required.
+        minimum: usize,
+    },
+    /// An underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::PageTooSmall { page_size, minimum } => write!(
+                f,
+                "page size {page_size} is too small for an index node (minimum {minimum})"
+            ),
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+/// Result alias for index operations.
+pub type Result<T> = std::result::Result<T, IndexError>;

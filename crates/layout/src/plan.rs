@@ -1,0 +1,640 @@
+//! Physical layouts: stored objects and their read paths.
+//!
+//! Rendering a storage-algebra expression produces a [`PhysicalLayout`]: a
+//! set of [`StoredObject`]s (heap files holding rows or compressed column
+//! blocks, optionally tagged with grid-cell bounds) plus the derived
+//! description of the layout's properties. The read paths implemented here —
+//! scans with projection/predicates, element access, and page estimation —
+//! are what the access-method API in `rodentstore-exec` exposes to a query
+//! processor.
+
+use crate::rowcodec::{column_to_values, decode_record, encode_record, values_to_column};
+use crate::{LayoutError, Result};
+use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
+use rodentstore_algebra::expr::{LayoutExpr, SortKey};
+use rodentstore_algebra::schema::Schema;
+use rodentstore_algebra::types::DataType;
+use rodentstore_algebra::validate::DerivedLayout;
+use rodentstore_algebra::value::{Record, Value};
+use rodentstore_compress::CodecKind;
+use rodentstore_storage::heap::HeapFile;
+use rodentstore_storage::pager::Pager;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How records are serialized inside a stored object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectEncoding {
+    /// One heap record per tuple (row-oriented).
+    Rows,
+    /// Column blocks: for every chunk of `block_rows` tuples, one heap record
+    /// per field (in the object's field order), each an encoded column block.
+    ColumnBlocks {
+        /// Number of tuples per block.
+        block_rows: usize,
+    },
+    /// Folded groups (the `fold` transform): one heap record per group,
+    /// holding the key values followed by a list of the nested value rows.
+    /// Reads unnest each inner row by merging it with its key, as described
+    /// in Section 4.1 of the paper.
+    Folded {
+        /// Number of leading key fields in each folded record.
+        key_fields: usize,
+    },
+}
+
+/// The value interval a grid cell covers along each gridded dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellBounds {
+    /// `(field, inclusive lower bound, exclusive upper bound)` per dimension.
+    pub dims: Vec<(String, f64, f64)>,
+    /// Integer cell coordinates along each dimension (used for curve
+    /// ordering and diagnostics).
+    pub coords: Vec<u32>,
+}
+
+impl CellBounds {
+    /// Whether the cell can contain tuples satisfying the given per-field
+    /// ranges (missing fields are unconstrained).
+    pub fn intersects(&self, ranges: &HashMap<String, (f64, f64)>) -> bool {
+        for (field, lo, hi) in &self.dims {
+            if let Some((qlo, qhi)) = ranges.get(field) {
+                if *hi <= *qlo || *lo > *qhi {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A stored object: one heap file holding a subset of the layout's fields.
+pub struct StoredObject {
+    /// Object name (for catalogs and diagnostics).
+    pub name: String,
+    /// Names of the fields stored in this object, in storage order.
+    pub fields: Vec<String>,
+    /// The heap file holding the data.
+    pub heap: HeapFile,
+    /// Row or column-block encoding.
+    pub encoding: ObjectEncoding,
+    /// Per-field compression codec (column-block encoding only).
+    pub codecs: HashMap<String, CodecKind>,
+    /// Grid-cell bounds when this object is one cell of a gridded layout.
+    pub cell: Option<CellBounds>,
+    /// Number of tuples stored.
+    pub row_count: usize,
+    /// Sort order of tuples within the object, if any.
+    pub ordering: Vec<SortKey>,
+}
+
+impl std::fmt::Debug for StoredObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredObject")
+            .field("name", &self.name)
+            .field("fields", &self.fields)
+            .field("rows", &self.row_count)
+            .field("pages", &self.heap.page_count())
+            .field("encoding", &self.encoding)
+            .finish()
+    }
+}
+
+impl StoredObject {
+    /// Number of pages the object occupies.
+    pub fn page_count(&self) -> usize {
+        self.heap.page_count()
+    }
+
+    /// Reads every tuple of the object (values in the object's field order).
+    /// `templates` supplies one template value per field so column blocks can
+    /// restore the original value variant.
+    pub fn read_rows(&self, templates: &[Value]) -> Result<Vec<Record>> {
+        match &self.encoding {
+            ObjectEncoding::Rows => {
+                let mut rows = Vec::with_capacity(self.row_count);
+                self.heap.scan(|_, payload| {
+                    rows.push(payload.to_vec());
+                    Ok(())
+                })?;
+                rows.into_iter().map(|bytes| decode_record(&bytes)).collect()
+            }
+            ObjectEncoding::Folded { key_fields } => {
+                let mut rows: Vec<Record> = Vec::with_capacity(self.row_count);
+                let key_fields = *key_fields;
+                let mut folded_records = Vec::new();
+                self.heap.scan(|_, payload| {
+                    folded_records.push(payload.to_vec());
+                    Ok(())
+                })?;
+                for bytes in folded_records {
+                    let folded = decode_record(&bytes)?;
+                    if folded.len() != key_fields + 1 {
+                        return Err(LayoutError::Corrupted(format!(
+                            "folded record in `{}` has arity {}, expected {}",
+                            self.name,
+                            folded.len(),
+                            key_fields + 1
+                        )));
+                    }
+                    let key = &folded[..key_fields];
+                    let nested = folded[key_fields].as_list().ok_or_else(|| {
+                        LayoutError::Corrupted("folded record without nested list".into())
+                    })?;
+                    for inner in nested {
+                        let values = inner.as_list().ok_or_else(|| {
+                            LayoutError::Corrupted("nested fold entry is not a list".into())
+                        })?;
+                        let mut row = key.to_vec();
+                        row.extend(values.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                Ok(rows)
+            }
+            ObjectEncoding::ColumnBlocks { .. } => {
+                let blocks = self.heap.read_all()?;
+                let ncols = self.fields.len();
+                if ncols == 0 {
+                    return Ok(Vec::new());
+                }
+                if blocks.len() % ncols != 0 {
+                    return Err(LayoutError::Corrupted(format!(
+                        "object `{}` has {} blocks for {} fields",
+                        self.name,
+                        blocks.len(),
+                        ncols
+                    )));
+                }
+                let mut rows: Vec<Record> = Vec::with_capacity(self.row_count);
+                for chunk in blocks.chunks(ncols) {
+                    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(ncols);
+                    for (f, block) in chunk.iter().enumerate() {
+                        let codec = self
+                            .codecs
+                            .get(&self.fields[f])
+                            .copied()
+                            .unwrap_or(CodecKind::Plain)
+                            .build();
+                        let data = codec.decode(block)?;
+                        let template = templates.get(f).cloned().unwrap_or(Value::Int(0));
+                        columns.push(column_to_values(&data, &template));
+                    }
+                    let chunk_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+                    for i in 0..chunk_rows {
+                        let mut row = Vec::with_capacity(ncols);
+                        for col in &columns {
+                            row.push(col.get(i).cloned().unwrap_or(Value::Null));
+                        }
+                        rows.push(row);
+                    }
+                }
+                Ok(rows)
+            }
+        }
+    }
+
+    /// Writes tuples (already restricted to this object's fields, in object
+    /// field order) into the heap file.
+    pub fn write_rows(&mut self, rows: &[Record]) -> Result<()> {
+        match &self.encoding {
+            ObjectEncoding::Folded { .. } => {
+                return Err(LayoutError::Unsupported(
+                    "folded objects are written by the renderer, not row-by-row".into(),
+                ));
+            }
+            ObjectEncoding::Rows => {
+                for row in rows {
+                    self.heap.append(&encode_record(row))?;
+                }
+            }
+            ObjectEncoding::ColumnBlocks { block_rows } => {
+                let block_rows = (*block_rows).max(1);
+                let max_block = rodentstore_storage::slotted::max_record_len(
+                    self.heap.pager().page_size(),
+                );
+                for chunk in rows.chunks(block_rows) {
+                    self.write_column_chunk(chunk, max_block)?;
+                }
+            }
+        }
+        self.row_count += rows.len();
+        self.heap.flush()?;
+        Ok(())
+    }
+
+    /// Encodes one chunk of rows as per-field column blocks. Chunks whose
+    /// encoded blocks would not fit in a page are split recursively so the
+    /// chosen block size never violates the page capacity.
+    fn write_column_chunk(&self, chunk: &[Record], max_block: usize) -> Result<()> {
+        let mut blocks = Vec::with_capacity(self.fields.len());
+        for (f, field) in self.fields.iter().enumerate() {
+            let values: Vec<Value> = chunk.iter().map(|r| r[f].clone()).collect();
+            let column = values_to_column(&values);
+            let codec = self
+                .codecs
+                .get(field)
+                .copied()
+                .unwrap_or(CodecKind::Plain)
+                .build();
+            blocks.push(codec.encode(&column)?);
+        }
+        if blocks.iter().any(|b| b.len() > max_block) && chunk.len() > 1 {
+            let mid = chunk.len() / 2;
+            self.write_column_chunk(&chunk[..mid], max_block)?;
+            self.write_column_chunk(&chunk[mid..], max_block)?;
+            return Ok(());
+        }
+        for block in blocks {
+            self.heap.append(&block)?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully rendered physical layout.
+pub struct PhysicalLayout {
+    /// Name of the layout (usually the table name plus a layout suffix).
+    pub name: String,
+    /// The algebra expression that produced the layout.
+    pub expr: LayoutExpr,
+    /// Output logical schema exposed to readers.
+    pub schema: Schema,
+    /// Physical properties derived during validation.
+    pub derived: DerivedLayout,
+    /// The stored objects, in storage order.
+    pub objects: Vec<StoredObject>,
+    /// Total number of logical tuples.
+    pub row_count: usize,
+    pager: Arc<Pager>,
+}
+
+impl std::fmt::Debug for PhysicalLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalLayout")
+            .field("name", &self.name)
+            .field("rows", &self.row_count)
+            .field("objects", &self.objects.len())
+            .field("pages", &self.total_pages())
+            .finish()
+    }
+}
+
+impl PhysicalLayout {
+    /// Assembles a layout from its parts (used by the renderer).
+    pub fn new(
+        name: String,
+        expr: LayoutExpr,
+        schema: Schema,
+        derived: DerivedLayout,
+        objects: Vec<StoredObject>,
+        row_count: usize,
+        pager: Arc<Pager>,
+    ) -> PhysicalLayout {
+        PhysicalLayout {
+            name,
+            expr,
+            schema,
+            derived,
+            objects,
+            row_count,
+            pager,
+        }
+    }
+
+    /// The pager holding this layout's pages.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Total number of pages across all objects.
+    pub fn total_pages(&self) -> usize {
+        self.objects.iter().map(StoredObject::page_count).sum()
+    }
+
+    /// Whether the layout is gridded (objects are cells with bounds).
+    pub fn is_gridded(&self) -> bool {
+        self.objects.iter().any(|o| o.cell.is_some())
+    }
+
+    /// Whether the layout splits fields across multiple objects (as opposed
+    /// to horizontal partitions, where every object carries the full schema).
+    pub fn is_vertically_partitioned(&self) -> bool {
+        !self.is_gridded()
+            && self.objects.len() > 1
+            && self
+                .objects
+                .iter()
+                .any(|o| o.fields.len() != self.schema.arity())
+    }
+
+    /// Sort orders this layout can deliver without re-sorting
+    /// (the `order_list` access method of the paper).
+    pub fn order_list(&self) -> Vec<Vec<SortKey>> {
+        self.derived.orderings.clone()
+    }
+
+    fn templates_for(&self, fields: &[String]) -> Vec<Value> {
+        fields
+            .iter()
+            .map(|f| match self.schema.field(f) {
+                Ok(fd) => template_value(&fd.ty),
+                Err(_) => Value::Int(0),
+            })
+            .collect()
+    }
+
+    /// Indices of the objects a scan with the given predicate must read.
+    /// Grid layouts prune cells outside the predicate's ranges; vertically
+    /// partitioned layouts prune objects holding none of the needed fields.
+    pub fn objects_to_read(
+        &self,
+        fields: Option<&[String]>,
+        predicate: Option<&Condition>,
+    ) -> Vec<usize> {
+        let ranges = predicate.map(extract_ranges).unwrap_or_default();
+        let mut needed_fields: Option<Vec<String>> = fields.map(|f| f.to_vec());
+        if let (Some(needed), Some(pred)) = (&mut needed_fields, predicate) {
+            for f in pred.referenced_fields() {
+                if !needed.contains(&f) {
+                    needed.push(f);
+                }
+            }
+        }
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, obj)| {
+                if let Some(cell) = &obj.cell {
+                    if !cell.intersects(&ranges) {
+                        return false;
+                    }
+                }
+                if let Some(needed) = &needed_fields {
+                    if self.objects.len() > 1 && obj.cell.is_none() {
+                        return obj.fields.iter().any(|f| needed.contains(f));
+                    }
+                }
+                true
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Estimated number of pages a scan would read, without performing it.
+    pub fn estimate_scan_pages(
+        &self,
+        fields: Option<&[String]>,
+        predicate: Option<&Condition>,
+    ) -> u64 {
+        self.objects_to_read(fields, predicate)
+            .iter()
+            .map(|&i| self.objects[i].page_count() as u64)
+            .sum()
+    }
+
+    /// Scans the layout, optionally projecting to `fields` and filtering with
+    /// `predicate`. Results are returned in storage order.
+    pub fn scan(
+        &self,
+        fields: Option<&[String]>,
+        predicate: Option<&Condition>,
+    ) -> Result<Vec<Record>> {
+        let selected = self.objects_to_read(fields, predicate);
+        let out_fields: Vec<String> = match fields {
+            Some(f) => f.to_vec(),
+            None => self.schema.field_names(),
+        };
+        let out_indices = self.schema.indices_of(&out_fields).map_err(LayoutError::Algebra)?;
+
+        let rows = if self.is_vertically_partitioned() {
+            self.scan_vertical(&selected, predicate)?
+        } else {
+            // Row store or grid of cells: each object holds full (projected)
+            // tuples in the layout schema's field order.
+            let mut rows = Vec::new();
+            for &i in &selected {
+                let obj = &self.objects[i];
+                let templates = self.templates_for(&obj.fields);
+                rows.extend(obj.read_rows(&templates)?);
+            }
+            rows
+        };
+
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if let Some(pred) = predicate {
+                if !pred.eval(&self.schema, &row).map_err(LayoutError::Algebra)? {
+                    continue;
+                }
+            }
+            out.push(out_indices.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(out)
+    }
+
+    /// Reads vertically partitioned objects and stitches them back into full
+    /// tuples (missing columns become NULL). Objects store tuples in the same
+    /// order, as Section 4.1 of the paper requires.
+    fn scan_vertical(
+        &self,
+        selected: &[usize],
+        predicate: Option<&Condition>,
+    ) -> Result<Vec<Record>> {
+        // Predicate fields must also be read even if their object was not
+        // requested for output.
+        let mut selected: Vec<usize> = selected.to_vec();
+        if let Some(pred) = predicate {
+            for f in pred.referenced_fields() {
+                for (i, obj) in self.objects.iter().enumerate() {
+                    if obj.fields.contains(&f) && !selected.contains(&i) {
+                        selected.push(i);
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<Record> = vec![vec![Value::Null; self.schema.arity()]; self.row_count];
+        for &i in &selected {
+            let obj = &self.objects[i];
+            let templates = self.templates_for(&obj.fields);
+            let col_rows = obj.read_rows(&templates)?;
+            if col_rows.len() != self.row_count {
+                return Err(LayoutError::Corrupted(format!(
+                    "object `{}` has {} rows, layout has {}",
+                    obj.name,
+                    col_rows.len(),
+                    self.row_count
+                )));
+            }
+            let positions: Vec<usize> = obj
+                .fields
+                .iter()
+                .map(|f| self.schema.index_of(f).map_err(LayoutError::Algebra))
+                .collect::<Result<_>>()?;
+            for (row_idx, col_row) in col_rows.into_iter().enumerate() {
+                for (j, value) in col_row.into_iter().enumerate() {
+                    rows[row_idx][positions[j]] = value;
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Returns the tuple at `position` (in storage order), optionally
+    /// projected — the `getElement` access method.
+    pub fn get_element(
+        &self,
+        position: usize,
+        fields: Option<&[String]>,
+    ) -> Result<Record> {
+        if position >= self.row_count {
+            return Err(LayoutError::Unsupported(format!(
+                "element {position} out of range ({} rows)",
+                self.row_count
+            )));
+        }
+        let out_fields: Vec<String> = match fields {
+            Some(f) => f.to_vec(),
+            None => self.schema.field_names(),
+        };
+        let out_indices = self.schema.indices_of(&out_fields).map_err(LayoutError::Algebra)?;
+
+        if self.is_vertically_partitioned() {
+            let selected: Vec<usize> = (0..self.objects.len()).collect();
+            let rows = self.scan_vertical(&selected, None)?;
+            return Ok(out_indices.iter().map(|&i| rows[position][i].clone()).collect());
+        }
+
+        // Locate the object containing the position.
+        let mut remaining = position;
+        for obj in &self.objects {
+            if remaining < obj.row_count {
+                let templates = self.templates_for(&obj.fields);
+                let rows = obj.read_rows(&templates)?;
+                let row = &rows[remaining];
+                return Ok(out_indices.iter().map(|&i| row[i].clone()).collect());
+            }
+            remaining -= obj.row_count;
+        }
+        Err(LayoutError::Corrupted(
+            "row counts of objects do not cover the layout".into(),
+        ))
+    }
+}
+
+/// A template value of the right variant for a data type, used to restore
+/// value variants when decoding column blocks.
+pub fn template_value(ty: &DataType) -> Value {
+    match ty.unwrap_named() {
+        DataType::Float => Value::Float(0.0),
+        DataType::Bool => Value::Bool(false),
+        DataType::String => Value::Str(String::new()),
+        DataType::Timestamp => Value::Timestamp(0),
+        _ => Value::Int(0),
+    }
+}
+
+/// Extracts per-field numeric ranges from a predicate: `Range` conditions and
+/// comparison conditions against literals, combined under top-level `And`s.
+/// Disjunctions contribute nothing (conservative — no pruning).
+pub fn extract_ranges(predicate: &Condition) -> HashMap<String, (f64, f64)> {
+    let mut ranges: HashMap<String, (f64, f64)> = HashMap::new();
+    collect_ranges(predicate, &mut ranges);
+    ranges
+}
+
+fn tighten(ranges: &mut HashMap<String, (f64, f64)>, field: &str, lo: f64, hi: f64) {
+    let entry = ranges
+        .entry(field.to_string())
+        .or_insert((f64::NEG_INFINITY, f64::INFINITY));
+    entry.0 = entry.0.max(lo);
+    entry.1 = entry.1.min(hi);
+}
+
+fn collect_ranges(cond: &Condition, ranges: &mut HashMap<String, (f64, f64)>) {
+    match cond {
+        Condition::Range { field, lo, hi } => {
+            if let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) {
+                tighten(ranges, field, lo, hi);
+            }
+        }
+        Condition::Cmp { left, op, right } => {
+            if let (ElemExpr::Field(field), ElemExpr::Literal(lit)) = (left, right) {
+                if let Some(v) = lit.as_f64() {
+                    match op {
+                        CmpOp::Eq => tighten(ranges, field, v, v),
+                        CmpOp::Le | CmpOp::Lt => tighten(ranges, field, f64::NEG_INFINITY, v),
+                        CmpOp::Ge | CmpOp::Gt => tighten(ranges, field, v, f64::INFINITY),
+                        CmpOp::Ne => {}
+                    }
+                }
+            }
+        }
+        Condition::And(items) => {
+            for c in items {
+                collect_ranges(c, ranges);
+            }
+        }
+        Condition::True | Condition::Or(_) | Condition::Not(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_extraction_from_conjunctions() {
+        let pred = Condition::range("lat", 42.0, 42.5)
+            .and(Condition::range("lon", -71.2, -71.0))
+            .and(Condition::eq("id", 7i64));
+        let ranges = extract_ranges(&pred);
+        assert_eq!(ranges["lat"], (42.0, 42.5));
+        assert_eq!(ranges["lon"], (-71.2, -71.0));
+        assert_eq!(ranges["id"], (7.0, 7.0));
+    }
+
+    #[test]
+    fn disjunctions_do_not_prune() {
+        let pred = Condition::Or(vec![
+            Condition::range("lat", 0.0, 1.0),
+            Condition::range("lat", 5.0, 6.0),
+        ]);
+        assert!(extract_ranges(&pred).is_empty());
+    }
+
+    #[test]
+    fn repeated_constraints_tighten() {
+        let pred = Condition::range("x", 0.0, 10.0).and(Condition::range("x", 5.0, 20.0));
+        assert_eq!(extract_ranges(&pred)["x"], (5.0, 10.0));
+    }
+
+    #[test]
+    fn cell_bounds_intersection() {
+        let cell = CellBounds {
+            dims: vec![
+                ("lat".into(), 42.0, 42.1),
+                ("lon".into(), -71.1, -71.0),
+            ],
+            coords: vec![3, 4],
+        };
+        let mut ranges = HashMap::new();
+        ranges.insert("lat".to_string(), (42.05, 42.2));
+        assert!(cell.intersects(&ranges));
+        ranges.insert("lon".to_string(), (-70.5, -70.0));
+        assert!(!cell.intersects(&ranges));
+        // Unconstrained dimensions never prune.
+        assert!(cell.intersects(&HashMap::new()));
+    }
+
+    #[test]
+    fn template_values_match_types() {
+        assert_eq!(template_value(&DataType::Float), Value::Float(0.0));
+        assert_eq!(template_value(&DataType::Timestamp), Value::Timestamp(0));
+        assert_eq!(template_value(&DataType::String), Value::Str(String::new()));
+        assert_eq!(
+            template_value(&DataType::named("x", DataType::Bool)),
+            Value::Bool(false)
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Serialization of records and column blocks.
+//!
+//! Heap-file objects store either whole rows (one heap record per tuple) or
+//! column blocks (one heap record per encoded block of a single field). This
+//! module provides both encodings:
+//!
+//! * [`encode_record`] / [`decode_record`] — self-describing row encoding
+//!   (per-value type tags, varint lengths);
+//! * [`values_to_column`] / [`column_to_values`] — conversion between
+//!   algebra [`Value`]s and the typed [`ColumnData`] the compression codecs
+//!   operate on.
+
+use crate::{LayoutError, Result};
+use rodentstore_algebra::value::{Record, Value};
+use rodentstore_compress::ColumnData;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_TS: u8 = 5;
+const TAG_LIST: u8 = 6;
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input
+            .get(*pos)
+            .ok_or_else(|| LayoutError::Corrupted("truncated varint".into()))?;
+        *pos += 1;
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(LayoutError::Corrupted("varint overflow".into()));
+        }
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Bool(v) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*v));
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Timestamp(v) => {
+            out.push(TAG_TS);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+fn decode_value(input: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *input
+        .get(*pos)
+        .ok_or_else(|| LayoutError::Corrupted("truncated value".into()))?;
+    *pos += 1;
+    let read_i64 = |input: &[u8], pos: &mut usize| -> Result<i64> {
+        let bytes = input
+            .get(*pos..*pos + 8)
+            .ok_or_else(|| LayoutError::Corrupted("truncated 8-byte value".into()))?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        *pos += 8;
+        Ok(i64::from_le_bytes(buf))
+    };
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => Ok(Value::Int(read_i64(input, pos)?)),
+        TAG_TS => Ok(Value::Timestamp(read_i64(input, pos)?)),
+        TAG_FLOAT => {
+            let bits = read_i64(input, pos)? as u64;
+            Ok(Value::Float(f64::from_bits(bits)))
+        }
+        TAG_BOOL => {
+            let b = *input
+                .get(*pos)
+                .ok_or_else(|| LayoutError::Corrupted("truncated bool".into()))?;
+            *pos += 1;
+            Ok(Value::Bool(b != 0))
+        }
+        TAG_STR => {
+            let len = read_varint(input, pos)? as usize;
+            let bytes = input
+                .get(*pos..*pos + len)
+                .ok_or_else(|| LayoutError::Corrupted("truncated string".into()))?;
+            *pos += len;
+            Ok(Value::Str(String::from_utf8(bytes.to_vec()).map_err(
+                |_| LayoutError::Corrupted("invalid utf8".into()),
+            )?))
+        }
+        TAG_LIST => {
+            let len = read_varint(input, pos)? as usize;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_value(input, pos)?);
+            }
+            Ok(Value::List(items))
+        }
+        other => Err(LayoutError::Corrupted(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Serializes a record into a self-describing byte payload.
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * record.len());
+    write_varint(&mut out, record.len() as u64);
+    for value in record {
+        encode_value(value, &mut out);
+    }
+    out
+}
+
+/// Deserializes a record encoded with [`encode_record`].
+pub fn decode_record(bytes: &[u8]) -> Result<Record> {
+    let mut pos = 0usize;
+    let len = read_varint(bytes, &mut pos)? as usize;
+    let mut record = Vec::with_capacity(len);
+    for _ in 0..len {
+        record.push(decode_value(bytes, &mut pos)?);
+    }
+    Ok(record)
+}
+
+/// Converts a slice of same-typed values into a [`ColumnData`] the
+/// compression codecs understand. The column type is inferred from the first
+/// non-null value; nulls become zero / empty-string sentinels (the layout
+/// engine records nullability separately if it matters).
+pub fn values_to_column(values: &[Value]) -> ColumnData {
+    let first = values.iter().find(|v| !v.is_null());
+    match first {
+        Some(Value::Float(_)) => ColumnData::Floats(
+            values
+                .iter()
+                .map(|v| v.as_f64().unwrap_or(0.0))
+                .collect(),
+        ),
+        Some(Value::Str(_)) => ColumnData::Strings(
+            values
+                .iter()
+                .map(|v| v.as_str().unwrap_or("").to_string())
+                .collect(),
+        ),
+        // Ints, timestamps, bools, and all-null columns become integers.
+        _ => ColumnData::Ints(values.iter().map(|v| v.as_i64().unwrap_or(0)).collect()),
+    }
+}
+
+/// Converts a decoded [`ColumnData`] back into algebra values, using a
+/// template value to restore the original value variant (timestamp vs int,
+/// etc.).
+pub fn column_to_values(column: &ColumnData, template: &Value) -> Vec<Value> {
+    match column {
+        ColumnData::Floats(vs) => vs.iter().map(|v| Value::Float(*v)).collect(),
+        ColumnData::Strings(vs) => vs.iter().map(|v| Value::Str(v.clone())).collect(),
+        ColumnData::Ints(vs) => vs
+            .iter()
+            .map(|v| match template {
+                Value::Timestamp(_) => Value::Timestamp(*v),
+                Value::Bool(_) => Value::Bool(*v != 0),
+                Value::Float(_) => Value::Float(*v as f64),
+                _ => Value::Int(*v),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip_all_types() {
+        let record: Record = vec![
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Bool(true),
+            Value::Str("boston".into()),
+            Value::Timestamp(1_700_000_000),
+            Value::Null,
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        ];
+        let bytes = encode_record(&record);
+        assert_eq!(decode_record(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn empty_record_and_empty_string() {
+        assert_eq!(decode_record(&encode_record(&vec![])).unwrap(), vec![]);
+        let r = vec![Value::Str(String::new())];
+        assert_eq!(decode_record(&encode_record(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn corrupted_records_are_rejected() {
+        let bytes = encode_record(&vec![Value::Int(1), Value::Str("abc".into())]);
+        assert!(decode_record(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_record(&[7, 99]).is_err());
+    }
+
+    #[test]
+    fn column_conversion_round_trips() {
+        let floats = vec![Value::Float(1.5), Value::Float(-2.0)];
+        let col = values_to_column(&floats);
+        assert_eq!(col, ColumnData::Floats(vec![1.5, -2.0]));
+        assert_eq!(column_to_values(&col, &Value::Float(0.0)), floats);
+
+        let ts = vec![Value::Timestamp(10), Value::Timestamp(20)];
+        let col = values_to_column(&ts);
+        assert_eq!(col, ColumnData::Ints(vec![10, 20]));
+        assert_eq!(column_to_values(&col, &Value::Timestamp(0)), ts);
+
+        let strs = vec![Value::Str("a".into()), Value::Str("b".into())];
+        let col = values_to_column(&strs);
+        assert_eq!(column_to_values(&col, &Value::Str(String::new())), strs);
+    }
+
+    #[test]
+    fn nulls_become_sentinels_in_columns() {
+        let vals = vec![Value::Null, Value::Int(5)];
+        assert_eq!(values_to_column(&vals), ColumnData::Ints(vec![0, 5]));
+    }
+
+    #[test]
+    fn record_encoding_is_compact_for_numbers() {
+        let record: Record = vec![Value::Int(1), Value::Float(2.0), Value::Timestamp(3)];
+        let bytes = encode_record(&record);
+        // 1 count byte + 3 × (1 tag + 8 payload)
+        assert_eq!(bytes.len(), 1 + 3 * 9);
+    }
+}

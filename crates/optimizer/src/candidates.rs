@@ -1,0 +1,198 @@
+//! Candidate design enumeration.
+//!
+//! The space of algebraic designs is exponential (2ⁿ column groupings,
+//! O(2ⁿ) griddings), so — as the paper anticipates — the optimizer relies on
+//! workload-driven heuristics to propose a tractable set of promising
+//! candidates, which the search layer then costs and refines.
+
+use crate::workload::Workload;
+use rodentstore_algebra::expr::LayoutExpr;
+use rodentstore_algebra::schema::Schema;
+
+/// Enumerates candidate storage-algebra expressions for `schema` under
+/// `workload`. The list always contains the canonical row layout (the
+/// baseline) and always deduplicates syntactically identical candidates.
+pub fn enumerate_candidates(schema: &Schema, workload: &Workload) -> Vec<LayoutExpr> {
+    let table = schema.name().to_string();
+    let all_fields = schema.field_names();
+    let mut candidates: Vec<LayoutExpr> = Vec::new();
+    let push = |candidates: &mut Vec<LayoutExpr>, e: LayoutExpr| {
+        if !candidates.contains(&e) {
+            candidates.push(e);
+        }
+    };
+
+    // 1. Canonical row layout.
+    push(&mut candidates, LayoutExpr::table(&table));
+
+    // 2. Full column decomposition (DSM).
+    push(
+        &mut candidates,
+        LayoutExpr::table(&table).columns(all_fields.clone()),
+    );
+
+    // 3. Workload-driven projection: isolate the referenced fields
+    //    ("drop column" in the paper's case study), as rows and as columns.
+    let used = workload.referenced_fields();
+    let used: Vec<String> = used
+        .into_iter()
+        .filter(|f| schema.index_of(f).is_ok())
+        .collect();
+    if !used.is_empty() && used.len() < all_fields.len() {
+        push(
+            &mut candidates,
+            LayoutExpr::table(&table).project(used.clone()),
+        );
+        // Co-accessed group + remainder as a vertical partition.
+        let rest: Vec<String> = all_fields
+            .iter()
+            .filter(|f| !used.contains(f))
+            .cloned()
+            .collect();
+        push(
+            &mut candidates,
+            LayoutExpr::table(&table).vertical(vec![used.clone(), rest]),
+        );
+    }
+
+    // 4. Dominant ordering.
+    let order = workload.dominant_order();
+    if let Some(order_fields) = &order {
+        push(
+            &mut candidates,
+            LayoutExpr::table(&table).order_by(order_fields.clone()),
+        );
+    }
+
+    // 5. Gridding of range-constrained numeric attributes: use the average
+    //    requested range width divided by a few factors as candidate strides
+    //    (a cell somewhat smaller than the query is the sweet spot).
+    let ranged = workload.range_constrained_fields();
+    let grid_fields: Vec<(String, f64)> = ranged
+        .iter()
+        .filter(|(f, _)| {
+            schema
+                .field(f)
+                .map(|fd| fd.ty.is_numeric())
+                .unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+    if !grid_fields.is_empty() {
+        let proj: Vec<String> = if used.is_empty() { all_fields.clone() } else { used.clone() };
+        for divisor in [1.0, 4.0] {
+            let dims: Vec<(String, f64)> = grid_fields
+                .iter()
+                .map(|(f, width)| (f.clone(), (width / divisor).max(1e-9)))
+                .collect();
+            let base = if proj.len() < all_fields.len() {
+                LayoutExpr::table(&table).project(proj.clone())
+            } else {
+                LayoutExpr::table(&table)
+            };
+            let gridded = base.grid(dims.clone());
+            push(&mut candidates, gridded.clone());
+            // 6. Z-ordering of the grid cells.
+            let zordered = gridded.zorder();
+            push(&mut candidates, zordered.clone());
+            // 7. Delta compression of the gridded numeric fields.
+            let numeric_dims: Vec<String> = dims.iter().map(|(f, _)| f.clone()).collect();
+            push(&mut candidates, zordered.delta(numeric_dims));
+        }
+    }
+
+    // 8. Delta compression of numeric fields under the dominant order
+    //    (time-series style), when an ordering exists.
+    if let Some(order_fields) = &order {
+        let numeric: Vec<String> = all_fields
+            .iter()
+            .filter(|f| {
+                schema
+                    .field(f)
+                    .map(|fd| fd.ty.is_numeric())
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        if !numeric.is_empty() {
+            push(
+                &mut candidates,
+                LayoutExpr::table(&table)
+                    .order_by(order_fields.clone())
+                    .delta(numeric),
+            );
+        }
+    }
+
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::comprehension::Condition;
+    use rodentstore_algebra::expr::TransformKind;
+    use rodentstore_exec::ScanRequest;
+    use rodentstore_workload::traces_schema;
+
+    fn spatial_workload() -> Workload {
+        Workload::new().query(
+            ScanRequest::all()
+                .fields(["lat", "lon"])
+                .predicate(Condition::range("lat", 42.3, 42.33).and(Condition::range(
+                    "lon", -71.1, -71.07,
+                ))),
+        )
+    }
+
+    #[test]
+    fn always_contains_row_and_column_baselines() {
+        let schema = traces_schema();
+        let candidates = enumerate_candidates(&schema, &Workload::new());
+        assert!(candidates.contains(&LayoutExpr::table("Traces")));
+        assert!(candidates
+            .iter()
+            .any(|c| c.kind() == TransformKind::VerticalPartition));
+    }
+
+    #[test]
+    fn spatial_workload_produces_grid_zorder_and_delta_candidates() {
+        let schema = traces_schema();
+        let candidates = enumerate_candidates(&schema, &spatial_workload());
+        assert!(candidates.iter().any(|c| c.contains_kind(TransformKind::Grid)));
+        assert!(candidates.iter().any(|c| c.contains_kind(TransformKind::ZOrder)));
+        assert!(candidates
+            .iter()
+            .any(|c| c.contains_kind(TransformKind::Compress)));
+        // Projection to the used fields is proposed too.
+        assert!(candidates
+            .iter()
+            .any(|c| c.kind() == TransformKind::Project));
+    }
+
+    #[test]
+    fn ordering_workload_produces_orderby_and_delta_candidates() {
+        let schema = traces_schema();
+        let w = Workload::new().query(ScanRequest::all().order(["t"]));
+        let candidates = enumerate_candidates(&schema, &w);
+        assert!(candidates
+            .iter()
+            .any(|c| c.kind() == TransformKind::OrderBy));
+        assert!(candidates
+            .iter()
+            .any(|c| c.kind() == TransformKind::Compress
+                && c.contains_kind(TransformKind::OrderBy)));
+    }
+
+    #[test]
+    fn candidates_are_unique_and_validate() {
+        let schema = traces_schema();
+        let candidates = enumerate_candidates(&schema, &spatial_workload());
+        for (i, a) in candidates.iter().enumerate() {
+            rodentstore_algebra::validate::check(a, &schema).unwrap();
+            for b in &candidates[i + 1..] {
+                assert_ne!(a, b, "duplicate candidate {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload descriptions consumed by the design optimizer.
+
+use rodentstore_algebra::comprehension::Condition;
+use rodentstore_exec::ScanRequest;
+
+/// One query template in the workload, with a relative weight (frequency).
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The scan the query performs.
+    pub request: ScanRequest,
+    /// Relative frequency/importance of the query.
+    pub weight: f64,
+}
+
+impl WorkloadQuery {
+    /// A query with weight 1.
+    pub fn new(request: ScanRequest) -> WorkloadQuery {
+        WorkloadQuery {
+            request,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the weight.
+    pub fn weighted(mut self, weight: f64) -> WorkloadQuery {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A workload: a set of weighted query templates over one logical table.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Adds a query with weight 1.
+    pub fn query(mut self, request: ScanRequest) -> Workload {
+        self.queries.push(WorkloadQuery::new(request));
+        self
+    }
+
+    /// Adds a weighted query.
+    pub fn weighted_query(mut self, request: ScanRequest, weight: f64) -> Workload {
+        self.queries.push(WorkloadQuery::new(request).weighted(weight));
+        self
+    }
+
+    /// All fields referenced anywhere in the workload (projections and
+    /// predicates), in first-appearance order.
+    pub fn referenced_fields(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            if let Some(fields) = &q.request.fields {
+                for f in fields {
+                    if !out.contains(f) {
+                        out.push(f.clone());
+                    }
+                }
+            }
+            if let Some(pred) = &q.request.predicate {
+                for f in pred.referenced_fields() {
+                    if !out.contains(&f) {
+                        out.push(f);
+                    }
+                }
+            }
+            if let Some(order) = &q.request.order {
+                for k in order {
+                    if !out.contains(&k.field) {
+                        out.push(k.field.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fields constrained by range predicates anywhere in the workload,
+    /// together with the average width of the requested range — the raw
+    /// material for gridding decisions.
+    pub fn range_constrained_fields(&self) -> Vec<(String, f64)> {
+        use rodentstore_layout::plan::extract_ranges;
+        let mut sums: Vec<(String, f64, usize)> = Vec::new();
+        for q in &self.queries {
+            let Some(pred) = &q.request.predicate else {
+                continue;
+            };
+            for (field, (lo, hi)) in extract_ranges(pred) {
+                if !lo.is_finite() || !hi.is_finite() {
+                    continue;
+                }
+                let width = (hi - lo).abs();
+                if let Some(entry) = sums.iter_mut().find(|(f, _, _)| *f == field) {
+                    entry.1 += width;
+                    entry.2 += 1;
+                } else {
+                    sums.push((field, width, 1));
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(f, total, n)| (f, total / n as f64))
+            .collect()
+    }
+
+    /// The most frequently requested ordering, if any.
+    pub fn dominant_order(&self) -> Option<Vec<String>> {
+        let mut counts: Vec<(Vec<String>, f64)> = Vec::new();
+        for q in &self.queries {
+            if let Some(order) = &q.request.order {
+                let key: Vec<String> = order.iter().map(|k| k.field.clone()).collect();
+                if let Some(entry) = counts.iter_mut().find(|(k, _)| *k == key) {
+                    entry.1 += q.weight;
+                } else {
+                    counts.push((key, q.weight));
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)
+    }
+
+    /// Builds the spatial workload of the paper's case study from a set of
+    /// query conditions (used by benchmarks and examples).
+    pub fn from_conditions<I>(fields: Vec<String>, conditions: I) -> Workload
+    where
+        I: IntoIterator<Item = Condition>,
+    {
+        let mut w = Workload::new();
+        for c in conditions {
+            w = w.query(ScanRequest::all().fields(fields.clone()).predicate(c));
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::comprehension::Condition;
+
+    #[test]
+    fn referenced_fields_are_collected_in_order() {
+        let w = Workload::new()
+            .query(ScanRequest::all().fields(["lat", "lon"]))
+            .query(
+                ScanRequest::all()
+                    .fields(["lat"])
+                    .predicate(Condition::eq("id", "car-1"))
+                    .order(["t"]),
+            );
+        assert_eq!(w.referenced_fields(), vec!["lat", "lon", "id", "t"]);
+    }
+
+    #[test]
+    fn range_constrained_fields_average_widths() {
+        let w = Workload::new()
+            .query(ScanRequest::all().predicate(Condition::range("lat", 0.0, 0.2)))
+            .query(ScanRequest::all().predicate(Condition::range("lat", 1.0, 1.4)));
+        let ranges = w.range_constrained_fields();
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].0, "lat");
+        assert!((ranges[0].1 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_order_uses_weights() {
+        let w = Workload::new()
+            .weighted_query(ScanRequest::all().order(["t"]), 1.0)
+            .weighted_query(ScanRequest::all().order(["id"]), 5.0);
+        assert_eq!(w.dominant_order(), Some(vec!["id".to_string()]));
+        assert_eq!(Workload::new().dominant_order(), None);
+    }
+
+    #[test]
+    fn from_conditions_builds_one_query_per_condition() {
+        let w = Workload::from_conditions(
+            vec!["lat".into(), "lon".into()],
+            vec![
+                Condition::range("lat", 0.0, 1.0),
+                Condition::range("lat", 2.0, 3.0),
+            ],
+        );
+        assert_eq!(w.queries.len(), 2);
+        assert_eq!(w.queries[0].weight, 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hilbert curve (2-D).
+//!
+//! The Hilbert curve offers strictly better locality than the Z-order curve
+//! (no long diagonal jumps), at the cost of a slightly more expensive
+//! encoding. RodentStore exposes it as an alternative cell ordering so the
+//! ablation benchmarks can compare curve choices — a design-space question
+//! the paper leaves to the storage-layout engine.
+
+/// Encodes an `(x, y)` coordinate on a `2^order × 2^order` grid into its
+/// Hilbert curve distance.
+pub fn hilbert2(order: u32, x: u32, y: u32) -> u64 {
+    let n: u64 = 1 << order;
+    let (mut x, mut y) = (x as u64, y as u64);
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        rx = u64::from((x & s) > 0);
+        ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate quadrant (uses the full grid size `n`, per the canonical
+        // xy→d formulation).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Decodes a Hilbert distance back into an `(x, y)` coordinate on a
+/// `2^order × 2^order` grid.
+pub fn hilbert2_decode(order: u32, d: u64) -> (u32, u32) {
+    let n: u64 = 1 << order;
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut t = d;
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut s = 1u64;
+    while s < n {
+        rx = 1 & (t / 2);
+        ry = 1 & (t ^ rx);
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Sorts 2-D cell coordinates into Hilbert order and returns the permutation
+/// indices (analogous to [`crate::morton::zorder_permutation`]).
+pub fn hilbert_permutation(order: u32, cells: &[(u32, u32)]) -> Vec<usize> {
+    let mut indexed: Vec<(u64, usize)> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| (hilbert2(order, x, y), i))
+        .collect();
+    indexed.sort_unstable();
+    indexed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let order = 6; // 64x64 grid
+        for x in (0..64).step_by(7) {
+            for y in (0..64).step_by(5) {
+                let d = hilbert2(order, x, y);
+                assert_eq!(hilbert2_decode(order, d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn every_distance_is_unique_and_covers_grid() {
+        let order = 3; // 8x8 grid, 64 cells
+        let mut seen = vec![false; 64];
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let d = hilbert2(order, x, y) as usize;
+                assert!(d < 64);
+                assert!(!seen[d], "distance {d} assigned twice");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_distances_are_spatial_neighbours() {
+        // The defining property of the Hilbert curve: successive cells along
+        // the curve are always at Manhattan distance 1.
+        let order = 4; // 16x16
+        let mut prev = hilbert2_decode(order, 0);
+        for d in 1..(16 * 16) as u64 {
+            let (x, y) = hilbert2_decode(order, d);
+            let manhattan =
+                (x as i64 - prev.0 as i64).abs() + (y as i64 - prev.1 as i64).abs();
+            assert_eq!(manhattan, 1, "jump at distance {d}");
+            prev = (x, y);
+        }
+    }
+
+    #[test]
+    fn permutation_orders_cells_along_the_curve() {
+        let cells = vec![(3u32, 3u32), (0, 0), (1, 0), (0, 1)];
+        let perm = hilbert_permutation(2, &cells);
+        // (0,0) comes first on any Hilbert curve.
+        assert_eq!(perm[0], 1);
+        assert_eq!(perm.len(), 4);
+    }
+}

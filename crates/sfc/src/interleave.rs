@@ -1,0 +1,82 @@
+//! Bit interleaving.
+//!
+//! The storage algebra expresses Z-ordering as
+//! `interleave(bin(pos(r)), bin(pos(r')))` — interleaving the binary
+//! representations of element positions. This module implements the general
+//! n-dimensional interleave and its inverse.
+
+/// Interleaves the bits of `parts`, producing a single code in which bit `k`
+/// of input `i` occupies position `k * n + i`. With two inputs this is the
+/// classic Morton code.
+pub fn interleave(parts: &[u32]) -> u64 {
+    let n = parts.len();
+    if n == 0 {
+        return 0;
+    }
+    let bits_per_part = (64 / n).min(32);
+    let mut out = 0u64;
+    for bit in 0..bits_per_part {
+        for (i, &p) in parts.iter().enumerate() {
+            let b = ((p >> bit) & 1) as u64;
+            out |= b << (bit * n + i);
+        }
+    }
+    out
+}
+
+/// Reverses [`interleave`], recovering `n` coordinates from a code.
+pub fn deinterleave(code: u64, n: usize) -> Vec<u32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let bits_per_part = (64 / n).min(32);
+    let mut parts = vec![0u32; n];
+    for bit in 0..bits_per_part {
+        for (i, part) in parts.iter_mut().enumerate() {
+            let b = (code >> (bit * n + i)) & 1;
+            *part |= (b as u32) << bit;
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dimensional_round_trip() {
+        for x in [0u32, 1, 2, 3, 17, 255, 1023, 65535] {
+            for y in [0u32, 1, 5, 31, 4096, 99999] {
+                let code = interleave(&[x, y]);
+                assert_eq!(deinterleave(code, 2), vec![x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_round_trip() {
+        for coords in [[0u32, 0, 0], [1, 2, 3], [100, 200, 300], [1 << 20, 3, 7]] {
+            let code = interleave(&coords);
+            assert_eq!(deinterleave(code, 3), coords.to_vec());
+        }
+    }
+
+    #[test]
+    fn known_small_codes() {
+        // x=0b11, y=0b01: bits of x at even positions, y at odd positions.
+        assert_eq!(interleave(&[0b11, 0b01]), 0b0111);
+        assert_eq!(interleave(&[0, 0]), 0);
+        assert_eq!(interleave(&[1, 0]), 1);
+        assert_eq!(interleave(&[0, 1]), 2);
+        assert_eq!(interleave(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(interleave(&[]), 0);
+        assert_eq!(deinterleave(12345, 0), Vec::<u32>::new());
+        assert_eq!(interleave(&[42]), 42);
+        assert_eq!(deinterleave(42, 1), vec![42]);
+    }
+}

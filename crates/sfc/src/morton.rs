@@ -1,0 +1,128 @@
+//! Z-order (Morton) curve.
+//!
+//! The `zorder` transform lays grid cells out along a Z-order space-filling
+//! curve so that spatially adjacent cells tend to be adjacent on disk,
+//! minimizing seeks when a query touches a contiguous spatial region.
+
+use crate::interleave::{deinterleave, interleave};
+
+/// Encodes a 2-D cell coordinate as its Morton code.
+pub fn morton2(x: u32, y: u32) -> u64 {
+    interleave(&[x, y])
+}
+
+/// Decodes a 2-D Morton code back into `(x, y)`.
+pub fn morton2_decode(code: u64) -> (u32, u32) {
+    let parts = deinterleave(code, 2);
+    (parts[0], parts[1])
+}
+
+/// Encodes a 3-D cell coordinate as its Morton code.
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    interleave(&[x, y, z])
+}
+
+/// Decodes a 3-D Morton code.
+pub fn morton3_decode(code: u64) -> (u32, u32, u32) {
+    let parts = deinterleave(code, 3);
+    (parts[0], parts[1], parts[2])
+}
+
+/// Encodes an n-dimensional cell coordinate.
+pub fn morton_n(coords: &[u32]) -> u64 {
+    interleave(coords)
+}
+
+/// Sorts cell coordinates into Z-order and returns the permutation indices.
+/// `cells[i]` should be the multidimensional integer coordinate of cell `i`;
+/// the result lists cell indices in the order they should be written to disk.
+pub fn zorder_permutation(cells: &[Vec<u32>]) -> Vec<usize> {
+    let mut indexed: Vec<(u64, usize)> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (morton_n(c), i))
+        .collect();
+    indexed.sort_unstable();
+    indexed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Returns the (inclusive) range of Morton codes covering a 2-D rectangle.
+/// This is a coarse bound — the range may include codes outside the
+/// rectangle — but it is sufficient for ordering-based pruning: all cells in
+/// the rectangle have codes within `[lo, hi]`.
+pub fn morton2_range(min_x: u32, min_y: u32, max_x: u32, max_y: u32) -> (u64, u64) {
+    (morton2(min_x, min_y), morton2(max_x, max_y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_first_sixteen_codes() {
+        // The Z curve over a 4x4 grid visits cells in this well-known order.
+        let expected = [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (1, 1),
+            (2, 0),
+            (3, 0),
+            (2, 1),
+            (3, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (2, 2),
+            (3, 2),
+            (2, 3),
+            (3, 3),
+        ];
+        for (code, &(x, y)) in expected.iter().enumerate() {
+            assert_eq!(morton2(x, y), code as u64, "cell ({x},{y})");
+            assert_eq!(morton2_decode(code as u64), (x, y));
+        }
+    }
+
+    #[test]
+    fn three_dimensional_round_trip() {
+        for (x, y, z) in [(0, 0, 0), (1, 2, 3), (7, 7, 7), (1000, 2000, 3000)] {
+            assert_eq!(morton3_decode(morton3(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn zorder_permutation_sorts_by_code() {
+        let cells = vec![
+            vec![3u32, 3], // code 15
+            vec![0, 0],    // code 0
+            vec![1, 1],    // code 3
+            vec![0, 1],    // code 2
+        ];
+        assert_eq!(zorder_permutation(&cells), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn locality_of_morton_order() {
+        // Cells that are close in space should on average be closer in the
+        // Morton order than a row-major order would put far-apart rows.
+        let a = morton2(10, 10);
+        let b = morton2(11, 10);
+        let c = morton2(10, 11);
+        let far = morton2(10, 200);
+        assert!(a.abs_diff(b) < a.abs_diff(far));
+        assert!(a.abs_diff(c) < a.abs_diff(far));
+    }
+
+    #[test]
+    fn range_bounds_cover_rectangle() {
+        let (lo, hi) = morton2_range(2, 2, 3, 3);
+        for x in 2..=3u32 {
+            for y in 2..=3u32 {
+                let code = morton2(x, y);
+                assert!(code >= lo && code <= hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Heap files: append-oriented collections of slotted pages.
+//!
+//! A [`HeapFile`] is the basic *object* produced by the layout renderers: an
+//! ordered sequence of pages holding variable-length records. Rows, columns,
+//! PAX mini-page groups, grid cells, and compressed blocks are all ultimately
+//! written into heap files; the order of records within the file is exactly
+//! the physical representation `φ(N)` chosen by the algebra interpreter.
+
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use crate::slotted::{max_record_len, SlottedPage, SlottedReader};
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Location of a record inside a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Index of the page *within the heap file* (not the global page id).
+    pub page_index: usize,
+    /// Slot within the page.
+    pub slot: usize,
+}
+
+/// An append-oriented record file spread over pages of a shared [`Pager`].
+pub struct HeapFile {
+    name: String,
+    pager: Arc<Pager>,
+    state: Mutex<HeapState>,
+}
+
+struct HeapState {
+    /// Global page ids in file order.
+    pages: Vec<PageId>,
+    /// The currently open tail page being filled, if any.
+    tail: Option<Page>,
+    /// Number of records appended so far.
+    record_count: u64,
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("HeapFile")
+            .field("name", &self.name)
+            .field("pages", &state.pages.len())
+            .field("records", &state.record_count)
+            .finish()
+    }
+}
+
+impl HeapFile {
+    /// Creates an empty heap file.
+    pub fn create(name: impl Into<String>, pager: Arc<Pager>) -> HeapFile {
+        HeapFile {
+            name: name.into(),
+            pager,
+            state: Mutex::new(HeapState {
+                pages: Vec::new(),
+                tail: None,
+                record_count: 0,
+            }),
+        }
+    }
+
+    /// Name of the heap file (used in catalogs and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records stored.
+    pub fn record_count(&self) -> u64 {
+        self.state.lock().record_count
+    }
+
+    /// Number of pages used.
+    pub fn page_count(&self) -> usize {
+        let state = self.state.lock();
+        state.pages.len() + usize::from(state.tail.is_some())
+    }
+
+    /// The pager backing this file.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Appends a record, returning its id. Records larger than a page are
+    /// rejected.
+    pub fn append(&self, record: &[u8]) -> Result<RecordId> {
+        let page_size = self.pager.page_size();
+        if record.len() > max_record_len(page_size) {
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: max_record_len(page_size),
+            });
+        }
+        let mut state = self.state.lock();
+        // Open a tail page if needed.
+        if state.tail.is_none() {
+            let mut page = self.pager.allocate()?;
+            SlottedPage::init(&mut page)?;
+            state.tail = Some(page);
+        }
+        // If the record does not fit, seal the current tail and start a new one.
+        let needs_new_page = {
+            let tail = state.tail.as_mut().expect("tail ensured above");
+            !SlottedPage::open(tail).fits(record.len())
+        };
+        if needs_new_page {
+            let sealed = state.tail.take().expect("tail present");
+            self.pager.write(&sealed)?;
+            state.pages.push(sealed.id);
+            let mut page = self.pager.allocate()?;
+            SlottedPage::init(&mut page)?;
+            state.tail = Some(page);
+        }
+        let page_index = state.pages.len();
+        let tail = state.tail.as_mut().expect("tail ensured above");
+        let slot = SlottedPage::open(tail).insert(record)?;
+        state.record_count += 1;
+        Ok(RecordId { page_index, slot })
+    }
+
+    /// Appends many records at once.
+    pub fn append_all<'a>(
+        &self,
+        records: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Result<Vec<RecordId>> {
+        records.into_iter().map(|r| self.append(r)).collect()
+    }
+
+    /// Flushes the partially filled tail page (if any) so the file is fully
+    /// persisted. Called automatically by scans.
+    pub fn flush(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if let Some(tail) = state.tail.take() {
+            self.pager.write(&tail)?;
+            state.pages.push(tail.id);
+        }
+        Ok(())
+    }
+
+    /// Global page ids of the file, in file order (flushes first).
+    pub fn page_ids(&self) -> Result<Vec<PageId>> {
+        self.flush()?;
+        Ok(self.state.lock().pages.clone())
+    }
+
+    /// Reads a record by id.
+    pub fn get(&self, id: RecordId) -> Result<Vec<u8>> {
+        self.flush()?;
+        let state = self.state.lock();
+        let page_id = *state
+            .pages
+            .get(id.page_index)
+            .ok_or(StorageError::PageNotFound(id.page_index as PageId))?;
+        drop(state);
+        let page = self.pager.read(page_id)?;
+        let reader = SlottedReader::new(&page);
+        Ok(reader.get(id.slot)?.to_vec())
+    }
+
+    /// Scans every record in file order, invoking `visit` with the record id
+    /// and payload. Pages are read strictly sequentially, which the I/O
+    /// statistics reward with at most one seek.
+    pub fn scan(&self, mut visit: impl FnMut(RecordId, &[u8]) -> Result<()>) -> Result<()> {
+        self.flush()?;
+        let pages = self.state.lock().pages.clone();
+        for (page_index, page_id) in pages.iter().enumerate() {
+            let page = self.pager.read(*page_id)?;
+            let reader = SlottedReader::new(&page);
+            for slot in 0..reader.slot_count() {
+                let payload = reader.get(slot)?;
+                visit(RecordId { page_index, slot }, payload)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects every record into memory (convenience for tests and small
+    /// objects).
+    pub fn read_all(&self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        self.scan(|_, payload| {
+            out.push(payload.to_vec());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Scans only the pages whose *file-order indices* are listed, still in
+    /// ascending order. Used by layouts that can prune pages (e.g. grid cells
+    /// outside a query rectangle).
+    pub fn scan_pages(
+        &self,
+        page_indices: &[usize],
+        mut visit: impl FnMut(RecordId, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        self.flush()?;
+        let pages = self.state.lock().pages.clone();
+        for &page_index in page_indices {
+            let Some(&page_id) = pages.get(page_index) else {
+                return Err(StorageError::PageNotFound(page_index as PageId));
+            };
+            let page = self.pager.read(page_id)?;
+            let reader = SlottedReader::new(&page);
+            for slot in 0..reader.slot_count() {
+                let payload = reader.get(slot)?;
+                visit(RecordId { page_index, slot }, payload)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pager() -> Arc<Pager> {
+        Arc::new(Pager::in_memory_with_page_size(128))
+    }
+
+    #[test]
+    fn append_and_scan_preserve_order() {
+        let heap = HeapFile::create("t", small_pager());
+        let payloads: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 10]).collect();
+        for p in &payloads {
+            heap.append(p).unwrap();
+        }
+        assert_eq!(heap.record_count(), 50);
+        let all = heap.read_all().unwrap();
+        assert_eq!(all, payloads);
+        assert!(heap.page_count() > 1, "records must spill over pages");
+    }
+
+    #[test]
+    fn get_by_record_id() {
+        let heap = HeapFile::create("t", small_pager());
+        let ids: Vec<RecordId> = (0..20u8)
+            .map(|i| heap.append(&[i; 16]).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(heap.get(*id).unwrap(), vec![i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let heap = HeapFile::create("t", small_pager());
+        let too_big = vec![0u8; 200];
+        assert!(matches!(
+            heap.append(&too_big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_scan_costs_one_seek() {
+        let pager = small_pager();
+        let heap = HeapFile::create("t", Arc::clone(&pager));
+        for i in 0..200u8 {
+            heap.append(&[i; 20]).unwrap();
+        }
+        heap.flush().unwrap();
+        pager.stats().reset();
+        heap.scan(|_, _| Ok(())).unwrap();
+        let snap = pager.stats().snapshot();
+        assert!(snap.pages_read > 1);
+        assert_eq!(snap.seeks, 1, "file pages are contiguous, so one seek");
+    }
+
+    #[test]
+    fn scan_pages_prunes() {
+        let pager = small_pager();
+        let heap = HeapFile::create("t", Arc::clone(&pager));
+        for i in 0..100u8 {
+            heap.append(&[i; 20]).unwrap();
+        }
+        let total_pages = heap.page_ids().unwrap().len();
+        assert!(total_pages >= 4);
+        pager.stats().reset();
+        let mut seen = 0usize;
+        heap.scan_pages(&[0, 1], |_, _| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(seen > 0);
+        assert_eq!(pager.stats().snapshot().pages_read, 2);
+    }
+
+    #[test]
+    fn two_heaps_share_a_pager_without_interference() {
+        let pager = small_pager();
+        let a = HeapFile::create("a", Arc::clone(&pager));
+        let b = HeapFile::create("b", Arc::clone(&pager));
+        for i in 0..30u8 {
+            a.append(&[i; 12]).unwrap();
+            b.append(&[100 + i; 12]).unwrap();
+        }
+        let a_records = a.read_all().unwrap();
+        let b_records = b.read_all().unwrap();
+        assert_eq!(a_records.len(), 30);
+        assert!(a_records.iter().all(|r| r[0] < 100));
+        assert!(b_records.iter().all(|r| r[0] >= 100));
+    }
+
+    #[test]
+    fn empty_heap_scans_cleanly() {
+        let heap = HeapFile::create("empty", small_pager());
+        assert_eq!(heap.read_all().unwrap().len(), 0);
+        assert_eq!(heap.record_count(), 0);
+    }
+}

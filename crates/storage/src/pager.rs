@@ -1,0 +1,369 @@
+//! The pager: page allocation, reads, and writes over a backing store.
+//!
+//! A [`Pager`] owns a [`PageStore`] (in-memory or file-backed), allocates
+//! pages sequentially, and funnels every access through a shared
+//! [`IoStats`] so that higher layers can report pages read and seeks. A read
+//! or write is *sequential* when it touches the page immediately following
+//! the previously accessed page; anything else counts as a seek, mirroring
+//! the simple disk model the paper's cost discussion assumes.
+
+use crate::page::{Page, PageId, DEFAULT_PAGE_SIZE};
+use crate::stats::IoStats;
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A backing store able to persist fixed-size pages.
+pub trait PageStore: Send + Sync {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+    /// Allocates a new zeroed page and returns its id.
+    fn allocate(&self) -> Result<PageId>;
+    /// Reads the raw contents of a page.
+    fn read(&self, id: PageId) -> Result<Vec<u8>>;
+    /// Writes the raw contents of a page.
+    fn write(&self, id: PageId, data: &[u8]) -> Result<()>;
+}
+
+/// An in-memory page store. This is the default backing store for tests and
+/// benchmarks: the paper's headline metric is pages touched, not wall-clock
+/// disk time, so an accounting store is sufficient (and deterministic).
+#[derive(Debug)]
+pub struct MemStore {
+    page_size: usize,
+    pages: Mutex<Vec<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Creates an empty in-memory store with the given page size.
+    pub fn new(page_size: usize) -> MemStore {
+        MemStore {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(vec![0u8; self.page_size]);
+        Ok((pages.len() - 1) as PageId)
+    }
+
+    fn read(&self, id: PageId) -> Result<Vec<u8>> {
+        let pages = self.pages.lock();
+        pages
+            .get(id as usize)
+            .cloned()
+            .ok_or(StorageError::PageNotFound(id))
+    }
+
+    fn write(&self, id: PageId, data: &[u8]) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::PageNotFound(id))?;
+        if data.len() != self.page_size {
+            return Err(StorageError::InvalidPageSize {
+                expected: self.page_size,
+                found: data.len(),
+            });
+        }
+        slot.copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// A file-backed page store using a single flat file of concatenated pages.
+#[derive(Debug)]
+pub struct FileStore {
+    page_size: usize,
+    file: Mutex<File>,
+    path: PathBuf,
+    page_count: AtomicU64,
+}
+
+impl FileStore {
+    /// Creates (or truncates) a file-backed store at `path`.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<FileStore> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(StorageError::from)?;
+        Ok(FileStore {
+            page_size,
+            file: Mutex::new(file),
+            path,
+            page_count: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing store, inferring the page count from the file size.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<FileStore> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(StorageError::from)?;
+        let len = file.metadata().map_err(StorageError::from)?.len();
+        Ok(FileStore {
+            page_size,
+            file: Mutex::new(file),
+            path,
+            page_count: AtomicU64::new(len / page_size as u64),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.page_count.load(Ordering::SeqCst)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let id = self.page_count.fetch_add(1, Ordering::SeqCst);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * self.page_size as u64))
+            .map_err(StorageError::from)?;
+        file.write_all(&vec![0u8; self.page_size])
+            .map_err(StorageError::from)?;
+        Ok(id)
+    }
+
+    fn read(&self, id: PageId) -> Result<Vec<u8>> {
+        if id >= self.page_count() {
+            return Err(StorageError::PageNotFound(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * self.page_size as u64))
+            .map_err(StorageError::from)?;
+        let mut buf = vec![0u8; self.page_size];
+        file.read_exact(&mut buf).map_err(StorageError::from)?;
+        Ok(buf)
+    }
+
+    fn write(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if id >= self.page_count() {
+            return Err(StorageError::PageNotFound(id));
+        }
+        if data.len() != self.page_size {
+            return Err(StorageError::InvalidPageSize {
+                expected: self.page_size,
+                found: data.len(),
+            });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * self.page_size as u64))
+            .map_err(StorageError::from)?;
+        file.write_all(data).map_err(StorageError::from)?;
+        Ok(())
+    }
+}
+
+/// The pager: sequential page allocation plus instrumented reads/writes.
+pub struct Pager {
+    store: Arc<dyn PageStore>,
+    stats: Arc<IoStats>,
+    last_read: AtomicU64,
+    last_write: AtomicU64,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_size", &self.page_size())
+            .field("page_count", &self.page_count())
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Creates a pager over an in-memory store with the default page size.
+    pub fn in_memory() -> Pager {
+        Pager::with_store(Arc::new(MemStore::new(DEFAULT_PAGE_SIZE)))
+    }
+
+    /// Creates a pager over an in-memory store with a custom page size.
+    pub fn in_memory_with_page_size(page_size: usize) -> Pager {
+        Pager::with_store(Arc::new(MemStore::new(page_size)))
+    }
+
+    /// Creates a pager over an arbitrary backing store.
+    pub fn with_store(store: Arc<dyn PageStore>) -> Pager {
+        Pager {
+            store,
+            stats: IoStats::new_shared(),
+            last_read: AtomicU64::new(u64::MAX),
+            last_write: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The shared I/O statistics of this pager.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Page size of the backing store.
+    pub fn page_size(&self) -> usize {
+        self.store.page_size()
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u64 {
+        self.store.page_count()
+    }
+
+    /// Allocates a fresh zeroed page.
+    pub fn allocate(&self) -> Result<Page> {
+        let id = self.store.allocate()?;
+        Ok(Page::zeroed(id, self.page_size()))
+    }
+
+    /// Reads a page, recording the access in the I/O statistics.
+    pub fn read(&self, id: PageId) -> Result<Page> {
+        let data = self.store.read(id)?;
+        let prev = self.last_read.swap(id, Ordering::Relaxed);
+        let sequential = prev != u64::MAX && id == prev.wrapping_add(1);
+        self.stats.record_read(data.len(), sequential);
+        Ok(Page { id, data })
+    }
+
+    /// Writes a page back, recording the access in the I/O statistics.
+    pub fn write(&self, page: &Page) -> Result<()> {
+        self.store.write(page.id, &page.data)?;
+        let prev = self.last_write.swap(page.id, Ordering::Relaxed);
+        let sequential = prev != u64::MAX && page.id == prev.wrapping_add(1);
+        self.stats.record_write(page.data.len(), sequential);
+        Ok(())
+    }
+
+    /// Convenience: allocate a page, fill it with `init`, and write it out.
+    pub fn allocate_with(&self, init: impl FnOnce(&mut Page) -> Result<()>) -> Result<PageId> {
+        let mut page = self.allocate()?;
+        init(&mut page)?;
+        self.write(&page)?;
+        Ok(page.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_allocate_read_write() {
+        let pager = Pager::in_memory_with_page_size(128);
+        let mut p = pager.allocate().unwrap();
+        p.write_bytes(0, b"rodent").unwrap();
+        pager.write(&p).unwrap();
+        let back = pager.read(p.id).unwrap();
+        assert_eq!(back.read_bytes(0, 6).unwrap(), b"rodent");
+        assert_eq!(pager.page_count(), 1);
+    }
+
+    #[test]
+    fn sequential_reads_do_not_count_as_seeks() {
+        let pager = Pager::in_memory_with_page_size(64);
+        for _ in 0..4 {
+            let p = pager.allocate().unwrap();
+            pager.write(&p).unwrap();
+        }
+        pager.stats().reset();
+        // Read 0,1,2,3 sequentially: first read seeks, rest do not.
+        for id in 0..4 {
+            pager.read(id).unwrap();
+        }
+        let snap = pager.stats().snapshot();
+        assert_eq!(snap.pages_read, 4);
+        assert_eq!(snap.seeks, 1);
+
+        // Random order causes seeks.
+        pager.stats().reset();
+        for id in [3u64, 0, 2] {
+            pager.read(id).unwrap();
+        }
+        assert_eq!(pager.stats().snapshot().seeks, 3);
+    }
+
+    #[test]
+    fn missing_page_is_an_error() {
+        let pager = Pager::in_memory_with_page_size(64);
+        assert!(matches!(
+            pager.read(42),
+            Err(StorageError::PageNotFound(42))
+        ));
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let store = MemStore::new(64);
+        let id = store.allocate().unwrap();
+        assert!(matches!(
+            store.write(id, &[0u8; 65]),
+            Err(StorageError::InvalidPageSize { .. })
+        ));
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "rodentstore-pager-test-{}.db",
+            std::process::id()
+        ));
+        {
+            let store = FileStore::create(&path, 256).unwrap();
+            let pager = Pager::with_store(Arc::new(store));
+            let mut p = pager.allocate().unwrap();
+            p.write_bytes(0, b"persisted").unwrap();
+            pager.write(&p).unwrap();
+            let q = pager.allocate().unwrap();
+            pager.write(&q).unwrap();
+        }
+        {
+            let store = FileStore::open(&path, 256).unwrap();
+            assert_eq!(store.page_count(), 2);
+            let pager = Pager::with_store(Arc::new(store));
+            let p = pager.read(0).unwrap();
+            assert_eq!(p.read_bytes(0, 9).unwrap(), b"persisted");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn allocate_with_initializer() {
+        let pager = Pager::in_memory_with_page_size(64);
+        let id = pager
+            .allocate_with(|p| p.write_bytes(0, b"init"))
+            .unwrap();
+        assert_eq!(pager.read(id).unwrap().read_bytes(0, 4).unwrap(), b"init");
+    }
+}

@@ -1,0 +1,231 @@
+//! Slotted-page record organization.
+//!
+//! A slotted page stores variable-length records inside a fixed-size page:
+//! a header with the slot count and free-space pointer, a slot directory
+//! growing from the front, and record payloads growing from the back. This
+//! is the record organization used by heap files and by the layout objects
+//! the algebra interpreter produces.
+//!
+//! Page layout:
+//!
+//! ```text
+//! +-----------+-----------------+ ... free ... +---------+---------+
+//! | header    | slot 0 | slot 1 |              | rec 1   | rec 0   |
+//! | (8 bytes) | off,len| off,len|              | payload | payload |
+//! +-----------+-----------------+--------------+---------+---------+
+//! ```
+
+use crate::page::Page;
+use crate::{Result, StorageError};
+
+const HEADER_SIZE: usize = 8; // slot_count: u32, free_end: u32
+const SLOT_SIZE: usize = 8; // offset: u32, len: u32
+
+/// A view over a [`Page`] interpreted as a slotted page.
+#[derive(Debug)]
+pub struct SlottedPage<'a> {
+    page: &'a mut Page,
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Initializes a fresh slotted page (zero slots, all space free).
+    pub fn init(page: &'a mut Page) -> Result<SlottedPage<'a>> {
+        let size = page.size() as u32;
+        page.write_u32(0, 0)?;
+        page.write_u32(4, size)?;
+        Ok(SlottedPage { page })
+    }
+
+    /// Wraps an existing, already-initialized slotted page.
+    pub fn open(page: &'a mut Page) -> SlottedPage<'a> {
+        SlottedPage { page }
+    }
+
+    /// Number of records stored in the page.
+    pub fn slot_count(&self) -> usize {
+        self.page.read_u32(0).unwrap_or(0) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        self.page.read_u32(4).unwrap_or(0) as usize
+    }
+
+    /// Bytes of contiguous free space remaining (accounting for the slot the
+    /// next insert would need).
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER_SIZE + self.slot_count() * SLOT_SIZE;
+        self.free_end()
+            .saturating_sub(slots_end)
+            .saturating_sub(SLOT_SIZE)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len
+    }
+
+    /// Appends a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> Result<usize> {
+        if !self.fits(record.len()) {
+            return Err(StorageError::PageFull {
+                needed: record.len(),
+                available: self.free_space(),
+            });
+        }
+        let slot = self.slot_count();
+        let new_end = self.free_end() - record.len();
+        self.page.write_bytes(new_end, record)?;
+        let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
+        self.page.write_u32(slot_offset, new_end as u32)?;
+        self.page.write_u32(slot_offset + 4, record.len() as u32)?;
+        self.page.write_u32(0, (slot + 1) as u32)?;
+        self.page.write_u32(4, new_end as u32)?;
+        Ok(slot)
+    }
+
+    /// Reads the record stored in `slot`.
+    pub fn get(&self, slot: usize) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::SlotNotFound {
+                page: self.page.id,
+                slot,
+            });
+        }
+        let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
+        let offset = self.page.read_u32(slot_offset)? as usize;
+        let len = self.page.read_u32(slot_offset + 4)? as usize;
+        self.page.read_bytes(offset, len)
+    }
+
+    /// Iterates over all records in slot order.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.slot_count()).filter_map(move |slot| self.get(slot).ok())
+    }
+}
+
+/// Read-only helpers that work on an immutable page reference (the common
+/// path when scanning through the buffer pool).
+#[derive(Debug, Clone, Copy)]
+pub struct SlottedReader<'a> {
+    page: &'a Page,
+}
+
+impl<'a> SlottedReader<'a> {
+    /// Wraps an initialized slotted page for reading.
+    pub fn new(page: &'a Page) -> SlottedReader<'a> {
+        SlottedReader { page }
+    }
+
+    /// Number of records in the page.
+    pub fn slot_count(&self) -> usize {
+        self.page.read_u32(0).unwrap_or(0) as usize
+    }
+
+    /// Reads the record stored in `slot`.
+    pub fn get(&self, slot: usize) -> Result<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::SlotNotFound {
+                page: self.page.id,
+                slot,
+            });
+        }
+        let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
+        let offset = self.page.read_u32(slot_offset)? as usize;
+        let len = self.page.read_u32(slot_offset + 4)? as usize;
+        self.page.read_bytes(offset, len)
+    }
+
+    /// Iterates over all records in slot order.
+    pub fn records(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
+        let count = self.slot_count();
+        let page = self.page;
+        (0..count).filter_map(move |slot| {
+            let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
+            let offset = page.read_u32(slot_offset).ok()? as usize;
+            let len = page.read_u32(slot_offset + 4).ok()? as usize;
+            page.read_bytes(offset, len).ok()
+        })
+    }
+}
+
+/// Maximum record payload a single slotted page of `page_size` bytes can hold.
+pub fn max_record_len(page_size: usize) -> usize {
+    page_size.saturating_sub(HEADER_SIZE + SLOT_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let mut page = Page::zeroed(0, 256);
+        let mut sp = SlottedPage::init(&mut page).unwrap();
+        let a = sp.insert(b"alpha").unwrap();
+        let b = sp.insert(b"beta").unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(sp.get(0).unwrap(), b"alpha");
+        assert_eq!(sp.get(1).unwrap(), b"beta");
+        assert_eq!(sp.slot_count(), 2);
+    }
+
+    #[test]
+    fn records_preserve_insertion_order() {
+        let mut page = Page::zeroed(0, 512);
+        let mut sp = SlottedPage::init(&mut page).unwrap();
+        for i in 0..10u8 {
+            sp.insert(&[i; 3]).unwrap();
+        }
+        let collected: Vec<Vec<u8>> = sp.records().map(|r| r.to_vec()).collect();
+        assert_eq!(collected.len(), 10);
+        for (i, rec) in collected.iter().enumerate() {
+            assert_eq!(rec, &vec![i as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn page_full_is_reported() {
+        let mut page = Page::zeroed(0, 64);
+        let mut sp = SlottedPage::init(&mut page).unwrap();
+        // 64 - 8 header = 56; each record uses 8 (slot) + payload.
+        sp.insert(&[1u8; 20]).unwrap();
+        let err = sp.insert(&[2u8; 40]).unwrap_err();
+        assert!(matches!(err, StorageError::PageFull { .. }));
+    }
+
+    #[test]
+    fn reader_matches_writer_view() {
+        let mut page = Page::zeroed(7, 256);
+        {
+            let mut sp = SlottedPage::init(&mut page).unwrap();
+            sp.insert(b"one").unwrap();
+            sp.insert(b"two").unwrap();
+        }
+        let reader = SlottedReader::new(&page);
+        assert_eq!(reader.slot_count(), 2);
+        assert_eq!(reader.get(1).unwrap(), b"two");
+        assert!(reader.get(2).is_err());
+        let all: Vec<&[u8]> = reader.records().collect();
+        assert_eq!(all, vec![b"one".as_ref(), b"two".as_ref()]);
+    }
+
+    #[test]
+    fn empty_record_and_capacity() {
+        let mut page = Page::zeroed(0, 64);
+        let mut sp = SlottedPage::init(&mut page).unwrap();
+        sp.insert(b"").unwrap();
+        assert_eq!(sp.get(0).unwrap(), b"");
+        assert_eq!(max_record_len(4096), 4096 - 16);
+    }
+
+    #[test]
+    fn unknown_slot_rejected() {
+        let mut page = Page::zeroed(0, 64);
+        let sp = SlottedPage::init(&mut page).unwrap();
+        assert!(matches!(
+            sp.get(0),
+            Err(StorageError::SlotNotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! I/O accounting.
+//!
+//! Every page read, page write, and seek performed by the storage backend is
+//! counted in an [`IoStats`] instance. The counters are the substrate for
+//! two user-visible features of RodentStore:
+//!
+//! * the access-method cost functions (`scan_cost`, `get_element_cost`)
+//!   exposed to the query optimizer, which the paper specifies should "count
+//!   bytes of I/O as well as disk seeks"; and
+//! * the evaluation harness reproducing the paper's Figure 2, whose headline
+//!   metric is *pages read per query*.
+//!
+//! Counters are atomic so a single `IoStats` can be shared (via `Arc`)
+//! between the pager, the buffer pool, and measurement code without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic I/O counters shared across the storage stack.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    seeks: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters; two snapshots can be subtracted to
+/// measure the cost of an individual operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Number of pages fetched from the backing store.
+    pub pages_read: u64,
+    /// Number of pages written to the backing store.
+    pub pages_written: u64,
+    /// Number of non-sequential page accesses (disk seeks).
+    pub seeks: u64,
+    /// Bytes fetched from the backing store.
+    pub bytes_read: u64,
+    /// Bytes written to the backing store.
+    pub bytes_written: u64,
+    /// Buffer-pool hits (reads served without touching the backing store).
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Estimated elapsed time in milliseconds under a simple disk model:
+    /// each seek costs `seek_ms` and each byte transfers at
+    /// `transfer_mb_per_s`.
+    pub fn estimated_millis(&self, seek_ms: f64, transfer_mb_per_s: f64) -> f64 {
+        let transfer_bytes = (self.bytes_read + self.bytes_written) as f64;
+        let transfer_ms = transfer_bytes / (transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0;
+        self.seeks as f64 * seek_ms + transfer_ms
+    }
+}
+
+impl IoStats {
+    /// Creates a fresh, zeroed counter set behind an `Arc`.
+    pub fn new_shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Records a page read of `bytes` bytes; `sequential` indicates whether
+    /// the access directly follows the previously read page.
+    pub fn record_read(&self, bytes: usize, sequential: bool) {
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        if !sequential {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a page write of `bytes` bytes.
+    pub fn record_write(&self, bytes: usize, sequential: bool) {
+        self.pages_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        if !sequential {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Total pages read so far.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Total pages written so far.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    /// Total seeks so far.
+    pub fn seeks(&self) -> u64 {
+        self.seeks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_writes_and_seeks_are_counted() {
+        let stats = IoStats::default();
+        stats.record_read(4096, true);
+        stats.record_read(4096, false);
+        stats.record_write(4096, false);
+        let s = stats.snapshot();
+        assert_eq!(s.pages_read, 2);
+        assert_eq!(s.pages_written, 1);
+        assert_eq!(s.seeks, 2);
+        assert_eq!(s.bytes_read, 8192);
+        assert_eq!(s.bytes_written, 4096);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let stats = IoStats::default();
+        stats.record_read(100, false);
+        let before = stats.snapshot();
+        stats.record_read(100, true);
+        stats.record_read(100, true);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.pages_read, 2);
+        assert_eq!(delta.seeks, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let stats = IoStats::default();
+        stats.record_read(10, false);
+        stats.record_cache_hit();
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn estimated_millis_uses_seeks_and_bytes() {
+        let snap = IoSnapshot {
+            pages_read: 10,
+            seeks: 5,
+            bytes_read: 10 * 1024 * 1024,
+            ..Default::default()
+        };
+        // 5 seeks * 10ms + 10MB at 100MB/s = 50ms + 100ms
+        let ms = snap.estimated_millis(10.0, 100.0);
+        assert!((ms - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_counters() {
+        let stats = IoStats::default();
+        stats.record_cache_hit();
+        stats.record_cache_hit();
+        stats.record_cache_miss();
+        let s = stats.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+    }
+}

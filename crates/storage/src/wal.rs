@@ -1,0 +1,221 @@
+//! A minimal write-ahead log.
+//!
+//! The paper motivates RodentStore partly by the amount of supporting
+//! machinery — "transaction, lock, and memory management facilities" — every
+//! stand-alone storage system has to re-implement. This module provides the
+//! transactional piece of that substrate: a redo-only write-ahead log that
+//! records page images, supports commit/abort, and can be replayed into a
+//! pager after a crash. It is intentionally simple (full page images, no
+//! checkpointing) but exercises the same code paths a production log would.
+
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Transaction identifier.
+pub type TxId = u64;
+
+/// A single log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A transaction started.
+    Begin(TxId),
+    /// A transaction committed.
+    Commit(TxId),
+    /// A transaction aborted.
+    Abort(TxId),
+    /// A full after-image of a page written by a transaction.
+    PageWrite {
+        /// Writing transaction.
+        tx: TxId,
+        /// Page that was written.
+        page_id: PageId,
+        /// Full page contents after the write.
+        data: Vec<u8>,
+    },
+}
+
+/// An in-memory redo log with transactional page writes.
+#[derive(Debug, Default)]
+pub struct Wal {
+    state: Mutex<WalState>,
+}
+
+#[derive(Debug, Default)]
+struct WalState {
+    records: Vec<LogRecord>,
+    next_tx: TxId,
+    active: Vec<TxId>,
+}
+
+impl Wal {
+    /// Creates an empty log.
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> TxId {
+        let mut state = self.state.lock();
+        let tx = state.next_tx;
+        state.next_tx += 1;
+        state.active.push(tx);
+        state.records.push(LogRecord::Begin(tx));
+        tx
+    }
+
+    /// Logs a page write performed by `tx`.
+    pub fn log_page_write(&self, tx: TxId, page: &Page) {
+        let mut state = self.state.lock();
+        state.records.push(LogRecord::PageWrite {
+            tx,
+            page_id: page.id,
+            data: page.data.clone(),
+        });
+    }
+
+    /// Commits a transaction.
+    pub fn commit(&self, tx: TxId) {
+        let mut state = self.state.lock();
+        state.active.retain(|&t| t != tx);
+        state.records.push(LogRecord::Commit(tx));
+    }
+
+    /// Aborts a transaction; its page writes will be ignored by replay.
+    pub fn abort(&self, tx: TxId) {
+        let mut state = self.state.lock();
+        state.active.retain(|&t| t != tx);
+        state.records.push(LogRecord::Abort(tx));
+    }
+
+    /// Number of log records.
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transactions that began but neither committed nor aborted.
+    pub fn active_transactions(&self) -> Vec<TxId> {
+        self.state.lock().active.clone()
+    }
+
+    /// A copy of the raw log records (oldest first).
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Replays the log into `pager`, applying the *last committed* image of
+    /// every page. Writes from uncommitted or aborted transactions are
+    /// skipped. Returns the number of pages restored.
+    pub fn replay(&self, pager: &Pager) -> Result<usize> {
+        let records = self.records();
+        let mut committed: Vec<TxId> = Vec::new();
+        for record in &records {
+            if let LogRecord::Commit(tx) = record {
+                committed.push(*tx);
+            }
+        }
+        let mut latest: HashMap<PageId, &Vec<u8>> = HashMap::new();
+        for record in &records {
+            if let LogRecord::PageWrite { tx, page_id, data } = record {
+                if committed.contains(tx) {
+                    latest.insert(*page_id, data);
+                }
+            }
+        }
+        // Make sure the pager has enough pages allocated, then restore.
+        let mut restored = 0usize;
+        let mut ids: Vec<PageId> = latest.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            while pager.page_count() <= id {
+                pager.allocate()?;
+            }
+            let data = latest[&id].clone();
+            pager.write(&Page { id, data })?;
+            restored += 1;
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(id: PageId, byte: u8, size: usize) -> Page {
+        Page {
+            id,
+            data: vec![byte; size],
+        }
+    }
+
+    #[test]
+    fn committed_writes_are_replayed() {
+        let wal = Wal::new();
+        let tx = wal.begin();
+        wal.log_page_write(tx, &page_with(0, 7, 64));
+        wal.log_page_write(tx, &page_with(1, 9, 64));
+        wal.commit(tx);
+
+        let pager = Pager::in_memory_with_page_size(64);
+        let restored = wal.replay(&pager).unwrap();
+        assert_eq!(restored, 2);
+        assert_eq!(pager.read(0).unwrap().data, vec![7u8; 64]);
+        assert_eq!(pager.read(1).unwrap().data, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn aborted_and_in_flight_writes_are_skipped() {
+        let wal = Wal::new();
+        let t1 = wal.begin();
+        wal.log_page_write(t1, &page_with(0, 1, 64));
+        wal.abort(t1);
+
+        let t2 = wal.begin();
+        wal.log_page_write(t2, &page_with(1, 2, 64));
+        // t2 never commits.
+
+        let t3 = wal.begin();
+        wal.log_page_write(t3, &page_with(2, 3, 64));
+        wal.commit(t3);
+
+        let pager = Pager::in_memory_with_page_size(64);
+        let restored = wal.replay(&pager).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(pager.read(2).unwrap().data, vec![3u8; 64]);
+        assert_eq!(wal.active_transactions(), vec![t2]);
+    }
+
+    #[test]
+    fn later_images_win() {
+        let wal = Wal::new();
+        let t1 = wal.begin();
+        wal.log_page_write(t1, &page_with(0, 1, 32));
+        wal.commit(t1);
+        let t2 = wal.begin();
+        wal.log_page_write(t2, &page_with(0, 2, 32));
+        wal.commit(t2);
+
+        let pager = Pager::in_memory_with_page_size(32);
+        wal.replay(&pager).unwrap();
+        assert_eq!(pager.read(0).unwrap().data, vec![2u8; 32]);
+    }
+
+    #[test]
+    fn transaction_ids_are_unique_and_log_grows() {
+        let wal = Wal::new();
+        assert!(wal.is_empty());
+        let a = wal.begin();
+        let b = wal.begin();
+        assert_ne!(a, b);
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.records().len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic CarTel-style GPS trace generation.
+//!
+//! The paper's case study uses raw GPS traces collected by the CarTel car
+//! telematics infrastructure: ten million observations from a few thousand
+//! trajectories around Boston, stored as
+//! `Traces(t, lat, lon, ID, …)`. That dataset is not publicly available, so
+//! this module generates a synthetic equivalent that preserves the three
+//! properties the evaluation depends on:
+//!
+//! 1. observations are *dense* in a bounded 2-D region (a Boston-sized
+//!    bounding box),
+//! 2. consecutive observations of one vehicle differ by *small increments*
+//!    (cars move continuously), which is what makes delta compression
+//!    effective, and
+//! 3. the data is much larger than a page, so layout choices dominate I/O.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rodentstore_algebra::schema::{Field, Schema};
+use rodentstore_algebra::types::DataType;
+use rodentstore_algebra::value::{Record, Value};
+
+/// Geographic bounding box of the generated traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+    /// Minimum longitude.
+    pub min_lon: f64,
+    /// Maximum longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// A bounding box roughly covering the greater Boston area.
+    pub fn boston() -> BoundingBox {
+        BoundingBox {
+            min_lat: 42.20,
+            max_lat: 42.45,
+            min_lon: -71.25,
+            max_lon: -70.95,
+        }
+    }
+
+    /// Width in longitude degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Height in latitude degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Area in square degrees.
+    pub fn area(&self) -> f64 {
+        self.lat_span() * self.lon_span()
+    }
+}
+
+/// Configuration of the synthetic trace generator.
+#[derive(Debug, Clone)]
+pub struct CartelConfig {
+    /// Total number of observations to generate.
+    pub observations: usize,
+    /// Number of distinct vehicles (trajectories).
+    pub vehicles: usize,
+    /// Bounding box the vehicles move in.
+    pub bbox: BoundingBox,
+    /// Maximum per-step movement in degrees (cars move by small increments).
+    pub max_step: f64,
+    /// Seed for the deterministic random generator.
+    pub seed: u64,
+}
+
+impl Default for CartelConfig {
+    fn default() -> Self {
+        CartelConfig {
+            observations: 100_000,
+            vehicles: 200,
+            bbox: BoundingBox::boston(),
+            max_step: 0.0005,
+            seed: 0xCA27E1,
+        }
+    }
+}
+
+impl CartelConfig {
+    /// Convenience constructor scaling the default configuration.
+    pub fn with_observations(observations: usize) -> CartelConfig {
+        CartelConfig {
+            observations,
+            vehicles: (observations / 500).clamp(10, 5_000),
+            ..CartelConfig::default()
+        }
+    }
+}
+
+/// The logical schema of the traces relation:
+/// `Traces(t: timestamp, lat: float, lon: float, id: string)`.
+pub fn traces_schema() -> Schema {
+    Schema::new(
+        "Traces",
+        vec![
+            Field::new("t", DataType::Timestamp),
+            Field::new("lat", DataType::Float),
+            Field::new("lon", DataType::Float),
+            Field::new("id", DataType::String),
+        ],
+    )
+}
+
+/// Generates the synthetic trace relation. Observations are emitted in
+/// timestamp order, interleaving vehicles — the same arrival order a live
+/// telematics feed would produce.
+pub fn generate_traces(config: &CartelConfig) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let bbox = config.bbox;
+    let mut positions: Vec<(f64, f64)> = (0..config.vehicles)
+        .map(|_| {
+            (
+                rng.gen_range(bbox.min_lat..bbox.max_lat),
+                rng.gen_range(bbox.min_lon..bbox.max_lon),
+            )
+        })
+        .collect();
+    // Per-vehicle heading gives trajectories momentum so they look like road
+    // traces rather than white noise.
+    let mut headings: Vec<f64> = (0..config.vehicles)
+        .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+        .collect();
+
+    let mut records = Vec::with_capacity(config.observations);
+    for i in 0..config.observations {
+        let v = i % config.vehicles.max(1);
+        // Occasionally change heading; otherwise drift forward with noise.
+        if rng.gen_bool(0.05) {
+            headings[v] = rng.gen_range(0.0..std::f64::consts::TAU);
+        }
+        let step = rng.gen_range(0.0..config.max_step);
+        let (mut lat, mut lon) = positions[v];
+        lat += headings[v].sin() * step;
+        lon += headings[v].cos() * step;
+        // Bounce off the bounding box.
+        if lat < bbox.min_lat || lat > bbox.max_lat {
+            headings[v] = -headings[v];
+            lat = lat.clamp(bbox.min_lat, bbox.max_lat);
+        }
+        if lon < bbox.min_lon || lon > bbox.max_lon {
+            headings[v] = std::f64::consts::PI - headings[v];
+            lon = lon.clamp(bbox.min_lon, bbox.max_lon);
+        }
+        positions[v] = (lat, lon);
+        records.push(vec![
+            Value::Timestamp(i as i64),
+            Value::Float(lat),
+            Value::Float(lon),
+            Value::Str(format!("car-{v:05}")),
+        ]);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CartelConfig {
+            observations: 2_000,
+            vehicles: 20,
+            ..CartelConfig::default()
+        };
+        assert_eq!(generate_traces(&config), generate_traces(&config));
+        let other_seed = CartelConfig {
+            seed: 7,
+            ..config.clone()
+        };
+        assert_ne!(generate_traces(&config), generate_traces(&other_seed));
+    }
+
+    #[test]
+    fn records_conform_to_schema_and_bbox() {
+        let config = CartelConfig {
+            observations: 5_000,
+            vehicles: 50,
+            ..CartelConfig::default()
+        };
+        let schema = traces_schema();
+        let bbox = config.bbox;
+        for r in generate_traces(&config) {
+            schema.validate_record(&r).unwrap();
+            let lat = r[1].as_f64().unwrap();
+            let lon = r[2].as_f64().unwrap();
+            assert!(lat >= bbox.min_lat && lat <= bbox.max_lat);
+            assert!(lon >= bbox.min_lon && lon <= bbox.max_lon);
+        }
+    }
+
+    #[test]
+    fn consecutive_observations_of_a_vehicle_move_in_small_increments() {
+        let config = CartelConfig {
+            observations: 10_000,
+            vehicles: 10,
+            ..CartelConfig::default()
+        };
+        let records = generate_traces(&config);
+        let mut max_jump: f64 = 0.0;
+        for v in 0..10usize {
+            let mut prev: Option<(f64, f64)> = None;
+            for r in records.iter().skip(v).step_by(10) {
+                let lat = r[1].as_f64().unwrap();
+                let lon = r[2].as_f64().unwrap();
+                if let Some((plat, plon)) = prev {
+                    max_jump = max_jump.max((lat - plat).abs().max((lon - plon).abs()));
+                }
+                prev = Some((lat, lon));
+            }
+        }
+        assert!(
+            max_jump <= config.max_step + 1e-9,
+            "vehicles should move continuously (max jump {max_jump})"
+        );
+    }
+
+    #[test]
+    fn vehicle_count_and_timestamps() {
+        let config = CartelConfig {
+            observations: 1_000,
+            vehicles: 25,
+            ..CartelConfig::default()
+        };
+        let records = generate_traces(&config);
+        let distinct: std::collections::HashSet<&str> =
+            records.iter().map(|r| r[3].as_str().unwrap()).collect();
+        assert_eq!(distinct.len(), 25);
+        // Timestamps are strictly increasing.
+        assert!(records
+            .windows(2)
+            .all(|w| w[0][0].as_i64().unwrap() < w[1][0].as_i64().unwrap()));
+    }
+
+    #[test]
+    fn scaled_config_clamps_vehicle_count() {
+        assert_eq!(CartelConfig::with_observations(1_000).vehicles, 10);
+        assert_eq!(CartelConfig::with_observations(10_000_000).vehicles, 5_000);
+    }
+}

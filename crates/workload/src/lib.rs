@@ -1,0 +1,24 @@
+//! # Workload substrate for RodentStore
+//!
+//! Synthetic data and query generators used by the examples, integration
+//! tests, and the benchmark harness that reproduces the paper's evaluation:
+//!
+//! * [`cartel`] — CarTel-style GPS traces (`Traces(t, lat, lon, id)`): dense
+//!   observations of vehicles moving by small increments inside a
+//!   Boston-sized bounding box. This substitutes for the proprietary CarTel
+//!   dataset used in the paper's case study (Section 6).
+//! * [`queries`] — the spatial query workload of Figure 2: random square
+//!   regions covering 1% of the area.
+//! * [`sales`] — the OLAP-style sales relation from the paper's introduction
+//!   (`zorder(grid[y, z](N))` example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cartel;
+pub mod queries;
+pub mod sales;
+
+pub use cartel::{generate_traces, traces_schema, BoundingBox, CartelConfig};
+pub use queries::{figure2_queries, random_square_queries, SpatialQuery};
+pub use sales::{generate_sales, sales_schema, SalesConfig};

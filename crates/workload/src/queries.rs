@@ -1,0 +1,127 @@
+//! Query workload generation.
+//!
+//! The paper's Figure 2 averages the pages read over "200 random geographical
+//! queries retrieving square regions covering 1% of the total area
+//! considered". This module generates exactly that query workload (and a few
+//! variants used by the ablation benchmarks) as storage-algebra conditions.
+
+use crate::cartel::BoundingBox;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rodentstore_algebra::comprehension::Condition;
+
+/// A square spatial range query over `(lat, lon)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialQuery {
+    /// Minimum latitude of the square.
+    pub min_lat: f64,
+    /// Maximum latitude of the square.
+    pub max_lat: f64,
+    /// Minimum longitude of the square.
+    pub min_lon: f64,
+    /// Maximum longitude of the square.
+    pub max_lon: f64,
+}
+
+impl SpatialQuery {
+    /// Converts the query into a storage-algebra predicate over the
+    /// `lat`/`lon` fields.
+    pub fn to_condition(&self) -> Condition {
+        Condition::range("lat", self.min_lat, self.max_lat)
+            .and(Condition::range("lon", self.min_lon, self.max_lon))
+    }
+
+    /// Width of the query in longitude degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Height of the query in latitude degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Fraction of the bounding box the query covers.
+    pub fn coverage(&self, bbox: &BoundingBox) -> f64 {
+        (self.lat_span() * self.lon_span()) / bbox.area()
+    }
+}
+
+/// Generates `count` random square queries, each covering `coverage`
+/// (e.g. `0.01` = 1%) of the bounding box area, fully contained in the box.
+pub fn random_square_queries(
+    bbox: &BoundingBox,
+    coverage: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<SpatialQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A square covering `coverage` of the area has side = sqrt(coverage * area),
+    // expressed separately in degrees of latitude and longitude so the square
+    // is proportional in each dimension.
+    let frac = coverage.clamp(0.0, 1.0).sqrt();
+    let lat_side = bbox.lat_span() * frac;
+    let lon_side = bbox.lon_span() * frac;
+    (0..count)
+        .map(|_| {
+            let min_lat = rng.gen_range(bbox.min_lat..=(bbox.max_lat - lat_side));
+            let min_lon = rng.gen_range(bbox.min_lon..=(bbox.max_lon - lon_side));
+            SpatialQuery {
+                min_lat,
+                max_lat: min_lat + lat_side,
+                min_lon,
+                max_lon: min_lon + lon_side,
+            }
+        })
+        .collect()
+}
+
+/// The paper's query workload: 200 random square queries covering 1% of the
+/// area each.
+pub fn figure2_queries(bbox: &BoundingBox, seed: u64) -> Vec<SpatialQuery> {
+    random_square_queries(bbox, 0.01, 200, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_cover_the_requested_fraction() {
+        let bbox = BoundingBox::boston();
+        for q in random_square_queries(&bbox, 0.01, 50, 1) {
+            let c = q.coverage(&bbox);
+            assert!((c - 0.01).abs() < 1e-9, "coverage {c}");
+            assert!(q.min_lat >= bbox.min_lat && q.max_lat <= bbox.max_lat);
+            assert!(q.min_lon >= bbox.min_lon && q.max_lon <= bbox.max_lon);
+        }
+    }
+
+    #[test]
+    fn figure2_workload_has_200_queries() {
+        let bbox = BoundingBox::boston();
+        let qs = figure2_queries(&bbox, 42);
+        assert_eq!(qs.len(), 200);
+        // Deterministic for a fixed seed.
+        assert_eq!(qs, figure2_queries(&bbox, 42));
+        assert_ne!(qs, figure2_queries(&bbox, 43));
+    }
+
+    #[test]
+    fn condition_conversion_references_lat_lon() {
+        let bbox = BoundingBox::boston();
+        let q = random_square_queries(&bbox, 0.05, 1, 9)[0];
+        let cond = q.to_condition();
+        let fields = cond.referenced_fields();
+        assert!(fields.contains(&"lat".to_string()));
+        assert!(fields.contains(&"lon".to_string()));
+    }
+
+    #[test]
+    fn full_coverage_query_spans_the_box() {
+        let bbox = BoundingBox::boston();
+        let q = random_square_queries(&bbox, 1.0, 1, 3)[0];
+        assert!((q.lat_span() - bbox.lat_span()).abs() < 1e-9);
+        assert!((q.lon_span() - bbox.lon_span()).abs() < 1e-9);
+    }
+}

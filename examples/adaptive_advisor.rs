@@ -1,0 +1,63 @@
+//! The storage design optimizer (Section 5): give RodentStore a workload and
+//! let it recommend — and apply — a layout.
+//!
+//! ```text
+//! cargo run --release -p rodentstore-examples --bin adaptive_advisor
+//! ```
+
+use rodentstore::{AdvisorOptions, CostParams, Database, ScanRequest, Workload};
+use rodentstore_optimizer::CostModel;
+use rodentstore_workload::{figure2_queries, generate_traces, traces_schema, CartelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cartel = CartelConfig {
+        observations: 20_000,
+        vehicles: 60,
+        ..CartelConfig::default()
+    };
+    let mut db = Database::with_page_size(1024);
+    db.create_table(traces_schema())?;
+    db.insert("Traces", generate_traces(&cartel))?;
+
+    // The workload: spatial range queries over (lat, lon), like the paper's
+    // visualization application.
+    let conditions = figure2_queries(&cartel.bbox, 77)
+        .into_iter()
+        .take(8)
+        .map(|q| q.to_condition());
+    let workload = Workload::from_conditions(vec!["lat".into(), "lon".into()], conditions);
+
+    let options = AdvisorOptions {
+        cost_model: CostModel {
+            sample_size: 10_000,
+            page_size: 1024,
+            cost_params: CostParams {
+                seek_ms: 1.0,
+                transfer_mb_per_s: 2.0,
+            },
+        },
+        anneal_iterations: 10,
+        seed: 17,
+    };
+
+    let recommendation = db.auto_tune("Traces", &workload, &options)?;
+    println!("explored {} candidate designs:", recommendation.explored.len());
+    for design in &recommendation.explored {
+        println!(
+            "  {:>10.2} ms  {:>8} pages   {}",
+            design.total_ms, design.total_pages, design.expr
+        );
+    }
+    println!("\nrecommended and applied: {}", recommendation.best.expr);
+
+    // Show that the tuned table answers the workload cheaply.
+    let request = ScanRequest::all()
+        .fields(["lat", "lon"])
+        .predicate(figure2_queries(&cartel.bbox, 77)[0].to_condition());
+    println!(
+        "sample query now reads {} pages (cost {:.2} ms)",
+        db.scan_pages("Traces", &request)?,
+        db.scan_cost("Traces", &request)?
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The paper's case study (Section 6) as a runnable example: store synthetic
+//! CarTel GPS traces under the four layouts N1–N4 and compare the pages read
+//! by a spatial query under each.
+//!
+//! ```text
+//! cargo run --release -p rodentstore-examples --bin geospatial_cartel
+//! ```
+
+use rodentstore::{Database, ScanRequest};
+use rodentstore_workload::{figure2_queries, generate_traces, traces_schema, CartelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cartel = CartelConfig {
+        observations: 50_000,
+        vehicles: 100,
+        ..CartelConfig::default()
+    };
+    let records = generate_traces(&cartel);
+    let queries = figure2_queries(&cartel.bbox, 1);
+    let query = queries[0];
+
+    let layouts = [
+        ("N1 raw rows", "Traces".to_string()),
+        (
+            "N2 drop columns",
+            "project[lat,lon](groupby[id](orderby[t](Traces)))".to_string(),
+        ),
+        (
+            "N3 grid",
+            "grid[lat,lon;0.006,0.007](project[lat,lon](groupby[id](orderby[t](Traces))))"
+                .to_string(),
+        ),
+        (
+            "N4 zorder + delta",
+            "delta[lat,lon](zorder(grid[lat,lon;0.006,0.007](project[lat,lon](groupby[id](orderby[t](Traces))))))"
+                .to_string(),
+        ),
+    ];
+
+    println!(
+        "{} observations; query = lat {:.3}..{:.3}, lon {:.3}..{:.3}",
+        cartel.observations, query.min_lat, query.max_lat, query.min_lon, query.max_lon
+    );
+    for (name, expr) in layouts {
+        let mut db = Database::with_page_size(1024);
+        db.create_table(traces_schema())?;
+        db.insert("Traces", records.clone())?;
+        db.apply_layout_text("Traces", &expr)?;
+
+        let request = ScanRequest::all().predicate(query.to_condition());
+        db.pager().stats().reset();
+        let rows = db.scan("Traces", &request)?;
+        let io = db.io_snapshot();
+        println!(
+            "{name:<22} {:>7} matching points, {:>6} pages read, {:>5} seeks, cost {:>8.2} ms",
+            rows.len(),
+            io.pages_read,
+            io.seeks,
+            db.scan_cost("Traces", &request)?
+        );
+    }
+    println!("\nrun `cargo run --release -p rodentstore-bench --bin figure2` for the full Figure 2 table");
+    Ok(())
+}

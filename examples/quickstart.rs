@@ -1,0 +1,56 @@
+//! Quickstart: create a table, load data, declare a layout with the textual
+//! storage algebra, and query it.
+//!
+//! ```text
+//! cargo run -p rodentstore-examples --bin quickstart
+//! ```
+
+use rodentstore::{Condition, Database, DataType, Field, ScanRequest, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::with_page_size(4096);
+
+    // A simple table of zip codes and addresses (the example of Section 3.3).
+    db.create_table(Schema::new(
+        "T",
+        vec![
+            Field::new("Zip", DataType::Int),
+            Field::new("Area", DataType::Int),
+            Field::new("Addr", DataType::String),
+        ],
+    ))?;
+    db.insert(
+        "T",
+        vec![
+            vec![Value::Int(2139), Value::Int(617), Value::Str("32 Vassar St".into())],
+            vec![Value::Int(2142), Value::Int(617), Value::Str("1 Broadway".into())],
+            vec![Value::Int(10001), Value::Int(212), Value::Str("350 5th Ave".into())],
+            vec![Value::Int(2115), Value::Int(617), Value::Str("4 Jersey St".into())],
+        ],
+    )?;
+
+    // Declare a column-major representation, then a fold over area codes —
+    // both straight from the paper's examples — and query after each.
+    for layout in [
+        "columns(T)",
+        "fold[Area|Zip,Addr](orderby[Zip](T))",
+    ] {
+        db.apply_layout_text("T", layout)?;
+        let rows = db.scan(
+            "T",
+            &ScanRequest::all()
+                .fields(["Zip", "Addr"])
+                .predicate(Condition::eq("Area", 617i64)),
+        )?;
+        println!("layout = {layout}");
+        for row in &rows {
+            println!("  zip {} -> {}", row[0], row[1]);
+        }
+        println!(
+            "  estimated scan cost: {:.3} ms, pages: {}",
+            db.scan_cost("T", &ScanRequest::all())?,
+            db.scan_pages("T", &ScanRequest::all())?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Property-based integration tests: whatever layout the storage algebra
+//! declares, the logical contents of the table must not change, and textual
+//! expressions must round-trip through the parser.
+
+use proptest::prelude::*;
+use rodentstore::{Database, ScanRequest, Value};
+use rodentstore_algebra::{parse, DataType, Field, LayoutExpr, Schema};
+
+fn points_schema() -> Schema {
+    Schema::new(
+        "Points",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+            Field::new("tag", DataType::Int),
+        ],
+    )
+}
+
+fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0i64..20,
+    )
+        .prop_map(|(x, y, tag)| vec![Value::Float(x), Value::Float(y), Value::Int(tag)])
+}
+
+fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
+    prop_oneof![
+        Just(LayoutExpr::table("Points")),
+        Just(LayoutExpr::table("Points").columns(["x", "y", "tag"])),
+        Just(LayoutExpr::table("Points").pax_with(64)),
+        Just(LayoutExpr::table("Points").order_by(["tag"])),
+        Just(LayoutExpr::table("Points").vertical([vec!["x", "y"], vec!["tag"]])),
+        (0.5f64..50.0).prop_map(|stride| {
+            LayoutExpr::table("Points")
+                .project(["x", "y"])
+                .grid([("x", stride), ("y", stride)])
+                .zorder()
+        }),
+        Just(
+            LayoutExpr::table("Points")
+                .order_by(["tag"])
+                .compress(["tag"], rodentstore_algebra::expr::CodecSpec::Rle)
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scanning through any generated layout returns exactly the logical
+    /// tuples that were inserted (projected to the layout's fields), as a
+    /// multiset.
+    #[test]
+    fn layouts_preserve_logical_contents(
+        records in proptest::collection::vec(record_strategy(), 1..200),
+        layout in layout_strategy(),
+    ) {
+        let mut db = Database::with_page_size(512);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", records.clone()).unwrap();
+        db.apply_layout("Points", layout.clone(), rodentstore::ReorgStrategy::Eager).unwrap();
+
+        // Only compare the fields the layout exposes (a projection drops some).
+        let derived = rodentstore_algebra::validate::check(&layout, &points_schema()).unwrap();
+        let fields: Vec<String> = derived.fields().to_vec();
+        let schema = points_schema();
+        let mut expected: Vec<Vec<String>> = records
+            .iter()
+            .map(|r| {
+                schema
+                    .extract(r, &fields)
+                    .unwrap()
+                    .iter()
+                    .map(|v| match v {
+                        // Grid + delta layouts quantize floats; compare at 1e-5.
+                        Value::Float(f) => format!("{:.5}", f),
+                        other => other.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut actual: Vec<Vec<String>> = db
+            .scan("Points", &ScanRequest::all().fields(fields.clone()))
+            .unwrap()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Float(f) => format!("{:.5}", f),
+                        other => other.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        expected.sort();
+        actual.sort();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Predicate pushdown never changes results: filtering through the layout
+    /// equals filtering the full scan in memory.
+    #[test]
+    fn predicate_scans_match_post_filtering(
+        records in proptest::collection::vec(record_strategy(), 1..150),
+        lo in -100.0f64..0.0,
+        width in 1.0f64..80.0,
+    ) {
+        let mut db = Database::with_page_size(512);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", records).unwrap();
+        db.apply_layout_text(
+            "Points",
+            "zorder(grid[x,y;10,10](Points))",
+        ).unwrap();
+
+        let hi = lo + width;
+        let pred = rodentstore::Condition::range("x", lo, hi);
+        let filtered = db
+            .scan("Points", &ScanRequest::all().predicate(pred))
+            .unwrap();
+        let all = db.scan("Points", &ScanRequest::all()).unwrap();
+        let expected = all
+            .iter()
+            .filter(|r| {
+                let x = r[0].as_f64().unwrap();
+                x >= lo && x <= hi
+            })
+            .count();
+        prop_assert_eq!(filtered.len(), expected);
+    }
+
+    /// Every generated layout expression round-trips through its textual form.
+    #[test]
+    fn textual_syntax_round_trips(layout in layout_strategy()) {
+        let text = layout.to_string();
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+}

@@ -4,7 +4,7 @@
 //! canonical row-major representation of a logical table. Expressions are
 //! built either with the fluent builder methods on [`LayoutExpr`], with the
 //! textual [`crate::parse`] front end, or programmatically by a database
-//! design tool such as the `rodentstore-optimizer` crate.
+//! design tool such as the `rodentstore_optimizer` crate.
 //!
 //! The operators follow the paper's Section 3.5 taxonomy:
 //!
@@ -93,7 +93,7 @@ impl GridDim {
 }
 
 /// Compression schemes the algebra can request on a set of fields. The
-/// corresponding codecs live in the `rodentstore-compress` crate; here we
+/// corresponding codecs live in the `rodentstore_compress` crate; here we
 /// only name them declaratively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodecSpec {

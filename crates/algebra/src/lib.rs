@@ -27,7 +27,7 @@
 //! The algebra is deliberately *higher level* than classical physical design
 //! description languages: it describes the decomposition of logical tables
 //! into relatively large chunks (objects) rather than byte-precise formats.
-//! The companion `rodentstore-layout` crate interprets expressions into
+//! The companion `rodentstore_layout` crate interprets expressions into
 //! on-disk structures.
 //!
 //! ```

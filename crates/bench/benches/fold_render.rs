@@ -49,7 +49,10 @@ fn bench_fold(c: &mut Criterion) {
     });
     group.bench_function("sort_based_fold_render", |b| {
         b.iter(|| {
-            let pager = Arc::new(Pager::in_memory_with_page_size(4096));
+            // 60 zipcodes over 4k rows folds ~66 sales into each physical
+            // record (~10.5 KB serialized); pages must be large enough to
+            // hold one folded record, as there are no overflow pages yet.
+            let pager = Arc::new(Pager::in_memory_with_page_size(32 * 1024));
             render(&fold_expr, &provider, pager, RenderOptions::default())
                 .unwrap()
                 .total_pages()

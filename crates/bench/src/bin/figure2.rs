@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rodentstore-bench --bin figure2 [observations] [queries] [page_size]
+//! cargo run --release -p rodentstore_bench --bin figure2 [observations] [queries] [page_size]
 //! ```
 //!
 //! Defaults: 200,000 observations, 200 queries, 1024-byte pages (a 50×

@@ -398,19 +398,28 @@ mod tests {
     #[test]
     fn textual_layout_changes_the_physical_representation() {
         let mut db = small_db();
+        // Center the query box on a point the table actually contains, so
+        // the test does not depend on the exact random stream.
+        let (lat0, lon0) = {
+            let rows = db.scan("Traces", &ScanRequest::all()).unwrap();
+            (rows[750][1].as_f64().unwrap(), rows[750][2].as_f64().unwrap())
+        };
+        let (lat_lo, lat_hi) = (lat0 - 0.02, lat0 + 0.02);
+        let (lon_lo, lon_hi) = (lon0 - 0.025, lon0 + 0.025);
         db.apply_layout_text(
             "Traces",
             "zorder(grid[lat,lon;0.02,0.02](project[lat,lon](Traces)))",
         )
         .unwrap();
-        let pred = Condition::range("lat", 42.30, 42.34).and(Condition::range("lon", -71.1, -71.05));
+        let pred =
+            Condition::range("lat", lat_lo, lat_hi).and(Condition::range("lon", lon_lo, lon_hi));
         let rows = db
             .scan("Traces", &ScanRequest::all().predicate(pred.clone()))
             .unwrap();
         assert!(!rows.is_empty());
         assert!(rows
             .iter()
-            .all(|r| (42.30..=42.34).contains(&r[0].as_f64().unwrap())));
+            .all(|r| (lat_lo..=lat_hi).contains(&r[0].as_f64().unwrap())));
         // Pruned scans should touch fewer pages than the whole layout.
         let total = db.scan_pages("Traces", &ScanRequest::all()).unwrap();
         let pruned = db

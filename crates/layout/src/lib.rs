@@ -1,8 +1,8 @@
 //! # RodentStore layout engine — the algebra interpreter
 //!
 //! This crate is the bridge between the declarative storage algebra
-//! (`rodentstore-algebra`) and the page-based storage backend
-//! (`rodentstore-storage`). Its job is the one Section 4.2 of the paper
+//! (`rodentstore_algebra`) and the page-based storage backend
+//! (`rodentstore_storage`). Its job is the one Section 4.2 of the paper
 //! assigns to the *algebra interpreter*: translate storage-algebra
 //! expressions into on-disk structures, and provide the read paths over
 //! those structures.

@@ -3,7 +3,7 @@
 //! Before anything is written to disk, the interpreter has to decide *which*
 //! tuples the layout contains and *in what order* — selections, projections,
 //! orderings, groupings, prejoins, folds, and explicit comprehensions. This
-//! module materializes that record stream; [`crate::render`] then applies the
+//! module materializes that record stream; [`crate::render()`] then applies the
 //! structural strategy (rows / columns / PAX / grid cells) to write it out.
 
 use crate::{LayoutError, Result};
@@ -95,7 +95,7 @@ pub fn sort_records(schema: &Schema, records: &mut [Record], keys: &[SortKey]) -
 /// Materializes the record stream of an expression: the output schema plus
 /// the tuples in their final storage order. Structural transforms (grid,
 /// zorder, vertical partitioning, PAX, compression, chunking) pass records
-/// through unchanged — they only affect how [`crate::render`] writes them.
+/// through unchanged — they only affect how [`crate::render()`] writes them.
 pub fn materialize<P: TableProvider + ?Sized>(
     expr: &LayoutExpr,
     provider: &P,

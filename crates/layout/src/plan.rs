@@ -5,7 +5,7 @@
 //! blocks, optionally tagged with grid-cell bounds) plus the derived
 //! description of the layout's properties. The read paths implemented here —
 //! scans with projection/predicates, element access, and page estimation —
-//! are what the access-method API in `rodentstore-exec` exposes to a query
+//! are what the access-method API in `rodentstore_exec` exposes to a query
 //! processor.
 
 use crate::rowcodec::{column_to_values, decode_record, encode_record, values_to_column};

@@ -5,7 +5,7 @@
 //! together on disk, minimizing seeks for spatial range queries. This crate
 //! implements:
 //!
-//! * generalized [bit interleaving](interleave) (the paper's
+//! * generalized [bit interleaving](mod@interleave) (the paper's
 //!   `interleave(bin(…), bin(…))` helper),
 //! * the [Z-order / Morton curve](morton) in 2, 3, and n dimensions, and
 //! * the 2-D [Hilbert curve](hilbert) as an alternative ordering used by the

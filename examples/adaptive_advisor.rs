@@ -2,7 +2,7 @@
 //! let it recommend — and apply — a layout.
 //!
 //! ```text
-//! cargo run --release -p rodentstore-examples --bin adaptive_advisor
+//! cargo run --release --example adaptive_advisor
 //! ```
 
 use rodentstore::{AdvisorOptions, CostParams, Database, ScanRequest, Workload};

@@ -3,7 +3,7 @@
 //! by a spatial query under each.
 //!
 //! ```text
-//! cargo run --release -p rodentstore-examples --bin geospatial_cartel
+//! cargo run --release --example geospatial_cartel
 //! ```
 
 use rodentstore::{Database, ScanRequest};
@@ -59,6 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             db.scan_cost("Traces", &request)?
         );
     }
-    println!("\nrun `cargo run --release -p rodentstore-bench --bin figure2` for the full Figure 2 table");
+    println!("\nrun `cargo run --release -p rodentstore_bench --bin figure2` for the full Figure 2 table");
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! storage algebra, and query it.
 //!
 //! ```text
-//! cargo run -p rodentstore-examples --bin quickstart
+//! cargo run --example quickstart
 //! ```
 
 use rodentstore::{Condition, Database, DataType, Field, ScanRequest, Schema, Value};

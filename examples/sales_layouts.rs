@@ -3,7 +3,7 @@
 //! different query shapes.
 //!
 //! ```text
-//! cargo run --release -p rodentstore-examples --bin sales_layouts
+//! cargo run --release --example sales_layouts
 //! ```
 
 use rodentstore::{Condition, Database, ScanRequest};

@@ -1,0 +1,199 @@
+//! Hermetic stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of criterion's API that RodentStore's benches use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `criterion_group!` /
+//! `criterion_main!` — as a plain wall-clock harness: each benchmark is
+//! warmed up once, timed over `sample_size` batches, and the median
+//! per-iteration time printed. No statistics, plots, or baseline storage.
+//! Swap in the real crate by repointing `[workspace.dependencies]` in the
+//! workspace root; the bench sources compile unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `queries/N3-grid`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Renders the id to its display string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting `sample_size` samples after one warm-up
+    /// call. The routine's return value is passed through [`black_box`] so
+    /// the computation cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_size,
+    };
+    f(&mut b);
+    samples.sort();
+    let median = samples
+        .get(samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("{full_name:<50} time: [median {median:>12.3?} over {sample_size} samples]");
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op hook kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness=false bench binaries with `--test`;
+            // timing loops are pointless there, so exit immediately.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,138 @@
+//! Hermetic stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the strategy combinators and macros RodentStore's property
+//! tests use — [`strategy::Strategy`], [`strategy::Just`], `prop_map`, `prop_oneof!`,
+//! [`collection::vec`], the `proptest!` block macro, and `prop_assert*!` —
+//! over a deterministic seeded RNG. Differences from the real crate:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs as-is;
+//! * **deterministic runs** — cases derive from a fixed seed (override with
+//!   the `PROPTEST_SEED` environment variable), so CI is reproducible;
+//! * `prop_assert*!` panics (like `assert*!`) instead of returning `Err`.
+//!
+//! Swap in the real crate by repointing `[workspace.dependencies]` in the
+//! workspace root; the test sources compile unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from a range and
+    /// whose elements come from an inner strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a normal test that generates `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`] — do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::case_rng(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )+
+                    // Snapshot inputs before the body can move them, so a
+                    // failing case can be reported (there is no shrinking).
+                    let __inputs: Vec<(&str, String)> = vec![
+                        $( (stringify!($arg), format!("{:?}", &$arg)) ),+
+                    ];
+                    let run = || $body;
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:",
+                            case + 1, config.cases, stringify!($name),
+                        );
+                        for (name, value) in &__inputs {
+                            eprintln!("  {name} = {value}");
+                        }
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,40 @@
+//! Test-runner configuration for the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many random cases each property test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the RNG for one property test: a fixed base seed (override with
+/// the `PROPTEST_SEED` environment variable) mixed with the test's name so
+/// different properties see different streams.
+pub fn case_rng(test_name: &str) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x0DE57_0CAFE);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name.
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(base ^ hash)
+}

@@ -1,0 +1,80 @@
+//! Criterion bench for the streaming scan engine: rows/sec for a full scan,
+//! a projected scan, and a selective predicate scan over the N1 (raw rows)
+//! and N4 (z-curve + delta column blocks) figure-2 designs.
+//!
+//! Each benchmark also prints a `throughput:` line (rows/sec derived from one
+//! untimed run) so the perf trajectory can be recorded in CHANGES.md without
+//! post-processing criterion output.
+//!
+//! Set `RODENTSTORE_BENCH_SMOKE=1` to run in smoke mode (tiny dataset, one
+//! timed iteration) — CI uses this to keep the bench binary from bit-rotting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodentstore_bench::{build_designs, Figure2Config};
+use rodentstore_exec::ScanRequest;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+fn config() -> Figure2Config {
+    if smoke_mode() {
+        Figure2Config {
+            observations: 2_000,
+            queries: 4,
+            ..Figure2Config::small()
+        }
+    } else {
+        Figure2Config::small()
+    }
+}
+
+/// The three scan shapes measured against every design. Each design exposes
+/// at least `lat` and `lon`; N1 additionally stores `t` and `id`, which is
+/// exactly what makes its projected scan interesting (the wide fields must
+/// be skipped, not decoded).
+fn requests(queries: &[rodentstore_workload::SpatialQuery]) -> Vec<(&'static str, ScanRequest)> {
+    vec![
+        ("full", ScanRequest::all()),
+        ("projected", ScanRequest::all().fields(["lat"])),
+        (
+            "selective",
+            ScanRequest::all().predicate(queries[0].to_condition()),
+        ),
+    ]
+}
+
+fn bench_scan_hot_path(c: &mut Criterion) {
+    let config = config();
+    let designs = build_designs(&config);
+    let mut group = c.benchmark_group("scan_hot_path");
+    group.sample_size(if smoke_mode() { 1 } else { 10 });
+
+    for design in &designs.layouts {
+        let label = &design.label;
+        if !(label.starts_with("N1") || label.starts_with("N4")) {
+            continue;
+        }
+        let short = if label.starts_with("N1") { "N1" } else { "N4" };
+        for (shape, request) in requests(&designs.queries) {
+            // One untimed run for the throughput line.
+            let start = Instant::now();
+            let rows = design.access.scan(&request).expect("scan").len();
+            let elapsed = start.elapsed().as_secs_f64();
+            println!(
+                "scan_hot_path/{short}/{shape}: {rows} rows out, {:.0} rows/sec (single run)",
+                rows as f64 / elapsed.max(1e-9)
+            );
+            group.bench_with_input(
+                BenchmarkId::new(shape, short),
+                &request,
+                |b, request| b.iter(|| design.access.scan(request).expect("scan").len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_hot_path);
+criterion_main!(benches);

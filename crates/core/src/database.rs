@@ -220,8 +220,11 @@ impl Database {
         Ok(rows)
     }
 
-    /// Opens a cursor over a scan.
-    pub fn open_cursor(&mut self, table: &str, request: &ScanRequest) -> Result<Cursor> {
+    /// Opens a (materialized) cursor over a scan. The facade merges freshly
+    /// inserted pending rows into layout scans, so the merged result is
+    /// materialized here; use [`AccessMethods::open_cursor`] on a layout
+    /// directly for a streaming cursor.
+    pub fn open_cursor(&mut self, table: &str, request: &ScanRequest) -> Result<Cursor<'static>> {
         Ok(Cursor::new(self.scan(table, request)?))
     }
 

@@ -168,8 +168,23 @@ impl AccessMethods {
     }
 
     /// Opens a cursor over a scan (the `next(table, [order])` access method).
-    pub fn open_cursor(&self, request: &ScanRequest) -> Result<Cursor> {
-        Ok(Cursor::new(self.scan(request)?))
+    ///
+    /// When the layout can deliver the requested order natively (or no order
+    /// was requested), the cursor *streams*: tuples are decoded from pages on
+    /// demand and the result set is never materialized. A non-native sort
+    /// forces materialization, and vertically partitioned layouts buffer
+    /// their stitched rows up front (the cursor then knows its length).
+    pub fn open_cursor(&self, request: &ScanRequest) -> Result<Cursor<'_>> {
+        self.validate_fields(&request.fields)?;
+        if let Some(order) = &request.order {
+            if !self.order_is_native(order) {
+                return Ok(Cursor::new(self.scan(request)?));
+            }
+        }
+        let iter = self
+            .layout
+            .scan_iter(request.fields.as_deref(), request.predicate.as_ref())?;
+        Ok(Cursor::streaming(iter))
     }
 
     /// `getElement(table, [fieldlist,] index)`: the tuple at `index` in the
@@ -313,6 +328,47 @@ mod tests {
         }
         assert_eq!(count, 300);
         assert!(cursor.next().is_none());
+        assert!(cursor.take_error().is_none());
+    }
+
+    #[test]
+    fn native_order_cursors_stream_without_materializing() {
+        let am = methods(LayoutExpr::table("Readings"));
+        // No order requested: streaming.
+        let mut cursor = am.open_cursor(&ScanRequest::all()).unwrap();
+        assert!(cursor.is_streaming());
+        assert_eq!(cursor.len(), None, "streaming cursors have unknown length");
+        assert_eq!(cursor.try_next().unwrap().unwrap().len(), 3);
+        cursor.rewind().unwrap();
+        assert_eq!(cursor.collect_rows().unwrap().len(), 300);
+
+        // A non-native order forces the one remaining materialization point.
+        let sorted = am
+            .open_cursor(&ScanRequest::all().fields(["t"]).order(["t"]))
+            .unwrap();
+        assert!(!sorted.is_streaming());
+        assert_eq!(sorted.len(), Some(300));
+        assert_eq!(sorted.is_empty(), Some(false));
+
+        // Streaming respects projection and predicates.
+        let request = ScanRequest::all()
+            .fields(["t", "sensor"])
+            .predicate(Condition::eq("sensor", "s1"));
+        let mut filtered = am.open_cursor(&request).unwrap();
+        assert!(filtered.is_streaming());
+        let rows = filtered.collect_rows().unwrap();
+        assert_eq!(rows, am.scan(&request).unwrap());
+
+        // Vertically partitioned layouts buffer their stitched rows up
+        // front; the cursor reports the known length instead of pretending
+        // to stream.
+        let vertical = methods(
+            LayoutExpr::table("Readings").vertical([vec!["t"], vec!["sensor", "value"]]),
+        );
+        let v = vertical.open_cursor(&ScanRequest::all()).unwrap();
+        assert!(!v.is_streaming());
+        assert_eq!(v.len(), Some(300));
+        assert_eq!(v.remaining(), Some(300));
     }
 
     #[test]

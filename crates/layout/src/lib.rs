@@ -29,10 +29,12 @@ pub mod pipeline;
 pub mod plan;
 pub mod render;
 pub mod rowcodec;
+pub mod scan;
 
 pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use render::{render, RenderOptions};
+pub use scan::{CompiledPredicate, ScanIter};
 
 use rodentstore_algebra::AlgebraError;
 use rodentstore_compress::CompressError;

@@ -8,7 +8,10 @@
 //! are what the access-method API in `rodentstore_exec` exposes to a query
 //! processor.
 
-use crate::rowcodec::{column_to_values, decode_record, encode_record, values_to_column};
+use crate::rowcodec::{
+    column_to_values, decode_record, decode_record_subset, encode_record, values_to_column,
+};
+use crate::scan::{CompiledPredicate, ScanIter};
 use crate::{LayoutError, Result};
 use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
 use rodentstore_algebra::expr::{LayoutExpr, SortKey};
@@ -100,10 +103,60 @@ impl std::fmt::Debug for StoredObject {
     }
 }
 
+/// Splits a decoded folded record into its key prefix and nested entries,
+/// enforcing the `keys ++ [nested list]` shape shared by every folded reader.
+pub(crate) fn split_folded<'r>(
+    folded: &'r Record,
+    key_fields: usize,
+    object_name: &str,
+) -> Result<(&'r [Value], &'r [Value])> {
+    if folded.len() != key_fields + 1 {
+        return Err(LayoutError::Corrupted(format!(
+            "folded record in `{object_name}` has arity {}, expected {}",
+            folded.len(),
+            key_fields + 1
+        )));
+    }
+    let nested = folded[key_fields]
+        .as_list()
+        .ok_or_else(|| LayoutError::Corrupted("folded record without nested list".into()))?;
+    Ok((&folded[..key_fields], nested))
+}
+
+/// Unnests one entry of a folded group into a full row (`key ++ values`).
+pub(crate) fn stitch_folded_row(key: &[Value], entry: &Value) -> Result<Record> {
+    let values = entry
+        .as_list()
+        .ok_or_else(|| LayoutError::Corrupted("nested fold entry is not a list".into()))?;
+    let mut row = key.to_vec();
+    row.extend(values.iter().cloned());
+    Ok(row)
+}
+
 impl StoredObject {
     /// Number of pages the object occupies.
     pub fn page_count(&self) -> usize {
         self.heap.page_count()
+    }
+
+    /// Decodes one column block of field `f` through its codec, restoring
+    /// value variants from `templates` — the single implementation every
+    /// column-block reader (eager, streaming, positional) goes through.
+    pub(crate) fn decode_column_block(
+        &self,
+        f: usize,
+        block: &[u8],
+        templates: &[Value],
+    ) -> Result<Vec<Value>> {
+        let codec = self
+            .codecs
+            .get(&self.fields[f])
+            .copied()
+            .unwrap_or(CodecKind::Plain)
+            .build();
+        let data = codec.decode(block)?;
+        let template = templates.get(f).cloned().unwrap_or(Value::Int(0));
+        Ok(column_to_values(&data, &template))
     }
 
     /// Reads every tuple of the object (values in the object's field order).
@@ -129,25 +182,9 @@ impl StoredObject {
                 })?;
                 for bytes in folded_records {
                     let folded = decode_record(&bytes)?;
-                    if folded.len() != key_fields + 1 {
-                        return Err(LayoutError::Corrupted(format!(
-                            "folded record in `{}` has arity {}, expected {}",
-                            self.name,
-                            folded.len(),
-                            key_fields + 1
-                        )));
-                    }
-                    let key = &folded[..key_fields];
-                    let nested = folded[key_fields].as_list().ok_or_else(|| {
-                        LayoutError::Corrupted("folded record without nested list".into())
-                    })?;
+                    let (key, nested) = split_folded(&folded, key_fields, &self.name)?;
                     for inner in nested {
-                        let values = inner.as_list().ok_or_else(|| {
-                            LayoutError::Corrupted("nested fold entry is not a list".into())
-                        })?;
-                        let mut row = key.to_vec();
-                        row.extend(values.iter().cloned());
-                        rows.push(row);
+                        rows.push(stitch_folded_row(key, inner)?);
                     }
                 }
                 Ok(rows)
@@ -170,15 +207,7 @@ impl StoredObject {
                 for chunk in blocks.chunks(ncols) {
                     let mut columns: Vec<Vec<Value>> = Vec::with_capacity(ncols);
                     for (f, block) in chunk.iter().enumerate() {
-                        let codec = self
-                            .codecs
-                            .get(&self.fields[f])
-                            .copied()
-                            .unwrap_or(CodecKind::Plain)
-                            .build();
-                        let data = codec.decode(block)?;
-                        let template = templates.get(f).cloned().unwrap_or(Value::Int(0));
-                        columns.push(column_to_values(&data, &template));
+                        columns.push(self.decode_column_block(f, block, templates)?);
                     }
                     let chunk_rows = columns.first().map(|c| c.len()).unwrap_or(0);
                     for i in 0..chunk_rows {
@@ -192,6 +221,126 @@ impl StoredObject {
                 Ok(rows)
             }
         }
+    }
+
+    /// Reads the single tuple at `index` (in object storage order), decoding
+    /// only the positions marked in `needed` (row encodings) or the blocks of
+    /// needed fields (column encodings) — the decode-on-demand counterpart of
+    /// [`StoredObject::read_rows`] for positional access. Earlier pages are
+    /// still fetched to locate the row, but their records are never decoded.
+    pub fn read_row_at(
+        &self,
+        index: usize,
+        templates: &[Value],
+        needed: &[bool],
+    ) -> Result<Record> {
+        if index >= self.row_count {
+            return Err(LayoutError::Unsupported(format!(
+                "element {index} out of range ({} rows in `{}`)",
+                self.row_count, self.name
+            )));
+        }
+        match &self.encoding {
+            ObjectEncoding::Rows => {
+                let mut remaining = index;
+                for page_id in self.heap.page_ids()? {
+                    let page = self.heap.pager().read(page_id)?;
+                    let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+                    let slots = reader.slot_count();
+                    if remaining < slots {
+                        return decode_record_subset(reader.get(remaining)?, needed);
+                    }
+                    remaining -= slots;
+                }
+                Err(LayoutError::Corrupted(format!(
+                    "row {index} beyond the stored pages of `{}`",
+                    self.name
+                )))
+            }
+            ObjectEncoding::Folded { key_fields } => {
+                let key_fields = *key_fields;
+                let mut remaining = index;
+                for page_id in self.heap.page_ids()? {
+                    let page = self.heap.pager().read(page_id)?;
+                    let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+                    for slot in 0..reader.slot_count() {
+                        let folded = decode_record(reader.get(slot)?)?;
+                        let (key, nested) = split_folded(&folded, key_fields, &self.name)?;
+                        if remaining < nested.len() {
+                            return stitch_folded_row(key, &nested[remaining]);
+                        }
+                        remaining -= nested.len();
+                    }
+                }
+                Err(LayoutError::Corrupted(format!(
+                    "row {index} beyond the folded groups of `{}`",
+                    self.name
+                )))
+            }
+            ObjectEncoding::ColumnBlocks { .. } => self.read_block_row_at(index, templates, needed),
+        }
+    }
+
+    /// Positional access within a column-block object: walks the chunks,
+    /// decoding one probe column per chunk to learn its row count, and
+    /// decodes the remaining needed blocks only for the containing chunk.
+    fn read_block_row_at(
+        &self,
+        index: usize,
+        templates: &[Value],
+        needed: &[bool],
+    ) -> Result<Record> {
+        let ncols = self.fields.len();
+        if ncols == 0 {
+            return Err(LayoutError::Corrupted(format!(
+                "object `{}` has no fields",
+                self.name
+            )));
+        }
+        let probe = needed.iter().position(|&b| b).unwrap_or(0);
+        let mut pending: std::collections::VecDeque<Vec<u8>> = std::collections::VecDeque::new();
+        let mut remaining = index;
+        for page_id in self.heap.page_ids()? {
+            let page = self.heap.pager().read(page_id)?;
+            let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+            for slot in 0..reader.slot_count() {
+                pending.push_back(reader.get(slot)?.to_vec());
+            }
+            while pending.len() >= ncols {
+                let chunk: Vec<Vec<u8>> = pending.drain(..ncols).collect();
+                let probe_col = self.decode_column_block(probe, &chunk[probe], templates)?;
+                if remaining < probe_col.len() {
+                    let mut row = Vec::with_capacity(ncols);
+                    for f in 0..ncols {
+                        let value = if f == probe {
+                            probe_col.get(remaining).cloned().unwrap_or(Value::Null)
+                        } else if needed.get(f).copied().unwrap_or(false) {
+                            self.decode_column_block(f, &chunk[f], templates)?
+                                .get(remaining)
+                                .cloned()
+                                .unwrap_or(Value::Null)
+                        } else {
+                            Value::Null
+                        };
+                        row.push(value);
+                    }
+                    return Ok(row);
+                }
+                remaining -= probe_col.len();
+            }
+        }
+        if !pending.is_empty() {
+            return Err(LayoutError::Corrupted(format!(
+                "object `{}` ends with {} trailing blocks for {} fields",
+                self.name,
+                pending.len(),
+                ncols
+            )));
+        }
+        Err(LayoutError::Corrupted(format!(
+            "row {index} beyond the stored blocks of `{}`",
+            self.name
+        )))
     }
 
     /// Writes tuples (already restricted to this object's fields, in object
@@ -334,7 +483,7 @@ impl PhysicalLayout {
         self.derived.orderings.clone()
     }
 
-    fn templates_for(&self, fields: &[String]) -> Vec<Value> {
+    pub(crate) fn templates_for(&self, fields: &[String]) -> Vec<Value> {
         fields
             .iter()
             .map(|f| match self.schema.field(f) {
@@ -393,50 +542,39 @@ impl PhysicalLayout {
             .sum()
     }
 
+    /// Opens a lazy, decode-on-demand scan over the layout: records are
+    /// yielded in storage order, already filtered by `predicate` and
+    /// projected to `fields`, decoding pages and column blocks only as the
+    /// iterator advances. See [`ScanIter`].
+    pub fn scan_iter(
+        &self,
+        fields: Option<&[String]>,
+        predicate: Option<&Condition>,
+    ) -> Result<ScanIter<'_>> {
+        ScanIter::new(self, fields, predicate)
+    }
+
     /// Scans the layout, optionally projecting to `fields` and filtering with
-    /// `predicate`. Results are returned in storage order.
+    /// `predicate`. Results are returned in storage order. This is a thin
+    /// `collect()` over [`PhysicalLayout::scan_iter`].
     pub fn scan(
         &self,
         fields: Option<&[String]>,
         predicate: Option<&Condition>,
     ) -> Result<Vec<Record>> {
-        let selected = self.objects_to_read(fields, predicate);
-        let out_fields: Vec<String> = match fields {
-            Some(f) => f.to_vec(),
-            None => self.schema.field_names(),
-        };
-        let out_indices = self.schema.indices_of(&out_fields).map_err(LayoutError::Algebra)?;
-
-        let rows = if self.is_vertically_partitioned() {
-            self.scan_vertical(&selected, predicate)?
-        } else {
-            // Row store or grid of cells: each object holds full (projected)
-            // tuples in the layout schema's field order.
-            let mut rows = Vec::new();
-            for &i in &selected {
-                let obj = &self.objects[i];
-                let templates = self.templates_for(&obj.fields);
-                rows.extend(obj.read_rows(&templates)?);
-            }
-            rows
-        };
-
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
-            if let Some(pred) = predicate {
-                if !pred.eval(&self.schema, &row).map_err(LayoutError::Algebra)? {
-                    continue;
-                }
-            }
-            out.push(out_indices.iter().map(|&i| row[i].clone()).collect());
-        }
-        Ok(out)
+        self.scan_iter(fields, predicate)?.collect()
     }
 
     /// Reads vertically partitioned objects and stitches them back into full
     /// tuples (missing columns become NULL). Objects store tuples in the same
     /// order, as Section 4.1 of the paper requires.
-    fn scan_vertical(
+    ///
+    /// Predicate conjuncts whose fields all live inside a single object are
+    /// pre-evaluated while that object is decoded, so the all-NULL stitch
+    /// buffer is allocated only for surviving rows instead of
+    /// `row_count × arity` up front. The caller still applies the full
+    /// predicate afterwards (the pre-filter is conservative).
+    pub(crate) fn scan_vertical(
         &self,
         selected: &[usize],
         predicate: Option<&Condition>,
@@ -453,35 +591,108 @@ impl PhysicalLayout {
                 }
             }
         }
-        let mut rows: Vec<Record> = vec![vec![Value::Null; self.schema.arity()]; self.row_count];
+        // Top-level conjuncts of the predicate; each is a candidate for
+        // per-object pre-filtering.
+        let conjuncts: Vec<&Condition> = match predicate {
+            Some(Condition::And(items)) => items.iter().collect(),
+            Some(other) => vec![other],
+            None => Vec::new(),
+        };
+        let mut survivors: Option<Vec<bool>> = None;
+        let mut cached: HashMap<usize, Vec<Record>> = HashMap::new();
         for &i in &selected {
             let obj = &self.objects[i];
-            let templates = self.templates_for(&obj.fields);
-            let col_rows = obj.read_rows(&templates)?;
-            if col_rows.len() != self.row_count {
-                return Err(LayoutError::Corrupted(format!(
-                    "object `{}` has {} rows, layout has {}",
-                    obj.name,
-                    col_rows.len(),
-                    self.row_count
-                )));
+            let local: Vec<CompiledPredicate> = conjuncts
+                .iter()
+                .filter(|c| {
+                    let refs = c.referenced_fields();
+                    !refs.is_empty() && refs.iter().all(|f| obj.fields.contains(f))
+                })
+                .map(|c| CompiledPredicate::compile(c, &obj.fields, &obj.name))
+                .collect::<Result<_>>()?;
+            if local.is_empty() {
+                continue;
             }
+            let col_rows = self.read_vertical_object(obj)?;
+            let bitmap = survivors.get_or_insert_with(|| vec![true; self.row_count]);
+            'row: for (idx, row) in col_rows.iter().enumerate() {
+                if !bitmap[idx] {
+                    continue;
+                }
+                for pred in &local {
+                    if !pred.matches(row)? {
+                        bitmap[idx] = false;
+                        continue 'row;
+                    }
+                }
+            }
+            cached.insert(i, col_rows);
+        }
+        // Dense output slot per surviving row (usize::MAX = filtered out).
+        let (survivor_count, dense_of) = match &survivors {
+            None => (self.row_count, None),
+            Some(bits) => {
+                let mut dense_of = vec![usize::MAX; self.row_count];
+                let mut n = 0usize;
+                for (i, &alive) in bits.iter().enumerate() {
+                    if alive {
+                        dense_of[i] = n;
+                        n += 1;
+                    }
+                }
+                (n, Some(dense_of))
+            }
+        };
+        let mut rows: Vec<Record> = (0..survivor_count)
+            .map(|_| vec![Value::Null; self.schema.arity()])
+            .collect();
+        for &i in &selected {
+            let obj = &self.objects[i];
+            let col_rows = match cached.remove(&i) {
+                Some(rows) => rows,
+                None => self.read_vertical_object(obj)?,
+            };
             let positions: Vec<usize> = obj
                 .fields
                 .iter()
                 .map(|f| self.schema.index_of(f).map_err(LayoutError::Algebra))
                 .collect::<Result<_>>()?;
             for (row_idx, col_row) in col_rows.into_iter().enumerate() {
+                let dense = match &dense_of {
+                    None => row_idx,
+                    Some(map) => match map[row_idx] {
+                        usize::MAX => continue,
+                        d => d,
+                    },
+                };
                 for (j, value) in col_row.into_iter().enumerate() {
-                    rows[row_idx][positions[j]] = value;
+                    rows[dense][positions[j]] = value;
                 }
             }
         }
         Ok(rows)
     }
 
+    /// Reads one object of a vertical partition, enforcing the row-count
+    /// invariant every partition must satisfy.
+    fn read_vertical_object(&self, obj: &StoredObject) -> Result<Vec<Record>> {
+        let templates = self.templates_for(&obj.fields);
+        let col_rows = obj.read_rows(&templates)?;
+        if col_rows.len() != self.row_count {
+            return Err(LayoutError::Corrupted(format!(
+                "object `{}` has {} rows, layout has {}",
+                obj.name,
+                col_rows.len(),
+                self.row_count
+            )));
+        }
+        Ok(col_rows)
+    }
+
     /// Returns the tuple at `position` (in storage order), optionally
-    /// projected — the `getElement` access method.
+    /// projected — the `getElement` access method. Only the containing
+    /// row/block of each relevant object is decoded; vertically partitioned
+    /// layouts no longer stitch the whole relation to serve one element.
     pub fn get_element(
         &self,
         position: usize,
@@ -500,18 +711,49 @@ impl PhysicalLayout {
         let out_indices = self.schema.indices_of(&out_fields).map_err(LayoutError::Algebra)?;
 
         if self.is_vertically_partitioned() {
-            let selected: Vec<usize> = (0..self.objects.len()).collect();
-            let rows = self.scan_vertical(&selected, None)?;
-            return Ok(out_indices.iter().map(|&i| rows[position][i].clone()).collect());
+            // Fetch the element of every object holding a requested field and
+            // stitch just that one row.
+            let mut full = vec![Value::Null; self.schema.arity()];
+            for obj in &self.objects {
+                let needed: Vec<bool> = obj
+                    .fields
+                    .iter()
+                    .map(|f| out_fields.iter().any(|o| o == f))
+                    .collect();
+                if !needed.iter().any(|&b| b) {
+                    continue;
+                }
+                if obj.row_count != self.row_count {
+                    return Err(LayoutError::Corrupted(format!(
+                        "object `{}` has {} rows, layout has {}",
+                        obj.name, obj.row_count, self.row_count
+                    )));
+                }
+                let templates = self.templates_for(&obj.fields);
+                let mut row = obj.read_row_at(position, &templates, &needed)?;
+                for (j, f) in obj.fields.iter().enumerate() {
+                    if needed[j] {
+                        let idx = self.schema.index_of(f).map_err(LayoutError::Algebra)?;
+                        full[idx] = std::mem::replace(&mut row[j], Value::Null);
+                    }
+                }
+            }
+            return Ok(out_indices.iter().map(|&i| full[i].clone()).collect());
         }
 
-        // Locate the object containing the position.
+        // Locate the object containing the position; objects hold full
+        // tuples in the layout schema's field order.
+        let needed: Vec<bool> = self
+            .schema
+            .field_names()
+            .iter()
+            .map(|f| out_fields.iter().any(|o| o == f))
+            .collect();
         let mut remaining = position;
         for obj in &self.objects {
             if remaining < obj.row_count {
                 let templates = self.templates_for(&obj.fields);
-                let rows = obj.read_rows(&templates)?;
-                let row = &rows[remaining];
+                let row = obj.read_row_at(remaining, &templates, &needed)?;
                 return Ok(out_indices.iter().map(|&i| row[i].clone()).collect());
             }
             remaining -= obj.row_count;

@@ -118,10 +118,13 @@ fn decode_value(input: &[u8], pos: &mut usize) -> Result<Value> {
         }
         TAG_STR => {
             let len = read_varint(input, pos)? as usize;
+            let end = pos
+                .checked_add(len)
+                .ok_or_else(|| LayoutError::Corrupted("string length overflows".into()))?;
             let bytes = input
-                .get(*pos..*pos + len)
+                .get(*pos..end)
                 .ok_or_else(|| LayoutError::Corrupted("truncated string".into()))?;
-            *pos += len;
+            *pos = end;
             Ok(Value::Str(String::from_utf8(bytes.to_vec()).map_err(
                 |_| LayoutError::Corrupted("invalid utf8".into()),
             )?))
@@ -157,6 +160,89 @@ pub fn decode_record(bytes: &[u8]) -> Result<Record> {
         record.push(decode_value(bytes, &mut pos)?);
     }
     Ok(record)
+}
+
+/// Advances `pos` past one encoded value without materializing it. The
+/// self-describing encoding carries explicit lengths, so skipping a value —
+/// including a string or nested list — never allocates.
+fn skip_value(input: &[u8], pos: &mut usize) -> Result<()> {
+    let tag = *input
+        .get(*pos)
+        .ok_or_else(|| LayoutError::Corrupted("truncated value".into()))?;
+    *pos += 1;
+    let advance = |pos: &mut usize, n: usize| -> Result<()> {
+        let end = pos
+            .checked_add(n)
+            .ok_or_else(|| LayoutError::Corrupted("value length overflows".into()))?;
+        if input.len() < end {
+            return Err(LayoutError::Corrupted("truncated value payload".into()));
+        }
+        *pos = end;
+        Ok(())
+    };
+    match tag {
+        TAG_NULL => Ok(()),
+        TAG_INT | TAG_FLOAT | TAG_TS => advance(pos, 8),
+        TAG_BOOL => advance(pos, 1),
+        TAG_STR => {
+            let len = read_varint(input, pos)? as usize;
+            advance(pos, len)
+        }
+        TAG_LIST => {
+            let len = read_varint(input, pos)? as usize;
+            for _ in 0..len {
+                skip_value(input, pos)?;
+            }
+            Ok(())
+        }
+        other => Err(LayoutError::Corrupted(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Decode-on-demand variant of [`decode_record`]: positions where `needed`
+/// is `true` are decoded, every other position is skipped over (it becomes
+/// [`Value::Null`] in the returned record). Positions past the end of
+/// `needed` are treated as not needed. The returned record always has the
+/// stored record's full arity, so field positions remain valid.
+pub fn decode_record_subset(bytes: &[u8], needed: &[bool]) -> Result<Record> {
+    let mut pos = 0usize;
+    let len = read_varint(bytes, &mut pos)? as usize;
+    let mut record = Vec::with_capacity(len);
+    for i in 0..len {
+        if needed.get(i).copied().unwrap_or(false) {
+            record.push(decode_value(bytes, &mut pos)?);
+        } else {
+            skip_value(bytes, &mut pos)?;
+            record.push(Value::Null);
+        }
+    }
+    Ok(record)
+}
+
+/// The hot-path projection decoder: decodes exactly the values at
+/// `positions` (which must be strictly ascending), returning them in that
+/// order with no padding. Values before an unwanted position are skipped
+/// byte-wise, and decoding stops as soon as the last wanted position has
+/// been read — trailing fields are not even walked. Positions at or past the
+/// record's arity yield [`Value::Null`].
+pub fn decode_record_projected(bytes: &[u8], positions: &[usize]) -> Result<Record> {
+    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    let mut pos = 0usize;
+    let len = read_varint(bytes, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(positions.len());
+    let mut wanted = positions.iter().copied().peekable();
+    for i in 0..len {
+        match wanted.peek() {
+            None => break,
+            Some(&p) if p == i => {
+                out.push(decode_value(bytes, &mut pos)?);
+                wanted.next();
+            }
+            Some(_) => skip_value(bytes, &mut pos)?,
+        }
+    }
+    out.extend(wanted.map(|_| Value::Null));
+    Ok(out)
 }
 
 /// Converts a slice of same-typed values into a [`ColumnData`] the
@@ -256,6 +342,53 @@ mod tests {
     fn nulls_become_sentinels_in_columns() {
         let vals = vec![Value::Null, Value::Int(5)];
         assert_eq!(values_to_column(&vals), ColumnData::Ints(vec![0, 5]));
+    }
+
+    #[test]
+    fn subset_decoding_skips_unneeded_fields() {
+        let record: Record = vec![
+            Value::Int(7),
+            Value::Str("skipped".into()),
+            Value::Float(2.5),
+            Value::List(vec![Value::Str("nested".into()), Value::Null]),
+            Value::Bool(true),
+        ];
+        let bytes = encode_record(&record);
+        let needed = vec![true, false, true, false, true];
+        let decoded = decode_record_subset(&bytes, &needed).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                Value::Int(7),
+                Value::Null,
+                Value::Float(2.5),
+                Value::Null,
+                Value::Bool(true),
+            ]
+        );
+        // A short mask leaves the tail undecoded; an all-true mask matches
+        // the full decoder.
+        let short = decode_record_subset(&bytes, &[false, true]).unwrap();
+        assert_eq!(short[1], Value::Str("skipped".into()));
+        assert_eq!(short.len(), record.len());
+        assert_eq!(
+            decode_record_subset(&bytes, &vec![true; 5]).unwrap(),
+            record
+        );
+        // Truncated payloads are still rejected even when skipped over.
+        assert!(decode_record_subset(&bytes[..bytes.len() - 1], &needed).is_err());
+    }
+
+    #[test]
+    fn absurd_skip_lengths_are_rejected_not_wrapped() {
+        // A record claiming one string whose length varint decodes to
+        // u64::MAX-ish: skipping must report corruption, not overflow `pos`.
+        let mut bytes = vec![1, TAG_STR];
+        bytes.extend_from_slice(&[0xFF; 9]); // varint ~ 2^63
+        bytes.push(0x7F);
+        assert!(decode_record_subset(&bytes, &[false]).is_err());
+        assert!(decode_record_subset(&bytes, &[true]).is_err());
+        assert!(decode_record_projected(&bytes, &[0]).is_err());
     }
 
     #[test]

@@ -1,0 +1,784 @@
+//! The streaming scan engine: decode-on-demand iteration over physical
+//! layouts, with predicates compiled to positional form.
+//!
+//! The eager read path ([`PhysicalLayout::scan`]) used to materialize, fully
+//! decode, and clone every tuple of every selected object before the first
+//! predicate was evaluated — throwing away at the CPU layer much of the I/O
+//! win the layout algebra buys. This module replaces it:
+//!
+//! * [`CompiledPredicate`] resolves field names to record positions **once
+//!   per scan** instead of once per row per reference
+//!   (`Condition::eval` walks the schema by name on every call);
+//! * [`ScanIter`] yields records lazily, object by object and page by page,
+//!   decoding only the fields a scan actually needs — projected-out fields
+//!   are skipped over byte-wise (the self-describing row encoding carries
+//!   lengths) and unneeded column blocks are never run through their codec;
+//! * [`PhysicalLayout::scan`] is now a thin `collect()` over the iterator,
+//!   and `rodentstore_exec::Cursor` wraps the iterator directly so
+//!   native-order scans never materialize the full result set.
+
+use crate::plan::{
+    split_folded, stitch_folded_row, ObjectEncoding, PhysicalLayout, StoredObject,
+};
+use crate::rowcodec::{decode_record, decode_record_projected};
+use crate::{LayoutError, Result};
+use rodentstore_algebra::comprehension::{interleave_bits, CmpOp, Condition, ElemExpr};
+use rodentstore_algebra::value::{Record, Value};
+use rodentstore_algebra::AlgebraError;
+use rodentstore_storage::page::PageId;
+use rodentstore_storage::slotted::SlottedReader;
+use std::collections::VecDeque;
+
+/// An element expression with field references resolved to positions.
+#[derive(Debug, Clone)]
+enum CompiledExpr {
+    Literal(Value),
+    Field(usize),
+    Pos,
+    Count,
+    Bin(Box<CompiledExpr>),
+    Interleave(Vec<CompiledExpr>),
+    Sub(Box<CompiledExpr>, Box<CompiledExpr>),
+    Add(Box<CompiledExpr>, Box<CompiledExpr>),
+}
+
+impl CompiledExpr {
+    fn compile(expr: &ElemExpr, fields: &[String], within: &str) -> Result<CompiledExpr> {
+        Ok(match expr {
+            ElemExpr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            ElemExpr::Field(name) => CompiledExpr::Field(resolve(name, fields, within)?),
+            ElemExpr::Pos => CompiledExpr::Pos,
+            ElemExpr::Count => CompiledExpr::Count,
+            ElemExpr::Bin(inner) => {
+                CompiledExpr::Bin(Box::new(CompiledExpr::compile(inner, fields, within)?))
+            }
+            ElemExpr::Interleave(items) => CompiledExpr::Interleave(
+                items
+                    .iter()
+                    .map(|e| CompiledExpr::compile(e, fields, within))
+                    .collect::<Result<_>>()?,
+            ),
+            ElemExpr::Sub(a, b) => CompiledExpr::Sub(
+                Box::new(CompiledExpr::compile(a, fields, within)?),
+                Box::new(CompiledExpr::compile(b, fields, within)?),
+            ),
+            ElemExpr::Add(a, b) => CompiledExpr::Add(
+                Box::new(CompiledExpr::compile(a, fields, within)?),
+                Box::new(CompiledExpr::compile(b, fields, within)?),
+            ),
+        })
+    }
+
+    fn eval(&self, record: &Record, pos: usize, count: usize) -> Result<Value> {
+        match self {
+            CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Field(idx) => Ok(record[*idx].clone()),
+            CompiledExpr::Pos => Ok(Value::Int(pos as i64)),
+            CompiledExpr::Count => Ok(Value::Int(count as i64)),
+            CompiledExpr::Bin(inner) => {
+                let v = inner.eval(record, pos, count)?;
+                let i = v.as_i64().ok_or_else(|| type_mismatch("bin()", &v))?;
+                Ok(Value::Int(i))
+            }
+            CompiledExpr::Interleave(items) => {
+                let mut parts = Vec::with_capacity(items.len());
+                for item in items {
+                    let v = item.eval(record, pos, count)?;
+                    let i = v.as_i64().ok_or_else(|| type_mismatch("interleave()", &v))?;
+                    parts.push(i.unsigned_abs() as u32);
+                }
+                Ok(Value::Int(interleave_bits(&parts) as i64))
+            }
+            CompiledExpr::Sub(a, b) => {
+                let av = a.eval(record, pos, count)?;
+                let bv = b.eval(record, pos, count)?;
+                av.sub(&bv).map_err(LayoutError::Algebra)
+            }
+            CompiledExpr::Add(a, b) => {
+                let av = a.eval(record, pos, count)?;
+                let bv = b.eval(record, pos, count)?;
+                av.add(&bv).map_err(LayoutError::Algebra)
+            }
+        }
+    }
+}
+
+fn type_mismatch(what: &str, found: &Value) -> LayoutError {
+    LayoutError::Algebra(AlgebraError::TypeMismatch {
+        expected: format!("integer for {what}"),
+        found: found.data_type().to_string(),
+    })
+}
+
+fn resolve(field: &str, fields: &[String], within: &str) -> Result<usize> {
+    fields
+        .iter()
+        .position(|f| f == field)
+        .ok_or_else(|| {
+            LayoutError::Algebra(AlgebraError::UnknownField {
+                field: field.to_string(),
+                within: within.to_string(),
+            })
+        })
+}
+
+/// A [`Condition`] with every field reference resolved to a record position,
+/// so evaluating it per row costs no name lookups. Semantics match
+/// [`Condition::eval_at`] exactly.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: CompiledCond,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledCond {
+    True,
+    Cmp {
+        left: CompiledExpr,
+        op: CmpOp,
+        right: CompiledExpr,
+    },
+    Range {
+        index: usize,
+        lo: Value,
+        hi: Value,
+    },
+    And(Vec<CompiledCond>),
+    Or(Vec<CompiledCond>),
+    Not(Box<CompiledCond>),
+}
+
+impl CompiledPredicate {
+    /// Compiles a condition against an ordered field list (`within` names the
+    /// schema or object for error messages). Fails on unknown fields.
+    pub fn compile(cond: &Condition, fields: &[String], within: &str) -> Result<CompiledPredicate> {
+        Ok(CompiledPredicate {
+            node: Self::compile_node(cond, fields, within)?,
+        })
+    }
+
+    fn compile_node(cond: &Condition, fields: &[String], within: &str) -> Result<CompiledCond> {
+        Ok(match cond {
+            Condition::True => CompiledCond::True,
+            Condition::Cmp { left, op, right } => CompiledCond::Cmp {
+                left: CompiledExpr::compile(left, fields, within)?,
+                op: *op,
+                right: CompiledExpr::compile(right, fields, within)?,
+            },
+            Condition::Range { field, lo, hi } => CompiledCond::Range {
+                index: resolve(field, fields, within)?,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Condition::And(items) => CompiledCond::And(
+                items
+                    .iter()
+                    .map(|c| Self::compile_node(c, fields, within))
+                    .collect::<Result<_>>()?,
+            ),
+            Condition::Or(items) => CompiledCond::Or(
+                items
+                    .iter()
+                    .map(|c| Self::compile_node(c, fields, within))
+                    .collect::<Result<_>>()?,
+            ),
+            Condition::Not(inner) => {
+                CompiledCond::Not(Box::new(Self::compile_node(inner, fields, within)?))
+            }
+        })
+    }
+
+    /// Evaluates the predicate against a record (positional context zero,
+    /// matching [`Condition::eval`]).
+    pub fn matches(&self, record: &Record) -> Result<bool> {
+        self.matches_at(record, 0, 0)
+    }
+
+    /// Evaluates with positional context (for `pos()` / `count()`).
+    pub fn matches_at(&self, record: &Record, pos: usize, count: usize) -> Result<bool> {
+        Self::eval_node(&self.node, record, pos, count)
+    }
+
+    fn eval_node(node: &CompiledCond, record: &Record, pos: usize, count: usize) -> Result<bool> {
+        match node {
+            CompiledCond::True => Ok(true),
+            CompiledCond::Cmp { left, op, right } => {
+                let l = left.eval(record, pos, count)?;
+                let r = right.eval(record, pos, count)?;
+                Ok(op.matches(l.compare(&r)))
+            }
+            CompiledCond::Range { index, lo, hi } => {
+                let v = &record[*index];
+                Ok(v.compare(lo) != std::cmp::Ordering::Less
+                    && v.compare(hi) != std::cmp::Ordering::Greater)
+            }
+            CompiledCond::And(items) => {
+                for c in items {
+                    if !Self::eval_node(c, record, pos, count)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            CompiledCond::Or(items) => {
+                for c in items {
+                    if Self::eval_node(c, record, pos, count)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            CompiledCond::Not(inner) => Ok(!Self::eval_node(inner, record, pos, count)?),
+        }
+    }
+}
+
+/// Streams the decoded rows of one stored object, page by page (row and
+/// folded encodings) or block-chunk by block-chunk (column blocks).
+///
+/// Rows come out *compact*: only the object positions listed in
+/// [`ObjectCursor::compact`] are present (ascending object order), with no
+/// NULL padding for skipped fields — the projection and predicate above are
+/// compiled against these compact positions, so the hot loop never touches a
+/// value it did not need to decode.
+struct ObjectCursor<'a> {
+    obj: &'a StoredObject,
+    pages: Vec<PageId>,
+    next_page: usize,
+    buf: VecDeque<Record>,
+    /// Ascending object positions present in each yielded row.
+    compact: Vec<usize>,
+    templates: Vec<Value>,
+    /// Raw column-block payloads awaiting a complete chunk.
+    pending_blocks: VecDeque<Vec<u8>>,
+}
+
+impl<'a> ObjectCursor<'a> {
+    fn new(obj: &'a StoredObject, needed: &[bool], templates: Vec<Value>) -> Result<Self> {
+        let mut compact: Vec<usize> = match obj.encoding {
+            // Folded groups are decoded whole anyway; keep every field.
+            ObjectEncoding::Folded { .. } => (0..obj.fields.len()).collect(),
+            _ => needed
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        if matches!(obj.encoding, ObjectEncoding::ColumnBlocks { .. })
+            && compact.is_empty()
+            && !obj.fields.is_empty()
+        {
+            // Column chunks learn their row count from a decoded block, so at
+            // least one column must be decoded even for zero-width outputs.
+            compact.push(0);
+        }
+        Ok(ObjectCursor {
+            pages: obj.heap.page_ids()?,
+            obj,
+            next_page: 0,
+            buf: VecDeque::new(),
+            compact,
+            templates,
+            pending_blocks: VecDeque::new(),
+        })
+    }
+
+    fn next_row(&mut self) -> Result<Option<Record>> {
+        loop {
+            if let Some(row) = self.buf.pop_front() {
+                return Ok(Some(row));
+            }
+            if !self.refill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Decodes the next page (or column-block chunk) into `buf`. Returns
+    /// `false` when the object is exhausted.
+    fn refill(&mut self) -> Result<bool> {
+        match &self.obj.encoding {
+            ObjectEncoding::Rows => {
+                let Some(&page_id) = self.pages.get(self.next_page) else {
+                    return Ok(false);
+                };
+                self.next_page += 1;
+                let page = self.obj.heap.pager().read(page_id)?;
+                let reader = SlottedReader::new(&page);
+                for slot in 0..reader.slot_count() {
+                    self.buf
+                        .push_back(decode_record_projected(reader.get(slot)?, &self.compact)?);
+                }
+                Ok(true)
+            }
+            ObjectEncoding::Folded { key_fields } => {
+                let Some(&page_id) = self.pages.get(self.next_page) else {
+                    return Ok(false);
+                };
+                self.next_page += 1;
+                let key_fields = *key_fields;
+                let page = self.obj.heap.pager().read(page_id)?;
+                let reader = SlottedReader::new(&page);
+                for slot in 0..reader.slot_count() {
+                    let folded = decode_record(reader.get(slot)?)?;
+                    let (key, nested) = split_folded(&folded, key_fields, &self.obj.name)?;
+                    for inner in nested {
+                        self.buf.push_back(stitch_folded_row(key, inner)?);
+                    }
+                }
+                Ok(true)
+            }
+            ObjectEncoding::ColumnBlocks { .. } => self.refill_block_chunk(),
+        }
+    }
+
+    fn refill_block_chunk(&mut self) -> Result<bool> {
+        let ncols = self.obj.fields.len();
+        if ncols == 0 {
+            return Ok(false);
+        }
+        while self.pending_blocks.len() < ncols {
+            let Some(&page_id) = self.pages.get(self.next_page) else {
+                if self.pending_blocks.is_empty() {
+                    return Ok(false);
+                }
+                return Err(LayoutError::Corrupted(format!(
+                    "object `{}` ends with {} trailing blocks for {} fields",
+                    self.obj.name,
+                    self.pending_blocks.len(),
+                    ncols
+                )));
+            };
+            self.next_page += 1;
+            let page = self.obj.heap.pager().read(page_id)?;
+            let reader = SlottedReader::new(&page);
+            for slot in 0..reader.slot_count() {
+                self.pending_blocks.push_back(reader.get(slot)?.to_vec());
+            }
+        }
+        // Decode only the needed columns of this chunk; skipped columns are
+        // never run through their codec and do not appear in the compact row.
+        let mut columns: Vec<std::vec::IntoIter<Value>> = Vec::with_capacity(self.compact.len());
+        let mut chunk_rows = 0usize;
+        let mut wanted = self.compact.iter().copied().peekable();
+        for f in 0..self.obj.fields.len() {
+            let block = self
+                .pending_blocks
+                .pop_front()
+                .expect("chunk completeness checked above");
+            if wanted.peek() == Some(&f) {
+                wanted.next();
+                let values = self.obj.decode_column_block(f, &block, &self.templates)?;
+                chunk_rows = chunk_rows.max(values.len());
+                columns.push(values.into_iter());
+            }
+        }
+        let width = columns.len();
+        for _ in 0..chunk_rows {
+            let mut row = Vec::with_capacity(width);
+            for col in columns.iter_mut() {
+                row.push(col.next().unwrap_or(Value::Null));
+            }
+            self.buf.push_back(row);
+        }
+        Ok(true)
+    }
+}
+
+/// Per-object scan state: a decoding cursor plus the predicate and
+/// projection compiled against this object's field order.
+struct ObjectState<'a> {
+    cursor: ObjectCursor<'a>,
+    predicate: Option<CompiledPredicate>,
+    out_positions: Vec<usize>,
+    /// `out_positions` is exactly `0..arity` — yield rows unchanged.
+    identity: bool,
+    /// `out_positions` repeats a position — fall back to cloning.
+    has_dup: bool,
+}
+
+/// A lazy scan over a [`PhysicalLayout`]: yields already-filtered,
+/// already-projected records in storage order, decoding pages on demand.
+///
+/// Vertically partitioned layouts are the one materialization point: their
+/// objects must be stitched positionally, so the stitched result (pre-filtered
+/// per object, so the all-NULL stitch buffer covers only surviving rows) is
+/// buffered up front and then replayed.
+pub struct ScanIter<'a> {
+    layout: &'a PhysicalLayout,
+    selected: Vec<usize>,
+    out_fields: Vec<String>,
+    predicate: Option<Condition>,
+    /// Streaming state (non-vertical layouts).
+    obj_cursor: usize,
+    current: Option<ObjectState<'a>>,
+    /// Buffered rows (vertical layouts); consumed destructively and rebuilt
+    /// on [`ScanIter::rewind`].
+    buffered: Option<Vec<Record>>,
+    buffered_pos: usize,
+    done: bool,
+}
+
+impl<'a> ScanIter<'a> {
+    pub(crate) fn new(
+        layout: &'a PhysicalLayout,
+        fields: Option<&[String]>,
+        predicate: Option<&Condition>,
+    ) -> Result<ScanIter<'a>> {
+        let out_fields: Vec<String> = match fields {
+            Some(f) => f.to_vec(),
+            None => layout.schema.field_names(),
+        };
+        // Validate the projection (and implicitly the output arity) up front.
+        layout
+            .schema
+            .indices_of(&out_fields)
+            .map_err(LayoutError::Algebra)?;
+        let selected = layout.objects_to_read(fields, predicate);
+        let mut iter = ScanIter {
+            layout,
+            selected,
+            out_fields,
+            predicate: predicate.cloned(),
+            obj_cursor: 0,
+            current: None,
+            buffered: None,
+            buffered_pos: 0,
+            done: false,
+        };
+        if layout.is_vertically_partitioned() {
+            iter.buffered = Some(iter.build_vertical_buffer()?);
+        }
+        Ok(iter)
+    }
+
+    /// Whether the iterator decodes lazily. `false` when the layout forced
+    /// materialization up front (vertical partitions buffer their stitched
+    /// rows; everything else streams).
+    pub fn is_lazy(&self) -> bool {
+        self.buffered.is_none()
+    }
+
+    /// Total number of result rows, known only when the scan had to buffer
+    /// (`None` while streaming lazily).
+    pub fn buffered_len(&self) -> Option<usize> {
+        self.buffered.as_ref().map(Vec::len)
+    }
+
+    /// Buffered rows not yet yielded (`None` while streaming lazily).
+    pub fn buffered_remaining(&self) -> Option<usize> {
+        self.buffered
+            .as_ref()
+            .map(|b| b.len().saturating_sub(self.buffered_pos))
+    }
+
+    /// Restarts the scan from the first record.
+    pub fn rewind(&mut self) -> Result<()> {
+        self.obj_cursor = 0;
+        self.current = None;
+        self.buffered_pos = 0;
+        self.done = false;
+        if self.buffered.is_some() {
+            // Buffered rows are moved out as they are yielded; rebuild.
+            self.buffered = Some(self.build_vertical_buffer()?);
+        }
+        Ok(())
+    }
+
+    /// Stitches, filters, and projects a vertically partitioned layout.
+    fn build_vertical_buffer(&self) -> Result<Vec<Record>> {
+        let schema_fields = self.layout.schema.field_names();
+        let out_indices = self
+            .layout
+            .schema
+            .indices_of(&self.out_fields)
+            .map_err(LayoutError::Algebra)?;
+        let has_dup = has_duplicates(&out_indices);
+        let compiled = self
+            .predicate
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(p, &schema_fields, self.layout.schema.name()))
+            .transpose()?;
+        let stitched = self
+            .layout
+            .scan_vertical(&self.selected, self.predicate.as_ref())?;
+        let mut out = Vec::with_capacity(stitched.len());
+        for mut row in stitched {
+            if let Some(pred) = &compiled {
+                if !pred.matches(&row)? {
+                    continue;
+                }
+            }
+            out.push(project_row(&mut row, &out_indices, has_dup));
+        }
+        Ok(out)
+    }
+
+    fn open_object(&self, obj_index: usize) -> Result<ObjectState<'a>> {
+        let obj = &self.layout.objects[obj_index];
+        // Everything the scan touches — output fields plus predicate fields —
+        // must be decoded; nothing else is.
+        let mut needed = vec![false; obj.fields.len()];
+        for f in &self.out_fields {
+            needed[resolve(f, &obj.fields, &obj.name)?] = true;
+        }
+        if let Some(pred) = &self.predicate {
+            for f in pred.referenced_fields() {
+                needed[resolve(&f, &obj.fields, &obj.name)?] = true;
+            }
+        }
+        let templates = self.layout.templates_for(&obj.fields);
+        let cursor = ObjectCursor::new(obj, &needed, templates)?;
+        // The cursor yields compact rows; rebind names to compact positions.
+        let compact_names: Vec<String> = cursor
+            .compact
+            .iter()
+            .map(|&p| obj.fields[p].clone())
+            .collect();
+        let out_positions: Vec<usize> = self
+            .out_fields
+            .iter()
+            .map(|f| resolve(f, &compact_names, &obj.name))
+            .collect::<Result<_>>()?;
+        let predicate = self
+            .predicate
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(p, &compact_names, &obj.name))
+            .transpose()?;
+        let identity = out_positions.len() == compact_names.len()
+            && out_positions.iter().enumerate().all(|(i, &p)| i == p);
+        let has_dup = has_duplicates(&out_positions);
+        Ok(ObjectState {
+            cursor,
+            predicate,
+            out_positions,
+            identity,
+            has_dup,
+        })
+    }
+
+    fn next_streamed(&mut self) -> Result<Option<Record>> {
+        loop {
+            if self.current.is_none() {
+                let Some(&obj_index) = self.selected.get(self.obj_cursor) else {
+                    return Ok(None);
+                };
+                self.current = Some(self.open_object(obj_index)?);
+            }
+            let state = self.current.as_mut().expect("object state opened above");
+            match state.cursor.next_row()? {
+                None => {
+                    self.current = None;
+                    self.obj_cursor += 1;
+                }
+                Some(mut row) => {
+                    if let Some(pred) = &state.predicate {
+                        if !pred.matches(&row)? {
+                            continue;
+                        }
+                    }
+                    if state.identity {
+                        return Ok(Some(row));
+                    }
+                    return Ok(Some(project_row(&mut row, &state.out_positions, state.has_dup)));
+                }
+            }
+        }
+    }
+}
+
+fn has_duplicates(positions: &[usize]) -> bool {
+    positions
+        .iter()
+        .enumerate()
+        .any(|(i, p)| positions[..i].contains(p))
+}
+
+/// Extracts the output values from a full-width row, moving values out when
+/// positions are unique and cloning when the projection repeats a field.
+fn project_row(row: &mut Record, positions: &[usize], has_dup: bool) -> Record {
+    if has_dup {
+        positions.iter().map(|&i| row[i].clone()).collect()
+    } else {
+        positions
+            .iter()
+            .map(|&i| std::mem::replace(&mut row[i], Value::Null))
+            .collect()
+    }
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(buf) = &mut self.buffered {
+            let row = buf.get_mut(self.buffered_pos)?;
+            self.buffered_pos += 1;
+            return Some(Ok(std::mem::take(row)));
+        }
+        match self.next_streamed() {
+            Ok(Some(row)) => Some(Ok(row)),
+            Ok(None) => None,
+            Err(e) => {
+                // An error ends the stream; further calls yield None.
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{render, MemTableProvider, RenderOptions};
+    use rodentstore_algebra::schema::{Field, Schema};
+    use rodentstore_algebra::types::DataType;
+    use rodentstore_algebra::LayoutExpr;
+    use rodentstore_storage::pager::Pager;
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Field::new("a", DataType::Int),
+                Field::new("name", DataType::String),
+                Field::new("v", DataType::Float),
+            ],
+        )
+    }
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Str(format!("row-{i}")),
+                    Value::Float(i as f64 * 0.25),
+                ]
+            })
+            .collect()
+    }
+
+    fn rendered(expr: LayoutExpr, n: usize) -> PhysicalLayout {
+        let provider = MemTableProvider::single(schema(), records(n));
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        render(&expr, &provider, pager, RenderOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn compiled_predicate_matches_interpreted_eval() {
+        let s = schema();
+        let fields = s.field_names();
+        let rows = records(40);
+        let preds = vec![
+            Condition::True,
+            Condition::range("a", 5i64, 20i64),
+            Condition::eq("name", "row-7"),
+            Condition::range("v", 1.0, 4.0).and(Condition::range("a", 0i64, 30i64)),
+            Condition::Or(vec![
+                Condition::eq("a", 3i64),
+                Condition::Not(Box::new(Condition::range("a", 0i64, 35i64))),
+            ]),
+        ];
+        for pred in preds {
+            let compiled = CompiledPredicate::compile(&pred, &fields, "T").unwrap();
+            for row in &rows {
+                assert_eq!(
+                    compiled.matches(row).unwrap(),
+                    pred.eval(&s, row).unwrap(),
+                    "{pred:?} on {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiling_unknown_fields_fails() {
+        let fields = schema().field_names();
+        assert!(CompiledPredicate::compile(&Condition::eq("nope", 1i64), &fields, "T").is_err());
+    }
+
+    #[test]
+    fn scan_iter_streams_rows_lazily_and_rewinds() {
+        let layout = rendered(LayoutExpr::table("T"), 200);
+        let mut iter = layout.scan_iter(None, None).unwrap();
+        let first: Record = iter.next().unwrap().unwrap();
+        assert_eq!(first[0], Value::Int(0));
+        // Consume a few more, then rewind and verify replay from the top.
+        for _ in 0..10 {
+            iter.next().unwrap().unwrap();
+        }
+        iter.rewind().unwrap();
+        let replayed: Vec<Record> = iter.map(|r| r.unwrap()).collect();
+        assert_eq!(replayed.len(), 200);
+        assert_eq!(replayed[0], first);
+    }
+
+    #[test]
+    fn projection_skips_decoding_but_preserves_values() {
+        for expr in [
+            LayoutExpr::table("T"),
+            LayoutExpr::table("T").columns(["a", "name", "v"]),
+            LayoutExpr::table("T").vertical([vec!["a", "v"], vec!["name"]]),
+        ] {
+            let layout = rendered(expr, 120);
+            let fields = vec!["v".to_string(), "a".to_string()];
+            let rows: Vec<Record> = layout
+                .scan_iter(Some(&fields), None)
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(rows.len(), 120);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row[0], Value::Float(i as f64 * 0.25));
+                assert_eq!(row[1], Value::Int(i as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_projection_fields_are_cloned_not_nulled() {
+        let layout = rendered(LayoutExpr::table("T"), 10);
+        let fields = vec!["a".to_string(), "a".to_string()];
+        let rows = layout.scan(Some(&fields), None).unwrap();
+        assert_eq!(rows[3], vec![Value::Int(3), Value::Int(3)]);
+    }
+
+    #[test]
+    fn predicate_streaming_matches_post_filtering() {
+        let layout = rendered(LayoutExpr::table("T"), 150);
+        let pred = Condition::range("a", 30i64, 59i64);
+        let rows = layout.scan(None, Some(&pred)).unwrap();
+        assert_eq!(rows.len(), 30);
+        assert!(rows.iter().all(|r| {
+            let a = r[0].as_i64().unwrap();
+            (30..60).contains(&a) && r[1].as_str() == Some(&format!("row-{a}"))
+        }));
+    }
+
+    #[test]
+    fn get_element_matches_streamed_scan_for_all_encodings() {
+        for expr in [
+            LayoutExpr::table("T"),
+            LayoutExpr::table("T").columns(["a", "name", "v"]),
+            LayoutExpr::table("T").vertical([vec!["a"], vec!["name", "v"]]),
+        ] {
+            let layout = rendered(expr, 90);
+            let rows = layout.scan(None, None).unwrap();
+            for i in [0usize, 1, 44, 89] {
+                assert_eq!(layout.get_element(i, None).unwrap(), rows[i]);
+            }
+            let narrow = vec!["name".to_string()];
+            assert_eq!(
+                layout.get_element(44, Some(&narrow)).unwrap(),
+                vec![rows[44][1].clone()]
+            );
+        }
+    }
+}

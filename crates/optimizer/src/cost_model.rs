@@ -69,8 +69,18 @@ impl CostModel {
             .collect()
     }
 
+    /// Samples `records` once and wraps the sample in a provider that can be
+    /// shared across every candidate rendering of one `advise()` call — the
+    /// per-candidate sample clone used to dominate enumeration on large
+    /// tables (the annealing loop alone re-cloned the sample 12 times).
+    pub fn sampled_provider(&self, schema: &Schema, records: &[Record]) -> MemTableProvider {
+        MemTableProvider::single(schema.clone(), self.sample(records))
+    }
+
     /// Renders `expr` over the sampled data and sums the workload's estimated
-    /// scan costs.
+    /// scan costs. Convenience wrapper that samples on every call; candidate
+    /// loops should build one [`CostModel::sampled_provider`] and use
+    /// [`CostModel::cost_with_provider`] instead.
     pub fn cost(
         &self,
         expr: &LayoutExpr,
@@ -78,15 +88,24 @@ impl CostModel {
         records: &[Record],
         workload: &Workload,
     ) -> Result<DesignCost> {
+        self.cost_with_provider(expr, &self.sampled_provider(schema, records), workload)
+    }
+
+    /// Renders `expr` over an already-sampled provider and sums the
+    /// workload's estimated scan costs.
+    pub fn cost_with_provider(
+        &self,
+        expr: &LayoutExpr,
+        provider: &MemTableProvider,
+        workload: &Workload,
+    ) -> Result<DesignCost> {
         if workload.queries.is_empty() {
             return Err(OptimizerError::InvalidInput(
                 "workload contains no queries".into(),
             ));
         }
-        let sample = self.sample(records);
-        let provider = MemTableProvider::single(schema.clone(), sample);
         let pager = Arc::new(Pager::in_memory_with_page_size(self.page_size));
-        let layout = render(expr, &provider, pager, RenderOptions::default())?;
+        let layout = render(expr, provider, pager, RenderOptions::default())?;
         let layout_pages = layout.total_pages();
         let methods = AccessMethods::with_cost_params(layout, self.cost_params);
 
@@ -190,6 +209,24 @@ mod tests {
             model.cost(&LayoutExpr::table("Traces"), &schema, &records, &Workload::new()),
             Err(OptimizerError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn shared_provider_costs_match_per_call_sampling() {
+        let (schema, records) = small_traces();
+        let model = io_bound_model();
+        let workload = spatial_workload();
+        let provider = model.sampled_provider(&schema, &records);
+        for expr in [
+            LayoutExpr::table("Traces"),
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+        ] {
+            let fresh = model.cost(&expr, &schema, &records, &workload).unwrap();
+            let shared = model.cost_with_provider(&expr, &provider, &workload).unwrap();
+            assert_eq!(fresh.total_pages, shared.total_pages);
+            assert!((fresh.total_ms - shared.total_ms).abs() < 1e-9);
+            assert_eq!(fresh.layout_pages, shared.layout_pages);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::candidates::enumerate_candidates;
 use crate::cost_model::{CostModel, DesignCost};
+use rodentstore_layout::MemTableProvider;
 use crate::workload::Workload;
 use crate::{OptimizerError, Result};
 use rand::rngs::StdRng;
@@ -61,11 +62,14 @@ pub fn advise(
         ));
     }
     let model = &options.cost_model;
+    // Sample the relation exactly once per advise() call; every candidate
+    // rendering (greedy enumeration and annealing alike) shares the provider.
+    let provider = model.sampled_provider(schema, records);
     let candidates = enumerate_candidates(schema, workload);
     let mut explored: Vec<DesignCost> = Vec::with_capacity(candidates.len());
     for candidate in candidates {
         let candidate = simplify(&candidate);
-        explored.push(model.cost(&candidate, schema, records, workload)?);
+        explored.push(model.cost_with_provider(&candidate, &provider, workload)?);
     }
     explored.sort_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).unwrap_or(std::cmp::Ordering::Equal));
     let mut best = explored
@@ -77,8 +81,7 @@ pub fn advise(
     if options.anneal_iterations > 0 && extract_grid(&best.expr).is_some() {
         let refined = anneal_grid_strides(
             &best,
-            schema,
-            records,
+            &provider,
             workload,
             model,
             options.anneal_iterations,
@@ -145,12 +148,11 @@ fn scale_grid(expr: &LayoutExpr, factor: f64) -> LayoutExpr {
 }
 
 /// Simulated annealing over a single continuous parameter: a multiplicative
-/// scale applied to every grid stride of the current best design.
-#[allow(clippy::too_many_arguments)]
+/// scale applied to every grid stride of the current best design. Renders
+/// against the advise-call-wide sampled provider, never re-sampling.
 fn anneal_grid_strides(
     start: &DesignCost,
-    schema: &Schema,
-    records: &[Record],
+    provider: &MemTableProvider,
     workload: &Workload,
     model: &CostModel,
     iterations: usize,
@@ -164,7 +166,7 @@ fn anneal_grid_strides(
     for _ in 0..iterations {
         let proposal_scale = scale * rng.gen_range(0.5..2.0);
         let candidate_expr = scale_grid(&start.expr, proposal_scale);
-        let candidate = model.cost(&candidate_expr, schema, records, workload)?;
+        let candidate = model.cost_with_provider(&candidate_expr, provider, workload)?;
         let accept = candidate.total_ms < current.total_ms || {
             let delta = (candidate.total_ms - current.total_ms) / current.total_ms.max(1e-9);
             rng.gen_bool((-delta / temperature.max(1e-3)).exp().clamp(0.0, 1.0))

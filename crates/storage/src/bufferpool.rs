@@ -1,30 +1,145 @@
-//! A simple LRU buffer pool over a [`Pager`].
+//! An O(1) LRU buffer pool over a [`Pager`].
 //!
 //! The buffer pool caches recently accessed pages so that repeated reads of
 //! the same page within a query do not inflate the I/O counters — only
 //! genuine fetches from the backing store count as page reads, which mirrors
 //! how a real storage manager amortizes hot pages. Dirty pages are written
 //! back on eviction or on [`BufferPool::flush_all`].
+//!
+//! Recency is tracked with an intrusive doubly-linked list kept in a slab
+//! (`Vec` of nodes + free list), the classic linked-hash-map scheme: every
+//! `get`/`put` relinks one node and every eviction pops the list tail, so
+//! touching a page is O(1) regardless of pool size. (The previous
+//! implementation scanned a `VecDeque` with `position()` on every touch —
+//! O(n) per hit, which dominated scans the moment pools grew past a few
+//! hundred pages.)
 
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::stats::IoStats;
 use crate::Result;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
 
 struct Frame {
     page: Arc<Page>,
     dirty: bool,
+    /// Index of this frame's node in the recency list slab.
+    node: usize,
+}
+
+struct LruNode {
+    id: PageId,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive doubly-linked recency list over a slab of nodes. `head` is the
+/// most recently used end, `tail` the eviction end; all operations are O(1).
+struct LruList {
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruList {
+    fn new() -> LruList {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Inserts a new node at the MRU end, returning its slab index.
+    fn push_mru(&mut self, id: PageId) -> usize {
+        let node = LruNode {
+            id,
+            prev: NIL,
+            next: self.head,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        idx
+    }
+
+    /// Detaches a node from the list without freeing its slot.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    /// Moves an existing node to the MRU end.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes and returns the LRU victim.
+    fn pop_lru(&mut self) -> Option<PageId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let id = self.nodes[idx].id;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(id)
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
 }
 
 struct PoolState {
     frames: HashMap<PageId, Frame>,
-    lru: VecDeque<PageId>,
+    lru: LruList,
 }
 
-/// An LRU page cache with write-back semantics.
+/// An LRU page cache with write-back semantics and O(1) touches.
 pub struct BufferPool {
     pager: Arc<Pager>,
     capacity: usize,
@@ -49,7 +164,7 @@ impl BufferPool {
             capacity: capacity.max(1),
             state: Mutex::new(PoolState {
                 frames: HashMap::new(),
-                lru: VecDeque::new(),
+                lru: LruList::new(),
             }),
         }
     }
@@ -69,12 +184,19 @@ impl BufferPool {
         self.state.lock().frames.len()
     }
 
+    /// Whether a page is resident, without touching its recency or the I/O
+    /// counters (diagnostics and tests).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.state.lock().frames.contains_key(&id)
+    }
+
     /// Fetches a page, serving it from the cache when possible.
     pub fn get(&self, id: PageId) -> Result<Arc<Page>> {
         let mut state = self.state.lock();
         if let Some(frame) = state.frames.get(&id) {
             let page = Arc::clone(&frame.page);
-            Self::touch(&mut state.lru, id);
+            let node = frame.node;
+            state.lru.touch(node);
             self.pager.stats().record_cache_hit();
             return Ok(page);
         }
@@ -138,11 +260,12 @@ impl BufferPool {
         if let Some(existing) = state.frames.get_mut(&id) {
             existing.page = page;
             existing.dirty = existing.dirty || dirty;
-            Self::touch(&mut state.lru, id);
+            let node = existing.node;
+            state.lru.touch(node);
             return Ok(());
         }
         while state.frames.len() >= self.capacity {
-            let Some(victim) = state.lru.pop_front() else {
+            let Some(victim) = state.lru.pop_lru() else {
                 break;
             };
             if let Some(frame) = state.frames.remove(&victim) {
@@ -151,22 +274,17 @@ impl BufferPool {
                 }
             }
         }
-        state.frames.insert(id, Frame { page, dirty });
-        state.lru.push_back(id);
+        let node = state.lru.push_mru(id);
+        state.frames.insert(id, Frame { page, dirty, node });
         Ok(())
     }
 
-    fn touch(lru: &mut VecDeque<PageId>, id: PageId) {
-        if let Some(pos) = lru.iter().position(|&p| p == id) {
-            lru.remove(pos);
-        }
-        lru.push_back(id);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     fn make_pool(capacity: usize) -> (Arc<Pager>, BufferPool) {
         let pager = Arc::new(Pager::in_memory_with_page_size(128));
@@ -204,6 +322,7 @@ mod tests {
         pool.get(a).unwrap();
         pool.get(c).unwrap(); // evicts b
         assert_eq!(pool.resident(), 2);
+        assert!(!pool.contains(b));
 
         // `a` is still resident and dirty; force eviction by loading b again.
         pool.get(b).unwrap(); // evicts a, must write it back
@@ -231,6 +350,9 @@ mod tests {
         assert_eq!(pool.resident(), 1);
         pool.clear().unwrap();
         assert_eq!(pool.resident(), 0);
+        // The pool keeps working after a clear.
+        pool.get(id).unwrap();
+        assert_eq!(pool.resident(), 1);
     }
 
     #[test]
@@ -239,5 +361,72 @@ mod tests {
         let id = pager.allocate_with(|_| Ok(())).unwrap();
         pool.get(id).unwrap();
         assert_eq!(pool.resident(), 1);
+    }
+
+    /// Strict LRU order must hold at 10k-page scale: after touching every
+    /// resident page in a known permuted order, evictions happen in exactly
+    /// that order.
+    #[test]
+    fn touch_order_preserved_across_ten_thousand_pages() {
+        const N: usize = 10_000;
+        let (pager, pool) = make_pool(N);
+        let ids: Vec<PageId> = (0..2 * N)
+            .map(|_| pager.allocate_with(|_| Ok(())).unwrap())
+            .collect();
+        for &id in &ids[..N] {
+            pool.get(id).unwrap();
+        }
+        assert_eq!(pool.resident(), N);
+        // Touch the resident pages in a deterministic pseudo-random order.
+        let mut order: Vec<usize> = (0..N).collect();
+        order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        for &i in &order {
+            pool.get(ids[i]).unwrap();
+        }
+        // Each new page evicts the next victim in touch order.
+        for (k, &id) in ids[N..].iter().enumerate() {
+            pool.get(id).unwrap();
+            assert!(
+                !pool.contains(ids[order[k]]),
+                "page touched {k}-th must be the {k}-th victim"
+            );
+            if k + 1 < N {
+                assert!(pool.contains(ids[order[k + 1]]));
+            }
+            assert_eq!(pool.resident(), N);
+        }
+    }
+
+    /// Regression guard for the O(1) rewrite: a million touches of a
+    /// 10k-page pool must run in seconds, not minutes. The previous
+    /// `VecDeque::position` LRU made each hit O(pool size) — roughly 5×10⁹
+    /// element comparisons for this workload — while the linked-list scheme
+    /// does a million constant-time relinks.
+    #[test]
+    fn get_cost_stays_flat_across_a_large_pool() {
+        const N: usize = 10_000;
+        const TOUCHES: usize = 1_000_000;
+        let (pager, pool) = make_pool(N);
+        let ids: Vec<PageId> = (0..N)
+            .map(|_| pager.allocate_with(|_| Ok(())).unwrap())
+            .collect();
+        for &id in &ids {
+            pool.get(id).unwrap();
+        }
+        let start = Instant::now();
+        let mut x = 0usize;
+        for _ in 0..TOUCHES {
+            // Cheap xorshift over the resident set keeps the touch pattern
+            // adversarial for approximate schemes (no locality).
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pool.get(ids[(x >> 33) % N]).unwrap();
+        }
+        let elapsed = start.elapsed();
+        let snap = pager.stats().snapshot();
+        assert_eq!(snap.cache_misses as usize, N, "every touch must be a hit");
+        assert!(
+            elapsed.as_secs_f64() < 10.0,
+            "1M touches of a 10k-page pool took {elapsed:?}; LRU touch is no longer O(1)"
+        );
     }
 }

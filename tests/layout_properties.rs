@@ -4,7 +4,11 @@
 
 use proptest::prelude::*;
 use rodentstore::{Database, ScanRequest, Value};
+use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
 use rodentstore_algebra::{parse, DataType, Field, LayoutExpr, Schema};
+use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_storage::pager::Pager;
+use std::sync::Arc;
 
 fn points_schema() -> Schema {
     Schema::new(
@@ -44,6 +48,27 @@ fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
                 .order_by(["tag"])
                 .compress(["tag"], rodentstore_algebra::expr::CodecSpec::Rle)
         ),
+    ]
+}
+
+/// Predicates over the fields every generated layout retains (`x`, `y`).
+fn predicate_strategy() -> impl Strategy<Value = Condition> {
+    let range = |field: &'static str| {
+        (-120.0f64..120.0, 0.0f64..100.0)
+            .prop_map(move |(lo, w)| Condition::range(field, lo, lo + w))
+    };
+    prop_oneof![
+        Just(Condition::True),
+        range("x"),
+        range("y"),
+        (range("x"), range("y")).prop_map(|(a, b)| a.and(b)),
+        (range("x"), range("x")).prop_map(|(a, b)| Condition::Or(vec![a, b])),
+        range("y").prop_map(|c| Condition::Not(Box::new(c))),
+        (-120.0f64..120.0).prop_map(|v| Condition::Cmp {
+            left: ElemExpr::field("x"),
+            op: CmpOp::Le,
+            right: ElemExpr::lit(v),
+        }),
     ]
 }
 
@@ -130,6 +155,68 @@ proptest! {
             })
             .count();
         prop_assert_eq!(filtered.len(), expected);
+    }
+
+    /// The streaming read path is a drop-in for the eager one: for every
+    /// generated layout and random projection/predicate, `ScanIter` yields
+    /// exactly the rows — and the order — that decoding everything and
+    /// filtering/projecting in memory produces, and `get_element(i)` equals
+    /// `scan()[i]`.
+    #[test]
+    fn scan_iter_matches_eager_reference(
+        records in proptest::collection::vec(record_strategy(), 1..150),
+        layout in layout_strategy(),
+        field_mask in 1u8..16,
+        predicate in predicate_strategy(),
+    ) {
+        let provider = MemTableProvider::single(points_schema(), records);
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let rendered = render(&layout, &provider, pager, RenderOptions::default()).unwrap();
+
+        // Reference result: decode every field of every row, then filter with
+        // the interpreted `Condition::eval` and project by schema position.
+        let full = rendered.scan(None, None).unwrap();
+        let schema = &rendered.schema;
+        let mut fields: Vec<String> = schema
+            .field_names()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| field_mask & (1 << (i % 3)) != 0)
+            .map(|(_, f)| f)
+            .collect();
+        if fields.is_empty() {
+            fields = schema.field_names();
+        }
+        if field_mask & 8 != 0 {
+            fields.reverse();
+        }
+        let indices = schema.indices_of(&fields).unwrap();
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for row in &full {
+            if predicate.eval(schema, row).unwrap() {
+                expected.push(indices.iter().map(|&i| row[i].clone()).collect());
+            }
+        }
+
+        // Streaming result, decoded on demand.
+        let streamed: Vec<Vec<Value>> = rendered
+            .scan_iter(Some(&fields), Some(&predicate))
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(&streamed, &expected, "layout {}", layout);
+
+        // Positional access decodes only the containing row/block but must
+        // agree with the full scan everywhere.
+        let step = (full.len() / 7).max(1);
+        for i in (0..full.len()).step_by(step) {
+            prop_assert_eq!(&rendered.get_element(i, None).unwrap(), &full[i]);
+            prop_assert_eq!(
+                rendered.get_element(i, Some(&fields)).unwrap(),
+                indices.iter().map(|&j| full[i][j].clone()).collect::<Vec<_>>()
+            );
+        }
+        prop_assert!(rendered.get_element(full.len(), None).is_err());
     }
 
     /// Every generated layout expression round-trips through its textual form.

@@ -1,0 +1,239 @@
+//! End-to-end demonstration of the closed adaptivity loop.
+//!
+//! Scenario 1 — **workload shift**: a CarTel traces table serves a
+//! row-favoring phase (full-width scans), then the traffic shifts to
+//! column-favoring projections (`fields(["lat"])`). Auto-adaptation is on;
+//! no `advise`/`apply_layout` call appears anywhere in the driver. After the
+//! loop converges, the measured pages/query must be within 1.2× of the best
+//! *hand-declared* layout for the new phase.
+//!
+//! Scenario 2 — **incremental absorption**: inserting 1k rows into a
+//! 30k-row horizontal (row-major) layout must not trigger a full re-render;
+//! the render counters and `IoStats::pages_written` prove the append touched
+//! only the tail of the representation.
+//!
+//! Set `RODENTSTORE_BENCH_SMOKE=1` to run a tiny configuration (CI uses this
+//! to keep the scenario from bit-rotting); the assertions hold in both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{
+    AdaptivePolicy, AdvisorOptions, CostParams, Database, LayoutExpr, ReorgStrategy, ScanRequest,
+};
+use rodentstore_optimizer::CostModel;
+use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+struct Config {
+    observations: usize,
+    page_size: usize,
+    phase1_queries: usize,
+    phase2_queries: usize,
+    measure_queries: usize,
+    policy: AdaptivePolicy,
+}
+
+fn config() -> Config {
+    let smoke = smoke_mode();
+    let observations = if smoke { 2_000 } else { 30_000 };
+    let policy = AdaptivePolicy {
+        auto: true,
+        check_every: if smoke { 4 } else { 8 },
+        min_queries: if smoke { 4 } else { 8 },
+        hysteresis: 0.1,
+        strategy: ReorgStrategy::Eager,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: if smoke { 1_000 } else { 4_000 },
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 2,
+            seed: 7,
+        },
+    };
+    Config {
+        observations,
+        page_size: 1024,
+        phase1_queries: if smoke { 12 } else { 32 },
+        // Long enough for the phase-1 template to decay below the profile's
+        // 1% relevance cutoff, so "after convergence" means the advisor sees
+        // the shifted workload alone.
+        phase2_queries: if smoke { 128 } else { 160 },
+        measure_queries: if smoke { 8 } else { 20 },
+        policy,
+    }
+}
+
+fn traces_db(config: &Config) -> Database {
+    let mut db = Database::with_page_size(config.page_size);
+    db.create_table(traces_schema()).unwrap();
+    db.insert(
+        "Traces",
+        generate_traces(&CartelConfig {
+            observations: config.observations,
+            vehicles: (config.observations / 500).clamp(10, 5_000),
+            ..CartelConfig::default()
+        }),
+    )
+    .unwrap();
+    db
+}
+
+/// Average pages/query for `request` against the database's current layout.
+fn measure_pages(db: &mut Database, request: &ScanRequest, queries: usize) -> f64 {
+    let before = db.io_snapshot();
+    for _ in 0..queries {
+        db.scan("Traces", request).unwrap();
+    }
+    let after = db.io_snapshot();
+    (after.pages_read - before.pages_read) as f64 / queries as f64
+}
+
+/// Scenario 1: the workload shifts row→column and the loop re-layouts the
+/// table by itself. Returns the converged auto database for the criterion
+/// measurement.
+fn run_workload_shift(config: &Config) -> Database {
+    let mut db = traces_db(config);
+    db.set_adaptive_policy(config.policy.clone());
+
+    // Phase 1 (row-favoring): full-width scans.
+    let phase1 = ScanRequest::all();
+    for _ in 0..config.phase1_queries {
+        db.scan("Traces", &phase1).unwrap();
+    }
+    let adaptations_after_phase1 = db.layout_stats("Traces").unwrap().adaptations;
+
+    // Phase 2 (column-favoring): narrow projections. The monitor's decaying
+    // profile lets the new shape dominate within a few check windows and
+    // eventually forget phase 1 entirely.
+    let phase2 = ScanRequest::all().fields(["lat"]);
+    for _ in 0..config.phase2_queries {
+        db.scan("Traces", &phase2).unwrap();
+    }
+    let stats = db.layout_stats("Traces").unwrap();
+    assert!(
+        stats.adaptations > adaptations_after_phase1,
+        "auto-adaptation must have re-declared the layout for the shifted workload \
+         (phase1: {adaptations_after_phase1}, now: {})",
+        stats.adaptations
+    );
+    let adapted_expr = db
+        .catalog()
+        .get("Traces")
+        .unwrap()
+        .layout_expr
+        .clone()
+        .expect("adaptation declared a layout");
+
+    // Converged pages/query, versus the best hand-declared design for the
+    // new phase.
+    let auto_pages = measure_pages(&mut db, &phase2, config.measure_queries);
+    let hand_designs: Vec<(&str, LayoutExpr)> = vec![
+        ("project[lat]", LayoutExpr::table("Traces").project(["lat"])),
+        (
+            "vertical[lat|t,lon,id]",
+            LayoutExpr::table("Traces").vertical([
+                vec!["lat".to_string()],
+                vec!["t".to_string(), "lon".to_string(), "id".to_string()],
+            ]),
+        ),
+        (
+            "columns",
+            LayoutExpr::table("Traces").columns(["t", "lat", "lon", "id"]),
+        ),
+    ];
+    let mut best_hand = f64::INFINITY;
+    let mut best_label = "";
+    for (label, expr) in hand_designs {
+        let mut hand = traces_db(config);
+        hand.apply_layout("Traces", expr, ReorgStrategy::Eager).unwrap();
+        let pages = measure_pages(&mut hand, &phase2, config.measure_queries);
+        println!("adaptivity/hand/{label}: {pages:.1} pages/query");
+        if pages < best_hand {
+            best_hand = pages;
+            best_label = label;
+        }
+    }
+    println!(
+        "adaptivity/auto: {auto_pages:.1} pages/query after {} adaptation(s), layout = {adapted_expr}",
+        stats.adaptations
+    );
+    println!("adaptivity/best-hand: {best_hand:.1} pages/query ({best_label})");
+    assert!(
+        auto_pages <= best_hand * 1.2 + 1.0,
+        "converged auto layout reads {auto_pages:.1} pages/query, best hand-declared \
+         ({best_label}) reads {best_hand:.1} — outside the 1.2× bound"
+    );
+    db
+}
+
+/// Scenario 2: eager insert into a large horizontal layout absorbs
+/// incrementally instead of re-rendering.
+fn run_incremental_insert(config: &Config) {
+    let mut db = traces_db(config);
+    db.apply_layout("Traces", LayoutExpr::table("Traces"), ReorgStrategy::Eager)
+        .unwrap();
+    let layout_pages = db
+        .catalog()
+        .get("Traces")
+        .unwrap()
+        .access
+        .as_ref()
+        .unwrap()
+        .layout()
+        .total_pages();
+    let stats_before = db.layout_stats("Traces").unwrap();
+    assert_eq!(stats_before.full_renders, 1);
+
+    let extra = generate_traces(&CartelConfig {
+        observations: config.observations / 30, // 1k rows at full scale
+        vehicles: 20,
+        seed: 0xF00D,
+        ..CartelConfig::default()
+    });
+    let inserted = extra.len();
+    let written_before = db.io_snapshot().pages_written;
+    db.insert("Traces", extra).unwrap();
+    let written = db.io_snapshot().pages_written - written_before;
+    let stats = db.layout_stats("Traces").unwrap();
+
+    println!(
+        "adaptivity/incremental-insert: {inserted} rows into a {}-row layout wrote {written} \
+         pages (layout is {layout_pages} pages), full_renders {} → {}, incremental_appends {}",
+        config.observations, stats_before.full_renders, stats.full_renders,
+        stats.incremental_appends
+    );
+    assert_eq!(
+        stats.full_renders, stats_before.full_renders,
+        "eager insert must not trigger a full re-render"
+    );
+    assert_eq!(stats.incremental_appends, stats_before.incremental_appends + 1);
+    assert!(
+        (written as usize) < layout_pages / 5,
+        "append wrote {written} pages, suspiciously close to the full layout ({layout_pages})"
+    );
+    assert_eq!(db.row_count("Traces").unwrap(), config.observations + inserted);
+}
+
+fn bench_adaptivity(c: &mut Criterion) {
+    let config = config();
+    run_incremental_insert(&config);
+    let mut db = run_workload_shift(&config);
+
+    let mut group = c.benchmark_group("adaptivity");
+    group.sample_size(if smoke_mode() { 1 } else { 10 });
+    let request = ScanRequest::all().fields(["lat"]);
+    group.bench_function("converged_projected_scan", |b| {
+        b.iter(|| db.scan("Traces", &request).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptivity);
+criterion_main!(benches);

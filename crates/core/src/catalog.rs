@@ -1,11 +1,26 @@
 //! The catalog: schemas, layout expressions, and canonical data per table.
 
+use crate::monitor::WorkloadProfile;
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
 use rodentstore_algebra::expr::LayoutExpr;
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::AccessMethods;
+
+/// Counters tracking how a table's physical representation has been
+/// maintained — the observability hooks of the adaptivity loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Full renders of the layout (every canonical row rewritten).
+    pub full_renders: u64,
+    /// Incremental absorptions of pending rows into the existing
+    /// representation (no full rewrite).
+    pub incremental_appends: u64,
+    /// Layout changes applied by the self-adaptation loop
+    /// ([`crate::Database::maybe_adapt`]).
+    pub adaptations: u64,
+}
 
 /// Catalog entry for one logical table.
 pub struct TableEntry {
@@ -22,6 +37,10 @@ pub struct TableEntry {
     /// Records inserted since the layout was last rendered (used by the
     /// new-data-only strategy and to detect staleness).
     pub pending: Vec<Record>,
+    /// Decaying profile of the live query traffic against this table.
+    pub profile: WorkloadProfile,
+    /// Render/append/adaptation counters.
+    pub stats: LayoutStats,
 }
 
 impl std::fmt::Debug for TableEntry {
@@ -48,6 +67,8 @@ impl TableEntry {
             access: None,
             strategy: ReorgStrategy::Eager,
             pending: Vec::new(),
+            profile: WorkloadProfile::default(),
+            stats: LayoutStats::default(),
         }
     }
 

@@ -3,18 +3,93 @@
 use crate::catalog::Catalog;
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
-use rodentstore_algebra::expr::LayoutExpr;
+use rodentstore_algebra::expr::{LayoutExpr, SortOrder};
 use rodentstore_algebra::parse;
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
-use rodentstore_layout::{render, MemTableProvider, RenderOptions};
-use rodentstore_optimizer::{advise, AdvisorOptions, Recommendation, Workload};
+use rodentstore_layout::{render, AppendOutcome, MemTableProvider, RenderOptions};
+use rodentstore_optimizer::{
+    advise, advise_with_baseline, AdvisorOptions, Recommendation, Workload,
+};
 use rodentstore_storage::pager::Pager;
 use rodentstore_storage::stats::IoSnapshot;
 use rodentstore_storage::wal::Wal;
 use std::sync::Arc;
+
+/// Configuration of the closed-loop self-adaptation machinery.
+///
+/// The loop is: every query is recorded into the table's
+/// [`crate::monitor::WorkloadProfile`]; every `check_every` queries (in auto
+/// mode) — or whenever [`Database::maybe_adapt`] is called — the profile is
+/// fed to the storage design advisor, the recommended design is costed
+/// against the *current* design on the same data sample, and the layout is
+/// re-declared only when the predicted improvement clears the `hysteresis`
+/// threshold. The transition itself goes through the ordinary
+/// [`ReorgStrategy`] machinery, so reads stay correct mid-transition.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Run the adaptation check automatically from inside
+    /// `scan`/`open_cursor`/`get_element` every `check_every` queries.
+    /// When `false`, the profile is still maintained but adaptation only
+    /// happens on explicit [`Database::maybe_adapt`] calls.
+    pub auto: bool,
+    /// Auto mode: queries between adaptation checks.
+    pub check_every: u64,
+    /// Minimum queries observed on a table before the advisor is consulted
+    /// at all (prevents adapting to the first few requests).
+    pub min_queries: u64,
+    /// Required relative improvement before a new layout is applied: adapt
+    /// only if `best_cost < current_cost × (1 − hysteresis)`. Damps
+    /// oscillation between near-equal designs.
+    pub hysteresis: f64,
+    /// Reorganization strategy used for adaptation-driven layout changes.
+    pub strategy: ReorgStrategy,
+    /// Advisor configuration (cost model, annealing budget, seed).
+    pub advisor: AdvisorOptions,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            auto: false,
+            check_every: 64,
+            min_queries: 16,
+            hysteresis: 0.15,
+            strategy: ReorgStrategy::Eager,
+            advisor: AdvisorOptions::default(),
+        }
+    }
+}
+
+/// What an adaptation check decided.
+#[derive(Debug, Clone)]
+pub enum AdaptOutcome {
+    /// Too little traffic observed to trust the profile.
+    InsufficientData {
+        /// Queries observed so far.
+        queries_observed: u64,
+    },
+    /// The advisor's best design did not beat the current one by more than
+    /// the hysteresis threshold (or *was* the current design).
+    KeptCurrent {
+        /// Predicted workload cost of the current design, in ms
+        /// (`f64::INFINITY` when the current design could not be costed).
+        current_ms: f64,
+        /// Predicted workload cost of the advisor's best design, in ms.
+        best_ms: f64,
+    },
+    /// A better design was found and applied.
+    Adapted {
+        /// The newly declared layout expression.
+        expr: LayoutExpr,
+        /// Predicted workload cost of the previous design, in ms.
+        from_ms: f64,
+        /// Predicted workload cost of the new design, in ms.
+        to_ms: f64,
+    },
+}
 
 /// A RodentStore database: a catalog of tables, a shared pager, and the
 /// machinery to declare and change physical layouts.
@@ -24,6 +99,7 @@ pub struct Database {
     wal: Wal,
     cost_params: CostParams,
     render_options: RenderOptions,
+    adaptive: AdaptivePolicy,
 }
 
 impl std::fmt::Debug for Database {
@@ -54,12 +130,33 @@ impl Database {
             wal: Wal::new(),
             cost_params: CostParams::default(),
             render_options: RenderOptions::default(),
+            adaptive: AdaptivePolicy::default(),
         }
     }
 
     /// Overrides the disk-model parameters used for cost estimates.
     pub fn set_cost_params(&mut self, cost_params: CostParams) {
         self.cost_params = cost_params;
+    }
+
+    /// Replaces the self-adaptation policy.
+    pub fn set_adaptive_policy(&mut self, policy: AdaptivePolicy) {
+        self.adaptive = policy;
+    }
+
+    /// The current self-adaptation policy.
+    pub fn adaptive_policy(&self) -> &AdaptivePolicy {
+        &self.adaptive
+    }
+
+    /// Switches automatic adaptation on or off (keeping the rest of the
+    /// policy unchanged). With auto mode on, every `check_every`-th query
+    /// against a table runs the advisor over that table's live workload
+    /// profile and re-declares the layout when the predicted improvement
+    /// clears the hysteresis threshold — no manual `advise`/`apply_layout`
+    /// calls needed.
+    pub fn set_auto_adapt(&mut self, auto: bool) {
+        self.adaptive.auto = auto;
     }
 
     /// The shared pager (for I/O statistics, page counts, …).
@@ -93,9 +190,14 @@ impl Database {
     }
 
     /// Inserts records into a table. If a layout is declared with the eager
-    /// or lazy strategy the representation is refreshed on next access; with
-    /// the new-data-only strategy the records are kept in a separate
-    /// row-oriented buffer that scans merge in.
+    /// strategy, the rows are absorbed into the rendered representation
+    /// immediately — *incrementally* where the layout shape allows (new heap
+    /// records, column blocks, or grid cells appended in place), falling
+    /// back to a full re-render only for shapes that cannot take appends
+    /// (fold, vertical partitions, prejoins). The lazy strategy defers the
+    /// same absorption to the next access; with the new-data-only strategy
+    /// the records are kept in a separate row-oriented buffer that scans
+    /// merge in.
     pub fn insert(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
         let entry = self.catalog.get_mut(table)?;
         for r in &records {
@@ -105,11 +207,6 @@ impl Database {
         entry.records.extend(records.iter().cloned());
         if has_layout {
             entry.pending.extend(records);
-            if entry.strategy.absorbs_new_data_on_access() {
-                // Invalidate the rendered representation; it is rebuilt on the
-                // next access (lazy) — eager rebuilds immediately below.
-                entry.access = None;
-            }
             if entry.strategy == ReorgStrategy::Eager {
                 self.ensure_rendered(table)?;
             }
@@ -151,18 +248,51 @@ impl Database {
         Ok(())
     }
 
-    /// Renders the declared layout of `table` if it is not already rendered
-    /// (no-op for tables without a declared layout).
+    /// Renders the declared layout of `table` if it is not already rendered,
+    /// or absorbs pending inserts into the existing rendering (no-op for
+    /// tables without a declared layout).
+    ///
+    /// Absorption is incremental whenever the layout shape allows it: the
+    /// pending rows are pipelined (selection, projection, …) and appended to
+    /// the existing stored objects — new heap records for row layouts, new
+    /// column blocks for columnar ones, routed into (possibly new) cells for
+    /// grids. Only shapes whose invariants cannot be maintained row-at-a-time
+    /// (fold, vertical partitions, prejoins) fall back to a full re-render.
     pub fn ensure_rendered(&mut self, table: &str) -> Result<()> {
-        let needs_render = {
+        let (has_expr, has_access, pending_len, absorbs) = {
             let entry = self.catalog.get(table)?;
-            entry.layout_expr.is_some()
-                && (entry.access.is_none()
-                    || (entry.strategy.absorbs_new_data_on_access()
-                        && !entry.pending.is_empty()))
+            (
+                entry.layout_expr.is_some(),
+                entry.access.is_some(),
+                entry.pending.len(),
+                entry.strategy.absorbs_new_data_on_access(),
+            )
         };
-        if !needs_render {
+        if !has_expr {
             return Ok(());
+        }
+        if has_access && !(absorbs && pending_len > 0) {
+            return Ok(());
+        }
+        if has_access && absorbs && pending_len > 0 {
+            // Try to absorb the pending rows into the existing rendering.
+            let provider = {
+                let entry = self.catalog.get(table)?;
+                MemTableProvider::single(entry.schema.clone(), entry.pending.clone())
+            };
+            let entry = self.catalog.get_mut(table)?;
+            let access = entry.access.as_mut().expect("checked above");
+            match access.append_rows(&provider)? {
+                AppendOutcome::Appended { .. } => {
+                    entry.pending.clear();
+                    entry.stats.incremental_appends += 1;
+                    return Ok(());
+                }
+                AppendOutcome::NeedsRebuild(_) => {
+                    entry.access = None;
+                    // Fall through to the full render below.
+                }
+            }
         }
         let (expr, strategy) = {
             let entry = self.catalog.get(table)?;
@@ -171,12 +301,17 @@ impl Database {
                 entry.strategy,
             )
         };
-        // Build a provider with every table's canonical records (prejoin may
-        // need more than one table). Under the new-data-only strategy, rows
-        // inserted after the layout was declared stay in the row buffer and
-        // are excluded from the rendered representation.
+        // Build a provider holding only the tables the expression actually
+        // references (prejoin may need more than one; everything else needs
+        // exactly one — unrelated tables are never cloned). Under the
+        // new-data-only strategy, rows inserted after the layout was declared
+        // stay in the row buffer and are excluded from the rendering.
+        let referenced = expr.base_tables();
         let mut provider = MemTableProvider::new();
         for name in self.catalog.table_names() {
+            if !referenced.contains(&name) {
+                continue;
+            }
             let entry = self.catalog.get(&name)?;
             let mut records = entry.records.clone();
             if name == table && !strategy.absorbs_new_data_on_access() {
@@ -196,6 +331,7 @@ impl Database {
         let access = AccessMethods::with_cost_params(layout, self.cost_params);
         let entry = self.catalog.get_mut(table)?;
         entry.access = Some(access);
+        entry.stats.full_renders += 1;
         if strategy.absorbs_new_data_on_access() {
             entry.pending.clear();
         }
@@ -206,16 +342,48 @@ impl Database {
     /// canonical row-major representation; tables with a layout use the
     /// rendered objects (rendering lazily if necessary). Under the
     /// new-data-only strategy, rows inserted after the layout was declared
-    /// are merged in from the row buffer.
+    /// are merged in from the row buffer — order-aware when the request asks
+    /// for a sort order, so the merged result is globally ordered.
+    ///
+    /// Every scan is recorded into the table's live workload profile; in
+    /// auto-adapt mode, every [`AdaptivePolicy::check_every`]-th query also
+    /// runs the adaptation check after serving the scan.
     pub fn scan(&mut self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
+        let run_check = self.observe(table, request)?;
         self.ensure_rendered(table)?;
         let entry = self.catalog.get(table)?;
-        let mut rows = match &entry.access {
-            Some(access) => access.scan(request)?,
-            None => scan_canonical(&entry.schema, &entry.records, request)?,
+        let rows = match &entry.access {
+            // A layout can only serve requests over the fields it kept; a
+            // query referencing a field the (possibly auto-adapted) layout
+            // projected away falls back to the canonical rows — and, having
+            // been recorded in the profile, steers the next adaptation back
+            // toward a layout that covers it.
+            Some(access) if layout_serves(access, request) => {
+                let mut rows = access.scan(request)?;
+                if !entry.pending.is_empty() {
+                    // Pending rows must come out in the *layout's* output
+                    // shape (a projection layout exposes fewer fields than
+                    // the canonical schema), so the merge compares and
+                    // returns uniformly shaped records.
+                    let out_fields: Vec<String> = request
+                        .fields
+                        .clone()
+                        .unwrap_or_else(|| access.layout().schema.field_names());
+                    let pending_request = ScanRequest {
+                        fields: Some(out_fields.clone()),
+                        predicate: request.predicate.clone(),
+                        order: request.order.clone(),
+                    };
+                    let pending =
+                        scan_canonical(&entry.schema, &entry.pending, &pending_request)?;
+                    rows = merge_by_order(&out_fields, request.order.as_deref(), rows, pending);
+                }
+                rows
+            }
+            _ => scan_canonical(&entry.schema, &entry.records, request)?,
         };
-        if entry.access.is_some() && !entry.pending.is_empty() {
-            rows.extend(scan_canonical(&entry.schema, &entry.pending, request)?);
+        if run_check {
+            self.auto_adapt_check(table)?;
         }
         Ok(rows)
     }
@@ -225,45 +393,87 @@ impl Database {
     /// materialized here; use [`AccessMethods::open_cursor`] on a layout
     /// directly for a streaming cursor.
     pub fn open_cursor(&mut self, table: &str, request: &ScanRequest) -> Result<Cursor<'static>> {
+        // Profiling (and the auto-adapt hook) happens inside `scan`.
         Ok(Cursor::new(self.scan(table, request)?))
     }
 
-    /// Returns the element at `index` of the table's stored representation.
+    /// Returns the element at `index` of the table's stored representation
+    /// (layout storage order first, then any pending row buffer).
     pub fn get_element(
         &mut self,
         table: &str,
         index: usize,
         fields: Option<&[String]>,
     ) -> Result<Record> {
+        let run_check = {
+            let policy = &self.adaptive;
+            let entry = self.catalog.get_mut(table)?;
+            // Unknown fields error below and must not poison the profile.
+            if fields.map_or(true, |fields| {
+                fields.iter().all(|f| entry.schema.index_of(f).is_ok())
+            }) {
+                entry.profile.record_get_element(fields);
+            }
+            policy.auto && entry.profile.queries_since_check >= policy.check_every
+        };
         self.ensure_rendered(table)?;
         let entry = self.catalog.get(table)?;
-        match &entry.access {
-            Some(access) => Ok(access.get_element(index, fields)?),
-            None => entry
+        let element = match &entry.access {
+            // Fields the layout projected away are served from the canonical
+            // rows (in canonical order — a storage order over fields the
+            // layout does not store is not meaningful).
+            Some(access)
+                if fields.map_or(true, |fields| {
+                    fields.iter().all(|f| access.layout().schema.index_of(f).is_ok())
+                }) =>
+            {
+                let layout_rows = access.layout().row_count;
+                if index >= layout_rows && index - layout_rows < entry.pending.len() {
+                    // Pending rows (new-data-only buffer) extend the storage
+                    // order past the rendered representation; project them to
+                    // the layout's exposed fields so the record shape does
+                    // not change at the layout/pending boundary.
+                    let layout_fields;
+                    let effective: &[String] = match fields {
+                        Some(fields) => fields,
+                        None => {
+                            layout_fields = access.layout().schema.field_names();
+                            &layout_fields
+                        }
+                    };
+                    project_record(
+                        &entry.schema,
+                        entry.pending[index - layout_rows].clone(),
+                        Some(effective),
+                    )?
+                } else {
+                    access.get_element(index, fields)?
+                }
+            }
+            _ => entry
                 .records
                 .get(index)
                 .cloned()
-                .map(|r| match fields {
-                    Some(fields) => entry
-                        .schema
-                        .extract(&r, fields)
-                        .map_err(RodentError::Algebra),
-                    None => Ok(r),
-                })
+                .map(|r| project_record(&entry.schema, r, fields))
                 .transpose()?
-                .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range"))),
+                .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range")))?,
+        };
+        if run_check {
+            self.auto_adapt_check(table)?;
         }
+        Ok(element)
     }
 
     /// Estimated cost of a scan in milliseconds (the `scan_cost` access
-    /// method). Tables without a rendered layout report a cost proportional
+    /// method). Tables without a rendered layout — or requests the layout
+    /// cannot serve (fields it projected away) — report a cost proportional
     /// to their canonical size.
     pub fn scan_cost(&mut self, table: &str, request: &ScanRequest) -> Result<f64> {
         self.ensure_rendered(table)?;
         let entry = self.catalog.get(table)?;
         match &entry.access {
-            Some(access) => Ok(access.scan_cost(request)?),
-            None => {
+            Some(access) if layout_serves(access, request) => Ok(access.scan_cost(request)?),
+            _ => {
                 let bytes = entry.records.len() as f64
                     * entry.schema.estimated_record_width() as f64;
                 Ok(self.cost_params.seek_ms
@@ -272,13 +482,14 @@ impl Database {
         }
     }
 
-    /// Estimated number of pages a scan would read.
+    /// Estimated number of pages a scan would read (0 when the scan would be
+    /// served from the in-memory canonical rows).
     pub fn scan_pages(&mut self, table: &str, request: &ScanRequest) -> Result<u64> {
         self.ensure_rendered(table)?;
         let entry = self.catalog.get(table)?;
         match &entry.access {
-            Some(access) => Ok(access.scan_pages(request)),
-            None => Ok(0),
+            Some(access) if layout_serves(access, request) => Ok(access.scan_pages(request)),
+            _ => Ok(0),
         }
     }
 
@@ -316,6 +527,218 @@ impl Database {
         self.apply_layout(table, recommendation.best.expr.clone(), ReorgStrategy::Eager)?;
         Ok(recommendation)
     }
+
+    /// The live workload profile captured for a table.
+    pub fn workload_profile(&self, table: &str) -> Result<&crate::monitor::WorkloadProfile> {
+        Ok(&self.catalog.get(table)?.profile)
+    }
+
+    /// Render/append/adaptation counters for a table.
+    pub fn layout_stats(&self, table: &str) -> Result<crate::catalog::LayoutStats> {
+        Ok(self.catalog.get(table)?.stats)
+    }
+
+    /// Runs one adaptation check against the table's *live* workload profile
+    /// — no user-built [`Workload`] needed. The advisor's best design and the
+    /// currently declared design are costed over the same data sample; the
+    /// layout is re-declared (via [`AdaptivePolicy::strategy`]) only when the
+    /// predicted improvement clears [`AdaptivePolicy::hysteresis`].
+    ///
+    /// In auto mode this runs by itself every [`AdaptivePolicy::check_every`]
+    /// queries; calling it explicitly is always allowed.
+    pub fn maybe_adapt(&mut self, table: &str) -> Result<AdaptOutcome> {
+        let policy = self.adaptive.clone();
+        let (workload, observed) = {
+            let entry = self.catalog.get_mut(table)?;
+            entry.profile.end_check_window();
+            (entry.profile.to_workload(), entry.profile.queries_observed)
+        };
+        if observed < policy.min_queries || workload.is_empty() {
+            return Ok(AdaptOutcome::InsufficientData {
+                queries_observed: observed,
+            });
+        }
+        let current_expr = {
+            let entry = self.catalog.get(table)?;
+            entry
+                .layout_expr
+                .clone()
+                .unwrap_or_else(|| LayoutExpr::table(table))
+        };
+        let (recommendation, baseline) = {
+            let entry = self.catalog.get(table)?;
+            advise_with_baseline(
+                &entry.schema,
+                &entry.records,
+                &workload,
+                &policy.advisor,
+                &current_expr,
+            )?
+        };
+        let best = recommendation.best;
+        let current_ms = baseline.map(|c| c.total_ms).unwrap_or(f64::INFINITY);
+        let improves = best.total_ms < current_ms * (1.0 - policy.hysteresis);
+        if best.expr == current_expr || !improves {
+            return Ok(AdaptOutcome::KeptCurrent {
+                current_ms,
+                best_ms: best.total_ms,
+            });
+        }
+        self.apply_layout(table, best.expr.clone(), policy.strategy)?;
+        let entry = self.catalog.get_mut(table)?;
+        entry.stats.adaptations += 1;
+        Ok(AdaptOutcome::Adapted {
+            expr: best.expr,
+            from_ms: current_ms,
+            to_ms: best.total_ms,
+        })
+    }
+
+    /// Records a scan into the profile, returning whether the auto-adapt
+    /// check should run after the query is served. Requests referencing
+    /// fields the table does not have are *not* recorded — they error on the
+    /// query path anyway, and a poisoned template would make every later
+    /// advisor run fail on the unknown field.
+    fn observe(&mut self, table: &str, request: &ScanRequest) -> Result<bool> {
+        let policy = &self.adaptive;
+        let entry = self.catalog.get_mut(table)?;
+        let known = |f: &String| entry.schema.index_of(f).is_ok();
+        let valid = request.fields.iter().flatten().all(known)
+            && request
+                .predicate
+                .as_ref()
+                .map_or(true, |p| p.referenced_fields().iter().all(known))
+            && request
+                .order
+                .iter()
+                .flatten()
+                .all(|k| known(&k.field));
+        if valid {
+            entry.profile.record_scan(request);
+        }
+        Ok(policy.auto && entry.profile.queries_since_check >= policy.check_every)
+    }
+
+    /// Auto-mode wrapper around [`Database::maybe_adapt`]: an adaptation
+    /// check the advisor cannot complete (empty candidate set, a template it
+    /// cannot cost, …) must not fail the user's query, so optimizer errors
+    /// are swallowed here; catalog and rendering errors still surface.
+    fn auto_adapt_check(&mut self, table: &str) -> Result<()> {
+        match self.maybe_adapt(table) {
+            Ok(_) | Err(RodentError::Optimizer(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Whether the rendered layout can serve every field the request references
+/// (projection, predicate, and order keys). A layout that projected a field
+/// away cannot — such requests fall back to the canonical rows.
+fn layout_serves(access: &AccessMethods, request: &ScanRequest) -> bool {
+    let schema = &access.layout().schema;
+    if let Some(fields) = &request.fields {
+        if !fields.iter().all(|f| schema.index_of(f).is_ok()) {
+            return false;
+        }
+    }
+    if let Some(pred) = &request.predicate {
+        if !pred
+            .referenced_fields()
+            .iter()
+            .all(|f| schema.index_of(f).is_ok())
+        {
+            return false;
+        }
+    }
+    if let Some(order) = &request.order {
+        if !order.iter().all(|k| schema.index_of(&k.field).is_ok()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Projects a canonical record to the requested fields.
+fn project_record(
+    schema: &Schema,
+    record: Record,
+    fields: Option<&[String]>,
+) -> Result<Record> {
+    match fields {
+        Some(fields) => schema.extract(&record, fields).map_err(RodentError::Algebra),
+        None => Ok(record),
+    }
+}
+
+/// Compares two equally shaped records on `(position, direction)` sort keys
+/// — the single comparator shared by the canonical scan sort and the
+/// pending-row merge.
+fn compare_by_keys(
+    key_positions: &[(usize, SortOrder)],
+    a: &Record,
+    b: &Record,
+) -> std::cmp::Ordering {
+    for (pos, dir) in key_positions {
+        let ord = a[*pos].compare(&b[*pos]);
+        let ord = match dir {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Merges pending-buffer rows into a layout scan's result. Both inputs carry
+/// records in the `out_fields` shape. When the request asks for a sort
+/// order, both inputs are already sorted on the order keys (the access
+/// methods sort non-native orders; [`scan_canonical`] sorts the buffer), so
+/// a two-way merge keeps the combined result globally ordered — blindly
+/// appending the buffer (the old behavior) broke any `ScanRequest` ordering.
+/// Without an order (or when no order key survives the projection), the
+/// buffer is appended after the layout rows.
+fn merge_by_order(
+    out_fields: &[String],
+    order: Option<&[rodentstore_algebra::expr::SortKey]>,
+    base: Vec<Record>,
+    extra: Vec<Record>,
+) -> Vec<Record> {
+    let key_positions: Vec<(usize, SortOrder)> = order
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|k| {
+            out_fields
+                .iter()
+                .position(|f| *f == k.field)
+                .map(|pos| (pos, k.order))
+        })
+        .collect();
+    if key_positions.is_empty() {
+        let mut rows = base;
+        rows.extend(extra);
+        return rows;
+    }
+    let mut merged = Vec::with_capacity(base.len() + extra.len());
+    let mut a = base.into_iter().peekable();
+    let mut b = extra.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                // `<=` keeps the merge stable: layout rows win ties.
+                if compare_by_keys(&key_positions, x, y) != std::cmp::Ordering::Greater {
+                    merged.push(a.next().expect("peeked"));
+                } else {
+                    merged.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => merged.push(a.next().expect("peeked")),
+            (None, Some(_)) => merged.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    merged
 }
 
 /// Scans in-memory canonical records (used before any layout is declared and
@@ -346,19 +769,7 @@ fn scan_canonical(
                 key_positions.push((pos, key.order));
             }
         }
-        rows.sort_by(|a: &Record, b: &Record| {
-            for (pos, dir) in &key_positions {
-                let ord = a[*pos].compare(&b[*pos]);
-                let ord = match dir {
-                    rodentstore_algebra::expr::SortOrder::Asc => ord,
-                    rodentstore_algebra::expr::SortOrder::Desc => ord.reverse(),
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        rows.sort_by(|a: &Record, b: &Record| compare_by_keys(&key_positions, a, b));
     }
     Ok(rows)
 }
@@ -519,6 +930,366 @@ mod tests {
         let orders = db.order_list("Traces").unwrap();
         assert_eq!(orders.len(), 1);
         assert_eq!(orders[0][0].field, "t");
+    }
+
+    #[test]
+    fn eager_inserts_are_absorbed_incrementally() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        let after_apply = db.layout_stats("Traces").unwrap();
+        assert_eq!(after_apply.full_renders, 1);
+
+        let written_before = db.io_snapshot().pages_written;
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_000),
+                Value::Float(42.31),
+                Value::Float(-71.06),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        let stats = db.layout_stats("Traces").unwrap();
+        assert_eq!(stats.full_renders, 1, "no full re-render on insert");
+        assert_eq!(stats.incremental_appends, 1);
+        // An incremental append of one row touches a handful of pages, not
+        // the whole layout.
+        let written = db.io_snapshot().pages_written - written_before;
+        assert!(written <= 4, "append wrote {written} pages");
+        assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 1_501);
+        assert!(db.catalog().get("Traces").unwrap().pending.is_empty());
+    }
+
+    #[test]
+    fn lazy_inserts_absorb_incrementally_on_next_access() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Lazy,
+        )
+        .unwrap();
+        db.scan("Traces", &ScanRequest::all()).unwrap(); // first render
+        assert_eq!(db.layout_stats("Traces").unwrap().full_renders, 1);
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_001),
+                Value::Float(42.32),
+                Value::Float(-71.07),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        // Pending until the next access; then absorbed without a re-render.
+        assert_eq!(db.catalog().get("Traces").unwrap().pending.len(), 1);
+        assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 1_501);
+        let stats = db.layout_stats("Traces").unwrap();
+        assert_eq!(stats.full_renders, 1);
+        assert_eq!(stats.incremental_appends, 1);
+    }
+
+    #[test]
+    fn appendless_shapes_still_rebuild_on_insert() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").vertical([vec!["lat", "lon"], vec!["t", "id"]]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_002),
+                Value::Float(42.33),
+                Value::Float(-71.08),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        let stats = db.layout_stats("Traces").unwrap();
+        assert_eq!(stats.full_renders, 2, "vertical layouts fall back to rebuild");
+        assert_eq!(stats.incremental_appends, 0);
+        assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 1_501);
+    }
+
+    #[test]
+    fn new_data_only_merges_pending_rows_order_aware() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["t", "lat"]),
+            ReorgStrategy::NewDataOnly,
+        )
+        .unwrap();
+        // A pending row whose timestamp sorts *before* every layout row.
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(-5),
+                Value::Float(42.0),
+                Value::Float(-71.0),
+                Value::Str("car-early".into()),
+            ]],
+        )
+        .unwrap();
+        let rows = db
+            .scan("Traces", &ScanRequest::all().fields(["t", "lat"]).order(["t"]))
+            .unwrap();
+        assert_eq!(rows.len(), 1_501);
+        assert_eq!(rows[0][0], Value::Timestamp(-5), "pending row merged into place");
+        assert!(
+            rows.windows(2).all(|w| w[0][0] <= w[1][0]),
+            "merged result must be globally ordered"
+        );
+    }
+
+    #[test]
+    fn ordered_scan_over_projection_layout_merges_pending_in_layout_shape() {
+        let mut db = small_db();
+        // The layout exposes only [lat, lon]; order key positions must be
+        // resolved against that shape, not the 4-field canonical schema.
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::NewDataOnly,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_004),
+                Value::Float(-90.0), // sorts before every generated lat
+                Value::Float(0.0),
+                Value::Str("car-south".into()),
+            ]],
+        )
+        .unwrap();
+        let rows = db
+            .scan("Traces", &ScanRequest::all().order(["lat"]))
+            .unwrap();
+        assert_eq!(rows.len(), 1_501);
+        assert!(rows.iter().all(|r| r.len() == 2), "uniform layout shape");
+        assert_eq!(rows[0][0], Value::Float(-90.0), "pending row merged first");
+        assert!(rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+    }
+
+    #[test]
+    fn unknown_field_requests_do_not_poison_auto_adaptation() {
+        let mut db = small_db();
+        db.set_adaptive_policy(AdaptivePolicy {
+            auto: true,
+            check_every: 4,
+            min_queries: 4,
+            advisor: AdvisorOptions {
+                cost_model: rodentstore_optimizer::CostModel {
+                    sample_size: 500,
+                    page_size: 1024,
+                    cost_params: CostParams {
+                        seek_ms: 1.0,
+                        transfer_mb_per_s: 2.0,
+                    },
+                },
+                anneal_iterations: 1,
+                seed: 5,
+            },
+            ..AdaptivePolicy::default()
+        });
+        // A bad request errors, but must not be recorded as a template.
+        assert!(db.scan("Traces", &ScanRequest::all().fields(["nope"])).is_err());
+        assert!(db
+            .get_element("Traces", 0, Some(&["nope".to_string()]))
+            .is_err());
+        // Valid queries keep working straight through the adaptation checks.
+        for _ in 0..12 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        assert!(db
+            .workload_profile("Traces")
+            .unwrap()
+            .templates()
+            .iter()
+            .all(|t| !t.fingerprint.contains("nope")));
+    }
+
+    #[test]
+    fn get_element_reaches_pending_rows() {
+        let mut db = small_db();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::NewDataOnly,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_003),
+                Value::Float(1.5),
+                Value::Float(2.5),
+                Value::Str("car-pending".into()),
+            ]],
+        )
+        .unwrap();
+        // Index 1500 is past the rendered layout (1500 rows) → pending row,
+        // shaped like the layout's output ([lat, lon]) — the record shape
+        // must not change at the layout/pending boundary.
+        let row = db.get_element("Traces", 1_500, None).unwrap();
+        assert_eq!(row, vec![Value::Float(1.5), Value::Float(2.5)]);
+        assert_eq!(row.len(), db.get_element("Traces", 0, None).unwrap().len());
+        let narrow = db
+            .get_element("Traces", 1_500, Some(&["lon".to_string()]))
+            .unwrap();
+        assert_eq!(narrow, vec![Value::Float(2.5)]);
+        assert!(db.get_element("Traces", 1_501, None).is_err());
+    }
+
+    #[test]
+    fn dropped_fields_are_served_from_canonical_rows() {
+        let mut db = small_db();
+        // The layout keeps only lat/lon; t and id are projected away.
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        let ts = db
+            .scan("Traces", &ScanRequest::all().fields(["t"]))
+            .unwrap();
+        assert_eq!(ts.len(), 1_500, "dropped field served from canonical rows");
+        let filtered = db
+            .scan(
+                "Traces",
+                &ScanRequest::all()
+                    .fields(["lat"])
+                    .predicate(Condition::eq("id", "car-00001")),
+            )
+            .unwrap();
+        assert!(!filtered.is_empty(), "predicate on dropped field still works");
+        assert_eq!(db.scan_pages("Traces", &ScanRequest::all().fields(["t"])).unwrap(), 0);
+        assert!(db.scan_cost("Traces", &ScanRequest::all().fields(["t"])).unwrap() > 0.0);
+        let elem = db
+            .get_element("Traces", 3, Some(&["t".to_string(), "id".to_string()]))
+            .unwrap();
+        assert_eq!(elem.len(), 2);
+        // Truly unknown fields still error.
+        assert!(db.scan("Traces", &ScanRequest::all().fields(["nope"])).is_err());
+    }
+
+    #[test]
+    fn maybe_adapt_waits_for_data_then_adapts_beyond_hysteresis() {
+        let mut db = Database::with_page_size(1024);
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 3_000,
+                vehicles: 15,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.set_adaptive_policy(AdaptivePolicy {
+            auto: false,
+            min_queries: 8,
+            hysteresis: 0.1,
+            advisor: AdvisorOptions {
+                cost_model: rodentstore_optimizer::CostModel {
+                    sample_size: 2_000,
+                    page_size: 1024,
+                    cost_params: CostParams {
+                        seek_ms: 1.0,
+                        transfer_mb_per_s: 2.0,
+                    },
+                },
+                anneal_iterations: 2,
+                seed: 11,
+            },
+            ..AdaptivePolicy::default()
+        });
+
+        // Not enough traffic yet.
+        db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        assert!(matches!(
+            db.maybe_adapt("Traces").unwrap(),
+            AdaptOutcome::InsufficientData { .. }
+        ));
+
+        // A projection-heavy workload: the advisor should move the table off
+        // the canonical row layout.
+        for _ in 0..12 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        let outcome = db.maybe_adapt("Traces").unwrap();
+        assert!(
+            matches!(outcome, AdaptOutcome::Adapted { .. }),
+            "expected adaptation, got {outcome:?}"
+        );
+        assert!(db.catalog().get("Traces").unwrap().layout_expr.is_some());
+        assert_eq!(db.layout_stats("Traces").unwrap().adaptations, 1);
+
+        // Same workload again: the system must *not* flap.
+        for _ in 0..12 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        assert!(matches!(
+            db.maybe_adapt("Traces").unwrap(),
+            AdaptOutcome::KeptCurrent { .. }
+        ));
+        assert_eq!(db.layout_stats("Traces").unwrap().adaptations, 1);
+    }
+
+    #[test]
+    fn auto_mode_adapts_without_manual_calls() {
+        let mut db = Database::with_page_size(1024);
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 3_000,
+                vehicles: 15,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.set_adaptive_policy(AdaptivePolicy {
+            auto: true,
+            check_every: 10,
+            min_queries: 10,
+            hysteresis: 0.1,
+            advisor: AdvisorOptions {
+                cost_model: rodentstore_optimizer::CostModel {
+                    sample_size: 2_000,
+                    page_size: 1024,
+                    cost_params: CostParams {
+                        seek_ms: 1.0,
+                        transfer_mb_per_s: 2.0,
+                    },
+                },
+                anneal_iterations: 2,
+                seed: 11,
+            },
+            ..AdaptivePolicy::default()
+        });
+        for _ in 0..25 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        assert!(
+            db.layout_stats("Traces").unwrap().adaptations >= 1,
+            "auto mode must have adapted the layout"
+        );
+        assert!(db.catalog().get("Traces").unwrap().layout_expr.is_some());
+        // Queries still answer correctly through the adapted layout.
+        let rows = db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        assert_eq!(rows.len(), 3_000);
     }
 
     #[test]

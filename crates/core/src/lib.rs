@@ -42,10 +42,17 @@
 
 pub mod catalog;
 pub mod database;
+pub mod monitor;
 pub mod reorg;
 
-pub use catalog::{Catalog, TableEntry};
-pub use database::Database;
+#[doc = include_str!("../../../docs/LAYOUT_ALGEBRA.md")]
+/// (Operator reference, doc-tested — the module exists to carry the
+/// documentation; see `docs/LAYOUT_ALGEBRA.md` in the repository.)
+pub mod layout_algebra {}
+
+pub use catalog::{Catalog, LayoutStats, TableEntry};
+pub use database::{AdaptOutcome, AdaptivePolicy, Database};
+pub use monitor::{QueryTemplate, WorkloadProfile};
 pub use reorg::ReorgStrategy;
 
 // Re-export the pieces users need to drive the system without importing

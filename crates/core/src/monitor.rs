@@ -1,0 +1,318 @@
+//! Live workload capture: the observe side of the adaptivity loop.
+//!
+//! The paper's storage design optimizer assumes somebody hands it a
+//! [`Workload`]. In a running system nobody does — the system has to watch
+//! its own traffic. [`WorkloadProfile`] is that watcher: every
+//! `scan`/`open_cursor`/`get_element` against a table is folded into a small
+//! set of *query templates* (projection + predicate shape + requested order),
+//! each carrying an exponentially decaying weight. Old traffic fades, a
+//! shifted workload dominates the profile within tens of queries, and
+//! [`WorkloadProfile::to_workload`] converts the profile straight into the
+//! advisor's input — no user-built workload required.
+//!
+//! Templates are keyed by a *fingerprint* that abstracts literals away:
+//! `lat:42.1..42.2 & lon:-71.2..-71.1` and `lat:40.0..40.3 & lon:8.0..8.1`
+//! are the same template (same fields, same shape), so a spatial dashboard
+//! firing thousands of distinct boxes collapses into one heavily weighted
+//! template whose representative request carries the latest literals.
+
+use rodentstore_algebra::comprehension::{Condition, ElemExpr};
+use rodentstore_exec::ScanRequest;
+use rodentstore_optimizer::Workload;
+
+/// One observed query shape with its decayed frequency.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Structural fingerprint (fields + predicate shape + order, literals
+    /// abstracted away).
+    pub fingerprint: String,
+    /// The most recent concrete request matching the fingerprint; its
+    /// literals (range bounds, equality constants) represent the template
+    /// when the profile is turned into a [`Workload`].
+    pub request: ScanRequest,
+    /// Exponentially decayed weight (recent hits count ~1 each).
+    pub weight: f64,
+    /// Total raw hits since the template appeared.
+    pub hits: u64,
+}
+
+/// A decaying per-table profile of the live query traffic.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    templates: Vec<QueryTemplate>,
+    /// Total queries observed over the table's lifetime.
+    pub queries_observed: u64,
+    /// Queries observed since the last adaptation check (reset by
+    /// [`WorkloadProfile::end_check_window`]).
+    pub queries_since_check: u64,
+    decay: f64,
+    max_templates: usize,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile {
+            templates: Vec::new(),
+            queries_observed: 0,
+            queries_since_check: 0,
+            decay: 0.95,
+            max_templates: 16,
+        }
+    }
+}
+
+impl WorkloadProfile {
+    /// A profile with an explicit decay factor (per observed query) and
+    /// template capacity.
+    pub fn with_decay(decay: f64, max_templates: usize) -> WorkloadProfile {
+        WorkloadProfile {
+            decay: decay.clamp(0.0, 1.0),
+            max_templates: max_templates.max(1),
+            ..WorkloadProfile::default()
+        }
+    }
+
+    /// The tracked templates, heaviest first.
+    pub fn templates(&self) -> &[QueryTemplate] {
+        &self.templates
+    }
+
+    /// Records one `scan`/`open_cursor` request.
+    pub fn record_scan(&mut self, request: &ScanRequest) {
+        let fingerprint = fingerprint_request(request);
+        self.record(fingerprint, request.clone());
+    }
+
+    /// Records one positional `get_element` access. Positional access is
+    /// profiled as a projection-only template over the requested fields: it
+    /// tells the advisor which fields are co-accessed, which is the part of
+    /// the access that layout choice can help with.
+    pub fn record_get_element(&mut self, fields: Option<&[String]>) {
+        let request = match fields {
+            Some(fields) => ScanRequest::all().fields(fields.to_vec()),
+            None => ScanRequest::all(),
+        };
+        let fingerprint = format!("get|{}", fingerprint_request(&request));
+        self.record(fingerprint, request);
+    }
+
+    fn record(&mut self, fingerprint: String, request: ScanRequest) {
+        self.queries_observed += 1;
+        self.queries_since_check += 1;
+        for t in &mut self.templates {
+            t.weight *= self.decay;
+        }
+        if let Some(t) = self.templates.iter_mut().find(|t| t.fingerprint == fingerprint) {
+            t.weight += 1.0;
+            t.hits += 1;
+            t.request = request;
+        } else {
+            if self.templates.len() >= self.max_templates {
+                // Evict the faintest template to bound the profile.
+                if let Some(pos) = self
+                    .templates
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.weight
+                            .partial_cmp(&b.1.weight)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                {
+                    self.templates.remove(pos);
+                }
+            }
+            self.templates.push(QueryTemplate {
+                fingerprint,
+                request,
+                weight: 1.0,
+                hits: 1,
+            });
+        }
+        self.templates.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Closes an adaptation-check window (resets the per-window counter).
+    pub fn end_check_window(&mut self) {
+        self.queries_since_check = 0;
+    }
+
+    /// Converts the profile into the advisor's [`Workload`]: one weighted
+    /// query per template, faint templates (weight < 1% of the total)
+    /// dropped so stale traffic cannot anchor the recommendation.
+    pub fn to_workload(&self) -> Workload {
+        let total: f64 = self.templates.iter().map(|t| t.weight).sum();
+        let mut workload = Workload::new();
+        for t in &self.templates {
+            if total > 0.0 && t.weight < total * 0.01 {
+                continue;
+            }
+            workload = workload.weighted_query(t.request.clone(), t.weight);
+        }
+        workload
+    }
+}
+
+/// Structural fingerprint of a request: projection fields, predicate shape
+/// with literals replaced by `?`, and order keys.
+fn fingerprint_request(request: &ScanRequest) -> String {
+    let fields = match &request.fields {
+        Some(fields) => fields.join(","),
+        None => "*".to_string(),
+    };
+    let predicate = match &request.predicate {
+        Some(pred) => fingerprint_condition(pred),
+        None => "true".to_string(),
+    };
+    let order = match &request.order {
+        Some(keys) => keys
+            .iter()
+            .map(|k| format!("{} {}", k.field, k.order))
+            .collect::<Vec<_>>()
+            .join(","),
+        None => String::new(),
+    };
+    format!("{fields}|{predicate}|{order}")
+}
+
+fn fingerprint_condition(cond: &Condition) -> String {
+    match cond {
+        Condition::True => "true".into(),
+        Condition::Range { field, .. } => format!("{field}:?..?"),
+        Condition::Cmp { left, op, right } => {
+            format!("{}{op}{}", fingerprint_elem(left), fingerprint_elem(right))
+        }
+        Condition::And(items) => {
+            let parts: Vec<String> = items.iter().map(fingerprint_condition).collect();
+            format!("({})", parts.join(" & "))
+        }
+        Condition::Or(items) => {
+            let parts: Vec<String> = items.iter().map(fingerprint_condition).collect();
+            format!("({})", parts.join(" | "))
+        }
+        Condition::Not(inner) => format!("!({})", fingerprint_condition(inner)),
+    }
+}
+
+fn fingerprint_elem(e: &ElemExpr) -> String {
+    match e {
+        ElemExpr::Literal(_) => "?".into(),
+        ElemExpr::Field(name) => name.clone(),
+        ElemExpr::Pos => "pos()".into(),
+        ElemExpr::Count => "count()".into(),
+        ElemExpr::Bin(inner) => format!("bin({})", fingerprint_elem(inner)),
+        ElemExpr::Interleave(items) => {
+            let parts: Vec<String> = items.iter().map(fingerprint_elem).collect();
+            format!("interleave({})", parts.join(","))
+        }
+        ElemExpr::Sub(a, b) => format!("{}-{}", fingerprint_elem(a), fingerprint_elem(b)),
+        ElemExpr::Add(a, b) => format!("{}+{}", fingerprint_elem(a), fingerprint_elem(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::comprehension::Condition;
+
+    fn spatial(lo: f64) -> ScanRequest {
+        ScanRequest::all()
+            .fields(["lat", "lon"])
+            .predicate(Condition::range("lat", lo, lo + 0.1).and(Condition::range(
+                "lon",
+                -lo,
+                -lo + 0.1,
+            )))
+    }
+
+    #[test]
+    fn same_shape_different_literals_collapse_into_one_template() {
+        let mut profile = WorkloadProfile::default();
+        for i in 0..50 {
+            profile.record_scan(&spatial(40.0 + i as f64 * 0.01));
+        }
+        assert_eq!(profile.templates().len(), 1);
+        assert_eq!(profile.templates()[0].hits, 50);
+        assert_eq!(profile.queries_observed, 50);
+        // The representative request carries the latest literals.
+        let workload = profile.to_workload();
+        assert_eq!(workload.queries.len(), 1);
+    }
+
+    #[test]
+    fn decay_lets_a_shifted_workload_dominate() {
+        let mut profile = WorkloadProfile::default();
+        for _ in 0..100 {
+            profile.record_scan(&spatial(40.0));
+        }
+        let narrow = ScanRequest::all().fields(["lat"]);
+        for _ in 0..60 {
+            profile.record_scan(&narrow);
+        }
+        let templates = profile.templates();
+        assert_eq!(templates.len(), 2);
+        assert!(
+            templates[0].request.fields == Some(vec!["lat".to_string()]),
+            "the recent template must dominate, got {templates:?}"
+        );
+        assert!(templates[0].weight > 4.0 * templates[1].weight);
+    }
+
+    #[test]
+    fn template_capacity_is_bounded_with_faintest_evicted() {
+        let mut profile = WorkloadProfile::with_decay(0.9, 4);
+        for i in 0..20 {
+            // 20 distinct shapes (different projections).
+            profile.record_scan(&ScanRequest::all().fields([format!("f{i}")]));
+        }
+        assert_eq!(profile.templates().len(), 4);
+        // The survivors are the most recent shapes.
+        assert!(profile
+            .templates()
+            .iter()
+            .any(|t| t.request.fields == Some(vec!["f19".to_string()])));
+    }
+
+    #[test]
+    fn get_element_is_profiled_as_field_co_access() {
+        let mut profile = WorkloadProfile::default();
+        let fields = vec!["lat".to_string(), "lon".to_string()];
+        profile.record_get_element(Some(&fields));
+        profile.record_get_element(None);
+        assert_eq!(profile.templates().len(), 2);
+        let workload = profile.to_workload();
+        assert_eq!(workload.queries.len(), 2);
+        assert!(workload
+            .referenced_fields()
+            .contains(&"lat".to_string()));
+    }
+
+    #[test]
+    fn faint_templates_are_dropped_from_the_workload() {
+        let mut profile = WorkloadProfile::default();
+        profile.record_scan(&ScanRequest::all().fields(["t"]));
+        for _ in 0..400 {
+            profile.record_scan(&spatial(40.0));
+        }
+        // The single old projection query decayed to < 1% of total weight.
+        let workload = profile.to_workload();
+        assert_eq!(workload.queries.len(), 1);
+    }
+
+    #[test]
+    fn check_window_counts_and_resets() {
+        let mut profile = WorkloadProfile::default();
+        for _ in 0..5 {
+            profile.record_scan(&ScanRequest::all());
+        }
+        assert_eq!(profile.queries_since_check, 5);
+        profile.end_check_window();
+        assert_eq!(profile.queries_since_check, 0);
+        assert_eq!(profile.queries_observed, 5);
+    }
+}

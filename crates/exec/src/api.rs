@@ -193,6 +193,18 @@ impl AccessMethods {
         Ok(self.layout.get_element(index, fields)?)
     }
 
+    /// Appends freshly inserted canonical rows (supplied by `provider` under
+    /// the base table's name) into the rendered layout without re-rendering
+    /// it. Returns [`rodentstore_layout::AppendOutcome::NeedsRebuild`] when
+    /// the layout's shape (fold, vertical partition, prejoin, …) cannot absorb rows
+    /// incrementally; the caller then falls back to a full render.
+    pub fn append_rows<P: rodentstore_layout::TableProvider + ?Sized>(
+        &mut self,
+        provider: &P,
+    ) -> Result<rodentstore_layout::AppendOutcome> {
+        Ok(rodentstore_layout::append_records(&mut self.layout, provider)?)
+    }
+
     /// Estimated cost of a scan, in milliseconds.
     pub fn scan_cost(&self, request: &ScanRequest) -> Result<f64> {
         self.validate_fields(&request.fields)?;

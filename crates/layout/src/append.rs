@@ -1,0 +1,526 @@
+//! Incremental appends into an already-rendered layout.
+//!
+//! Re-rendering a whole table because a handful of rows arrived defeats the
+//! point of an adaptive system: under live traffic, inserts must be absorbed
+//! into the existing representation. [`append_records`] runs the *record
+//! pipeline* (selection, projection, …) over just the new rows and writes
+//! them into the stored objects the layout already has:
+//!
+//! * **single-object layouts** (row-major, PAX, compressed column blocks) —
+//!   the new rows become new heap records / new column blocks at the end of
+//!   the object;
+//! * **grid layouts** — each new row is bucketed into the grid cell whose
+//!   bounds contain it; rows falling outside every existing cell get *new*
+//!   cell objects aligned to the same lattice;
+//! * **horizontal partitions** — rows are routed to their partition by the
+//!   original partitioning rule, creating new partition objects for unseen
+//!   labels.
+//!
+//! Shapes whose invariants cannot be maintained row-at-a-time — `fold`
+//! (groups are single heap records), vertical partitions (every object must
+//! hold *exactly* the same row set), `prejoin` (needs the other table),
+//! `limit`, and explicit comprehensions — report
+//! [`AppendOutcome::NeedsRebuild`] so the caller can fall back to a full
+//! re-render.
+//!
+//! Appending unsorted rows invalidates any `orderby` claim the layout made,
+//! so a successful append clears [`PhysicalLayout::order_list`]; scans that
+//! request that order simply re-sort until the next full render restores the
+//! native ordering.
+
+use crate::pipeline::{self, TableProvider};
+use crate::plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
+use crate::render::{codec_map, find_partition};
+use crate::Result;
+use rodentstore_algebra::expr::{GridDim, PartitionBy, TransformKind};
+use rodentstore_algebra::value::Record;
+use rodentstore_compress::CodecKind;
+use rodentstore_storage::heap::HeapFile;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What [`append_records`] did with the new rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The rows were absorbed into the existing representation.
+    Appended {
+        /// Number of stored objects written to (existing plus newly created).
+        objects_touched: usize,
+        /// Number of pipelined rows appended (post-selection).
+        rows_appended: usize,
+    },
+    /// The layout's shape cannot absorb rows incrementally; the caller must
+    /// re-render from the canonical records. The string names the transform
+    /// that forced the rebuild.
+    NeedsRebuild(String),
+}
+
+fn needs(reason: &str) -> Result<AppendOutcome> {
+    Ok(AppendOutcome::NeedsRebuild(reason.to_string()))
+}
+
+/// Appends the rows supplied by `provider` (the *new* canonical rows of the
+/// layout's base table, under the base table's name) into the rendered
+/// representation, without touching the rows already stored.
+pub fn append_records<P: TableProvider + ?Sized>(
+    layout: &mut PhysicalLayout,
+    provider: &P,
+) -> Result<AppendOutcome> {
+    if layout.expr.contains_kind(TransformKind::Prejoin) {
+        return needs("prejoin");
+    }
+    if layout.expr.contains_kind(TransformKind::Limit) {
+        return needs("limit");
+    }
+    if layout.expr.contains_kind(TransformKind::Comprehension) {
+        return needs("comprehension");
+    }
+    if layout.derived.folded.is_some() {
+        return needs("fold");
+    }
+    if !layout.derived.groups.is_empty() {
+        return needs("vertical partition");
+    }
+
+    // Run the tuple-level pipeline over just the new rows: selection drops
+    // non-qualifying tuples, projection reshapes them into the layout schema.
+    let expr = layout.expr.clone();
+    let (schema, new_rows) = pipeline::materialize(&expr, provider)?;
+    if schema.field_names() != layout.schema.field_names() {
+        return needs("schema drift");
+    }
+    if new_rows.is_empty() {
+        return Ok(AppendOutcome::Appended {
+            objects_touched: 0,
+            rows_appended: 0,
+        });
+    }
+    let rows_appended = new_rows.len();
+
+    let objects_touched = if let Some(dims) = layout.derived.grid.clone() {
+        append_grid(layout, &dims, new_rows)?
+    } else if layout.derived.partitioned {
+        append_partitions(layout, new_rows)?
+    } else if layout.objects.len() == 1
+        && layout.objects[0].fields == layout.schema.field_names()
+    {
+        layout.objects[0].write_rows(&new_rows)?;
+        1
+    } else {
+        return needs("unrecognized multi-object shape");
+    };
+
+    layout.row_count += rows_appended;
+    // Appended rows are not sorted into place; drop native-order claims so
+    // ordered scans re-sort instead of returning wrongly ordered results.
+    if !layout.derived.orderings.is_empty() {
+        layout.derived.orderings.clear();
+        for obj in &mut layout.objects {
+            obj.ordering.clear();
+        }
+    }
+    Ok(AppendOutcome::Appended {
+        objects_touched,
+        rows_appended,
+    })
+}
+
+/// Buckets new rows into grid cells, appending to existing cell objects and
+/// creating lattice-aligned objects for cells the data has not reached yet.
+fn append_grid(
+    layout: &mut PhysicalLayout,
+    dims: &[GridDim],
+    rows: Vec<Record>,
+) -> Result<usize> {
+    let dim_indices: Vec<usize> = dims
+        .iter()
+        .map(|d| {
+            layout
+                .schema
+                .index_of(&d.field)
+                .map_err(crate::LayoutError::Algebra)
+        })
+        .collect::<Result<_>>()?;
+
+    // Recover the lattice origin from any existing cell (`lo = origin +
+    // coord·stride`); a layout rendered over an empty table has no cells yet,
+    // so fall back to the render rule: origin = per-dimension minimum.
+    let origins: Vec<f64> = match layout.objects.iter().find_map(|o| o.cell.as_ref()) {
+        Some(cell) => dims
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| cell.dims[d].1 - cell.coords[d] as f64 * dim.stride)
+            .collect(),
+        None => {
+            let mut origins = vec![f64::INFINITY; dims.len()];
+            for r in &rows {
+                for (d, &idx) in dim_indices.iter().enumerate() {
+                    if let Some(v) = r[idx].as_f64() {
+                        origins[d] = origins[d].min(v);
+                    }
+                }
+            }
+            origins
+                .into_iter()
+                .map(|o| if o.is_finite() { o } else { 0.0 })
+                .collect()
+        }
+    };
+
+    // Group rows by signed lattice coordinate (rows below the original origin
+    // land in cells with negative coordinates; their bounds stay exact).
+    let mut buckets: Vec<(Vec<i64>, Vec<Record>)> = Vec::new();
+    for r in rows {
+        let mut coords = Vec::with_capacity(dims.len());
+        for (d, &idx) in dim_indices.iter().enumerate() {
+            let v = r[idx].as_f64().unwrap_or(origins[d]);
+            coords.push(((v - origins[d]) / dims[d].stride).floor() as i64);
+        }
+        if let Some((_, bucket)) = buckets.iter_mut().find(|(c, _)| *c == coords) {
+            bucket.push(r);
+        } else {
+            buckets.push((coords, vec![r]));
+        }
+    }
+
+    // Encoding and codecs for any newly created cell mirror the existing
+    // cells (or the derived codecs when the layout is still empty).
+    let codecs: HashMap<String, CodecKind> = layout
+        .objects
+        .first()
+        .map(|o| o.codecs.clone())
+        .unwrap_or_else(|| codec_map(&layout.derived));
+    let encoding = layout
+        .objects
+        .first()
+        .map(|o| o.encoding.clone())
+        .unwrap_or_else(|| {
+            if codecs.is_empty() {
+                ObjectEncoding::Rows
+            } else {
+                ObjectEncoding::ColumnBlocks {
+                    block_rows: layout.derived.chunk.unwrap_or(1024),
+                }
+            }
+        });
+
+    let mut touched = 0usize;
+    for (coords, bucket) in buckets {
+        // A representative point (the cell center) locates the target cell by
+        // bounds containment, immune to floating-point origin round-trips.
+        let center: Vec<f64> = coords
+            .iter()
+            .zip(dims.iter())
+            .enumerate()
+            .map(|(d, (&c, dim))| origins[d] + (c as f64 + 0.5) * dim.stride)
+            .collect();
+        let existing = layout.objects.iter_mut().find(|o| {
+            o.cell.as_ref().is_some_and(|cell| {
+                cell.dims
+                    .iter()
+                    .zip(center.iter())
+                    .all(|((_, lo, hi), v)| lo <= v && v < hi)
+            })
+        });
+        match existing {
+            Some(obj) => obj.write_rows(&bucket)?,
+            None => {
+                let bounds = CellBounds {
+                    dims: dims
+                        .iter()
+                        .zip(coords.iter())
+                        .enumerate()
+                        .map(|(d, (dim, &c))| {
+                            let lo = origins[d] + c as f64 * dim.stride;
+                            (dim.field.clone(), lo, lo + dim.stride)
+                        })
+                        .collect(),
+                    coords: coords
+                        .iter()
+                        .map(|&c| c.clamp(0, u32::MAX as i64) as u32)
+                        .collect(),
+                };
+                let mut obj = StoredObject {
+                    name: format!("{}/cell{coords:?}+", layout.name),
+                    fields: layout.schema.field_names(),
+                    heap: HeapFile::create(
+                        format!("{}.cell{coords:?}+", layout.name),
+                        Arc::clone(layout.pager()),
+                    ),
+                    encoding: encoding.clone(),
+                    codecs: codecs.clone(),
+                    cell: Some(bounds),
+                    row_count: 0,
+                    ordering: Vec::new(),
+                };
+                obj.write_rows(&bucket)?;
+                layout.objects.push(obj);
+            }
+        }
+        touched += 1;
+    }
+    Ok(touched)
+}
+
+/// Routes new rows to their horizontal partition by re-evaluating the
+/// original partitioning rule, creating objects for unseen labels.
+fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<usize> {
+    let by = find_partition(&layout.expr).cloned().ok_or_else(|| {
+        crate::LayoutError::Unsupported("partitioned layout without a partition transform".into())
+    })?;
+    let mut buckets: Vec<(String, Vec<Record>)> = Vec::new();
+    for r in rows {
+        let label = match &by {
+            PartitionBy::Field(field) => {
+                let idx = layout
+                    .schema
+                    .index_of(field)
+                    .map_err(crate::LayoutError::Algebra)?;
+                r[idx].to_string()
+            }
+            PartitionBy::Stride(field, stride) => {
+                let idx = layout
+                    .schema
+                    .index_of(field)
+                    .map_err(crate::LayoutError::Algebra)?;
+                let v = r[idx].as_f64().unwrap_or(0.0);
+                format!("{}", (v / stride).floor() as i64)
+            }
+            PartitionBy::Predicate(cond) => {
+                let hit = cond
+                    .eval(&layout.schema, &r)
+                    .map_err(crate::LayoutError::Algebra)?;
+                if hit {
+                    "match".to_string()
+                } else {
+                    "rest".to_string()
+                }
+            }
+        };
+        if let Some((_, bucket)) = buckets.iter_mut().find(|(l, _)| *l == label) {
+            bucket.push(r);
+        } else {
+            buckets.push((label, vec![r]));
+        }
+    }
+
+    let mut touched = 0usize;
+    for (label, bucket) in buckets {
+        // Partition objects are named `{layout}/part{p}={label}`.
+        let existing = layout
+            .objects
+            .iter_mut()
+            .find(|o| o.name.splitn(2, '=').nth(1) == Some(label.as_str()));
+        match existing {
+            Some(obj) => obj.write_rows(&bucket)?,
+            None => {
+                let p = layout.objects.len();
+                let mut obj = StoredObject {
+                    name: format!("{}/part{p}={label}", layout.name),
+                    fields: layout.schema.field_names(),
+                    heap: HeapFile::create(
+                        format!("{}.p{p}+", layout.name),
+                        Arc::clone(layout.pager()),
+                    ),
+                    encoding: ObjectEncoding::Rows,
+                    codecs: HashMap::new(),
+                    cell: None,
+                    row_count: 0,
+                    ordering: Vec::new(),
+                };
+                obj.write_rows(&bucket)?;
+                layout.objects.push(obj);
+            }
+        }
+        touched += 1;
+    }
+    Ok(touched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render, RenderOptions};
+    use crate::MemTableProvider;
+    use rodentstore_algebra::comprehension::Condition;
+    use rodentstore_algebra::schema::{Field, Schema};
+    use rodentstore_algebra::types::DataType;
+    use rodentstore_algebra::value::Value;
+    use rodentstore_algebra::LayoutExpr;
+    use rodentstore_storage::pager::Pager;
+
+    fn points_schema() -> Schema {
+        Schema::new(
+            "Points",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("y", DataType::Float),
+                Field::new("tag", DataType::Int),
+            ],
+        )
+    }
+
+    fn points(n: usize, offset: f64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Float(offset + (i % 17) as f64),
+                    Value::Float(offset + (i % 13) as f64),
+                    Value::Int((i % 5) as i64),
+                ]
+            })
+            .collect()
+    }
+
+    /// Renders `expr` over `initial`, appends `extra`, and checks the result
+    /// equals rendering `expr` over the concatenation (as a multiset).
+    fn check_append_matches_rerender(expr: LayoutExpr, initial: Vec<Record>, extra: Vec<Record>) {
+        let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+        let provider = MemTableProvider::single(points_schema(), initial.clone());
+        let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+
+        let extra_provider = MemTableProvider::single(points_schema(), extra.clone());
+        let outcome = append_records(&mut layout, &extra_provider).unwrap();
+        assert!(
+            matches!(outcome, AppendOutcome::Appended { .. }),
+            "expected append for {expr}, got {outcome:?}"
+        );
+
+        let mut all = initial;
+        all.extend(extra);
+        let reference = render(
+            &expr,
+            &MemTableProvider::single(points_schema(), all),
+            Arc::new(Pager::in_memory_with_page_size(1024)),
+            RenderOptions::default(),
+        )
+        .unwrap();
+
+        assert_eq!(layout.row_count, reference.row_count, "{expr}");
+        let fmt = |rows: Vec<Record>| {
+            let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+            out.sort();
+            out
+        };
+        assert_eq!(
+            fmt(layout.scan(None, None).unwrap()),
+            fmt(reference.scan(None, None).unwrap()),
+            "{expr}"
+        );
+    }
+
+    #[test]
+    fn append_to_row_layout() {
+        check_append_matches_rerender(LayoutExpr::table("Points"), points(200, 0.0), points(40, 3.0));
+    }
+
+    #[test]
+    fn append_to_pax_layout() {
+        check_append_matches_rerender(
+            LayoutExpr::table("Points").pax_with(64),
+            points(150, 0.0),
+            points(30, 1.0),
+        );
+    }
+
+    #[test]
+    fn append_to_projected_layout_reshapes_rows() {
+        check_append_matches_rerender(
+            LayoutExpr::table("Points").project(["x", "y"]),
+            points(120, 0.0),
+            points(25, 2.0),
+        );
+    }
+
+    #[test]
+    fn append_to_grid_extends_and_creates_cells() {
+        let expr = LayoutExpr::table("Points")
+            .project(["x", "y"])
+            .grid([("x", 4.0), ("y", 4.0)])
+            .zorder();
+        let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+        let provider = MemTableProvider::single(points_schema(), points(200, 0.0));
+        let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+        let cells_before = layout.objects.len();
+
+        // Rows far outside the original bounding box force new cells.
+        let extra = MemTableProvider::single(points_schema(), points(50, 100.0));
+        append_records(&mut layout, &extra).unwrap();
+        assert!(layout.objects.len() > cells_before, "new cells created");
+        assert_eq!(layout.row_count, 250);
+
+        // Pruning still works across old and new cells.
+        let pred = Condition::range("x", 100.0, 120.0);
+        let far = layout.scan(None, Some(&pred)).unwrap();
+        assert_eq!(far.len(), 50);
+        let pruned = layout.estimate_scan_pages(None, Some(&pred));
+        assert!(pruned < layout.total_pages() as u64);
+
+        // And the full contents match a from-scratch render.
+        check_append_matches_rerender(expr, points(200, 0.0), points(50, 100.0));
+    }
+
+    #[test]
+    fn append_to_partitioned_layout_routes_by_label() {
+        check_append_matches_rerender(
+            LayoutExpr::table("Points").partition(PartitionBy::Field("tag".into())),
+            points(100, 0.0),
+            points(20, 1.0),
+        );
+    }
+
+    #[test]
+    fn append_applies_selection() {
+        let expr = LayoutExpr::table("Points").select(Condition::range("x", 0.0, 8.0));
+        let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+        let provider = MemTableProvider::single(points_schema(), points(100, 0.0));
+        let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+        let before = layout.row_count;
+        // Every extra row has x ≥ 50, so selection filters all of them out.
+        let extra = MemTableProvider::single(points_schema(), points(30, 50.0));
+        let outcome = append_records(&mut layout, &extra).unwrap();
+        assert_eq!(
+            outcome,
+            AppendOutcome::Appended {
+                objects_touched: 0,
+                rows_appended: 0
+            }
+        );
+        assert_eq!(layout.row_count, before);
+    }
+
+    #[test]
+    fn append_clears_stale_order_claims() {
+        let expr = LayoutExpr::table("Points").order_by(["x"]);
+        let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+        let provider = MemTableProvider::single(points_schema(), points(80, 0.0));
+        let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+        assert!(!layout.order_list().is_empty());
+        let extra = MemTableProvider::single(points_schema(), points(10, -5.0));
+        append_records(&mut layout, &extra).unwrap();
+        assert!(
+            layout.order_list().is_empty(),
+            "appending unsorted rows must drop native-order claims"
+        );
+    }
+
+    #[test]
+    fn unfriendly_shapes_request_rebuild() {
+        let cases = vec![
+            LayoutExpr::table("Points").vertical([vec!["x", "y"], vec!["tag"]]),
+            LayoutExpr::table("Points").fold(["tag"], ["x", "y"]),
+            LayoutExpr::table("Points").limit(10),
+        ];
+        for expr in cases {
+            let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+            let provider = MemTableProvider::single(points_schema(), points(50, 0.0));
+            let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+            let extra = MemTableProvider::single(points_schema(), points(5, 0.0));
+            let outcome = append_records(&mut layout, &extra).unwrap();
+            assert!(
+                matches!(outcome, AppendOutcome::NeedsRebuild(_)),
+                "expected rebuild for {expr}, got {outcome:?}"
+            );
+        }
+    }
+}

@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod append;
 pub mod pipeline;
 pub mod plan;
 pub mod render;
 pub mod rowcodec;
 pub mod scan;
 
+pub use append::{append_records, AppendOutcome};
 pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use render::{render, RenderOptions};

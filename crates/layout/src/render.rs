@@ -64,7 +64,7 @@ fn codec_kind(spec: CodecSpec) -> CodecKind {
     }
 }
 
-fn codec_map(derived: &DerivedLayout) -> HashMap<String, CodecKind> {
+pub(crate) fn codec_map(derived: &DerivedLayout) -> HashMap<String, CodecKind> {
     derived
         .codecs
         .iter()
@@ -72,7 +72,7 @@ fn codec_map(derived: &DerivedLayout) -> HashMap<String, CodecKind> {
         .collect()
 }
 
-fn find_partition(expr: &LayoutExpr) -> Option<&PartitionBy> {
+pub(crate) fn find_partition(expr: &LayoutExpr) -> Option<&PartitionBy> {
     if let LayoutExpr::Partition { by, .. } = expr {
         return Some(by);
     }

@@ -61,15 +61,53 @@ pub fn advise(
             "cannot advise on an empty workload".into(),
         ));
     }
-    let model = &options.cost_model;
     // Sample the relation exactly once per advise() call; every candidate
     // rendering (greedy enumeration and annealing alike) shares the provider.
-    let provider = model.sampled_provider(schema, records);
+    let provider = options.cost_model.sampled_provider(schema, records);
+    advise_on_provider(schema, &provider, workload, options)
+}
+
+/// Like [`advise`], but additionally costs `baseline` — the design currently
+/// in place — against the *same* sampled provider as every candidate, so the
+/// caller can compare "what we have" with "what the advisor wants" without
+/// sampling skew. This is the primitive behind the self-adaptation loop's
+/// hysteresis check.
+///
+/// The baseline cost is `None` when the baseline cannot be rendered over a
+/// single-table sample (e.g. a prejoin whose other table is absent).
+pub fn advise_with_baseline(
+    schema: &Schema,
+    records: &[Record],
+    workload: &Workload,
+    options: &AdvisorOptions,
+    baseline: &LayoutExpr,
+) -> Result<(Recommendation, Option<DesignCost>)> {
+    if workload.queries.is_empty() {
+        return Err(OptimizerError::InvalidInput(
+            "cannot advise on an empty workload".into(),
+        ));
+    }
+    let provider = options.cost_model.sampled_provider(schema, records);
+    let baseline_cost = options
+        .cost_model
+        .cost_with_provider(&simplify(baseline), &provider, workload)
+        .ok();
+    let recommendation = advise_on_provider(schema, &provider, workload, options)?;
+    Ok((recommendation, baseline_cost))
+}
+
+fn advise_on_provider(
+    schema: &Schema,
+    provider: &MemTableProvider,
+    workload: &Workload,
+    options: &AdvisorOptions,
+) -> Result<Recommendation> {
+    let model = &options.cost_model;
     let candidates = enumerate_candidates(schema, workload);
     let mut explored: Vec<DesignCost> = Vec::with_capacity(candidates.len());
     for candidate in candidates {
         let candidate = simplify(&candidate);
-        explored.push(model.cost_with_provider(&candidate, &provider, workload)?);
+        explored.push(model.cost_with_provider(&candidate, provider, workload)?);
     }
     explored.sort_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).unwrap_or(std::cmp::Ordering::Equal));
     let mut best = explored
@@ -81,7 +119,7 @@ pub fn advise(
     if options.anneal_iterations > 0 && extract_grid(&best.expr).is_some() {
         let refined = anneal_grid_strides(
             &best,
-            &provider,
+            provider,
             workload,
             model,
             options.anneal_iterations,
@@ -282,6 +320,51 @@ mod tests {
     fn empty_workload_is_rejected() {
         let (schema, records) = traces();
         assert!(advise(&schema, &records, &Workload::new(), &fast_options()).is_err());
+        assert!(advise_with_baseline(
+            &schema,
+            &records,
+            &Workload::new(),
+            &fast_options(),
+            &LayoutExpr::table("Traces"),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn baseline_is_costed_on_the_same_sample() {
+        let (schema, records) = traces();
+        let baseline = rodentstore_algebra::LayoutExpr::table("Traces");
+        let (rec, cost) = advise_with_baseline(
+            &schema,
+            &records,
+            &spatial_workload(),
+            &fast_options(),
+            &baseline,
+        )
+        .unwrap();
+        let cost = cost.expect("row baseline renders over the sample");
+        // The baseline (the plain row layout) is also enumerated as a
+        // candidate; both costings must agree because they share the sample.
+        let explored = rec
+            .explored
+            .iter()
+            .find(|d| d.expr == baseline)
+            .expect("row baseline among candidates");
+        assert!((explored.total_ms - cost.total_ms).abs() < 1e-9);
+        assert_eq!(explored.total_pages, cost.total_pages);
+
+        // An un-renderable baseline (prejoin with a missing table) yields no
+        // cost instead of an error.
+        let prejoin = LayoutExpr::table("Traces").prejoin(LayoutExpr::table("Missing"), "id");
+        let (_, none) = advise_with_baseline(
+            &schema,
+            &records,
+            &spatial_workload(),
+            &fast_options(),
+            &prejoin,
+        )
+        .unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

@@ -41,6 +41,13 @@ impl Workload {
         Workload::default()
     }
 
+    /// Whether the workload contains no queries (the advisor rejects empty
+    /// workloads, so callers building workloads from live traffic check this
+    /// first).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
     /// Adds a query with weight 1.
     pub fn query(mut self, request: ScanRequest) -> Workload {
         self.queries.push(WorkloadQuery::new(request));

@@ -1,0 +1,115 @@
+//! The closed adaptivity loop, end to end: no `Workload` is ever built and
+//! `advise`/`apply_layout` are never called — the database watches its own
+//! traffic, consults the design advisor every few queries, and re-declares
+//! the layout when the predicted win clears the hysteresis threshold.
+//!
+//! ```text
+//! cargo run --release --example self_adapting
+//! ```
+
+use rodentstore::{
+    AdaptivePolicy, AdvisorOptions, CostParams, Database, ReorgStrategy, ScanRequest,
+};
+use rodentstore_optimizer::CostModel;
+use rodentstore_workload::{figure2_queries, generate_traces, traces_schema, CartelConfig};
+
+fn current_layout(db: &Database) -> String {
+    db.catalog()
+        .get("Traces")
+        .ok()
+        .and_then(|e| e.layout_expr.as_ref().map(|x| x.to_string()))
+        .unwrap_or_else(|| "<canonical rows>".to_string())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cartel = CartelConfig {
+        observations: 20_000,
+        vehicles: 60,
+        ..CartelConfig::default()
+    };
+    let mut db = Database::with_page_size(1024);
+    db.create_table(traces_schema())?;
+    db.insert("Traces", generate_traces(&cartel))?;
+
+    // Switch the loop on: check every 16 queries, adapt only on a ≥10%
+    // predicted improvement, transition eagerly.
+    db.set_adaptive_policy(AdaptivePolicy {
+        auto: true,
+        check_every: 16,
+        min_queries: 16,
+        hysteresis: 0.10,
+        strategy: ReorgStrategy::Eager,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 5_000,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 6,
+            seed: 17,
+        },
+    });
+    println!("start:    {}", current_layout(&db));
+
+    // Phase 1: a spatial dashboard fires range queries over (lat, lon).
+    let boxes = figure2_queries(&cartel.bbox, 99);
+    for q in boxes.iter().cycle().take(64) {
+        db.scan(
+            "Traces",
+            &ScanRequest::all()
+                .fields(["lat", "lon"])
+                .predicate(q.to_condition()),
+        )?;
+    }
+    let stats = db.layout_stats("Traces")?;
+    println!(
+        "phase 1:  {} ({} adaptation(s) so far)",
+        current_layout(&db),
+        stats.adaptations
+    );
+
+    // Phase 2: traffic shifts to a time-series consumer reading one column.
+    for _ in 0..192 {
+        db.scan("Traces", &ScanRequest::all().fields(["t"]))?;
+    }
+    let stats = db.layout_stats("Traces")?;
+    println!(
+        "phase 2:  {} ({} adaptation(s) total)",
+        current_layout(&db),
+        stats.adaptations
+    );
+
+    // The profile that drove the loop.
+    println!("\nlive workload profile (heaviest templates first):");
+    for t in db.workload_profile("Traces")?.templates().iter().take(4) {
+        println!("  weight {:>7.2}  hits {:>4}  {}", t.weight, t.hits, t.fingerprint);
+    }
+    println!(
+        "\nrender counters: {} full render(s), {} incremental append(s), {} adaptation(s)",
+        stats.full_renders, stats.incremental_appends, stats.adaptations
+    );
+
+    // Fresh inserts are absorbed into the current layout — incrementally for
+    // append-friendly shapes (rows, grids, PAX), via a rebuild for shapes
+    // whose invariants need it (vertical partitions, fold, prejoin).
+    let before = db.layout_stats("Traces")?;
+    db.insert(
+        "Traces",
+        generate_traces(&CartelConfig {
+            observations: 500,
+            vehicles: 10,
+            seed: 0xBEEF,
+            ..CartelConfig::default()
+        }),
+    )?;
+    let after = db.layout_stats("Traces")?;
+    println!(
+        "insert of 500 rows: full_renders {} → {}, incremental_appends {} → {}",
+        before.full_renders, after.full_renders,
+        before.incremental_appends, after.incremental_appends
+    );
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Property tests for the adaptation loop's correctness guarantee: whatever
+//! reorganization strategy carries a layout change, and whether pending rows
+//! are buffered, absorbed incrementally, or rebuilt, scans must return
+//! exactly the canonical logical contents — before, during, and after an
+//! adaptation.
+
+use proptest::prelude::*;
+use rodentstore::{Database, ReorgStrategy, ScanRequest, Value};
+use rodentstore_algebra::{DataType, Field, LayoutExpr, Schema};
+
+fn points_schema() -> Schema {
+    Schema::new(
+        "Points",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+            Field::new("tag", DataType::Int),
+        ],
+    )
+}
+
+fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (-100.0f64..100.0, -100.0f64..100.0, 0i64..10)
+        .prop_map(|(x, y, tag)| vec![Value::Float(x), Value::Float(y), Value::Int(tag)])
+}
+
+/// Layouts that keep every field, so scans over all phases are comparable.
+/// The set deliberately spans the incremental-append paths (rows, pax, grid
+/// cells, horizontal partitions, orderby) and the rebuild path (vertical).
+fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
+    prop_oneof![
+        Just(LayoutExpr::table("Points")),
+        Just(LayoutExpr::table("Points").pax_with(64)),
+        Just(LayoutExpr::table("Points").order_by(["x"])),
+        Just(LayoutExpr::table("Points").vertical([vec!["x", "y"], vec!["tag"]])),
+        (2.0f64..60.0).prop_map(|stride| {
+            LayoutExpr::table("Points")
+                .grid([("x", stride), ("y", stride)])
+                .zorder()
+        }),
+        Just(LayoutExpr::table("Points").partition(
+            rodentstore_algebra::expr::PartitionBy::Field("tag".into())
+        )),
+    ]
+}
+
+fn reorg_strategy() -> impl Strategy<Value = ReorgStrategy> {
+    prop_oneof![
+        Just(ReorgStrategy::Eager),
+        Just(ReorgStrategy::NewDataOnly),
+        Just(ReorgStrategy::Lazy),
+    ]
+}
+
+/// Canonical reference: the inserted records, formatted for multiset
+/// comparison (floats at 1e-5, tolerating grid/delta quantization).
+fn reference(records: &[Vec<Value>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Float(f) => format!("{f:.5}"),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn observed(db: &mut Database, request: &ScanRequest) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = db
+        .scan("Points", request)
+        .unwrap()
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Float(f) => format!("{f:.5}"),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every reorganization strategy: scans before an adaptation, during
+    /// it (pending rows buffered / not yet absorbed), and after it match the
+    /// canonical contents — and ordered scans stay globally ordered even
+    /// while pending rows are merged in from the row buffer.
+    #[test]
+    fn scans_match_canonical_before_during_and_after_adaptation(
+        batch1 in proptest::collection::vec(record_strategy(), 1..80),
+        batch2 in proptest::collection::vec(record_strategy(), 1..40),
+        batch3 in proptest::collection::vec(record_strategy(), 1..40),
+        layout_a in layout_strategy(),
+        layout_b in layout_strategy(),
+        strategy in reorg_strategy(),
+    ) {
+        let mut db = Database::with_page_size(512);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", batch1.clone()).unwrap();
+
+        // Before: an initial design, eagerly rendered, plus inserts absorbed
+        // into it (incrementally where the shape allows).
+        db.apply_layout("Points", layout_a, ReorgStrategy::Eager).unwrap();
+        db.insert("Points", batch2.clone()).unwrap();
+        let mut all: Vec<Vec<Value>> = batch1;
+        all.extend(batch2);
+        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+
+        // The adaptation: a new design arrives under the strategy being
+        // tested. Reads must stay correct mid-transition.
+        db.apply_layout("Points", layout_b, strategy).unwrap();
+        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+
+        // During: more rows arrive. Under new-data-only they stay in the row
+        // buffer; under lazy they are pending until the next access; under
+        // eager they are absorbed at once.
+        db.insert("Points", batch3.clone()).unwrap();
+        all.extend(batch3);
+        if strategy == ReorgStrategy::NewDataOnly {
+            prop_assert!(!db.catalog().get("Points").unwrap().pending.is_empty());
+        }
+        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+
+        // Ordered scan during the transition: the pending-row merge must
+        // preserve the requested global order.
+        let ordered = db
+            .scan("Points", &ScanRequest::all().order(["x"]))
+            .unwrap();
+        prop_assert_eq!(ordered.len(), all.len());
+        prop_assert!(
+            ordered.windows(2).all(|w| w[0][0].compare(&w[1][0]) != std::cmp::Ordering::Greater),
+            "ordered scan must be globally sorted during the transition"
+        );
+
+        // After: force full absorption (another access) and re-check.
+        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+    }
+}

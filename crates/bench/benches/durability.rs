@@ -1,0 +1,306 @@
+//! Durability bench: commit-path throughput, checkpoint cost, and recovery.
+//!
+//! Three measurements, each with asserted invariants so CI catches
+//! regressions (set `RODENTSTORE_BENCH_SMOKE=1` for the tiny configuration):
+//!
+//! 1. **Insert throughput vs sync policy** — one-row transactions against a
+//!    durable database under `SyncPolicy::Never` (no sync),
+//!    `SyncPolicy::EveryCommit` (naive fsync per commit), and
+//!    `SyncPolicy::GroupCommit(64)`. Group commit must recover at least 5×
+//!    the naive fsync throughput: the sync is the dominant cost of a small
+//!    transaction, and batching amortizes it.
+//!
+//! 2. **Kill-and-reopen round trip** — the acceptance scenario: create →
+//!    insert 30k rows → auto-adapt → checkpoint → insert 1k more committed
+//!    rows → simulated crash → `Database::open` recovers all 31k rows, the
+//!    adapted layout (zero full re-renders on open: the rendering is
+//!    reattached from the manifest, the WAL tail replays as incremental
+//!    appends), and the workload profile.
+//!
+//! 3. **Checkpoint cost and reopen/recovery time**, reported in
+//!    `BENCH_durability.json` at the workspace root together with the
+//!    throughput numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{
+    AdaptOutcome, AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database,
+    DurabilityOptions, Field, ReorgStrategy, ScanRequest, Schema, SyncPolicy, Value,
+};
+use rodentstore_optimizer::CostModel;
+use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+struct Config {
+    /// Single-row transactions per sync policy in the throughput phase.
+    commits: usize,
+    /// Rows loaded before the checkpoint in the recovery scenario.
+    observations: usize,
+    /// Committed rows after the checkpoint (lost pages, surviving WAL).
+    post_checkpoint_rows: usize,
+    post_checkpoint_txs: usize,
+    page_size: usize,
+}
+
+fn config() -> Config {
+    let smoke = smoke_mode();
+    Config {
+        commits: if smoke { 200 } else { 2_000 },
+        observations: if smoke { 2_000 } else { 30_000 },
+        post_checkpoint_rows: if smoke { 100 } else { 1_000 },
+        post_checkpoint_txs: 10,
+        page_size: 1024,
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodentstore-bench-durability-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ledger_schema() -> Schema {
+    Schema::new(
+        "Ledger",
+        vec![
+            Field::new("id", DataType::Int),
+            Field::new("amount", DataType::Float),
+        ],
+    )
+}
+
+/// Rows/second for `commits` one-row transactions under `sync`.
+fn measure_insert_throughput(config: &Config, sync: SyncPolicy, tag: &str) -> f64 {
+    let dir = bench_dir(tag);
+    let mut db = Database::create_with(
+        &dir,
+        DurabilityOptions {
+            page_size: config.page_size,
+            sync,
+        },
+    )
+    .unwrap();
+    db.create_table(ledger_schema()).unwrap();
+    let start = Instant::now();
+    for i in 0..config.commits {
+        db.insert(
+            "Ledger",
+            vec![vec![Value::Int(i as i64), Value::Float(i as f64)]],
+        )
+        .unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(db.row_count("Ledger").unwrap(), config.commits);
+    let syncs = db.wal().sync_count();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    let rate = config.commits as f64 / elapsed.as_secs_f64();
+    println!(
+        "durability/insert[{tag}]: {} commits in {:.1}ms → {:.0} commits/s ({syncs} fsyncs)",
+        config.commits,
+        elapsed.as_secs_f64() * 1e3,
+        rate
+    );
+    rate
+}
+
+struct RecoveryNumbers {
+    checkpoint_ms: f64,
+    reopen_ms: f64,
+    recovered_rows: usize,
+    adaptations: u64,
+    dir: PathBuf,
+}
+
+/// The kill-and-reopen acceptance scenario.
+fn run_recovery_scenario(config: &Config) -> RecoveryNumbers {
+    let dir = bench_dir("recovery");
+    let policy = AdaptivePolicy {
+        auto: false,
+        min_queries: 8,
+        hysteresis: 0.1,
+        strategy: ReorgStrategy::Eager,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: if smoke_mode() { 1_000 } else { 4_000 },
+                page_size: config.page_size,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 2,
+            seed: 7,
+        },
+        check_every: 8,
+    };
+    let (checkpoint_ms, stats_at_crash, observed_at_crash) = {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: config.page_size,
+                sync: SyncPolicy::GroupCommit(64),
+            },
+        )
+        .unwrap();
+        db.set_adaptive_policy(policy);
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: config.observations,
+                vehicles: (config.observations / 500).clamp(10, 5_000),
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        // A projection-heavy workload; the advisor re-layouts the table.
+        for _ in 0..16 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        let outcome = db.maybe_adapt("Traces").unwrap();
+        match &outcome {
+            AdaptOutcome::Adapted { expr, .. } => {
+                println!("durability/recovery: adapted layout = {expr}");
+            }
+            other => panic!("the workload must drive an adaptation, got {other:?}"),
+        }
+        let start = Instant::now();
+        db.checkpoint().unwrap();
+        let checkpoint_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // Post-checkpoint committed transactions: durable only via the WAL.
+        let extra = generate_traces(&CartelConfig {
+            observations: config.post_checkpoint_rows,
+            vehicles: 20,
+            seed: 0xF00D,
+            ..CartelConfig::default()
+        });
+        for chunk in extra.chunks(config.post_checkpoint_rows / config.post_checkpoint_txs) {
+            db.insert("Traces", chunk.to_vec()).unwrap();
+        }
+        (
+            checkpoint_ms,
+            db.layout_stats("Traces").unwrap(),
+            db.workload_profile("Traces").unwrap().queries_observed,
+        )
+        // `db` dropped without a checkpoint — the simulated crash.
+    };
+
+    let start = Instant::now();
+    let mut db = Database::open(&dir).unwrap();
+    let reopen_ms = start.elapsed().as_secs_f64() * 1e3;
+    let recovered_rows = db.row_count("Traces").unwrap();
+    assert_eq!(
+        recovered_rows,
+        config.observations + config.post_checkpoint_rows,
+        "every committed row must come back"
+    );
+    let stats = db.layout_stats("Traces").unwrap();
+    assert_eq!(
+        stats.full_renders, stats_at_crash.full_renders,
+        "open must reattach the rendering and replay appends — zero full re-renders"
+    );
+    assert_eq!(stats.adaptations, stats_at_crash.adaptations);
+    assert!(stats.adaptations >= 1);
+    let profile = db.workload_profile("Traces").unwrap();
+    assert_eq!(profile.queries_observed, observed_at_crash);
+    assert!(!profile.templates().is_empty(), "profile survives the crash");
+    // Recovered data answers queries correctly through the adapted layout.
+    let rows = db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+    assert_eq!(rows.len(), recovered_rows);
+    assert_eq!(
+        db.layout_stats("Traces").unwrap().full_renders,
+        stats_at_crash.full_renders,
+        "scans after recovery must not re-render either"
+    );
+    println!(
+        "durability/recovery: checkpoint {checkpoint_ms:.1}ms, reopen {reopen_ms:.1}ms, \
+         {recovered_rows} rows, {} adaptation(s), full_renders {}",
+        stats.adaptations, stats.full_renders
+    );
+    RecoveryNumbers {
+        checkpoint_ms,
+        reopen_ms,
+        recovered_rows,
+        adaptations: stats.adaptations,
+        dir,
+    }
+}
+
+fn write_json(
+    config: &Config,
+    nosync: f64,
+    fsync: f64,
+    group: f64,
+    recovery: &RecoveryNumbers,
+) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root
+        .canonicalize()
+        .unwrap_or(root)
+        .join("BENCH_durability.json");
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"commits\": {},\n  \"insert_commits_per_s\": {{\n    \
+         \"no_sync\": {:.1},\n    \"fsync_per_commit\": {:.1},\n    \"group_commit_64\": {:.1}\n  }},\n  \
+         \"group_commit_speedup_vs_fsync\": {:.2},\n  \"checkpoint_ms\": {:.2},\n  \
+         \"reopen_recovery_ms\": {:.2},\n  \"recovered_rows\": {},\n  \"adaptations_recovered\": {}\n}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        config.commits,
+        nosync,
+        fsync,
+        group,
+        group / fsync,
+        recovery.checkpoint_ms,
+        recovery.reopen_ms,
+        recovery.recovered_rows,
+        recovery.adaptations,
+    );
+    std::fs::write(&path, json).unwrap();
+    println!("durability/json → {}", path.display());
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let config = config();
+
+    let nosync = measure_insert_throughput(&config, SyncPolicy::Never, "no-sync");
+    let fsync = measure_insert_throughput(&config, SyncPolicy::EveryCommit, "fsync");
+    let group = measure_insert_throughput(&config, SyncPolicy::GroupCommit(64), "group-64");
+    println!(
+        "durability/insert: group commit is {:.1}× naive fsync ({:.0} vs {:.0} commits/s)",
+        group / fsync,
+        group,
+        fsync
+    );
+    assert!(
+        group >= fsync * 5.0,
+        "group commit must be ≥5× fsync-per-commit, got {:.1}×",
+        group / fsync
+    );
+
+    let recovery = run_recovery_scenario(&config);
+    write_json(&config, nosync, fsync, group, &recovery);
+
+    // Criterion measurement: reopen/recovery of the crashed directory.
+    let mut bench_group = c.benchmark_group("durability");
+    bench_group.sample_size(if smoke_mode() { 1 } else { 10 });
+    bench_group.bench_function("reopen_after_crash", |b| {
+        b.iter(|| {
+            let db = Database::open(&recovery.dir).unwrap();
+            assert!(db.is_durable());
+            db.row_count("Traces").unwrap()
+        })
+    });
+    bench_group.finish();
+    let _ = std::fs::remove_dir_all(&recovery.dir);
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The RodentStore database façade.
 
 use crate::catalog::Catalog;
+use crate::durability::{self, Durability, DurabilityOptions, DurableOp};
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
 use rodentstore_algebra::expr::{LayoutExpr, SortOrder};
@@ -9,13 +10,15 @@ use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
-use rodentstore_layout::{render, AppendOutcome, MemTableProvider, RenderOptions};
+use rodentstore_layout::{render, AppendOutcome, MemTableProvider, PhysicalLayout, RenderOptions, StoredObject};
 use rodentstore_optimizer::{
     advise, advise_with_baseline, AdvisorOptions, Recommendation, Workload,
 };
-use rodentstore_storage::pager::Pager;
+use rodentstore_storage::heap::HeapFile;
+use rodentstore_storage::pager::{FileStore, PageStore, Pager};
 use rodentstore_storage::stats::IoSnapshot;
 use rodentstore_storage::wal::Wal;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Configuration of the closed-loop self-adaptation machinery.
@@ -100,6 +103,7 @@ pub struct Database {
     cost_params: CostParams,
     render_options: RenderOptions,
     adaptive: AdaptivePolicy,
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for Database {
@@ -131,6 +135,274 @@ impl Database {
             cost_params: CostParams::default(),
             render_options: RenderOptions::default(),
             adaptive: AdaptivePolicy::default(),
+            durability: None,
+        }
+    }
+
+    /// Creates (or resets) a durable database in directory `dir` with the
+    /// default [`DurabilityOptions`] (16 KiB pages, group commit). Three
+    /// files are created: `data.rodent` (pages, with a validated
+    /// superblock), `wal.rodent` (the write-ahead log), and
+    /// `manifest.rodent` (the catalog checkpoint). Every mutation is logged
+    /// through the WAL before pages are touched; call
+    /// [`Database::checkpoint`] to bound the log, and [`Database::open`] to
+    /// come back after a restart or crash.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::create_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::create`] with explicit page size and sync policy.
+    pub fn create_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| RodentError::Storage(rodentstore_storage::StorageError::Io(e)))?;
+        let (data_path, wal_path, manifest_path) = durability::db_paths(&dir);
+        // Resetting an existing database: remove its manifest *before*
+        // truncating the data/WAL files. A crash mid-create then leaves a
+        // directory that cleanly fails to open (no manifest), never an old
+        // manifest pointing page extents into an emptied data file.
+        if manifest_path.exists() {
+            std::fs::remove_file(&manifest_path)
+                .map_err(|e| RodentError::Storage(rodentstore_storage::StorageError::Io(e)))?;
+        }
+        let store = Arc::new(
+            FileStore::create(&data_path, options.page_size).map_err(RodentError::Storage)?,
+        );
+        let pager = Arc::new(Pager::with_store(
+            Arc::clone(&store) as Arc<dyn PageStore>
+        ));
+        let mut db = Database::with_pager(pager);
+        db.wal = Wal::create(&wal_path, options.sync).map_err(RodentError::Storage)?;
+        // An initial (empty) manifest makes the directory openable even if
+        // the process dies before the first checkpoint.
+        let manifest = durability::encode_manifest(&db.catalog, options.page_size, 0, 0)?;
+        durability::write_manifest_file(&dir, &manifest)?;
+        db.durability = Some(Durability { dir });
+        Ok(db)
+    }
+
+    /// Opens a durable database directory: validates the data file's
+    /// superblock against the manifest, reattaches every rendered layout
+    /// from its persisted page extents (**no re-rendering**), restores each
+    /// table's workload profile and layout statistics, discards data pages
+    /// written after the last checkpoint, and replays the WAL tail —
+    /// committed transactions win, torn or corrupt tails are discarded.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with an explicit sync policy for future commits
+    /// (the page size always comes from the manifest).
+    pub fn open_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Database> {
+        let dir = dir.as_ref().to_path_buf();
+        let (data_path, wal_path, _) = durability::db_paths(&dir);
+        let manifest = durability::decode_manifest(&durability::read_manifest_file(&dir)?)?;
+        let store = Arc::new(
+            FileStore::open_expecting(&data_path, manifest.page_size)
+                .map_err(RodentError::Storage)?,
+        );
+        // Pages written after the checkpoint are not described by the
+        // manifest; drop them — the WAL replay below re-derives their
+        // contents from the logged logical operations.
+        store
+            .truncate(manifest.page_count)
+            .map_err(RodentError::Storage)?;
+        let pager = Arc::new(Pager::with_store(
+            Arc::clone(&store) as Arc<dyn PageStore>
+        ));
+        let mut db = Database::with_pager(Arc::clone(&pager));
+
+        // Pass 1: every table's schema, rows, profile, and counters.
+        let mut rendered = Vec::new();
+        for table in manifest.tables {
+            let name = table.schema.name().to_string();
+            db.catalog.create(table.schema)?;
+            let entry = db.catalog.get_mut(&name)?;
+            entry.strategy = table.strategy;
+            entry.records = table.records;
+            entry.pending = table.pending;
+            entry.profile = table.profile.into_profile();
+            entry.stats = table.stats;
+            if let Some(expr_text) = table.layout_expr {
+                entry.layout_expr = Some(parse(&expr_text)?);
+            }
+            if let Some(r) = table.rendered {
+                rendered.push((name, r));
+            }
+        }
+        // Pass 2: reattach rendered layouts (after *all* schemas exist, so
+        // multi-table expressions like prejoin validate).
+        let schemas = db.catalog.schemas();
+        for (name, r) in rendered {
+            let expr = db
+                .catalog
+                .get(&name)?
+                .layout_expr
+                .clone()
+                .ok_or_else(|| {
+                    RodentError::Invalid(format!(
+                        "manifest has a rendered layout for `{name}` but no expression"
+                    ))
+                })?;
+            let mut derived = validate::check_with(&expr, &schemas)?;
+            // Incremental appends clear native-order claims; restore what
+            // was actually true at checkpoint time, not what the expression
+            // would promise after a fresh render.
+            derived.orderings = r.orderings;
+            let schema = derived.schema.clone();
+            let objects: Vec<StoredObject> = r
+                .objects
+                .into_iter()
+                .map(|o| StoredObject {
+                    heap: HeapFile::from_pages(
+                        o.name.clone(),
+                        Arc::clone(&pager),
+                        o.pages,
+                        o.heap_records,
+                    ),
+                    name: o.name,
+                    fields: o.fields,
+                    encoding: o.encoding,
+                    codecs: o.codecs.into_iter().collect(),
+                    cell: o.cell,
+                    row_count: o.row_count as usize,
+                    ordering: o.ordering,
+                })
+                .collect();
+            let layout = PhysicalLayout::new(
+                r.name,
+                expr,
+                schema,
+                derived,
+                objects,
+                r.row_count as usize,
+                Arc::clone(&pager),
+            );
+            let entry = db.catalog.get_mut(&name)?;
+            entry.access = Some(AccessMethods::with_cost_params(layout, db.cost_params));
+        }
+
+        // Replay the WAL tail past the checkpoint. `durability` is still
+        // `None` here, so replayed mutations are not re-logged.
+        let wal = Wal::open(&wal_path, options.sync).map_err(RodentError::Storage)?;
+        for (lsn, _tx, payload) in wal.committed_ops().map_err(RodentError::Storage)? {
+            if lsn < manifest.replay_from_lsn {
+                continue;
+            }
+            let op = DurableOp::decode(&payload)?;
+            db.apply_op(op)?;
+        }
+        db.wal = wal;
+        db.durability = Some(Durability { dir });
+        Ok(db)
+    }
+
+    /// Whether this database is file-backed (created via
+    /// [`Database::create`]/[`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Checkpoints a durable database: flushes every rendered object's tail
+    /// page, syncs the data file, atomically rewrites the manifest (catalog,
+    /// canonical rows, layout page extents, workload profiles), and
+    /// truncates the WAL. After a checkpoint, [`Database::open`] needs no
+    /// replay and no re-rendering. Errors on in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let dir = match &self.durability {
+            Some(d) => d.dir.clone(),
+            None => {
+                return Err(RodentError::Invalid(
+                    "checkpoint requires a durable database (Database::create/open)".into(),
+                ))
+            }
+        };
+        // Seal partially filled heap tails so every page extent is complete.
+        for name in self.catalog.table_names() {
+            if let Some(access) = &self.catalog.get(&name)?.access {
+                for obj in &access.layout().objects {
+                    obj.heap.flush().map_err(RodentError::Storage)?;
+                }
+            }
+        }
+        self.pager.sync().map_err(RodentError::Storage)?;
+        let replay_from = self.wal.next_lsn();
+        let manifest = durability::encode_manifest(
+            &self.catalog,
+            self.pager.page_size(),
+            self.pager.page_count(),
+            replay_from,
+        )?;
+        durability::write_manifest_file(&dir, &manifest)?;
+        if let Some(last) = self.wal.last_lsn() {
+            self.wal.truncate(last).map_err(RodentError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a mutation's op record to the WAL (no-op for in-memory
+    /// databases — the payload closure is never even evaluated, so the
+    /// default mode pays no serialization cost). Called *before* the
+    /// mutation touches the catalog or any page — the write-ahead rule. The
+    /// transaction is left open; pass the returned id to
+    /// [`Database::log_op_finish`] with the mutation's outcome, so an op
+    /// whose apply step fails is recorded as aborted and recovery replay
+    /// skips it instead of re-failing on it forever.
+    fn log_op_begin(
+        &self,
+        payload: impl FnOnce() -> Vec<u8>,
+    ) -> Result<Option<rodentstore_storage::TxId>> {
+        if self.durability.is_none() {
+            return Ok(None);
+        }
+        let tx = self.wal.begin().map_err(RodentError::Storage)?;
+        self.wal.log_op(tx, &payload()).map_err(RodentError::Storage)?;
+        Ok(Some(tx))
+    }
+
+    /// Commits the transaction opened by [`Database::log_op_begin`].
+    /// Durability is acknowledged at commit time per the configured
+    /// [`rodentstore_storage::SyncPolicy`]; a crash (or write failure)
+    /// before the commit record lands makes the op invisible to replay, so
+    /// callers whose mutation already applied must roll it back on error —
+    /// otherwise live state would diverge from both the reported error and
+    /// the recovered state.
+    fn log_op_commit(&self, tx: Option<rodentstore_storage::TxId>) -> Result<()> {
+        if let Some(tx) = tx {
+            self.wal.commit(tx).map_err(RodentError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Marks the transaction aborted after its mutation failed. Best
+    /// effort: if the abort record cannot be written, the op simply stays
+    /// uncommitted, which replay treats identically.
+    fn log_op_abort(&self, tx: Option<rodentstore_storage::TxId>) {
+        if let Some(tx) = tx {
+            let _ = self.wal.abort(tx);
+        }
+    }
+
+    /// Re-executes a logged operation during recovery (through the same
+    /// unlogged mutation paths normal operation uses).
+    fn apply_op(&mut self, op: DurableOp) -> Result<()> {
+        match op {
+            DurableOp::CreateTable(schema) => self.catalog.create(schema),
+            DurableOp::DropTable(table) => self.catalog.drop(&table),
+            DurableOp::Insert { table, rows } => self.insert_unlogged(&table, rows),
+            DurableOp::ApplyLayout {
+                table,
+                expr,
+                strategy,
+                adapted,
+            } => {
+                let parsed = parse(&expr)?;
+                self.apply_layout_unlogged(&table, parsed, strategy)?;
+                if adapted {
+                    self.catalog.get_mut(&table)?.stats.adaptations += 1;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -181,34 +453,95 @@ impl Database {
 
     /// Creates a table from its logical schema.
     pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        if self.catalog.get(schema.name()).is_ok() {
+            return Err(RodentError::TableExists(schema.name().to_string()));
+        }
+        // Commit before applying: the catalog insert cannot fail after the
+        // existence pre-check, so a commit-record failure leaves nothing
+        // applied (and a crash after the commit is healed by replay).
+        let tx = self.log_op_begin(|| durability::encode_create_table(&schema))?;
+        self.log_op_commit(tx)?;
         self.catalog.create(schema)
     }
 
-    /// Drops a table.
+    /// Drops a table. Note that page allocation is append-only: a dropped
+    /// table's rendered pages (like those of superseded renders generally)
+    /// stay dead in the data file — there is no free list or vacuum yet.
     pub fn drop_table(&mut self, table: &str) -> Result<()> {
+        self.catalog.get(table)?;
+        // Commit-before-apply, as in `create_table`: the drop is infallible
+        // after the existence pre-check.
+        let tx = self.log_op_begin(|| durability::encode_drop_table(table))?;
+        self.log_op_commit(tx)?;
         self.catalog.drop(table)
     }
 
     /// Inserts records into a table. If a layout is declared with the eager
     /// strategy, the rows are absorbed into the rendered representation
     /// immediately — *incrementally* where the layout shape allows (new heap
-    /// records, column blocks, or grid cells appended in place), falling
-    /// back to a full re-render only for shapes that cannot take appends
-    /// (fold, vertical partitions, prejoins). The lazy strategy defers the
+    /// records, column blocks, grid cells, or per-group vertical rows
+    /// appended in place), falling back to a full re-render only for shapes
+    /// that cannot take appends (fold, prejoin, limit). The lazy strategy defers the
     /// same absorption to the next access; with the new-data-only strategy
     /// the records are kept in a separate row-oriented buffer that scans
     /// merge in.
+    ///
+    /// On a durable database the rows are committed to the WAL *before* the
+    /// catalog or any page is touched (write-ahead logging); how quickly the
+    /// commit reaches the disk platter is governed by the
+    /// [`rodentstore_storage::SyncPolicy`] chosen at create/open time.
     pub fn insert(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
-        let entry = self.catalog.get_mut(table)?;
-        for r in &records {
-            entry.schema.validate_record(r)?;
+        let (records_before, pending_before) = {
+            let entry = self.catalog.get(table)?;
+            for r in &records {
+                entry.schema.validate_record(r)?;
+            }
+            (entry.records.len(), entry.pending.len())
+        };
+        let tx = self.log_op_begin(|| durability::encode_insert(table, &records))?;
+        if let Err(e) = self.insert_unlogged(table, records) {
+            self.log_op_abort(tx);
+            return Err(e);
         }
+        if let Err(e) = self.log_op_commit(tx) {
+            // The rows applied but their commit record did not land — they
+            // would vanish on recovery. Roll the live state back to match:
+            // drop the rows and discard the (possibly appended-to)
+            // rendering, so the next access re-renders from the canonical
+            // rows that really are durable.
+            let entry = self.catalog.get_mut(table)?;
+            entry.records.truncate(records_before);
+            entry.pending.truncate(pending_before);
+            entry.access = None;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The mutation half of [`Database::insert`]: validation and WAL logging
+    /// already happened (or are skipped — recovery replay trusts the log).
+    ///
+    /// If eager absorption fails (e.g. a record too large for the page
+    /// size), the canonical rows and pending buffer are rolled back and the
+    /// (possibly partially appended) rendering is invalidated, so the table
+    /// stays usable — the next access re-renders from the clean canonical
+    /// state, and the WAL records the transaction as aborted.
+    fn insert_unlogged(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
+        let entry = self.catalog.get_mut(table)?;
         let has_layout = entry.access.is_some() || entry.layout_expr.is_some();
+        let records_before = entry.records.len();
+        let pending_before = entry.pending.len();
         entry.records.extend(records.iter().cloned());
         if has_layout {
             entry.pending.extend(records);
             if entry.strategy == ReorgStrategy::Eager {
-                self.ensure_rendered(table)?;
+                if let Err(e) = self.ensure_rendered(table) {
+                    let entry = self.catalog.get_mut(table)?;
+                    entry.records.truncate(records_before);
+                    entry.pending.truncate(pending_before);
+                    entry.access = None;
+                    return Err(e);
+                }
             }
         }
         Ok(())
@@ -233,17 +566,71 @@ impl Database {
         expr: LayoutExpr,
         strategy: ReorgStrategy,
     ) -> Result<()> {
-        // Validate against the whole catalog so prejoins across tables work.
+        // Validate against the whole catalog so prejoins across tables work
+        // — and so invalid expressions are rejected *before* they are logged.
         validate::check_with(&expr, &self.catalog.schemas())?;
-        {
+        self.catalog.get(table)?;
+        let tx = self.log_op_begin(|| {
+            durability::encode_apply_layout(table, &expr.to_string(), strategy, false)
+        })?;
+        self.apply_layout_logged(table, expr, strategy, tx)
+    }
+
+    /// The mutation half of [`Database::apply_layout`] for recovery replay
+    /// (logging already happened — or is skipped).
+    fn apply_layout_unlogged(
+        &mut self,
+        table: &str,
+        expr: LayoutExpr,
+        strategy: ReorgStrategy,
+    ) -> Result<()> {
+        self.apply_layout_logged(table, expr, strategy, None)
+    }
+
+    /// Applies a layout and commits its already-written WAL op record. If
+    /// the eager render fails — or the commit record cannot be written —
+    /// the previous layout state (expression, strategy, rendering, pending
+    /// buffer) is restored wholesale, so the live catalog matches both what
+    /// the caller observed (an error) and what recovery would replay (an
+    /// aborted or absent op).
+    fn apply_layout_logged(
+        &mut self,
+        table: &str,
+        expr: LayoutExpr,
+        strategy: ReorgStrategy,
+        tx: Option<rodentstore_storage::TxId>,
+    ) -> Result<()> {
+        let (prev_expr, prev_strategy, prev_access, prev_pending) = {
             let entry = self.catalog.get_mut(table)?;
+            let prev = (
+                entry.layout_expr.take(),
+                entry.strategy,
+                entry.access.take(),
+                std::mem::take(&mut entry.pending),
+            );
             entry.layout_expr = Some(expr);
             entry.strategy = strategy;
-            entry.access = None;
-            entry.pending.clear();
-        }
-        if strategy.renders_immediately() {
-            self.ensure_rendered(table)?;
+            prev
+        };
+        let failure = if strategy.renders_immediately() {
+            self.ensure_rendered(table).err()
+        } else {
+            None
+        };
+        let failure = match failure {
+            Some(e) => {
+                self.log_op_abort(tx);
+                Some(e)
+            }
+            None => self.log_op_commit(tx).err(),
+        };
+        if let Some(e) = failure {
+            let entry = self.catalog.get_mut(table)?;
+            entry.layout_expr = prev_expr;
+            entry.strategy = prev_strategy;
+            entry.access = prev_access;
+            entry.pending = prev_pending;
+            return Err(e);
         }
         Ok(())
     }
@@ -256,8 +643,9 @@ impl Database {
     /// pending rows are pipelined (selection, projection, …) and appended to
     /// the existing stored objects — new heap records for row layouts, new
     /// column blocks for columnar ones, routed into (possibly new) cells for
-    /// grids. Only shapes whose invariants cannot be maintained row-at-a-time
-    /// (fold, vertical partitions, prejoins) fall back to a full re-render.
+    /// grids, projected onto every field group for vertical partitions. Only
+    /// shapes whose invariants cannot be maintained row-at-a-time (fold,
+    /// prejoin, limit) fall back to a full re-render.
     pub fn ensure_rendered(&mut self, table: &str) -> Result<()> {
         let (has_expr, has_access, pending_len, absorbs) = {
             let entry = self.catalog.get(table)?;
@@ -282,15 +670,24 @@ impl Database {
             };
             let entry = self.catalog.get_mut(table)?;
             let access = entry.access.as_mut().expect("checked above");
-            match access.append_rows(&provider)? {
-                AppendOutcome::Appended { .. } => {
+            match access.append_rows(&provider) {
+                Ok(AppendOutcome::Appended { .. }) => {
                     entry.pending.clear();
                     entry.stats.incremental_appends += 1;
                     return Ok(());
                 }
-                AppendOutcome::NeedsRebuild(_) => {
+                Ok(AppendOutcome::NeedsRebuild(_)) => {
                     entry.access = None;
                     // Fall through to the full render below.
+                }
+                Err(e) => {
+                    // A failed append may have touched some objects and not
+                    // others (e.g. one group of a vertical partition), which
+                    // would misalign the positional stitch of every later
+                    // read. Discard the rendering: the next access rebuilds
+                    // from the canonical rows, which are still consistent.
+                    entry.access = None;
+                    return Err(e.into());
                 }
             }
         }
@@ -584,7 +981,12 @@ impl Database {
                 best_ms: best.total_ms,
             });
         }
-        self.apply_layout(table, best.expr.clone(), policy.strategy)?;
+        // Adaptation is logged as an `apply_layout` with the `adapted` flag
+        // set, so replay after a crash maintains the adaptation counter.
+        let tx = self.log_op_begin(|| {
+            durability::encode_apply_layout(table, &best.expr.to_string(), policy.strategy, true)
+        })?;
+        self.apply_layout_logged(table, best.expr.clone(), policy.strategy, tx)?;
         let entry = self.catalog.get_mut(table)?;
         entry.stats.adaptations += 1;
         Ok(AdaptOutcome::Adapted {
@@ -996,7 +1398,7 @@ mod tests {
     }
 
     #[test]
-    fn appendless_shapes_still_rebuild_on_insert() {
+    fn vertical_partitions_absorb_inserts_incrementally() {
         let mut db = small_db();
         db.apply_layout(
             "Traces",
@@ -1015,7 +1417,90 @@ mod tests {
         )
         .unwrap();
         let stats = db.layout_stats("Traces").unwrap();
-        assert_eq!(stats.full_renders, 2, "vertical layouts fall back to rebuild");
+        assert_eq!(stats.full_renders, 1, "vertical appends in place now");
+        assert_eq!(stats.incremental_appends, 1);
+        let rows = db.scan("Traces", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), 1_501);
+        // The appended row is stitched back whole across both objects.
+        let last = db.get_element("Traces", 1_500, None).unwrap();
+        assert_eq!(last[0], Value::Timestamp(10_002));
+        assert_eq!(last[3], Value::Str("car-new".into()));
+    }
+
+    #[test]
+    fn failed_partial_append_invalidates_instead_of_corrupting() {
+        // A vertical append writes object-by-object; if one group fails
+        // (here: a string too large for the page) after another succeeded,
+        // the per-object row sets diverge. The absorb path must discard the
+        // rendering rather than leave positionally misaligned objects.
+        let mut db = Database::with_page_size(1024);
+        db.create_table(Schema::new(
+            "Docs",
+            vec![
+                Field::new("x", DataType::Float),
+                Field::new("body", DataType::String),
+            ],
+        ))
+        .unwrap();
+        let rows: Vec<Record> = (0..50)
+            .map(|i| vec![Value::Float(i as f64), Value::Str(format!("doc-{i}"))])
+            .collect();
+        db.insert("Docs", rows).unwrap();
+        db.apply_layout(
+            "Docs",
+            LayoutExpr::table("Docs").vertical([vec!["x"], vec!["body"]]),
+            ReorgStrategy::Lazy,
+        )
+        .unwrap();
+        assert_eq!(db.scan("Docs", &ScanRequest::all()).unwrap().len(), 50);
+        // Passes schema validation, fails in the `body` object's heap.
+        db.insert(
+            "Docs",
+            vec![vec![Value::Float(99.0), Value::Str("y".repeat(5_000))]],
+        )
+        .unwrap();
+        let err = db.scan("Docs", &ScanRequest::all());
+        assert!(err.is_err(), "absorbing the oversized row must fail");
+        assert!(
+            db.catalog().get("Docs").unwrap().access.is_none(),
+            "the partially appended rendering must be discarded"
+        );
+        // Declaring a layout that can hold the data recovers the table with
+        // every row intact and aligned.
+        db.apply_layout(
+            "Docs",
+            LayoutExpr::table("Docs").project(["x"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        let rows = db.scan("Docs", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), 51);
+        assert_eq!(rows[50], vec![Value::Float(99.0)]);
+    }
+
+    #[test]
+    fn appendless_shapes_still_rebuild_on_insert() {
+        let mut db = small_db();
+        // Fold groups are single heap records; inserts must re-render.
+        // (Folding only `t` keeps each group under the 2 KiB test pages.)
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").fold(["id"], ["t"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(10_002),
+                Value::Float(42.33),
+                Value::Float(-71.08),
+                Value::Str("car-new".into()),
+            ]],
+        )
+        .unwrap();
+        let stats = db.layout_stats("Traces").unwrap();
+        assert_eq!(stats.full_renders, 2, "folded layouts fall back to rebuild");
         assert_eq!(stats.incremental_appends, 0);
         assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 1_501);
     }

@@ -14,8 +14,12 @@
 //! This crate is the user-facing façade tying the subsystems together:
 //!
 //! * [`Database`] — create tables, load data, apply or change layouts
-//!   (eagerly, lazily, or only for new data), and run queries;
+//!   (eagerly, lazily, or only for new data), and run queries; in-memory
+//!   ([`Database::in_memory`]) or durable ([`Database::create`] /
+//!   [`Database::open`], with write-ahead logging, checkpoints, and crash
+//!   recovery);
 //! * [`Catalog`] — the table/layout metadata;
+//! * [`durability`] — the on-disk manifest and logical WAL operations;
 //! * [`reorg`] — the reorganization strategies of Section 5 of the paper.
 //!
 //! ```
@@ -42,6 +46,7 @@
 
 pub mod catalog;
 pub mod database;
+pub mod durability;
 pub mod monitor;
 pub mod reorg;
 
@@ -52,6 +57,7 @@ pub mod layout_algebra {}
 
 pub use catalog::{Catalog, LayoutStats, TableEntry};
 pub use database::{AdaptOutcome, AdaptivePolicy, Database};
+pub use durability::DurabilityOptions;
 pub use monitor::{QueryTemplate, WorkloadProfile};
 pub use reorg::ReorgStrategy;
 
@@ -61,7 +67,7 @@ pub use rodentstore_algebra::{parse, Condition, DataType, Field, LayoutExpr, Sch
 pub use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
 pub use rodentstore_layout::{PhysicalLayout, RenderOptions};
 pub use rodentstore_optimizer::{advise, AdvisorOptions, Recommendation, Workload};
-pub use rodentstore_storage::{IoSnapshot, IoStats};
+pub use rodentstore_storage::{IoSnapshot, IoStats, SyncPolicy};
 
 use std::fmt;
 
@@ -76,6 +82,8 @@ pub enum RodentError {
     Exec(rodentstore_exec::ExecError),
     /// The design advisor failed.
     Optimizer(rodentstore_optimizer::OptimizerError),
+    /// The storage backend (pages, WAL, manifest I/O) failed.
+    Storage(rodentstore_storage::StorageError),
     /// A table was not found in the catalog.
     UnknownTable(String),
     /// A table with the same name already exists.
@@ -91,6 +99,7 @@ impl fmt::Display for RodentError {
             RodentError::Layout(e) => write!(f, "{e}"),
             RodentError::Exec(e) => write!(f, "{e}"),
             RodentError::Optimizer(e) => write!(f, "{e}"),
+            RodentError::Storage(e) => write!(f, "{e}"),
             RodentError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             RodentError::TableExists(t) => write!(f, "table `{t}` already exists"),
             RodentError::Invalid(msg) => write!(f, "{msg}"),
@@ -118,6 +127,11 @@ impl From<rodentstore_exec::ExecError> for RodentError {
 impl From<rodentstore_optimizer::OptimizerError> for RodentError {
     fn from(e: rodentstore_optimizer::OptimizerError) -> Self {
         RodentError::Optimizer(e)
+    }
+}
+impl From<rodentstore_storage::StorageError> for RodentError {
+    fn from(e: rodentstore_storage::StorageError) -> Self {
+        RodentError::Storage(e)
     }
 }
 

@@ -72,6 +72,40 @@ impl WorkloadProfile {
         }
     }
 
+    /// Reassembles a profile from a persisted snapshot (the durability
+    /// layer's manifest stores the templates plus the tuning knobs, so a
+    /// reopened database resumes adaptation exactly where it left off).
+    pub fn from_parts(
+        decay: f64,
+        max_templates: usize,
+        queries_observed: u64,
+        queries_since_check: u64,
+        mut templates: Vec<QueryTemplate>,
+    ) -> WorkloadProfile {
+        templates.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        WorkloadProfile {
+            templates,
+            queries_observed,
+            queries_since_check,
+            decay: decay.clamp(0.0, 1.0),
+            max_templates: max_templates.max(1),
+        }
+    }
+
+    /// The decay factor applied to template weights per observed query.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// The maximum number of templates the profile tracks.
+    pub fn max_templates(&self) -> usize {
+        self.max_templates
+    }
+
     /// The tracked templates, heaviest first.
     pub fn templates(&self) -> &[QueryTemplate] {
         &self.templates

@@ -13,15 +13,16 @@
 //!   bounds contain it; rows falling outside every existing cell get *new*
 //!   cell objects aligned to the same lattice;
 //! * **horizontal partitions** — rows are routed to their partition by the
-//!   original partitioning rule, creating new partition objects for unseen
-//!   labels.
+//!   original partitioning rule, creating objects for unseen labels;
+//! * **vertical partitions** — each new row is projected onto every field
+//!   group and appended to *all* objects, preserving the equal-row-set
+//!   invariant vertical reads depend on.
 //!
 //! Shapes whose invariants cannot be maintained row-at-a-time — `fold`
-//! (groups are single heap records), vertical partitions (every object must
-//! hold *exactly* the same row set), `prejoin` (needs the other table),
-//! `limit`, and explicit comprehensions — report
-//! [`AppendOutcome::NeedsRebuild`] so the caller can fall back to a full
-//! re-render.
+//! (groups are single heap records), `prejoin` (needs the other table),
+//! `limit`, explicit comprehensions, and vertical groups combined with
+//! gridding/partitioning — report [`AppendOutcome::NeedsRebuild`] so the
+//! caller can fall back to a full re-render.
 //!
 //! Appending unsorted rows invalidates any `orderby` claim the layout made,
 //! so a successful append clears [`PhysicalLayout::order_list`]; scans that
@@ -78,8 +79,12 @@ pub fn append_records<P: TableProvider + ?Sized>(
     if layout.derived.folded.is_some() {
         return needs("fold");
     }
-    if !layout.derived.groups.is_empty() {
-        return needs("vertical partition");
+    if !layout.derived.groups.is_empty()
+        && (layout.derived.grid.is_some() || layout.derived.partitioned)
+    {
+        // Vertical groups combined with gridding/partitioning multiply the
+        // object bookkeeping; only the pure shapes absorb rows in place.
+        return needs("vertical partition combined with grid/partition");
     }
 
     // Run the tuple-level pipeline over just the new rows: selection drops
@@ -101,6 +106,8 @@ pub fn append_records<P: TableProvider + ?Sized>(
         append_grid(layout, &dims, new_rows)?
     } else if layout.derived.partitioned {
         append_partitions(layout, new_rows)?
+    } else if !layout.derived.groups.is_empty() {
+        append_vertical(layout, new_rows)?
     } else if layout.objects.len() == 1
         && layout.objects[0].fields == layout.schema.field_names()
     {
@@ -123,6 +130,36 @@ pub fn append_records<P: TableProvider + ?Sized>(
         objects_touched,
         rows_appended,
     })
+}
+
+/// Appends to a vertical partition: every new row is projected onto each
+/// object's field group and appended to *all* objects, which preserves the
+/// invariant vertical reads depend on — every object holds exactly the same
+/// row set, in the same order.
+fn append_vertical(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<usize> {
+    let positions: Vec<Vec<usize>> = layout
+        .objects
+        .iter()
+        .map(|obj| {
+            obj.fields
+                .iter()
+                .map(|f| {
+                    layout
+                        .schema
+                        .index_of(f)
+                        .map_err(crate::LayoutError::Algebra)
+                })
+                .collect::<Result<Vec<usize>>>()
+        })
+        .collect::<Result<_>>()?;
+    for (obj, positions) in layout.objects.iter_mut().zip(positions) {
+        let projected: Vec<Record> = rows
+            .iter()
+            .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        obj.write_rows(&projected)?;
+    }
+    Ok(layout.objects.len())
 }
 
 /// Buckets new rows into grid cells, appending to existing cell objects and
@@ -505,9 +542,39 @@ mod tests {
     }
 
     #[test]
+    fn vertical_partitions_append_in_place() {
+        let expr = LayoutExpr::table("Points").vertical([vec!["x", "y"], vec!["tag"]]);
+        let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+        let provider = MemTableProvider::single(points_schema(), points(60, 0.0));
+        let mut layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
+        let extra_rows = points(7, 100.0);
+        let extra = MemTableProvider::single(points_schema(), extra_rows.clone());
+        let outcome = append_records(&mut layout, &extra).unwrap();
+        assert_eq!(
+            outcome,
+            AppendOutcome::Appended {
+                objects_touched: 2,
+                rows_appended: 7,
+            }
+        );
+        assert_eq!(layout.row_count, 67);
+        // Every object carries the same (grown) row set, and scans stitch
+        // the appended rows back whole.
+        for obj in &layout.objects {
+            assert_eq!(obj.row_count, 67);
+        }
+        let rows = layout.scan(None, None).unwrap();
+        assert_eq!(rows.len(), 67);
+        assert_eq!(rows[60], extra_rows[0]);
+        assert_eq!(rows[66], extra_rows[6]);
+    }
+
+    #[test]
     fn unfriendly_shapes_request_rebuild() {
         let cases = vec![
-            LayoutExpr::table("Points").vertical([vec!["x", "y"], vec!["tag"]]),
+            LayoutExpr::table("Points")
+                .vertical([vec!["x", "y"], vec!["tag"]])
+                .partition(rodentstore_algebra::expr::PartitionBy::Field("tag".into())),
             LayoutExpr::table("Points").fold(["tag"], ["x", "y"]),
             LayoutExpr::table("Points").limit(10),
         ];

@@ -35,6 +35,7 @@ pub mod scan;
 pub use append::{append_records, AppendOutcome};
 pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
+pub use rodentstore_compress::CodecKind;
 pub use render::{render, RenderOptions};
 pub use scan::{CompiledPredicate, ScanIter};
 

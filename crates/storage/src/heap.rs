@@ -63,6 +63,28 @@ impl HeapFile {
         }
     }
 
+    /// Reattaches a heap file to pages that already exist in the pager —
+    /// the recovery path: a checkpoint manifest records each object's page
+    /// extent and record count, and reopening rebuilds the heap around them
+    /// without rewriting a byte. All pages are treated as sealed; the next
+    /// append opens a fresh tail page after them.
+    pub fn from_pages(
+        name: impl Into<String>,
+        pager: Arc<Pager>,
+        pages: Vec<PageId>,
+        record_count: u64,
+    ) -> HeapFile {
+        HeapFile {
+            name: name.into(),
+            pager,
+            state: Mutex::new(HeapState {
+                pages,
+                tail: None,
+                record_count,
+            }),
+        }
+    }
+
     /// Name of the heap file (used in catalogs and diagnostics).
     pub fn name(&self) -> &str {
         &self.name

@@ -2,9 +2,10 @@
 //!
 //! Page-based storage substrate for RodentStore: fixed-size [`page::Page`]s,
 //! slotted-page record organization, a [`pager::Pager`] with pluggable
-//! in-memory or file backing and full I/O accounting, an LRU
-//! [`bufferpool::BufferPool`], append-oriented [`heap::HeapFile`]s, and a
-//! minimal redo-only [`wal::Wal`].
+//! in-memory or file backing, a validated superblock, and full I/O
+//! accounting, an LRU [`bufferpool::BufferPool`], append-oriented
+//! [`heap::HeapFile`]s, and a file-backed, checksummed, redo-only
+//! [`wal::Wal`] with group commit.
 //!
 //! Everything above this crate (layout renderers, indexes, access methods)
 //! expresses its work in pages so that the system's headline metric — pages
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod bufferpool;
+pub mod checksum;
 pub mod heap;
 pub mod page;
 pub mod pager;
@@ -23,12 +25,13 @@ pub mod stats;
 pub mod wal;
 
 pub use bufferpool::BufferPool;
+pub use checksum::crc32;
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{FileStore, MemStore, PageStore, Pager};
 pub use slotted::{SlottedPage, SlottedReader};
 pub use stats::{IoSnapshot, IoStats};
-pub use wal::{LogRecord, TxId, Wal};
+pub use wal::{LogRecord, Lsn, SyncPolicy, TxId, Wal};
 
 use std::fmt;
 
@@ -74,6 +77,18 @@ pub enum StorageError {
         /// Size of the buffer provided.
         found: usize,
     },
+    /// A file that is not a RodentStore data or log file (bad magic).
+    NotRodentStore {
+        /// Path of the offending file.
+        path: String,
+    },
+    /// An on-disk format version this build does not understand.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
     /// An underlying filesystem error.
     Io(std::io::Error),
     /// A corrupted or inconsistent on-disk structure was encountered.
@@ -103,6 +118,15 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidPageSize { expected, found } => {
                 write!(f, "expected a {expected}-byte page buffer, got {found}")
+            }
+            StorageError::NotRodentStore { path } => {
+                write!(f, "`{path}` is not a RodentStore file (bad magic)")
+            }
+            StorageError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "on-disk format version {found} is newer than the supported version {supported}"
+                )
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Corrupted(msg) => write!(f, "corrupted storage: {msg}"),

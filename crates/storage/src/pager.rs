@@ -6,7 +6,14 @@
 //! or write is *sequential* when it touches the page immediately following
 //! the previously accessed page; anything else counts as a seek, mirroring
 //! the simple disk model the paper's cost discussion assumes.
+//!
+//! File-backed stores start with a *superblock*: one page-sized block
+//! holding a magic string, the on-disk format version, and the page size,
+//! all guarded by a CRC32. [`FileStore::open`] validates the superblock
+//! before touching any data page, so opening a foreign file or reopening
+//! with the wrong page size is a typed error instead of garbage reads.
 
+use crate::checksum::crc32;
 use crate::page::{Page, PageId, DEFAULT_PAGE_SIZE};
 use crate::stats::IoStats;
 use crate::{Result, StorageError};
@@ -29,6 +36,14 @@ pub trait PageStore: Send + Sync {
     fn read(&self, id: PageId) -> Result<Vec<u8>>;
     /// Writes the raw contents of a page.
     fn write(&self, id: PageId, data: &[u8]) -> Result<()>;
+    /// Forces written pages to durable storage. No-op for stores without a
+    /// durability boundary (e.g. in-memory).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+    /// Discards every page with id `>= page_count`, shrinking the store.
+    /// Used on recovery to drop pages written after the last checkpoint.
+    fn truncate(&self, page_count: u64) -> Result<()>;
 }
 
 /// An in-memory page store. This is the default backing store for tests and
@@ -87,9 +102,39 @@ impl PageStore for MemStore {
         slot.copy_from_slice(data);
         Ok(())
     }
+
+    fn truncate(&self, page_count: u64) -> Result<()> {
+        let mut pages = self.pages.lock();
+        if (page_count as usize) < pages.len() {
+            pages.truncate(page_count as usize);
+        }
+        Ok(())
+    }
 }
 
-/// A file-backed page store using a single flat file of concatenated pages.
+/// Magic string identifying a RodentStore data file.
+pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"RDNTSTR1";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Bytes of the superblock that carry information (magic + version +
+/// page size + CRC); the rest of the first page-sized block is reserved.
+const SUPERBLOCK_LEN: usize = 20;
+/// Smallest page size able to hold the superblock.
+pub const MIN_PAGE_SIZE: usize = 64;
+
+fn superblock_bytes(page_size: usize) -> [u8; SUPERBLOCK_LEN] {
+    let mut block = [0u8; SUPERBLOCK_LEN];
+    block[..8].copy_from_slice(SUPERBLOCK_MAGIC);
+    block[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    block[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
+    let crc = crc32(&block[..16]);
+    block[16..20].copy_from_slice(&crc.to_le_bytes());
+    block
+}
+
+/// A file-backed page store: a superblock followed by concatenated pages.
+/// Data page `id` lives at byte offset `(id + 1) * page_size` — the first
+/// page-sized block is the superblock.
 #[derive(Debug)]
 pub struct FileStore {
     page_size: usize,
@@ -99,16 +144,27 @@ pub struct FileStore {
 }
 
 impl FileStore {
-    /// Creates (or truncates) a file-backed store at `path`.
+    /// Creates (or truncates) a file-backed store at `path`, writing and
+    /// syncing the superblock.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<FileStore> {
+        if page_size < MIN_PAGE_SIZE {
+            return Err(StorageError::InvalidPageSize {
+                expected: MIN_PAGE_SIZE,
+                found: page_size,
+            });
+        }
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
             .read(true)
             .write(true)
             .truncate(true)
             .open(&path)
             .map_err(StorageError::from)?;
+        let mut block = vec![0u8; page_size];
+        block[..SUPERBLOCK_LEN].copy_from_slice(&superblock_bytes(page_size));
+        file.write_all(&block).map_err(StorageError::from)?;
+        file.sync_data().map_err(StorageError::from)?;
         Ok(FileStore {
             page_size,
             file: Mutex::new(file),
@@ -117,26 +173,84 @@ impl FileStore {
         })
     }
 
-    /// Opens an existing store, inferring the page count from the file size.
-    pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<FileStore> {
+    /// Opens an existing store, validating the superblock and reading the
+    /// page size from it. Returns [`StorageError::NotRodentStore`] for a
+    /// file without the magic, [`StorageError::UnsupportedVersion`] for a
+    /// newer format, and [`StorageError::Corrupted`] for a damaged
+    /// superblock. The page count is inferred from the file size; a torn
+    /// trailing partial page is ignored.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .open(&path)
             .map_err(StorageError::from)?;
+        let mut block = [0u8; SUPERBLOCK_LEN];
+        file.read_exact(&mut block).map_err(|_| StorageError::NotRodentStore {
+            path: path.display().to_string(),
+        })?;
+        if &block[..8] != SUPERBLOCK_MAGIC {
+            return Err(StorageError::NotRodentStore {
+                path: path.display().to_string(),
+            });
+        }
+        let version = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut crc = [0u8; 4];
+        crc.copy_from_slice(&block[16..20]);
+        if crc32(&block[..16]) != u32::from_le_bytes(crc) {
+            return Err(StorageError::Corrupted(format!(
+                "superblock checksum mismatch in `{}`",
+                path.display()
+            )));
+        }
+        let page_size = u32::from_le_bytes([block[12], block[13], block[14], block[15]]) as usize;
+        if page_size < MIN_PAGE_SIZE {
+            return Err(StorageError::Corrupted(format!(
+                "superblock of `{}` declares page size {page_size}",
+                path.display()
+            )));
+        }
         let len = file.metadata().map_err(StorageError::from)?.len();
+        let page_count = (len / page_size as u64).saturating_sub(1);
         Ok(FileStore {
             page_size,
             file: Mutex::new(file),
             path,
-            page_count: AtomicU64::new(len / page_size as u64),
+            page_count: AtomicU64::new(page_count),
         })
+    }
+
+    /// Opens an existing store and additionally checks that its page size
+    /// matches `expected_page_size`, returning
+    /// [`StorageError::InvalidPageSize`] on mismatch.
+    pub fn open_expecting(
+        path: impl AsRef<Path>,
+        expected_page_size: usize,
+    ) -> Result<FileStore> {
+        let store = FileStore::open(path)?;
+        if store.page_size != expected_page_size {
+            return Err(StorageError::InvalidPageSize {
+                expected: expected_page_size,
+                found: store.page_size,
+            });
+        }
+        Ok(store)
     }
 
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn offset_of(&self, id: PageId) -> u64 {
+        (id + 1) * self.page_size as u64
     }
 }
 
@@ -152,7 +266,7 @@ impl PageStore for FileStore {
     fn allocate(&self) -> Result<PageId> {
         let id = self.page_count.fetch_add(1, Ordering::SeqCst);
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * self.page_size as u64))
+        file.seek(SeekFrom::Start(self.offset_of(id)))
             .map_err(StorageError::from)?;
         file.write_all(&vec![0u8; self.page_size])
             .map_err(StorageError::from)?;
@@ -164,7 +278,7 @@ impl PageStore for FileStore {
             return Err(StorageError::PageNotFound(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * self.page_size as u64))
+        file.seek(SeekFrom::Start(self.offset_of(id)))
             .map_err(StorageError::from)?;
         let mut buf = vec![0u8; self.page_size];
         file.read_exact(&mut buf).map_err(StorageError::from)?;
@@ -182,9 +296,25 @@ impl PageStore for FileStore {
             });
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * self.page_size as u64))
+        file.seek(SeekFrom::Start(self.offset_of(id)))
             .map_err(StorageError::from)?;
         file.write_all(data).map_err(StorageError::from)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data().map_err(StorageError::from)
+    }
+
+    fn truncate(&self, page_count: u64) -> Result<()> {
+        let file = self.file.lock();
+        let current = self.page_count.load(Ordering::SeqCst);
+        if page_count >= current {
+            return Ok(());
+        }
+        file.set_len((page_count + 1) * self.page_size as u64)
+            .map_err(StorageError::from)?;
+        self.page_count.store(page_count, Ordering::SeqCst);
         Ok(())
     }
 }
@@ -240,6 +370,16 @@ impl Pager {
     /// Number of allocated pages.
     pub fn page_count(&self) -> u64 {
         self.store.page_count()
+    }
+
+    /// Forces the backing store to durable storage (no-op in memory).
+    pub fn sync(&self) -> Result<()> {
+        self.store.sync()
+    }
+
+    /// Shrinks the backing store to `page_count` pages, discarding the rest.
+    pub fn truncate_pages(&self, page_count: u64) -> Result<()> {
+        self.store.truncate(page_count)
     }
 
     /// Allocates a fresh zeroed page.
@@ -333,12 +473,16 @@ mod tests {
         ));
     }
 
+    fn temp_store_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rodentstore-pager-test-{}-{tag}.db",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn file_store_round_trip() {
-        let path = std::env::temp_dir().join(format!(
-            "rodentstore-pager-test-{}.db",
-            std::process::id()
-        ));
+        let path = temp_store_path("roundtrip");
         {
             let store = FileStore::create(&path, 256).unwrap();
             let pager = Pager::with_store(Arc::new(store));
@@ -349,12 +493,116 @@ mod tests {
             pager.write(&q).unwrap();
         }
         {
-            let store = FileStore::open(&path, 256).unwrap();
+            // The page size is recovered from the superblock.
+            let store = FileStore::open(&path).unwrap();
+            assert_eq!(store.page_size(), 256);
             assert_eq!(store.page_count(), 2);
             let pager = Pager::with_store(Arc::new(store));
             let p = pager.read(0).unwrap();
             assert_eq!(p.read_bytes(0, 9).unwrap(), b"persisted");
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_with_a_typed_error() {
+        let path = temp_store_path("foreign");
+        std::fs::write(&path, b"definitely not a rodentstore data file").unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::NotRodentStore { .. })
+        ));
+        // Too short for a superblock entirely.
+        std::fs::write(&path, b"hi").unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::NotRodentStore { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_size_mismatch_is_a_typed_error() {
+        let path = temp_store_path("mismatch");
+        {
+            FileStore::create(&path, 256).unwrap();
+        }
+        assert!(matches!(
+            FileStore::open_expecting(&path, 512),
+            Err(StorageError::InvalidPageSize {
+                expected: 512,
+                found: 256,
+            })
+        ));
+        assert!(FileStore::open_expecting(&path, 256).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_superblock_is_detected() {
+        let path = temp_store_path("corrupt-super");
+        {
+            let store = FileStore::create(&path, 128).unwrap();
+            store.allocate().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[13] ^= 0xFF; // flip a bit inside the page-size field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::Corrupted(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let path = temp_store_path("version");
+        {
+            FileStore::create(&path, 128).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let crc = crc32(&bytes[..16]);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION,
+            })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_discards_tail_pages() {
+        let path = temp_store_path("truncate");
+        let store = Arc::new(FileStore::create(&path, 128).unwrap());
+        let pager = Pager::with_store(Arc::clone(&store) as Arc<dyn PageStore>);
+        for i in 0..5u8 {
+            let mut p = pager.allocate().unwrap();
+            p.write_bytes(0, &[i; 4]).unwrap();
+            pager.write(&p).unwrap();
+        }
+        pager.truncate_pages(2).unwrap();
+        assert_eq!(pager.page_count(), 2);
+        assert!(pager.read(2).is_err());
+        assert_eq!(pager.read(1).unwrap().read_bytes(0, 4).unwrap(), &[1u8; 4]);
+        // New allocations reuse the truncated range.
+        let p = pager.allocate().unwrap();
+        assert_eq!(p.id, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tiny_page_sizes_are_rejected() {
+        let path = temp_store_path("tiny");
+        assert!(matches!(
+            FileStore::create(&path, 16),
+            Err(StorageError::InvalidPageSize { .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

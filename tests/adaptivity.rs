@@ -26,7 +26,7 @@ fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
 
 /// Layouts that keep every field, so scans over all phases are comparable.
 /// The set deliberately spans the incremental-append paths (rows, pax, grid
-/// cells, horizontal partitions, orderby) and the rebuild path (vertical).
+/// cells, horizontal partitions, vertical groups, orderby).
 fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
     prop_oneof![
         Just(LayoutExpr::table("Points")),

@@ -1,0 +1,590 @@
+//! End-to-end durability and crash-recovery tests.
+//!
+//! The heart of this suite is an exhaustive crash-point sweep: a database
+//! performs a checkpoint and then a run of committed transactions, and the
+//! test simulates a kill at **every byte truncation point** of the WAL tail.
+//! For each cut it reopens the database and asserts that the reopened scan
+//! is exactly the canonical rows of the transactions whose commit record
+//! fully survived the cut — committed transactions win, torn tails lose,
+//! nothing in between.
+
+use rodentstore::{
+    AdaptOutcome, AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database,
+    DurabilityOptions, Field, LayoutExpr, ReorgStrategy, ScanRequest, Schema, SyncPolicy, Value,
+};
+use rodentstore_optimizer::CostModel;
+use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodentstore-durability-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_db(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for file in ["data.rodent", "wal.rodent", "manifest.rodent"] {
+        std::fs::copy(from.join(file), to.join(file)).unwrap();
+    }
+}
+
+fn small_policy() -> AdaptivePolicy {
+    AdaptivePolicy {
+        auto: false,
+        min_queries: 8,
+        hysteresis: 0.1,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 1_000,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 2,
+            seed: 11,
+        },
+        ..AdaptivePolicy::default()
+    }
+}
+
+#[test]
+fn create_checkpoint_reopen_round_trips_rows_and_layout() {
+    let dir = scratch_dir("roundtrip");
+    let expected = {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::GroupCommit(8),
+            },
+        )
+        .unwrap();
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 600,
+                vehicles: 6,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        db.checkpoint().unwrap();
+        db.scan("Traces", &ScanRequest::all()).unwrap()
+    }; // drop = process exit; checkpointed state must be self-contained
+
+    let mut db = Database::open(&dir).unwrap();
+    assert!(db.is_durable());
+    assert_eq!(db.row_count("Traces").unwrap(), 600);
+    assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap(), expected);
+    // The layout came back from the manifest, not from a re-render.
+    let stats = db.layout_stats("Traces").unwrap();
+    assert_eq!(stats.full_renders, 1, "open must not re-render");
+    // The reopened database keeps working: insert absorbs incrementally.
+    db.insert(
+        "Traces",
+        vec![vec![
+            Value::Timestamp(99_999),
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Str("car-post-open".into()),
+        ]],
+    )
+    .unwrap();
+    assert_eq!(db.row_count("Traces").unwrap(), 601);
+    let stats = db.layout_stats("Traces").unwrap();
+    assert_eq!(stats.full_renders, 1);
+    assert_eq!(stats.incremental_appends, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replay_recovers_unchekpointed_mutations() {
+    let dir = scratch_dir("replay");
+    {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 200,
+                vehicles: 4,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.apply_layout_text("Traces", "project[t,lat](Traces)").unwrap();
+        // No checkpoint: everything must come back from the log alone.
+    }
+    let mut db = Database::open(&dir).unwrap();
+    assert_eq!(db.row_count("Traces").unwrap(), 200);
+    let rows = db
+        .scan("Traces", &ScanRequest::all().fields(["lat"]))
+        .unwrap();
+    assert_eq!(rows.len(), 200);
+    assert_eq!(
+        db.catalog().get("Traces").unwrap().layout_expr.as_ref().unwrap().to_string(),
+        "project[t,lat](Traces)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash-point sweep. Every committed transaction records the WAL file
+/// length right after its commit returned; a simulated kill at byte `cut`
+/// must recover exactly the transactions whose recorded length is `<= cut`.
+#[test]
+fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
+    let dir = scratch_dir("crashpoints");
+    let schema = rodentstore::Schema::new(
+        "Ledger",
+        vec![
+            rodentstore::Field::new("id", rodentstore::DataType::Int),
+            rodentstore::Field::new("amount", rodentstore::DataType::Float),
+        ],
+    );
+    // Commit boundaries: (WAL file length after the commit, rows so far).
+    let mut boundaries: Vec<(u64, usize)> = Vec::new();
+    let base_rows = 40usize;
+    {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(schema.clone()).unwrap();
+        let base: Vec<Vec<Value>> = (0..base_rows as i64)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+            .collect();
+        db.insert("Ledger", base).unwrap();
+        // A rendered layout, so replayed inserts exercise the append path.
+        db.apply_layout("Ledger", LayoutExpr::table("Ledger"), ReorgStrategy::Eager)
+            .unwrap();
+        db.checkpoint().unwrap();
+        let header = std::fs::metadata(dir.join("wal.rodent")).unwrap().len();
+        boundaries.push((header, base_rows));
+        for tx in 0..12i64 {
+            let rows: Vec<Vec<Value>> = (0..3)
+                .map(|j| {
+                    vec![
+                        Value::Int(1_000 + tx * 3 + j),
+                        Value::Float((tx * 3 + j) as f64),
+                    ]
+                })
+                .collect();
+            db.insert("Ledger", rows).unwrap();
+            let len = std::fs::metadata(dir.join("wal.rodent")).unwrap().len();
+            boundaries.push((len, base_rows + ((tx as usize) + 1) * 3));
+        }
+    }
+    let pristine_wal = std::fs::read(dir.join("wal.rodent")).unwrap();
+    let checkpoint_len = boundaries[0].0;
+    let crash = scratch_dir("crashpoints-cut");
+
+    for cut in checkpoint_len..=pristine_wal.len() as u64 {
+        copy_db(&dir, &crash);
+        std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        let mut db = Database::open(&crash)
+            .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        let expected_rows = boundaries
+            .iter()
+            .filter(|(len, _)| *len <= cut)
+            .map(|(_, rows)| *rows)
+            .max()
+            .expect("checkpoint boundary always qualifies");
+        assert_eq!(
+            db.row_count("Ledger").unwrap(),
+            expected_rows,
+            "wrong recovered row count at cut {cut}"
+        );
+        let rows = db.scan("Ledger", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), expected_rows, "scan mismatch at cut {cut}");
+        // Scans must equal the canonical rows: ids are dense 0..base then
+        // 1000+k in commit order, so the recovered prefix is exactly the
+        // committed transactions.
+        for (i, row) in rows.iter().enumerate() {
+            let expected_id = if i < base_rows {
+                i as i64
+            } else {
+                1_000 + (i - base_rows) as i64
+            };
+            assert_eq!(
+                row[0],
+                Value::Int(expected_id),
+                "row {i} wrong at cut {cut}"
+            );
+        }
+        // The recovered database accepts new writes.
+        if cut == pristine_wal.len() as u64 || cut == checkpoint_len {
+            db.insert(
+                "Ledger",
+                vec![vec![Value::Int(9_999_999), Value::Float(0.0)]],
+            )
+            .unwrap();
+            assert_eq!(db.row_count("Ledger").unwrap(), expected_rows + 1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash);
+}
+
+#[test]
+fn adapted_layout_and_profile_survive_restart_without_rerender() {
+    let dir = scratch_dir("adapted");
+    let (expr_before, stats_before, observed_before, templates_before, rows_before) = {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::GroupCommit(16),
+            },
+        )
+        .unwrap();
+        db.set_adaptive_policy(small_policy());
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 1_500,
+                vehicles: 10,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        // A projection-heavy workload drives the advisor off the row layout.
+        for _ in 0..12 {
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+        }
+        let outcome = db.maybe_adapt("Traces").unwrap();
+        assert!(
+            matches!(outcome, AdaptOutcome::Adapted { .. }),
+            "expected adaptation, got {outcome:?}"
+        );
+        db.checkpoint().unwrap();
+        let entry = db.catalog().get("Traces").unwrap();
+        (
+            entry.layout_expr.clone().unwrap(),
+            db.layout_stats("Traces").unwrap(),
+            db.workload_profile("Traces").unwrap().queries_observed,
+            db.workload_profile("Traces").unwrap().templates().len(),
+            db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap(),
+        )
+    };
+    assert!(stats_before.adaptations >= 1);
+
+    let mut db = Database::open(&dir).unwrap();
+    // Zero writes during open: the layout was reattached, not re-rendered.
+    assert_eq!(db.io_snapshot().pages_written, 0, "open must not write pages");
+    let entry = db.catalog().get("Traces").unwrap();
+    assert_eq!(entry.layout_expr.as_ref().unwrap(), &expr_before);
+    assert!(entry.access.is_some(), "rendered layout reattached from manifest");
+    assert_eq!(db.layout_stats("Traces").unwrap(), stats_before);
+
+    // The workload profile resumed where it left off.
+    let profile = db.workload_profile("Traces").unwrap();
+    assert_eq!(profile.queries_observed, observed_before);
+    assert_eq!(profile.templates().len(), templates_before);
+    assert!(profile
+        .templates()
+        .iter()
+        .any(|t| t.fingerprint.starts_with("lat|")));
+
+    // Scans serve from the restored representation byte-for-byte...
+    let rows = db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+    assert_eq!(rows, rows_before);
+    // ...without a single full re-render.
+    assert_eq!(
+        db.layout_stats("Traces").unwrap().full_renders,
+        stats_before.full_renders,
+        "scanning after open must not re-render"
+    );
+    // Auto-adaptation resumes from the restored profile: the same workload
+    // keeps the current (already adapted) design.
+    db.set_adaptive_policy(small_policy());
+    for _ in 0..4 {
+        db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+    }
+    assert!(matches!(
+        db.maybe_adapt("Traces").unwrap(),
+        AdaptOutcome::KeptCurrent { .. }
+    ));
+    assert_eq!(
+        db.workload_profile("Traces").unwrap().queries_observed,
+        observed_before + 5
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pending_buffer_and_strategy_survive_restart() {
+    let dir = scratch_dir("pending");
+    let expected = {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 300,
+                vehicles: 4,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["t", "lat"]),
+            ReorgStrategy::NewDataOnly,
+        )
+        .unwrap();
+        db.insert(
+            "Traces",
+            vec![vec![
+                Value::Timestamp(-5),
+                Value::Float(42.0),
+                Value::Float(-71.0),
+                Value::Str("car-early".into()),
+            ]],
+        )
+        .unwrap();
+        db.checkpoint().unwrap();
+        db.scan("Traces", &ScanRequest::all().order(["t"])).unwrap()
+    };
+    let mut db = Database::open(&dir).unwrap();
+    let entry = db.catalog().get("Traces").unwrap();
+    assert_eq!(entry.strategy, ReorgStrategy::NewDataOnly);
+    assert_eq!(entry.pending.len(), 1, "pending buffer restored");
+    let rows = db.scan("Traces", &ScanRequest::all().order(["t"])).unwrap();
+    assert_eq!(rows, expected);
+    assert_eq!(rows[0][0], Value::Timestamp(-5), "merge still order-aware");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drop_table_and_multiple_tables_replay_correctly() {
+    let dir = scratch_dir("multi");
+    {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        let mk = |name: &str| {
+            rodentstore::Schema::new(
+                name,
+                vec![rodentstore::Field::new("x", rodentstore::DataType::Int)],
+            )
+        };
+        db.create_table(mk("A")).unwrap();
+        db.create_table(mk("B")).unwrap();
+        db.insert("A", vec![vec![Value::Int(1)]]).unwrap();
+        db.insert("B", vec![vec![Value::Int(2)]]).unwrap();
+        db.checkpoint().unwrap();
+        db.drop_table("A").unwrap();
+        db.create_table(mk("C")).unwrap();
+        db.insert("C", vec![vec![Value::Int(3)]]).unwrap();
+        // crash without checkpoint
+    }
+    let mut db = Database::open(&dir).unwrap();
+    assert_eq!(db.catalog().table_names(), vec!["B", "C"]);
+    assert_eq!(db.scan("C", &ScanRequest::all()).unwrap(), vec![vec![Value::Int(3)]]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_mutations_do_not_poison_recovery() {
+    // A mutation can fail *after* its op record hit the WAL (here: a record
+    // too large for the page size fails during eager rendering, past schema
+    // validation). The op must be recorded as aborted, not committed —
+    // otherwise every future `open` would replay it, re-fail, and the
+    // database would be unrecoverable forever.
+    let dir = scratch_dir("poison");
+    {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(Schema::new(
+            "Notes",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("body", DataType::String),
+            ],
+        ))
+        .unwrap();
+        db.insert("Notes", vec![vec![Value::Int(1), Value::Str("ok".into())]])
+            .unwrap();
+        db.apply_layout("Notes", LayoutExpr::table("Notes"), ReorgStrategy::Eager)
+            .unwrap();
+        // 5000-byte string: passes schema validation, fails in the heap.
+        let err = db.insert(
+            "Notes",
+            vec![vec![Value::Int(2), Value::Str("x".repeat(5_000))]],
+        );
+        assert!(err.is_err(), "oversized record must fail the insert");
+        // The database keeps working in-process after the failure.
+        db.insert("Notes", vec![vec![Value::Int(3), Value::Str("fine".into())]])
+            .unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap_or_else(|e| {
+        panic!("a failed mutation must not make the database unopenable: {e}")
+    });
+    let rows = db.scan("Notes", &ScanRequest::all().fields(["id"])).unwrap();
+    let ids: Vec<&Value> = rows.iter().map(|r| &r[0]).collect();
+    assert_eq!(ids, vec![&Value::Int(1), &Value::Int(3)]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_apply_layout_keeps_the_previous_layout_live_and_recovered() {
+    let dir = scratch_dir("badlayout");
+    {
+        let mut db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 400,
+                vehicles: 2, // 200 rows/vehicle: folded groups exceed a page
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").project(["lat", "lon"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        // A fold whose groups cannot fit a 1 KiB page fails to render.
+        let err = db.apply_layout(
+            "Traces",
+            LayoutExpr::table("Traces").fold(["id"], ["t", "lat", "lon"]),
+            ReorgStrategy::Eager,
+        );
+        assert!(err.is_err(), "oversized fold groups must fail the render");
+        // The previous layout stays live, not a half-applied broken one.
+        let entry = db.catalog().get("Traces").unwrap();
+        assert_eq!(
+            entry.layout_expr.as_ref().unwrap().to_string(),
+            "project[lat,lon](Traces)"
+        );
+        assert!(entry.access.is_some(), "previous rendering still attached");
+        assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 400);
+    }
+    // Recovery agrees with what the caller observed: the failed op was
+    // logged as aborted, so replay restores the working layout.
+    let mut db = Database::open(&dir).unwrap();
+    assert_eq!(
+        db.catalog()
+            .get("Traces")
+            .unwrap()
+            .layout_expr
+            .as_ref()
+            .unwrap()
+            .to_string(),
+        "project[lat,lon](Traces)"
+    );
+    assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 400);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recreating_over_an_existing_database_resets_it() {
+    let dir = scratch_dir("recreate");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.create_table(Schema::new(
+            "Old",
+            vec![Field::new("x", DataType::Int)],
+        ))
+        .unwrap();
+        db.insert("Old", vec![vec![Value::Int(1)]]).unwrap();
+        db.checkpoint().unwrap();
+    }
+    {
+        let mut db = Database::create(&dir).unwrap();
+        assert!(db.catalog().table_names().is_empty(), "create resets the dir");
+        db.create_table(Schema::new(
+            "New",
+            vec![Field::new("y", DataType::Int)],
+        ))
+        .unwrap();
+        db.insert("New", vec![vec![Value::Int(2)]]).unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    assert_eq!(db.catalog().table_names(), vec!["New"]);
+    assert_eq!(db.scan("New", &ScanRequest::all()).unwrap(), vec![vec![Value::Int(2)]]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_or_corrupt_files_are_typed_errors() {
+    let dir = scratch_dir("foreign");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.create_table(rodentstore::Schema::new(
+            "T",
+            vec![rodentstore::Field::new("x", rodentstore::DataType::Int)],
+        ))
+        .unwrap();
+        db.checkpoint().unwrap();
+    }
+    // A corrupted manifest byte is detected by the CRC.
+    let manifest_path = dir.join("manifest.rodent");
+    let pristine = std::fs::read(&manifest_path).unwrap();
+    let mut corrupt = pristine.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x55;
+    std::fs::write(&manifest_path, &corrupt).unwrap();
+    assert!(Database::open(&dir).is_err(), "corrupt manifest must not open");
+    std::fs::write(&manifest_path, &pristine).unwrap();
+    // A data file that is not a RodentStore file is rejected by the
+    // superblock check.
+    std::fs::write(dir.join("data.rodent"), b"junk that is no page file").unwrap();
+    assert!(Database::open(&dir).is_err(), "foreign data file must not open");
+    let _ = std::fs::remove_dir_all(&dir);
+}

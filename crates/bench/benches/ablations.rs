@@ -105,7 +105,7 @@ fn bench_reorganization(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut db = Database::with_page_size(1024);
+                let db = Database::with_page_size(1024);
                 db.create_table(traces_schema()).unwrap();
                 db.insert("Traces", records.clone()).unwrap();
                 db.apply_layout(

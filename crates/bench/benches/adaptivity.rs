@@ -71,7 +71,7 @@ fn config() -> Config {
 }
 
 fn traces_db(config: &Config) -> Database {
-    let mut db = Database::with_page_size(config.page_size);
+    let db = Database::with_page_size(config.page_size);
     db.create_table(traces_schema()).unwrap();
     db.insert(
         "Traces",
@@ -86,7 +86,7 @@ fn traces_db(config: &Config) -> Database {
 }
 
 /// Average pages/query for `request` against the database's current layout.
-fn measure_pages(db: &mut Database, request: &ScanRequest, queries: usize) -> f64 {
+fn measure_pages(db: &Database, request: &ScanRequest, queries: usize) -> f64 {
     let before = db.io_snapshot();
     for _ in 0..queries {
         db.scan("Traces", request).unwrap();
@@ -99,7 +99,7 @@ fn measure_pages(db: &mut Database, request: &ScanRequest, queries: usize) -> f6
 /// table by itself. Returns the converged auto database for the criterion
 /// measurement.
 fn run_workload_shift(config: &Config) -> Database {
-    let mut db = traces_db(config);
+    let db = traces_db(config);
     db.set_adaptive_policy(config.policy.clone());
 
     // Phase 1 (row-favoring): full-width scans.
@@ -133,7 +133,7 @@ fn run_workload_shift(config: &Config) -> Database {
 
     // Converged pages/query, versus the best hand-declared design for the
     // new phase.
-    let auto_pages = measure_pages(&mut db, &phase2, config.measure_queries);
+    let auto_pages = measure_pages(&db, &phase2, config.measure_queries);
     let hand_designs: Vec<(&str, LayoutExpr)> = vec![
         ("project[lat]", LayoutExpr::table("Traces").project(["lat"])),
         (
@@ -151,9 +151,9 @@ fn run_workload_shift(config: &Config) -> Database {
     let mut best_hand = f64::INFINITY;
     let mut best_label = "";
     for (label, expr) in hand_designs {
-        let mut hand = traces_db(config);
+        let hand = traces_db(config);
         hand.apply_layout("Traces", expr, ReorgStrategy::Eager).unwrap();
-        let pages = measure_pages(&mut hand, &phase2, config.measure_queries);
+        let pages = measure_pages(&hand, &phase2, config.measure_queries);
         println!("adaptivity/hand/{label}: {pages:.1} pages/query");
         if pages < best_hand {
             best_hand = pages;
@@ -176,7 +176,7 @@ fn run_workload_shift(config: &Config) -> Database {
 /// Scenario 2: eager insert into a large horizontal layout absorbs
 /// incrementally instead of re-rendering.
 fn run_incremental_insert(config: &Config) {
-    let mut db = traces_db(config);
+    let db = traces_db(config);
     db.apply_layout("Traces", LayoutExpr::table("Traces"), ReorgStrategy::Eager)
         .unwrap();
     let layout_pages = db
@@ -224,7 +224,7 @@ fn run_incremental_insert(config: &Config) {
 fn bench_adaptivity(c: &mut Criterion) {
     let config = config();
     run_incremental_insert(&config);
-    let mut db = run_workload_shift(&config);
+    let db = run_workload_shift(&config);
 
     let mut group = c.benchmark_group("adaptivity");
     group.sample_size(if smoke_mode() { 1 } else { 10 });

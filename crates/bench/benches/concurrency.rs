@@ -1,0 +1,407 @@
+//! Concurrency bench: read scaling across threads, multi-producer group
+//! commit, and the sharded vs. whole-hog buffer pool, with asserted
+//! invariants so CI catches regressions (set `RODENTSTORE_BENCH_SMOKE=1`
+//! for the tiny configuration). Emits `BENCH_concurrency.json` at the
+//! workspace root.
+//!
+//! 1. **Read scaling** — one shared `Arc<Database>`, N reader threads
+//!    scanning a 20k-row table through pinned snapshots while one writer
+//!    thread inserts into a second table (contending on the catalog lock)
+//!    and auto-adaptation stays enabled. Readers assert every scan returns
+//!    exactly the loaded rows — a snapshot is never torn by the writer.
+//!    On hosts with ≥ 4 cores the aggregate throughput at 8 readers must be
+//!    ≥ 3× the single-reader throughput; on smaller hosts (CI containers
+//!    are often 1–2 cores) the numbers are reported but the scaling
+//!    assertion is skipped — there is no parallelism to measure.
+//!
+//! 2. **Multi-producer group commit** — the WAL measured directly. The
+//!    naive baseline is one thread committing with `SyncPolicy::EveryCommit`
+//!    (one fsync per commit). Against it:
+//!    * `GroupCommit(64)` driven by 8 producer threads — the PR-4 batching
+//!      semantics, now exercised multi-producer — must keep ≥ 5× naive
+//!      (the bound PR-4 asserted single-threaded);
+//!    * `GroupDurable` driven by 8 producer threads — every commit durable
+//!      before it returns, concurrent committers parking on a shared fsync
+//!      (leader/follower) — must beat ≥ 1.5× naive, which is only possible
+//!      if fsyncs are genuinely shared (measured ~3× at ~4 commits/fsync
+//!      on the 1-core reference box).
+//!
+//! 3. **Buffer pool** — concurrent random `get`s against a pre-warmed
+//!    whole-hog-locked [`BufferPool`] vs. the [`ShardedBufferPool`];
+//!    reported (the measured answer to "shard or lock whole-hog?").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{
+    AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database, Field, ScanRequest, Schema,
+    SyncPolicy, Value,
+};
+use rodentstore_optimizer::CostModel;
+use rodentstore_storage::{BufferPool, PageId, Pager, ShardedBufferPool, Wal};
+use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+struct Config {
+    rows: usize,
+    scans_per_thread: usize,
+    commits_per_thread: usize,
+    pool_touches: usize,
+}
+
+fn config() -> Config {
+    let smoke = smoke_mode();
+    Config {
+        rows: if smoke { 2_000 } else { 20_000 },
+        scans_per_thread: if smoke { 20 } else { 150 },
+        commits_per_thread: if smoke { 50 } else { 400 },
+        pool_touches: if smoke { 20_000 } else { 200_000 },
+    }
+}
+
+fn events_schema() -> Schema {
+    Schema::new(
+        "Events",
+        vec![
+            Field::new("seq", DataType::Int),
+            Field::new("weight", DataType::Float),
+        ],
+    )
+}
+
+/// A shared database with the traces table loaded, a declared layout, and
+/// auto-adaptation enabled (small advisor budget so checks stay cheap).
+fn build_shared_db(config: &Config) -> Arc<Database> {
+    let db = Database::with_page_size(1024);
+    db.set_adaptive_policy(AdaptivePolicy {
+        auto: true,
+        check_every: 64,
+        min_queries: 32,
+        hysteresis: 0.1,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 1_000,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 1,
+            seed: 9,
+        },
+        ..AdaptivePolicy::default()
+    });
+    db.create_table(traces_schema()).unwrap();
+    db.insert(
+        "Traces",
+        generate_traces(&CartelConfig {
+            observations: config.rows,
+            vehicles: (config.rows / 500).clamp(10, 1_000),
+            ..CartelConfig::default()
+        }),
+    )
+    .unwrap();
+    db.apply_layout_text("Traces", "columns(Traces)").unwrap();
+    db.create_table(events_schema()).unwrap();
+    Arc::new(db)
+}
+
+/// Aggregate scans/second with `readers` reader threads plus one writer
+/// thread inserting into a second table, auto-adaptation live throughout.
+fn measure_read_throughput(db: &Arc<Database>, readers: usize, config: &Config) -> f64 {
+    let expected_rows = config.rows;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let batch: Vec<Vec<Value>> = (0..16)
+                    .map(|j| vec![Value::Int(seq + j), Value::Float(seq as f64)])
+                    .collect();
+                seq += 16;
+                db.insert("Events", batch).unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+    let barrier = Arc::new(Barrier::new(readers + 1));
+    let handles: Vec<_> = (0..readers)
+        .map(|t| {
+            let db = Arc::clone(db);
+            let barrier = Arc::clone(&barrier);
+            let scans = config.scans_per_thread;
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..scans {
+                    // Mix projected and predicated scans, like live traffic.
+                    let rows = if (i + t) % 4 == 0 {
+                        db.scan("Traces", &ScanRequest::all().fields(["lat", "lon"]))
+                            .unwrap()
+                    } else {
+                        db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap()
+                    };
+                    // The writer only touches `Events`: every snapshot of
+                    // `Traces` must be complete and untorn.
+                    assert_eq!(rows.len(), expected_rows, "torn snapshot");
+                }
+            })
+        })
+        .collect();
+    let start = {
+        barrier.wait();
+        Instant::now()
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    (readers * config.scans_per_thread) as f64 / elapsed.as_secs_f64()
+}
+
+fn bench_wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodentstore-bench-concurrency-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Aggregate commits/second for `threads` producers, each committing
+/// `commits` one-op transactions under `policy`. Returns (rate, fsyncs).
+fn measure_commit_throughput(policy: SyncPolicy, threads: usize, commits: usize, tag: &str) -> (f64, u64) {
+    let dir = bench_wal_dir(tag);
+    let wal = Arc::new(Wal::create(dir.join("wal.rodent"), policy).unwrap());
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let wal = Arc::clone(&wal);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..commits {
+                    let tx = wal.begin().unwrap();
+                    wal.log_op(tx, format!("t{t}-c{i}").as_bytes()).unwrap();
+                    wal.commit(tx).unwrap();
+                }
+            })
+        })
+        .collect();
+    let start = {
+        barrier.wait();
+        Instant::now()
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let syncs = wal.sync_count();
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    ((threads * commits) as f64 / elapsed.as_secs_f64(), syncs)
+}
+
+/// Concurrent random hits against a pre-warmed pool; returns gets/second
+/// (`thread::scope` joins at block end, so the whole block is timed).
+fn measure_pool(
+    get: impl Fn(PageId) -> PageId + Send + Sync,
+    pages: &[PageId],
+    threads: usize,
+    touches: usize,
+) -> f64 {
+    let start = Instant::now();
+    let get = &get;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..touches {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let id = pages[(x >> 33) as usize % pages.len()];
+                    assert_eq!(get(id), id);
+                }
+            });
+        }
+    });
+    (threads * touches) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn write_json(
+    config: &Config,
+    read_1: f64,
+    read_8: f64,
+    naive: f64,
+    group_mp: f64,
+    durable_mp: (f64, u64),
+    pool_locked: f64,
+    pool_sharded: f64,
+) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root
+        .canonicalize()
+        .unwrap_or(root)
+        .join("BENCH_concurrency.json");
+    let total_durable_commits = (8 * config.commits_per_thread) as f64;
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"cores\": {},\n  \"rows\": {},\n  \
+         \"read_scans_per_s\": {{\n    \"1_reader\": {:.1},\n    \"8_readers\": {:.1}\n  }},\n  \
+         \"read_scaling_8_over_1\": {:.2},\n  \
+         \"commit_rate_per_s\": {{\n    \"naive_fsync_1_thread\": {:.1},\n    \
+         \"group_commit_64_8_threads\": {:.1},\n    \"group_durable_8_threads\": {:.1}\n  }},\n  \
+         \"group_commit_multiplier\": {:.2},\n  \"group_durable_multiplier\": {:.2},\n  \
+         \"group_durable_commits_per_fsync\": {:.2},\n  \
+         \"bufferpool_gets_per_s\": {{\n    \"whole_hog_locked\": {:.0},\n    \"sharded_8\": {:.0}\n  }}\n}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        cores(),
+        config.rows,
+        read_1,
+        read_8,
+        read_8 / read_1,
+        naive,
+        group_mp,
+        durable_mp.0,
+        group_mp / naive,
+        durable_mp.0 / naive,
+        total_durable_commits / (durable_mp.1.max(1) as f64),
+        pool_locked,
+        pool_sharded,
+    );
+    std::fs::write(&path, json).unwrap();
+    println!("concurrency/json → {}", path.display());
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let config = config();
+
+    // --- 1. Read scaling over one shared Arc<Database> ---------------------
+    let db = build_shared_db(&config);
+    // Warm up: let auto-adaptation converge before measuring.
+    for _ in 0..96 {
+        db.scan("Traces", &ScanRequest::all().fields(["lat"])).unwrap();
+    }
+    let read_1 = measure_read_throughput(&db, 1, &config);
+    let read_8 = measure_read_throughput(&db, 8, &config);
+    println!(
+        "concurrency/read: 1 reader {:.0} scans/s, 8 readers {:.0} scans/s ({:.2}×, {} cores)",
+        read_1,
+        read_8,
+        read_8 / read_1,
+        cores()
+    );
+    if cores() >= 4 {
+        assert!(
+            read_8 >= read_1 * 3.0,
+            "8 reader threads must deliver ≥3× the single-thread scan throughput, got {:.2}×",
+            read_8 / read_1
+        );
+    } else {
+        println!(
+            "concurrency/read: scaling assertion skipped ({} core(s) — no parallelism to measure)",
+            cores()
+        );
+    }
+
+    // --- 2. Multi-producer group commit ------------------------------------
+    let (naive, _) =
+        measure_commit_throughput(SyncPolicy::EveryCommit, 1, config.commits_per_thread, "naive");
+    let (group_mp, _) = measure_commit_throughput(
+        SyncPolicy::GroupCommit(64),
+        8,
+        config.commits_per_thread,
+        "group-mp",
+    );
+    let (durable_mp, durable_syncs) = measure_commit_throughput(
+        SyncPolicy::GroupDurable,
+        8,
+        config.commits_per_thread,
+        "durable-mp",
+    );
+    let durable_total = (8 * config.commits_per_thread) as f64;
+    println!(
+        "concurrency/commit: naive {naive:.0}/s, group-64×8 {group_mp:.0}/s ({:.1}×), \
+         durable×8 {durable_mp:.0}/s ({:.1}×, {:.1} commits/fsync)",
+        group_mp / naive,
+        durable_mp / naive,
+        durable_total / durable_syncs.max(1) as f64
+    );
+    assert!(
+        group_mp >= naive * 5.0,
+        "multi-producer group commit must keep the PR-4 ≥5× bound over naive fsync, got {:.1}×",
+        group_mp / naive
+    );
+    assert!(
+        durable_mp >= naive * 1.5,
+        "durable multi-producer group commit must share fsyncs (≥1.5× naive), got {:.1}×",
+        durable_mp / naive
+    );
+
+    // --- 3. Buffer pool: whole-hog lock vs sharded --------------------------
+    let pager = Arc::new(Pager::in_memory_with_page_size(1024));
+    let pages: Vec<PageId> = (0..512)
+        .map(|_| pager.allocate_with(|_| Ok(())).unwrap())
+        .collect();
+    let locked = BufferPool::new(Arc::clone(&pager), 1024);
+    for &id in &pages {
+        locked.get(id).unwrap();
+    }
+    let pool_locked = measure_pool(
+        |id| locked.get(id).unwrap().id,
+        &pages,
+        4,
+        config.pool_touches,
+    );
+    let sharded = ShardedBufferPool::new(Arc::clone(&pager), 1024, 8);
+    for &id in &pages {
+        sharded.get(id).unwrap();
+    }
+    let pool_sharded = measure_pool(
+        |id| sharded.get(id).unwrap().id,
+        &pages,
+        4,
+        config.pool_touches,
+    );
+    println!(
+        "concurrency/bufferpool: whole-hog {pool_locked:.0} gets/s, sharded×8 {pool_sharded:.0} gets/s ({:.2}×)",
+        pool_sharded / pool_locked
+    );
+
+    write_json(
+        &config,
+        read_1,
+        read_8,
+        naive,
+        group_mp,
+        (durable_mp, durable_syncs),
+        pool_locked,
+        pool_sharded,
+    );
+
+    // Criterion measurement: one pinned-snapshot scan (the read hot path).
+    let mut group = c.benchmark_group("concurrency");
+    group.sample_size(if smoke_mode() { 10 } else { 30 });
+    group.bench_function("snapshot_scan_projected", |b| {
+        b.iter(|| {
+            let snapshot = db.snapshot("Traces").unwrap();
+            snapshot.scan(&ScanRequest::all().fields(["lat"])).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

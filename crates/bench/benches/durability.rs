@@ -79,7 +79,7 @@ fn ledger_schema() -> Schema {
 /// Rows/second for `commits` one-row transactions under `sync`.
 fn measure_insert_throughput(config: &Config, sync: SyncPolicy, tag: &str) -> f64 {
     let dir = bench_dir(tag);
-    let mut db = Database::create_with(
+    let db = Database::create_with(
         &dir,
         DurabilityOptions {
             page_size: config.page_size,
@@ -142,7 +142,7 @@ fn run_recovery_scenario(config: &Config) -> RecoveryNumbers {
         check_every: 8,
     };
     let (checkpoint_ms, stats_at_crash, observed_at_crash) = {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: config.page_size,
@@ -195,7 +195,7 @@ fn run_recovery_scenario(config: &Config) -> RecoveryNumbers {
     };
 
     let start = Instant::now();
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     let reopen_ms = start.elapsed().as_secs_f64() * 1e3;
     let recovered_rows = db.row_count("Traces").unwrap();
     assert_eq!(

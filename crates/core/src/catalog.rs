@@ -1,12 +1,101 @@
 //! The catalog: schemas, layout expressions, and canonical data per table.
+//!
+//! Since the concurrency refactor the catalog is designed to sit behind a
+//! [`parking_lot::RwLock`] inside [`crate::Database`]: the pieces of a
+//! [`TableEntry`] that readers need to *keep using after the lock is
+//! released* — the canonical rows, the pending buffer, and the rendered
+//! layout — are held in [`Arc`]s, so a reader pins a consistent snapshot by
+//! cloning three pointers and a writer swaps state wholesale without
+//! invalidating in-flight scans. The live [`WorkloadProfile`] has its own
+//! per-table mutex so `&self` reads can record traffic while holding only
+//! the catalog *read* lock (a mutex-sharded write path: tables never contend
+//! with each other).
 
 use crate::monitor::WorkloadProfile;
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
+use parking_lot::Mutex;
 use rodentstore_algebra::expr::LayoutExpr;
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::AccessMethods;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Orders the *resolution* of a table's durable inserts by their apply
+/// order.
+///
+/// An insert applies its rows (and takes a ticket) under the catalog write
+/// lock, then commits to the WAL with the lock released — so commits can
+/// share fsyncs. Resolutions, however, must happen in apply order: a failed
+/// commit rolls its rows back *positionally*, and that position is only
+/// meaningful if every earlier insert has already resolved (its rows either
+/// confirmed in place, or removed — in which case they sat wholly *before*
+/// ours, and the `removed` counter tells us how far our start shifted).
+/// Out-of-order rollbacks could otherwise delete a neighbor's committed
+/// rows or leave doomed rows behind.
+pub struct CommitQueue {
+    state: StdMutex<CommitQueueState>,
+    resolved: Condvar,
+}
+
+struct CommitQueueState {
+    /// Next ticket to hand out (under the catalog write lock, at apply).
+    next_ticket: u64,
+    /// The ticket whose turn it is to resolve.
+    resolve_next: u64,
+    /// Total rows removed by rollbacks on this table (monotone).
+    removed: u64,
+}
+
+impl Default for CommitQueue {
+    fn default() -> Self {
+        CommitQueue {
+            state: StdMutex::new(CommitQueueState {
+                next_ticket: 0,
+                resolve_next: 0,
+                removed: 0,
+            }),
+            resolved: Condvar::new(),
+        }
+    }
+}
+
+impl CommitQueue {
+    /// Takes the next ticket (call while holding the catalog write lock,
+    /// right after the insert applied). Returns the ticket and the rows
+    /// removed by rollbacks so far.
+    pub fn take_ticket(&self) -> (u64, u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        (ticket, state.removed)
+    }
+
+    /// Blocks until it is `ticket`'s turn to resolve. Returns the number of
+    /// rows removed by rollbacks since the paired [`CommitQueue::take_ticket`]
+    /// — all of them positioned before this insert's rows.
+    pub fn await_turn(&self, ticket: u64, removed_at_apply: u64) -> u64 {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.resolve_next != ticket {
+            state = self
+                .resolved
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        state.removed - removed_at_apply
+    }
+
+    /// Completes `ticket`'s resolution (`removed_rows` > 0 when it rolled
+    /// back), releasing the next ticket in line.
+    pub fn finish(&self, ticket: u64, removed_rows: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(state.resolve_next, ticket);
+        state.resolve_next = ticket + 1;
+        state.removed += removed_rows;
+        self.resolved.notify_all();
+    }
+}
 
 /// Counters tracking how a table's physical representation has been
 /// maintained — the observability hooks of the adaptivity loop.
@@ -27,20 +116,33 @@ pub struct TableEntry {
     /// Logical schema.
     pub schema: Schema,
     /// Canonical row-major contents (the input to layout rendering).
-    pub records: Vec<Record>,
+    /// Copy-on-write: readers pin the current rows by cloning the `Arc`;
+    /// writers mutate via [`Arc::make_mut`], which clones the vector only
+    /// while a reader actually holds a pin.
+    pub records: Arc<Vec<Record>>,
     /// The currently declared layout expression, if any.
     pub layout_expr: Option<LayoutExpr>,
     /// The rendered layout (absent until rendered — lazily or eagerly).
-    pub access: Option<AccessMethods>,
+    /// Shared with in-flight readers; layout swaps publish a fresh `Arc`
+    /// and retire the old one once its last pin drops.
+    pub access: Option<Arc<AccessMethods>>,
     /// Reorganization strategy used when the layout changes.
     pub strategy: ReorgStrategy,
     /// Records inserted since the layout was last rendered (used by the
-    /// new-data-only strategy and to detect staleness).
-    pub pending: Vec<Record>,
-    /// Decaying profile of the live query traffic against this table.
-    pub profile: WorkloadProfile,
+    /// new-data-only strategy and to detect staleness). Invariant: always a
+    /// suffix of `records`. Copy-on-write like `records`.
+    pub pending: Arc<Vec<Record>>,
+    /// Decaying profile of the live query traffic against this table,
+    /// behind its own mutex so `&self` reads can record while holding only
+    /// the catalog read lock.
+    pub profile: Mutex<WorkloadProfile>,
     /// Render/append/adaptation counters.
     pub stats: LayoutStats,
+    /// Whether an adaptation check is currently in flight for this table
+    /// (auto mode runs at most one at a time; concurrent triggers skip).
+    pub adapting: Arc<AtomicBool>,
+    /// Apply-order resolution of durable insert commits (see [`CommitQueue`]).
+    pub commit_queue: Arc<CommitQueue>,
 }
 
 impl std::fmt::Debug for TableEntry {
@@ -62,19 +164,32 @@ impl TableEntry {
     pub fn new(schema: Schema) -> TableEntry {
         TableEntry {
             schema,
-            records: Vec::new(),
+            records: Arc::new(Vec::new()),
             layout_expr: None,
             access: None,
             strategy: ReorgStrategy::Eager,
-            pending: Vec::new(),
-            profile: WorkloadProfile::default(),
+            pending: Arc::new(Vec::new()),
+            profile: Mutex::new(WorkloadProfile::default()),
             stats: LayoutStats::default(),
+            adapting: Arc::new(AtomicBool::new(false)),
+            commit_queue: Arc::new(CommitQueue::default()),
         }
     }
 
     /// Total number of rows (rendered plus pending).
     pub fn row_count(&self) -> usize {
         self.records.len()
+    }
+
+    /// Mutable access to the canonical rows (copy-on-write: clones the
+    /// vector only if a reader currently pins it).
+    pub fn records_mut(&mut self) -> &mut Vec<Record> {
+        Arc::make_mut(&mut self.records)
+    }
+
+    /// Mutable access to the pending buffer (copy-on-write).
+    pub fn pending_mut(&mut self) -> &mut Vec<Record> {
+        Arc::make_mut(&mut self.pending)
     }
 }
 
@@ -173,9 +288,24 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.create(schema("A")).unwrap();
         let entry = catalog.get_mut("A").unwrap();
-        entry.records.push(vec![rodentstore_algebra::Value::Int(1)]);
+        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(1)]);
         assert_eq!(entry.row_count(), 1);
         assert!(entry.layout_expr.is_none());
         assert_eq!(catalog.schemas().len(), 1);
+    }
+
+    #[test]
+    fn pinned_rows_survive_copy_on_write_mutation() {
+        let mut catalog = Catalog::new();
+        catalog.create(schema("A")).unwrap();
+        let entry = catalog.get_mut("A").unwrap();
+        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(1)]);
+        // A reader pins the rows; a writer's mutation must not be visible
+        // through the pin.
+        let pin = Arc::clone(&catalog.get("A").unwrap().records);
+        let entry = catalog.get_mut("A").unwrap();
+        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(2)]);
+        assert_eq!(pin.len(), 1, "pinned snapshot is immutable");
+        assert_eq!(catalog.get("A").unwrap().records.len(), 2);
     }
 }

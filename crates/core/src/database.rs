@@ -1,9 +1,10 @@
 //! The RodentStore database façade.
 
 use crate::catalog::Catalog;
-use crate::durability::{self, Durability, DurabilityOptions, DurableOp};
+use crate::durability::{self, Durability, DurabilityOptions, DurableOp, ManifestContext};
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use rodentstore_algebra::expr::{LayoutExpr, SortOrder};
 use rodentstore_algebra::parse;
 use rodentstore_algebra::schema::Schema;
@@ -19,6 +20,7 @@ use rodentstore_storage::pager::{FileStore, PageStore, Pager};
 use rodentstore_storage::stats::IoSnapshot;
 use rodentstore_storage::wal::Wal;
 use std::path::Path;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Configuration of the closed-loop self-adaptation machinery.
@@ -94,25 +96,89 @@ pub enum AdaptOutcome {
     },
 }
 
-/// A RodentStore database: a catalog of tables, a shared pager, and the
-/// machinery to declare and change physical layouts.
-pub struct Database {
-    catalog: Catalog,
-    pager: Arc<Pager>,
-    wal: Wal,
+/// Runtime configuration knobs (cost model, render options, adaptation
+/// policy), grouped behind one lock so `&self` setters stay cheap.
+#[derive(Clone, Default)]
+struct Config {
     cost_params: CostParams,
     render_options: RenderOptions,
     adaptive: AdaptivePolicy,
+}
+
+/// A RodentStore database: a catalog of tables, a shared pager, and the
+/// machinery to declare and change physical layouts.
+///
+/// # Concurrency model
+///
+/// `Database` is `Send + Sync`: wrap it in an [`Arc`] and share it across
+/// threads. Every entry point takes `&self`. The read path (`scan`,
+/// `open_cursor`, `get_element`, `scan_cost`, `scan_pages`) holds the
+/// catalog **read** lock only long enough to pin a [`TableSnapshot`] —
+/// three `Arc` clones — and then serves the query from the snapshot with no
+/// lock held, so reads scale across cores. Writers (`insert`,
+/// `apply_layout`, `maybe_adapt`, `checkpoint`, `drop_table`) take the
+/// catalog **write** lock, swap state wholesale (copy-on-write rows, a
+/// fresh layout `Arc`), and never invalidate an in-flight scan: a reader
+/// that pinned the previous layout keeps reading it, and its pages are
+/// reclaimed only after the last pin drops (see the graveyard below).
+///
+/// Lock hierarchy (outer to inner): catalog `RwLock` → per-table profile
+/// mutex / graveyard mutex → storage-level locks (WAL state, heap files,
+/// pager). The expensive half of adaptation — the advisor search — runs
+/// with *no* lock held; only the final re-render holds the write lock.
+pub struct Database {
+    catalog: RwLock<Catalog>,
+    pager: Arc<Pager>,
+    wal: Wal,
+    config: RwLock<Config>,
     durability: Option<Durability>,
+    /// Superseded layouts whose pages cannot be reused yet because a reader
+    /// still pins them. Reaped (pages handed to [`Database::quarantine`])
+    /// by the next writer once the last pin drops.
+    graveyard: Mutex<Vec<Arc<AccessMethods>>>,
+    /// Durable databases only: pages freed since the last checkpoint. They
+    /// must not be reallocated until the *next* checkpoint writes a
+    /// manifest that no longer references them — a crash before that would
+    /// make `open` reattach manifest extents whose pages were reused and
+    /// overwritten. In-memory databases bypass this (no recovery to
+    /// protect) and free straight to the pager.
+    pending_free: Mutex<Vec<rodentstore_storage::PageId>>,
+    /// Fences durable insert commit windows against checkpoints. An insert
+    /// holds the *read* side from before it applies until its commit
+    /// resolves (acknowledged or rolled back); a checkpoint holds the
+    /// *write* side, so it never cuts a manifest while an applied-but-
+    /// unresolved insert is in flight — a commit that later failed would
+    /// otherwise be persisted by the manifest and resurrect on recovery.
+    /// Also serializes checkpoints. Lock order: fence before catalog.
+    commit_fence: RwLock<()>,
+    /// True while [`Database::open`] replays the WAL tail: mutations must
+    /// not be re-logged, but the database already counts as durable (so
+    /// freed pages are quarantined, not reused — the manifest being
+    /// replayed against may still reference them).
+    replaying: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
-            .field("tables", &self.catalog.table_names())
+            .field("tables", &self.catalog.read().table_names())
             .field("pages", &self.pager.page_count())
             .finish()
     }
+}
+
+/// A pinned, immutable view of one table at a point in time: the canonical
+/// rows, the pending buffer, and the rendered layout as they were when the
+/// snapshot was taken. Produced by [`Database::snapshot`]; queries served
+/// from a snapshot hold **no** database lock, and concurrent layout swaps,
+/// inserts, or checkpoints never affect it — this is what keeps scans
+/// consistent while the system adapts underneath them.
+pub struct TableSnapshot {
+    schema: Schema,
+    records: Arc<Vec<Record>>,
+    pending: Arc<Vec<Record>>,
+    access: Option<Arc<AccessMethods>>,
+    cost_params: CostParams,
 }
 
 impl Database {
@@ -129,13 +195,15 @@ impl Database {
     /// Creates a database over an arbitrary pager (e.g. file-backed).
     pub fn with_pager(pager: Arc<Pager>) -> Database {
         Database {
-            catalog: Catalog::new(),
+            catalog: RwLock::new(Catalog::new()),
             pager,
             wal: Wal::new(),
-            cost_params: CostParams::default(),
-            render_options: RenderOptions::default(),
-            adaptive: AdaptivePolicy::default(),
+            config: RwLock::new(Config::default()),
             durability: None,
+            graveyard: Mutex::new(Vec::new()),
+            pending_free: Mutex::new(Vec::new()),
+            commit_fence: RwLock::new(()),
+            replaying: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -175,7 +243,18 @@ impl Database {
         db.wal = Wal::create(&wal_path, options.sync).map_err(RodentError::Storage)?;
         // An initial (empty) manifest makes the directory openable even if
         // the process dies before the first checkpoint.
-        let manifest = durability::encode_manifest(&db.catalog, options.page_size, 0, 0)?;
+        let config = db.config.read().clone();
+        let manifest = durability::encode_manifest(
+            &db.catalog.read(),
+            &ManifestContext {
+                page_size: options.page_size,
+                page_count: 0,
+                replay_from_lsn: 0,
+                free_pages: Vec::new(),
+                policy: config.adaptive,
+                cost_params: config.cost_params,
+            },
+        )?;
         durability::write_manifest_file(&dir, &manifest)?;
         db.durability = Some(Durability { dir });
         Ok(db)
@@ -210,90 +289,119 @@ impl Database {
         let pager = Arc::new(Pager::with_store(
             Arc::clone(&store) as Arc<dyn PageStore>
         ));
+        // The checkpointed free list becomes usable again the moment the
+        // data file is truncated back to the checkpoint: pages retired
+        // before the checkpoint are dead (or were pinned by readers that no
+        // longer exist), so WAL replay below may re-render into them.
+        pager.restore_free_list(manifest.free_pages.iter().copied());
         let mut db = Database::with_pager(Arc::clone(&pager));
+        *db.config.write() = Config {
+            cost_params: manifest.cost_params,
+            adaptive: manifest.policy.clone(),
+            render_options: RenderOptions::default(),
+        };
+        let cost_params = manifest.cost_params;
 
-        // Pass 1: every table's schema, rows, profile, and counters.
-        let mut rendered = Vec::new();
-        for table in manifest.tables {
-            let name = table.schema.name().to_string();
-            db.catalog.create(table.schema)?;
-            let entry = db.catalog.get_mut(&name)?;
-            entry.strategy = table.strategy;
-            entry.records = table.records;
-            entry.pending = table.pending;
-            entry.profile = table.profile.into_profile();
-            entry.stats = table.stats;
-            if let Some(expr_text) = table.layout_expr {
-                entry.layout_expr = Some(parse(&expr_text)?);
+        {
+            let mut catalog = db.catalog.write();
+            // Pass 1: every table's schema, rows, profile, and counters.
+            let mut rendered = Vec::new();
+            for table in manifest.tables {
+                let name = table.schema.name().to_string();
+                catalog.create(table.schema)?;
+                let entry = catalog.get_mut(&name)?;
+                entry.strategy = table.strategy;
+                entry.records = Arc::new(table.records);
+                entry.pending = Arc::new(table.pending);
+                entry.profile = Mutex::new(table.profile.into_profile());
+                entry.stats = table.stats;
+                if let Some(expr_text) = table.layout_expr {
+                    entry.layout_expr = Some(parse(&expr_text)?);
+                }
+                if let Some(r) = table.rendered {
+                    rendered.push((name, r));
+                }
             }
-            if let Some(r) = table.rendered {
-                rendered.push((name, r));
+            // Pass 2: reattach rendered layouts (after *all* schemas exist,
+            // so multi-table expressions like prejoin validate).
+            let schemas = catalog.schemas();
+            for (name, r) in rendered {
+                let expr = catalog
+                    .get(&name)?
+                    .layout_expr
+                    .clone()
+                    .ok_or_else(|| {
+                        RodentError::Invalid(format!(
+                            "manifest has a rendered layout for `{name}` but no expression"
+                        ))
+                    })?;
+                let mut derived = validate::check_with(&expr, &schemas)?;
+                // Incremental appends clear native-order claims; restore
+                // what was actually true at checkpoint time, not what the
+                // expression would promise after a fresh render.
+                derived.orderings = r.orderings;
+                let schema = derived.schema.clone();
+                let objects: Vec<StoredObject> = r
+                    .objects
+                    .into_iter()
+                    .map(|o| {
+                        // Reopen each object's last page as a refillable
+                        // tail; orphan slots from discarded post-checkpoint
+                        // appends are cut before replay re-applies them.
+                        let heap = HeapFile::from_pages_with_tail(
+                            o.name.clone(),
+                            Arc::clone(&pager),
+                            o.pages,
+                            o.heap_records,
+                            o.tail_valid_slots,
+                        )
+                        .map_err(RodentError::Storage)?;
+                        Ok(StoredObject {
+                            heap,
+                            name: o.name,
+                            fields: o.fields,
+                            encoding: o.encoding,
+                            codecs: o.codecs.into_iter().collect(),
+                            cell: o.cell,
+                            row_count: o.row_count as usize,
+                            ordering: o.ordering,
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let layout = PhysicalLayout::new(
+                    r.name,
+                    expr,
+                    schema,
+                    derived,
+                    objects,
+                    r.row_count as usize,
+                    Arc::clone(&pager),
+                );
+                let entry = catalog.get_mut(&name)?;
+                entry.access = Some(Arc::new(AccessMethods::with_cost_params(
+                    layout,
+                    cost_params,
+                )));
             }
         }
-        // Pass 2: reattach rendered layouts (after *all* schemas exist, so
-        // multi-table expressions like prejoin validate).
-        let schemas = db.catalog.schemas();
-        for (name, r) in rendered {
-            let expr = db
-                .catalog
-                .get(&name)?
-                .layout_expr
-                .clone()
-                .ok_or_else(|| {
-                    RodentError::Invalid(format!(
-                        "manifest has a rendered layout for `{name}` but no expression"
-                    ))
-                })?;
-            let mut derived = validate::check_with(&expr, &schemas)?;
-            // Incremental appends clear native-order claims; restore what
-            // was actually true at checkpoint time, not what the expression
-            // would promise after a fresh render.
-            derived.orderings = r.orderings;
-            let schema = derived.schema.clone();
-            let objects: Vec<StoredObject> = r
-                .objects
-                .into_iter()
-                .map(|o| StoredObject {
-                    heap: HeapFile::from_pages(
-                        o.name.clone(),
-                        Arc::clone(&pager),
-                        o.pages,
-                        o.heap_records,
-                    ),
-                    name: o.name,
-                    fields: o.fields,
-                    encoding: o.encoding,
-                    codecs: o.codecs.into_iter().collect(),
-                    cell: o.cell,
-                    row_count: o.row_count as usize,
-                    ordering: o.ordering,
-                })
-                .collect();
-            let layout = PhysicalLayout::new(
-                r.name,
-                expr,
-                schema,
-                derived,
-                objects,
-                r.row_count as usize,
-                Arc::clone(&pager),
-            );
-            let entry = db.catalog.get_mut(&name)?;
-            entry.access = Some(AccessMethods::with_cost_params(layout, db.cost_params));
-        }
 
-        // Replay the WAL tail past the checkpoint. `durability` is still
-        // `None` here, so replayed mutations are not re-logged.
-        let wal = Wal::open(&wal_path, options.sync).map_err(RodentError::Storage)?;
-        for (lsn, _tx, payload) in wal.committed_ops().map_err(RodentError::Storage)? {
+        // Replay the WAL tail past the checkpoint. The `replaying` flag
+        // suppresses re-logging, while `durability` is already set so that
+        // pages freed by replayed layout swaps are *quarantined* — the
+        // manifest we just reattached from still references them, and a
+        // crash during or after replay (before the next checkpoint) must
+        // find them intact.
+        db.wal = Wal::open(&wal_path, options.sync).map_err(RodentError::Storage)?;
+        db.durability = Some(Durability { dir });
+        db.replaying.store(true, Ordering::SeqCst);
+        for (lsn, _tx, payload) in db.wal.committed_ops().map_err(RodentError::Storage)? {
             if lsn < manifest.replay_from_lsn {
                 continue;
             }
             let op = DurableOp::decode(&payload)?;
             db.apply_op(op)?;
         }
-        db.wal = wal;
-        db.durability = Some(Durability { dir });
+        db.replaying.store(false, Ordering::SeqCst);
         Ok(db)
     }
 
@@ -305,10 +413,18 @@ impl Database {
 
     /// Checkpoints a durable database: flushes every rendered object's tail
     /// page, syncs the data file, atomically rewrites the manifest (catalog,
-    /// canonical rows, layout page extents, workload profiles), and
-    /// truncates the WAL. After a checkpoint, [`Database::open`] needs no
-    /// replay and no re-rendering. Errors on in-memory databases.
-    pub fn checkpoint(&mut self) -> Result<()> {
+    /// canonical rows, layout page extents, workload profiles, the free-page
+    /// list, and the adaptive policy / cost parameters), and truncates the
+    /// WAL. After a checkpoint, [`Database::open`] needs no replay and no
+    /// re-rendering. Errors on in-memory databases.
+    ///
+    /// Holds the catalog **read** lock for the duration (the checkpoint
+    /// only reads the catalog; heap flushes and the free list use interior
+    /// mutability), so writers are excluded — the manifest is a consistent
+    /// cut — while readers keep pinning snapshots and are never stalled
+    /// behind the checkpoint's fsyncs. A dedicated mutex serializes
+    /// concurrent checkpoints.
+    pub fn checkpoint(&self) -> Result<()> {
         let dir = match &self.durability {
             Some(d) => d.dir.clone(),
             None => {
@@ -317,27 +433,126 @@ impl Database {
                 ))
             }
         };
-        // Seal partially filled heap tails so every page extent is complete.
-        for name in self.catalog.table_names() {
-            if let Some(access) = &self.catalog.get(&name)?.access {
-                for obj in &access.layout().objects {
-                    obj.heap.flush().map_err(RodentError::Storage)?;
+        // The fence's write side waits for every in-flight insert commit to
+        // resolve and blocks new ones (it also serializes checkpoints); the
+        // catalog read guard then excludes writers, so the cut is
+        // consistent *including* commit outcomes.
+        let _fence = self.commit_fence.write();
+        let catalog = self.catalog.read();
+        self.reap_graveyard();
+        // Write out partially filled heap tails so every page extent is
+        // complete (tails stay open: later appends keep refilling them, and
+        // the manifest records their valid slot counts), then *protect*
+        // each tail: once the manifest references it, it is never
+        // rewritten in place — the next append relocates it. Pages already
+        // superseded by earlier relocations join the quarantine *before*
+        // the snapshot below, so a checkpoint that fails later cannot lose
+        // track of them — they simply wait for the next attempt.
+        {
+            let mut pending = self.pending_free.lock();
+            for name in catalog.table_names() {
+                if let Some(access) = &catalog.get(&name)?.access {
+                    for obj in &access.layout().objects {
+                        obj.heap.flush().map_err(RodentError::Storage)?;
+                        obj.heap.protect_tail();
+                        pending.extend(obj.heap.take_relocated());
+                    }
+                }
+            }
+            // Relocated pages of retired-but-pinned layouts are dead too
+            // (no reader references them — relocation only happens on
+            // unpinned layouts); same quarantine route.
+            for retired in self.graveyard.lock().iter() {
+                for obj in &retired.layout().objects {
+                    pending.extend(obj.heap.take_relocated());
                 }
             }
         }
         self.pager.sync().map_err(RodentError::Storage)?;
         let replay_from = self.wal.next_lsn();
+        // The manifest's free list: pages free right now, plus everything
+        // quarantined since the last checkpoint (this manifest is the one
+        // that stops referencing them), plus the extents of retired layouts
+        // still pinned by in-flight readers — pins cannot survive a
+        // restart, so after recovery those pages are genuinely free (and
+        // do not leak across restarts).
+        let quarantined = self.pending_free.lock().clone();
+        let mut free_pages = self.pager.free_list();
+        free_pages.extend(quarantined.iter().copied());
+        for retired in self.graveyard.lock().iter() {
+            for obj in &retired.layout().objects {
+                free_pages.extend(obj.heap.extent());
+            }
+        }
+        free_pages.sort_unstable();
+        free_pages.dedup();
+        let config = self.config.read().clone();
         let manifest = durability::encode_manifest(
-            &self.catalog,
-            self.pager.page_size(),
-            self.pager.page_count(),
-            replay_from,
+            &catalog,
+            &ManifestContext {
+                page_size: self.pager.page_size(),
+                page_count: self.pager.page_count(),
+                replay_from_lsn: replay_from,
+                free_pages,
+                policy: config.adaptive,
+                cost_params: config.cost_params,
+            },
         )?;
         durability::write_manifest_file(&dir, &manifest)?;
+        // The manifest on disk no longer references the quarantined pages:
+        // they are now safe to reallocate. `quarantine` only appends and
+        // checkpoints are serialized, so the snapshot taken above is
+        // exactly the current prefix of the list — pages quarantined
+        // *during* the manifest write stay behind for the next checkpoint.
+        self.pending_free.lock().drain(..quarantined.len());
+        self.pager.free_pages(quarantined);
         if let Some(last) = self.wal.last_lsn() {
             self.wal.truncate(last).map_err(RodentError::Storage)?;
         }
         Ok(())
+    }
+
+    /// Moves a superseded rendering to the graveyard: its pages are
+    /// reclaimed by [`Database::reap_graveyard`] once no reader pins it.
+    fn retire(&self, access: Arc<AccessMethods>) {
+        self.graveyard.lock().push(access);
+    }
+
+    /// Hands freed pages toward reuse. In-memory databases free straight to
+    /// the pager; durable databases quarantine them until the next
+    /// checkpoint, because the last on-disk manifest may still reference
+    /// them as live extents — reusing such a page before a new manifest
+    /// lands would make crash recovery reattach a layout over overwritten
+    /// bytes.
+    fn quarantine(&self, pages: Vec<rodentstore_storage::PageId>) {
+        if self.durability.is_some() {
+            self.pending_free.lock().extend(pages);
+        } else {
+            self.pager.free_pages(pages);
+        }
+    }
+
+    /// Frees the pages of retired layouts whose last reader pin has
+    /// dropped. Called opportunistically from every write path; cheap when
+    /// the graveyard is empty.
+    fn reap_graveyard(&self) {
+        let mut reclaimed = Vec::new();
+        {
+            let mut graveyard = self.graveyard.lock();
+            graveyard.retain(|retired| {
+                if Arc::strong_count(retired) > 1 {
+                    return true; // still pinned by an in-flight reader
+                }
+                for obj in &retired.layout().objects {
+                    reclaimed.extend(obj.heap.extent());
+                    reclaimed.extend(obj.heap.take_relocated());
+                }
+                false
+            });
+        }
+        if !reclaimed.is_empty() {
+            self.quarantine(reclaimed);
+        }
     }
 
     /// Writes a mutation's op record to the WAL (no-op for in-memory
@@ -352,7 +567,7 @@ impl Database {
         &self,
         payload: impl FnOnce() -> Vec<u8>,
     ) -> Result<Option<rodentstore_storage::TxId>> {
-        if self.durability.is_none() {
+        if self.durability.is_none() || self.replaying.load(Ordering::SeqCst) {
             return Ok(None);
         }
         let tx = self.wal.begin().map_err(RodentError::Storage)?;
@@ -374,22 +589,40 @@ impl Database {
         Ok(())
     }
 
-    /// Marks the transaction aborted after its mutation failed. Best
-    /// effort: if the abort record cannot be written, the op simply stays
-    /// uncommitted, which replay treats identically.
+    /// Marks the transaction aborted after its mutation failed (or, as a
+    /// *compensation*, after its commit record's sync failed — aborts void
+    /// a transaction even when a commit record exists). Best effort: if the
+    /// abort record cannot be written, the op simply stays uncommitted,
+    /// which replay treats identically in the no-commit case. The sync
+    /// pushes the abort toward disk so a commit record that landed before
+    /// its own failed sync is voided durably, not just in the page cache —
+    /// if that sync fails too, the storage is already failing and the
+    /// narrow commit-persists-abort-doesn't window is irreducible.
     fn log_op_abort(&self, tx: Option<rodentstore_storage::TxId>) {
         if let Some(tx) = tx {
             let _ = self.wal.abort(tx);
+            let _ = self.wal.sync();
         }
     }
 
     /// Re-executes a logged operation during recovery (through the same
     /// unlogged mutation paths normal operation uses).
-    fn apply_op(&mut self, op: DurableOp) -> Result<()> {
+    fn apply_op(&self, op: DurableOp) -> Result<()> {
         match op {
-            DurableOp::CreateTable(schema) => self.catalog.create(schema),
-            DurableOp::DropTable(table) => self.catalog.drop(&table),
-            DurableOp::Insert { table, rows } => self.insert_unlogged(&table, rows),
+            DurableOp::CreateTable(schema) => self.catalog.write().create(schema),
+            DurableOp::DropTable(table) => {
+                let mut catalog = self.catalog.write();
+                if let Ok(entry) = catalog.get_mut(&table) {
+                    if let Some(access) = entry.access.take() {
+                        self.retire(access);
+                    }
+                }
+                Catalog::drop(&mut catalog, &table)
+            }
+            DurableOp::Insert { table, rows } => {
+                let mut catalog = self.catalog.write();
+                self.insert_locked(&mut catalog, &table, rows)
+            }
             DurableOp::ApplyLayout {
                 table,
                 expr,
@@ -397,9 +630,10 @@ impl Database {
                 adapted,
             } => {
                 let parsed = parse(&expr)?;
-                self.apply_layout_unlogged(&table, parsed, strategy)?;
+                let mut catalog = self.catalog.write();
+                self.apply_layout_locked(&mut catalog, &table, parsed, strategy, None)?;
                 if adapted {
-                    self.catalog.get_mut(&table)?.stats.adaptations += 1;
+                    catalog.get_mut(&table)?.stats.adaptations += 1;
                 }
                 Ok(())
             }
@@ -407,18 +641,18 @@ impl Database {
     }
 
     /// Overrides the disk-model parameters used for cost estimates.
-    pub fn set_cost_params(&mut self, cost_params: CostParams) {
-        self.cost_params = cost_params;
+    pub fn set_cost_params(&self, cost_params: CostParams) {
+        self.config.write().cost_params = cost_params;
     }
 
     /// Replaces the self-adaptation policy.
-    pub fn set_adaptive_policy(&mut self, policy: AdaptivePolicy) {
-        self.adaptive = policy;
+    pub fn set_adaptive_policy(&self, policy: AdaptivePolicy) {
+        self.config.write().adaptive = policy;
     }
 
     /// The current self-adaptation policy.
-    pub fn adaptive_policy(&self) -> &AdaptivePolicy {
-        &self.adaptive
+    pub fn adaptive_policy(&self) -> AdaptivePolicy {
+        self.config.read().adaptive.clone()
     }
 
     /// Switches automatic adaptation on or off (keeping the rest of the
@@ -427,8 +661,8 @@ impl Database {
     /// profile and re-declares the layout when the predicted improvement
     /// clears the hysteresis threshold — no manual `advise`/`apply_layout`
     /// calls needed.
-    pub fn set_auto_adapt(&mut self, auto: bool) {
-        self.adaptive.auto = auto;
+    pub fn set_auto_adapt(&self, auto: bool) {
+        self.config.write().adaptive.auto = auto;
     }
 
     /// The shared pager (for I/O statistics, page counts, …).
@@ -441,9 +675,11 @@ impl Database {
         self.pager.stats().snapshot()
     }
 
-    /// The catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// A read-locked view of the catalog. The guard derefs to [`Catalog`];
+    /// hold it only briefly — writers (inserts, layout changes,
+    /// checkpoints) block while it is alive.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
     }
 
     /// The write-ahead log (substrate for transactional page writes).
@@ -452,28 +688,43 @@ impl Database {
     }
 
     /// Creates a table from its logical schema.
-    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
-        if self.catalog.get(schema.name()).is_ok() {
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        let mut catalog = self.catalog.write();
+        if catalog.get(schema.name()).is_ok() {
             return Err(RodentError::TableExists(schema.name().to_string()));
         }
         // Commit before applying: the catalog insert cannot fail after the
         // existence pre-check, so a commit-record failure leaves nothing
-        // applied (and a crash after the commit is healed by replay).
+        // applied (and a crash after the commit is healed by replay). A
+        // failed commit is compensated with an abort so a commit record
+        // that landed before its sync failed cannot replay a table the
+        // caller was told does not exist.
         let tx = self.log_op_begin(|| durability::encode_create_table(&schema))?;
-        self.log_op_commit(tx)?;
-        self.catalog.create(schema)
+        if let Err(e) = self.log_op_commit(tx) {
+            self.log_op_abort(tx);
+            return Err(e);
+        }
+        catalog.create(schema)
     }
 
-    /// Drops a table. Note that page allocation is append-only: a dropped
-    /// table's rendered pages (like those of superseded renders generally)
-    /// stay dead in the data file — there is no free list or vacuum yet.
-    pub fn drop_table(&mut self, table: &str) -> Result<()> {
-        self.catalog.get(table)?;
+    /// Drops a table. Its rendered pages are returned to the pager's free
+    /// list for reuse once no in-flight reader pins them.
+    pub fn drop_table(&self, table: &str) -> Result<()> {
+        let mut catalog = self.catalog.write();
+        self.reap_graveyard();
+        catalog.get(table)?;
         // Commit-before-apply, as in `create_table`: the drop is infallible
-        // after the existence pre-check.
+        // after the existence pre-check (and a failed commit is compensated
+        // with an abort, as there).
         let tx = self.log_op_begin(|| durability::encode_drop_table(table))?;
-        self.log_op_commit(tx)?;
-        self.catalog.drop(table)
+        if let Err(e) = self.log_op_commit(tx) {
+            self.log_op_abort(tx);
+            return Err(e);
+        }
+        if let Some(access) = catalog.get_mut(table)?.access.take() {
+            self.retire(access);
+        }
+        Catalog::drop(&mut catalog, table)
     }
 
     /// Inserts records into a table. If a layout is declared with the eager
@@ -490,56 +741,159 @@ impl Database {
     /// catalog or any page is touched (write-ahead logging); how quickly the
     /// commit reaches the disk platter is governed by the
     /// [`rodentstore_storage::SyncPolicy`] chosen at create/open time.
-    pub fn insert(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
-        let (records_before, pending_before) = {
-            let entry = self.catalog.get(table)?;
+    pub fn insert(&self, table: &str, records: Vec<Record>) -> Result<()> {
+        let inserted = records.len();
+        // Durable inserts hold the commit fence (shared side) from before
+        // the rows apply until the commit resolves, so a checkpoint can
+        // never persist rows whose commit might still fail and roll back.
+        // Acquired before the catalog lock (global order: fence → catalog);
+        // uncontended except while a checkpoint runs.
+        let _fence = self
+            .durability
+            .is_some()
+            .then(|| self.commit_fence.read());
+        let (tx, records_before, queue) = {
+            let mut catalog = self.catalog.write();
+            self.reap_graveyard();
+            let entry = catalog.get(table)?;
             for r in &records {
                 entry.schema.validate_record(r)?;
             }
-            (entry.records.len(), entry.pending.len())
+            let records_before = entry.records.len();
+            let tx = self.log_op_begin(|| durability::encode_insert(table, &records))?;
+            if let Err(e) = self.insert_locked(&mut catalog, table, records) {
+                self.log_op_abort(tx);
+                return Err(e);
+            }
+            // Durable inserts resolve in apply order (see `CommitQueue`):
+            // take the ticket while still holding the write lock, so ticket
+            // order ≡ row-position order.
+            let queue = tx.map(|_| {
+                let entry = catalog.get(table).expect("applied above");
+                let queue = Arc::clone(&entry.commit_queue);
+                let (ticket, removed_at_apply) = queue.take_ticket();
+                (queue, ticket, removed_at_apply)
+            });
+            (tx, records_before, queue)
         };
-        let tx = self.log_op_begin(|| durability::encode_insert(table, &records))?;
-        if let Err(e) = self.insert_unlogged(table, records) {
-            self.log_op_abort(tx);
-            return Err(e);
+        // Commit *outside* the catalog write lock: under durable policies
+        // the commit can fsync (and, with `SyncPolicy::GroupDurable`, park
+        // on a shared fsync with other committers) — readers must not be
+        // blocked behind the disk, and parked committers must not hold the
+        // lock. WAL replay order still matches application order because op
+        // records are appended while the write lock is held.
+        let commit_result = self.log_op_commit(tx);
+        if let Some((queue, ticket, removed_at_apply)) = queue {
+            // Resolve in apply order: every earlier insert has confirmed or
+            // rolled back by now, and `removed_since` rows — all positioned
+            // before ours — are gone, shifting our rows down by exactly
+            // that much.
+            let removed_since = queue.await_turn(ticket, removed_at_apply);
+            match &commit_result {
+                // No rows removed: finishing outside the catalog lock is
+                // safe, racing `take_ticket`s see an unchanged counter.
+                Ok(()) => queue.finish(ticket, 0),
+                Err(_) => {
+                    // The commit's sync failed — but its *record* may have
+                    // reached the log before the failure, and could still
+                    // become durable. Compensate with an abort record
+                    // (aborts void a transaction even after a commit
+                    // record), then roll the live state back to match what
+                    // recovery will now replay. The rollback finishes the
+                    // ticket itself, *inside* the catalog write lock.
+                    self.log_op_abort(tx);
+                    let start = records_before.saturating_sub(removed_since as usize);
+                    self.rollback_insert(table, start, inserted, &queue, ticket);
+                }
+            }
         }
-        if let Err(e) = self.log_op_commit(tx) {
-            // The rows applied but their commit record did not land — they
-            // would vanish on recovery. Roll the live state back to match:
-            // drop the rows and discard the (possibly appended-to)
-            // rendering, so the next access re-renders from the canonical
-            // rows that really are durable.
-            let entry = self.catalog.get_mut(table)?;
-            entry.records.truncate(records_before);
-            entry.pending.truncate(pending_before);
-            entry.access = None;
-            return Err(e);
-        }
-        Ok(())
+        commit_result
+    }
+
+    /// Removes the `count` rows starting at `start` from a table's live
+    /// state after their commit record failed to land, then finishes the
+    /// caller's [`crate::catalog::CommitQueue`] ticket. The caller owns the
+    /// resolution turn, so `start` (already adjusted for earlier rollbacks)
+    /// is exact; the finish happens *while the catalog write lock is still
+    /// held*, so a racing insert taking its ticket under that lock sees the
+    /// row removal and the queue's `removed` counter move together — never
+    /// one without the other. The rendering is discarded only when it
+    /// already absorbed the doomed rows (pending rows are a suffix of the
+    /// canonical rows — rows still pending were never rendered).
+    fn rollback_insert(
+        &self,
+        table: &str,
+        start: usize,
+        count: usize,
+        queue: &Arc<crate::catalog::CommitQueue>,
+        ticket: u64,
+    ) {
+        let mut catalog = self.catalog.write();
+        let removed = 'remove: {
+            let Ok(entry) = catalog.get_mut(table) else {
+                break 'remove 0; // table dropped meanwhile; rows went with it
+            };
+            // Same name is not enough: the table may have been dropped and
+            // recreated while our commit was in flight, and the new entry's
+            // rows are not ours to drain. The commit queue is per-entry, so
+            // pointer identity tells the two apart.
+            if !Arc::ptr_eq(&entry.commit_queue, queue) {
+                break 'remove 0; // our table is gone; rows went with it
+            }
+            let len = entry.records.len();
+            if start + count > len {
+                // Unreachable while resolution order holds; never panic on
+                // the error path (the commit failure is already reported).
+                debug_assert!(false, "rollback window [{start}, +{count}) exceeds {len} rows");
+                break 'remove 0;
+            }
+            let pending_start = len - entry.pending.len();
+            entry.records_mut().drain(start..start + count);
+            if start >= pending_start {
+                let offset = start - pending_start;
+                entry.pending_mut().drain(offset..offset + count);
+            } else if let Some(access) = entry.access.take() {
+                // The rendering absorbed the doomed rows; discard it. The
+                // next access re-renders from the canonical rows, which now
+                // match exactly what recovery would replay.
+                self.retire(access);
+            }
+            count as u64
+        };
+        queue.finish(ticket, removed);
+        drop(catalog);
     }
 
     /// The mutation half of [`Database::insert`]: validation and WAL logging
     /// already happened (or are skipped — recovery replay trusts the log).
+    /// The caller holds the catalog write lock.
     ///
     /// If eager absorption fails (e.g. a record too large for the page
     /// size), the canonical rows and pending buffer are rolled back and the
     /// (possibly partially appended) rendering is invalidated, so the table
     /// stays usable — the next access re-renders from the clean canonical
     /// state, and the WAL records the transaction as aborted.
-    fn insert_unlogged(&mut self, table: &str, records: Vec<Record>) -> Result<()> {
-        let entry = self.catalog.get_mut(table)?;
+    fn insert_locked(
+        &self,
+        catalog: &mut Catalog,
+        table: &str,
+        records: Vec<Record>,
+    ) -> Result<()> {
+        let entry = catalog.get_mut(table)?;
         let has_layout = entry.access.is_some() || entry.layout_expr.is_some();
         let records_before = entry.records.len();
         let pending_before = entry.pending.len();
-        entry.records.extend(records.iter().cloned());
+        entry.records_mut().extend(records.iter().cloned());
         if has_layout {
-            entry.pending.extend(records);
+            entry.pending_mut().extend(records);
             if entry.strategy == ReorgStrategy::Eager {
-                if let Err(e) = self.ensure_rendered(table) {
-                    let entry = self.catalog.get_mut(table)?;
-                    entry.records.truncate(records_before);
-                    entry.pending.truncate(pending_before);
-                    entry.access = None;
+                if let Err(e) = self.render_or_absorb_locked(catalog, table) {
+                    let entry = catalog.get_mut(table)?;
+                    entry.records_mut().truncate(records_before);
+                    entry.pending_mut().truncate(pending_before);
+                    if let Some(access) = entry.access.take() {
+                        self.retire(access);
+                    }
                     return Err(e);
                 }
             }
@@ -549,71 +903,65 @@ impl Database {
 
     /// Number of logical rows in a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.catalog.get(table)?.row_count())
+        Ok(self.catalog.read().get(table)?.row_count())
     }
 
     /// Declares the physical layout of a table using the textual algebra
     /// syntax, with the eager reorganization strategy.
-    pub fn apply_layout_text(&mut self, table: &str, expr: &str) -> Result<()> {
+    pub fn apply_layout_text(&self, table: &str, expr: &str) -> Result<()> {
         let expr = parse(expr)?;
         self.apply_layout(table, expr, ReorgStrategy::Eager)
     }
 
-    /// Declares the physical layout of a table.
+    /// Declares the physical layout of a table. Holds the catalog write
+    /// lock through the render; scans pinned to the previous layout finish
+    /// against it, and its pages are reclaimed once the last pin drops.
     pub fn apply_layout(
-        &mut self,
+        &self,
         table: &str,
         expr: LayoutExpr,
         strategy: ReorgStrategy,
     ) -> Result<()> {
+        let mut catalog = self.catalog.write();
+        self.reap_graveyard();
         // Validate against the whole catalog so prejoins across tables work
         // — and so invalid expressions are rejected *before* they are logged.
-        validate::check_with(&expr, &self.catalog.schemas())?;
-        self.catalog.get(table)?;
+        validate::check_with(&expr, &catalog.schemas())?;
+        catalog.get(table)?;
         let tx = self.log_op_begin(|| {
             durability::encode_apply_layout(table, &expr.to_string(), strategy, false)
         })?;
-        self.apply_layout_logged(table, expr, strategy, tx)
+        self.apply_layout_locked(&mut catalog, table, expr, strategy, tx)
     }
 
-    /// The mutation half of [`Database::apply_layout`] for recovery replay
-    /// (logging already happened — or is skipped).
-    fn apply_layout_unlogged(
-        &mut self,
-        table: &str,
-        expr: LayoutExpr,
-        strategy: ReorgStrategy,
-    ) -> Result<()> {
-        self.apply_layout_logged(table, expr, strategy, None)
-    }
-
-    /// Applies a layout and commits its already-written WAL op record. If
-    /// the eager render fails — or the commit record cannot be written —
-    /// the previous layout state (expression, strategy, rendering, pending
-    /// buffer) is restored wholesale, so the live catalog matches both what
-    /// the caller observed (an error) and what recovery would replay (an
-    /// aborted or absent op).
-    fn apply_layout_logged(
-        &mut self,
+    /// Applies a layout and commits its already-written WAL op record (the
+    /// caller holds the catalog write lock). If the eager render fails — or
+    /// the commit record cannot be written — the previous layout state
+    /// (expression, strategy, rendering, pending buffer) is restored
+    /// wholesale, so the live catalog matches both what the caller observed
+    /// (an error) and what recovery would replay (an aborted or absent op).
+    fn apply_layout_locked(
+        &self,
+        catalog: &mut Catalog,
         table: &str,
         expr: LayoutExpr,
         strategy: ReorgStrategy,
         tx: Option<rodentstore_storage::TxId>,
     ) -> Result<()> {
         let (prev_expr, prev_strategy, prev_access, prev_pending) = {
-            let entry = self.catalog.get_mut(table)?;
+            let entry = catalog.get_mut(table)?;
             let prev = (
                 entry.layout_expr.take(),
                 entry.strategy,
                 entry.access.take(),
-                std::mem::take(&mut entry.pending),
+                std::mem::replace(&mut entry.pending, Arc::new(Vec::new())),
             );
             entry.layout_expr = Some(expr);
             entry.strategy = strategy;
             prev
         };
         let failure = if strategy.renders_immediately() {
-            self.ensure_rendered(table).err()
+            self.render_or_absorb_locked(catalog, table).err()
         } else {
             None
         };
@@ -622,15 +970,27 @@ impl Database {
                 self.log_op_abort(tx);
                 Some(e)
             }
-            None => self.log_op_commit(tx).err(),
+            None => self.log_op_commit(tx).err().map(|e| {
+                // The commit record may have landed before its sync failed;
+                // a compensating abort keeps replay from resurrecting the
+                // layout change we are about to undo.
+                self.log_op_abort(tx);
+                e
+            }),
         };
+        let entry = catalog.get_mut(table)?;
         if let Some(e) = failure {
-            let entry = self.catalog.get_mut(table)?;
+            if let Some(new_access) = entry.access.take() {
+                self.retire(new_access); // the failed declaration's render
+            }
             entry.layout_expr = prev_expr;
             entry.strategy = prev_strategy;
             entry.access = prev_access;
             entry.pending = prev_pending;
             return Err(e);
+        }
+        if let Some(old_access) = prev_access {
+            self.retire(old_access); // superseded rendering → free list
         }
         Ok(())
     }
@@ -646,53 +1006,100 @@ impl Database {
     /// grids, projected onto every field group for vertical partitions. Only
     /// shapes whose invariants cannot be maintained row-at-a-time (fold,
     /// prejoin, limit) fall back to a full re-render.
-    pub fn ensure_rendered(&mut self, table: &str) -> Result<()> {
-        let (has_expr, has_access, pending_len, absorbs) = {
-            let entry = self.catalog.get(table)?;
-            (
-                entry.layout_expr.is_some(),
-                entry.access.is_some(),
-                entry.pending.len(),
-                entry.strategy.absorbs_new_data_on_access(),
-            )
-        };
-        if !has_expr {
-            return Ok(());
-        }
-        if has_access && !(absorbs && pending_len > 0) {
-            return Ok(());
-        }
-        if has_access && absorbs && pending_len > 0 {
-            // Try to absorb the pending rows into the existing rendering.
-            let provider = {
-                let entry = self.catalog.get(table)?;
-                MemTableProvider::single(entry.schema.clone(), entry.pending.clone())
-            };
-            let entry = self.catalog.get_mut(table)?;
-            let access = entry.access.as_mut().expect("checked above");
-            match access.append_rows(&provider) {
-                Ok(AppendOutcome::Appended { .. }) => {
-                    entry.pending.clear();
-                    entry.stats.incremental_appends += 1;
-                    return Ok(());
+    pub fn ensure_rendered(&self, table: &str) -> Result<()> {
+        // Fast path under the read lock: nothing to do for tables without a
+        // declared layout, or whose rendering is current.
+        {
+            let catalog = self.catalog.read();
+            let entry = catalog.get(table)?;
+            if entry.layout_expr.is_none() {
+                return Ok(());
+            }
+            let absorbs = entry.strategy.absorbs_new_data_on_access();
+            match &entry.access {
+                Some(access) if !(absorbs && !entry.pending.is_empty()) => return Ok(()),
+                Some(access) => {
+                    // Absorption is due, but it can only run on a uniquely
+                    // owned layout. If other readers pin it *right now*,
+                    // don't escalate to the write lock — under overlapping
+                    // reader traffic that would turn every scan into a
+                    // write-lock acquisition that then fails `Arc::get_mut`
+                    // anyway. Serve with the pending-merge path (correct)
+                    // and let a quiet moment, or the next insert, absorb.
+                    // (Advisory check: a stale answer only defers or
+                    // over-attempts absorption, never breaks correctness —
+                    // the write path re-checks ownership authoritatively.)
+                    if Arc::strong_count(access) > 1 {
+                        return Ok(());
+                    }
                 }
-                Ok(AppendOutcome::NeedsRebuild(_)) => {
-                    entry.access = None;
-                    // Fall through to the full render below.
-                }
-                Err(e) => {
-                    // A failed append may have touched some objects and not
-                    // others (e.g. one group of a vertical partition), which
-                    // would misalign the positional stitch of every later
-                    // read. Discard the rendering: the next access rebuilds
-                    // from the canonical rows, which are still consistent.
-                    entry.access = None;
-                    return Err(e.into());
-                }
+                None => {}
             }
         }
+        let mut catalog = self.catalog.write();
+        self.reap_graveyard();
+        self.render_or_absorb_locked(&mut catalog, table)
+    }
+
+    /// The write half of [`Database::ensure_rendered`]: absorbs pending
+    /// rows into the existing rendering or performs a full render, under
+    /// the catalog write lock held by the caller.
+    fn render_or_absorb_locked(&self, catalog: &mut Catalog, table: &str) -> Result<()> {
+        let entry = catalog.get_mut(table)?;
+        if entry.layout_expr.is_none() {
+            return Ok(());
+        }
+        let absorbs = entry.strategy.absorbs_new_data_on_access();
+        if entry.access.is_some() && absorbs && !entry.pending.is_empty() {
+            // Try to absorb the pending rows into the existing rendering.
+            // In-place appends require *unique* ownership of the layout: a
+            // rendering pinned by an in-flight scan must not grow rows
+            // underneath that scan.
+            let mut access = entry.access.take().expect("checked above");
+            match Arc::get_mut(&mut access) {
+                None => {
+                    // Pinned by a reader. Leave the rows in the pending
+                    // buffer — scans merge it in, so results stay correct —
+                    // and retry the absorption on the next access, by which
+                    // time the pin has usually drained.
+                    entry.access = Some(access);
+                    return Ok(());
+                }
+                Some(unique) => {
+                    let provider = MemTableProvider::single(
+                        entry.schema.clone(),
+                        entry.pending.as_ref().clone(),
+                    );
+                    match unique.append_rows(&provider) {
+                        Ok(AppendOutcome::Appended { .. }) => {
+                            entry.access = Some(access);
+                            entry.pending_mut().clear();
+                            entry.stats.incremental_appends += 1;
+                            return Ok(());
+                        }
+                        Ok(AppendOutcome::NeedsRebuild(_)) => {
+                            self.retire(access);
+                            // Fall through to the full render below.
+                        }
+                        Err(e) => {
+                            // A failed append may have touched some objects
+                            // and not others (e.g. one group of a vertical
+                            // partition), which would misalign the
+                            // positional stitch of every later read.
+                            // Discard the rendering: the next access
+                            // rebuilds from the canonical rows, which are
+                            // still consistent.
+                            self.retire(access);
+                            return Err(e.into());
+                        }
+                    }
+                }
+            }
+        } else if entry.access.is_some() {
+            return Ok(());
+        }
         let (expr, strategy) = {
-            let entry = self.catalog.get(table)?;
+            let entry = catalog.get(table)?;
             (
                 entry.layout_expr.clone().expect("checked above"),
                 entry.strategy,
@@ -705,34 +1112,54 @@ impl Database {
         // stay in the row buffer and are excluded from the rendering.
         let referenced = expr.base_tables();
         let mut provider = MemTableProvider::new();
-        for name in self.catalog.table_names() {
+        for name in catalog.table_names() {
             if !referenced.contains(&name) {
                 continue;
             }
-            let entry = self.catalog.get(&name)?;
-            let mut records = entry.records.clone();
+            let entry = catalog.get(&name)?;
+            let mut records = entry.records.as_ref().clone();
             if name == table && !strategy.absorbs_new_data_on_access() {
                 records.truncate(records.len().saturating_sub(entry.pending.len()));
             }
             provider.add(entry.schema.clone(), records);
         }
+        let config = self.config.read().clone();
         let layout = render(
             &expr,
             &provider,
             Arc::clone(&self.pager),
             RenderOptions {
                 name: Some(format!("{table}__layout")),
-                ..self.render_options.clone()
+                ..config.render_options
             },
         )?;
-        let access = AccessMethods::with_cost_params(layout, self.cost_params);
-        let entry = self.catalog.get_mut(table)?;
-        entry.access = Some(access);
+        let access = AccessMethods::with_cost_params(layout, config.cost_params);
+        let entry = catalog.get_mut(table)?;
+        entry.access = Some(Arc::new(access));
         entry.stats.full_renders += 1;
         if strategy.absorbs_new_data_on_access() {
-            entry.pending.clear();
+            entry.pending_mut().clear();
         }
         Ok(())
+    }
+
+    /// Pins a consistent snapshot of a table — rendering the declared
+    /// layout or absorbing pending rows first if needed. The snapshot holds
+    /// the canonical rows, the pending buffer, and the rendered layout via
+    /// shared pointers: queries served from it never block on (and are
+    /// never corrupted by) concurrent inserts, layout swaps, adaptation, or
+    /// checkpoints.
+    pub fn snapshot(&self, table: &str) -> Result<TableSnapshot> {
+        self.ensure_rendered(table)?;
+        let catalog = self.catalog.read();
+        let entry = catalog.get(table)?;
+        Ok(TableSnapshot {
+            schema: entry.schema.clone(),
+            records: Arc::clone(&entry.records),
+            pending: Arc::clone(&entry.pending),
+            access: entry.access.clone(),
+            cost_params: self.config.read().cost_params,
+        })
     }
 
     /// Scans a table. Tables without a declared layout are scanned from their
@@ -745,40 +1172,11 @@ impl Database {
     /// Every scan is recorded into the table's live workload profile; in
     /// auto-adapt mode, every [`AdaptivePolicy::check_every`]-th query also
     /// runs the adaptation check after serving the scan.
-    pub fn scan(&mut self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
+    pub fn scan(&self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
         let run_check = self.observe(table, request)?;
-        self.ensure_rendered(table)?;
-        let entry = self.catalog.get(table)?;
-        let rows = match &entry.access {
-            // A layout can only serve requests over the fields it kept; a
-            // query referencing a field the (possibly auto-adapted) layout
-            // projected away falls back to the canonical rows — and, having
-            // been recorded in the profile, steers the next adaptation back
-            // toward a layout that covers it.
-            Some(access) if layout_serves(access, request) => {
-                let mut rows = access.scan(request)?;
-                if !entry.pending.is_empty() {
-                    // Pending rows must come out in the *layout's* output
-                    // shape (a projection layout exposes fewer fields than
-                    // the canonical schema), so the merge compares and
-                    // returns uniformly shaped records.
-                    let out_fields: Vec<String> = request
-                        .fields
-                        .clone()
-                        .unwrap_or_else(|| access.layout().schema.field_names());
-                    let pending_request = ScanRequest {
-                        fields: Some(out_fields.clone()),
-                        predicate: request.predicate.clone(),
-                        order: request.order.clone(),
-                    };
-                    let pending =
-                        scan_canonical(&entry.schema, &entry.pending, &pending_request)?;
-                    rows = merge_by_order(&out_fields, request.order.as_deref(), rows, pending);
-                }
-                rows
-            }
-            _ => scan_canonical(&entry.schema, &entry.records, request)?,
-        };
+        let snapshot = self.snapshot(table)?;
+        let rows = snapshot.scan(request)?;
+        drop(snapshot); // release the pin before adaptation may re-render
         if run_check {
             self.auto_adapt_check(table)?;
         }
@@ -787,9 +1185,9 @@ impl Database {
 
     /// Opens a (materialized) cursor over a scan. The facade merges freshly
     /// inserted pending rows into layout scans, so the merged result is
-    /// materialized here; use [`AccessMethods::open_cursor`] on a layout
-    /// directly for a streaming cursor.
-    pub fn open_cursor(&mut self, table: &str, request: &ScanRequest) -> Result<Cursor<'static>> {
+    /// materialized here; use [`TableSnapshot::open_cursor`] on a pinned
+    /// snapshot for a streaming cursor.
+    pub fn open_cursor(&self, table: &str, request: &ScanRequest) -> Result<Cursor<'static>> {
         // Profiling (and the auto-adapt hook) happens inside `scan`.
         Ok(Cursor::new(self.scan(table, request)?))
     }
@@ -797,64 +1195,30 @@ impl Database {
     /// Returns the element at `index` of the table's stored representation
     /// (layout storage order first, then any pending row buffer).
     pub fn get_element(
-        &mut self,
+        &self,
         table: &str,
         index: usize,
         fields: Option<&[String]>,
     ) -> Result<Record> {
         let run_check = {
-            let policy = &self.adaptive;
-            let entry = self.catalog.get_mut(table)?;
+            let (auto, check_every) = {
+                let config = self.config.read();
+                (config.adaptive.auto, config.adaptive.check_every)
+            };
+            let catalog = self.catalog.read();
+            let entry = catalog.get(table)?;
+            let mut profile = entry.profile.lock();
             // Unknown fields error below and must not poison the profile.
             if fields.map_or(true, |fields| {
                 fields.iter().all(|f| entry.schema.index_of(f).is_ok())
             }) {
-                entry.profile.record_get_element(fields);
+                profile.record_get_element(fields);
             }
-            policy.auto && entry.profile.queries_since_check >= policy.check_every
+            auto && profile.queries_since_check >= check_every
         };
-        self.ensure_rendered(table)?;
-        let entry = self.catalog.get(table)?;
-        let element = match &entry.access {
-            // Fields the layout projected away are served from the canonical
-            // rows (in canonical order — a storage order over fields the
-            // layout does not store is not meaningful).
-            Some(access)
-                if fields.map_or(true, |fields| {
-                    fields.iter().all(|f| access.layout().schema.index_of(f).is_ok())
-                }) =>
-            {
-                let layout_rows = access.layout().row_count;
-                if index >= layout_rows && index - layout_rows < entry.pending.len() {
-                    // Pending rows (new-data-only buffer) extend the storage
-                    // order past the rendered representation; project them to
-                    // the layout's exposed fields so the record shape does
-                    // not change at the layout/pending boundary.
-                    let layout_fields;
-                    let effective: &[String] = match fields {
-                        Some(fields) => fields,
-                        None => {
-                            layout_fields = access.layout().schema.field_names();
-                            &layout_fields
-                        }
-                    };
-                    project_record(
-                        &entry.schema,
-                        entry.pending[index - layout_rows].clone(),
-                        Some(effective),
-                    )?
-                } else {
-                    access.get_element(index, fields)?
-                }
-            }
-            _ => entry
-                .records
-                .get(index)
-                .cloned()
-                .map(|r| project_record(&entry.schema, r, fields))
-                .transpose()?
-                .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range")))?,
-        };
+        let snapshot = self.snapshot(table)?;
+        let element = snapshot.get_element(index, fields)?;
+        drop(snapshot);
         if run_check {
             self.auto_adapt_check(table)?;
         }
@@ -865,35 +1229,21 @@ impl Database {
     /// method). Tables without a rendered layout — or requests the layout
     /// cannot serve (fields it projected away) — report a cost proportional
     /// to their canonical size.
-    pub fn scan_cost(&mut self, table: &str, request: &ScanRequest) -> Result<f64> {
-        self.ensure_rendered(table)?;
-        let entry = self.catalog.get(table)?;
-        match &entry.access {
-            Some(access) if layout_serves(access, request) => Ok(access.scan_cost(request)?),
-            _ => {
-                let bytes = entry.records.len() as f64
-                    * entry.schema.estimated_record_width() as f64;
-                Ok(self.cost_params.seek_ms
-                    + bytes / (self.cost_params.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0)
-            }
-        }
+    pub fn scan_cost(&self, table: &str, request: &ScanRequest) -> Result<f64> {
+        self.snapshot(table)?.scan_cost(request)
     }
 
     /// Estimated number of pages a scan would read (0 when the scan would be
     /// served from the in-memory canonical rows).
-    pub fn scan_pages(&mut self, table: &str, request: &ScanRequest) -> Result<u64> {
-        self.ensure_rendered(table)?;
-        let entry = self.catalog.get(table)?;
-        match &entry.access {
-            Some(access) if layout_serves(access, request) => Ok(access.scan_pages(request)),
-            _ => Ok(0),
-        }
+    pub fn scan_pages(&self, table: &str, request: &ScanRequest) -> Result<u64> {
+        self.snapshot(table)?.scan_pages(request)
     }
 
     /// The sort orders the table's current organization is efficient for.
-    pub fn order_list(&mut self, table: &str) -> Result<Vec<Vec<rodentstore_algebra::expr::SortKey>>> {
+    pub fn order_list(&self, table: &str) -> Result<Vec<Vec<rodentstore_algebra::expr::SortKey>>> {
         self.ensure_rendered(table)?;
-        let entry = self.catalog.get(table)?;
+        let catalog = self.catalog.read();
+        let entry = catalog.get(table)?;
         Ok(entry
             .access
             .as_ref()
@@ -909,13 +1259,19 @@ impl Database {
         workload: &Workload,
         options: &AdvisorOptions,
     ) -> Result<Recommendation> {
-        let entry = self.catalog.get(table)?;
-        Ok(advise(&entry.schema, &entry.records, workload, options)?)
+        // Pin the schema and rows, then run the (expensive) advisor search
+        // without any database lock held.
+        let (schema, records) = {
+            let catalog = self.catalog.read();
+            let entry = catalog.get(table)?;
+            (entry.schema.clone(), Arc::clone(&entry.records))
+        };
+        Ok(advise(&schema, &records, workload, options)?)
     }
 
     /// Runs the advisor and applies the recommended layout eagerly.
     pub fn auto_tune(
-        &mut self,
+        &self,
         table: &str,
         workload: &Workload,
         options: &AdvisorOptions,
@@ -925,14 +1281,15 @@ impl Database {
         Ok(recommendation)
     }
 
-    /// The live workload profile captured for a table.
-    pub fn workload_profile(&self, table: &str) -> Result<&crate::monitor::WorkloadProfile> {
-        Ok(&self.catalog.get(table)?.profile)
+    /// A point-in-time copy of the live workload profile captured for a
+    /// table.
+    pub fn workload_profile(&self, table: &str) -> Result<crate::monitor::WorkloadProfile> {
+        Ok(self.catalog.read().get(table)?.profile.lock().clone())
     }
 
     /// Render/append/adaptation counters for a table.
     pub fn layout_stats(&self, table: &str) -> Result<crate::catalog::LayoutStats> {
-        Ok(self.catalog.get(table)?.stats)
+        Ok(self.catalog.read().get(table)?.stats)
     }
 
     /// Runs one adaptation check against the table's *live* workload profile
@@ -943,39 +1300,60 @@ impl Database {
     ///
     /// In auto mode this runs by itself every [`AdaptivePolicy::check_every`]
     /// queries; calling it explicitly is always allowed.
-    pub fn maybe_adapt(&mut self, table: &str) -> Result<AdaptOutcome> {
-        let policy = self.adaptive.clone();
-        let (workload, observed) = {
-            let entry = self.catalog.get_mut(table)?;
-            entry.profile.end_check_window();
-            (entry.profile.to_workload(), entry.profile.queries_observed)
+    pub fn maybe_adapt(&self, table: &str) -> Result<AdaptOutcome> {
+        let policy = self.config.read().adaptive.clone();
+        // Snapshot the profile, schema, rows, and current expression under
+        // the read lock, then run the advisor search with *no* lock held —
+        // concurrent scans proceed while the annealing runs.
+        let (workload, observed, current_expr, schema, records) = {
+            let catalog = self.catalog.read();
+            let entry = catalog.get(table)?;
+            let mut profile = entry.profile.lock();
+            profile.end_check_window();
+            (
+                profile.to_workload(),
+                profile.queries_observed,
+                entry
+                    .layout_expr
+                    .clone()
+                    .unwrap_or_else(|| LayoutExpr::table(table)),
+                entry.schema.clone(),
+                Arc::clone(&entry.records),
+            )
         };
         if observed < policy.min_queries || workload.is_empty() {
             return Ok(AdaptOutcome::InsufficientData {
                 queries_observed: observed,
             });
         }
-        let current_expr = {
-            let entry = self.catalog.get(table)?;
-            entry
-                .layout_expr
-                .clone()
-                .unwrap_or_else(|| LayoutExpr::table(table))
-        };
-        let (recommendation, baseline) = {
-            let entry = self.catalog.get(table)?;
-            advise_with_baseline(
-                &entry.schema,
-                &entry.records,
-                &workload,
-                &policy.advisor,
-                &current_expr,
-            )?
-        };
+        let (recommendation, baseline) = advise_with_baseline(
+            &schema,
+            &records,
+            &workload,
+            &policy.advisor,
+            &current_expr,
+        )?;
         let best = recommendation.best;
         let current_ms = baseline.map(|c| c.total_ms).unwrap_or(f64::INFINITY);
         let improves = best.total_ms < current_ms * (1.0 - policy.hysteresis);
         if best.expr == current_expr || !improves {
+            return Ok(AdaptOutcome::KeptCurrent {
+                current_ms,
+                best_ms: best.total_ms,
+            });
+        }
+        let mut catalog = self.catalog.write();
+        self.reap_graveyard();
+        // Re-check under the write lock: if another thread re-declared the
+        // layout while the advisor ran, our recommendation was costed
+        // against a stale baseline — keep what is there and let the next
+        // check window re-evaluate.
+        let now_expr = catalog
+            .get(table)?
+            .layout_expr
+            .clone()
+            .unwrap_or_else(|| LayoutExpr::table(table));
+        if now_expr != current_expr {
             return Ok(AdaptOutcome::KeptCurrent {
                 current_ms,
                 best_ms: best.total_ms,
@@ -986,8 +1364,8 @@ impl Database {
         let tx = self.log_op_begin(|| {
             durability::encode_apply_layout(table, &best.expr.to_string(), policy.strategy, true)
         })?;
-        self.apply_layout_logged(table, best.expr.clone(), policy.strategy, tx)?;
-        let entry = self.catalog.get_mut(table)?;
+        self.apply_layout_locked(&mut catalog, table, best.expr.clone(), policy.strategy, tx)?;
+        let entry = catalog.get_mut(table)?;
         entry.stats.adaptations += 1;
         Ok(AdaptOutcome::Adapted {
             expr: best.expr,
@@ -1001,9 +1379,13 @@ impl Database {
     /// fields the table does not have are *not* recorded — they error on the
     /// query path anyway, and a poisoned template would make every later
     /// advisor run fail on the unknown field.
-    fn observe(&mut self, table: &str, request: &ScanRequest) -> Result<bool> {
-        let policy = &self.adaptive;
-        let entry = self.catalog.get_mut(table)?;
+    fn observe(&self, table: &str, request: &ScanRequest) -> Result<bool> {
+        let (auto, check_every) = {
+            let config = self.config.read();
+            (config.adaptive.auto, config.adaptive.check_every)
+        };
+        let catalog = self.catalog.read();
+        let entry = catalog.get(table)?;
         let known = |f: &String| entry.schema.index_of(f).is_ok();
         let valid = request.fields.iter().flatten().all(known)
             && request
@@ -1015,20 +1397,172 @@ impl Database {
                 .iter()
                 .flatten()
                 .all(|k| known(&k.field));
+        let mut profile = entry.profile.lock();
         if valid {
-            entry.profile.record_scan(request);
+            profile.record_scan(request);
         }
-        Ok(policy.auto && entry.profile.queries_since_check >= policy.check_every)
+        Ok(auto && profile.queries_since_check >= check_every)
     }
 
     /// Auto-mode wrapper around [`Database::maybe_adapt`]: an adaptation
     /// check the advisor cannot complete (empty candidate set, a template it
     /// cannot cost, …) must not fail the user's query, so optimizer errors
-    /// are swallowed here; catalog and rendering errors still surface.
-    fn auto_adapt_check(&mut self, table: &str) -> Result<()> {
-        match self.maybe_adapt(table) {
+    /// are swallowed here; catalog and rendering errors still surface. At
+    /// most one check runs per table at a time — when many reader threads
+    /// cross the `check_every` threshold together, one runs the advisor and
+    /// the rest skip.
+    fn auto_adapt_check(&self, table: &str) -> Result<()> {
+        let gate = match self.catalog.read().get(table) {
+            Ok(entry) => Arc::clone(&entry.adapting),
+            Err(_) => return Ok(()), // dropped meanwhile
+        };
+        if gate.swap(true, Ordering::SeqCst) {
+            return Ok(()); // another thread's check is in flight
+        }
+        let result = self.maybe_adapt(table);
+        gate.store(false, Ordering::SeqCst);
+        match result {
             Ok(_) | Err(RodentError::Optimizer(_)) => Ok(()),
             Err(e) => Err(e),
+        }
+    }
+}
+
+impl TableSnapshot {
+    /// The table's logical schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of logical rows visible to this snapshot.
+    pub fn row_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The pinned rendered layout, if the table had one when the snapshot
+    /// was taken.
+    pub fn layout(&self) -> Option<&PhysicalLayout> {
+        self.access.as_deref().map(AccessMethods::layout)
+    }
+
+    /// Scans the snapshot. Tables without a declared layout are scanned
+    /// from their canonical row-major representation; tables with a layout
+    /// use the pinned rendered objects, merging any pending row buffer in
+    /// (order-aware when the request asks for a sort). No database lock is
+    /// held.
+    pub fn scan(&self, request: &ScanRequest) -> Result<Vec<Record>> {
+        match &self.access {
+            // A layout can only serve requests over the fields it kept; a
+            // query referencing a field the (possibly auto-adapted) layout
+            // projected away falls back to the canonical rows — and, having
+            // been recorded in the profile, steers the next adaptation back
+            // toward a layout that covers it.
+            Some(access) if layout_serves(access, request) => {
+                let mut rows = access.scan(request)?;
+                if !self.pending.is_empty() {
+                    // Pending rows must come out in the *layout's* output
+                    // shape (a projection layout exposes fewer fields than
+                    // the canonical schema), so the merge compares and
+                    // returns uniformly shaped records.
+                    let out_fields: Vec<String> = request
+                        .fields
+                        .clone()
+                        .unwrap_or_else(|| access.layout().schema.field_names());
+                    let pending_request = ScanRequest {
+                        fields: Some(out_fields.clone()),
+                        predicate: request.predicate.clone(),
+                        order: request.order.clone(),
+                    };
+                    let pending =
+                        scan_canonical(&self.schema, &self.pending, &pending_request)?;
+                    rows = merge_by_order(&out_fields, request.order.as_deref(), rows, pending);
+                }
+                Ok(rows)
+            }
+            _ => scan_canonical(&self.schema, &self.records, request),
+        }
+    }
+
+    /// Opens a cursor over the snapshot. When the pinned layout can serve
+    /// the request natively and no pending rows need merging, the cursor
+    /// *streams* — tuples decode from pages on demand, borrowing from the
+    /// snapshot (not from the database, so concurrent writers are never
+    /// blocked). Otherwise the merged result is materialized.
+    pub fn open_cursor(&self, request: &ScanRequest) -> Result<Cursor<'_>> {
+        match &self.access {
+            Some(access) if layout_serves(access, request) && self.pending.is_empty() => {
+                Ok(access.open_cursor(request)?)
+            }
+            _ => Ok(Cursor::new(self.scan(request)?)),
+        }
+    }
+
+    /// Returns the element at `index` of the snapshot's stored
+    /// representation (layout storage order first, then any pending row
+    /// buffer).
+    pub fn get_element(&self, index: usize, fields: Option<&[String]>) -> Result<Record> {
+        match &self.access {
+            // Fields the layout projected away are served from the canonical
+            // rows (in canonical order — a storage order over fields the
+            // layout does not store is not meaningful).
+            Some(access)
+                if fields.map_or(true, |fields| {
+                    fields
+                        .iter()
+                        .all(|f| access.layout().schema.index_of(f).is_ok())
+                }) =>
+            {
+                let layout_rows = access.layout().row_count;
+                if index >= layout_rows && index - layout_rows < self.pending.len() {
+                    // Pending rows (new-data-only buffer) extend the storage
+                    // order past the rendered representation; project them to
+                    // the layout's exposed fields so the record shape does
+                    // not change at the layout/pending boundary.
+                    let layout_fields;
+                    let effective: &[String] = match fields {
+                        Some(fields) => fields,
+                        None => {
+                            layout_fields = access.layout().schema.field_names();
+                            &layout_fields
+                        }
+                    };
+                    project_record(
+                        &self.schema,
+                        self.pending[index - layout_rows].clone(),
+                        Some(effective),
+                    )
+                } else {
+                    Ok(access.get_element(index, fields)?)
+                }
+            }
+            _ => self
+                .records
+                .get(index)
+                .cloned()
+                .map(|r| project_record(&self.schema, r, fields))
+                .transpose()?
+                .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range"))),
+        }
+    }
+
+    /// Estimated cost of a scan over this snapshot, in milliseconds.
+    pub fn scan_cost(&self, request: &ScanRequest) -> Result<f64> {
+        match &self.access {
+            Some(access) if layout_serves(access, request) => Ok(access.scan_cost(request)?),
+            _ => {
+                let bytes =
+                    self.records.len() as f64 * self.schema.estimated_record_width() as f64;
+                Ok(self.cost_params.seek_ms
+                    + bytes / (self.cost_params.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0)
+            }
+        }
+    }
+
+    /// Estimated number of pages a scan over this snapshot would read.
+    pub fn scan_pages(&self, request: &ScanRequest) -> Result<u64> {
+        match &self.access {
+            Some(access) if layout_serves(access, request) => Ok(access.scan_pages(request)),
+            _ => Ok(0),
         }
     }
 }
@@ -1186,7 +1720,7 @@ mod tests {
     use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
 
     fn small_db() -> Database {
-        let mut db = Database::with_page_size(2048);
+        let db = Database::with_page_size(2048);
         db.create_table(traces_schema()).unwrap();
         db.insert(
             "Traces",
@@ -1202,7 +1736,7 @@ mod tests {
 
     #[test]
     fn scan_without_layout_uses_canonical_rows() {
-        let mut db = small_db();
+        let db = small_db();
         let rows = db.scan("Traces", &ScanRequest::all()).unwrap();
         assert_eq!(rows.len(), 1_500);
         let narrow = db
@@ -1213,7 +1747,7 @@ mod tests {
 
     #[test]
     fn textual_layout_changes_the_physical_representation() {
-        let mut db = small_db();
+        let db = small_db();
         // Center the query box on a point the table actually contains, so
         // the test does not depend on the exact random stream.
         let (lat0, lon0) = {
@@ -1246,7 +1780,7 @@ mod tests {
 
     #[test]
     fn lazy_layouts_render_on_first_access() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").columns(["t", "lat", "lon", "id"]),
@@ -1261,7 +1795,7 @@ mod tests {
 
     #[test]
     fn new_data_only_strategy_merges_pending_rows() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["lat", "lon"]),
@@ -1287,7 +1821,7 @@ mod tests {
 
     #[test]
     fn eager_strategy_absorbs_inserts() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["lat", "lon"]),
@@ -1310,7 +1844,7 @@ mod tests {
 
     #[test]
     fn schema_violations_and_unknown_tables_are_rejected() {
-        let mut db = small_db();
+        let db = small_db();
         assert!(db.insert("Traces", vec![vec![Value::Int(1)]]).is_err());
         assert!(db.scan("Nope", &ScanRequest::all()).is_err());
         assert!(db
@@ -1320,7 +1854,7 @@ mod tests {
 
     #[test]
     fn get_element_and_order_list() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").order_by(["t"]),
@@ -1336,7 +1870,7 @@ mod tests {
 
     #[test]
     fn eager_inserts_are_absorbed_incrementally() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["lat", "lon"]),
@@ -1370,7 +1904,7 @@ mod tests {
 
     #[test]
     fn lazy_inserts_absorb_incrementally_on_next_access() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["lat", "lon"]),
@@ -1399,7 +1933,7 @@ mod tests {
 
     #[test]
     fn vertical_partitions_absorb_inserts_incrementally() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").vertical([vec!["lat", "lon"], vec!["t", "id"]]),
@@ -1433,7 +1967,7 @@ mod tests {
         // (here: a string too large for the page) after another succeeded,
         // the per-object row sets diverge. The absorb path must discard the
         // rendering rather than leave positionally misaligned objects.
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(Schema::new(
             "Docs",
             vec![
@@ -1480,7 +2014,7 @@ mod tests {
 
     #[test]
     fn appendless_shapes_still_rebuild_on_insert() {
-        let mut db = small_db();
+        let db = small_db();
         // Fold groups are single heap records; inserts must re-render.
         // (Folding only `t` keeps each group under the 2 KiB test pages.)
         db.apply_layout(
@@ -1507,7 +2041,7 @@ mod tests {
 
     #[test]
     fn new_data_only_merges_pending_rows_order_aware() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["t", "lat"]),
@@ -1538,7 +2072,7 @@ mod tests {
 
     #[test]
     fn ordered_scan_over_projection_layout_merges_pending_in_layout_shape() {
-        let mut db = small_db();
+        let db = small_db();
         // The layout exposes only [lat, lon]; order key positions must be
         // resolved against that shape, not the 4-field canonical schema.
         db.apply_layout(
@@ -1568,7 +2102,7 @@ mod tests {
 
     #[test]
     fn unknown_field_requests_do_not_poison_auto_adaptation() {
-        let mut db = small_db();
+        let db = small_db();
         db.set_adaptive_policy(AdaptivePolicy {
             auto: true,
             check_every: 4,
@@ -1606,7 +2140,7 @@ mod tests {
 
     #[test]
     fn get_element_reaches_pending_rows() {
-        let mut db = small_db();
+        let db = small_db();
         db.apply_layout(
             "Traces",
             LayoutExpr::table("Traces").project(["lat", "lon"]),
@@ -1638,7 +2172,7 @@ mod tests {
 
     #[test]
     fn dropped_fields_are_served_from_canonical_rows() {
-        let mut db = small_db();
+        let db = small_db();
         // The layout keeps only lat/lon; t and id are projected away.
         db.apply_layout(
             "Traces",
@@ -1671,7 +2205,7 @@ mod tests {
 
     #[test]
     fn maybe_adapt_waits_for_data_then_adapts_beyond_hysteresis() {
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(traces_schema()).unwrap();
         db.insert(
             "Traces",
@@ -1734,7 +2268,7 @@ mod tests {
 
     #[test]
     fn auto_mode_adapts_without_manual_calls() {
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(traces_schema()).unwrap();
         db.insert(
             "Traces",
@@ -1779,7 +2313,7 @@ mod tests {
 
     #[test]
     fn auto_tune_applies_a_recommendation() {
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(Schema::new(
             "Points",
             vec![

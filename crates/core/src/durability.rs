@@ -33,6 +33,7 @@
 //! crate's self-describing row codec.
 
 use crate::catalog::{Catalog, LayoutStats};
+use crate::database::AdaptivePolicy;
 use crate::monitor::{QueryTemplate, WorkloadProfile};
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
@@ -41,9 +42,10 @@ use rodentstore_algebra::expr::{SortKey, SortOrder};
 use rodentstore_algebra::schema::{Field, Schema};
 use rodentstore_algebra::types::DataType;
 use rodentstore_algebra::value::{Record, Value};
-use rodentstore_exec::ScanRequest;
+use rodentstore_exec::{CostParams, ScanRequest};
 use rodentstore_layout::rowcodec::{decode_record, encode_record};
 use rodentstore_layout::{CellBounds, CodecKind, ObjectEncoding};
+use rodentstore_optimizer::{AdvisorOptions, CostModel};
 use rodentstore_storage::wal::SyncPolicy;
 use rodentstore_storage::{crc32, PageId, StorageError, DEFAULT_PAGE_SIZE};
 use std::fs::{File, OpenOptions};
@@ -58,7 +60,12 @@ pub const WAL_FILE: &str = "wal.rodent";
 pub const MANIFEST_FILE: &str = "manifest.rodent";
 
 const MANIFEST_MAGIC: &[u8; 8] = b"RDNTMAN1";
-const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added the free-page list, the persisted adaptive policy and
+/// cost parameters, and per-object tail slot counts.
+const MANIFEST_VERSION: u32 = 2;
+
+/// Sentinel in the object encoding for "no open tail page".
+const NO_TAIL: u32 = u32::MAX;
 
 /// Configuration of a durable database.
 #[derive(Debug, Clone, Copy)]
@@ -693,6 +700,22 @@ impl DurableOp {
 // Manifest
 // ---------------------------------------------------------------------------
 
+/// Everything a checkpoint persists besides the catalog itself.
+pub(crate) struct ManifestContext {
+    pub page_size: usize,
+    pub page_count: u64,
+    pub replay_from_lsn: u64,
+    /// Pages free for reuse at checkpoint time — the live free list plus
+    /// the extents of retired-but-still-pinned layouts (pins cannot survive
+    /// a restart).
+    pub free_pages: Vec<PageId>,
+    /// The self-adaptation policy, so a reopened database resumes adapting
+    /// with the same knobs instead of silently reverting to defaults.
+    pub policy: AdaptivePolicy,
+    /// The disk-model parameters used for cost estimates.
+    pub cost_params: CostParams,
+}
+
 /// Decoded manifest contents (pure data; [`crate::Database::open`] turns it
 /// back into a live catalog).
 pub(crate) struct ManifestData {
@@ -702,6 +725,9 @@ pub(crate) struct ManifestData {
     /// are already reflected in this manifest (guards against a crash
     /// between manifest rename and WAL truncation).
     pub replay_from_lsn: u64,
+    pub free_pages: Vec<PageId>,
+    pub policy: AdaptivePolicy,
+    pub cost_params: CostParams,
     pub tables: Vec<TableManifest>,
 }
 
@@ -762,6 +788,64 @@ pub(crate) struct ObjectManifest {
     pub ordering: Vec<SortKey>,
     pub pages: Vec<PageId>,
     pub heap_records: u64,
+    /// Valid slot count of the open tail page at checkpoint time (`None`
+    /// when every page was sealed). Lets `open` refill the page and cut
+    /// orphaned post-checkpoint slots.
+    pub tail_valid_slots: Option<u32>,
+}
+
+fn enc_policy(e: &mut Enc, policy: &AdaptivePolicy, cost_params: CostParams) {
+    e.bool(policy.auto);
+    e.u64(policy.check_every);
+    e.u64(policy.min_queries);
+    e.f64(policy.hysteresis);
+    e.u8(strategy_tag(policy.strategy));
+    e.u64(policy.advisor.cost_model.sample_size as u64);
+    e.u64(policy.advisor.cost_model.page_size as u64);
+    e.f64(policy.advisor.cost_model.cost_params.seek_ms);
+    e.f64(policy.advisor.cost_model.cost_params.transfer_mb_per_s);
+    e.u64(policy.advisor.anneal_iterations as u64);
+    e.u64(policy.advisor.seed);
+    e.f64(cost_params.seek_ms);
+    e.f64(cost_params.transfer_mb_per_s);
+}
+
+fn dec_policy(d: &mut Dec) -> Result<(AdaptivePolicy, CostParams)> {
+    let auto = d.bool()?;
+    let check_every = d.u64()?;
+    let min_queries = d.u64()?;
+    let hysteresis = d.f64()?;
+    let strategy = dec_strategy(d.u8()?)?;
+    let sample_size = d.u64()? as usize;
+    let page_size = d.u64()? as usize;
+    let advisor_seek_ms = d.f64()?;
+    let advisor_transfer = d.f64()?;
+    let anneal_iterations = d.u64()? as usize;
+    let seed = d.u64()?;
+    let policy = AdaptivePolicy {
+        auto,
+        check_every,
+        min_queries,
+        hysteresis,
+        strategy,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size,
+                page_size,
+                cost_params: CostParams {
+                    seek_ms: advisor_seek_ms,
+                    transfer_mb_per_s: advisor_transfer,
+                },
+            },
+            anneal_iterations,
+            seed,
+        },
+    };
+    let cost_params = CostParams {
+        seek_ms: d.f64()?,
+        transfer_mb_per_s: d.f64()?,
+    };
+    Ok((policy, cost_params))
 }
 
 fn enc_object_encoding(e: &mut Enc, encoding: &ObjectEncoding) {
@@ -848,6 +932,7 @@ fn enc_object(e: &mut Enc, object: &ObjectManifest) {
         e.u64(*page);
     }
     e.u64(object.heap_records);
+    e.u32(object.tail_valid_slots.unwrap_or(NO_TAIL));
 }
 
 fn dec_object(d: &mut Dec) -> Result<ObjectManifest> {
@@ -873,6 +958,7 @@ fn dec_object(d: &mut Dec) -> Result<ObjectManifest> {
         pages.push(d.u64()?);
     }
     let heap_records = d.u64()?;
+    let tail_slots = d.u32()?;
     Ok(ObjectManifest {
         name,
         fields,
@@ -883,23 +969,24 @@ fn dec_object(d: &mut Dec) -> Result<ObjectManifest> {
         ordering,
         pages,
         heap_records,
+        tail_valid_slots: (tail_slots != NO_TAIL).then_some(tail_slots),
     })
 }
 
 /// Serializes the whole catalog (plus the file geometry) into manifest
 /// bytes. Every rendered layout's heap tails must already be flushed —
 /// [`crate::Database::checkpoint`] does that before calling this.
-pub(crate) fn encode_manifest(
-    catalog: &Catalog,
-    page_size: usize,
-    page_count: u64,
-    replay_from_lsn: u64,
-) -> Result<Vec<u8>> {
+pub(crate) fn encode_manifest(catalog: &Catalog, ctx: &ManifestContext) -> Result<Vec<u8>> {
     let mut e = Enc::default();
     e.u32(MANIFEST_VERSION);
-    e.u64(page_size as u64);
-    e.u64(page_count);
-    e.u64(replay_from_lsn);
+    e.u64(ctx.page_size as u64);
+    e.u64(ctx.page_count);
+    e.u64(ctx.replay_from_lsn);
+    e.u32(ctx.free_pages.len() as u32);
+    for page in &ctx.free_pages {
+        e.u64(*page);
+    }
+    enc_policy(&mut e, &ctx.policy, ctx.cost_params);
     let names = catalog.table_names();
     e.u32(names.len() as u32);
     for name in names {
@@ -916,11 +1003,12 @@ pub(crate) fn encode_manifest(
         enc_records(&mut e, &entry.records);
         enc_records(&mut e, &entry.pending);
         // Workload profile snapshot.
-        e.f64(entry.profile.decay());
-        e.u64(entry.profile.max_templates() as u64);
-        e.u64(entry.profile.queries_observed);
-        e.u64(entry.profile.queries_since_check);
-        let templates = entry.profile.templates();
+        let profile = entry.profile.lock();
+        e.f64(profile.decay());
+        e.u64(profile.max_templates() as u64);
+        e.u64(profile.queries_observed);
+        e.u64(profile.queries_since_check);
+        let templates = profile.templates();
         e.u32(templates.len() as u32);
         for t in templates {
             e.str(&t.fingerprint);
@@ -928,6 +1016,7 @@ pub(crate) fn encode_manifest(
             e.u64(t.hits);
             enc_scan_request(&mut e, &t.request);
         }
+        drop(profile);
         // Layout statistics.
         e.u64(entry.stats.full_renders);
         e.u64(entry.stats.incremental_appends);
@@ -966,6 +1055,7 @@ pub(crate) fn encode_manifest(
                             ordering: obj.ordering.clone(),
                             pages,
                             heap_records: obj.heap.record_count(),
+                            tail_valid_slots: obj.heap.tail_valid_slots(),
                         },
                     );
                 }
@@ -1008,6 +1098,12 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
     let page_size = d.u64()? as usize;
     let page_count = d.u64()?;
     let replay_from_lsn = d.u64()?;
+    let nfree = d.u32()? as usize;
+    let mut free_pages = Vec::with_capacity(nfree.min(1 << 20));
+    for _ in 0..nfree {
+        free_pages.push(d.u64()?);
+    }
+    let (policy, cost_params) = dec_policy(&mut d)?;
     let ntables = d.u32()? as usize;
     let mut tables = Vec::with_capacity(ntables.min(1 << 16));
     for _ in 0..ntables {
@@ -1085,6 +1181,9 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
         page_size,
         page_count,
         replay_from_lsn,
+        free_pages,
+        policy,
+        cost_params,
         tables,
     })
 }
@@ -1210,10 +1309,37 @@ mod tests {
     #[test]
     fn manifest_frame_detects_corruption() {
         let catalog = Catalog::new();
-        let bytes = encode_manifest(&catalog, 4096, 0, 0).unwrap();
+        let ctx = ManifestContext {
+            page_size: 4096,
+            page_count: 0,
+            replay_from_lsn: 0,
+            free_pages: vec![3, 7],
+            policy: AdaptivePolicy {
+                auto: true,
+                check_every: 11,
+                min_queries: 5,
+                hysteresis: 0.25,
+                strategy: ReorgStrategy::Lazy,
+                ..AdaptivePolicy::default()
+            },
+            cost_params: CostParams {
+                seek_ms: 2.5,
+                transfer_mb_per_s: 99.0,
+            },
+        };
+        let bytes = encode_manifest(&catalog, &ctx).unwrap();
         let manifest = decode_manifest(&bytes).unwrap();
         assert_eq!(manifest.page_size, 4096);
         assert!(manifest.tables.is_empty());
+        // The v2 fields round-trip.
+        assert_eq!(manifest.free_pages, vec![3, 7]);
+        assert!(manifest.policy.auto);
+        assert_eq!(manifest.policy.check_every, 11);
+        assert_eq!(manifest.policy.min_queries, 5);
+        assert_eq!(manifest.policy.hysteresis, 0.25);
+        assert_eq!(manifest.policy.strategy, ReorgStrategy::Lazy);
+        assert_eq!(manifest.cost_params.seek_ms, 2.5);
+        assert_eq!(manifest.cost_params.transfer_mb_per_s, 99.0);
 
         let mut flipped = bytes.clone();
         let last = flipped.len() - 1;

@@ -56,7 +56,7 @@ pub mod reorg;
 pub mod layout_algebra {}
 
 pub use catalog::{Catalog, LayoutStats, TableEntry};
-pub use database::{AdaptOutcome, AdaptivePolicy, Database};
+pub use database::{AdaptOutcome, AdaptivePolicy, Database, TableSnapshot};
 pub use durability::DurabilityOptions;
 pub use monitor::{QueryTemplate, WorkloadProfile};
 pub use reorg::ReorgStrategy;

@@ -281,6 +281,90 @@ impl BufferPool {
 
 }
 
+/// A buffer pool sharded by page id: shard `id % N` is an independent
+/// [`BufferPool`] behind its own lock, so concurrent threads touching
+/// different pages contend only when their pages hash to the same shard.
+///
+/// Sharding trades strict global LRU for parallelism: each shard evicts by
+/// its *local* recency, which approximates global LRU well when page
+/// accesses spread across shards (heap pages are allocated sequentially, so
+/// a scan's working set stripes evenly). Measured in the `concurrency`
+/// bench against the whole-hog-locked [`BufferPool`]; on the single-lock
+/// pool every hit serializes on one mutex, on the sharded pool hits to
+/// distinct shards proceed in parallel.
+pub struct ShardedBufferPool {
+    shards: Vec<BufferPool>,
+}
+
+impl std::fmt::Debug for ShardedBufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBufferPool")
+            .field("shards", &self.shards.len())
+            .field("resident", &self.resident())
+            .finish()
+    }
+}
+
+impl ShardedBufferPool {
+    /// Creates a pool of `shards` independent LRU shards whose capacities
+    /// sum to (at least) `capacity` pages.
+    pub fn new(pager: Arc<Pager>, capacity: usize, shards: usize) -> ShardedBufferPool {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedBufferPool {
+            shards: (0..shards)
+                .map(|_| BufferPool::new(Arc::clone(&pager), per_shard))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, id: PageId) -> &BufferPool {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fetches a page through its shard, serving from cache when possible.
+    pub fn get(&self, id: PageId) -> Result<Arc<Page>> {
+        self.shard(id).get(id)
+    }
+
+    /// Replaces the cached contents of a page (dirty, written back on
+    /// eviction or flush).
+    pub fn put(&self, page: Page) -> Result<()> {
+        self.shard(page.id).put(page)
+    }
+
+    /// Whether a page is resident (no recency or counter side effects).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.shard(id).contains(id)
+    }
+
+    /// Total pages resident across all shards.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(BufferPool::resident).sum()
+    }
+
+    /// Writes every dirty page of every shard back to the pager.
+    pub fn flush_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Drops every cached page (after flushing dirty ones).
+    pub fn clear(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.clear()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +479,74 @@ mod tests {
             }
             assert_eq!(pool.resident(), N);
         }
+    }
+
+    #[test]
+    fn sharded_pool_routes_caches_and_evicts_per_shard() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(128));
+        let pool = ShardedBufferPool::new(Arc::clone(&pager), 8, 4);
+        assert_eq!(pool.shard_count(), 4);
+        let ids: Vec<PageId> = (0..8)
+            .map(|_| pager.allocate_with(|_| Ok(())).unwrap())
+            .collect();
+        pager.stats().reset();
+        for &id in &ids {
+            pool.get(id).unwrap();
+            pool.get(id).unwrap();
+        }
+        let snap = pager.stats().snapshot();
+        assert_eq!(snap.cache_misses, 8);
+        assert_eq!(snap.cache_hits, 8);
+        assert_eq!(pool.resident(), 8);
+
+        // Dirty write-back through the owning shard.
+        let mut page = Page::zeroed(ids[3], 128);
+        page.write_bytes(0, b"sharded").unwrap();
+        pool.put(page).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(
+            pager.read(ids[3]).unwrap().read_bytes(0, 7).unwrap(),
+            b"sharded"
+        );
+
+        // Per-shard eviction: with every shard at its 2-page capacity, each
+        // additional page evicts within its own shard — total residency
+        // never exceeds the configured capacity.
+        for _ in 0..3 {
+            let id = pager.allocate_with(|_| Ok(())).unwrap();
+            pool.get(id).unwrap();
+        }
+        assert_eq!(pool.resident(), 8);
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn concurrent_sharded_gets_are_safe_and_all_hit() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(128));
+        let pool = Arc::new(ShardedBufferPool::new(Arc::clone(&pager), 64, 8));
+        let ids: Vec<PageId> = (0..32)
+            .map(|_| pager.allocate_with(|_| Ok(())).unwrap())
+            .collect();
+        for &id in &ids {
+            pool.get(id).unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000usize {
+                        let id = ids[(i * 7 + t) % ids.len()];
+                        assert_eq!(pool.get(id).unwrap().id, id);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.resident(), 32);
     }
 
     /// Regression guard for the O(1) rewrite: a million touches of a

@@ -24,7 +24,7 @@ pub mod slotted;
 pub mod stats;
 pub mod wal;
 
-pub use bufferpool::BufferPool;
+pub use bufferpool::{BufferPool, ShardedBufferPool};
 pub use checksum::crc32;
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, DEFAULT_PAGE_SIZE};

@@ -320,11 +320,19 @@ impl PageStore for FileStore {
 }
 
 /// The pager: sequential page allocation plus instrumented reads/writes.
+///
+/// Pages freed by `drop_table` or superseded layout renders are kept on a
+/// **free list** and handed back out by [`Pager::allocate`] before the
+/// backing store is grown, so re-rendering a table does not leak its old
+/// extent. A reused page's on-store contents are stale until the caller
+/// writes it — exactly like a freshly allocated page, whose in-memory image
+/// is zeroed but whose store bytes are unspecified until written.
 pub struct Pager {
     store: Arc<dyn PageStore>,
     stats: Arc<IoStats>,
     last_read: AtomicU64,
     last_write: AtomicU64,
+    free: Mutex<std::collections::BTreeSet<PageId>>,
 }
 
 impl std::fmt::Debug for Pager {
@@ -354,6 +362,7 @@ impl Pager {
             stats: IoStats::new_shared(),
             last_read: AtomicU64::new(u64::MAX),
             last_write: AtomicU64::new(u64::MAX),
+            free: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -377,15 +386,54 @@ impl Pager {
         self.store.sync()
     }
 
-    /// Shrinks the backing store to `page_count` pages, discarding the rest.
+    /// Shrinks the backing store to `page_count` pages, discarding the rest
+    /// (free-list entries beyond the new end are dropped too).
     pub fn truncate_pages(&self, page_count: u64) -> Result<()> {
-        self.store.truncate(page_count)
+        self.store.truncate(page_count)?;
+        self.free.lock().retain(|&id| id < page_count);
+        Ok(())
     }
 
-    /// Allocates a fresh zeroed page.
+    /// Allocates a zeroed page, reusing a freed page when one is available
+    /// and growing the backing store otherwise.
     pub fn allocate(&self) -> Result<Page> {
+        if let Some(id) = self.free.lock().pop_first() {
+            return Ok(Page::zeroed(id, self.page_size()));
+        }
         let id = self.store.allocate()?;
         Ok(Page::zeroed(id, self.page_size()))
+    }
+
+    /// Returns pages to the free list for reuse by later [`Pager::allocate`]
+    /// calls. The caller asserts nothing references them anymore; ids beyond
+    /// the current store size are ignored.
+    pub fn free_pages(&self, ids: impl IntoIterator<Item = PageId>) {
+        let count = self.store.page_count();
+        let mut free = self.free.lock();
+        for id in ids {
+            if id < count {
+                free.insert(id);
+            }
+        }
+    }
+
+    /// Number of pages currently on the free list.
+    pub fn free_page_count(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Snapshot of the free list, ascending (persisted by checkpoints).
+    pub fn free_list(&self) -> Vec<PageId> {
+        self.free.lock().iter().copied().collect()
+    }
+
+    /// Replaces the free list wholesale (the recovery path: the checkpoint
+    /// manifest is authoritative for which pages were free).
+    pub fn restore_free_list(&self, ids: impl IntoIterator<Item = PageId>) {
+        let count = self.store.page_count();
+        let mut free = self.free.lock();
+        free.clear();
+        free.extend(ids.into_iter().filter(|&id| id < count));
     }
 
     /// Reads a page, recording the access in the I/O statistics.
@@ -604,6 +652,37 @@ mod tests {
             Err(StorageError::InvalidPageSize { .. })
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn freed_pages_are_reused_before_growing_the_store() {
+        let pager = Pager::in_memory_with_page_size(64);
+        let ids: Vec<PageId> = (0..5).map(|_| pager.allocate().unwrap().id).collect();
+        assert_eq!(pager.page_count(), 5);
+        pager.free_pages([ids[1], ids[3]]);
+        assert_eq!(pager.free_page_count(), 2);
+        assert_eq!(pager.free_list(), vec![1, 3]);
+        // Lowest freed id first, then the other, then the store grows.
+        assert_eq!(pager.allocate().unwrap().id, 1);
+        assert_eq!(pager.allocate().unwrap().id, 3);
+        assert_eq!(pager.allocate().unwrap().id, 5);
+        assert_eq!(pager.page_count(), 6);
+        assert_eq!(pager.free_page_count(), 0);
+    }
+
+    #[test]
+    fn free_list_survives_restore_and_respects_truncation() {
+        let pager = Pager::in_memory_with_page_size(64);
+        for _ in 0..6 {
+            pager.allocate().unwrap();
+        }
+        pager.restore_free_list([2, 4, 5, 99]); // 99 is out of range → dropped
+        assert_eq!(pager.free_list(), vec![2, 4, 5]);
+        pager.truncate_pages(5).unwrap(); // drops page 5 and its free entry
+        assert_eq!(pager.free_list(), vec![2, 4]);
+        // Out-of-range ids handed to free_pages are ignored as well.
+        pager.free_pages([77]);
+        assert_eq!(pager.free_page_count(), 2);
     }
 
     #[test]

@@ -101,6 +101,29 @@ impl<'a> SlottedPage<'a> {
     pub fn records(&self) -> impl Iterator<Item = &[u8]> + '_ {
         (0..self.slot_count()).filter_map(move |slot| self.get(slot).ok())
     }
+
+    /// Drops every slot past the first `keep`, reclaiming their payload
+    /// space. Used when a heap tail page is reattached after a crash: slots
+    /// appended after the checkpoint are orphans (their transactions will be
+    /// re-applied by WAL replay) and must be cut before new appends land.
+    pub fn truncate_slots(&mut self, keep: usize) -> Result<()> {
+        let count = self.slot_count();
+        if keep >= count {
+            return Ok(());
+        }
+        // Records grow from the back of the page in slot order, so the
+        // free-space boundary after keeping `keep` slots is the offset of
+        // the last kept record (or the page end when none are kept).
+        let new_end = if keep == 0 {
+            self.page.size() as u32
+        } else {
+            let slot_offset = HEADER_SIZE + (keep - 1) * SLOT_SIZE;
+            self.page.read_u32(slot_offset)?
+        };
+        self.page.write_u32(0, keep as u32)?;
+        self.page.write_u32(4, new_end)?;
+        Ok(())
+    }
 }
 
 /// Read-only helpers that work on an immutable page reference (the common
@@ -217,6 +240,31 @@ mod tests {
         sp.insert(b"").unwrap();
         assert_eq!(sp.get(0).unwrap(), b"");
         assert_eq!(max_record_len(4096), 4096 - 16);
+    }
+
+    #[test]
+    fn truncate_slots_cuts_orphans_and_reclaims_space() {
+        let mut page = Page::zeroed(0, 256);
+        let mut sp = SlottedPage::init(&mut page).unwrap();
+        for i in 0..6u8 {
+            sp.insert(&[i; 10]).unwrap();
+        }
+        let free_before = sp.free_space();
+        sp.truncate_slots(3).unwrap();
+        assert_eq!(sp.slot_count(), 3);
+        assert_eq!(sp.get(2).unwrap(), &[2u8; 10]);
+        assert!(sp.get(3).is_err());
+        assert!(sp.free_space() > free_before, "payload space reclaimed");
+        // New inserts land after the kept records.
+        let slot = sp.insert(b"fresh").unwrap();
+        assert_eq!(slot, 3);
+        assert_eq!(sp.get(3).unwrap(), b"fresh");
+        // Truncating to the current count (or more) is a no-op.
+        sp.truncate_slots(10).unwrap();
+        assert_eq!(sp.slot_count(), 4);
+        sp.truncate_slots(0).unwrap();
+        assert_eq!(sp.slot_count(), 0);
+        assert_eq!(sp.free_space(), 256 - HEADER_SIZE - SLOT_SIZE);
     }
 
     #[test]

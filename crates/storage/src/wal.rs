@@ -27,11 +27,32 @@
 //! The [`SyncPolicy`] decides when [`Wal::commit`] calls `fsync`:
 //! per-commit (`EveryCommit`), batched (`GroupCommit(n)` — one sync
 //! absorbs up to `n` consecutive commits, the classic group-commit
-//! optimization), or never (`Never` — the OS decides; fastest, weakest).
+//! optimization; commits between syncs are acknowledged *before* they are
+//! durable), durable multi-producer group commit (`GroupDurable` — every
+//! commit is durable before `commit` returns, but concurrent committers
+//! share one `fsync` through a leader/follower protocol), or never
+//! (`Never` — the OS decides; fastest, weakest).
 //! [`Wal::truncate`] drops a prefix of the log after a checkpoint has made
 //! its effects durable elsewhere, bounding log growth. An in-memory backend
 //! ([`Wal::new`]) uses the identical record format in a byte buffer, so the
 //! encode/decode and torn-tail logic is exercised by every mode.
+//!
+//! ## Multi-producer group commit
+//!
+//! Under `GroupDurable`, a committer appends its commit record (under the
+//! short state lock) and then parks on the shared *group-sync* state. The
+//! first parked committer becomes the **leader**: it snapshots the current
+//! end of the log, `fsync`s through a dedicated cloned file handle — with
+//! the state lock *released*, so other threads keep appending while the
+//! disk works — and then wakes every follower whose record the sync
+//! covered. Followers that arrive while a sync is in flight simply wait;
+//! one of them becomes the next leader and their records ride the next
+//! sync. One disk flush thus acknowledges as many commits as there are
+//! concurrent committers, which is where multi-threaded commit throughput
+//! comes from.
+//!
+//! Lock order (to stay deadlock-free): `group` → `sync_file` → `state`.
+//! The state lock is never held while acquiring the other two.
 
 use crate::checksum::crc32;
 use crate::page::{Page, PageId};
@@ -42,6 +63,7 @@ use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 /// Transaction identifier.
 pub type TxId = u64;
@@ -77,6 +99,12 @@ pub enum SyncPolicy {
     /// transactions; the last `< n` commits are only as durable as `Never`
     /// until the next sync.
     GroupCommit(usize),
+    /// Durable multi-producer group commit: every commit is durable before
+    /// [`Wal::commit`] returns, but concurrent committers *share* one
+    /// `fsync` via a leader/follower protocol (see the module docs). With
+    /// one thread this degenerates to `EveryCommit`; with N committing
+    /// threads one disk flush acknowledges up to N commits.
+    GroupDurable,
 }
 
 impl Default for SyncPolicy {
@@ -281,6 +309,18 @@ impl Backend {
         }
     }
 
+    /// A second handle onto the log file (same inode), used by the group
+    /// commit leader to `fsync` without holding the state lock. `None` for
+    /// the in-memory backend, which has nothing to sync.
+    fn try_clone_file(&self) -> Result<Option<File>> {
+        match self {
+            Backend::Memory(_) => Ok(None),
+            Backend::File { file, .. } => {
+                Ok(Some(file.try_clone().map_err(StorageError::from)?))
+            }
+        }
+    }
+
     fn len(&mut self) -> Result<u64> {
         match self {
             Backend::Memory(buf) => Ok(buf.len() as u64),
@@ -334,6 +374,26 @@ impl Backend {
     }
 }
 
+/// Transactions that count as committed for replay: a commit record with
+/// no abort record anywhere. Aborts win — see [`Wal::committed_ops`].
+fn effective_commits(records: &[LogRecord]) -> HashSet<TxId> {
+    let mut committed: HashSet<TxId> = HashSet::new();
+    let mut aborted: HashSet<TxId> = HashSet::new();
+    for record in records {
+        match record {
+            LogRecord::Commit(tx) => {
+                committed.insert(*tx);
+            }
+            LogRecord::Abort(tx) => {
+                aborted.insert(*tx);
+            }
+            _ => {}
+        }
+    }
+    committed.retain(|tx| !aborted.contains(tx));
+    committed
+}
+
 fn header_bytes(base_lsn: Lsn) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
     header[..8].copy_from_slice(WAL_MAGIC);
@@ -356,10 +416,33 @@ struct WalState {
     syncs: u64,
 }
 
+/// Shared leader/follower state for [`SyncPolicy::GroupDurable`].
+struct GroupSync {
+    /// Every record with `lsn < durable_lsn` has been `fsync`ed.
+    durable_lsn: Lsn,
+    /// Whether a leader is currently performing a sync.
+    syncing: bool,
+}
+
 /// A redo-only write-ahead log with transactional records, durable commits,
 /// and checksum-aware replay. See the module docs for the on-disk format.
 pub struct Wal {
     state: Mutex<WalState>,
+    /// Leader/follower coordination for multi-producer group commit. Uses
+    /// `std::sync` directly because followers park on a condition variable
+    /// and the vendored `parking_lot` shim provides no `Condvar` (its
+    /// guards are `std` type aliases, so a safe wrapper cannot offer the
+    /// `parking_lot` wait API either).
+    group: StdMutex<GroupSync>,
+    /// Whether the backend has a file to sync (fixed at construction; lets
+    /// the commit path skip the group machinery without touching any lock
+    /// the leader might hold across an fsync).
+    file_backed: bool,
+    group_cv: Condvar,
+    /// Dedicated handle the leader `fsync`s through, so appends (which hold
+    /// the state lock) proceed while the disk flush is in flight. Refreshed
+    /// by [`Wal::truncate`], whose rewrite replaces the underlying file.
+    sync_file: Mutex<Option<File>>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -384,8 +467,8 @@ impl Wal {
     /// is identical to the file-backed log, so replay and torn-tail handling
     /// behave the same.
     pub fn new() -> Wal {
-        Wal {
-            state: Mutex::new(WalState {
+        Wal::assemble(
+            WalState {
                 backend: Backend::Memory(Vec::new()),
                 policy: SyncPolicy::Never,
                 next_tx: 0,
@@ -394,7 +477,21 @@ impl Wal {
                 next_lsn: 0,
                 unsynced_commits: 0,
                 syncs: 0,
+            },
+            None,
+        )
+    }
+
+    fn assemble(state: WalState, sync_file: Option<File>) -> Wal {
+        Wal {
+            state: Mutex::new(state),
+            group: StdMutex::new(GroupSync {
+                durable_lsn: 0,
+                syncing: false,
             }),
+            group_cv: Condvar::new(),
+            file_backed: sync_file.is_some(),
+            sync_file: Mutex::new(sync_file),
         }
     }
 
@@ -410,8 +507,9 @@ impl Wal {
             .map_err(StorageError::from)?;
         file.write_all(&header_bytes(0)).map_err(StorageError::from)?;
         file.sync_data().map_err(StorageError::from)?;
-        Ok(Wal {
-            state: Mutex::new(WalState {
+        let sync_file = Some(file.try_clone().map_err(StorageError::from)?);
+        Ok(Wal::assemble(
+            WalState {
                 backend: Backend::File { file, path },
                 policy,
                 next_tx: 0,
@@ -420,8 +518,9 @@ impl Wal {
                 next_lsn: 0,
                 unsynced_commits: 0,
                 syncs: 0,
-            }),
-        })
+            },
+            sync_file,
+        ))
     }
 
     /// Opens an existing file-backed log. A torn tail (a record cut short by
@@ -472,8 +571,9 @@ impl Wal {
             }
         }
         let next_lsn = base_lsn + records.len() as u64;
-        Ok(Wal {
-            state: Mutex::new(WalState {
+        let sync_file = Some(file.try_clone().map_err(StorageError::from)?);
+        Ok(Wal::assemble(
+            WalState {
                 backend: Backend::File { file, path },
                 policy,
                 next_tx,
@@ -482,8 +582,9 @@ impl Wal {
                 next_lsn,
                 unsynced_commits: 0,
                 syncs: 0,
-            }),
-        })
+            },
+            sync_file,
+        ))
     }
 
     fn append(state: &mut WalState, record: &LogRecord) -> Result<Lsn> {
@@ -530,22 +631,93 @@ impl Wal {
     }
 
     /// Commits a transaction, syncing according to the [`SyncPolicy`].
+    /// Under [`SyncPolicy::GroupDurable`] the commit record is guaranteed
+    /// durable when this returns; concurrent callers share the `fsync`.
     pub fn commit(&self, tx: TxId) -> Result<()> {
-        let mut state = self.state.lock();
-        state.active.retain(|&t| t != tx);
-        Wal::append(&mut state, &LogRecord::Commit(tx))?;
-        state.unsynced_commits += 1;
-        let should_sync = match state.policy {
-            SyncPolicy::Never => false,
-            SyncPolicy::EveryCommit => true,
-            SyncPolicy::GroupCommit(n) => state.unsynced_commits >= n.max(1),
+        let (commit_lsn, policy) = {
+            let mut state = self.state.lock();
+            state.active.retain(|&t| t != tx);
+            let lsn = Wal::append(&mut state, &LogRecord::Commit(tx))?;
+            state.unsynced_commits += 1;
+            let should_sync_inline = match state.policy {
+                SyncPolicy::Never | SyncPolicy::GroupDurable => false,
+                SyncPolicy::EveryCommit => true,
+                SyncPolicy::GroupCommit(n) => state.unsynced_commits >= n.max(1),
+            };
+            if should_sync_inline {
+                state.backend.sync()?;
+                state.unsynced_commits = 0;
+                state.syncs += 1;
+            }
+            (lsn, state.policy)
         };
-        if should_sync {
-            state.backend.sync()?;
-            state.unsynced_commits = 0;
-            state.syncs += 1;
+        if policy == SyncPolicy::GroupDurable {
+            self.await_durable(commit_lsn)?;
         }
         Ok(())
+    }
+
+    /// Parks until a group sync covering `commit_lsn` has completed,
+    /// becoming the leader (and performing the sync) if nobody else is.
+    fn await_durable(&self, commit_lsn: Lsn) -> Result<()> {
+        if !self.file_backed {
+            return Ok(()); // in-memory backend: nothing to make durable
+        }
+        let mut group = self.group.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if group.durable_lsn > commit_lsn {
+                return Ok(());
+            }
+            if group.syncing {
+                // A sync is in flight but started before our record landed
+                // (or we would have seen durable_lsn advance). Wait for it;
+                // one of the woken followers leads the next round.
+                group = self
+                    .group_cv
+                    .wait(group)
+                    .unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            group.syncing = true;
+            drop(group);
+            let result = self.lead_sync();
+            group = self.group.lock().unwrap_or_else(|e| e.into_inner());
+            group.syncing = false;
+            match result {
+                Ok(covered_upto) => {
+                    group.durable_lsn = group.durable_lsn.max(covered_upto);
+                    self.group_cv.notify_all();
+                    // Loop: our own record is necessarily covered (it was
+                    // appended before we became leader), so this returns.
+                }
+                Err(e) => {
+                    // Wake the followers so each can retry (and surface the
+                    // error from its own leader attempt) instead of parking
+                    // forever on a sync that never completed.
+                    self.group_cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// The leader half of the group commit: snapshot the end of the log,
+    /// `fsync` through the dedicated handle with the state lock released,
+    /// and report the first LSN *not* covered by the sync.
+    fn lead_sync(&self) -> Result<Lsn> {
+        let handle = self.sync_file.lock();
+        // Everything appended so far is in the file (appends complete their
+        // write under the state lock before advancing next_lsn), so a sync
+        // started now covers every record below this watermark.
+        let covered_upto = self.state.lock().next_lsn;
+        if let Some(file) = handle.as_ref() {
+            file.sync_data().map_err(StorageError::from)?;
+        }
+        drop(handle);
+        let mut state = self.state.lock();
+        state.unsynced_commits = 0;
+        state.syncs += 1;
+        Ok(covered_upto)
     }
 
     /// Aborts a transaction; its records will be ignored by replay.
@@ -614,18 +786,17 @@ impl Wal {
     /// Decodes the log and returns the [`LogRecord::Op`] payloads of
     /// *committed* transactions, in log order, each tagged with its LSN.
     /// Ops of uncommitted or aborted transactions, and everything past a
-    /// torn tail, are skipped.
+    /// torn tail, are skipped. An abort record voids the transaction even
+    /// when a commit record exists: a commit whose `fsync` *failed* is
+    /// compensated with an abort (the caller rolled the mutation back, so
+    /// replay must not resurrect it even if the commit bytes later reached
+    /// the disk anyway).
     pub fn committed_ops(&self) -> Result<Vec<(Lsn, TxId, Vec<u8>)>> {
         let (records, base_lsn) = {
             let mut state = self.state.lock();
             (decode_frames(&state.backend.record_bytes()?).0, state.base_lsn)
         };
-        let mut committed: HashSet<TxId> = HashSet::new();
-        for record in &records {
-            if let LogRecord::Commit(tx) = record {
-                committed.insert(*tx);
-            }
-        }
+        let committed = effective_commits(&records);
         let mut ops = Vec::new();
         for (i, record) in records.iter().enumerate() {
             if let LogRecord::Op { tx, payload } = record {
@@ -641,6 +812,11 @@ impl Wal {
     /// last LSN included in a checkpoint). The surviving suffix is rewritten
     /// atomically and synced; LSNs of surviving records are preserved.
     pub fn truncate(&self, upto: Lsn) -> Result<()> {
+        // Lock order: `sync_file` before `state` (matches `lead_sync`). The
+        // rewrite below renames a fresh file over the log, so the leader's
+        // sync handle must be refreshed under the same critical section —
+        // otherwise a concurrent group commit could fsync the dead inode.
+        let mut sync_file = self.sync_file.lock();
         let mut state = self.state.lock();
         if upto < state.base_lsn {
             return Ok(());
@@ -651,15 +827,17 @@ impl Wal {
             let next = state.next_lsn;
             state.backend.rewrite(next, &[])?;
             state.base_lsn = next;
-            return Ok(());
+        } else {
+            let bytes = state.backend.record_bytes()?;
+            let (records, _) = decode_frames(&bytes);
+            let keep_from =
+                ((upto + 1).saturating_sub(state.base_lsn) as usize).min(records.len());
+            let new_base = state.base_lsn + keep_from as u64;
+            state.backend.rewrite(new_base, &records[keep_from..])?;
+            state.base_lsn = new_base;
+            state.next_lsn = new_base + (records.len() - keep_from) as u64;
         }
-        let bytes = state.backend.record_bytes()?;
-        let (records, _) = decode_frames(&bytes);
-        let keep_from = ((upto + 1).saturating_sub(state.base_lsn) as usize).min(records.len());
-        let new_base = state.base_lsn + keep_from as u64;
-        state.backend.rewrite(new_base, &records[keep_from..])?;
-        state.base_lsn = new_base;
-        state.next_lsn = new_base + (records.len() - keep_from) as u64;
+        *sync_file = state.backend.try_clone_file()?;
         Ok(())
     }
 
@@ -669,12 +847,7 @@ impl Wal {
     /// number of pages restored.
     pub fn replay(&self, pager: &Pager) -> Result<usize> {
         let records = self.records()?;
-        let mut committed: HashSet<TxId> = HashSet::new();
-        for record in &records {
-            if let LogRecord::Commit(tx) = record {
-                committed.insert(*tx);
-            }
-        }
+        let committed = effective_commits(&records);
         let mut latest: HashMap<PageId, &Vec<u8>> = HashMap::new();
         for record in &records {
             if let LogRecord::PageWrite { tx, page_id, data } = record {
@@ -883,6 +1056,82 @@ mod tests {
             per_commit.commit(tx).unwrap();
         }
         assert_eq!(per_commit.sync_count(), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compensation_abort_voids_a_committed_transaction() {
+        // The failed-commit-fsync path: the commit record is in the log but
+        // the caller rolled back and appended an abort. Replay must skip it.
+        let wal = Wal::new();
+        let t1 = wal.begin().unwrap();
+        wal.log_op(t1, b"doomed").unwrap();
+        wal.commit(t1).unwrap();
+        wal.abort(t1).unwrap(); // compensation after a failed sync
+        let t2 = wal.begin().unwrap();
+        wal.log_op(t2, b"kept").unwrap();
+        wal.commit(t2).unwrap();
+        let ops = wal.committed_ops().unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].2, b"kept");
+    }
+
+    #[test]
+    fn group_durable_commits_are_synced_before_returning() {
+        let path = temp_wal_path("group-durable");
+        let wal = Wal::create(&path, SyncPolicy::GroupDurable).unwrap();
+        for _ in 0..5 {
+            let tx = wal.begin().unwrap();
+            wal.log_op(tx, b"x").unwrap();
+            wal.commit(tx).unwrap();
+        }
+        // Single-threaded, every commit leads its own sync.
+        assert_eq!(wal.sync_count(), 5);
+        drop(wal);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_group_durable_committers_share_syncs() {
+        let path = temp_wal_path("group-durable-mp");
+        let wal = std::sync::Arc::new(Wal::create(&path, SyncPolicy::GroupDurable).unwrap());
+        const THREADS: usize = 8;
+        const COMMITS: usize = 25;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let wal = std::sync::Arc::clone(&wal);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..COMMITS {
+                        let tx = wal.begin().unwrap();
+                        wal.log_op(tx, format!("t{t}-c{i}").as_bytes()).unwrap();
+                        wal.commit(tx).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (THREADS * COMMITS) as u64;
+        let syncs = wal.sync_count();
+        assert!(syncs >= 1);
+        assert!(
+            syncs <= total,
+            "never more syncs than commits, got {syncs} for {total}"
+        );
+        // Every commit is durable and decodable after reopen.
+        drop(wal);
+        let reopened = Wal::open(&path, SyncPolicy::GroupDurable).unwrap();
+        assert_eq!(reopened.committed_ops().unwrap().len(), total as usize);
+        // A truncate (which replaces the file) must not break later commits.
+        reopened.truncate(reopened.last_lsn().unwrap()).unwrap();
+        let tx = reopened.begin().unwrap();
+        reopened.log_op(tx, b"after-truncate").unwrap();
+        reopened.commit(tx).unwrap();
+        assert_eq!(reopened.committed_ops().unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);
     }
 

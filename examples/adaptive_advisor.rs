@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vehicles: 60,
         ..CartelConfig::default()
     };
-    let mut db = Database::with_page_size(1024);
+    let db = Database::with_page_size(1024);
     db.create_table(traces_schema())?;
     db.insert("Traces", generate_traces(&cartel))?;
 

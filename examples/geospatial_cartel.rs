@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cartel.observations, query.min_lat, query.max_lat, query.min_lon, query.max_lon
     );
     for (name, expr) in layouts {
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(traces_schema())?;
         db.insert("Traces", records.clone())?;
         db.apply_layout_text("Traces", &expr)?;

@@ -8,7 +8,7 @@
 use rodentstore::{Condition, Database, DataType, Field, ScanRequest, Schema, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::with_page_size(4096);
+    let db = Database::with_page_size(4096);
 
     // A simple table of zip codes and addresses (the example of Section 3.3).
     db.create_table(Schema::new(

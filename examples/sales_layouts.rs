@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{:<28} {:>18} {:>18}", "layout", "slice pages", "amount-only pages");
     for (name, expr) in layouts {
-        let mut db = Database::with_page_size(1024);
+        let db = Database::with_page_size(1024);
         db.create_table(sales_schema())?;
         db.insert("Sales", records.clone())?;
         db.apply_layout_text("Sales", &expr)?;

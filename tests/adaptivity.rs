@@ -70,7 +70,7 @@ fn reference(records: &[Vec<Value>]) -> Vec<Vec<String>> {
     out
 }
 
-fn observed(db: &mut Database, request: &ScanRequest) -> Vec<Vec<String>> {
+fn observed(db: &Database, request: &ScanRequest) -> Vec<Vec<String>> {
     let mut out: Vec<Vec<String>> = db
         .scan("Points", request)
         .unwrap()
@@ -104,7 +104,7 @@ proptest! {
         layout_b in layout_strategy(),
         strategy in reorg_strategy(),
     ) {
-        let mut db = Database::with_page_size(512);
+        let db = Database::with_page_size(512);
         db.create_table(points_schema()).unwrap();
         db.insert("Points", batch1.clone()).unwrap();
 
@@ -114,12 +114,12 @@ proptest! {
         db.insert("Points", batch2.clone()).unwrap();
         let mut all: Vec<Vec<Value>> = batch1;
         all.extend(batch2);
-        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+        prop_assert_eq!(observed(&db, &ScanRequest::all()), reference(&all));
 
         // The adaptation: a new design arrives under the strategy being
         // tested. Reads must stay correct mid-transition.
         db.apply_layout("Points", layout_b, strategy).unwrap();
-        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+        prop_assert_eq!(observed(&db, &ScanRequest::all()), reference(&all));
 
         // During: more rows arrive. Under new-data-only they stay in the row
         // buffer; under lazy they are pending until the next access; under
@@ -129,7 +129,7 @@ proptest! {
         if strategy == ReorgStrategy::NewDataOnly {
             prop_assert!(!db.catalog().get("Points").unwrap().pending.is_empty());
         }
-        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+        prop_assert_eq!(observed(&db, &ScanRequest::all()), reference(&all));
 
         // Ordered scan during the transition: the pending-row merge must
         // preserve the requested global order.
@@ -143,6 +143,6 @@ proptest! {
         );
 
         // After: force full absorption (another access) and re-check.
-        prop_assert_eq!(observed(&mut db, &ScanRequest::all()), reference(&all));
+        prop_assert_eq!(observed(&db, &ScanRequest::all()), reference(&all));
     }
 }

@@ -17,7 +17,7 @@ fn cartel() -> (CartelConfig, Vec<Vec<rodentstore::Value>>) {
 }
 
 fn db_with_layout(records: &[Vec<rodentstore::Value>], layout: &str) -> Database {
-    let mut db = Database::with_page_size(1024);
+    let db = Database::with_page_size(1024);
     db.create_table(traces_schema()).unwrap();
     db.insert("Traces", records.to_vec()).unwrap();
     db.apply_layout_text("Traces", layout).unwrap();
@@ -39,7 +39,7 @@ fn all_case_study_layouts_agree_and_grid_reads_fewer_pages() {
     let mut total_pages = Vec::new();
     let mut match_counts: Vec<Vec<usize>> = Vec::new();
     for layout in layouts {
-        let mut db = db_with_layout(&records, layout);
+        let db = db_with_layout(&records, layout);
         let mut pages = 0u64;
         let mut counts = Vec::new();
         for q in &queries {
@@ -70,7 +70,7 @@ fn all_case_study_layouts_agree_and_grid_reads_fewer_pages() {
 #[test]
 fn layout_changes_are_transparent_to_queries() {
     let (_, records) = cartel();
-    let mut db = db_with_layout(&records, "rows(Traces)");
+    let db = db_with_layout(&records, "rows(Traces)");
     let request = ScanRequest::all().fields(["id", "lat"]).order(["id"]);
     let before = db.scan("Traces", &request).unwrap();
 
@@ -93,7 +93,7 @@ fn layout_changes_are_transparent_to_queries() {
 #[test]
 fn lazy_and_new_data_only_strategies_work_through_the_api() {
     let (_, records) = cartel();
-    let mut db = Database::with_page_size(1024);
+    let db = Database::with_page_size(1024);
     db.create_table(traces_schema()).unwrap();
     db.insert("Traces", records.clone()).unwrap();
 

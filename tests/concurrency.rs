@@ -1,0 +1,508 @@
+//! Multi-threaded correctness tests: one `Arc<Database>` shared across
+//! reader, writer, and adaptation threads.
+//!
+//! The heart of this suite is a linearizability-style stress test: a writer
+//! appends numbered batches while readers scan and an adaptation thread
+//! races layout changes, and every scan must observe an exact *batch
+//! prefix* of the insert history — never a torn batch, never a gap, never a
+//! row from a batch whose predecessor is missing. It runs once per
+//! [`ReorgStrategy`], since each strategy moves rows between the rendered
+//! layout and the pending buffer differently.
+//!
+//! The restart tests cover the durable state added in this PR: the
+//! persisted adaptive policy and cost parameters, and the free-page list.
+
+use rodentstore::{
+    AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database, Field, ReorgStrategy,
+    ScanRequest, Schema, SyncPolicy, Value,
+};
+use rodentstore_optimizer::CostModel;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodentstore-concurrency-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn points_schema() -> Schema {
+    Schema::new(
+        "Points",
+        vec![
+            Field::new("batch", DataType::Int),
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+            Field::new("tag", DataType::String),
+        ],
+    )
+}
+
+fn batch_rows(batch: i64, rows: usize) -> Vec<Vec<Value>> {
+    (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(batch),
+                Value::Float((batch * 97 + i as i64) as f64 * 0.25),
+                Value::Float((batch * 31 + i as i64) as f64 * 0.5),
+                Value::Str(format!("b{batch}-r{i}")),
+            ]
+        })
+        .collect()
+}
+
+/// `Arc<Database>` must be shareable across threads — the whole point of
+/// the `&self` read path. Compile-time check.
+#[test]
+fn database_handle_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<rodentstore::TableSnapshot>();
+}
+
+/// The stress test: readers vs. one writer vs. an adaptation thread, for
+/// every reorganization strategy. Every scan must see an exact batch
+/// prefix: batch 0 (the initial load) complete, then batches 1..k complete
+/// for some k, and nothing else.
+#[test]
+fn scans_observe_batch_prefixes_under_concurrent_insert_and_adaptation() {
+    const INITIAL: usize = 400;
+    const BATCH: usize = 25;
+    const BATCHES: i64 = 24;
+    const READERS: usize = 3;
+    for strategy in [
+        ReorgStrategy::Eager,
+        ReorgStrategy::Lazy,
+        ReorgStrategy::NewDataOnly,
+    ] {
+        let db = Arc::new(Database::with_page_size(1024));
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", batch_rows(0, INITIAL)).unwrap();
+        db.apply_layout(
+            "Points",
+            rodentstore::LayoutExpr::table("Points").columns(["batch", "x", "y", "tag"]),
+            strategy,
+        )
+        .unwrap();
+
+        // The writer bumps this *after* each insert returns; a scan started
+        // afterwards must include at least that many batches.
+        let committed = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let db = Arc::clone(&db);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                for b in 1..=BATCHES {
+                    db.insert("Points", batch_rows(b, BATCH)).unwrap();
+                    committed.store(b as usize, Ordering::SeqCst);
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let adapter = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Race explicit layout re-declarations (the same machinery
+                // `maybe_adapt` applies through) against readers + writer.
+                let exprs = [
+                    "columns(Points)",
+                    "project[batch,x,y,tag](Points)",
+                    "orderby[batch](Points)",
+                    "vertical[batch,x|y,tag](Points)",
+                ];
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let expr = rodentstore::parse(exprs[i % exprs.len()]).unwrap();
+                    db.apply_layout("Points", expr, strategy).unwrap();
+                    i += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let db = Arc::clone(&db);
+                let committed = Arc::clone(&committed);
+                let writer_done = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scans = 0usize;
+                    while !writer_done.load(Ordering::Relaxed) || scans < 5 {
+                        let floor = committed.load(Ordering::SeqCst);
+                        let request = if r % 2 == 0 {
+                            ScanRequest::all()
+                        } else {
+                            ScanRequest::all().fields(["batch", "tag"])
+                        };
+                        let rows = db.scan("Points", &request).unwrap();
+                        // Batch-prefix invariant: per-batch counts must be
+                        // complete, contiguous from 0, and cover at least
+                        // the batches committed before the scan began.
+                        // (`batch` is position 0 in both request shapes.)
+                        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+                        for row in &rows {
+                            *counts.entry(row[0].as_i64().unwrap()).or_default() += 1;
+                        }
+                        let max_batch = *counts.keys().max().unwrap();
+                        assert_eq!(counts[&0], INITIAL, "initial load torn ({strategy})");
+                        for b in 1..=max_batch {
+                            assert_eq!(
+                                counts.get(&b),
+                                Some(&BATCH),
+                                "batch {b} torn or missing at max {max_batch} ({strategy})"
+                            );
+                        }
+                        assert!(
+                            max_batch >= floor as i64,
+                            "scan missed batches committed before it began: \
+                             saw {max_batch}, floor {floor} ({strategy})"
+                        );
+                        scans += 1;
+                    }
+                    scans
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        for reader in readers {
+            assert!(reader.join().unwrap() >= 5);
+        }
+        adapter.join().unwrap();
+
+        // Quiesced end state: everything adds up exactly.
+        let rows = db.scan("Points", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), INITIAL + (BATCHES as usize) * BATCH);
+        // Positional access agrees with the stored representation.
+        let last = db
+            .get_element("Points", rows.len() - 1, None)
+            .unwrap();
+        assert_eq!(last.len(), 4);
+    }
+}
+
+/// Auto-adaptation triggered *from reader threads* must stay correct and
+/// race-free: many readers crossing the check threshold together, one
+/// advisor run at a time, scans correct throughout.
+#[test]
+fn auto_adaptation_from_concurrent_readers_is_safe() {
+    let db = Arc::new(Database::with_page_size(1024));
+    db.set_adaptive_policy(AdaptivePolicy {
+        auto: true,
+        check_every: 8,
+        min_queries: 8,
+        hysteresis: 0.1,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 400,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 1,
+            seed: 3,
+        },
+        ..AdaptivePolicy::default()
+    });
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", batch_rows(0, 600)).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    let rows = db
+                        .scan("Points", &ScanRequest::all().fields(["x"]))
+                        .unwrap();
+                    assert_eq!(rows.len(), 600);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The projection-heavy traffic must have driven at least one adaptation.
+    assert!(
+        db.layout_stats("Points").unwrap().adaptations >= 1,
+        "auto mode must adapt under concurrent reader traffic"
+    );
+    assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), 600);
+}
+
+/// A pinned snapshot (and its streaming cursor) survives layout swaps and
+/// inserts underneath it, and the superseded layout's pages are reclaimed
+/// only after the pin drops.
+#[test]
+fn pinned_snapshots_survive_layout_swaps_and_defer_page_reclamation() {
+    let db = Database::with_page_size(1024);
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", batch_rows(0, 500)).unwrap();
+    db.apply_layout_text("Points", "columns(Points)").unwrap();
+
+    let snapshot = db.snapshot("Points").unwrap();
+    let before = snapshot.scan(&ScanRequest::all()).unwrap();
+    assert_eq!(before.len(), 500);
+
+    // Swap the layout and insert more rows while the snapshot is pinned.
+    db.apply_layout_text("Points", "orderby[x](project[batch,x,y,tag](Points))")
+        .unwrap();
+    db.insert("Points", batch_rows(1, 50)).unwrap();
+    assert_eq!(
+        db.pager().free_page_count(),
+        0,
+        "pinned layout's pages must not be reclaimed"
+    );
+
+    // The pinned snapshot still reads the old, 500-row state — via scan,
+    // streaming cursor, and positional access.
+    assert_eq!(snapshot.scan(&ScanRequest::all()).unwrap(), before);
+    let mut cursor = snapshot.open_cursor(&ScanRequest::all()).unwrap();
+    let mut streamed = 0usize;
+    while cursor.try_next().unwrap().is_some() {
+        streamed += 1;
+    }
+    assert_eq!(streamed, 500);
+    assert_eq!(snapshot.get_element(0, None).unwrap(), before[0]);
+
+    // Fresh reads see the new state.
+    assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), 550);
+
+    // Dropping the pin lets the next writer reclaim the old extent.
+    drop(cursor);
+    drop(snapshot);
+    db.insert("Points", batch_rows(2, 1)).unwrap();
+    assert!(
+        db.pager().free_page_count() > 0,
+        "superseded layout's pages must reach the free list after the pin drops"
+    );
+}
+
+/// Freed pages are actually *reused*: re-declaring layouts over and over
+/// must not grow the page file linearly with the number of declarations.
+#[test]
+fn superseded_render_pages_are_reused_not_leaked() {
+    let db = Database::with_page_size(1024);
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", batch_rows(0, 800)).unwrap();
+    db.apply_layout_text("Points", "columns(Points)").unwrap();
+    let after_first = db.pager().page_count();
+    for _ in 0..6 {
+        db.apply_layout_text("Points", "rows(Points)").unwrap();
+        db.apply_layout_text("Points", "columns(Points)").unwrap();
+    }
+    let final_pages = db.pager().page_count();
+    assert!(
+        final_pages <= after_first * 3,
+        "12 re-renders grew the file {after_first} → {final_pages} pages: free list not reused"
+    );
+
+    // Dropped tables are reclaimed the same way.
+    let before_drop = db.pager().page_count();
+    db.drop_table("Points").unwrap();
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", batch_rows(0, 800)).unwrap();
+    db.apply_layout_text("Points", "columns(Points)").unwrap();
+    assert!(
+        db.pager().page_count() <= before_drop + 8,
+        "recreating a dropped table must reuse its freed pages"
+    );
+}
+
+/// The restart test for the state this PR persists: adaptive policy, cost
+/// parameters, and the free-page list all round-trip through a checkpoint.
+#[test]
+fn restart_restores_policy_cost_params_and_free_list() {
+    let dir = scratch_dir("policy-freelist");
+    let custom_policy = AdaptivePolicy {
+        auto: true,
+        check_every: 23,
+        min_queries: 7,
+        hysteresis: 0.31,
+        strategy: ReorgStrategy::Lazy,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 1_234,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 3.5,
+                    transfer_mb_per_s: 44.0,
+                },
+            },
+            anneal_iterations: 5,
+            seed: 77,
+        },
+    };
+    let custom_cost = CostParams {
+        seek_ms: 9.25,
+        transfer_mb_per_s: 17.0,
+    };
+    let (free_before, pages_before) = {
+        let db = Database::create_with(
+            &dir,
+            rodentstore::DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::GroupDurable,
+            },
+        )
+        .unwrap();
+        db.set_adaptive_policy(custom_policy.clone());
+        db.set_cost_params(custom_cost);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", batch_rows(0, 700)).unwrap();
+        // Two declarations: the first render's pages land on the free list.
+        db.apply_layout_text("Points", "columns(Points)").unwrap();
+        db.apply_layout_text("Points", "project[batch,x](Points)").unwrap();
+        db.checkpoint().unwrap();
+        let free = db.pager().free_list();
+        assert!(!free.is_empty(), "superseded render must free pages");
+        (free, db.pager().page_count())
+    };
+
+    let db = Database::open(&dir).unwrap();
+    // Policy and cost params came back exactly, not as defaults.
+    let policy = db.adaptive_policy();
+    assert!(policy.auto);
+    assert_eq!(policy.check_every, custom_policy.check_every);
+    assert_eq!(policy.min_queries, custom_policy.min_queries);
+    assert_eq!(policy.hysteresis, custom_policy.hysteresis);
+    assert_eq!(policy.strategy, ReorgStrategy::Lazy);
+    assert_eq!(
+        policy.advisor.cost_model.sample_size,
+        custom_policy.advisor.cost_model.sample_size
+    );
+    assert_eq!(
+        policy.advisor.cost_model.cost_params.seek_ms,
+        custom_policy.advisor.cost_model.cost_params.seek_ms
+    );
+    assert_eq!(policy.advisor.anneal_iterations, 5);
+    assert_eq!(policy.advisor.seed, 77);
+
+    // The free list survived the restart and is reused by the next render.
+    assert_eq!(db.pager().free_list(), free_before);
+    db.apply_layout_text("Points", "columns(Points)").unwrap();
+    assert!(
+        db.pager().page_count() <= pages_before + 4,
+        "the reopened database must render into the restored free pages"
+    );
+    assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), 700);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pages still referenced by the last on-disk manifest must never be
+/// reused before the next checkpoint. A fold layout forces an *unlogged*
+/// rebuild on insert (scans/absorbs are not WAL ops): the checkpointed
+/// extent is retired and, without quarantine, the rebuild itself would
+/// reallocate and overwrite it — then a crash would reattach the manifest
+/// extent over foreign bytes.
+#[test]
+fn checkpointed_extents_survive_unlogged_rebuilds_until_next_checkpoint() {
+    let dir = scratch_dir("quarantine");
+    let fold_schema = Schema::new(
+        "Readings",
+        vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("v", DataType::Float),
+        ],
+    );
+    let rows = |lo: i64, n: i64| -> Vec<Vec<Value>> {
+        (lo..lo + n)
+            .map(|i| vec![Value::Int(i % 10), Value::Float(i as f64)])
+            .collect()
+    };
+    {
+        let db = Database::create_with(
+            &dir,
+            rodentstore::DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(fold_schema).unwrap();
+        db.insert("Readings", rows(0, 300)).unwrap();
+        // fold groups cannot absorb appends → every insert rebuilds.
+        db.apply_layout_text("Readings", "fold[sensor|v](Readings)").unwrap();
+        db.checkpoint().unwrap();
+        // Unlogged rebuild: the checkpointed extent is retired; two more
+        // inserts give the reaper every chance to recycle it.
+        db.insert("Readings", rows(300, 50)).unwrap();
+        db.insert("Readings", rows(350, 50)).unwrap();
+        assert_eq!(
+            db.pager().free_page_count(),
+            0,
+            "manifest-referenced pages must stay quarantined until the next checkpoint"
+        );
+        // Crash without checkpoint.
+    }
+    let db = Database::open(&dir).unwrap();
+    let recovered = db.scan("Readings", &ScanRequest::all()).unwrap();
+    assert_eq!(recovered.len(), 400, "reattached extent must be intact");
+    // A checkpoint on the reopened database releases the quarantine: the
+    // next rebuild can then reuse pages without growing the file much.
+    db.checkpoint().unwrap();
+    assert!(
+        db.pager().free_page_count() > 0,
+        "checkpoint must release quarantined pages to the free list"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent durable inserts from many threads: every row lands, every
+/// commit is durable (GroupDurable), and a reopen recovers them all.
+#[test]
+fn concurrent_durable_inserts_all_recover() {
+    let dir = scratch_dir("mp-inserts");
+    const THREADS: i64 = 4;
+    const PER_THREAD: i64 = 20;
+    {
+        let db = Arc::new(
+            Database::create_with(
+                &dir,
+                rodentstore::DurabilityOptions {
+                    page_size: 1024,
+                    sync: SyncPolicy::GroupDurable,
+                },
+            )
+            .unwrap(),
+        );
+        db.create_table(points_schema()).unwrap();
+        db.apply_layout_text("Points", "columns(Points)").unwrap();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        db.insert("Points", batch_rows(t * PER_THREAD + i, 2)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            db.row_count("Points").unwrap(),
+            (THREADS * PER_THREAD * 2) as usize
+        );
+        // No checkpoint: recovery must come from the WAL alone.
+    }
+    let db = Database::open(&dir).unwrap();
+    let rows = db.scan("Points", &ScanRequest::all()).unwrap();
+    assert_eq!(rows.len(), (THREADS * PER_THREAD * 2) as usize);
+    let _ = std::fs::remove_dir_all(&dir);
+}

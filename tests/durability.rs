@@ -59,7 +59,7 @@ fn small_policy() -> AdaptivePolicy {
 fn create_checkpoint_reopen_round_trips_rows_and_layout() {
     let dir = scratch_dir("roundtrip");
     let expected = {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -87,7 +87,7 @@ fn create_checkpoint_reopen_round_trips_rows_and_layout() {
         db.scan("Traces", &ScanRequest::all()).unwrap()
     }; // drop = process exit; checkpointed state must be self-contained
 
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     assert!(db.is_durable());
     assert_eq!(db.row_count("Traces").unwrap(), 600);
     assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap(), expected);
@@ -116,7 +116,7 @@ fn create_checkpoint_reopen_round_trips_rows_and_layout() {
 fn wal_replay_recovers_unchekpointed_mutations() {
     let dir = scratch_dir("replay");
     {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -137,7 +137,7 @@ fn wal_replay_recovers_unchekpointed_mutations() {
         db.apply_layout_text("Traces", "project[t,lat](Traces)").unwrap();
         // No checkpoint: everything must come back from the log alone.
     }
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     assert_eq!(db.row_count("Traces").unwrap(), 200);
     let rows = db
         .scan("Traces", &ScanRequest::all().fields(["lat"]))
@@ -167,7 +167,7 @@ fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
     let mut boundaries: Vec<(u64, usize)> = Vec::new();
     let base_rows = 40usize;
     {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -207,7 +207,7 @@ fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
     for cut in checkpoint_len..=pristine_wal.len() as u64 {
         copy_db(&dir, &crash);
         std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
-        let mut db = Database::open(&crash)
+        let db = Database::open(&crash)
             .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
         let expected_rows = boundaries
             .iter()
@@ -255,7 +255,7 @@ fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
 fn adapted_layout_and_profile_survive_restart_without_rerender() {
     let dir = scratch_dir("adapted");
     let (expr_before, stats_before, observed_before, templates_before, rows_before) = {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -284,9 +284,12 @@ fn adapted_layout_and_profile_survive_restart_without_rerender() {
             "expected adaptation, got {outcome:?}"
         );
         db.checkpoint().unwrap();
-        let entry = db.catalog().get("Traces").unwrap();
+        let expr = {
+            let catalog = db.catalog();
+            catalog.get("Traces").unwrap().layout_expr.clone().unwrap()
+        };
         (
-            entry.layout_expr.clone().unwrap(),
+            expr,
             db.layout_stats("Traces").unwrap(),
             db.workload_profile("Traces").unwrap().queries_observed,
             db.workload_profile("Traces").unwrap().templates().len(),
@@ -295,12 +298,15 @@ fn adapted_layout_and_profile_survive_restart_without_rerender() {
     };
     assert!(stats_before.adaptations >= 1);
 
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     // Zero writes during open: the layout was reattached, not re-rendered.
     assert_eq!(db.io_snapshot().pages_written, 0, "open must not write pages");
-    let entry = db.catalog().get("Traces").unwrap();
-    assert_eq!(entry.layout_expr.as_ref().unwrap(), &expr_before);
-    assert!(entry.access.is_some(), "rendered layout reattached from manifest");
+    {
+        let catalog = db.catalog();
+        let entry = catalog.get("Traces").unwrap();
+        assert_eq!(entry.layout_expr.as_ref().unwrap(), &expr_before);
+        assert!(entry.access.is_some(), "rendered layout reattached from manifest");
+    }
     assert_eq!(db.layout_stats("Traces").unwrap(), stats_before);
 
     // The workload profile resumed where it left off.
@@ -342,7 +348,7 @@ fn adapted_layout_and_profile_survive_restart_without_rerender() {
 fn pending_buffer_and_strategy_survive_restart() {
     let dir = scratch_dir("pending");
     let expected = {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -379,10 +385,13 @@ fn pending_buffer_and_strategy_survive_restart() {
         db.checkpoint().unwrap();
         db.scan("Traces", &ScanRequest::all().order(["t"])).unwrap()
     };
-    let mut db = Database::open(&dir).unwrap();
-    let entry = db.catalog().get("Traces").unwrap();
-    assert_eq!(entry.strategy, ReorgStrategy::NewDataOnly);
-    assert_eq!(entry.pending.len(), 1, "pending buffer restored");
+    let db = Database::open(&dir).unwrap();
+    {
+        let catalog = db.catalog();
+        let entry = catalog.get("Traces").unwrap();
+        assert_eq!(entry.strategy, ReorgStrategy::NewDataOnly);
+        assert_eq!(entry.pending.len(), 1, "pending buffer restored");
+    }
     let rows = db.scan("Traces", &ScanRequest::all().order(["t"])).unwrap();
     assert_eq!(rows, expected);
     assert_eq!(rows[0][0], Value::Timestamp(-5), "merge still order-aware");
@@ -393,7 +402,7 @@ fn pending_buffer_and_strategy_survive_restart() {
 fn drop_table_and_multiple_tables_replay_correctly() {
     let dir = scratch_dir("multi");
     {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -417,7 +426,7 @@ fn drop_table_and_multiple_tables_replay_correctly() {
         db.insert("C", vec![vec![Value::Int(3)]]).unwrap();
         // crash without checkpoint
     }
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     assert_eq!(db.catalog().table_names(), vec!["B", "C"]);
     assert_eq!(db.scan("C", &ScanRequest::all()).unwrap(), vec![vec![Value::Int(3)]]);
     let _ = std::fs::remove_dir_all(&dir);
@@ -432,7 +441,7 @@ fn failed_mutations_do_not_poison_recovery() {
     // database would be unrecoverable forever.
     let dir = scratch_dir("poison");
     {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -462,7 +471,7 @@ fn failed_mutations_do_not_poison_recovery() {
         db.insert("Notes", vec![vec![Value::Int(3), Value::Str("fine".into())]])
             .unwrap();
     }
-    let mut db = Database::open(&dir).unwrap_or_else(|e| {
+    let db = Database::open(&dir).unwrap_or_else(|e| {
         panic!("a failed mutation must not make the database unopenable: {e}")
     });
     let rows = db.scan("Notes", &ScanRequest::all().fields(["id"])).unwrap();
@@ -475,7 +484,7 @@ fn failed_mutations_do_not_poison_recovery() {
 fn failed_apply_layout_keeps_the_previous_layout_live_and_recovered() {
     let dir = scratch_dir("badlayout");
     {
-        let mut db = Database::create_with(
+        let db = Database::create_with(
             &dir,
             DurabilityOptions {
                 page_size: 1024,
@@ -507,17 +516,19 @@ fn failed_apply_layout_keeps_the_previous_layout_live_and_recovered() {
         );
         assert!(err.is_err(), "oversized fold groups must fail the render");
         // The previous layout stays live, not a half-applied broken one.
-        let entry = db.catalog().get("Traces").unwrap();
+        let catalog = db.catalog();
+        let entry = catalog.get("Traces").unwrap();
         assert_eq!(
             entry.layout_expr.as_ref().unwrap().to_string(),
             "project[lat,lon](Traces)"
         );
         assert!(entry.access.is_some(), "previous rendering still attached");
+        drop(catalog);
         assert_eq!(db.scan("Traces", &ScanRequest::all()).unwrap().len(), 400);
     }
     // Recovery agrees with what the caller observed: the failed op was
     // logged as aborted, so replay restores the working layout.
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     assert_eq!(
         db.catalog()
             .get("Traces")
@@ -536,7 +547,7 @@ fn failed_apply_layout_keeps_the_previous_layout_live_and_recovered() {
 fn recreating_over_an_existing_database_resets_it() {
     let dir = scratch_dir("recreate");
     {
-        let mut db = Database::create(&dir).unwrap();
+        let db = Database::create(&dir).unwrap();
         db.create_table(Schema::new(
             "Old",
             vec![Field::new("x", DataType::Int)],
@@ -546,7 +557,7 @@ fn recreating_over_an_existing_database_resets_it() {
         db.checkpoint().unwrap();
     }
     {
-        let mut db = Database::create(&dir).unwrap();
+        let db = Database::create(&dir).unwrap();
         assert!(db.catalog().table_names().is_empty(), "create resets the dir");
         db.create_table(Schema::new(
             "New",
@@ -555,7 +566,7 @@ fn recreating_over_an_existing_database_resets_it() {
         .unwrap();
         db.insert("New", vec![vec![Value::Int(2)]]).unwrap();
     }
-    let mut db = Database::open(&dir).unwrap();
+    let db = Database::open(&dir).unwrap();
     assert_eq!(db.catalog().table_names(), vec!["New"]);
     assert_eq!(db.scan("New", &ScanRequest::all()).unwrap(), vec![vec![Value::Int(2)]]);
     let _ = std::fs::remove_dir_all(&dir);
@@ -565,7 +576,7 @@ fn recreating_over_an_existing_database_resets_it() {
 fn foreign_or_corrupt_files_are_typed_errors() {
     let dir = scratch_dir("foreign");
     {
-        let mut db = Database::create(&dir).unwrap();
+        let db = Database::create(&dir).unwrap();
         db.create_table(rodentstore::Schema::new(
             "T",
             vec![rodentstore::Field::new("x", rodentstore::DataType::Int)],

@@ -83,7 +83,7 @@ proptest! {
         records in proptest::collection::vec(record_strategy(), 1..200),
         layout in layout_strategy(),
     ) {
-        let mut db = Database::with_page_size(512);
+        let db = Database::with_page_size(512);
         db.create_table(points_schema()).unwrap();
         db.insert("Points", records.clone()).unwrap();
         db.apply_layout("Points", layout.clone(), rodentstore::ReorgStrategy::Eager).unwrap();
@@ -133,7 +133,7 @@ proptest! {
         lo in -100.0f64..0.0,
         width in 1.0f64..80.0,
     ) {
-        let mut db = Database::with_page_size(512);
+        let db = Database::with_page_size(512);
         db.create_table(points_schema()).unwrap();
         db.insert("Points", records).unwrap();
         db.apply_layout_text(

@@ -171,6 +171,9 @@ fn write_expr(expr: &LayoutExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         }
         LayoutExpr::Transpose { input } => write!(f, "transpose({input})"),
         LayoutExpr::Chunk { input, size } => write!(f, "chunk[{size}]({input})"),
+        LayoutExpr::Index { input, fields } => {
+            write!(f, "index[{}]({input})", join(fields))
+        }
         LayoutExpr::Comprehension(c) => {
             write!(f, "<comprehension over {}>", c.base_tables().join(","))
         }
@@ -239,6 +242,7 @@ fn explain_into(expr: &LayoutExpr, indent: usize, out: &mut String) {
         }
         LayoutExpr::Transpose { .. } => "transpose".to_string(),
         LayoutExpr::Chunk { size, .. } => format!("chunk {size}"),
+        LayoutExpr::Index { fields, .. } => format!("index [{}]", fields.join(", ")),
         LayoutExpr::Comprehension(_) => "comprehension".to_string(),
     };
     out.push_str(&pad);

@@ -302,6 +302,18 @@ pub enum LayoutExpr {
         /// Records (or cells) per chunk.
         size: usize,
     },
+    /// `index[A1,…,An](N)` — declare a persistent secondary index over the
+    /// named attributes, rendered alongside the base layout. One attribute
+    /// yields a B-tree; two attributes yield an R-tree whose leaves are
+    /// packed along a space-filling curve. The index changes no tuple and no
+    /// storage order — it only adds an access path the scan planner can push
+    /// point and range predicates through.
+    Index {
+        /// Input expression.
+        input: Box<LayoutExpr>,
+        /// Attributes to index (1 = B-tree, 2 = R-tree).
+        fields: Vec<String>,
+    },
     /// An explicit list comprehension.
     Comprehension(Comprehension),
 }
@@ -331,6 +343,7 @@ pub enum TransformKind {
     ZOrder,
     Transpose,
     Chunk,
+    Index,
     Comprehension,
 }
 
@@ -583,6 +596,18 @@ impl LayoutExpr {
         }
     }
 
+    /// `index[fields](self)` — declare a secondary index over the fields.
+    pub fn index<I, S>(self, fields: I) -> LayoutExpr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LayoutExpr::Index {
+            input: Box::new(self),
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
     /// The discriminant of this node.
     pub fn kind(&self) -> TransformKind {
         match self {
@@ -606,6 +631,7 @@ impl LayoutExpr {
             LayoutExpr::ZOrder { .. } => TransformKind::ZOrder,
             LayoutExpr::Transpose { .. } => TransformKind::Transpose,
             LayoutExpr::Chunk { .. } => TransformKind::Chunk,
+            LayoutExpr::Index { .. } => TransformKind::Index,
             LayoutExpr::Comprehension(_) => TransformKind::Comprehension,
         }
     }
@@ -632,7 +658,8 @@ impl LayoutExpr {
             | LayoutExpr::Grid { input, .. }
             | LayoutExpr::ZOrder { input, .. }
             | LayoutExpr::Transpose { input }
-            | LayoutExpr::Chunk { input, .. } => vec![input],
+            | LayoutExpr::Chunk { input, .. }
+            | LayoutExpr::Index { input, .. } => vec![input],
         }
     }
 

@@ -337,6 +337,13 @@ fn build_transform(
             })
         }
         "transpose" => Ok(one_input(inputs, name)?.transpose()),
+        "index" => {
+            let fields = split_names(args.ok_or_else(|| parse_err("index requires [fields]"))?);
+            if fields.is_empty() {
+                return Err(parse_err("index requires at least one field"));
+            }
+            Ok(one_input(inputs, name)?.index(fields))
+        }
         "chunk" => {
             let n: usize = args
                 .ok_or_else(|| parse_err("chunk requires [size]"))?

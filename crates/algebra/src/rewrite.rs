@@ -133,6 +133,10 @@ fn rebuild_with_simplified_children(expr: &LayoutExpr) -> LayoutExpr {
             input: Box::new(simplify_once(input)),
             size: *size,
         },
+        Index { input, fields } => Index {
+            input: Box::new(simplify_once(input)),
+            fields: fields.clone(),
+        },
     }
 }
 
@@ -222,6 +226,21 @@ fn rewrite_node(expr: LayoutExpr) -> LayoutExpr {
             other => Limit {
                 input: Box::new(other),
                 n,
+            },
+        },
+        // Identical adjacent index declarations collapse (one access path
+        // per field set is enough).
+        Index { input, fields } => match *input {
+            Index {
+                input: inner_input,
+                fields: inner_fields,
+            } if inner_fields == fields => Index {
+                input: inner_input,
+                fields,
+            },
+            other => Index {
+                input: Box::new(other),
+                fields,
             },
         },
         // Identical adjacent compression steps collapse.

@@ -75,6 +75,9 @@ pub struct DerivedLayout {
     pub chunk: Option<usize>,
     /// Whether the top two nesting levels were transposed.
     pub transposed: bool,
+    /// Secondary index declared over the layout: the indexed field names
+    /// (one field = B-tree, two fields = R-tree).
+    pub index: Option<Vec<String>>,
 }
 
 impl DerivedLayout {
@@ -94,6 +97,7 @@ impl DerivedLayout {
             partitioned: false,
             chunk: None,
             transposed: false,
+            index: None,
         }
     }
 
@@ -170,6 +174,11 @@ pub fn check_with(expr: &LayoutExpr, provider: &dyn SchemaProvider) -> Result<De
                 g.retain(|f| fields.contains(f));
                 !g.is_empty()
             });
+            if let Some(idx) = &d.index {
+                if !idx.iter().all(|f| fields.contains(f)) {
+                    d.index = None;
+                }
+            }
             Ok(d)
         }
         LayoutExpr::Append { input, fields } => {
@@ -411,6 +420,35 @@ pub fn check_with(expr: &LayoutExpr, provider: &dyn SchemaProvider) -> Result<De
                 ));
             }
             d.chunk = Some(*size);
+            Ok(d)
+        }
+        LayoutExpr::Index { input, fields } => {
+            let mut d = check_with(input, provider)?;
+            if fields.is_empty() || fields.len() > 2 {
+                return Err(AlgebraError::InvalidParameter(
+                    "index requires one field (B-tree) or two fields (R-tree)".into(),
+                ));
+            }
+            let mut seen: Vec<&String> = Vec::new();
+            for field in fields {
+                let fd = d.schema.field(field)?;
+                if !fd.ty.is_numeric() {
+                    return Err(AlgebraError::InvalidParameter(format!(
+                        "index field `{field}` must be numeric, found {}",
+                        fd.ty
+                    )));
+                }
+                if seen.contains(&field) {
+                    return Err(AlgebraError::DuplicateField(field.clone()));
+                }
+                seen.push(field);
+            }
+            if d.folded.is_some() {
+                return Err(AlgebraError::ShapeMismatch(
+                    "index cannot be declared over a folded layout".into(),
+                ));
+            }
+            d.index = Some(fields.clone());
             Ok(d)
         }
         LayoutExpr::Comprehension(c) => check_comprehension(c, provider),

@@ -1,0 +1,160 @@
+//! Index bench: pages read by selective queries through declared `index`
+//! layouts versus the streaming pass, with asserted bounds so CI catches
+//! regressions (set `RODENTSTORE_BENCH_SMOKE=1` for the small criterion
+//! sample sizes; the table itself stays at 30k rows — the acceptance bound
+//! is defined at that scale).
+//!
+//! Two measurements over the CarTel trace relation:
+//!
+//! 1. **B+Tree point/range probe** — `index[t](Traces)` against a narrow
+//!    time window. The probe must read ≥ 10× fewer pages than streaming
+//!    the un-indexed table.
+//!
+//! 2. **R-Tree box probe** — `index[lat,lon](Traces)` against a tight
+//!    spatial box. Same ≥ 10× bound: timestamps interleave vehicles, so a
+//!    raw-row table has no spatial locality and only the index avoids the
+//!    full sweep.
+//!
+//! Both write `BENCH_index.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{Condition, Database, ScanRequest, Value};
+use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
+use std::path::PathBuf;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+const ROWS: usize = 30_000;
+const PAGE_SIZE: usize = 1024;
+
+fn load(layout: &str, records: &[Vec<Value>]) -> Database {
+    let db = Database::with_page_size(PAGE_SIZE);
+    db.create_table(traces_schema()).unwrap();
+    db.insert("Traces", records.to_vec()).unwrap();
+    db.apply_layout_text("Traces", layout).unwrap();
+    db
+}
+
+/// Pages read by one scan with `predicate`, plus the rows it returned
+/// (sorted debug strings, for cross-layout equality checks).
+fn measure(db: &Database, predicate: &Condition) -> (u64, Vec<String>) {
+    let request = ScanRequest::all().predicate(predicate.clone());
+    db.pager().stats().reset();
+    let rows = db.scan("Traces", &request).unwrap();
+    let pages = db.io_snapshot().pages_read;
+    let mut keys: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    keys.sort();
+    (pages, keys)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let cartel = CartelConfig {
+        observations: ROWS,
+        vehicles: 100,
+        ..CartelConfig::default()
+    };
+    let records = generate_traces(&cartel);
+
+    // A narrow time window: ~50 of 30k observations.
+    let t_lo = records[ROWS / 2][0].as_i64().unwrap();
+    let t_hi = records[ROWS / 2 + 50][0].as_i64().unwrap();
+    let point = Condition::range("t", t_lo as f64, t_hi as f64);
+
+    // A tight spatial box around one actual observation (so it is never
+    // empty). Vehicles interleave in arrival order, so the matching rows
+    // are scattered on disk.
+    let clat = records[ROWS / 3][1].as_f64().unwrap();
+    let clon = records[ROWS / 3][2].as_f64().unwrap();
+    let dlat = (cartel.bbox.max_lat - cartel.bbox.min_lat) * 0.004;
+    let dlon = (cartel.bbox.max_lon - cartel.bbox.min_lon) * 0.004;
+    let boxq = Condition::range("lat", clat - dlat, clat + dlat)
+        .and(Condition::range("lon", clon - dlon, clon + dlon));
+
+    let streaming = load("Traces", &records);
+    let btree = load("index[t](Traces)", &records);
+    let rtree = load("index[lat,lon](Traces)", &records);
+
+    let (stream_point_pages, stream_point_rows) = measure(&streaming, &point);
+    let (btree_point_pages, btree_point_rows) = measure(&btree, &point);
+    assert_eq!(
+        btree_point_rows, stream_point_rows,
+        "B+Tree probe must return exactly the streaming result"
+    );
+    assert!(!btree_point_rows.is_empty(), "the window must match rows");
+
+    let (stream_box_pages, stream_box_rows) = measure(&streaming, &boxq);
+    let (rtree_box_pages, rtree_box_rows) = measure(&rtree, &boxq);
+    assert_eq!(
+        rtree_box_rows, stream_box_rows,
+        "R-Tree probe must return exactly the streaming result"
+    );
+    assert!(!rtree_box_rows.is_empty(), "the box must match rows");
+
+    let point_ratio = stream_point_pages as f64 / (btree_point_pages.max(1)) as f64;
+    let box_ratio = stream_box_pages as f64 / (rtree_box_pages.max(1)) as f64;
+    println!(
+        "index/btree: {} rows via {btree_point_pages} pages vs {stream_point_pages} streaming → {point_ratio:.1}×",
+        btree_point_rows.len()
+    );
+    println!(
+        "index/rtree: {} rows via {rtree_box_pages} pages vs {stream_box_pages} streaming → {box_ratio:.1}×",
+        rtree_box_rows.len()
+    );
+    assert!(
+        point_ratio >= 10.0,
+        "B+Tree probe must read ≥10× fewer pages than streaming, got {point_ratio:.1}×"
+    );
+    assert!(
+        box_ratio >= 10.0,
+        "R-Tree probe must read ≥10× fewer pages than streaming, got {box_ratio:.1}×"
+    );
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.canonicalize().unwrap_or(root).join("BENCH_index.json");
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"rows\": {ROWS},\n  \"page_size\": {PAGE_SIZE},\n  \
+         \"btree_point_range\": {{\n    \"matching_rows\": {},\n    \"streaming_pages\": {stream_point_pages},\n    \
+         \"indexed_pages\": {btree_point_pages},\n    \"page_reduction\": {point_ratio:.2}\n  }},\n  \
+         \"rtree_box\": {{\n    \"matching_rows\": {},\n    \"streaming_pages\": {stream_box_pages},\n    \
+         \"indexed_pages\": {rtree_box_pages},\n    \"page_reduction\": {box_ratio:.2}\n  }},\n  \
+         \"asserted_minimum_reduction\": 10.0\n}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        btree_point_rows.len(),
+        rtree_box_rows.len(),
+    );
+    std::fs::write(&path, json).unwrap();
+    println!("index/json → {}", path.display());
+
+    let mut group = c.benchmark_group("index");
+    group.sample_size(if smoke_mode() { 10 } else { 40 });
+    group.bench_function("btree_point_probe", |b| {
+        b.iter(|| {
+            btree
+                .scan("Traces", &ScanRequest::all().predicate(point.clone()))
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("rtree_box_probe", |b| {
+        b.iter(|| {
+            rtree
+                .scan("Traces", &ScanRequest::all().predicate(boxq.clone()))
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("streaming_point_scan", |b| {
+        b.iter(|| {
+            streaming
+                .scan("Traces", &ScanRequest::all().predicate(point.clone()))
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -11,7 +11,10 @@ use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
-use rodentstore_layout::{render, AppendOutcome, MemTableProvider, PhysicalLayout, RenderOptions, StoredObject};
+use rodentstore_layout::{
+    render, AppendOutcome, MemTableProvider, PhysicalLayout, RenderOptions, StoredIndex,
+    StoredObject,
+};
 use rodentstore_optimizer::{
     advise, advise_with_baseline, AdvisorOptions, Recommendation, Workload,
 };
@@ -302,6 +305,8 @@ impl Database {
         };
         let cost_params = manifest.cost_params;
 
+        let mut pending_indexes: Vec<(String, durability::IndexManifest)> = Vec::new();
+        let mut orphaned_index_pages: Vec<rodentstore_storage::PageId> = Vec::new();
         {
             let mut catalog = db.catalog.write();
             // Pass 1: every table's schema, rows, profile, and counters.
@@ -382,6 +387,54 @@ impl Database {
                     layout,
                     cost_params,
                 )));
+                if let Some(im) = r.index {
+                    pending_indexes.push((name, im));
+                }
+            }
+
+            // Reattach declared indexes. The checkpointed tree content is
+            // trustworthy because post-checkpoint maintenance never mutates
+            // manifest-referenced tree pages in place — it rebuilds into
+            // fresh ones (see `StoredIndex::protect`), and those fresh pages
+            // were truncated away above. `from_parts` reattaches protected,
+            // so replayed appends below relocate the tree before touching
+            // it. If an index cannot be attached (the manifest disagrees
+            // with the declared layout), its pages are quarantined and the
+            // fallback after replay rebuilds from the recovered heaps.
+            for (name, im) in pending_indexes {
+                let manifest_pages = im.pages.clone();
+                let attached = (|| -> Result<bool> {
+                    let Ok(entry) = catalog.get_mut(&name) else {
+                        return Ok(false);
+                    };
+                    let Some(access) = entry.access.as_mut() else {
+                        return Ok(false);
+                    };
+                    if access.layout().index.is_some()
+                        || access.layout().derived.index.as_deref() != Some(&im.fields[..])
+                    {
+                        return Ok(false);
+                    }
+                    let idx = StoredIndex::from_parts(
+                        Arc::clone(&pager),
+                        &im.kind,
+                        im.fields,
+                        im.key_kinds,
+                        im.root,
+                        im.len,
+                        im.height as usize,
+                        im.outliers,
+                    )
+                    .map_err(RodentError::Layout)?;
+                    if let Some(a) = Arc::get_mut(access) {
+                        a.layout_mut().index = Some(idx);
+                        return Ok(true);
+                    }
+                    Ok(false)
+                })()?;
+                if !attached {
+                    orphaned_index_pages.extend(manifest_pages);
+                }
             }
         }
 
@@ -393,6 +446,10 @@ impl Database {
         // find them intact.
         db.wal = Wal::open(&wal_path, options.sync).map_err(RodentError::Storage)?;
         db.durability = Some(Durability { dir });
+        // Manifest tree pages that could not be reattached: the on-disk
+        // manifest still references them until the next checkpoint, so they
+        // quarantine rather than free.
+        db.quarantine(std::mem::take(&mut orphaned_index_pages));
         db.replaying.store(true, Ordering::SeqCst);
         for (lsn, _tx, payload) in db.wal.committed_ops().map_err(RodentError::Storage)? {
             if lsn < manifest.replay_from_lsn {
@@ -402,6 +459,25 @@ impl Database {
             db.apply_op(op)?;
         }
         db.replaying.store(false, Ordering::SeqCst);
+
+        // Fallback: anything still indexless but declared indexed (the
+        // manifest disagreed with the declared layout above) rebuilds from
+        // the recovered stored objects.
+        {
+            let mut catalog = db.catalog.write();
+            for name in catalog.table_names() {
+                let entry = catalog.get_mut(&name)?;
+                if let Some(access) = entry.access.as_mut() {
+                    if access.layout().derived.index.is_some()
+                        && access.layout().index.is_none()
+                    {
+                        if let Some(a) = Arc::get_mut(access) {
+                            a.layout_mut().rebuild_index().map_err(RodentError::Layout)?;
+                        }
+                    }
+                }
+            }
+        }
         Ok(db)
     }
 
@@ -457,6 +533,14 @@ impl Database {
                         obj.heap.protect_tail();
                         pending.extend(obj.heap.take_relocated());
                     }
+                    // Index trees get the same treatment at whole-tree
+                    // granularity: the manifest below references the current
+                    // pages, so the next maintenance rebuilds into fresh ones
+                    // and the vacated pages quarantine here next time.
+                    if let Some(idx) = &access.layout().index {
+                        pending.extend(idx.take_relocated());
+                        idx.protect();
+                    }
                 }
             }
             // Relocated pages of retired-but-pinned layouts are dead too
@@ -465,6 +549,9 @@ impl Database {
             for retired in self.graveyard.lock().iter() {
                 for obj in &retired.layout().objects {
                     pending.extend(obj.heap.take_relocated());
+                }
+                if let Some(idx) = &retired.layout().index {
+                    pending.extend(idx.take_relocated());
                 }
             }
         }
@@ -483,6 +570,7 @@ impl Database {
             for obj in &retired.layout().objects {
                 free_pages.extend(obj.heap.extent());
             }
+            free_pages.extend(retired_index_pages(retired.layout()));
         }
         free_pages.sort_unstable();
         free_pages.dedup();
@@ -547,6 +635,7 @@ impl Database {
                     reclaimed.extend(obj.heap.extent());
                     reclaimed.extend(obj.heap.take_relocated());
                 }
+                reclaimed.extend(retired_index_pages(retired.layout()));
                 false
             });
         }
@@ -1570,6 +1659,18 @@ impl TableSnapshot {
 /// Whether the rendered layout can serve every field the request references
 /// (projection, predicate, and order keys). A layout that projected a field
 /// away cannot — such requests fall back to the canonical rows.
+/// Pages owned by a retired layout's secondary index, if any: the live tree
+/// pages plus any pages vacated by protected-tree relocation. Reclaimed
+/// alongside the heap extents when the layout leaves the graveyard.
+fn retired_index_pages(layout: &PhysicalLayout) -> Vec<rodentstore_storage::page::PageId> {
+    let Some(idx) = layout.index.as_ref() else {
+        return Vec::new();
+    };
+    let mut pages = idx.page_ids().unwrap_or_default();
+    pages.extend(idx.take_relocated());
+    pages
+}
+
 fn layout_serves(access: &AccessMethods, request: &ScanRequest) -> bool {
     let schema = &access.layout().schema;
     if let Some(fields) = &request.fields {

@@ -44,7 +44,7 @@ use rodentstore_algebra::types::DataType;
 use rodentstore_algebra::value::{Record, Value};
 use rodentstore_exec::{CostParams, ScanRequest};
 use rodentstore_layout::rowcodec::{decode_record, encode_record};
-use rodentstore_layout::{CellBounds, CodecKind, ObjectEncoding};
+use rodentstore_layout::{CellBounds, CodecKind, KeyKind, ObjectEncoding};
 use rodentstore_optimizer::{AdvisorOptions, CostModel};
 use rodentstore_storage::wal::SyncPolicy;
 use rodentstore_storage::{crc32, PageId, StorageError, DEFAULT_PAGE_SIZE};
@@ -61,8 +61,10 @@ pub const MANIFEST_FILE: &str = "manifest.rodent";
 
 const MANIFEST_MAGIC: &[u8; 8] = b"RDNTMAN1";
 /// Version 2 added the free-page list, the persisted adaptive policy and
-/// cost parameters, and per-object tail slot counts.
-const MANIFEST_VERSION: u32 = 2;
+/// cost parameters, and per-object tail slot counts. Version 3 added the
+/// declared-index description (kind, fields, root, page extent, outliers)
+/// so indexes reattach from pages instead of rebuilding.
+const MANIFEST_VERSION: u32 = 3;
 
 /// Sentinel in the object encoding for "no open tail page".
 const NO_TAIL: u32 = u32::MAX;
@@ -775,6 +777,22 @@ pub(crate) struct RenderedManifest {
     pub row_count: u64,
     pub orderings: Vec<Vec<SortKey>>,
     pub objects: Vec<ObjectManifest>,
+    pub index: Option<IndexManifest>,
+}
+
+/// A declared index's persisted description: everything
+/// [`rodentstore_layout::StoredIndex::from_parts`] needs to reattach the
+/// tree from its pages, plus the page extent for free-space accounting.
+pub(crate) struct IndexManifest {
+    /// `"btree"` or `"rtree"` (the [`StoredIndex::kind_name`] tag).
+    pub kind: String,
+    pub fields: Vec<String>,
+    pub key_kinds: Vec<KeyKind>,
+    pub root: PageId,
+    pub len: u64,
+    pub height: u64,
+    pub pages: Vec<PageId>,
+    pub outliers: Vec<u64>,
 }
 
 /// One stored object's persisted metadata and page extent.
@@ -973,6 +991,73 @@ fn dec_object(d: &mut Dec) -> Result<ObjectManifest> {
     })
 }
 
+fn enc_index(e: &mut Enc, index: &IndexManifest) {
+    e.str(&index.kind);
+    e.u32(index.fields.len() as u32);
+    for f in &index.fields {
+        e.str(f);
+    }
+    e.u32(index.key_kinds.len() as u32);
+    for k in &index.key_kinds {
+        e.u8(match k {
+            KeyKind::Int => 0,
+            KeyKind::Float => 1,
+        });
+    }
+    e.u64(index.root);
+    e.u64(index.len);
+    e.u64(index.height);
+    e.u32(index.pages.len() as u32);
+    for p in &index.pages {
+        e.u64(*p);
+    }
+    e.u32(index.outliers.len() as u32);
+    for o in &index.outliers {
+        e.u64(*o);
+    }
+}
+
+fn dec_index(d: &mut Dec) -> Result<IndexManifest> {
+    let kind = d.str()?;
+    let nfields = d.u32()? as usize;
+    let mut fields = Vec::with_capacity(nfields.min(1 << 8));
+    for _ in 0..nfields {
+        fields.push(d.str()?);
+    }
+    let nkinds = d.u32()? as usize;
+    let mut key_kinds = Vec::with_capacity(nkinds.min(1 << 8));
+    for _ in 0..nkinds {
+        key_kinds.push(match d.u8()? {
+            0 => KeyKind::Int,
+            1 => KeyKind::Float,
+            other => return Err(corrupt(format!("unknown index key-kind tag {other}"))),
+        });
+    }
+    let root = d.u64()?;
+    let len = d.u64()?;
+    let height = d.u64()?;
+    let npages = d.u32()? as usize;
+    let mut pages = Vec::with_capacity(npages.min(1 << 20));
+    for _ in 0..npages {
+        pages.push(d.u64()?);
+    }
+    let noutliers = d.u32()? as usize;
+    let mut outliers = Vec::with_capacity(noutliers.min(1 << 20));
+    for _ in 0..noutliers {
+        outliers.push(d.u64()?);
+    }
+    Ok(IndexManifest {
+        kind,
+        fields,
+        key_kinds,
+        root,
+        len,
+        height,
+        pages,
+        outliers,
+    })
+}
+
 /// Serializes the whole catalog (plus the file geometry) into manifest
 /// bytes. Every rendered layout's heap tails must already be flushed —
 /// [`crate::Database::checkpoint`] does that before calling this.
@@ -1058,6 +1143,28 @@ pub(crate) fn encode_manifest(catalog: &Catalog, ctx: &ManifestContext) -> Resul
                             tail_valid_slots: obj.heap.tail_valid_slots(),
                         },
                     );
+                }
+                match &layout.index {
+                    None => e.bool(false),
+                    Some(idx) => {
+                        e.bool(true);
+                        let pages = idx
+                            .page_ids()
+                            .map_err(|err| corrupt(err.to_string()))?;
+                        enc_index(
+                            &mut e,
+                            &IndexManifest {
+                                kind: idx.kind_name().to_string(),
+                                fields: idx.fields.clone(),
+                                key_kinds: idx.key_kinds.clone(),
+                                root: idx.root(),
+                                len: idx.len(),
+                                height: idx.height() as u64,
+                                pages,
+                                outliers: idx.outliers.clone(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -1148,11 +1255,17 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
             for _ in 0..nobjects {
                 objects.push(dec_object(&mut d)?);
             }
+            let index = if d.bool()? {
+                Some(dec_index(&mut d)?)
+            } else {
+                None
+            };
             Some(RenderedManifest {
                 name,
                 row_count,
                 orderings,
                 objects,
+                index,
             })
         } else {
             None

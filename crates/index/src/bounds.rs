@@ -157,4 +157,58 @@ mod tests {
         assert!(p.contains_point(3.0, 4.0));
         assert_eq!(Rect::new(0.0, 0.0, 2.0, 4.0).center(), (1.0, 2.0));
     }
+
+    #[test]
+    fn rects_relate_to_themselves() {
+        for r in [
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::point(2.5, -3.5),
+            Rect::new(-1e18, -1e18, 1e18, 1e18),
+        ] {
+            assert!(r.intersects(&r));
+            assert!(r.contains(&r), "containment bounds are inclusive");
+            assert_eq!(r.enlargement(&r), 0.0);
+            assert_eq!(r.union(&r), r);
+        }
+    }
+
+    #[test]
+    fn empty_rect_never_intersects_or_contains() {
+        let e = Rect::empty();
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(!e.intersects(&a));
+        assert!(!a.intersects(&e));
+        assert!(!e.contains(&a));
+        assert!(!e.contains_point(0.0, 0.0));
+        // Inverted (inf) bounds must not produce a negative or inf area.
+        assert_eq!(e.area(), 0.0);
+    }
+
+    #[test]
+    fn corner_touching_rects_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(a.intersects(&b), "shared corner is inclusive overlap");
+        assert!(a.contains_point(1.0, 1.0));
+        assert!(b.contains_point(1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_rects_intersect_along_shared_segments() {
+        // Zero-width rectangles (vertical segments) and points.
+        let seg = Rect::new(1.0, 0.0, 1.0, 5.0);
+        assert_eq!(seg.area(), 0.0);
+        assert!(seg.intersects(&Rect::point(1.0, 2.5)));
+        assert!(!seg.intersects(&Rect::point(1.0001, 2.5)));
+        assert!(Rect::new(0.0, 0.0, 2.0, 2.0).contains(&seg) == false, "segment extends past y=2");
+        assert!(Rect::new(0.0, 0.0, 2.0, 5.0).contains(&seg));
+    }
+
+    #[test]
+    fn union_with_point_extends_exactly_to_it() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let u = a.union(&Rect::point(5.0, -2.0));
+        assert_eq!(u, Rect::new(0.0, -2.0, 5.0, 1.0));
+        assert!((a.enlargement(&Rect::point(5.0, -2.0)) - (5.0 * 3.0 - 1.0)).abs() < 1e-9);
+    }
 }

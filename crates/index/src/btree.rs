@@ -122,15 +122,29 @@ impl BTree {
         })
     }
 
+    /// Reattaches a B+Tree previously built in `pager` from its persisted
+    /// root page, entry count, and height (as recorded in a manifest). No
+    /// pages are read or written; the tree is usable immediately.
+    pub fn from_parts(pager: Arc<Pager>, root: PageId, len: u64, height: usize) -> Result<BTree> {
+        let capacity = node_capacity(pager.page_size())?;
+        Ok(BTree {
+            pager,
+            root,
+            capacity,
+            len,
+            height,
+        })
+    }
+
     /// Bulk-loads a B+Tree from key-sorted `(key, value)` pairs. Leaves are
     /// packed to ~90% so subsequent inserts do not immediately split.
     pub fn bulk_load(pager: Arc<Pager>, sorted: &[(i64, u64)]) -> Result<BTree> {
-        let mut tree = BTree::new(Arc::clone(&pager))?;
         if sorted.is_empty() {
-            return Ok(tree);
+            return BTree::new(pager);
         }
+        let capacity = node_capacity(pager.page_size())?;
         debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
-        let per_leaf = ((tree.capacity * 9) / 10).max(1);
+        let per_leaf = ((capacity * 9) / 10).max(1);
 
         // Build leaf level.
         let mut level: Vec<(i64, PageId)> = Vec::new();
@@ -167,10 +181,13 @@ impl BTree {
             height += 1;
         }
 
-        tree.root = level[0].1;
-        tree.len = sorted.len() as u64;
-        tree.height = height;
-        Ok(tree)
+        Ok(BTree {
+            root: level[0].1,
+            pager,
+            capacity,
+            len: sorted.len() as u64,
+            height,
+        })
     }
 
     /// Number of entries in the tree.
@@ -191,6 +208,29 @@ impl BTree {
     /// The pager backing this index.
     pub fn pager(&self) -> &Arc<Pager> {
         &self.pager
+    }
+
+    /// The root page id (persisted in manifests for reattachment).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Every page occupied by the tree, collected by walking it from the
+    /// root. Used to record the index extent in manifests and to return the
+    /// pages to the free list when the index is retired.
+    pub fn page_ids(&self) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id)?;
+            out.push(id);
+            if !node.is_leaf {
+                for (_, child) in &node.entries {
+                    stack.push(*child);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn read_node(&self, id: PageId) -> Result<Node> {
@@ -263,6 +303,31 @@ impl BTree {
                 return Ok(out);
             }
             node = self.read_node(node.next)?;
+        }
+    }
+
+    /// Number of tree node pages a [`BTree::range`] probe of `[lo, hi]`
+    /// reads: the root-to-leaf path plus the leaf chain the scan walks.
+    pub fn range_node_count(&self, lo: i64, hi: i64) -> Result<usize> {
+        let mut visited = 1usize;
+        if lo > hi || self.len == 0 {
+            return Ok(visited);
+        }
+        let mut node = self.read_node(self.root)?;
+        while !node.is_leaf {
+            let idx = node
+                .entries
+                .partition_point(|(k, _)| *k < lo)
+                .saturating_sub(1);
+            node = self.read_node(node.entries[idx].1)?;
+            visited += 1;
+        }
+        loop {
+            if node.entries.iter().any(|(k, _)| *k > hi) || node.next == NO_NEXT {
+                return Ok(visited);
+            }
+            node = self.read_node(node.next)?;
+            visited += 1;
         }
     }
 
@@ -445,5 +510,121 @@ mod tests {
         assert!(tree.range(0, 100).unwrap().is_empty());
         let empty = BTree::bulk_load(pager(256), &[]).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn split_happens_exactly_at_capacity_boundary() {
+        let p = pager(256);
+        let capacity = node_capacity(256).unwrap();
+        let mut tree = BTree::new(Arc::clone(&p)).unwrap();
+        for i in 0..capacity as i64 {
+            tree.insert(i, i as u64).unwrap();
+        }
+        assert_eq!(tree.height(), 1, "a full leaf must not split pre-emptively");
+        tree.insert(capacity as i64, capacity as u64).unwrap();
+        assert_eq!(tree.height(), 2, "overflowing the leaf must split");
+        let all = tree.range(i64::MIN, i64::MAX).unwrap();
+        assert_eq!(all.len(), capacity + 1);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn duplicate_runs_survive_splits() {
+        // More duplicates of one key than fit in a single leaf: the run is
+        // forced across a split boundary and range(k, k) must still return
+        // every payload exactly once.
+        let mut tree = BTree::new(pager(256)).unwrap();
+        let capacity = node_capacity(256).unwrap();
+        let n = capacity as u64 * 4;
+        for v in 0..n {
+            tree.insert(7, v).unwrap();
+        }
+        assert!(tree.height() > 1);
+        let mut got: Vec<u64> = tree.range(7, 7).unwrap().iter().map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        assert!(tree.range(6, 6).unwrap().is_empty());
+        assert!(tree.range(8, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn extreme_keys_round_trip() {
+        let mut tree = BTree::new(pager(256)).unwrap();
+        for key in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            tree.insert(key, key as u64).unwrap();
+        }
+        for key in [i64::MIN, i64::MAX, 0] {
+            assert_eq!(tree.get(key).unwrap(), Some(key as u64));
+        }
+        let all = tree.range(i64::MIN, i64::MAX).unwrap();
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0].0, i64::MIN);
+        assert_eq!(all[6].0, i64::MAX);
+    }
+
+    #[test]
+    fn from_parts_reattaches_identically() {
+        let p = pager(256);
+        let pairs: Vec<(i64, u64)> = (0..700).map(|i| (i * 2, i as u64)).collect();
+        let built = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        let reattached =
+            BTree::from_parts(Arc::clone(&p), built.root(), built.len(), built.height()).unwrap();
+        assert_eq!(reattached.len(), built.len());
+        assert_eq!(reattached.height(), built.height());
+        assert_eq!(
+            reattached.range(i64::MIN, i64::MAX).unwrap(),
+            built.range(i64::MIN, i64::MAX).unwrap()
+        );
+        assert_eq!(reattached.get(100).unwrap(), Some(50));
+        assert_eq!(reattached.get(101).unwrap(), None);
+        let mut a = built.page_ids().unwrap();
+        let mut b = reattached.page_ids().unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "reattached extent must match the built extent");
+    }
+
+    #[test]
+    fn range_node_count_boundaries() {
+        // Degenerate inputs visit exactly the root.
+        let empty = BTree::new(pager(256)).unwrap();
+        assert_eq!(empty.range_node_count(0, 100).unwrap(), 1);
+        let pairs: Vec<(i64, u64)> = (0..500).map(|i| (i, i as u64)).collect();
+        let p = pager(256);
+        let tree = BTree::bulk_load(Arc::clone(&p), &pairs).unwrap();
+        assert_eq!(tree.range_node_count(10, 5).unwrap(), 1, "inverted range");
+
+        // A point probe walks one root-to-leaf path (plus at most one leaf
+        // link when the key sits at a leaf boundary).
+        for probe in [0i64, 250, 499] {
+            let visited = tree.range_node_count(probe, probe).unwrap();
+            assert!(
+                visited >= tree.height() && visited <= tree.height() + 1,
+                "point probe visited {visited}, height {}",
+                tree.height()
+            );
+        }
+
+        // The estimate is exact: a real range() probe reads precisely the
+        // pages range_node_count() predicts, for narrow, wide, and
+        // leaf-boundary-straddling windows alike.
+        let leaves = tree
+            .page_ids()
+            .unwrap()
+            .iter()
+            .filter(|id| tree.read_node(**id).unwrap().is_leaf)
+            .count();
+        for (lo, hi) in [(0, 0), (100, 120), (0, 499), (490, 600), (-50, 10)] {
+            let predicted = tree.range_node_count(lo, hi).unwrap();
+            p.stats().reset();
+            tree.range(lo, hi).unwrap();
+            let read = p.stats().snapshot().pages_read as usize;
+            assert_eq!(predicted, read, "range [{lo}, {hi}]");
+        }
+        // A full sweep walks the entire leaf chain exactly once.
+        assert_eq!(
+            tree.range_node_count(i64::MIN, i64::MAX).unwrap(),
+            tree.height() + leaves - 1
+        );
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::bounds::Rect;
 use crate::{IndexError, Result};
+use rodentstore_sfc::hilbert2;
 use rodentstore_storage::page::{Page, PageId};
 use rodentstore_storage::pager::Pager;
 use std::sync::Arc;
@@ -127,13 +128,27 @@ impl RTree {
         })
     }
 
+    /// Reattaches an R-Tree previously built in `pager` from its persisted
+    /// root page, entry count, and height (as recorded in a manifest). No
+    /// pages are read or written; the tree is usable immediately.
+    pub fn from_parts(pager: Arc<Pager>, root: PageId, len: u64, height: usize) -> Result<RTree> {
+        let capacity = node_capacity(pager.page_size())?;
+        Ok(RTree {
+            pager,
+            root,
+            capacity,
+            len,
+            height,
+        })
+    }
+
     /// Bulk-loads an R-Tree with the Sort-Tile-Recursive algorithm.
     pub fn bulk_load(pager: Arc<Pager>, items: &[(Rect, u64)]) -> Result<RTree> {
-        let mut tree = RTree::new(Arc::clone(&pager))?;
+        let capacity = node_capacity(pager.page_size())?;
         if items.is_empty() {
-            return Ok(tree);
+            return RTree::new(pager);
         }
-        let per_node = ((tree.capacity * 9) / 10).max(2);
+        let per_node = ((capacity * 9) / 10).max(2);
 
         // STR: sort by center x, tile into vertical slices, sort each slice
         // by center y, then pack nodes.
@@ -144,58 +159,98 @@ impl RTree {
                 value: *value,
             })
             .collect();
-        let mut level = tree.str_pack(&mut sorted, per_node, true)?;
+        let mut level = str_pack(&pager, &mut sorted, per_node, true)?;
         let mut height = 1usize;
         while level.len() > 1 {
             let mut upper: Vec<Entry> = level;
-            level = tree.str_pack(&mut upper, per_node, false)?;
+            level = str_pack(&pager, &mut upper, per_node, false)?;
             height += 1;
         }
-        tree.root = level[0].value;
-        tree.len = items.len() as u64;
-        tree.height = height;
-        Ok(tree)
+        Ok(RTree {
+            root: level[0].value,
+            pager,
+            capacity,
+            len: items.len() as u64,
+            height,
+        })
     }
 
-    /// Packs one level of entries into nodes, returning the parent entries
-    /// (`value` = child page id).
-    fn str_pack(&self, entries: &mut [Entry], per_node: usize, leaf: bool) -> Result<Vec<Entry>> {
-        let n = entries.len();
-        let node_count = n.div_ceil(per_node);
-        let slice_count = (node_count as f64).sqrt().ceil() as usize;
-        let per_slice = n.div_ceil(slice_count.max(1));
-        entries.sort_by(|a, b| {
-            a.rect
-                .center()
-                .0
-                .partial_cmp(&b.rect.center().0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+    /// Bulk-loads an R-Tree by sorting entries along the Hilbert curve over
+    /// their quantized centers and packing consecutive runs into leaves.
+    /// Compared to STR this keeps each leaf's entries on one contiguous curve
+    /// segment, so spatially tight queries touch fewer leaves — the layout
+    /// engine uses it when rendering declared `index[x,y]` operators.
+    pub fn bulk_load_hilbert(pager: Arc<Pager>, items: &[(Rect, u64)]) -> Result<RTree> {
+        let capacity = node_capacity(pager.page_size())?;
+        if items.is_empty() {
+            return RTree::new(pager);
+        }
+        let per_node = ((capacity * 9) / 10).max(2);
+
+        // Quantize entry centers onto a 2^order lattice spanning the data's
+        // bounding box, then sort by Hilbert rank.
+        const ORDER: u32 = 16;
+        let bbox = items
+            .iter()
+            .fold(Rect::empty(), |acc, (r, _)| acc.union(r));
+        let side = ((1u64 << ORDER) - 1) as f64;
+        let quantize = |v: f64, lo: f64, hi: f64| -> u32 {
+            if hi <= lo || !v.is_finite() {
+                0
+            } else {
+                (((v - lo) / (hi - lo)) * side).clamp(0.0, side) as u32
+            }
+        };
+        let mut sorted: Vec<Entry> = items
+            .iter()
+            .map(|(rect, value)| Entry {
+                rect: *rect,
+                value: *value,
+            })
+            .collect();
+        sorted.sort_by_key(|e| {
+            let (cx, cy) = e.rect.center();
+            hilbert2(
+                ORDER,
+                quantize(cx, bbox.min_x, bbox.max_x),
+                quantize(cy, bbox.min_y, bbox.max_y),
+            )
         });
-        let mut parents = Vec::new();
-        for slice in entries.chunks_mut(per_slice.max(1)) {
-            slice.sort_by(|a, b| {
-                a.rect
-                    .center()
-                    .1
-                    .partial_cmp(&b.rect.center().1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            for chunk in slice.chunks(per_node) {
-                let mut page = self.pager.allocate()?;
+
+        // Pack consecutive curve runs into leaves, then build internal
+        // levels bottom-up.
+        let mut is_leaf = true;
+        let mut height = 0usize;
+        let mut current = sorted;
+        loop {
+            let mut parents = Vec::new();
+            for chunk in current.chunks(per_node) {
+                let mut page = pager.allocate()?;
                 let node = Node {
                     page_id: page.id,
-                    is_leaf: leaf,
+                    is_leaf,
                     entries: chunk.to_vec(),
                 };
                 node.encode(&mut page)?;
-                self.pager.write(&page)?;
+                pager.write(&page)?;
                 parents.push(Entry {
                     rect: node.mbr(),
                     value: page.id,
                 });
             }
+            height += 1;
+            is_leaf = false;
+            if parents.len() == 1 {
+                return Ok(RTree {
+                    root: parents[0].value,
+                    pager,
+                    capacity,
+                    len: items.len() as u64,
+                    height,
+                });
+            }
+            current = parents;
         }
-        Ok(parents)
     }
 
     /// Number of indexed rectangles.
@@ -216,6 +271,29 @@ impl RTree {
     /// The pager backing this index.
     pub fn pager(&self) -> &Arc<Pager> {
         &self.pager
+    }
+
+    /// The root page id (persisted in manifests for reattachment).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Every page occupied by the tree, collected by walking it from the
+    /// root. Used to record the index extent in manifests and to return the
+    /// pages to the free list when the index is retired.
+    pub fn page_ids(&self) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id)?;
+            out.push(id);
+            if !node.is_leaf {
+                for entry in &node.entries {
+                    stack.push(entry.value);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn read_node(&self, id: PageId) -> Result<Node> {
@@ -378,6 +456,52 @@ impl RTree {
     }
 }
 
+/// Packs one level of entries into nodes of `pager`, returning the parent
+/// entries (`value` = child page id).
+fn str_pack(
+    pager: &Arc<Pager>,
+    entries: &mut [Entry],
+    per_node: usize,
+    leaf: bool,
+) -> Result<Vec<Entry>> {
+    let n = entries.len();
+    let node_count = n.div_ceil(per_node);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let per_slice = n.div_ceil(slice_count.max(1));
+    entries.sort_by(|a, b| {
+        a.rect
+            .center()
+            .0
+            .partial_cmp(&b.rect.center().0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut parents = Vec::new();
+    for slice in entries.chunks_mut(per_slice.max(1)) {
+        slice.sort_by(|a, b| {
+            a.rect
+                .center()
+                .1
+                .partial_cmp(&b.rect.center().1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for chunk in slice.chunks(per_node) {
+            let mut page = pager.allocate()?;
+            let node = Node {
+                page_id: page.id,
+                is_leaf: leaf,
+                entries: chunk.to_vec(),
+            };
+            node.encode(&mut page)?;
+            pager.write(&page)?;
+            parents.push(Entry {
+                rect: node.mbr(),
+                value: page.id,
+            });
+        }
+    }
+    Ok(parents)
+}
+
 fn node_capacity(page_size: usize) -> Result<usize> {
     let capacity = page_size.saturating_sub(HEADER) / ENTRY;
     if capacity < 4 {
@@ -498,6 +622,104 @@ mod tests {
         assert!(RTree::new(pager(64)).is_err());
         let empty = RTree::bulk_load(pager(512), &[]).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn hilbert_bulk_load_matches_brute_force() {
+        let items = points(3000);
+        let tree = RTree::bulk_load_hilbert(pager(1024), &items).unwrap();
+        assert_eq!(tree.len(), 3000);
+        for query in [
+            Rect::new(0.1, 0.1, 0.2, 0.2),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::point(0.5, 0.5),
+            Rect::new(2.0, 2.0, 3.0, 3.0),
+        ] {
+            let mut got = tree.query(&query).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&items, &query));
+        }
+    }
+
+    #[test]
+    fn hilbert_packing_keeps_tight_queries_local() {
+        let items = points(20_000);
+        let p = pager(4096);
+        let tree = RTree::bulk_load_hilbert(Arc::clone(&p), &items).unwrap();
+        let total = tree.page_ids().unwrap().len();
+        // Hilbert packing keeps each leaf on one curve segment; a tight
+        // window must prune the overwhelming majority of the tree.
+        for q in [
+            Rect::new(0.3, 0.3, 0.32, 0.32),
+            Rect::new(0.7, 0.1, 0.72, 0.12),
+            Rect::point(0.5, 0.5),
+        ] {
+            let visited = tree.query_node_count(&q).unwrap();
+            assert!(
+                visited * 20 < total,
+                "tight query visited {visited} of {total} pages"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_reattaches_identically() {
+        let p = pager(1024);
+        let items = points(2000);
+        let built = RTree::bulk_load_hilbert(Arc::clone(&p), &items).unwrap();
+        let reattached =
+            RTree::from_parts(Arc::clone(&p), built.root(), built.len(), built.height()).unwrap();
+        assert_eq!(reattached.len(), built.len());
+        assert_eq!(reattached.height(), built.height());
+        let q = Rect::new(0.2, 0.2, 0.6, 0.6);
+        let mut a = built.query(&q).unwrap();
+        let mut b = reattached.query(&q).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let mut pa = built.page_ids().unwrap();
+        let mut pb = reattached.page_ids().unwrap();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        assert_eq!(pa, pb, "reattached extent must match the built extent");
+    }
+
+    #[test]
+    fn query_node_count_edges() {
+        let empty = RTree::new(pager(512)).unwrap();
+        assert_eq!(
+            empty.query_node_count(&Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap(),
+            1,
+            "empty tree still reads its root"
+        );
+        let items = points(2000);
+        let tree = RTree::bulk_load_hilbert(pager(1024), &items).unwrap();
+        // A query disjoint from the data's bounding box prunes at the root.
+        assert_eq!(
+            tree.query_node_count(&Rect::new(5.0, 5.0, 6.0, 6.0)).unwrap(),
+            1
+        );
+        // A query covering everything visits every page of the tree.
+        let all = tree
+            .query_node_count(&Rect::new(-1.0, -1.0, 2.0, 2.0))
+            .unwrap();
+        assert_eq!(all, tree.page_ids().unwrap().len());
+    }
+
+    #[test]
+    fn coincident_points_are_all_returned() {
+        // Every entry at the same coordinate: splits cannot separate them
+        // spatially, yet a point query must return each payload exactly once.
+        let items: Vec<(Rect, u64)> = (0..300).map(|i| (Rect::point(0.5, 0.5), i)).collect();
+        for tree in [
+            RTree::bulk_load(pager(512), &items).unwrap(),
+            RTree::bulk_load_hilbert(pager(512), &items).unwrap(),
+        ] {
+            let mut got = tree.query(&Rect::point(0.5, 0.5)).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..300).collect::<Vec<u64>>());
+            assert!(tree.query(&Rect::point(0.4, 0.5)).unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -36,9 +36,14 @@ use crate::Result;
 use rodentstore_algebra::expr::{GridDim, PartitionBy, TransformKind};
 use rodentstore_algebra::value::Record;
 use rodentstore_compress::CodecKind;
-use rodentstore_storage::heap::HeapFile;
+use rodentstore_storage::heap::{HeapFile, RecordId};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Where appended rows landed: `(object index, record id, row)`. The rows are
+/// moved in (they were owned by the append buckets anyway) so the declared
+/// index can be maintained without re-reading the heap.
+type Placed = Vec<(usize, RecordId, Record)>;
 
 /// What [`append_records`] did with the new rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,21 +107,27 @@ pub fn append_records<P: TableProvider + ?Sized>(
     }
     let rows_appended = new_rows.len();
 
-    let objects_touched = if let Some(dims) = layout.derived.grid.clone() {
+    let (objects_touched, placed) = if let Some(dims) = layout.derived.grid.clone() {
         append_grid(layout, &dims, new_rows)?
     } else if layout.derived.partitioned {
         append_partitions(layout, new_rows)?
     } else if !layout.derived.groups.is_empty() {
-        append_vertical(layout, new_rows)?
+        (append_vertical(layout, new_rows)?, Placed::new())
     } else if layout.objects.len() == 1
         && layout.objects[0].fields == layout.schema.field_names()
     {
-        layout.objects[0].write_rows(&new_rows)?;
-        1
+        let ids = layout.objects[0].write_rows(&new_rows)?;
+        let placed = ids
+            .into_iter()
+            .zip(new_rows)
+            .map(|(rid, row)| (0, rid, row))
+            .collect();
+        (1, placed)
     } else {
         return needs("unrecognized multi-object shape");
     };
 
+    crate::index::maintain_index(layout, &placed)?;
     layout.row_count += rows_appended;
     // Appended rows are not sorted into place; drop native-order claims so
     // ordered scans re-sort instead of returning wrongly ordered results.
@@ -168,7 +179,7 @@ fn append_grid(
     layout: &mut PhysicalLayout,
     dims: &[GridDim],
     rows: Vec<Record>,
-) -> Result<usize> {
+) -> Result<(usize, Placed)> {
     let dim_indices: Vec<usize> = dims
         .iter()
         .map(|d| {
@@ -242,6 +253,7 @@ fn append_grid(
         });
 
     let mut touched = 0usize;
+    let mut placed = Placed::new();
     for (coords, bucket) in buckets {
         // A representative point (the cell center) locates the target cell by
         // bounds containment, immune to floating-point origin round-trips.
@@ -251,7 +263,7 @@ fn append_grid(
             .enumerate()
             .map(|(d, (&c, dim))| origins[d] + (c as f64 + 0.5) * dim.stride)
             .collect();
-        let existing = layout.objects.iter_mut().find(|o| {
+        let existing = layout.objects.iter_mut().enumerate().find(|(_, o)| {
             o.cell.as_ref().is_some_and(|cell| {
                 cell.dims
                     .iter()
@@ -260,7 +272,14 @@ fn append_grid(
             })
         });
         match existing {
-            Some(obj) => obj.write_rows(&bucket)?,
+            Some((obj_idx, obj)) => {
+                let ids = obj.write_rows(&bucket)?;
+                placed.extend(
+                    ids.into_iter()
+                        .zip(bucket)
+                        .map(|(rid, row)| (obj_idx, rid, row)),
+                );
+            }
             None => {
                 let bounds = CellBounds {
                     dims: dims
@@ -290,18 +309,24 @@ fn append_grid(
                     row_count: 0,
                     ordering: Vec::new(),
                 };
-                obj.write_rows(&bucket)?;
+                let obj_idx = layout.objects.len();
+                let ids = obj.write_rows(&bucket)?;
+                placed.extend(
+                    ids.into_iter()
+                        .zip(bucket)
+                        .map(|(rid, row)| (obj_idx, rid, row)),
+                );
                 layout.objects.push(obj);
             }
         }
         touched += 1;
     }
-    Ok(touched)
+    Ok((touched, placed))
 }
 
 /// Routes new rows to their horizontal partition by re-evaluating the
 /// original partitioning rule, creating objects for unseen labels.
-fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<usize> {
+fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<(usize, Placed)> {
     let by = find_partition(&layout.expr).cloned().ok_or_else(|| {
         crate::LayoutError::Unsupported("partitioned layout without a partition transform".into())
     })?;
@@ -342,14 +367,23 @@ fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<u
     }
 
     let mut touched = 0usize;
+    let mut placed = Placed::new();
     for (label, bucket) in buckets {
         // Partition objects are named `{layout}/part{p}={label}`.
         let existing = layout
             .objects
             .iter_mut()
-            .find(|o| o.name.splitn(2, '=').nth(1) == Some(label.as_str()));
+            .enumerate()
+            .find(|(_, o)| o.name.splitn(2, '=').nth(1) == Some(label.as_str()));
         match existing {
-            Some(obj) => obj.write_rows(&bucket)?,
+            Some((obj_idx, obj)) => {
+                let ids = obj.write_rows(&bucket)?;
+                placed.extend(
+                    ids.into_iter()
+                        .zip(bucket)
+                        .map(|(rid, row)| (obj_idx, rid, row)),
+                );
+            }
             None => {
                 let p = layout.objects.len();
                 let mut obj = StoredObject {
@@ -365,13 +399,14 @@ fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<u
                     row_count: 0,
                     ordering: Vec::new(),
                 };
-                obj.write_rows(&bucket)?;
+                let ids = obj.write_rows(&bucket)?;
+                placed.extend(ids.into_iter().zip(bucket).map(|(rid, row)| (p, rid, row)));
                 layout.objects.push(obj);
             }
         }
         touched += 1;
     }
-    Ok(touched)
+    Ok((touched, placed))
 }
 
 #[cfg(test)]

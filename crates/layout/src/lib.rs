@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod append;
+pub mod index;
 pub mod pipeline;
 pub mod plan;
 pub mod render;
@@ -33,6 +34,7 @@ pub mod rowcodec;
 pub mod scan;
 
 pub use append::{append_records, AppendOutcome};
+pub use index::{IndexKind, KeyKind, StoredIndex};
 pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use rodentstore_compress::CodecKind;
@@ -101,6 +103,15 @@ impl From<StorageError> for LayoutError {
 impl From<CompressError> for LayoutError {
     fn from(e: CompressError) -> Self {
         LayoutError::Compress(e)
+    }
+}
+
+impl From<rodentstore_index::IndexError> for LayoutError {
+    fn from(e: rodentstore_index::IndexError) -> Self {
+        match e {
+            rodentstore_index::IndexError::Storage(s) => LayoutError::Storage(s),
+            other => LayoutError::Unsupported(other.to_string()),
+        }
     }
 }
 

@@ -238,7 +238,8 @@ pub fn materialize<P: TableProvider + ?Sized>(
         | LayoutExpr::Grid { input, .. }
         | LayoutExpr::ZOrder { input, .. }
         | LayoutExpr::Transpose { input }
-        | LayoutExpr::Chunk { input, .. } => materialize(input, provider),
+        | LayoutExpr::Chunk { input, .. }
+        | LayoutExpr::Index { input, .. } => materialize(input, provider),
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::rowcodec::{
     column_to_values, decode_record, decode_record_subset, encode_record, values_to_column,
 };
+use crate::index::StoredIndex;
 use crate::scan::{CompiledPredicate, ScanIter};
 use crate::{LayoutError, Result};
 use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
@@ -20,7 +21,7 @@ use rodentstore_algebra::types::DataType;
 use rodentstore_algebra::validate::DerivedLayout;
 use rodentstore_algebra::value::{Record, Value};
 use rodentstore_compress::CodecKind;
-use rodentstore_storage::heap::HeapFile;
+use rodentstore_storage::heap::{HeapFile, RecordId};
 use rodentstore_storage::pager::Pager;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -344,8 +345,11 @@ impl StoredObject {
     }
 
     /// Writes tuples (already restricted to this object's fields, in object
-    /// field order) into the heap file.
-    pub fn write_rows(&mut self, rows: &[Record]) -> Result<()> {
+    /// field order) into the heap file. For row-encoded objects the returned
+    /// vector names where each tuple landed (empty for block encodings, whose
+    /// records are not slot-addressable).
+    pub fn write_rows(&mut self, rows: &[Record]) -> Result<Vec<RecordId>> {
+        let mut placed = Vec::new();
         match &self.encoding {
             ObjectEncoding::Folded { .. } => {
                 return Err(LayoutError::Unsupported(
@@ -353,8 +357,9 @@ impl StoredObject {
                 ));
             }
             ObjectEncoding::Rows => {
+                placed.reserve(rows.len());
                 for row in rows {
-                    self.heap.append(&encode_record(row))?;
+                    placed.push(self.heap.append(&encode_record(row))?);
                 }
             }
             ObjectEncoding::ColumnBlocks { block_rows } => {
@@ -369,7 +374,7 @@ impl StoredObject {
         }
         self.row_count += rows.len();
         self.heap.flush()?;
-        Ok(())
+        Ok(placed)
     }
 
     /// Encodes one chunk of rows as per-field column blocks. Chunks whose
@@ -415,6 +420,8 @@ pub struct PhysicalLayout {
     pub objects: Vec<StoredObject>,
     /// Total number of logical tuples.
     pub row_count: usize,
+    /// Secondary index declared with the `index[...]` operator, if any.
+    pub index: Option<StoredIndex>,
     pager: Arc<Pager>,
 }
 
@@ -425,6 +432,7 @@ impl std::fmt::Debug for PhysicalLayout {
             .field("rows", &self.row_count)
             .field("objects", &self.objects.len())
             .field("pages", &self.total_pages())
+            .field("index", &self.index)
             .finish()
     }
 }
@@ -447,6 +455,7 @@ impl PhysicalLayout {
             derived,
             objects,
             row_count,
+            index: None,
             pager,
         }
     }
@@ -454,6 +463,16 @@ impl PhysicalLayout {
     /// The pager holding this layout's pages.
     pub fn pager(&self) -> &Arc<Pager> {
         &self.pager
+    }
+
+    /// (Re)builds the declared index from the stored objects; a no-op when
+    /// the expression declares none. Recovery paths that reattach objects
+    /// without a usable index manifest call this to restore pushdown.
+    pub fn rebuild_index(&mut self) -> Result<()> {
+        if let Some(fields) = self.derived.index.clone() {
+            self.index = Some(crate::index::build_index(self, &fields)?);
+        }
+        Ok(())
     }
 
     /// Total number of pages across all objects.
@@ -531,15 +550,45 @@ impl PhysicalLayout {
     }
 
     /// Estimated number of pages a scan would read, without performing it.
+    /// When the declared index covers the predicate, the estimate probes it
+    /// and counts the tree pages plus the distinct heap pages holding
+    /// candidate rows — the number the indexed scan path actually reads.
     pub fn estimate_scan_pages(
         &self,
         fields: Option<&[String]>,
         predicate: Option<&Condition>,
     ) -> u64 {
+        if let (Some(pred), Some(idx)) = (predicate, &self.index) {
+            let ranges = extract_ranges(pred);
+            if idx.covers(&ranges) {
+                if let Ok(pages) = self.index_scan_pages(idx, &ranges) {
+                    return pages;
+                }
+            }
+        }
         self.objects_to_read(fields, predicate)
             .iter()
             .map(|&i| self.objects[i].page_count() as u64)
             .sum()
+    }
+
+    fn index_scan_pages(
+        &self,
+        idx: &StoredIndex,
+        ranges: &HashMap<String, (f64, f64)>,
+    ) -> Result<u64> {
+        let node_pages = idx.probe_node_pages(ranges)? as u64;
+        let positions = idx.probe(ranges)?;
+        let mut heap_pages = 0u64;
+        let mut last: Option<(usize, usize)> = None;
+        for pos in positions {
+            let (obj, page, _) = crate::index::unpack_pos(pos);
+            if last != Some((obj, page)) {
+                heap_pages += 1;
+                last = Some((obj, page));
+            }
+        }
+        Ok(node_pages + heap_pages)
     }
 
     /// Opens a lazy, decode-on-demand scan over the layout: records are

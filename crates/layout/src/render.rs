@@ -190,7 +190,7 @@ pub fn render<P: TableProvider + ?Sized>(
         objects.push(obj);
     }
 
-    Ok(PhysicalLayout::new(
+    let mut layout = PhysicalLayout::new(
         name,
         expr.clone(),
         schema,
@@ -198,7 +198,11 @@ pub fn render<P: TableProvider + ?Sized>(
         objects,
         row_count,
         pager,
-    ))
+    );
+    if let Some(fields) = layout.derived.index.clone() {
+        layout.index = Some(crate::index::build_index(&layout, &fields)?);
+    }
+    Ok(layout)
 }
 
 /// Grid strategy: bucket tuples into cells, order the cells along the

@@ -17,8 +17,9 @@
 //!   and `rodentstore_exec::Cursor` wraps the iterator directly so
 //!   native-order scans never materialize the full result set.
 
+use crate::index::unpack_pos;
 use crate::plan::{
-    split_folded, stitch_folded_row, ObjectEncoding, PhysicalLayout, StoredObject,
+    extract_ranges, split_folded, stitch_folded_row, ObjectEncoding, PhysicalLayout, StoredObject,
 };
 use crate::rowcodec::{decode_record, decode_record_projected};
 use crate::{LayoutError, Result};
@@ -398,6 +399,48 @@ struct ObjectState<'a> {
     has_dup: bool,
 }
 
+/// Index-assisted scan state: the probe's packed positions, grouped into
+/// `(object, page ordinal, ascending slots)` batches in storage order, so
+/// every heap page holding a candidate row is read exactly once and rows
+/// still come out in storage order (matching the streamed path).
+struct IndexedScan {
+    batches: Vec<(usize, usize, Vec<usize>)>,
+    next_batch: usize,
+    buf: VecDeque<Record>,
+    /// Decode state for the object of the current batch.
+    state: Option<(usize, IndexedObjState)>,
+}
+
+/// Per-object decode state for the indexed path: like [`ObjectState`] but
+/// page-addressed instead of cursor-driven.
+struct IndexedObjState {
+    pages: Vec<PageId>,
+    compact: Vec<usize>,
+    predicate: Option<CompiledPredicate>,
+    out_positions: Vec<usize>,
+    identity: bool,
+    has_dup: bool,
+}
+
+/// Groups sorted packed positions into per-`(object, page)` slot batches.
+fn group_positions(positions: &[u64]) -> Vec<(usize, usize, Vec<usize>)> {
+    let mut batches: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for &pos in positions {
+        let (obj, page, slot) = unpack_pos(pos);
+        match batches.last_mut() {
+            Some((o, p, slots)) if *o == obj && *p == page => {
+                // Duplicate positions can arise when a probe's outliers
+                // overlap tree results; decode each slot once.
+                if slots.last() != Some(&slot) {
+                    slots.push(slot);
+                }
+            }
+            _ => batches.push((obj, page, vec![slot])),
+        }
+    }
+    batches
+}
+
 /// A lazy scan over a [`PhysicalLayout`]: yields already-filtered,
 /// already-projected records in storage order, decoding pages on demand.
 ///
@@ -413,6 +456,9 @@ pub struct ScanIter<'a> {
     /// Streaming state (non-vertical layouts).
     obj_cursor: usize,
     current: Option<ObjectState<'a>>,
+    /// Index-assisted state (set when the declared index covers the
+    /// predicate); replaces the streamed path entirely.
+    indexed: Option<IndexedScan>,
     /// Buffered rows (vertical layouts); consumed destructively and rebuilt
     /// on [`ScanIter::rewind`].
     buffered: Option<Vec<Record>>,
@@ -443,14 +489,32 @@ impl<'a> ScanIter<'a> {
             predicate: predicate.cloned(),
             obj_cursor: 0,
             current: None,
+            indexed: None,
             buffered: None,
             buffered_pos: 0,
             done: false,
         };
         if layout.is_vertically_partitioned() {
             iter.buffered = Some(iter.build_vertical_buffer()?);
+        } else if let (Some(pred), Some(idx)) = (predicate, layout.index.as_ref()) {
+            let ranges = extract_ranges(pred);
+            if idx.covers(&ranges) {
+                let positions = idx.probe(&ranges)?;
+                iter.indexed = Some(IndexedScan {
+                    batches: group_positions(&positions),
+                    next_batch: 0,
+                    buf: VecDeque::new(),
+                    state: None,
+                });
+            }
         }
         Ok(iter)
+    }
+
+    /// Whether this scan resolves the predicate through the declared index
+    /// instead of streaming every selected object.
+    pub fn uses_index(&self) -> bool {
+        self.indexed.is_some()
     }
 
     /// Whether the iterator decodes lazily. `false` when the layout forced
@@ -479,6 +543,11 @@ impl<'a> ScanIter<'a> {
         self.current = None;
         self.buffered_pos = 0;
         self.done = false;
+        if let Some(indexed) = &mut self.indexed {
+            indexed.next_batch = 0;
+            indexed.buf.clear();
+            indexed.state = None;
+        }
         if self.buffered.is_some() {
             // Buffered rows are moved out as they are yielded; rebuild.
             self.buffered = Some(self.build_vertical_buffer()?);
@@ -558,6 +627,110 @@ impl<'a> ScanIter<'a> {
         })
     }
 
+    /// Like [`ScanIter::open_object`] but for the page-addressed indexed
+    /// path: no cursor, just the decode/projection state plus the object's
+    /// page list so ordinals from packed positions resolve to page ids.
+    fn indexed_obj_state(&self, obj_index: usize) -> Result<IndexedObjState> {
+        let obj = &self.layout.objects[obj_index];
+        let mut needed = vec![false; obj.fields.len()];
+        for f in &self.out_fields {
+            needed[resolve(f, &obj.fields, &obj.name)?] = true;
+        }
+        if let Some(pred) = &self.predicate {
+            for f in pred.referenced_fields() {
+                needed[resolve(&f, &obj.fields, &obj.name)?] = true;
+            }
+        }
+        let compact: Vec<usize> = needed
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        let compact_names: Vec<String> =
+            compact.iter().map(|&p| obj.fields[p].clone()).collect();
+        let out_positions: Vec<usize> = self
+            .out_fields
+            .iter()
+            .map(|f| resolve(f, &compact_names, &obj.name))
+            .collect::<Result<_>>()?;
+        let predicate = self
+            .predicate
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(p, &compact_names, &obj.name))
+            .transpose()?;
+        let identity = out_positions.len() == compact_names.len()
+            && out_positions.iter().enumerate().all(|(i, &p)| i == p);
+        let has_dup = has_duplicates(&out_positions);
+        Ok(IndexedObjState {
+            pages: obj.heap.page_ids()?,
+            compact,
+            predicate,
+            out_positions,
+            identity,
+            has_dup,
+        })
+    }
+
+    fn next_indexed(&mut self) -> Result<Option<Record>> {
+        loop {
+            {
+                let indexed = self.indexed.as_mut().expect("indexed path active");
+                if let Some(row) = indexed.buf.pop_front() {
+                    return Ok(Some(row));
+                }
+                if indexed.next_batch >= indexed.batches.len() {
+                    return Ok(None);
+                }
+            }
+            self.decode_next_batch()?;
+        }
+    }
+
+    /// Reads the heap page of the next `(object, page, slots)` batch and
+    /// decodes its candidate slots into the indexed buffer, applying the
+    /// residual predicate (probes are a superset) and the projection.
+    fn decode_next_batch(&mut self) -> Result<()> {
+        let (obj_idx, need_state) = {
+            let indexed = self.indexed.as_ref().expect("indexed path active");
+            let (obj_idx, _, _) = indexed.batches[indexed.next_batch];
+            let need_state = !matches!(&indexed.state, Some((o, _)) if *o == obj_idx);
+            (obj_idx, need_state)
+        };
+        if need_state {
+            let state = self.indexed_obj_state(obj_idx)?;
+            self.indexed.as_mut().expect("indexed path active").state = Some((obj_idx, state));
+        }
+        let layout = self.layout;
+        let indexed = self.indexed.as_mut().expect("indexed path active");
+        let (_, st) = indexed.state.as_ref().expect("state installed above");
+        let (_, page_ord, slots) = &indexed.batches[indexed.next_batch];
+        let &page_id = st.pages.get(*page_ord).ok_or_else(|| {
+            LayoutError::Corrupted(format!(
+                "index references page ordinal {page_ord} beyond object {obj_idx}"
+            ))
+        })?;
+        let page = layout.objects[obj_idx].heap.pager().read(page_id)?;
+        let reader = SlottedReader::new(&page);
+        let mut decoded = Vec::with_capacity(slots.len());
+        for &slot in slots {
+            let mut row = decode_record_projected(reader.get(slot)?, &st.compact)?;
+            if let Some(pred) = &st.predicate {
+                if !pred.matches(&row)? {
+                    continue;
+                }
+            }
+            decoded.push(if st.identity {
+                row
+            } else {
+                project_row(&mut row, &st.out_positions, st.has_dup)
+            });
+        }
+        indexed.buf.extend(decoded);
+        indexed.next_batch += 1;
+        Ok(())
+    }
+
     fn next_streamed(&mut self) -> Result<Option<Record>> {
         loop {
             if self.current.is_none() {
@@ -620,7 +793,12 @@ impl Iterator for ScanIter<'_> {
             self.buffered_pos += 1;
             return Some(Ok(std::mem::take(row)));
         }
-        match self.next_streamed() {
+        let stepped = if self.indexed.is_some() {
+            self.next_indexed()
+        } else {
+            self.next_streamed()
+        };
+        match stepped {
             Ok(Some(row)) => Some(Ok(row)),
             Ok(None) => None,
             Err(e) => {

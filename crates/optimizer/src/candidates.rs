@@ -68,7 +68,7 @@ pub fn enumerate_candidates(schema: &Schema, workload: &Workload) -> Vec<LayoutE
     //    requested range width divided by a few factors as candidate strides
     //    (a cell somewhat smaller than the query is the sweet spot).
     let ranged = workload.range_constrained_fields();
-    let grid_fields: Vec<(String, f64)> = ranged
+    let mut grid_fields: Vec<(String, f64)> = ranged
         .iter()
         .filter(|(f, _)| {
             schema
@@ -78,6 +78,10 @@ pub fn enumerate_candidates(schema: &Schema, workload: &Workload) -> Vec<LayoutE
         })
         .cloned()
         .collect();
+    // `range_constrained_fields` draws from a HashMap of extracted ranges, so
+    // put the fields in schema order to keep candidate enumeration (and thus
+    // advisor output) deterministic across runs.
+    grid_fields.sort_by_key(|(f, _)| schema.index_of(f).unwrap_or(usize::MAX));
     if !grid_fields.is_empty() {
         let proj: Vec<String> = if used.is_empty() { all_fields.clone() } else { used.clone() };
         for divisor in [1.0, 4.0] {
@@ -101,7 +105,26 @@ pub fn enumerate_candidates(schema: &Schema, workload: &Workload) -> Vec<LayoutE
         }
     }
 
-    // 8. Delta compression of numeric fields under the dominant order
+    // 8. Secondary indexes over range-constrained numeric attributes: a
+    //    B-tree per single field, and — when the workload constrains exactly
+    //    two numeric fields together (the spatial case) — an R-tree over the
+    //    pair. Indexes require the full-width row layout as their base, so
+    //    they are proposed on the plain table; the cost model decides whether
+    //    the page savings of index probes beat gridding or streaming.
+    if !grid_fields.is_empty() {
+        for (f, _) in &grid_fields {
+            push(
+                &mut candidates,
+                LayoutExpr::table(&table).index([f.clone()]),
+            );
+        }
+        if grid_fields.len() == 2 {
+            let pair: Vec<String> = grid_fields.iter().map(|(f, _)| f.clone()).collect();
+            push(&mut candidates, LayoutExpr::table(&table).index(pair));
+        }
+    }
+
+    // 9. Delta compression of numeric fields under the dominant order
     //    (time-series style), when an ordering exists.
     if let Some(order_fields) = &order {
         let numeric: Vec<String> = all_fields
@@ -182,6 +205,39 @@ mod tests {
             .iter()
             .any(|c| c.kind() == TransformKind::Compress
                 && c.contains_kind(TransformKind::OrderBy)));
+    }
+
+    #[test]
+    fn range_workloads_produce_index_candidates() {
+        let schema = traces_schema();
+        // Two constrained numeric fields: per-field B-trees plus the paired
+        // R-tree candidate.
+        let candidates = enumerate_candidates(&schema, &spatial_workload());
+        let index_fields: Vec<&[String]> = candidates
+            .iter()
+            .filter_map(|c| match c {
+                LayoutExpr::Index { fields, .. } => Some(&fields[..]),
+                _ => None,
+            })
+            .collect();
+        assert!(index_fields.iter().any(|f| *f == ["lat".to_string()]));
+        assert!(index_fields.iter().any(|f| *f == ["lon".to_string()]));
+        assert!(index_fields
+            .iter()
+            .any(|f| *f == ["lat".to_string(), "lon".to_string()]));
+
+        // A single constrained field gets only the single-field B-tree.
+        let w = Workload::new()
+            .query(ScanRequest::all().predicate(Condition::range("t", 10.0, 20.0)));
+        let candidates = enumerate_candidates(&schema, &w);
+        let pairs = candidates
+            .iter()
+            .filter(|c| matches!(c, LayoutExpr::Index { fields, .. } if fields.len() == 2))
+            .count();
+        assert_eq!(pairs, 0);
+        assert!(candidates
+            .iter()
+            .any(|c| matches!(c, LayoutExpr::Index { fields, .. } if fields[..] == ["t".to_string()])));
     }
 
     #[test]

@@ -202,6 +202,31 @@ mod tests {
     }
 
     #[test]
+    fn indexed_design_costs_fewer_pages_than_row_scan_for_selective_workload() {
+        let (schema, records) = small_traces();
+        let model = io_bound_model();
+        let workload = spatial_workload();
+
+        let row = model
+            .cost(&LayoutExpr::table("Traces"), &schema, &records, &workload)
+            .unwrap();
+        let indexed = model
+            .cost(
+                &LayoutExpr::table("Traces").index(["lat", "lon"]),
+                &schema,
+                &records,
+                &workload,
+            )
+            .unwrap();
+        assert!(
+            indexed.total_pages < row.total_pages,
+            "indexed {} vs row {}",
+            indexed.total_pages,
+            row.total_pages
+        );
+    }
+
+    #[test]
     fn empty_workload_is_rejected() {
         let (schema, records) = small_traces();
         let model = CostModel::default();

@@ -35,6 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "delta[lat,lon](zorder(grid[lat,lon;0.006,0.007](project[lat,lon](groupby[id](orderby[t](Traces))))))"
                 .to_string(),
         ),
+        // The algebra's declarative secondary index: raw rows plus a
+        // Hilbert-packed R-tree over (lat, lon) that the spatial query
+        // probes instead of streaming the table.
+        ("R-tree index", "index[lat,lon](Traces)".to_string()),
     ];
 
     println!(

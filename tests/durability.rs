@@ -572,6 +572,146 @@ fn recreating_over_an_existing_database_resets_it() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The crash sweep for *indexed* tables. The checkpointed manifest carries
+/// the B-tree's page extents, but post-checkpoint inserts mutate tree nodes
+/// in place — so the persisted tree is trustworthy only at the checkpoint
+/// boundary itself. At every byte truncation point of the WAL tail the
+/// reopened database must either reattach the checkpointed index (no replay)
+/// or rebuild it from the recovered heaps (any replay), and an index-assisted
+/// scan must return exactly the canonical committed rows either way.
+#[test]
+fn kill_at_every_wal_byte_recovers_indexed_scans() {
+    use rodentstore::Condition;
+    let dir = scratch_dir("crashpoints-index");
+    let schema = rodentstore::Schema::new(
+        "Ledger",
+        vec![
+            rodentstore::Field::new("id", rodentstore::DataType::Int),
+            rodentstore::Field::new("amount", rodentstore::DataType::Float),
+        ],
+    );
+    let mut boundaries: Vec<(u64, usize)> = Vec::new();
+    let base_rows = 40usize;
+    let checkpoint_pages;
+    {
+        let db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+            },
+        )
+        .unwrap();
+        db.create_table(schema.clone()).unwrap();
+        let base: Vec<Vec<Value>> = (0..base_rows as i64)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+            .collect();
+        db.insert("Ledger", base).unwrap();
+        // Declare the index *before* the checkpoint so the manifest persists
+        // its page extents, then keep inserting so replayed appends exercise
+        // the post-crash rebuild path.
+        db.apply_layout(
+            "Ledger",
+            LayoutExpr::table("Ledger").index(["id"]),
+            ReorgStrategy::Eager,
+        )
+        .unwrap();
+        db.checkpoint().unwrap();
+        checkpoint_pages = db.pager().page_count();
+        let header = std::fs::metadata(dir.join("wal.rodent")).unwrap().len();
+        boundaries.push((header, base_rows));
+        for tx in 0..10i64 {
+            let rows: Vec<Vec<Value>> = (0..3)
+                .map(|j| {
+                    vec![
+                        Value::Int(1_000 + tx * 3 + j),
+                        Value::Float((tx * 3 + j) as f64),
+                    ]
+                })
+                .collect();
+            db.insert("Ledger", rows).unwrap();
+            let len = std::fs::metadata(dir.join("wal.rodent")).unwrap().len();
+            boundaries.push((len, base_rows + ((tx as usize) + 1) * 3));
+        }
+    }
+    let pristine_wal = std::fs::read(dir.join("wal.rodent")).unwrap();
+    let checkpoint_len = boundaries[0].0;
+    let crash = scratch_dir("crashpoints-index-cut");
+
+    for cut in checkpoint_len..=pristine_wal.len() as u64 {
+        copy_db(&dir, &crash);
+        std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        let db = Database::open(&crash)
+            .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        let expected_rows = boundaries
+            .iter()
+            .filter(|(len, _)| *len <= cut)
+            .map(|(_, rows)| *rows)
+            .max()
+            .expect("checkpoint boundary always qualifies");
+
+        // The recovered table carries a live index — reattached from the
+        // manifest when no WAL ops replayed, rebuilt from the heaps
+        // otherwise.
+        db.ensure_rendered("Ledger").unwrap();
+        let snapshot = db.snapshot("Ledger").unwrap();
+        let layout = snapshot.layout().expect("declared layout must render");
+        assert!(
+            layout.index.is_some(),
+            "no live index after recovery at cut {cut}"
+        );
+        if cut == checkpoint_len {
+            // Clean boundary: the checkpointed tree is reattached verbatim,
+            // never rebuilt into fresh pages.
+            assert_eq!(
+                db.pager().page_count(),
+                checkpoint_pages,
+                "attach-at-checkpoint must not allocate pages"
+            );
+        }
+        drop(snapshot);
+
+        // Index-assisted scans equal the canonical committed rows.
+        let replayed = db
+            .scan(
+                "Ledger",
+                &ScanRequest::all().predicate(Condition::range("id", 1_000.0, 1e12)),
+            )
+            .unwrap_or_else(|e| panic!("indexed scan failed at cut {cut}: {e}"));
+        assert_eq!(replayed.len(), expected_rows - base_rows, "at cut {cut}");
+        for (i, row) in replayed.iter().enumerate() {
+            assert_eq!(row[0], Value::Int(1_000 + i as i64), "row {i} at cut {cut}");
+        }
+        let point = db
+            .scan(
+                "Ledger",
+                &ScanRequest::all().predicate(Condition::range("id", 7.0, 7.0)),
+            )
+            .unwrap();
+        assert_eq!(point, vec![vec![Value::Int(7), Value::Float(3.5)]]);
+        assert_eq!(db.row_count("Ledger").unwrap(), expected_rows);
+
+        // The recovered database keeps maintaining the index on new writes.
+        if cut == checkpoint_len || cut == pristine_wal.len() as u64 {
+            db.insert(
+                "Ledger",
+                vec![vec![Value::Int(5_000_000), Value::Float(0.5)]],
+            )
+            .unwrap();
+            let probed = db
+                .scan(
+                    "Ledger",
+                    &ScanRequest::all()
+                        .predicate(Condition::range("id", 5_000_000.0, 5_000_000.0)),
+                )
+                .unwrap();
+            assert_eq!(probed.len(), 1, "post-recovery append missing from index");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash);
+}
+
 #[test]
 fn foreign_or_corrupt_files_are_typed_errors() {
     let dir = scratch_dir("foreign");

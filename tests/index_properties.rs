@@ -1,0 +1,322 @@
+//! Property-based tests for declarative index layouts: whatever predicate a
+//! scan pushes through a B-tree or R-tree, the result must equal — in rows
+//! AND in order — what streaming the whole table and filtering in memory
+//! produces, including when part of the data still sits in the pending row
+//! buffer mid-append.
+
+use proptest::prelude::*;
+use rodentstore::{Database, ReorgStrategy, ScanRequest, Value};
+use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
+use rodentstore_algebra::{DataType, Field, LayoutExpr, Schema};
+use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_storage::pager::Pager;
+use std::sync::Arc;
+
+fn points_schema() -> Schema {
+    Schema::new(
+        "Points",
+        vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+            Field::new("tag", DataType::Int),
+        ],
+    )
+}
+
+/// Records with an occasional NaN coordinate — NaN rows are unkeyable and
+/// must survive every indexed predicate via the outlier path.
+fn record_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (
+        (0u8..10, -100.0f64..100.0).prop_map(|(k, v)| if k == 0 { f64::NAN } else { v }),
+        -100.0f64..100.0,
+        0i64..40,
+    )
+        .prop_map(|(x, y, tag)| vec![Value::Float(x), Value::Float(y), Value::Int(tag)])
+}
+
+/// Predicates whose range extraction bounds the indexed fields in various
+/// ways: fully bounded rectangles, half-open sides, conjunctions with
+/// residual terms the index cannot answer alone.
+fn predicate_strategy() -> impl Strategy<Value = Condition> {
+    let xrange = || {
+        (-120.0f64..120.0, 0.0f64..60.0).prop_map(|(lo, w)| Condition::range("x", lo, lo + w))
+    };
+    let yrange = || {
+        (-120.0f64..120.0, 0.0f64..60.0).prop_map(|(lo, w)| Condition::range("y", lo, lo + w))
+    };
+    let tagrange = || {
+        (0i64..40, 0i64..10)
+            .prop_map(|(lo, w)| Condition::range("tag", lo as f64, (lo + w) as f64))
+    };
+    let half_open = (-120.0f64..120.0).prop_map(|v| Condition::Cmp {
+        left: ElemExpr::field("x"),
+        op: CmpOp::Le,
+        right: ElemExpr::lit(v),
+    });
+    prop_oneof![
+        xrange(),
+        tagrange(),
+        (xrange(), yrange()).prop_map(|(a, b)| a.and(b)),
+        (xrange(), tagrange()).prop_map(|(a, b)| a.and(b)),
+        half_open,
+    ]
+}
+
+/// The in-memory reference: every row of `full`, filtered by the interpreted
+/// predicate, projected by schema position — in storage order.
+fn reference(
+    schema: &Schema,
+    full: &[Vec<Value>],
+    fields: &[String],
+    predicate: &Condition,
+) -> Vec<Vec<Value>> {
+    let indices = schema.indices_of(fields).unwrap();
+    let mut out = Vec::new();
+    for row in full {
+        if predicate.eval(schema, row).unwrap() {
+            out.push(indices.iter().map(|&i| row[i].clone()).collect());
+        }
+    }
+    out
+}
+
+/// NaN != NaN under `Value`'s PartialEq, so equality checks on rows that may
+/// carry NaN coordinates compare debug renderings instead.
+fn printable(rows: &[Vec<Value>]) -> Vec<String> {
+    rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// B-tree pushdown: scanning `index[tag](Points)` with any generated
+    /// predicate yields exactly the streaming-filter reference, rows and
+    /// order both, and `get_element` still addresses every position.
+    #[test]
+    fn btree_scans_match_streaming_reference(
+        records in proptest::collection::vec(record_strategy(), 1..200),
+        predicate in predicate_strategy(),
+        fields_rev in 0u8..2,
+    ) {
+        let provider = MemTableProvider::single(points_schema(), records);
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let layout = LayoutExpr::table("Points").index(["tag"]);
+        let rendered = render(&layout, &provider, pager, RenderOptions::default()).unwrap();
+        prop_assert!(rendered.index.is_some());
+
+        let full = rendered.scan(None, None).unwrap();
+        let mut fields = rendered.schema.field_names();
+        if fields_rev == 1 {
+            fields.reverse();
+        }
+        let expected = reference(&rendered.schema, &full, &fields, &predicate);
+
+        let iter = rendered.scan_iter(Some(&fields), Some(&predicate)).unwrap();
+        let streamed: Vec<Vec<Value>> = iter.collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(printable(&streamed), printable(&expected));
+
+        // Positional access is unaffected by the presence of an index.
+        let step = (full.len() / 5).max(1);
+        for i in (0..full.len()).step_by(step) {
+            prop_assert_eq!(
+                printable(&[rendered.get_element(i, None).unwrap()]),
+                printable(&[full[i].clone()])
+            );
+        }
+    }
+
+    /// R-tree pushdown over `index[x,y](Points)`: same contract, spatial
+    /// index, NaN coordinates included.
+    #[test]
+    fn rtree_scans_match_streaming_reference(
+        records in proptest::collection::vec(record_strategy(), 1..200),
+        predicate in predicate_strategy(),
+    ) {
+        let provider = MemTableProvider::single(points_schema(), records);
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let layout = LayoutExpr::table("Points").index(["x", "y"]);
+        let rendered = render(&layout, &provider, pager, RenderOptions::default()).unwrap();
+        prop_assert!(rendered.index.is_some());
+
+        let full = rendered.scan(None, None).unwrap();
+        let fields = rendered.schema.field_names();
+        let expected = reference(&rendered.schema, &full, &fields, &predicate);
+        let streamed: Vec<Vec<Value>> = rendered
+            .scan_iter(Some(&fields), Some(&predicate))
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(printable(&streamed), printable(&expected));
+    }
+
+    /// Appending after the index is rendered — eagerly absorbed or parked in
+    /// the pending row buffer, depending on the strategy — never changes what
+    /// an indexed scan returns: it always equals filtering every inserted row
+    /// in insertion order.
+    #[test]
+    fn appends_and_pending_buffers_preserve_indexed_scans(
+        first in proptest::collection::vec(record_strategy(), 1..120),
+        second in proptest::collection::vec(record_strategy(), 1..120),
+        predicate in predicate_strategy(),
+        strategy in prop_oneof![
+            Just(ReorgStrategy::Eager),
+            Just(ReorgStrategy::Lazy),
+            Just(ReorgStrategy::NewDataOnly),
+        ],
+        two_field in 0u8..2,
+    ) {
+        let db = Database::with_page_size(512);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", first.clone()).unwrap();
+        let layout = if two_field == 1 {
+            LayoutExpr::table("Points").index(["x", "y"])
+        } else {
+            LayoutExpr::table("Points").index(["tag"])
+        };
+        db.apply_layout("Points", layout, strategy).unwrap();
+        // The second batch arrives after the declaration: under Eager it is
+        // absorbed into the rendering (index maintained incrementally), under
+        // Lazy/NewDataOnly it merges from the pending buffer at scan time.
+        db.insert("Points", second.clone()).unwrap();
+
+        let schema = points_schema();
+        let all: Vec<Vec<Value>> = first.into_iter().chain(second).collect();
+        let fields = schema.field_names();
+        let expected = reference(&schema, &all, &fields, &predicate);
+        let got = db
+            .scan(
+                "Points",
+                &ScanRequest::all().fields(fields.clone()).predicate(predicate.clone()),
+            )
+            .unwrap();
+        let mut got_s = printable(&got);
+        let mut want_s = printable(&expected);
+        // Multiset compare at the database level: pending-buffer merge order
+        // is append order, but grid-free row layouts keep it identical; sort
+        // defensively so the property pins contents, the layout-level tests
+        // above pin order.
+        got_s.sort();
+        want_s.sort();
+        prop_assert_eq!(got_s, want_s);
+    }
+}
+
+/// The acceptance loop: a purely selective workload observed live must make
+/// the advisor introduce an index by itself — no `apply_layout`, no
+/// `maybe_adapt`, nothing but scans.
+#[test]
+fn advisor_recommends_an_index_from_a_selective_workload() {
+    use rodentstore::{AdaptivePolicy, AdvisorOptions, CostParams};
+    use rodentstore_optimizer::CostModel;
+
+    let db = Database::with_page_size(1024);
+    db.set_adaptive_policy(AdaptivePolicy {
+        auto: true,
+        min_queries: 8,
+        check_every: 8,
+        hysteresis: 0.1,
+        strategy: ReorgStrategy::Eager,
+        advisor: AdvisorOptions {
+            cost_model: CostModel {
+                sample_size: 2_000,
+                page_size: 1024,
+                cost_params: CostParams {
+                    seek_ms: 1.0,
+                    transfer_mb_per_s: 2.0,
+                },
+            },
+            anneal_iterations: 2,
+            seed: 11,
+        },
+    });
+    let schema = Schema::new(
+        "Ledger",
+        vec![
+            Field::new("id", DataType::Int),
+            Field::new("amount", DataType::Float),
+        ],
+    );
+    db.create_table(schema).unwrap();
+    db.insert(
+        "Ledger",
+        (0..6000)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
+            .collect(),
+    )
+    .unwrap();
+
+    // Mostly narrow probes on `id`, with periodic full sweeps (the shape a
+    // lookup-heavy service produces); every `check_every`-th scan runs the
+    // advisor against the captured profile. The sweeps rule out shattering
+    // the table into per-probe buckets — only a secondary index serves both
+    // access patterns.
+    for k in 0..40i64 {
+        if k % 4 == 3 {
+            assert_eq!(db.scan("Ledger", &ScanRequest::all()).unwrap().len(), 6000);
+            continue;
+        }
+        let lo = (k * 149) % 5900;
+        let rows = db
+            .scan(
+                "Ledger",
+                &ScanRequest::all()
+                    .predicate(Condition::range("id", lo as f64, (lo + 3) as f64)),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    let expr = {
+        let catalog = db.catalog();
+        catalog
+            .get("Ledger")
+            .unwrap()
+            .layout_expr
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+    };
+    assert!(
+        expr.contains("index["),
+        "selective probes must drive the advisor to an index, got {expr:?}"
+    );
+    let snapshot = db.snapshot("Ledger").unwrap();
+    let layout = snapshot.layout().expect("adapted layout must be rendered");
+    assert!(layout.index.is_some(), "the chosen index must be live");
+    assert!(db.layout_stats("Ledger").unwrap().adaptations >= 1);
+}
+
+/// A bounded range on the indexed field must actually take the index path —
+/// `uses_index` is the hook the stress and bench tiers rely on.
+#[test]
+fn bounded_predicates_take_the_index_path() {
+    let records: Vec<Vec<Value>> = (0..500)
+        .map(|i| {
+            vec![
+                Value::Float(i as f64),
+                Value::Float((i * 7 % 500) as f64),
+                Value::Int(i),
+            ]
+        })
+        .collect();
+    let provider = MemTableProvider::single(points_schema(), records);
+    let pager = Arc::new(Pager::in_memory_with_page_size(512));
+    let rendered = render(
+        &LayoutExpr::table("Points").index(["tag"]),
+        &provider,
+        pager,
+        RenderOptions::default(),
+    )
+    .unwrap();
+    let pred = Condition::range("tag", 100.0, 120.0);
+    let iter = rendered
+        .scan_iter(None, Some(&pred))
+        .unwrap();
+    assert!(iter.uses_index());
+    assert_eq!(iter.count(), 21);
+
+    // An unconstrained scan must not detour through the index.
+    let iter = rendered.scan_iter(None, None).unwrap();
+    assert!(!iter.uses_index());
+    assert_eq!(iter.count(), 500);
+}

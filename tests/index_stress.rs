@@ -1,0 +1,211 @@
+//! Concurrency stress for declarative indexes: readers push predicates
+//! through a B-tree/R-tree while a writer appends batches and an adaptation
+//! thread races index creation and removal. Every scan — indexed or not —
+//! must observe an exact *batch prefix* of the insert history: batch 0
+//! complete, then batches 1..k complete for some k ≥ the count committed
+//! before the scan began, and never a torn batch.
+
+use rodentstore::{Database, ReorgStrategy, ScanRequest, Value};
+use rodentstore_algebra::comprehension::Condition;
+use rodentstore_algebra::{DataType, Field, Schema};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn points_schema() -> Schema {
+    Schema::new(
+        "Points",
+        vec![
+            Field::new("batch", DataType::Int),
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+            Field::new("tag", DataType::String),
+        ],
+    )
+}
+
+fn batch_rows(batch: i64, rows: usize) -> Vec<Vec<Value>> {
+    (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(batch),
+                Value::Float((batch * 97 + i as i64) as f64 * 0.25),
+                Value::Float((batch * 31 + i as i64) as f64 * 0.5),
+                Value::Str(format!("b{batch}-r{i}")),
+            ]
+        })
+        .collect()
+}
+
+/// Per-batch row counts of a scan result (`batch` is field position 0).
+fn batch_counts(rows: &[Vec<Value>]) -> BTreeMap<i64, usize> {
+    let mut counts = BTreeMap::new();
+    for row in rows {
+        *counts.entry(row[0].as_i64().unwrap()).or_default() += 1;
+    }
+    counts
+}
+
+#[test]
+fn indexed_scans_observe_batch_prefixes_under_insert_and_index_churn() {
+    const INITIAL: usize = 300;
+    const BATCH: usize = 20;
+    const BATCHES: i64 = 20;
+    const READERS: usize = 3;
+    for strategy in [
+        ReorgStrategy::Eager,
+        ReorgStrategy::Lazy,
+        ReorgStrategy::NewDataOnly,
+    ] {
+        let db = Arc::new(Database::with_page_size(1024));
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", batch_rows(0, INITIAL)).unwrap();
+        db.apply_layout(
+            "Points",
+            rodentstore::LayoutExpr::table("Points").index(["batch"]),
+            strategy,
+        )
+        .unwrap();
+
+        // Bumped *after* each insert returns; a scan started afterwards must
+        // include at least that many batches.
+        let committed = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let db = Arc::clone(&db);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                for b in 1..=BATCHES {
+                    db.insert("Points", batch_rows(b, BATCH)).unwrap();
+                    committed.store(b as usize, Ordering::SeqCst);
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // Index churn: create the B-tree, drop every index, create the
+        // R-tree — the transitions `maybe_adapt` drives when the advisor's
+        // winner gains or loses its index.
+        let adapter = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let exprs = [
+                    "index[batch](Points)",
+                    "rows(Points)",
+                    "index[x,y](Points)",
+                    "rows(Points)",
+                ];
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let expr = rodentstore::parse(exprs[i % exprs.len()]).unwrap();
+                    db.apply_layout("Points", expr, strategy).unwrap();
+                    i += 1;
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let db = Arc::clone(&db);
+                let committed = Arc::clone(&committed);
+                let writer_done = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scans = 0usize;
+                    while !writer_done.load(Ordering::Relaxed) || scans < 5 {
+                        let floor = committed.load(Ordering::SeqCst);
+                        match r % 3 {
+                            0 => {
+                                // Full scan: exact batch-prefix invariant.
+                                let rows = db.scan("Points", &ScanRequest::all()).unwrap();
+                                let counts = batch_counts(&rows);
+                                let max_batch = *counts.keys().max().unwrap();
+                                assert_eq!(counts[&0], INITIAL, "initial load torn ({strategy})");
+                                for b in 1..=max_batch {
+                                    assert_eq!(
+                                        counts.get(&b),
+                                        Some(&BATCH),
+                                        "batch {b} torn at max {max_batch} ({strategy})"
+                                    );
+                                }
+                                assert!(
+                                    max_batch >= floor as i64,
+                                    "scan missed committed batches: saw {max_batch}, \
+                                     floor {floor} ({strategy})"
+                                );
+                            }
+                            1 => {
+                                // Point probe through the (possibly present)
+                                // B-tree: a committed batch is all-or-all.
+                                let b = floor as i64;
+                                let rows = db
+                                    .scan(
+                                        "Points",
+                                        &ScanRequest::all().predicate(Condition::range(
+                                            "batch", b as f64, b as f64,
+                                        )),
+                                    )
+                                    .unwrap();
+                                let want = if b == 0 { INITIAL } else { BATCH };
+                                assert_eq!(
+                                    rows.len(),
+                                    want,
+                                    "committed batch {b} torn under pushdown ({strategy})"
+                                );
+                                assert!(rows.iter().all(|r| r[0].as_i64() == Some(b)));
+                            }
+                            _ => {
+                                // Range probe through the (possibly present)
+                                // R-tree: every committed batch in the band.
+                                let rows = db
+                                    .scan(
+                                        "Points",
+                                        &ScanRequest::all().predicate(
+                                            Condition::range("x", 0.0, 1e9)
+                                                .and(Condition::range("y", 0.0, 1e9)),
+                                        ),
+                                    )
+                                    .unwrap();
+                                let counts = batch_counts(&rows);
+                                // x,y are non-negative for every generated
+                                // row, so this band is the whole table.
+                                assert_eq!(counts[&0], INITIAL, "spatial probe tore batch 0");
+                                for b in 1..=(floor as i64) {
+                                    assert_eq!(
+                                        counts.get(&b),
+                                        Some(&BATCH),
+                                        "spatial probe tore batch {b} ({strategy})"
+                                    );
+                                }
+                            }
+                        }
+                        scans += 1;
+                    }
+                    scans
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        for reader in readers {
+            assert!(reader.join().unwrap() >= 5);
+        }
+        adapter.join().unwrap();
+
+        // Quiesced end state: everything adds up, with and without pushdown.
+        let total = INITIAL + (BATCHES as usize) * BATCH;
+        assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), total);
+        db.apply_layout("Points", rodentstore::parse("index[batch](Points)").unwrap(), strategy)
+            .unwrap();
+        let probed = db
+            .scan(
+                "Points",
+                &ScanRequest::all().predicate(Condition::range("batch", 1.0, BATCHES as f64)),
+            )
+            .unwrap();
+        assert_eq!(probed.len(), (BATCHES as usize) * BATCH, "({strategy})");
+    }
+}

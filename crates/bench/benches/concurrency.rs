@@ -14,6 +14,16 @@
 //!    are often 1–2 cores) the numbers are reported but the scaling
 //!    assertion is skipped — there is no parallelism to measure.
 //!
+//! 1b. **Pin acquisition & cross-table isolation** — the latency of
+//!    `Database::snapshot` itself (two atomic loads on the lock-free read
+//!    path), reported as p50/p95/p99. Measured twice on a quiet table:
+//!    once with the database otherwise idle, once while another thread
+//!    re-renders a 20k-row *different* table in a tight loop. Because a pin
+//!    takes no lock, re-rendering table A must not move the median pin
+//!    latency on table B: the bench asserts the busy p50 stays within a
+//!    generous flatness bound (under the old global `RwLock<Catalog>`, a
+//!    pin would stall for the full render, i.e. milliseconds).
+//!
 //! 2. **Multi-producer group commit** — the WAL measured directly. The
 //!    naive baseline is one thread committing with `SyncPolicy::EveryCommit`
 //!    (one fsync per commit). Against it:
@@ -56,6 +66,7 @@ struct Config {
     scans_per_thread: usize,
     commits_per_thread: usize,
     pool_touches: usize,
+    pin_samples: usize,
 }
 
 fn config() -> Config {
@@ -65,6 +76,7 @@ fn config() -> Config {
         scans_per_thread: if smoke { 20 } else { 150 },
         commits_per_thread: if smoke { 50 } else { 400 },
         pool_touches: if smoke { 20_000 } else { 200_000 },
+        pin_samples: if smoke { 5_000 } else { 50_000 },
     }
 }
 
@@ -172,6 +184,25 @@ fn measure_read_throughput(db: &Arc<Database>, readers: usize, config: &Config) 
     (readers * config.scans_per_thread) as f64 / elapsed.as_secs_f64()
 }
 
+/// (p50, p95, p99) of a latency sample set, in nanoseconds.
+fn percentiles(mut samples: Vec<u64>) -> (u64, u64, u64) {
+    samples.sort_unstable();
+    let pick = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    (pick(0.50), pick(0.95), pick(0.99))
+}
+
+/// Latency of `n` consecutive snapshot pins on `table`, in nanoseconds.
+fn measure_pin_latency(db: &Database, table: &str, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let snapshot = db.snapshot(table).unwrap();
+        out.push(start.elapsed().as_nanos() as u64);
+        drop(snapshot);
+    }
+    out
+}
+
 fn bench_wal_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "rodentstore-bench-concurrency-{}-{tag}",
@@ -241,10 +272,13 @@ fn measure_pool(
     (threads * touches) as f64 / start.elapsed().as_secs_f64()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     config: &Config,
     read_1: f64,
     read_8: f64,
+    pin_quiet: (u64, u64, u64),
+    pin_busy: (u64, u64, u64),
     naive: f64,
     group_mp: f64,
     durable_mp: (f64, u64),
@@ -261,6 +295,10 @@ fn write_json(
         "{{\n  \"mode\": \"{}\",\n  \"cores\": {},\n  \"rows\": {},\n  \
          \"read_scans_per_s\": {{\n    \"1_reader\": {:.1},\n    \"8_readers\": {:.1}\n  }},\n  \
          \"read_scaling_8_over_1\": {:.2},\n  \
+         \"pin_latency_ns\": {{\n    \
+         \"quiet\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n    \
+         \"during_foreign_rerender\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }}\n  }},\n  \
+         \"cross_table_isolation_p50_ratio\": {:.2},\n  \
          \"commit_rate_per_s\": {{\n    \"naive_fsync_1_thread\": {:.1},\n    \
          \"group_commit_64_8_threads\": {:.1},\n    \"group_durable_8_threads\": {:.1}\n  }},\n  \
          \"group_commit_multiplier\": {:.2},\n  \"group_durable_multiplier\": {:.2},\n  \
@@ -272,6 +310,13 @@ fn write_json(
         read_1,
         read_8,
         read_8 / read_1,
+        pin_quiet.0,
+        pin_quiet.1,
+        pin_quiet.2,
+        pin_busy.0,
+        pin_busy.1,
+        pin_busy.2,
+        pin_busy.0 as f64 / pin_quiet.0.max(1) as f64,
         naive,
         group_mp,
         durable_mp.0,
@@ -315,6 +360,60 @@ fn bench_concurrency(c: &mut Criterion) {
             cores()
         );
     }
+
+    // --- 1b. Pin acquisition latency & cross-table isolation ----------------
+    // `Events` is the quiet table: pins on it must not notice `Traces`
+    // being re-rendered, because a pin is two atomic loads and re-renders
+    // happen aside under a per-table writer mutex.
+    let pin_quiet = percentiles(measure_pin_latency(&db, "Events", config.pin_samples));
+    let renders = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let renderer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let renders = Arc::clone(&renders);
+        std::thread::spawn(move || {
+            let exprs = ["rows(Traces)", "columns(Traces)"];
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                db.apply_layout_text("Traces", exprs[i % exprs.len()]).unwrap();
+                renders.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        })
+    };
+    // Give the renderer a head start so the measurement window overlaps
+    // actual re-render work.
+    while renders.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
+    let pin_busy = percentiles(measure_pin_latency(&db, "Events", config.pin_samples));
+    stop.store(true, Ordering::Relaxed);
+    renderer.join().unwrap();
+    println!(
+        "concurrency/pin: quiet p50/p95/p99 {}/{}/{} ns; during {} foreign re-renders \
+         p50/p95/p99 {}/{}/{} ns",
+        pin_quiet.0,
+        pin_quiet.1,
+        pin_quiet.2,
+        renders.load(Ordering::Relaxed),
+        pin_busy.0,
+        pin_busy.1,
+        pin_busy.2
+    );
+    // Flatness: the median pin on B while A re-renders must stay within a
+    // generous bound of the quiet median (absolute floor soaks up scheduler
+    // noise on tiny CI hosts). A pin that waited on a render would be in
+    // the milliseconds.
+    let flat_bound = (pin_quiet.0 * 20).max(50_000);
+    assert!(
+        pin_busy.0 <= flat_bound,
+        "re-rendering table A moved the median pin latency on table B: \
+         quiet {} ns → busy {} ns (bound {} ns)",
+        pin_quiet.0,
+        pin_busy.0,
+        flat_bound
+    );
 
     // --- 2. Multi-producer group commit ------------------------------------
     let (naive, _) =
@@ -384,6 +483,8 @@ fn bench_concurrency(c: &mut Criterion) {
         &config,
         read_1,
         read_8,
+        pin_quiet,
+        pin_busy,
         naive,
         group_mp,
         (durable_mp, durable_syncs),
@@ -391,9 +492,13 @@ fn bench_concurrency(c: &mut Criterion) {
         pool_sharded,
     );
 
-    // Criterion measurement: one pinned-snapshot scan (the read hot path).
+    // Criterion measurements: snapshot pin acquisition alone, and one
+    // pinned-snapshot scan (the read hot path).
     let mut group = c.benchmark_group("concurrency");
     group.sample_size(if smoke_mode() { 10 } else { 30 });
+    group.bench_function("snapshot_pin", |b| {
+        b.iter(|| db.snapshot("Traces").unwrap().row_count())
+    });
     group.bench_function("snapshot_scan_projected", |b| {
         b.iter(|| {
             let snapshot = db.snapshot("Traces").unwrap();

@@ -1,15 +1,20 @@
 //! The catalog: schemas, layout expressions, and canonical data per table.
 //!
-//! Since the concurrency refactor the catalog is designed to sit behind a
-//! [`parking_lot::RwLock`] inside [`crate::Database`]: the pieces of a
-//! [`TableEntry`] that readers need to *keep using after the lock is
-//! released* — the canonical rows, the pending buffer, and the rendered
-//! layout — are held in [`Arc`]s, so a reader pins a consistent snapshot by
-//! cloning three pointers and a writer swaps state wholesale without
-//! invalidating in-flight scans. The live [`WorkloadProfile`] has its own
-//! per-table mutex so `&self` reads can record traffic while holding only
-//! the catalog *read* lock (a mutex-sharded write path: tables never contend
-//! with each other).
+//! Since the lock-free-read refactor the catalog is a *registry of
+//! per-table slots*. Each [`TableSlot`] publishes an immutable
+//! [`TableState`] through an [`AtomicArc`]; readers pin a consistent view
+//! with two atomic operations (an epoch pin plus a pointer load — see
+//! `rodentstore_sync`) and **never** take a lock. Writers build a new
+//! `TableState` aside, swap it in under the slot's short writer mutex, and
+//! retire the superseded state through the database's epoch scheme.
+//!
+//! The registry's table map is itself published the same way, so a
+//! `create`/`drop` of one table never blocks a pin on another, and a
+//! re-render of table A cannot delay a reader of table B.
+//!
+//! Mutable per-table side state that is *not* part of the snapshot — the
+//! live [`WorkloadProfile`], the adaptation in-flight flag, and the durable
+//! commit queue — lives on the slot, sharded per table.
 
 use crate::monitor::WorkloadProfile;
 use crate::reorg::ReorgStrategy;
@@ -19,14 +24,15 @@ use rodentstore_algebra::expr::LayoutExpr;
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::AccessMethods;
+use rodentstore_sync::{AtomicArc, EpochGuard};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Orders the *resolution* of a table's durable inserts by their apply
 /// order.
 ///
-/// An insert applies its rows (and takes a ticket) under the catalog write
-/// lock, then commits to the WAL with the lock released — so commits can
+/// An insert applies its rows (and takes a ticket) under the table's writer
+/// mutex, then commits to the WAL with the mutex released — so commits can
 /// share fsyncs. Resolutions, however, must happen in apply order: a failed
 /// commit rolls its rows back *positionally*, and that position is only
 /// meaningful if every earlier insert has already resolved (its rows either
@@ -40,7 +46,7 @@ pub struct CommitQueue {
 }
 
 struct CommitQueueState {
-    /// Next ticket to hand out (under the catalog write lock, at apply).
+    /// Next ticket to hand out (under the writer mutex, at apply).
     next_ticket: u64,
     /// The ticket whose turn it is to resolve.
     resolve_next: u64,
@@ -62,9 +68,9 @@ impl Default for CommitQueue {
 }
 
 impl CommitQueue {
-    /// Takes the next ticket (call while holding the catalog write lock,
-    /// right after the insert applied). Returns the ticket and the rows
-    /// removed by rollbacks so far.
+    /// Takes the next ticket (call while holding the writer mutex, right
+    /// after the insert applied). Returns the ticket and the rows removed by
+    /// rollbacks so far.
     pub fn take_ticket(&self) -> (u64, u64) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let ticket = state.next_ticket;
@@ -111,43 +117,162 @@ pub struct LayoutStats {
     pub adaptations: u64,
 }
 
-/// Catalog entry for one logical table.
-pub struct TableEntry {
+/// An immutable store of canonical rows, organized as a short list of
+/// shared chunks.
+///
+/// A published [`TableState`] (and every snapshot pinning it) holds the row
+/// store by value, so a plain `Vec` would force each insert to deep-copy
+/// every row already present — O(n²) across a workload of small durable
+/// commits. Chunking makes the clone O(chunks): an insert clones the chunk
+/// *list*, pushes its rows as a fresh chunk, and merges trailing chunks
+/// only while the newest is at least half its predecessor's size (the
+/// binary-counter discipline), so each row is re-copied O(log n) times over
+/// the table's lifetime and the chunk count stays O(log n).
+#[derive(Clone, Default)]
+pub struct Rows {
+    chunks: Vec<Arc<Vec<Record>>>,
+    len: usize,
+}
+
+impl Rows {
+    /// An empty row store.
+    pub fn new() -> Rows {
+        Rows::default()
+    }
+
+    /// Wraps an already materialized batch as a single chunk.
+    pub fn from_vec(rows: Vec<Record>) -> Rows {
+        let len = rows.len();
+        let chunks = if rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(rows)]
+        };
+        Rows { chunks, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// The `i`-th row in insertion order.
+    pub fn get(&self, mut i: usize) -> Option<&Record> {
+        for chunk in &self.chunks {
+            if i < chunk.len() {
+                return chunk.get(i);
+            }
+            i -= chunk.len();
+        }
+        None
+    }
+
+    /// Materializes the rows as one contiguous vector (for the renderer and
+    /// the layout advisor, whose APIs take slices).
+    pub fn to_vec(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in &self.chunks {
+            out.extend(chunk.iter().cloned());
+        }
+        out
+    }
+
+    /// Appends a batch of rows as a new chunk, then restores the geometric
+    /// size invariant by merging trailing chunks.
+    pub fn push_rows(&mut self, rows: Vec<Record>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.len += rows.len();
+        self.chunks.push(Arc::new(rows));
+        while self.chunks.len() >= 2 {
+            let last = self.chunks[self.chunks.len() - 1].len();
+            let prev = self.chunks[self.chunks.len() - 2].len();
+            if prev > 2 * last {
+                break;
+            }
+            let last = self.chunks.pop().expect("len checked");
+            let prev = self.chunks.pop().expect("len checked");
+            let mut merged = Vec::with_capacity(prev.len() + last.len());
+            merged.extend(prev.iter().cloned());
+            merged.extend(last.iter().cloned());
+            self.chunks.push(Arc::new(merged));
+        }
+    }
+
+    /// Drops all rows.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+
+    /// Removes `range` (rollback path — rare, so a simple rebuild).
+    pub fn remove_range(&mut self, range: std::ops::Range<usize>) {
+        let mut rows = self.to_vec();
+        rows.drain(range);
+        *self = Rows::from_vec(rows);
+    }
+}
+
+impl std::fmt::Debug for Rows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rows")
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl FromIterator<Record> for Rows {
+    fn from_iter<T: IntoIterator<Item = Record>>(iter: T) -> Rows {
+        Rows::from_vec(iter.into_iter().collect())
+    }
+}
+
+/// The published, immutable state of one table. Readers pin it with an
+/// atomic load and use it for as long as they like; writers clone it, edit
+/// the clone, and publish the result wholesale.
+#[derive(Clone)]
+pub struct TableState {
     /// Logical schema.
     pub schema: Schema,
     /// Canonical row-major contents (the input to layout rendering).
-    /// Copy-on-write: readers pin the current rows by cloning the `Arc`;
-    /// writers mutate via [`Arc::make_mut`], which clones the vector only
-    /// while a reader actually holds a pin.
-    pub records: Arc<Vec<Record>>,
+    pub records: Rows,
     /// The currently declared layout expression, if any.
     pub layout_expr: Option<LayoutExpr>,
     /// The rendered layout (absent until rendered — lazily or eagerly).
-    /// Shared with in-flight readers; layout swaps publish a fresh `Arc`
-    /// and retire the old one once its last pin drops.
+    /// Once published here it is logically immutable: appends fork it (see
+    /// `PhysicalLayout::fork_for_append`) rather than mutating shared pages.
     pub access: Option<Arc<AccessMethods>>,
     /// Reorganization strategy used when the layout changes.
     pub strategy: ReorgStrategy,
     /// Records inserted since the layout was last rendered (used by the
     /// new-data-only strategy and to detect staleness). Invariant: always a
-    /// suffix of `records`. Copy-on-write like `records`.
-    pub pending: Arc<Vec<Record>>,
-    /// Decaying profile of the live query traffic against this table,
-    /// behind its own mutex so `&self` reads can record while holding only
-    /// the catalog read lock.
-    pub profile: Mutex<WorkloadProfile>,
+    /// suffix of `records`.
+    pub pending: Rows,
     /// Render/append/adaptation counters.
     pub stats: LayoutStats,
-    /// Whether an adaptation check is currently in flight for this table
-    /// (auto mode runs at most one at a time; concurrent triggers skip).
-    pub adapting: Arc<AtomicBool>,
-    /// Apply-order resolution of durable insert commits (see [`CommitQueue`]).
-    pub commit_queue: Arc<CommitQueue>,
+    /// Identity of the chain of incrementally forked renderings this state's
+    /// `access` belongs to. Forked successors share the token; a full render
+    /// starts a fresh one. Page reclamation of a fully retired rendering
+    /// waits until the whole chain is unreachable, because chain members
+    /// share sealed pages (see `Database`'s retirement scheme).
+    pub(crate) chain: Arc<()>,
 }
 
-impl std::fmt::Debug for TableEntry {
+impl std::fmt::Debug for TableState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TableEntry")
+        f.debug_struct("TableState")
             .field("schema", &self.schema.to_string())
             .field("rows", &self.records.len())
             .field("pending", &self.pending.len())
@@ -159,20 +284,18 @@ impl std::fmt::Debug for TableEntry {
     }
 }
 
-impl TableEntry {
-    /// Creates an empty entry for a schema.
-    pub fn new(schema: Schema) -> TableEntry {
-        TableEntry {
+impl TableState {
+    /// Creates an empty state for a schema.
+    pub fn new(schema: Schema) -> TableState {
+        TableState {
             schema,
-            records: Arc::new(Vec::new()),
+            records: Rows::new(),
             layout_expr: None,
             access: None,
             strategy: ReorgStrategy::Eager,
-            pending: Arc::new(Vec::new()),
-            profile: Mutex::new(WorkloadProfile::default()),
+            pending: Rows::new(),
             stats: LayoutStats::default(),
-            adapting: Arc::new(AtomicBool::new(false)),
-            commit_queue: Arc::new(CommitQueue::default()),
+            chain: Arc::new(()),
         }
     }
 
@@ -180,80 +303,169 @@ impl TableEntry {
     pub fn row_count(&self) -> usize {
         self.records.len()
     }
+}
 
-    /// Mutable access to the canonical rows (copy-on-write: clones the
-    /// vector only if a reader currently pins it).
-    pub fn records_mut(&mut self) -> &mut Vec<Record> {
-        Arc::make_mut(&mut self.records)
+/// One table's slot in the registry: the published state plus the mutable
+/// side state writers and the monitor need.
+pub struct TableSlot {
+    /// The published state. Readers load it under an epoch pin; writers
+    /// swap it while holding `writer` and retire the superseded `Arc`.
+    pub(crate) state: AtomicArc<TableState>,
+    /// Serializes state publication for this table (held across build +
+    /// swap + WAL record; never taken by readers).
+    pub(crate) writer: Mutex<()>,
+    /// Decaying profile of the live query traffic against this table,
+    /// behind its own mutex so lock-free reads can still record traffic
+    /// (mutex-sharded per table; never held across a query).
+    pub(crate) profile: Mutex<WorkloadProfile>,
+    /// Whether an adaptation check is currently in flight for this table
+    /// (auto mode runs at most one at a time; concurrent triggers skip).
+    pub(crate) adapting: AtomicBool,
+    /// Apply-order resolution of durable insert commits (see [`CommitQueue`]).
+    pub(crate) commit_queue: Arc<CommitQueue>,
+}
+
+impl TableSlot {
+    pub(crate) fn new(schema: Schema) -> TableSlot {
+        TableSlot::with_state(TableState::new(schema), WorkloadProfile::default())
     }
 
-    /// Mutable access to the pending buffer (copy-on-write).
-    pub fn pending_mut(&mut self) -> &mut Vec<Record> {
-        Arc::make_mut(&mut self.pending)
+    pub(crate) fn with_state(state: TableState, profile: WorkloadProfile) -> TableSlot {
+        TableSlot {
+            state: AtomicArc::new(Arc::new(state)),
+            writer: Mutex::new(()),
+            profile: Mutex::new(profile),
+            adapting: AtomicBool::new(false),
+            commit_queue: Arc::new(CommitQueue::default()),
+        }
+    }
+
+    /// Pins the current published state.
+    pub(crate) fn load(&self, guard: &EpochGuard<'_>) -> Arc<TableState> {
+        self.state.load(guard)
     }
 }
 
-/// The catalog of all tables in a database.
-#[derive(Debug, Default)]
-pub struct Catalog {
-    tables: Vec<(String, TableEntry)>,
+impl std::fmt::Debug for TableSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableSlot").finish_non_exhaustive()
+    }
 }
 
-impl Catalog {
-    /// Creates an empty catalog.
-    pub fn new() -> Catalog {
-        Catalog::default()
-    }
+/// An immutable name → slot map, published wholesale on create/drop.
+#[derive(Default)]
+pub(crate) struct TableMap {
+    /// Entries in creation order (schema listings preserve it).
+    pub(crate) entries: Vec<(String, Arc<TableSlot>)>,
+}
 
-    /// Registers a new table.
-    pub fn create(&mut self, schema: Schema) -> Result<()> {
-        let name = schema.name().to_string();
-        if self.get(&name).is_ok() {
-            return Err(RodentError::TableExists(name));
-        }
-        self.tables.push((name, TableEntry::new(schema)));
-        Ok(())
-    }
-
-    /// Removes a table.
-    pub fn drop(&mut self, table: &str) -> Result<()> {
-        let before = self.tables.len();
-        self.tables.retain(|(name, _)| name != table);
-        if self.tables.len() == before {
-            return Err(RodentError::UnknownTable(table.to_string()));
-        }
-        Ok(())
-    }
-
-    /// Immutable access to a table entry.
-    pub fn get(&self, table: &str) -> Result<&TableEntry> {
-        self.tables
+impl TableMap {
+    pub(crate) fn get(&self, table: &str) -> Option<&Arc<TableSlot>> {
+        self.entries
             .iter()
             .find(|(name, _)| name == table)
-            .map(|(_, entry)| entry)
-            .ok_or_else(|| RodentError::UnknownTable(table.to_string()))
+            .map(|(_, slot)| slot)
+    }
+}
+
+/// The per-table slot registry. The map is published through an
+/// [`AtomicArc`] so lookups are lock-free; `structural` serializes
+/// create/drop (which also take the affected slot's writer mutex).
+pub(crate) struct Registry {
+    map: AtomicArc<TableMap>,
+    pub(crate) structural: Mutex<()>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Registry {
+        Registry {
+            map: AtomicArc::new(Arc::new(TableMap::default())),
+            structural: Mutex::new(()),
+        }
     }
 
-    /// Mutable access to a table entry.
-    pub fn get_mut(&mut self, table: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .iter_mut()
-            .find(|(name, _)| name == table)
-            .map(|(_, entry)| entry)
+    /// Pins the current table map.
+    pub(crate) fn load(&self, guard: &EpochGuard<'_>) -> Arc<TableMap> {
+        self.map.load(guard)
+    }
+
+    /// Publishes a new map, returning the superseded one. Callers hold
+    /// `structural` (or are in a single-owner phase such as open) and must
+    /// retire the returned map through the epoch scheme if readers exist.
+    pub(crate) fn publish(&self, map: TableMap) -> Arc<TableMap> {
+        self.map.swap(Arc::new(map))
+    }
+}
+
+/// A consistent, materialized view of the catalog: every table's name, slot,
+/// and the state it published at view time.
+///
+/// This is what [`crate::Database::catalog`] returns — an owned value, not a
+/// lock guard. It is a *snapshot*: state published after the view was taken
+/// is not visible through it, and holding it blocks nobody.
+pub struct CatalogView {
+    entries: Vec<(String, Arc<TableSlot>, Arc<TableState>)>,
+}
+
+impl CatalogView {
+    /// An empty view (no tables) — for encoding a blank manifest in tests.
+    #[cfg(test)]
+    pub(crate) fn empty() -> CatalogView {
+        CatalogView {
+            entries: Vec::new(),
+        }
+    }
+
+    pub(crate) fn capture(map: &TableMap, guard: &EpochGuard<'_>) -> CatalogView {
+        CatalogView {
+            entries: map
+                .entries
+                .iter()
+                .map(|(name, slot)| (name.clone(), Arc::clone(slot), slot.load(guard)))
+                .collect(),
+        }
+    }
+
+    /// The state of one table.
+    pub fn get(&self, table: &str) -> Result<&TableState> {
+        self.entries
+            .iter()
+            .find(|(name, _, _)| name == table)
+            .map(|(_, _, state)| state.as_ref())
             .ok_or_else(|| RodentError::UnknownTable(table.to_string()))
     }
 
     /// Names of all tables, in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.iter().map(|(name, _)| name.clone()).collect()
+        self.entries
+            .iter()
+            .map(|(name, _, _)| name.clone())
+            .collect()
     }
 
     /// All schemas (used to validate multi-table expressions like `prejoin`).
     pub fn schemas(&self) -> Vec<Schema> {
-        self.tables
+        self.entries
             .iter()
-            .map(|(_, entry)| entry.schema.clone())
+            .map(|(_, _, state)| state.schema.clone())
             .collect()
+    }
+
+    /// The captured `(name, slot, state)` triples, in creation order.
+    pub(crate) fn entries(&self) -> &[(String, Arc<TableSlot>, Arc<TableState>)] {
+        &self.entries
+    }
+}
+
+impl std::fmt::Debug for CatalogView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(
+                self.entries
+                    .iter()
+                    .map(|(name, _, state)| (name, state)),
+            )
+            .finish()
     }
 }
 
@@ -262,50 +474,108 @@ mod tests {
     use super::*;
     use rodentstore_algebra::schema::Field;
     use rodentstore_algebra::types::DataType;
+    use rodentstore_algebra::Value;
+    use rodentstore_sync::EpochRegistry;
 
     fn schema(name: &str) -> Schema {
         Schema::new(name, vec![Field::new("x", DataType::Int)])
     }
 
+    fn row(x: i64) -> Record {
+        vec![Value::Int(x)]
+    }
+
     #[test]
-    fn create_get_drop() {
-        let mut catalog = Catalog::new();
-        catalog.create(schema("A")).unwrap();
-        catalog.create(schema("B")).unwrap();
-        assert_eq!(catalog.table_names(), vec!["A", "B"]);
-        assert!(catalog.get("A").is_ok());
+    fn rows_push_preserves_order_and_len() {
+        let mut rows = Rows::new();
+        for batch in 0..50 {
+            rows.push_rows((0..7).map(|i| row(batch * 7 + i)).collect());
+        }
+        assert_eq!(rows.len(), 350);
+        let flat: Vec<i64> = rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(x) => x,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flat, (0..350).collect::<Vec<i64>>());
+        assert_eq!(rows.get(349), Some(&row(349)));
+        assert_eq!(rows.get(350), None);
+        assert_eq!(rows.to_vec().len(), 350);
+    }
+
+    #[test]
+    fn rows_chunk_count_stays_logarithmic() {
+        let mut rows = Rows::new();
+        for i in 0..4096 {
+            rows.push_rows(vec![row(i)]);
+        }
+        // Binary-counter merging: chunk count is O(log n), not O(n).
+        assert!(
+            rows.chunks.len() <= 16,
+            "expected O(log n) chunks, got {}",
+            rows.chunks.len()
+        );
+        assert_eq!(rows.len(), 4096);
+    }
+
+    #[test]
+    fn rows_clone_shares_chunks_with_snapshots() {
+        let mut rows = Rows::from_vec((0..100).map(row).collect());
+        let snapshot = rows.clone();
+        rows.push_rows(vec![row(100)]);
+        assert_eq!(snapshot.len(), 100, "snapshot is immutable");
+        assert_eq!(rows.len(), 101);
+        // The 100-row chunk is shared, not deep-copied.
+        assert!(Arc::ptr_eq(&snapshot.chunks[0], &rows.chunks[0]));
+    }
+
+    #[test]
+    fn rows_remove_range_rolls_back_a_middle_batch() {
+        let mut rows = Rows::from_vec((0..10).map(row).collect());
+        rows.remove_range(3..6);
+        assert_eq!(rows.len(), 7);
+        let flat: Vec<Record> = rows.iter().cloned().collect();
+        assert_eq!(flat[2], row(2));
+        assert_eq!(flat[3], row(6));
+    }
+
+    #[test]
+    fn registry_publishes_and_views_capture_consistently() {
+        let epochs = EpochRegistry::new();
+        let registry = Registry::new();
+        let mut map = TableMap::default();
+        map.entries
+            .push(("A".into(), Arc::new(TableSlot::new(schema("A")))));
+        map.entries
+            .push(("B".into(), Arc::new(TableSlot::new(schema("B")))));
+        drop(registry.publish(map)); // no readers yet: direct drop is fine
+
+        let g = epochs.pin();
+        let map = registry.load(&g);
+        let view = CatalogView::capture(&map, &g);
+        drop(g);
+        assert_eq!(view.table_names(), vec!["A", "B"]);
+        assert_eq!(view.schemas().len(), 2);
+        assert!(view.get("A").is_ok());
         assert!(matches!(
-            catalog.create(schema("A")),
-            Err(RodentError::TableExists(_))
+            view.get("C"),
+            Err(RodentError::UnknownTable(_))
         ));
-        catalog.drop("A").unwrap();
-        assert!(matches!(catalog.get("A"), Err(RodentError::UnknownTable(_))));
-        assert!(matches!(catalog.drop("A"), Err(RodentError::UnknownTable(_))));
-    }
 
-    #[test]
-    fn entries_track_rows_and_layout() {
-        let mut catalog = Catalog::new();
-        catalog.create(schema("A")).unwrap();
-        let entry = catalog.get_mut("A").unwrap();
-        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(1)]);
-        assert_eq!(entry.row_count(), 1);
-        assert!(entry.layout_expr.is_none());
-        assert_eq!(catalog.schemas().len(), 1);
-    }
-
-    #[test]
-    fn pinned_rows_survive_copy_on_write_mutation() {
-        let mut catalog = Catalog::new();
-        catalog.create(schema("A")).unwrap();
-        let entry = catalog.get_mut("A").unwrap();
-        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(1)]);
-        // A reader pins the rows; a writer's mutation must not be visible
-        // through the pin.
-        let pin = Arc::clone(&catalog.get("A").unwrap().records);
-        let entry = catalog.get_mut("A").unwrap();
-        entry.records_mut().push(vec![rodentstore_algebra::Value::Int(2)]);
-        assert_eq!(pin.len(), 1, "pinned snapshot is immutable");
-        assert_eq!(catalog.get("A").unwrap().records.len(), 2);
+        // A state published after the view was captured is not visible
+        // through it.
+        let slot = Arc::clone(map.get("A").unwrap());
+        let g = epochs.pin();
+        let cur = slot.load(&g);
+        let mut next = (*cur).clone();
+        next.records.push_rows(vec![row(1)]);
+        drop(g);
+        let old = slot.state.swap(Arc::new(next));
+        let _retired = (old, epochs.advance()); // single-threaded test: held, then dropped
+        assert_eq!(view.get("A").unwrap().records.len(), 0);
+        let g = epochs.pin();
+        assert_eq!(slot.load(&g).records.len(), 1);
     }
 }

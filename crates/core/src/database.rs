@@ -1,10 +1,10 @@
 //! The RodentStore database façade.
 
-use crate::catalog::Catalog;
+use crate::catalog::{CatalogView, Registry, Rows, TableMap, TableSlot, TableState};
 use crate::durability::{self, Durability, DurabilityOptions, DurableOp, ManifestContext};
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, RwLock};
 use rodentstore_algebra::expr::{LayoutExpr, SortOrder};
 use rodentstore_algebra::parse;
 use rodentstore_algebra::schema::Schema;
@@ -22,6 +22,8 @@ use rodentstore_storage::heap::HeapFile;
 use rodentstore_storage::pager::{FileStore, PageStore, Pager};
 use rodentstore_storage::stats::IoSnapshot;
 use rodentstore_storage::wal::Wal;
+use rodentstore_storage::PageId;
+use rodentstore_sync::{AtomicArc, EpochRegistry};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -100,7 +102,9 @@ pub enum AdaptOutcome {
 }
 
 /// Runtime configuration knobs (cost model, render options, adaptation
-/// policy), grouped behind one lock so `&self` setters stay cheap.
+/// policy). Published through an [`AtomicArc`] like everything else on the
+/// read path, so queries pick up the current parameters without locking;
+/// setters serialize on a dedicated mutex.
 #[derive(Clone, Default)]
 struct Config {
     cost_params: CostParams,
@@ -108,51 +112,130 @@ struct Config {
     adaptive: AdaptivePolicy,
 }
 
-/// A RodentStore database: a catalog of tables, a shared pager, and the
-/// machinery to declare and change physical layouts.
+/// A superseded rendering on its way to page reclamation. Built by the
+/// writer that replaced it (while still holding the table's writer mutex)
+/// and pushed onto [`Database::retired`] together with the epoch at which
+/// the replacement was published.
+struct RetiredAccess {
+    access: Arc<AccessMethods>,
+    /// The chain token of the [`TableState`] that owned `access` (see
+    /// [`TableState::chain`]). Incrementally forked renderings share sealed
+    /// pages, so a *fully* retired rendering's extent may still be read
+    /// through pins on other generations of the same chain.
+    chain: Arc<()>,
+    /// The pages this retirement owns: for `whole_chain` retirements the
+    /// rendering's entire extent (heaps and index tree); for shared
+    /// retirements only the pages its successor fork vacated (the relocated
+    /// tail and index pages — generation-exclusive, shared with nobody).
+    pages: Vec<PageId>,
+    whole_chain: bool,
+}
+
+/// Epoch-tagged garbage: anything a writer unlinked from the published
+/// structures but that a reader pinned *before* the swap may still hold.
+/// Dropped (and, for renderings, its pages reclaimed) once every epoch pin
+/// taken before the swap has been released — see [`Database::reap_retired`].
+enum Retired {
+    /// A superseded table state. Holding it keeps its `records`/`pending`
+    /// chunks and its `access` alive for late readers.
+    State {
+        _state: Arc<TableState>,
+        epoch: u64,
+    },
+    /// A superseded table map (from `create_table`/`drop_table`).
+    Map {
+        _map: Arc<TableMap>,
+        epoch: u64,
+    },
+    /// A superseded configuration value.
+    Config {
+        _config: Arc<Config>,
+        epoch: u64,
+    },
+    /// A superseded rendering with the pages it owns (see [`RetiredAccess`]).
+    Access {
+        access: Arc<AccessMethods>,
+        chain: Arc<()>,
+        pages: Vec<PageId>,
+        epoch: u64,
+        whole_chain: bool,
+    },
+}
+
+/// A RodentStore database: a registry of per-table slots, a shared pager,
+/// and the machinery to declare and change physical layouts.
 ///
 /// # Concurrency model
 ///
 /// `Database` is `Send + Sync`: wrap it in an [`Arc`] and share it across
 /// threads. Every entry point takes `&self`. The read path (`scan`,
-/// `open_cursor`, `get_element`, `scan_cost`, `scan_pages`) holds the
-/// catalog **read** lock only long enough to pin a [`TableSnapshot`] —
-/// three `Arc` clones — and then serves the query from the snapshot with no
-/// lock held, so reads scale across cores. Writers (`insert`,
-/// `apply_layout`, `maybe_adapt`, `checkpoint`, `drop_table`) take the
-/// catalog **write** lock, swap state wholesale (copy-on-write rows, a
-/// fresh layout `Arc`), and never invalidate an in-flight scan: a reader
-/// that pinned the previous layout keeps reading it, and its pages are
-/// reclaimed only after the last pin drops (see the graveyard below).
+/// `open_cursor`, `get_element`, `scan_cost`, `scan_pages`) acquires **no
+/// lock at all**: pinning a [`TableSnapshot`] is an epoch pin (two atomic
+/// operations) plus three atomic pointer loads — the table map, the table's
+/// published [`TableState`], and the current `Config` (see
+/// `rodentstore_sync`). The query is then served entirely from the pinned
+/// immutable state, so reads scale linearly across cores and are never
+/// stalled by writers, checkpoint fsyncs, or re-renders of *any* table —
+/// including their own (a reader pinned to the previous state keeps it).
 ///
-/// Lock hierarchy (outer to inner): catalog `RwLock` → per-table profile
-/// mutex / graveyard mutex → storage-level locks (WAL state, heap files,
-/// pager). The expensive half of adaptation — the advisor search — runs
-/// with *no* lock held; only the final re-render holds the write lock.
+/// Writers build the replacement `TableState` aside, swap it in with one
+/// atomic store while holding that table's short writer mutex, and retire
+/// the superseded state through the epoch scheme: each retirement is tagged
+/// with the publication epoch, and its memory (and, for renderings, its
+/// pages) is reclaimed only once every reader pin older than that epoch has
+/// been released. Per-table writer mutexes mean a re-render or absorption of
+/// table A never delays a write — let alone a read — on table B.
+///
+/// Lock hierarchy (outer to inner); readers take none of these:
+///
+/// 1. `commit_fence` (`RwLock`) — *read* side held by every durable
+///    mutation (insert, layout change, create/drop, lazy render) from
+///    before it applies until its WAL commit resolves; *write* side held by
+///    `checkpoint`, making the manifest a consistent cut of states,
+///    retirement list, and commit outcomes.
+/// 2. `registry.structural` (`Mutex`) — serializes `create_table` /
+///    `drop_table` (map publication).
+/// 3. per-table `TableSlot::writer` (`Mutex`) — serializes state
+///    publication for one table (held across build + swap; `drop_table`
+///    takes it too, so a concurrent insert cannot apply to a dropped slot
+///    after its drop was logged).
+/// 4. leaf mutexes — `TableSlot::profile`, the `retired` list,
+///    `pending_free`, config writes, and storage-level locks (WAL state,
+///    heap files, pager).
+///
+/// The expensive half of adaptation — the advisor search — runs with no
+/// lock held; only the final re-render holds the affected table's writer
+/// mutex, and even then readers of that table proceed against the pinned
+/// previous state.
 pub struct Database {
-    catalog: RwLock<Catalog>,
+    registry: Registry,
+    /// Epoch clock + reader slots backing all lock-free publication.
+    epochs: EpochRegistry,
     pager: Arc<Pager>,
     wal: Wal,
-    config: RwLock<Config>,
+    config: AtomicArc<Config>,
+    /// Serializes read-modify-write config updates (readers load `config`
+    /// lock-free).
+    config_write: Mutex<()>,
     durability: Option<Durability>,
-    /// Superseded layouts whose pages cannot be reused yet because a reader
-    /// still pins them. Reaped (pages handed to [`Database::quarantine`])
-    /// by the next writer once the last pin drops.
-    graveyard: Mutex<Vec<Arc<AccessMethods>>>,
+    /// Epoch-tagged superseded states, maps, configs, and renderings whose
+    /// reclamation waits for old reader pins to drain. Replaces the old
+    /// graveyard; reaped opportunistically by every write path.
+    retired: Mutex<Vec<Retired>>,
     /// Durable databases only: pages freed since the last checkpoint. They
     /// must not be reallocated until the *next* checkpoint writes a
     /// manifest that no longer references them — a crash before that would
     /// make `open` reattach manifest extents whose pages were reused and
     /// overwritten. In-memory databases bypass this (no recovery to
     /// protect) and free straight to the pager.
-    pending_free: Mutex<Vec<rodentstore_storage::PageId>>,
-    /// Fences durable insert commit windows against checkpoints. An insert
-    /// holds the *read* side from before it applies until its commit
-    /// resolves (acknowledged or rolled back); a checkpoint holds the
-    /// *write* side, so it never cuts a manifest while an applied-but-
-    /// unresolved insert is in flight — a commit that later failed would
-    /// otherwise be persisted by the manifest and resurrect on recovery.
-    /// Also serializes checkpoints. Lock order: fence before catalog.
+    pending_free: Mutex<Vec<PageId>>,
+    /// Fences durable mutation windows against checkpoints. A durable
+    /// mutation holds the *read* side from before it applies until its
+    /// commit resolves (acknowledged or rolled back); a checkpoint holds
+    /// the *write* side, so it never cuts a manifest while an applied-but-
+    /// unresolved insert is in flight, and the retirement list it folds
+    /// into the manifest's free list is consistent with the states it
+    /// encodes. Also serializes checkpoints.
     commit_fence: RwLock<()>,
     /// True while [`Database::open`] replays the WAL tail: mutations must
     /// not be re-logged, but the database already counts as durable (so
@@ -164,7 +247,7 @@ pub struct Database {
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
-            .field("tables", &self.catalog.read().table_names())
+            .field("tables", &self.catalog().table_names())
             .field("pages", &self.pager.page_count())
             .finish()
     }
@@ -172,15 +255,14 @@ impl std::fmt::Debug for Database {
 
 /// A pinned, immutable view of one table at a point in time: the canonical
 /// rows, the pending buffer, and the rendered layout as they were when the
-/// snapshot was taken. Produced by [`Database::snapshot`]; queries served
-/// from a snapshot hold **no** database lock, and concurrent layout swaps,
-/// inserts, or checkpoints never affect it — this is what keeps scans
-/// consistent while the system adapts underneath them.
+/// snapshot was taken. Produced by [`Database::snapshot`] with **no lock**
+/// — pinning is an epoch pin plus atomic loads — and concurrent layout
+/// swaps, inserts, or checkpoints never affect it: the pinned state is
+/// immutable, and the epoch scheme keeps its pages alive until the snapshot
+/// is dropped. This is what keeps scans consistent (and scalable) while the
+/// system adapts underneath them.
 pub struct TableSnapshot {
-    schema: Schema,
-    records: Arc<Vec<Record>>,
-    pending: Arc<Vec<Record>>,
-    access: Option<Arc<AccessMethods>>,
+    state: Arc<TableState>,
     cost_params: CostParams,
 }
 
@@ -198,12 +280,14 @@ impl Database {
     /// Creates a database over an arbitrary pager (e.g. file-backed).
     pub fn with_pager(pager: Arc<Pager>) -> Database {
         Database {
-            catalog: RwLock::new(Catalog::new()),
+            registry: Registry::new(),
+            epochs: EpochRegistry::new(),
             pager,
             wal: Wal::new(),
-            config: RwLock::new(Config::default()),
+            config: AtomicArc::new(Arc::new(Config::default())),
+            config_write: Mutex::new(()),
             durability: None,
-            graveyard: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
             pending_free: Mutex::new(Vec::new()),
             commit_fence: RwLock::new(()),
             replaying: std::sync::atomic::AtomicBool::new(false),
@@ -211,8 +295,8 @@ impl Database {
     }
 
     /// Creates (or resets) a durable database in directory `dir` with the
-    /// default [`DurabilityOptions`] (16 KiB pages, group commit). Three
-    /// files are created: `data.rodent` (pages, with a validated
+    /// default [`DurabilityOptions`] (16 KiB pages, durable group commit).
+    /// Three files are created: `data.rodent` (pages, with a validated
     /// superblock), `wal.rodent` (the write-ahead log), and
     /// `manifest.rodent` (the catalog checkpoint). Every mutation is logged
     /// through the WAL before pages are touched; call
@@ -246,15 +330,15 @@ impl Database {
         db.wal = Wal::create(&wal_path, options.sync).map_err(RodentError::Storage)?;
         // An initial (empty) manifest makes the directory openable even if
         // the process dies before the first checkpoint.
-        let config = db.config.read().clone();
+        let config = db.config_snapshot();
         let manifest = durability::encode_manifest(
-            &db.catalog.read(),
+            &db.catalog(),
             &ManifestContext {
                 page_size: options.page_size,
                 page_count: 0,
                 replay_from_lsn: 0,
                 free_pages: Vec::new(),
-                policy: config.adaptive,
+                policy: config.adaptive.clone(),
                 cost_params: config.cost_params,
             },
         )?;
@@ -298,48 +382,54 @@ impl Database {
         // longer exist), so WAL replay below may re-render into them.
         pager.restore_free_list(manifest.free_pages.iter().copied());
         let mut db = Database::with_pager(Arc::clone(&pager));
-        *db.config.write() = Config {
+        // Single-owner phase throughout `open`: no concurrent readers can
+        // exist before the database is returned, so superseded values are
+        // dropped directly instead of routed through the epoch scheme.
+        drop(db.config.swap(Arc::new(Config {
             cost_params: manifest.cost_params,
             adaptive: manifest.policy.clone(),
             render_options: RenderOptions::default(),
-        };
+        })));
         let cost_params = manifest.cost_params;
 
-        let mut pending_indexes: Vec<(String, durability::IndexManifest)> = Vec::new();
-        let mut orphaned_index_pages: Vec<rodentstore_storage::PageId> = Vec::new();
+        let mut orphaned_index_pages: Vec<PageId> = Vec::new();
         {
-            let mut catalog = db.catalog.write();
             // Pass 1: every table's schema, rows, profile, and counters.
+            let mut entries: Vec<(String, Arc<TableSlot>)> = Vec::new();
             let mut rendered = Vec::new();
             for table in manifest.tables {
                 let name = table.schema.name().to_string();
-                catalog.create(table.schema)?;
-                let entry = catalog.get_mut(&name)?;
-                entry.strategy = table.strategy;
-                entry.records = Arc::new(table.records);
-                entry.pending = Arc::new(table.pending);
-                entry.profile = Mutex::new(table.profile.into_profile());
-                entry.stats = table.stats;
-                if let Some(expr_text) = table.layout_expr {
-                    entry.layout_expr = Some(parse(&expr_text)?);
+                if entries.iter().any(|(n, _)| n == &name) {
+                    return Err(RodentError::TableExists(name));
                 }
+                let mut state = TableState::new(table.schema);
+                state.strategy = table.strategy;
+                state.records = Rows::from_vec(table.records);
+                state.pending = Rows::from_vec(table.pending);
+                state.stats = table.stats;
+                if let Some(expr_text) = table.layout_expr {
+                    state.layout_expr = Some(parse(&expr_text)?);
+                }
+                entries.push((
+                    name.clone(),
+                    Arc::new(TableSlot::with_state(state, table.profile.into_profile())),
+                ));
                 if let Some(r) = table.rendered {
                     rendered.push((name, r));
                 }
             }
+            drop(db.registry.publish(TableMap { entries }));
+
             // Pass 2: reattach rendered layouts (after *all* schemas exist,
             // so multi-table expressions like prejoin validate).
-            let schemas = catalog.schemas();
+            let view = db.catalog();
+            let schemas = view.schemas();
             for (name, r) in rendered {
-                let expr = catalog
-                    .get(&name)?
-                    .layout_expr
-                    .clone()
-                    .ok_or_else(|| {
-                        RodentError::Invalid(format!(
-                            "manifest has a rendered layout for `{name}` but no expression"
-                        ))
-                    })?;
+                let expr = view.get(&name)?.layout_expr.clone().ok_or_else(|| {
+                    RodentError::Invalid(format!(
+                        "manifest has a rendered layout for `{name}` but no expression"
+                    ))
+                })?;
                 let mut derived = validate::check_with(&expr, &schemas)?;
                 // Incremental appends clear native-order claims; restore
                 // what was actually true at checkpoint time, not what the
@@ -373,7 +463,7 @@ impl Database {
                         })
                     })
                     .collect::<Result<_>>()?;
-                let layout = PhysicalLayout::new(
+                let mut layout = PhysicalLayout::new(
                     r.name,
                     expr,
                     schema,
@@ -382,59 +472,45 @@ impl Database {
                     r.row_count as usize,
                     Arc::clone(&pager),
                 );
-                let entry = catalog.get_mut(&name)?;
-                entry.access = Some(Arc::new(AccessMethods::with_cost_params(
+                // Reattach the declared index. The checkpointed tree content
+                // is trustworthy because post-checkpoint maintenance never
+                // mutates manifest-referenced tree pages in place — it
+                // rebuilds into fresh ones (see `StoredIndex::protect`), and
+                // those fresh pages were truncated away above. `from_parts`
+                // reattaches protected, so replayed appends below relocate
+                // the tree before touching it. If the manifest disagrees
+                // with the declared layout, its pages are quarantined and
+                // the fallback after replay rebuilds from the recovered
+                // heaps.
+                if let Some(im) = r.index {
+                    let manifest_pages = im.pages.clone();
+                    if layout.derived.index.as_deref() == Some(&im.fields[..]) {
+                        layout.index = Some(
+                            StoredIndex::from_parts(
+                                Arc::clone(&pager),
+                                &im.kind,
+                                im.fields,
+                                im.key_kinds,
+                                im.root,
+                                im.len,
+                                im.height as usize,
+                                im.outliers,
+                            )
+                            .map_err(RodentError::Layout)?,
+                        );
+                    } else {
+                        orphaned_index_pages.extend(manifest_pages);
+                    }
+                }
+                let slot = db.slot(&name)?;
+                let cur = db.pin_state(&slot);
+                let mut next = (*cur).clone();
+                next.access = Some(Arc::new(AccessMethods::with_cost_params(
                     layout,
                     cost_params,
                 )));
-                if let Some(im) = r.index {
-                    pending_indexes.push((name, im));
-                }
-            }
-
-            // Reattach declared indexes. The checkpointed tree content is
-            // trustworthy because post-checkpoint maintenance never mutates
-            // manifest-referenced tree pages in place — it rebuilds into
-            // fresh ones (see `StoredIndex::protect`), and those fresh pages
-            // were truncated away above. `from_parts` reattaches protected,
-            // so replayed appends below relocate the tree before touching
-            // it. If an index cannot be attached (the manifest disagrees
-            // with the declared layout), its pages are quarantined and the
-            // fallback after replay rebuilds from the recovered heaps.
-            for (name, im) in pending_indexes {
-                let manifest_pages = im.pages.clone();
-                let attached = (|| -> Result<bool> {
-                    let Ok(entry) = catalog.get_mut(&name) else {
-                        return Ok(false);
-                    };
-                    let Some(access) = entry.access.as_mut() else {
-                        return Ok(false);
-                    };
-                    if access.layout().index.is_some()
-                        || access.layout().derived.index.as_deref() != Some(&im.fields[..])
-                    {
-                        return Ok(false);
-                    }
-                    let idx = StoredIndex::from_parts(
-                        Arc::clone(&pager),
-                        &im.kind,
-                        im.fields,
-                        im.key_kinds,
-                        im.root,
-                        im.len,
-                        im.height as usize,
-                        im.outliers,
-                    )
-                    .map_err(RodentError::Layout)?;
-                    if let Some(a) = Arc::get_mut(access) {
-                        a.layout_mut().index = Some(idx);
-                        return Ok(true);
-                    }
-                    Ok(false)
-                })()?;
-                if !attached {
-                    orphaned_index_pages.extend(manifest_pages);
-                }
+                next.chain = Arc::new(());
+                drop(slot.state.swap(Arc::new(next)));
             }
         }
 
@@ -462,22 +538,39 @@ impl Database {
 
         // Fallback: anything still indexless but declared indexed (the
         // manifest disagreed with the declared layout above) rebuilds from
-        // the recovered stored objects.
-        {
-            let mut catalog = db.catalog.write();
-            for name in catalog.table_names() {
-                let entry = catalog.get_mut(&name)?;
-                if let Some(access) = entry.access.as_mut() {
-                    if access.layout().derived.index.is_some()
-                        && access.layout().index.is_none()
-                    {
-                        if let Some(a) = Arc::get_mut(access) {
-                            a.layout_mut().rebuild_index().map_err(RodentError::Layout)?;
-                        }
-                    }
-                }
+        // the recovered stored objects. The rebuild happens on a fork — the
+        // recovered rendering may be shared with states superseded during
+        // replay — and publishes through the normal retirement route.
+        db.reap_retired();
+        let view = db.catalog();
+        for (_, slot, state) in view.entries().iter() {
+            let Some(access) = state.access.clone() else {
+                continue;
+            };
+            if access.layout().derived.index.is_none() || access.layout().index.is_some() {
+                continue;
             }
+            let mut forked_layout = access.layout().fork_for_append().map_err(RodentError::Layout)?;
+            forked_layout.rebuild_index().map_err(RodentError::Layout)?;
+            let vacated = forked_layout.take_relocated();
+            let forked = AccessMethods::with_cost_params(forked_layout, cost_params);
+            let _w = slot.writer.lock();
+            let cur = db.pin_state(slot);
+            let mut next = (*cur).clone();
+            let chain = Arc::clone(&next.chain);
+            next.access = Some(Arc::new(forked));
+            db.publish_state(
+                slot,
+                next,
+                vec![RetiredAccess {
+                    access,
+                    chain,
+                    pages: vacated,
+                    whole_chain: false,
+                }],
+            );
         }
+        drop(view);
         Ok(db)
     }
 
@@ -494,12 +587,13 @@ impl Database {
     /// WAL. After a checkpoint, [`Database::open`] needs no replay and no
     /// re-rendering. Errors on in-memory databases.
     ///
-    /// Holds the catalog **read** lock for the duration (the checkpoint
-    /// only reads the catalog; heap flushes and the free list use interior
-    /// mutability), so writers are excluded — the manifest is a consistent
-    /// cut — while readers keep pinning snapshots and are never stalled
-    /// behind the checkpoint's fsyncs. A dedicated mutex serializes
-    /// concurrent checkpoints.
+    /// Holds the commit fence's **write** side for the duration: every
+    /// durable mutation holds the read side across its apply-and-commit
+    /// window, so the captured [`CatalogView`] is a consistent cut
+    /// *including* commit outcomes, and the retirement list folded into the
+    /// manifest's free list cannot gain entries that the captured states
+    /// still reference. Readers take no lock and are never stalled behind
+    /// the checkpoint's fsyncs.
     pub fn checkpoint(&self) -> Result<()> {
         let dir = match &self.durability {
             Some(d) => d.dir.clone(),
@@ -509,13 +603,9 @@ impl Database {
                 ))
             }
         };
-        // The fence's write side waits for every in-flight insert commit to
-        // resolve and blocks new ones (it also serializes checkpoints); the
-        // catalog read guard then excludes writers, so the cut is
-        // consistent *including* commit outcomes.
         let _fence = self.commit_fence.write();
-        let catalog = self.catalog.read();
-        self.reap_graveyard();
+        self.reap_retired();
+        let view = self.catalog();
         // Write out partially filled heap tails so every page extent is
         // complete (tails stay open: later appends keep refilling them, and
         // the manifest records their valid slot counts), then *protect*
@@ -526,8 +616,8 @@ impl Database {
         // track of them — they simply wait for the next attempt.
         {
             let mut pending = self.pending_free.lock();
-            for name in catalog.table_names() {
-                if let Some(access) = &catalog.get(&name)?.access {
+            for (_, _, state) in view.entries().iter() {
+                if let Some(access) = &state.access {
                     for obj in &access.layout().objects {
                         obj.heap.flush().map_err(RodentError::Storage)?;
                         obj.heap.protect_tail();
@@ -543,15 +633,12 @@ impl Database {
                     }
                 }
             }
-            // Relocated pages of retired-but-pinned layouts are dead too
-            // (no reader references them — relocation only happens on
-            // unpinned layouts); same quarantine route.
-            for retired in self.graveyard.lock().iter() {
-                for obj in &retired.layout().objects {
-                    pending.extend(obj.heap.take_relocated());
-                }
-                if let Some(idx) = &retired.layout().index {
-                    pending.extend(idx.take_relocated());
+            // Relocation notes of retired-but-pinned renderings are dead
+            // too (pins read sealed pages, never relocation bookkeeping);
+            // same quarantine route.
+            for retired in self.retired.lock().iter() {
+                if let Retired::Access { access, .. } = retired {
+                    pending.extend(access.layout().take_relocated());
                 }
             }
         }
@@ -559,30 +646,29 @@ impl Database {
         let replay_from = self.wal.next_lsn();
         // The manifest's free list: pages free right now, plus everything
         // quarantined since the last checkpoint (this manifest is the one
-        // that stops referencing them), plus the extents of retired layouts
-        // still pinned by in-flight readers — pins cannot survive a
-        // restart, so after recovery those pages are genuinely free (and
-        // do not leak across restarts).
+        // that stops referencing them), plus the pages owned by retired
+        // renderings still pinned by in-flight readers — pins cannot
+        // survive a restart, so after recovery those pages are genuinely
+        // free (and do not leak across restarts).
         let quarantined = self.pending_free.lock().clone();
         let mut free_pages = self.pager.free_list();
         free_pages.extend(quarantined.iter().copied());
-        for retired in self.graveyard.lock().iter() {
-            for obj in &retired.layout().objects {
-                free_pages.extend(obj.heap.extent());
+        for retired in self.retired.lock().iter() {
+            if let Retired::Access { pages, .. } = retired {
+                free_pages.extend(pages.iter().copied());
             }
-            free_pages.extend(retired_index_pages(retired.layout()));
         }
         free_pages.sort_unstable();
         free_pages.dedup();
-        let config = self.config.read().clone();
+        let config = self.config_snapshot();
         let manifest = durability::encode_manifest(
-            &catalog,
+            &view,
             &ManifestContext {
                 page_size: self.pager.page_size(),
                 page_count: self.pager.page_count(),
                 replay_from_lsn: replay_from,
                 free_pages,
-                policy: config.adaptive,
+                policy: config.adaptive.clone(),
                 cost_params: config.cost_params,
             },
         )?;
@@ -600,10 +686,102 @@ impl Database {
         Ok(())
     }
 
-    /// Moves a superseded rendering to the graveyard: its pages are
-    /// reclaimed by [`Database::reap_graveyard`] once no reader pins it.
-    fn retire(&self, access: Arc<AccessMethods>) {
-        self.graveyard.lock().push(access);
+    /// Looks up a table's slot (lock-free).
+    fn slot(&self, table: &str) -> Result<Arc<TableSlot>> {
+        let guard = self.epochs.pin();
+        self.registry
+            .load(&guard)
+            .get(table)
+            .map(Arc::clone)
+            .ok_or_else(|| RodentError::UnknownTable(table.to_string()))
+    }
+
+    /// Whether `slot` is still the one registered under `table`. Writers
+    /// that looked a slot up before taking its writer mutex re-check with
+    /// this: a concurrent `drop_table` (or drop + recreate) detaches the
+    /// slot, and applying to a detached slot would silently lose the write
+    /// (or, on rollback, free another incarnation's pages).
+    fn slot_is_current(&self, table: &str, slot: &Arc<TableSlot>) -> bool {
+        let guard = self.epochs.pin();
+        self.registry
+            .load(&guard)
+            .get(table)
+            .is_some_and(|current| Arc::ptr_eq(current, slot))
+    }
+
+    /// Pins a table's current published state (lock-free).
+    fn pin_state(&self, slot: &TableSlot) -> Arc<TableState> {
+        let guard = self.epochs.pin();
+        slot.load(&guard)
+    }
+
+    /// The current configuration (lock-free).
+    fn config_snapshot(&self) -> Arc<Config> {
+        let guard = self.epochs.pin();
+        self.config.load(&guard)
+    }
+
+    /// Read-modify-write of the configuration: serialized by `config_write`,
+    /// published atomically, superseded value retired through the epochs.
+    fn update_config(&self, mutate: impl FnOnce(&mut Config)) {
+        let _w = self.config_write.lock();
+        let mut config = (*self.config_snapshot()).clone();
+        mutate(&mut config);
+        let old = self.config.swap(Arc::new(config));
+        let epoch = self.epochs.advance();
+        self.retired.lock().push(Retired::Config {
+            _config: old,
+            epoch,
+        });
+    }
+
+    /// Publishes `state` as `slot`'s current state (caller holds the slot's
+    /// writer mutex), retiring the superseded state — and any renderings the
+    /// writer replaced — at the publication epoch.
+    fn publish_state(&self, slot: &TableSlot, state: TableState, retire: Vec<RetiredAccess>) {
+        let old = slot.state.swap(Arc::new(state));
+        let epoch = self.epochs.advance();
+        let mut retired = self.retired.lock();
+        retired.push(Retired::State {
+            _state: old,
+            epoch,
+        });
+        for r in retire {
+            retired.push(Retired::Access {
+                access: r.access,
+                chain: r.chain,
+                pages: r.pages,
+                epoch,
+                whole_chain: r.whole_chain,
+            });
+        }
+    }
+
+    /// Publishes a new table map (create/drop; caller holds `structural`),
+    /// retiring the superseded map.
+    fn publish_map(&self, map: TableMap) {
+        let old = self.registry.publish(map);
+        let epoch = self.epochs.advance();
+        self.retired.lock().push(Retired::Map { _map: old, epoch });
+    }
+
+    /// Retires renderings outside a state publication (drop_table: the
+    /// state itself stays reachable through the retired map).
+    fn retire_accesses(&self, retire: Vec<RetiredAccess>) {
+        if retire.is_empty() {
+            return;
+        }
+        let epoch = self.epochs.advance();
+        let mut retired = self.retired.lock();
+        for r in retire {
+            retired.push(Retired::Access {
+                access: r.access,
+                chain: r.chain,
+                pages: r.pages,
+                epoch,
+                whole_chain: r.whole_chain,
+            });
+        }
     }
 
     /// Hands freed pages toward reuse. In-memory databases free straight to
@@ -612,7 +790,7 @@ impl Database {
     /// them as live extents — reusing such a page before a new manifest
     /// lands would make crash recovery reattach a layout over overwritten
     /// bytes.
-    fn quarantine(&self, pages: Vec<rodentstore_storage::PageId>) {
+    fn quarantine(&self, pages: Vec<PageId>) {
         if self.durability.is_some() {
             self.pending_free.lock().extend(pages);
         } else {
@@ -620,38 +798,78 @@ impl Database {
         }
     }
 
-    /// Frees the pages of retired layouts whose last reader pin has
-    /// dropped. Called opportunistically from every write path; cheap when
-    /// the graveyard is empty.
-    fn reap_graveyard(&self) {
+    /// Reclaims retired values whose epoch has passed every live reader
+    /// pin. Called opportunistically from every write path; cheap when the
+    /// list is empty.
+    ///
+    /// Order matters: superseded states/maps/configs drop first (releasing
+    /// their references on renderings and chain tokens), then shared
+    /// retirements (releasing chain tokens), then whole-chain retirements —
+    /// so one pass reclaims as much as the refcounts allow. A whole-chain
+    /// retirement additionally waits for its chain token to be unique:
+    /// incrementally forked generations share sealed pages, and a pin on
+    /// *any* generation (or a not-yet-reclaimed shared retirement of the
+    /// chain) may still read pages owned by the chain's terminal
+    /// retirement.
+    fn reap_retired(&self) {
+        let min_active = self.epochs.min_active();
         let mut reclaimed = Vec::new();
         {
-            let mut graveyard = self.graveyard.lock();
-            graveyard.retain(|retired| {
-                if Arc::strong_count(retired) > 1 {
-                    return true; // still pinned by an in-flight reader
-                }
-                for obj in &retired.layout().objects {
-                    reclaimed.extend(obj.heap.extent());
-                    reclaimed.extend(obj.heap.take_relocated());
-                }
-                reclaimed.extend(retired_index_pages(retired.layout()));
-                false
+            let mut retired = self.retired.lock();
+            retired.retain(|r| match r {
+                Retired::State { epoch, .. }
+                | Retired::Map { epoch, .. }
+                | Retired::Config { epoch, .. } => *epoch >= min_active,
+                Retired::Access { .. } => true,
             });
+            for reap_whole_chain in [false, true] {
+                retired.retain(|r| {
+                    let Retired::Access {
+                        access,
+                        chain,
+                        pages,
+                        epoch,
+                        whole_chain,
+                    } = r
+                    else {
+                        return true;
+                    };
+                    if *whole_chain != reap_whole_chain {
+                        return true;
+                    }
+                    if *epoch >= min_active || Arc::strong_count(access) != 1 {
+                        return true; // an old pin (or late holder) remains
+                    }
+                    if *whole_chain && Arc::strong_count(chain) != 1 {
+                        return true; // another chain generation is reachable
+                    }
+                    reclaimed.extend(pages.iter().copied());
+                    reclaimed.extend(access.layout().take_relocated());
+                    false
+                });
+            }
         }
         if !reclaimed.is_empty() {
             self.quarantine(reclaimed);
         }
     }
 
+    /// Number of retired-but-unreclaimed values (states, maps, configs, and
+    /// renderings) currently deferred behind reader pins. Diagnostic: tests
+    /// assert it stays bounded and drains to zero once pins are released.
+    pub fn retired_snapshots(&self) -> usize {
+        self.retired.lock().len()
+    }
+
     /// Writes a mutation's op record to the WAL (no-op for in-memory
     /// databases — the payload closure is never even evaluated, so the
     /// default mode pays no serialization cost). Called *before* the
-    /// mutation touches the catalog or any page — the write-ahead rule. The
-    /// transaction is left open; pass the returned id to
-    /// [`Database::log_op_finish`] with the mutation's outcome, so an op
-    /// whose apply step fails is recorded as aborted and recovery replay
-    /// skips it instead of re-failing on it forever.
+    /// mutation touches any published state or page — the write-ahead rule.
+    /// The transaction is left open; pass the returned id to
+    /// [`Database::log_op_commit`] / [`Database::log_op_abort`] with the
+    /// mutation's outcome, so an op whose apply step fails is recorded as
+    /// aborted and recovery replay skips it instead of re-failing on it
+    /// forever.
     fn log_op_begin(
         &self,
         payload: impl FnOnce() -> Vec<u8>,
@@ -694,24 +912,14 @@ impl Database {
         }
     }
 
-    /// Re-executes a logged operation during recovery (through the same
-    /// unlogged mutation paths normal operation uses).
+    /// Re-executes a logged operation during recovery — through the same
+    /// public mutation paths normal operation uses (the `replaying` flag
+    /// suppresses re-logging inside them).
     fn apply_op(&self, op: DurableOp) -> Result<()> {
         match op {
-            DurableOp::CreateTable(schema) => self.catalog.write().create(schema),
-            DurableOp::DropTable(table) => {
-                let mut catalog = self.catalog.write();
-                if let Ok(entry) = catalog.get_mut(&table) {
-                    if let Some(access) = entry.access.take() {
-                        self.retire(access);
-                    }
-                }
-                Catalog::drop(&mut catalog, &table)
-            }
-            DurableOp::Insert { table, rows } => {
-                let mut catalog = self.catalog.write();
-                self.insert_locked(&mut catalog, &table, rows)
-            }
+            DurableOp::CreateTable(schema) => self.create_table(schema),
+            DurableOp::DropTable(table) => self.drop_table(&table),
+            DurableOp::Insert { table, rows } => self.insert(&table, rows),
             DurableOp::ApplyLayout {
                 table,
                 expr,
@@ -719,29 +927,25 @@ impl Database {
                 adapted,
             } => {
                 let parsed = parse(&expr)?;
-                let mut catalog = self.catalog.write();
-                self.apply_layout_locked(&mut catalog, &table, parsed, strategy, None)?;
-                if adapted {
-                    catalog.get_mut(&table)?.stats.adaptations += 1;
-                }
-                Ok(())
+                self.apply_layout_inner(&table, parsed, strategy, adapted, None)
+                    .map(|_| ())
             }
         }
     }
 
     /// Overrides the disk-model parameters used for cost estimates.
     pub fn set_cost_params(&self, cost_params: CostParams) {
-        self.config.write().cost_params = cost_params;
+        self.update_config(|c| c.cost_params = cost_params);
     }
 
     /// Replaces the self-adaptation policy.
     pub fn set_adaptive_policy(&self, policy: AdaptivePolicy) {
-        self.config.write().adaptive = policy;
+        self.update_config(|c| c.adaptive = policy);
     }
 
     /// The current self-adaptation policy.
     pub fn adaptive_policy(&self) -> AdaptivePolicy {
-        self.config.read().adaptive.clone()
+        self.config_snapshot().adaptive.clone()
     }
 
     /// Switches automatic adaptation on or off (keeping the rest of the
@@ -751,7 +955,7 @@ impl Database {
     /// clears the hysteresis threshold — no manual `advise`/`apply_layout`
     /// calls needed.
     pub fn set_auto_adapt(&self, auto: bool) {
-        self.config.write().adaptive.auto = auto;
+        self.update_config(|c| c.adaptive.auto = auto);
     }
 
     /// The shared pager (for I/O statistics, page counts, …).
@@ -764,25 +968,40 @@ impl Database {
         self.pager.stats().snapshot()
     }
 
-    /// A read-locked view of the catalog. The guard derefs to [`Catalog`];
-    /// hold it only briefly — writers (inserts, layout changes,
-    /// checkpoints) block while it is alive.
-    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        self.catalog.read()
+    /// A consistent, materialized view of the catalog (every table's
+    /// published state at the time of the call). Taken lock-free; holding
+    /// it blocks nobody — but it is a *snapshot*, so state published after
+    /// the call is not visible through it.
+    pub fn catalog(&self) -> CatalogView {
+        let guard = self.epochs.pin();
+        let map = self.registry.load(&guard);
+        CatalogView::capture(&map, &guard)
     }
 
     /// The write-ahead log (substrate for transactional page writes).
     pub fn wal(&self) -> &Wal {
         &self.wal
     }
+}
 
+impl Database {
     /// Creates a table from its logical schema.
     pub fn create_table(&self, schema: Schema) -> Result<()> {
-        let mut catalog = self.catalog.write();
-        if catalog.get(schema.name()).is_ok() {
-            return Err(RodentError::TableExists(schema.name().to_string()));
-        }
-        // Commit before applying: the catalog insert cannot fail after the
+        let _fence = self
+            .durability
+            .is_some()
+            .then(|| self.commit_fence.read());
+        let _structural = self.registry.structural.lock();
+        self.reap_retired();
+        let entries = {
+            let guard = self.epochs.pin();
+            let map = self.registry.load(&guard);
+            if map.get(schema.name()).is_some() {
+                return Err(RodentError::TableExists(schema.name().to_string()));
+            }
+            map.entries.clone()
+        };
+        // Commit before applying: the map publication cannot fail after the
         // existence pre-check, so a commit-record failure leaves nothing
         // applied (and a crash after the commit is healed by replay). A
         // failed commit is compensated with an abort so a commit record
@@ -793,15 +1012,31 @@ impl Database {
             self.log_op_abort(tx);
             return Err(e);
         }
-        catalog.create(schema)
+        let mut entries = entries;
+        entries.push((
+            schema.name().to_string(),
+            Arc::new(TableSlot::new(schema)),
+        ));
+        self.publish_map(TableMap { entries });
+        Ok(())
     }
 
     /// Drops a table. Its rendered pages are returned to the pager's free
     /// list for reuse once no in-flight reader pins them.
     pub fn drop_table(&self, table: &str) -> Result<()> {
-        let mut catalog = self.catalog.write();
-        self.reap_graveyard();
-        catalog.get(table)?;
+        let _fence = self
+            .durability
+            .is_some()
+            .then(|| self.commit_fence.read());
+        let _structural = self.registry.structural.lock();
+        self.reap_retired();
+        let slot = self.slot(table)?;
+        // Hold the slot's writer mutex across the drop: a concurrent insert
+        // on this table either publishes (and WAL-logs) before our drop
+        // record, or blocks here and fails the currency re-check after the
+        // map swap — its rows can never apply to a slot whose drop is
+        // already logged ahead of them.
+        let _w = slot.writer.lock();
         // Commit-before-apply, as in `create_table`: the drop is infallible
         // after the existence pre-check (and a failed commit is compensated
         // with an abort, as there).
@@ -810,67 +1045,94 @@ impl Database {
             self.log_op_abort(tx);
             return Err(e);
         }
-        if let Some(access) = catalog.get_mut(table)?.access.take() {
-            self.retire(access);
+        let state = self.pin_state(&slot);
+        let mut retire = Vec::new();
+        if let Some(access) = state.access.clone() {
+            retire.push(RetiredAccess {
+                pages: owned_pages(&access),
+                chain: Arc::clone(&state.chain),
+                access,
+                whole_chain: true,
+            });
         }
-        Catalog::drop(&mut catalog, table)
+        let entries = {
+            let guard = self.epochs.pin();
+            self.registry
+                .load(&guard)
+                .entries
+                .iter()
+                .filter(|(name, _)| name != table)
+                .cloned()
+                .collect()
+        };
+        self.publish_map(TableMap { entries });
+        // The dropped state stays reachable through the retired map until
+        // old pins drain; its rendering's pages follow the same clock.
+        self.retire_accesses(retire);
+        Ok(())
     }
 
     /// Inserts records into a table. If a layout is declared with the eager
     /// strategy, the rows are absorbed into the rendered representation
     /// immediately — *incrementally* where the layout shape allows (new heap
     /// records, column blocks, grid cells, or per-group vertical rows
-    /// appended in place), falling back to a full re-render only for shapes
-    /// that cannot take appends (fold, prejoin, limit). The lazy strategy defers the
-    /// same absorption to the next access; with the new-data-only strategy
-    /// the records are kept in a separate row-oriented buffer that scans
-    /// merge in.
+    /// appended to a private fork of the rendering), falling back to a full
+    /// re-render only for shapes that cannot take appends (fold, prejoin,
+    /// limit). The lazy strategy defers the same absorption to the next
+    /// access; with the new-data-only strategy the records are kept in a
+    /// separate row-oriented buffer that scans merge in.
     ///
-    /// On a durable database the rows are committed to the WAL *before* the
-    /// catalog or any page is touched (write-ahead logging); how quickly the
-    /// commit reaches the disk platter is governed by the
+    /// Absorption and re-rendering happen *aside*, on state no reader can
+    /// see, and land as one atomic publication — concurrent scans of this
+    /// table keep streaming from the previous rendering throughout.
+    ///
+    /// On a durable database the rows are committed to the WAL *before*
+    /// anything is published (write-ahead logging); how quickly the commit
+    /// reaches the disk platter is governed by the
     /// [`rodentstore_storage::SyncPolicy`] chosen at create/open time.
     pub fn insert(&self, table: &str, records: Vec<Record>) -> Result<()> {
         let inserted = records.len();
         // Durable inserts hold the commit fence (shared side) from before
         // the rows apply until the commit resolves, so a checkpoint can
         // never persist rows whose commit might still fail and roll back.
-        // Acquired before the catalog lock (global order: fence → catalog);
-        // uncontended except while a checkpoint runs.
+        // Uncontended except while a checkpoint runs.
         let _fence = self
             .durability
             .is_some()
             .then(|| self.commit_fence.read());
+        let slot = self.slot(table)?;
         let (tx, records_before, queue) = {
-            let mut catalog = self.catalog.write();
-            self.reap_graveyard();
-            let entry = catalog.get(table)?;
-            for r in &records {
-                entry.schema.validate_record(r)?;
+            let _w = slot.writer.lock();
+            if !self.slot_is_current(table, &slot) {
+                return Err(RodentError::UnknownTable(table.to_string()));
             }
-            let records_before = entry.records.len();
+            self.reap_retired();
+            let state = self.pin_state(&slot);
+            for r in &records {
+                state.schema.validate_record(r)?;
+            }
+            let records_before = state.records.len();
             let tx = self.log_op_begin(|| durability::encode_insert(table, &records))?;
-            if let Err(e) = self.insert_locked(&mut catalog, table, records) {
+            if let Err(e) = self.insert_applied(&slot, &state, table, records) {
                 self.log_op_abort(tx);
                 return Err(e);
             }
             // Durable inserts resolve in apply order (see `CommitQueue`):
-            // take the ticket while still holding the write lock, so ticket
-            // order ≡ row-position order.
+            // take the ticket while still holding the writer mutex, so
+            // ticket order ≡ row-position order.
             let queue = tx.map(|_| {
-                let entry = catalog.get(table).expect("applied above");
-                let queue = Arc::clone(&entry.commit_queue);
+                let queue = Arc::clone(&slot.commit_queue);
                 let (ticket, removed_at_apply) = queue.take_ticket();
                 (queue, ticket, removed_at_apply)
             });
             (tx, records_before, queue)
         };
-        // Commit *outside* the catalog write lock: under durable policies
-        // the commit can fsync (and, with `SyncPolicy::GroupDurable`, park
-        // on a shared fsync with other committers) — readers must not be
-        // blocked behind the disk, and parked committers must not hold the
-        // lock. WAL replay order still matches application order because op
-        // records are appended while the write lock is held.
+        // Commit *outside* the writer mutex: under durable policies the
+        // commit can fsync (and, with `SyncPolicy::GroupDurable`, park on a
+        // shared fsync with other committers) — later writers of this table
+        // must not queue behind the disk, and readers never waited in the
+        // first place. WAL replay order still matches application order
+        // because op records are appended while the writer mutex is held.
         let commit_result = self.log_op_commit(tx);
         if let Some((queue, ticket, removed_at_apply)) = queue {
             // Resolve in apply order: every earlier insert has confirmed or
@@ -879,8 +1141,6 @@ impl Database {
             // that much.
             let removed_since = queue.await_turn(ticket, removed_at_apply);
             match &commit_result {
-                // No rows removed: finishing outside the catalog lock is
-                // safe, racing `take_ticket`s see an unchanged counter.
                 Ok(()) => queue.finish(ticket, 0),
                 Err(_) => {
                     // The commit's sync failed — but its *record* may have
@@ -888,111 +1148,110 @@ impl Database {
                     // become durable. Compensate with an abort record
                     // (aborts void a transaction even after a commit
                     // record), then roll the live state back to match what
-                    // recovery will now replay. The rollback finishes the
-                    // ticket itself, *inside* the catalog write lock.
+                    // recovery will now replay.
                     self.log_op_abort(tx);
                     let start = records_before.saturating_sub(removed_since as usize);
-                    self.rollback_insert(table, start, inserted, &queue, ticket);
+                    self.rollback_insert(table, &slot, start, inserted, &queue, ticket);
                 }
             }
         }
         commit_result
     }
 
+    /// The apply half of [`Database::insert`]: validation and WAL logging
+    /// already happened (or are skipped — recovery replay trusts the log).
+    /// The caller holds the table's writer mutex. The successor state —
+    /// rows, pending buffer, and (for the eager strategy) the absorbed or
+    /// re-rendered layout — is built entirely aside and published once; if
+    /// any step fails, nothing is published and the table is untouched.
+    fn insert_applied(
+        &self,
+        slot: &TableSlot,
+        state: &Arc<TableState>,
+        table: &str,
+        records: Vec<Record>,
+    ) -> Result<()> {
+        let mut next = (**state).clone();
+        let has_layout = next.access.is_some() || next.layout_expr.is_some();
+        let mut retire = Vec::new();
+        if has_layout {
+            next.records.push_rows(records.clone());
+            next.pending.push_rows(records);
+            if next.strategy == ReorgStrategy::Eager {
+                self.render_or_absorb(table, &mut next, &mut retire)?;
+            }
+        } else {
+            next.records.push_rows(records);
+        }
+        self.publish_state(slot, next, retire);
+        Ok(())
+    }
+
     /// Removes the `count` rows starting at `start` from a table's live
     /// state after their commit record failed to land, then finishes the
     /// caller's [`crate::catalog::CommitQueue`] ticket. The caller owns the
     /// resolution turn, so `start` (already adjusted for earlier rollbacks)
-    /// is exact; the finish happens *while the catalog write lock is still
-    /// held*, so a racing insert taking its ticket under that lock sees the
-    /// row removal and the queue's `removed` counter move together — never
-    /// one without the other. The rendering is discarded only when it
-    /// already absorbed the doomed rows (pending rows are a suffix of the
-    /// canonical rows — rows still pending were never rendered).
+    /// is exact; the finish happens *while the writer mutex is still held*,
+    /// so a racing insert taking its ticket under that mutex sees the row
+    /// removal and the queue's `removed` counter move together — never one
+    /// without the other. The rendering is discarded only when it already
+    /// absorbed the doomed rows (pending rows are a suffix of the canonical
+    /// rows — rows still pending were never rendered).
     fn rollback_insert(
         &self,
         table: &str,
+        slot: &Arc<TableSlot>,
         start: usize,
         count: usize,
         queue: &Arc<crate::catalog::CommitQueue>,
         ticket: u64,
     ) {
-        let mut catalog = self.catalog.write();
+        let _w = slot.writer.lock();
         let removed = 'remove: {
-            let Ok(entry) = catalog.get_mut(table) else {
-                break 'remove 0; // table dropped meanwhile; rows went with it
-            };
-            // Same name is not enough: the table may have been dropped and
-            // recreated while our commit was in flight, and the new entry's
-            // rows are not ours to drain. The commit queue is per-entry, so
-            // pointer identity tells the two apart.
-            if !Arc::ptr_eq(&entry.commit_queue, queue) {
+            // Same name is not enough: the table may have been dropped (and
+            // recreated) while our commit was in flight, and the new slot's
+            // rows are not ours to drain — slot identity tells them apart.
+            if !self.slot_is_current(table, slot)
+                || !Arc::ptr_eq(&slot.commit_queue, queue)
+            {
                 break 'remove 0; // our table is gone; rows went with it
             }
-            let len = entry.records.len();
+            let state = self.pin_state(slot);
+            let len = state.records.len();
             if start + count > len {
                 // Unreachable while resolution order holds; never panic on
                 // the error path (the commit failure is already reported).
                 debug_assert!(false, "rollback window [{start}, +{count}) exceeds {len} rows");
                 break 'remove 0;
             }
-            let pending_start = len - entry.pending.len();
-            entry.records_mut().drain(start..start + count);
+            let pending_start = len - state.pending.len();
+            let mut next = (*state).clone();
+            next.records.remove_range(start..start + count);
+            let mut retire = Vec::new();
             if start >= pending_start {
                 let offset = start - pending_start;
-                entry.pending_mut().drain(offset..offset + count);
-            } else if let Some(access) = entry.access.take() {
+                next.pending.remove_range(offset..offset + count);
+            } else if let Some(access) = next.access.take() {
                 // The rendering absorbed the doomed rows; discard it. The
                 // next access re-renders from the canonical rows, which now
                 // match exactly what recovery would replay.
-                self.retire(access);
+                retire.push(RetiredAccess {
+                    pages: owned_pages(&access),
+                    chain: std::mem::replace(&mut next.chain, Arc::new(())),
+                    access,
+                    whole_chain: true,
+                });
             }
+            self.publish_state(slot, next, retire);
             count as u64
         };
         queue.finish(ticket, removed);
-        drop(catalog);
-    }
-
-    /// The mutation half of [`Database::insert`]: validation and WAL logging
-    /// already happened (or are skipped — recovery replay trusts the log).
-    /// The caller holds the catalog write lock.
-    ///
-    /// If eager absorption fails (e.g. a record too large for the page
-    /// size), the canonical rows and pending buffer are rolled back and the
-    /// (possibly partially appended) rendering is invalidated, so the table
-    /// stays usable — the next access re-renders from the clean canonical
-    /// state, and the WAL records the transaction as aborted.
-    fn insert_locked(
-        &self,
-        catalog: &mut Catalog,
-        table: &str,
-        records: Vec<Record>,
-    ) -> Result<()> {
-        let entry = catalog.get_mut(table)?;
-        let has_layout = entry.access.is_some() || entry.layout_expr.is_some();
-        let records_before = entry.records.len();
-        let pending_before = entry.pending.len();
-        entry.records_mut().extend(records.iter().cloned());
-        if has_layout {
-            entry.pending_mut().extend(records);
-            if entry.strategy == ReorgStrategy::Eager {
-                if let Err(e) = self.render_or_absorb_locked(catalog, table) {
-                    let entry = catalog.get_mut(table)?;
-                    entry.records_mut().truncate(records_before);
-                    entry.pending_mut().truncate(pending_before);
-                    if let Some(access) = entry.access.take() {
-                        self.retire(access);
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Number of logical rows in a table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.catalog.read().get(table)?.row_count())
+        let slot = self.slot(table)?;
+        Ok(self.pin_state(&slot).row_count())
     }
 
     /// Declares the physical layout of a table using the textual algebra
@@ -1002,86 +1261,112 @@ impl Database {
         self.apply_layout(table, expr, ReorgStrategy::Eager)
     }
 
-    /// Declares the physical layout of a table. Holds the catalog write
-    /// lock through the render; scans pinned to the previous layout finish
-    /// against it, and its pages are reclaimed once the last pin drops.
+    /// Declares the physical layout of a table. The render happens aside,
+    /// under the table's writer mutex only — scans of this table keep
+    /// streaming from the previous rendering until the new one is published
+    /// in a single atomic swap, and scans of *other* tables are entirely
+    /// unaffected. The superseded rendering's pages are reclaimed once the
+    /// last reader pinned to it drains.
     pub fn apply_layout(
         &self,
         table: &str,
         expr: LayoutExpr,
         strategy: ReorgStrategy,
     ) -> Result<()> {
-        let mut catalog = self.catalog.write();
-        self.reap_graveyard();
-        // Validate against the whole catalog so prejoins across tables work
-        // — and so invalid expressions are rejected *before* they are logged.
-        validate::check_with(&expr, &catalog.schemas())?;
-        catalog.get(table)?;
-        let tx = self.log_op_begin(|| {
-            durability::encode_apply_layout(table, &expr.to_string(), strategy, false)
-        })?;
-        self.apply_layout_locked(&mut catalog, table, expr, strategy, tx)
+        self.apply_layout_inner(table, expr, strategy, false, None)
+            .map(|_| ())
     }
 
-    /// Applies a layout and commits its already-written WAL op record (the
-    /// caller holds the catalog write lock). If the eager render fails — or
-    /// the commit record cannot be written — the previous layout state
-    /// (expression, strategy, rendering, pending buffer) is restored
-    /// wholesale, so the live catalog matches both what the caller observed
-    /// (an error) and what recovery would replay (an aborted or absent op).
-    fn apply_layout_locked(
+    /// The full layout-change path: validate, log, render aside, commit,
+    /// publish — shared by [`Database::apply_layout`], adaptation, and
+    /// recovery replay.
+    ///
+    /// With `expected` set (the adaptation path), the change only applies
+    /// if the table's declared expression still equals `expected` when the
+    /// writer mutex is taken; returns `Ok(false)` if another layout change
+    /// won the race (the caller's cost comparison was computed against a
+    /// stale baseline).
+    ///
+    /// Publication is strictly *after* the WAL commit resolves, and the
+    /// commit itself runs without any reader-visible structure touched — a
+    /// reader never observes a layout whose durability is still undecided,
+    /// so there is no restore path: on any failure (render error, commit
+    /// error) nothing was published and the table is exactly as before.
+    fn apply_layout_inner(
         &self,
-        catalog: &mut Catalog,
         table: &str,
         expr: LayoutExpr,
         strategy: ReorgStrategy,
-        tx: Option<rodentstore_storage::TxId>,
-    ) -> Result<()> {
-        let (prev_expr, prev_strategy, prev_access, prev_pending) = {
-            let entry = catalog.get_mut(table)?;
-            let prev = (
-                entry.layout_expr.take(),
-                entry.strategy,
-                entry.access.take(),
-                std::mem::replace(&mut entry.pending, Arc::new(Vec::new())),
-            );
-            entry.layout_expr = Some(expr);
-            entry.strategy = strategy;
-            prev
-        };
-        let failure = if strategy.renders_immediately() {
-            self.render_or_absorb_locked(catalog, table).err()
-        } else {
-            None
-        };
-        let failure = match failure {
-            Some(e) => {
-                self.log_op_abort(tx);
-                Some(e)
+        adapted: bool,
+        expected: Option<&LayoutExpr>,
+    ) -> Result<bool> {
+        let _fence = self
+            .durability
+            .is_some()
+            .then(|| self.commit_fence.read());
+        // Validate against the whole catalog so prejoins across tables work
+        // — and so invalid expressions are rejected *before* they are
+        // logged.
+        validate::check_with(&expr, &self.catalog().schemas())?;
+        let slot = self.slot(table)?;
+        let _w = slot.writer.lock();
+        if !self.slot_is_current(table, &slot) {
+            return Err(RodentError::UnknownTable(table.to_string()));
+        }
+        self.reap_retired();
+        let state = self.pin_state(&slot);
+        if let Some(expected) = expected {
+            let current = state
+                .layout_expr
+                .clone()
+                .unwrap_or_else(|| LayoutExpr::table(table));
+            if &current != expected {
+                return Ok(false);
             }
-            None => self.log_op_commit(tx).err().map(|e| {
-                // The commit record may have landed before its sync failed;
-                // a compensating abort keeps replay from resurrecting the
-                // layout change we are about to undo.
+        }
+        let mut next = (*state).clone();
+        let mut retire = Vec::new();
+        if let Some(old) = next.access.take() {
+            retire.push(RetiredAccess {
+                pages: owned_pages(&old),
+                chain: std::mem::replace(&mut next.chain, Arc::new(())),
+                access: old,
+                whole_chain: true,
+            });
+        }
+        next.layout_expr = Some(expr);
+        next.strategy = strategy;
+        next.pending.clear();
+        if adapted {
+            next.stats.adaptations += 1;
+        }
+        let tx = self.log_op_begin(|| {
+            durability::encode_apply_layout(
+                table,
+                &next.layout_expr.as_ref().expect("just set").to_string(),
+                strategy,
+                adapted,
+            )
+        })?;
+        if strategy.renders_immediately() {
+            if let Err(e) = self.render_or_absorb(table, &mut next, &mut retire) {
                 self.log_op_abort(tx);
-                e
-            }),
-        };
-        let entry = catalog.get_mut(table)?;
-        if let Some(e) = failure {
-            if let Some(new_access) = entry.access.take() {
-                self.retire(new_access); // the failed declaration's render
+                return Err(e); // nothing published; old rendering stays live
             }
-            entry.layout_expr = prev_expr;
-            entry.strategy = prev_strategy;
-            entry.access = prev_access;
-            entry.pending = prev_pending;
+        }
+        if let Err(e) = self.log_op_commit(tx) {
+            // The commit record may have landed before its sync failed; a
+            // compensating abort keeps replay from resurrecting the layout
+            // change we are abandoning. The new rendering was never
+            // published, so discarding is just returning its pages.
+            self.log_op_abort(tx);
+            if let Some(new_access) = next.access.take() {
+                self.quarantine(owned_pages(&new_access));
+            }
             return Err(e);
         }
-        if let Some(old_access) = prev_access {
-            self.retire(old_access); // superseded rendering → free list
-        }
-        Ok(())
+        self.publish_state(&slot, next, retire);
+        Ok(true)
     }
 
     /// Renders the declared layout of `table` if it is not already rendered,
@@ -1090,129 +1375,172 @@ impl Database {
     ///
     /// Absorption is incremental whenever the layout shape allows it: the
     /// pending rows are pipelined (selection, projection, …) and appended to
-    /// the existing stored objects — new heap records for row layouts, new
-    /// column blocks for columnar ones, routed into (possibly new) cells for
-    /// grids, projected onto every field group for vertical partitions. Only
-    /// shapes whose invariants cannot be maintained row-at-a-time (fold,
-    /// prejoin, limit) fall back to a full re-render.
+    /// a private *fork* of the stored objects — new heap records for row
+    /// layouts, new column blocks for columnar ones, routed into (possibly
+    /// new) cells for grids, projected onto every field group for vertical
+    /// partitions — which is then swapped in atomically. Only shapes whose
+    /// invariants cannot be maintained row-at-a-time (fold, prejoin, limit)
+    /// fall back to a full re-render. Because the work happens on the fork,
+    /// it proceeds under *any* concurrent read load: readers pinned to the
+    /// published rendering never block it and are never blocked by it.
     pub fn ensure_rendered(&self, table: &str) -> Result<()> {
-        // Fast path under the read lock: nothing to do for tables without a
+        let slot = self.slot(table)?;
+        // Fast path — lock-free: nothing to do for tables without a
         // declared layout, or whose rendering is current.
         {
-            let catalog = self.catalog.read();
-            let entry = catalog.get(table)?;
-            if entry.layout_expr.is_none() {
+            let state = self.pin_state(&slot);
+            if state.layout_expr.is_none() {
                 return Ok(());
             }
-            let absorbs = entry.strategy.absorbs_new_data_on_access();
-            match &entry.access {
-                Some(access) if !(absorbs && !entry.pending.is_empty()) => return Ok(()),
-                Some(access) => {
-                    // Absorption is due, but it can only run on a uniquely
-                    // owned layout. If other readers pin it *right now*,
-                    // don't escalate to the write lock — under overlapping
-                    // reader traffic that would turn every scan into a
-                    // write-lock acquisition that then fails `Arc::get_mut`
-                    // anyway. Serve with the pending-merge path (correct)
-                    // and let a quiet moment, or the next insert, absorb.
-                    // (Advisory check: a stale answer only defers or
-                    // over-attempts absorption, never breaks correctness —
-                    // the write path re-checks ownership authoritatively.)
-                    if Arc::strong_count(access) > 1 {
-                        return Ok(());
-                    }
-                }
-                None => {}
+            if state.access.is_some()
+                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty())
+            {
+                return Ok(());
             }
         }
-        let mut catalog = self.catalog.write();
-        self.reap_graveyard();
-        self.render_or_absorb_locked(&mut catalog, table)
+        // Slow path: this is a write (it publishes a new rendering and
+        // retires pages), so it runs under the commit fence like every
+        // durable mutation — a checkpoint's manifest cut must not interleave
+        // with the retirement it produces.
+        let _fence = self
+            .durability
+            .is_some()
+            .then(|| self.commit_fence.read());
+        let _w = slot.writer.lock();
+        if !self.slot_is_current(table, &slot) {
+            return Err(RodentError::UnknownTable(table.to_string()));
+        }
+        self.reap_retired();
+        let state = self.pin_state(&slot);
+        // Re-check under the mutex: another thread may have rendered or
+        // absorbed while we waited.
+        if state.layout_expr.is_none()
+            || (state.access.is_some()
+                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty()))
+        {
+            return Ok(());
+        }
+        let mut next = (*state).clone();
+        let mut retire = Vec::new();
+        let result = self.render_or_absorb(table, &mut next, &mut retire);
+        // Publish even when absorption failed: `render_or_absorb` then left
+        // `next` with the rendering discarded (`access: None`), which is
+        // the contract — a failed partial append must invalidate, and the
+        // canonical rows remain the consistent source of truth.
+        self.publish_state(&slot, next, retire);
+        result
     }
 
-    /// The write half of [`Database::ensure_rendered`]: absorbs pending
-    /// rows into the existing rendering or performs a full render, under
-    /// the catalog write lock held by the caller.
-    fn render_or_absorb_locked(&self, catalog: &mut Catalog, table: &str) -> Result<()> {
-        let entry = catalog.get_mut(table)?;
-        if entry.layout_expr.is_none() {
+    /// The build half of rendering/absorption: mutates the *aside* state
+    /// `next` (never anything published) and records superseded renderings
+    /// in `retire` for the caller's publication. The caller holds the
+    /// table's writer mutex.
+    ///
+    /// On an absorption error the fork is discarded, `next.access` is set
+    /// to `None` (the old rendering joins `retire` — a failed partial
+    /// append invalidates rather than risk serving misaligned objects), and
+    /// the error is returned; whether anything is published is the caller's
+    /// decision.
+    fn render_or_absorb(
+        &self,
+        table: &str,
+        next: &mut TableState,
+        retire: &mut Vec<RetiredAccess>,
+    ) -> Result<()> {
+        if next.layout_expr.is_none() {
             return Ok(());
         }
-        let absorbs = entry.strategy.absorbs_new_data_on_access();
-        if entry.access.is_some() && absorbs && !entry.pending.is_empty() {
-            // Try to absorb the pending rows into the existing rendering.
-            // In-place appends require *unique* ownership of the layout: a
-            // rendering pinned by an in-flight scan must not grow rows
-            // underneath that scan.
-            let mut access = entry.access.take().expect("checked above");
-            match Arc::get_mut(&mut access) {
-                None => {
-                    // Pinned by a reader. Leave the rows in the pending
-                    // buffer — scans merge it in, so results stay correct —
-                    // and retry the absorption on the next access, by which
-                    // time the pin has usually drained.
-                    entry.access = Some(access);
+        let absorbs = next.strategy.absorbs_new_data_on_access();
+        if let Some(access) = next.access.clone() {
+            if !(absorbs && !next.pending.is_empty()) {
+                return Ok(()); // rendering is current
+            }
+            // Incremental absorption on a fork: the fork shares the
+            // published rendering's sealed pages (never mutating them — the
+            // adopted tail is protected, so the first append relocates it)
+            // and appends into fresh ones.
+            let cost_params = self.config_snapshot().cost_params;
+            let forked_layout = access
+                .layout()
+                .fork_for_append()
+                .map_err(RodentError::Layout)?;
+            let mut forked = AccessMethods::with_cost_params(forked_layout, cost_params);
+            let provider =
+                MemTableProvider::single(next.schema.clone(), next.pending.to_vec());
+            match forked.append_rows(&provider) {
+                Ok(AppendOutcome::Appended { .. }) => {
+                    // Pages the fork vacated (the relocated tail, index
+                    // pages it rebuilt away from) still back the published
+                    // rendering for pinned readers: they are owned by the
+                    // *old* rendering's shared retirement, reclaimed when
+                    // its last pin drains. The chain token is shared — the
+                    // fork and the original are generations of one page
+                    // chain.
+                    let vacated = forked.layout().take_relocated();
+                    next.access = Some(Arc::new(forked));
+                    next.pending.clear();
+                    next.stats.incremental_appends += 1;
+                    retire.push(RetiredAccess {
+                        access,
+                        chain: Arc::clone(&next.chain),
+                        pages: vacated,
+                        whole_chain: false,
+                    });
                     return Ok(());
                 }
-                Some(unique) => {
-                    let provider = MemTableProvider::single(
-                        entry.schema.clone(),
-                        entry.pending.as_ref().clone(),
-                    );
-                    match unique.append_rows(&provider) {
-                        Ok(AppendOutcome::Appended { .. }) => {
-                            entry.access = Some(access);
-                            entry.pending_mut().clear();
-                            entry.stats.incremental_appends += 1;
-                            return Ok(());
-                        }
-                        Ok(AppendOutcome::NeedsRebuild(_)) => {
-                            self.retire(access);
-                            // Fall through to the full render below.
-                        }
-                        Err(e) => {
-                            // A failed append may have touched some objects
-                            // and not others (e.g. one group of a vertical
-                            // partition), which would misalign the
-                            // positional stitch of every later read.
-                            // Discard the rendering: the next access
-                            // rebuilds from the canonical rows, which are
-                            // still consistent.
-                            self.retire(access);
-                            return Err(e.into());
-                        }
-                    }
+                Ok(AppendOutcome::NeedsRebuild(_)) => {
+                    self.discard_fork(&forked, &access);
+                    next.access = Some(access);
+                    // Fall through to the full render below.
+                }
+                Err(e) => {
+                    // A failed append may have grown some of the fork's
+                    // objects and not others, which would misalign the
+                    // positional stitch of every later read. Discard the
+                    // fork *and* retire the old rendering: callers either
+                    // publish the invalidated state (lazy absorption — the
+                    // next access rebuilds from the canonical rows) or
+                    // publish nothing at all (eager insert — the doomed
+                    // rows never land).
+                    self.discard_fork(&forked, &access);
+                    next.access = None;
+                    retire.push(RetiredAccess {
+                        pages: owned_pages(&access),
+                        chain: std::mem::replace(&mut next.chain, Arc::new(())),
+                        access,
+                        whole_chain: true,
+                    });
+                    return Err(e.into());
                 }
             }
-        } else if entry.access.is_some() {
-            return Ok(());
         }
-        let (expr, strategy) = {
-            let entry = catalog.get(table)?;
-            (
-                entry.layout_expr.clone().expect("checked above"),
-                entry.strategy,
-            )
-        };
-        // Build a provider holding only the tables the expression actually
+        // Full render, built aside from the canonical rows.
+        let expr = next.layout_expr.clone().expect("checked above");
+        let config = self.config_snapshot();
+        // A provider holding only the tables the expression actually
         // references (prejoin may need more than one; everything else needs
-        // exactly one — unrelated tables are never cloned). Under the
-        // new-data-only strategy, rows inserted after the layout was declared
-        // stay in the row buffer and are excluded from the rendering.
+        // exactly one — unrelated tables are never copied). Under the
+        // new-data-only strategy, rows inserted after the layout was
+        // declared stay in the row buffer and are excluded. Other tables
+        // are read at their currently published states.
         let referenced = expr.base_tables();
         let mut provider = MemTableProvider::new();
-        for name in catalog.table_names() {
+        let view = self.catalog();
+        for name in view.table_names() {
             if !referenced.contains(&name) {
                 continue;
             }
-            let entry = catalog.get(&name)?;
-            let mut records = entry.records.as_ref().clone();
-            if name == table && !strategy.absorbs_new_data_on_access() {
-                records.truncate(records.len().saturating_sub(entry.pending.len()));
+            if name == table {
+                let mut records = next.records.to_vec();
+                if !absorbs {
+                    records.truncate(records.len().saturating_sub(next.pending.len()));
+                }
+                provider.add(next.schema.clone(), records);
+            } else {
+                let other = view.get(&name)?;
+                provider.add(other.schema.clone(), other.records.to_vec());
             }
-            provider.add(entry.schema.clone(), records);
         }
-        let config = self.config.read().clone();
         let layout = render(
             &expr,
             &provider,
@@ -1222,32 +1550,60 @@ impl Database {
                 ..config.render_options
             },
         )?;
-        let access = AccessMethods::with_cost_params(layout, config.cost_params);
-        let entry = catalog.get_mut(table)?;
-        entry.access = Some(Arc::new(access));
-        entry.stats.full_renders += 1;
-        if strategy.absorbs_new_data_on_access() {
-            entry.pending_mut().clear();
+        if let Some(old) = next.access.take() {
+            retire.push(RetiredAccess {
+                pages: owned_pages(&old),
+                chain: std::mem::replace(&mut next.chain, Arc::new(())),
+                access: old,
+                whole_chain: true,
+            });
+        } else {
+            next.chain = Arc::new(());
+        }
+        next.access = Some(Arc::new(AccessMethods::with_cost_params(
+            layout,
+            config.cost_params,
+        )));
+        next.stats.full_renders += 1;
+        if absorbs {
+            next.pending.clear();
         }
         Ok(())
     }
 
+    /// Discards a never-published fork: quarantines the pages it allocated
+    /// (anything outside the original's extent) and drops its relocation
+    /// notes — the pages *those* name were vacated from the shared extent
+    /// and still back the published rendering.
+    fn discard_fork(&self, fork: &AccessMethods, original: &AccessMethods) {
+        let shared: std::collections::HashSet<PageId> = original
+            .layout()
+            .extent_pages()
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        let fresh: Vec<PageId> = fork
+            .layout()
+            .extent_pages()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|p| !shared.contains(p))
+            .collect();
+        let _ = fork.layout().take_relocated();
+        self.quarantine(fresh);
+    }
+
     /// Pins a consistent snapshot of a table — rendering the declared
-    /// layout or absorbing pending rows first if needed. The snapshot holds
-    /// the canonical rows, the pending buffer, and the rendered layout via
-    /// shared pointers: queries served from it never block on (and are
-    /// never corrupted by) concurrent inserts, layout swaps, adaptation, or
-    /// checkpoints.
+    /// layout or absorbing pending rows first if needed. The pin itself is
+    /// lock-free (an epoch pin plus atomic loads); queries served from it
+    /// never block on (and are never corrupted by) concurrent inserts,
+    /// layout swaps, adaptation, or checkpoints.
     pub fn snapshot(&self, table: &str) -> Result<TableSnapshot> {
         self.ensure_rendered(table)?;
-        let catalog = self.catalog.read();
-        let entry = catalog.get(table)?;
+        let slot = self.slot(table)?;
         Ok(TableSnapshot {
-            schema: entry.schema.clone(),
-            records: Arc::clone(&entry.records),
-            pending: Arc::clone(&entry.pending),
-            access: entry.access.clone(),
-            cost_params: self.config.read().cost_params,
+            state: self.pin_state(&slot),
+            cost_params: self.config_snapshot().cost_params,
         })
     }
 
@@ -1289,21 +1645,18 @@ impl Database {
         index: usize,
         fields: Option<&[String]>,
     ) -> Result<Record> {
+        let slot = self.slot(table)?;
         let run_check = {
-            let (auto, check_every) = {
-                let config = self.config.read();
-                (config.adaptive.auto, config.adaptive.check_every)
-            };
-            let catalog = self.catalog.read();
-            let entry = catalog.get(table)?;
-            let mut profile = entry.profile.lock();
+            let config = self.config_snapshot();
+            let state = self.pin_state(&slot);
+            let mut profile = slot.profile.lock();
             // Unknown fields error below and must not poison the profile.
             if fields.map_or(true, |fields| {
-                fields.iter().all(|f| entry.schema.index_of(f).is_ok())
+                fields.iter().all(|f| state.schema.index_of(f).is_ok())
             }) {
                 profile.record_get_element(fields);
             }
-            auto && profile.queries_since_check >= check_every
+            config.adaptive.auto && profile.queries_since_check >= config.adaptive.check_every
         };
         let snapshot = self.snapshot(table)?;
         let element = snapshot.get_element(index, fields)?;
@@ -1331,9 +1684,9 @@ impl Database {
     /// The sort orders the table's current organization is efficient for.
     pub fn order_list(&self, table: &str) -> Result<Vec<Vec<rodentstore_algebra::expr::SortKey>>> {
         self.ensure_rendered(table)?;
-        let catalog = self.catalog.read();
-        let entry = catalog.get(table)?;
-        Ok(entry
+        let slot = self.slot(table)?;
+        Ok(self
+            .pin_state(&slot)
             .access
             .as_ref()
             .map(|a| a.order_list())
@@ -1349,13 +1702,10 @@ impl Database {
         options: &AdvisorOptions,
     ) -> Result<Recommendation> {
         // Pin the schema and rows, then run the (expensive) advisor search
-        // without any database lock held.
-        let (schema, records) = {
-            let catalog = self.catalog.read();
-            let entry = catalog.get(table)?;
-            (entry.schema.clone(), Arc::clone(&entry.records))
-        };
-        Ok(advise(&schema, &records, workload, options)?)
+        // with no lock held and nobody blocked on us.
+        let slot = self.slot(table)?;
+        let state = self.pin_state(&slot);
+        Ok(advise(&state.schema, &state.records.to_vec(), workload, options)?)
     }
 
     /// Runs the advisor and applies the recommended layout eagerly.
@@ -1373,12 +1723,13 @@ impl Database {
     /// A point-in-time copy of the live workload profile captured for a
     /// table.
     pub fn workload_profile(&self, table: &str) -> Result<crate::monitor::WorkloadProfile> {
-        Ok(self.catalog.read().get(table)?.profile.lock().clone())
+        Ok(self.slot(table)?.profile.lock().clone())
     }
 
     /// Render/append/adaptation counters for a table.
     pub fn layout_stats(&self, table: &str) -> Result<crate::catalog::LayoutStats> {
-        Ok(self.catalog.read().get(table)?.stats)
+        let slot = self.slot(table)?;
+        Ok(self.pin_state(&slot).stats)
     }
 
     /// Runs one adaptation check against the table's *live* workload profile
@@ -1388,40 +1739,36 @@ impl Database {
     /// predicted improvement clears [`AdaptivePolicy::hysteresis`].
     ///
     /// In auto mode this runs by itself every [`AdaptivePolicy::check_every`]
-    /// queries; calling it explicitly is always allowed.
+    /// queries; calling it explicitly is always allowed. The advisor search
+    /// runs against a pinned state with no lock held — concurrent scans
+    /// *and writes* proceed while the annealing runs; only the final
+    /// re-render takes this table's writer mutex.
     pub fn maybe_adapt(&self, table: &str) -> Result<AdaptOutcome> {
-        let policy = self.config.read().adaptive.clone();
-        // Snapshot the profile, schema, rows, and current expression under
-        // the read lock, then run the advisor search with *no* lock held —
-        // concurrent scans proceed while the annealing runs.
-        let (workload, observed, current_expr, schema, records) = {
-            let catalog = self.catalog.read();
-            let entry = catalog.get(table)?;
-            let mut profile = entry.profile.lock();
+        let policy = self.config_snapshot().adaptive.clone();
+        let slot = self.slot(table)?;
+        let (workload, observed) = {
+            let mut profile = slot.profile.lock();
             profile.end_check_window();
-            (
-                profile.to_workload(),
-                profile.queries_observed,
-                entry
-                    .layout_expr
-                    .clone()
-                    .unwrap_or_else(|| LayoutExpr::table(table)),
-                entry.schema.clone(),
-                Arc::clone(&entry.records),
-            )
+            (profile.to_workload(), profile.queries_observed)
         };
         if observed < policy.min_queries || workload.is_empty() {
             return Ok(AdaptOutcome::InsufficientData {
                 queries_observed: observed,
             });
         }
+        let state = self.pin_state(&slot);
+        let current_expr = state
+            .layout_expr
+            .clone()
+            .unwrap_or_else(|| LayoutExpr::table(table));
         let (recommendation, baseline) = advise_with_baseline(
-            &schema,
-            &records,
+            &state.schema,
+            &state.records.to_vec(),
             &workload,
             &policy.advisor,
             &current_expr,
         )?;
+        drop(state);
         let best = recommendation.best;
         let current_ms = baseline.map(|c| c.total_ms).unwrap_or(f64::INFINITY);
         let improves = best.total_ms < current_ms * (1.0 - policy.hysteresis);
@@ -1431,36 +1778,30 @@ impl Database {
                 best_ms: best.total_ms,
             });
         }
-        let mut catalog = self.catalog.write();
-        self.reap_graveyard();
-        // Re-check under the write lock: if another thread re-declared the
+        // Adaptation is logged as an `apply_layout` with the `adapted` flag
+        // set, so replay after a crash maintains the adaptation counter.
+        // `expected` guards the race: if another thread re-declared the
         // layout while the advisor ran, our recommendation was costed
         // against a stale baseline — keep what is there and let the next
         // check window re-evaluate.
-        let now_expr = catalog
-            .get(table)?
-            .layout_expr
-            .clone()
-            .unwrap_or_else(|| LayoutExpr::table(table));
-        if now_expr != current_expr {
-            return Ok(AdaptOutcome::KeptCurrent {
+        if self.apply_layout_inner(
+            table,
+            best.expr.clone(),
+            policy.strategy,
+            true,
+            Some(&current_expr),
+        )? {
+            Ok(AdaptOutcome::Adapted {
+                expr: best.expr,
+                from_ms: current_ms,
+                to_ms: best.total_ms,
+            })
+        } else {
+            Ok(AdaptOutcome::KeptCurrent {
                 current_ms,
                 best_ms: best.total_ms,
-            });
+            })
         }
-        // Adaptation is logged as an `apply_layout` with the `adapted` flag
-        // set, so replay after a crash maintains the adaptation counter.
-        let tx = self.log_op_begin(|| {
-            durability::encode_apply_layout(table, &best.expr.to_string(), policy.strategy, true)
-        })?;
-        self.apply_layout_locked(&mut catalog, table, best.expr.clone(), policy.strategy, tx)?;
-        let entry = catalog.get_mut(table)?;
-        entry.stats.adaptations += 1;
-        Ok(AdaptOutcome::Adapted {
-            expr: best.expr,
-            from_ms: current_ms,
-            to_ms: best.total_ms,
-        })
     }
 
     /// Records a scan into the profile, returning whether the auto-adapt
@@ -1469,13 +1810,10 @@ impl Database {
     /// query path anyway, and a poisoned template would make every later
     /// advisor run fail on the unknown field.
     fn observe(&self, table: &str, request: &ScanRequest) -> Result<bool> {
-        let (auto, check_every) = {
-            let config = self.config.read();
-            (config.adaptive.auto, config.adaptive.check_every)
-        };
-        let catalog = self.catalog.read();
-        let entry = catalog.get(table)?;
-        let known = |f: &String| entry.schema.index_of(f).is_ok();
+        let config = self.config_snapshot();
+        let slot = self.slot(table)?;
+        let state = self.pin_state(&slot);
+        let known = |f: &String| state.schema.index_of(f).is_ok();
         let valid = request.fields.iter().flatten().all(known)
             && request
                 .predicate
@@ -1486,11 +1824,11 @@ impl Database {
                 .iter()
                 .flatten()
                 .all(|k| known(&k.field));
-        let mut profile = entry.profile.lock();
+        let mut profile = slot.profile.lock();
         if valid {
             profile.record_scan(request);
         }
-        Ok(auto && profile.queries_since_check >= check_every)
+        Ok(config.adaptive.auto && profile.queries_since_check >= config.adaptive.check_every)
     }
 
     /// Auto-mode wrapper around [`Database::maybe_adapt`]: an adaptation
@@ -1501,15 +1839,14 @@ impl Database {
     /// cross the `check_every` threshold together, one runs the advisor and
     /// the rest skip.
     fn auto_adapt_check(&self, table: &str) -> Result<()> {
-        let gate = match self.catalog.read().get(table) {
-            Ok(entry) => Arc::clone(&entry.adapting),
-            Err(_) => return Ok(()), // dropped meanwhile
+        let Ok(slot) = self.slot(table) else {
+            return Ok(()); // dropped meanwhile
         };
-        if gate.swap(true, Ordering::SeqCst) {
+        if slot.adapting.swap(true, Ordering::SeqCst) {
             return Ok(()); // another thread's check is in flight
         }
         let result = self.maybe_adapt(table);
-        gate.store(false, Ordering::SeqCst);
+        slot.adapting.store(false, Ordering::SeqCst);
         match result {
             Ok(_) | Err(RodentError::Optimizer(_)) => Ok(()),
             Err(e) => Err(e),
@@ -1520,18 +1857,18 @@ impl Database {
 impl TableSnapshot {
     /// The table's logical schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.state.schema
     }
 
     /// Number of logical rows visible to this snapshot.
     pub fn row_count(&self) -> usize {
-        self.records.len()
+        self.state.records.len()
     }
 
     /// The pinned rendered layout, if the table had one when the snapshot
     /// was taken.
     pub fn layout(&self) -> Option<&PhysicalLayout> {
-        self.access.as_deref().map(AccessMethods::layout)
+        self.state.access.as_deref().map(AccessMethods::layout)
     }
 
     /// Scans the snapshot. Tables without a declared layout are scanned
@@ -1540,7 +1877,7 @@ impl TableSnapshot {
     /// (order-aware when the request asks for a sort). No database lock is
     /// held.
     pub fn scan(&self, request: &ScanRequest) -> Result<Vec<Record>> {
-        match &self.access {
+        match &self.state.access {
             // A layout can only serve requests over the fields it kept; a
             // query referencing a field the (possibly auto-adapted) layout
             // projected away falls back to the canonical rows — and, having
@@ -1548,7 +1885,7 @@ impl TableSnapshot {
             // toward a layout that covers it.
             Some(access) if layout_serves(access, request) => {
                 let mut rows = access.scan(request)?;
-                if !self.pending.is_empty() {
+                if !self.state.pending.is_empty() {
                     // Pending rows must come out in the *layout's* output
                     // shape (a projection layout exposes fewer fields than
                     // the canonical schema), so the merge compares and
@@ -1562,13 +1899,16 @@ impl TableSnapshot {
                         predicate: request.predicate.clone(),
                         order: request.order.clone(),
                     };
-                    let pending =
-                        scan_canonical(&self.schema, &self.pending, &pending_request)?;
+                    let pending = scan_canonical(
+                        &self.state.schema,
+                        self.state.pending.iter(),
+                        &pending_request,
+                    )?;
                     rows = merge_by_order(&out_fields, request.order.as_deref(), rows, pending);
                 }
                 Ok(rows)
             }
-            _ => scan_canonical(&self.schema, &self.records, request),
+            _ => scan_canonical(&self.state.schema, self.state.records.iter(), request),
         }
     }
 
@@ -1578,8 +1918,8 @@ impl TableSnapshot {
     /// snapshot (not from the database, so concurrent writers are never
     /// blocked). Otherwise the merged result is materialized.
     pub fn open_cursor(&self, request: &ScanRequest) -> Result<Cursor<'_>> {
-        match &self.access {
-            Some(access) if layout_serves(access, request) && self.pending.is_empty() => {
+        match &self.state.access {
+            Some(access) if layout_serves(access, request) && self.state.pending.is_empty() => {
                 Ok(access.open_cursor(request)?)
             }
             _ => Ok(Cursor::new(self.scan(request)?)),
@@ -1590,7 +1930,7 @@ impl TableSnapshot {
     /// representation (layout storage order first, then any pending row
     /// buffer).
     pub fn get_element(&self, index: usize, fields: Option<&[String]>) -> Result<Record> {
-        match &self.access {
+        match &self.state.access {
             // Fields the layout projected away are served from the canonical
             // rows (in canonical order — a storage order over fields the
             // layout does not store is not meaningful).
@@ -1602,7 +1942,7 @@ impl TableSnapshot {
                 }) =>
             {
                 let layout_rows = access.layout().row_count;
-                if index >= layout_rows && index - layout_rows < self.pending.len() {
+                if index >= layout_rows && index - layout_rows < self.state.pending.len() {
                     // Pending rows (new-data-only buffer) extend the storage
                     // order past the rendered representation; project them to
                     // the layout's exposed fields so the record shape does
@@ -1616,8 +1956,12 @@ impl TableSnapshot {
                         }
                     };
                     project_record(
-                        &self.schema,
-                        self.pending[index - layout_rows].clone(),
+                        &self.state.schema,
+                        self.state
+                            .pending
+                            .get(index - layout_rows)
+                            .cloned()
+                            .expect("bounds checked above"),
                         Some(effective),
                     )
                 } else {
@@ -1625,10 +1969,11 @@ impl TableSnapshot {
                 }
             }
             _ => self
+                .state
                 .records
                 .get(index)
                 .cloned()
-                .map(|r| project_record(&self.schema, r, fields))
+                .map(|r| project_record(&self.state.schema, r, fields))
                 .transpose()?
                 .ok_or_else(|| RodentError::Invalid(format!("element {index} out of range"))),
         }
@@ -1636,11 +1981,11 @@ impl TableSnapshot {
 
     /// Estimated cost of a scan over this snapshot, in milliseconds.
     pub fn scan_cost(&self, request: &ScanRequest) -> Result<f64> {
-        match &self.access {
+        match &self.state.access {
             Some(access) if layout_serves(access, request) => Ok(access.scan_cost(request)?),
             _ => {
-                let bytes =
-                    self.records.len() as f64 * self.schema.estimated_record_width() as f64;
+                let bytes = self.state.records.len() as f64
+                    * self.state.schema.estimated_record_width() as f64;
                 Ok(self.cost_params.seek_ms
                     + bytes / (self.cost_params.transfer_mb_per_s * 1024.0 * 1024.0) * 1000.0)
             }
@@ -1649,28 +1994,22 @@ impl TableSnapshot {
 
     /// Estimated number of pages a scan over this snapshot would read.
     pub fn scan_pages(&self, request: &ScanRequest) -> Result<u64> {
-        match &self.access {
+        match &self.state.access {
             Some(access) if layout_serves(access, request) => Ok(access.scan_pages(request)),
             _ => Ok(0),
         }
     }
 }
 
+/// Every page a rendering's extent owns: heap pages plus index tree pages.
+/// (Relocation notes are drained separately at reclamation time.)
+fn owned_pages(access: &AccessMethods) -> Vec<PageId> {
+    access.layout().extent_pages().unwrap_or_default()
+}
+
 /// Whether the rendered layout can serve every field the request references
 /// (projection, predicate, and order keys). A layout that projected a field
 /// away cannot — such requests fall back to the canonical rows.
-/// Pages owned by a retired layout's secondary index, if any: the live tree
-/// pages plus any pages vacated by protected-tree relocation. Reclaimed
-/// alongside the heap extents when the layout leaves the graveyard.
-fn retired_index_pages(layout: &PhysicalLayout) -> Vec<rodentstore_storage::page::PageId> {
-    let Some(idx) = layout.index.as_ref() else {
-        return Vec::new();
-    };
-    let mut pages = idx.page_ids().unwrap_or_default();
-    pages.extend(idx.take_relocated());
-    pages
-}
-
 fn layout_serves(access: &AccessMethods, request: &ScanRequest) -> bool {
     let schema = &access.layout().schema;
     if let Some(fields) = &request.fields {
@@ -1780,9 +2119,9 @@ fn merge_by_order(
 
 /// Scans in-memory canonical records (used before any layout is declared and
 /// for the new-data-only pending buffer).
-fn scan_canonical(
+fn scan_canonical<'a>(
     schema: &Schema,
-    records: &[Record],
+    records: impl IntoIterator<Item = &'a Record>,
     request: &ScanRequest,
 ) -> Result<Vec<Record>> {
     let out_fields: Vec<String> = request

@@ -32,7 +32,7 @@
 //! CRC32 over the manifest body; records and values reuse the layout
 //! crate's self-describing row codec.
 
-use crate::catalog::{Catalog, LayoutStats};
+use crate::catalog::{CatalogView, LayoutStats, Rows};
 use crate::database::AdaptivePolicy;
 use crate::monitor::{QueryTemplate, WorkloadProfile};
 use crate::reorg::ReorgStrategy;
@@ -74,8 +74,13 @@ const NO_TAIL: u32 = u32::MAX;
 pub struct DurabilityOptions {
     /// Page size of the data file.
     pub page_size: usize,
-    /// When commits are `fsync`ed (see [`SyncPolicy`]). The default is group
-    /// commit: one sync absorbs up to 32 consecutive commits.
+    /// When commits are `fsync`ed (see [`SyncPolicy`]). The default is
+    /// durable group commit ([`SyncPolicy::GroupDurable`]): every commit is
+    /// durable before it returns, and concurrent committers share one
+    /// `fsync` through a leader/follower protocol — so the strongest
+    /// guarantee costs roughly one sync per *batch*, not per commit. Pass
+    /// an explicit policy (e.g. [`SyncPolicy::GroupCommit`]) to trade
+    /// durability of the last few commits for latency.
     pub sync: SyncPolicy,
 }
 
@@ -83,7 +88,7 @@ impl Default for DurabilityOptions {
     fn default() -> Self {
         DurabilityOptions {
             page_size: DEFAULT_PAGE_SIZE,
-            sync: SyncPolicy::default(),
+            sync: SyncPolicy::GroupDurable,
         }
     }
 }
@@ -220,6 +225,13 @@ fn dec_rec(d: &mut Dec) -> Result<Record> {
 fn enc_records(e: &mut Enc, records: &[Record]) {
     e.u32(records.len() as u32);
     for r in records {
+        enc_rec(e, r);
+    }
+}
+
+fn enc_rows(e: &mut Enc, rows: &Rows) {
+    e.u32(rows.len() as u32);
+    for r in rows.iter() {
         enc_rec(e, r);
     }
 }
@@ -1061,7 +1073,7 @@ fn dec_index(d: &mut Dec) -> Result<IndexManifest> {
 /// Serializes the whole catalog (plus the file geometry) into manifest
 /// bytes. Every rendered layout's heap tails must already be flushed —
 /// [`crate::Database::checkpoint`] does that before calling this.
-pub(crate) fn encode_manifest(catalog: &Catalog, ctx: &ManifestContext) -> Result<Vec<u8>> {
+pub(crate) fn encode_manifest(catalog: &CatalogView, ctx: &ManifestContext) -> Result<Vec<u8>> {
     let mut e = Enc::default();
     e.u32(MANIFEST_VERSION);
     e.u64(ctx.page_size as u64);
@@ -1072,10 +1084,8 @@ pub(crate) fn encode_manifest(catalog: &Catalog, ctx: &ManifestContext) -> Resul
         e.u64(*page);
     }
     enc_policy(&mut e, &ctx.policy, ctx.cost_params);
-    let names = catalog.table_names();
-    e.u32(names.len() as u32);
-    for name in names {
-        let entry = catalog.get(&name)?;
+    e.u32(catalog.entries().len() as u32);
+    for (_, slot, entry) in catalog.entries() {
         enc_schema(&mut e, &entry.schema);
         e.u8(strategy_tag(entry.strategy));
         match &entry.layout_expr {
@@ -1085,10 +1095,11 @@ pub(crate) fn encode_manifest(catalog: &Catalog, ctx: &ManifestContext) -> Resul
                 e.str(&expr.to_string());
             }
         }
-        enc_records(&mut e, &entry.records);
-        enc_records(&mut e, &entry.pending);
-        // Workload profile snapshot.
-        let profile = entry.profile.lock();
+        enc_rows(&mut e, &entry.records);
+        enc_rows(&mut e, &entry.pending);
+        // Workload profile snapshot (lives on the slot, not the published
+        // state; the mutex is leaf-level and held only for the copy-out).
+        let profile = slot.profile.lock();
         e.f64(profile.decay());
         e.u64(profile.max_templates() as u64);
         e.u64(profile.queries_observed);
@@ -1421,7 +1432,7 @@ mod tests {
 
     #[test]
     fn manifest_frame_detects_corruption() {
-        let catalog = Catalog::new();
+        let catalog = CatalogView::empty();
         let ctx = ManifestContext {
             page_size: 4096,
             page_count: 0,

@@ -18,7 +18,9 @@
 //!   ([`Database::in_memory`]) or durable ([`Database::create`] /
 //!   [`Database::open`], with write-ahead logging, checkpoints, and crash
 //!   recovery);
-//! * [`Catalog`] — the table/layout metadata;
+//! * [`CatalogView`] — a lock-free, point-in-time view of the table/layout
+//!   metadata (per-table [`TableState`]s published through atomic snapshot
+//!   swaps — see [`catalog`]);
 //! * [`durability`] — the on-disk manifest and logical WAL operations;
 //! * [`reorg`] — the reorganization strategies of Section 5 of the paper.
 //!
@@ -55,7 +57,7 @@ pub mod reorg;
 /// documentation; see `docs/LAYOUT_ALGEBRA.md` in the repository.)
 pub mod layout_algebra {}
 
-pub use catalog::{Catalog, LayoutStats, TableEntry};
+pub use catalog::{CatalogView, LayoutStats, Rows, TableState};
 pub use database::{AdaptOutcome, AdaptivePolicy, Database, TableSnapshot};
 pub use durability::DurabilityOptions;
 pub use monitor::{QueryTemplate, WorkloadProfile};

@@ -465,6 +465,97 @@ impl PhysicalLayout {
         &self.pager
     }
 
+    /// Clones this layout into an independently appendable handle that
+    /// *shares* the current sealed pages.
+    ///
+    /// The fork is how appends proceed while readers may still hold the
+    /// original: its heap files reference the same page ids, but the tails
+    /// and the index tree are adopted *protected*, so the fork's first
+    /// append relocates them onto fresh pages instead of rewriting a page a
+    /// concurrent reader of the original could be scanning. After the fork
+    /// is published in the original's place, the pages it vacated (drained
+    /// via [`PhysicalLayout::take_relocated`] on the fork) plus the
+    /// original's private pages are exactly what the original still owns.
+    ///
+    /// Dirty tails are flushed first so the fork can re-read them through
+    /// the pager; the original is left logically untouched.
+    pub fn fork_for_append(&self) -> Result<PhysicalLayout> {
+        let mut objects = Vec::with_capacity(self.objects.len());
+        for o in &self.objects {
+            o.heap.flush()?;
+            let heap = HeapFile::from_pages_with_tail(
+                o.heap.name().to_string(),
+                Arc::clone(&self.pager),
+                o.heap.extent(),
+                o.heap.record_count(),
+                o.heap.tail_valid_slots(),
+            )?;
+            objects.push(StoredObject {
+                name: o.name.clone(),
+                fields: o.fields.clone(),
+                heap,
+                encoding: o.encoding.clone(),
+                codecs: o.codecs.clone(),
+                cell: o.cell.clone(),
+                row_count: o.row_count,
+                ordering: o.ordering.clone(),
+            });
+        }
+        let index = match &self.index {
+            Some(idx) => {
+                idx.protect();
+                Some(StoredIndex::from_parts(
+                    Arc::clone(&self.pager),
+                    idx.kind_name(),
+                    idx.fields.clone(),
+                    idx.key_kinds.clone(),
+                    idx.root(),
+                    idx.len(),
+                    idx.height(),
+                    idx.outliers.clone(),
+                )?)
+            }
+            None => None,
+        };
+        let mut fork = PhysicalLayout::new(
+            self.name.clone(),
+            self.expr.clone(),
+            self.schema.clone(),
+            self.derived.clone(),
+            objects,
+            self.row_count,
+            Arc::clone(&self.pager),
+        );
+        fork.index = index;
+        Ok(fork)
+    }
+
+    /// Drains the relocation notes of every object heap and of the index
+    /// tree: the pages this layout stopped referencing since the last drain.
+    pub fn take_relocated(&self) -> Vec<rodentstore_storage::page::PageId> {
+        let mut pages = Vec::new();
+        for o in &self.objects {
+            pages.extend(o.heap.take_relocated());
+        }
+        if let Some(idx) = &self.index {
+            pages.extend(idx.take_relocated());
+        }
+        pages
+    }
+
+    /// Every page currently referenced by this layout: object heap extents
+    /// (tails included) plus the index tree.
+    pub fn extent_pages(&self) -> Result<Vec<rodentstore_storage::page::PageId>> {
+        let mut pages = Vec::new();
+        for o in &self.objects {
+            pages.extend(o.heap.extent());
+        }
+        if let Some(idx) = &self.index {
+            pages.extend(idx.page_ids()?);
+        }
+        Ok(pages)
+    }
+
     /// (Re)builds the declared index from the stored objects; a no-op when
     /// the expression declares none. Recovery paths that reattach objects
     /// without a usable index manifest call this to restore pushdown.

@@ -506,3 +506,189 @@ fn concurrent_durable_inserts_all_recover() {
     assert_eq!(rows.len(), (THREADS * PER_THREAD * 2) as usize);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Epoch-based reclamation under long-lived pins: readers hold snapshots
+/// across many concurrent layout swaps and inserts, and every re-scan of a
+/// held snapshot must be identical to its first — superseded renderings
+/// must never be reused (and their pages never overwritten) while a live
+/// pin can still reach them. The retired set may grow while pins defer
+/// reclamation, but it must stay bounded by the writes outstanding and
+/// drain back down once the pins are released.
+#[test]
+fn epoch_reclamation_defers_under_pins_then_drains() {
+    const SWAPS: usize = 24;
+    let db = Arc::new(Database::with_page_size(1024));
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", batch_rows(0, 400)).unwrap();
+    db.apply_layout_text("Points", "columns(Points)").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Readers: pin a snapshot, hold it across concurrent swaps while
+    // repeatedly re-scanning it, drop it, repeat.
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut pins = 0usize;
+                while !stop.load(Ordering::Relaxed) || pins < 4 {
+                    let snap = db.snapshot("Points").unwrap();
+                    let first = snap.scan(&ScanRequest::all()).unwrap();
+                    for _ in 0..8 {
+                        std::thread::yield_now();
+                        assert_eq!(
+                            snap.scan(&ScanRequest::all()).unwrap(),
+                            first,
+                            "pinned snapshot changed under concurrent swaps"
+                        );
+                    }
+                    assert_eq!(snap.get_element(0, None).unwrap(), first[0]);
+                    pins += 1;
+                }
+                pins
+            })
+        })
+        .collect();
+
+    // Writer: race layout swaps and inserts against the held pins, and
+    // watch the retired set as it goes.
+    let exprs = [
+        "columns(Points)",
+        "rows(Points)",
+        "orderby[batch](Points)",
+        "project[batch,x,y,tag](Points)",
+    ];
+    let mut max_retired = 0usize;
+    for i in 0..SWAPS {
+        db.apply_layout_text("Points", exprs[i % exprs.len()]).unwrap();
+        db.insert("Points", batch_rows(100 + i as i64, 5)).unwrap();
+        max_retired = max_retired.max(db.retired_snapshots());
+    }
+    stop.store(true, Ordering::SeqCst);
+    for reader in readers {
+        assert!(reader.join().unwrap() >= 4);
+    }
+
+    // Bounded: deferral is proportional to the writes raced, never more.
+    // Each swap/insert retires at most a handful of entries (the superseded
+    // state, its rendering, the vacated pages).
+    assert!(
+        max_retired <= SWAPS * 6 + 8,
+        "retired set grew superlinearly: {max_retired} entries after {SWAPS} swaps"
+    );
+
+    // Drained: with every pin released, the next writes' reap empties the
+    // backlog down to what those writes themselves just retired.
+    db.insert("Points", batch_rows(900, 1)).unwrap();
+    db.insert("Points", batch_rows(901, 1)).unwrap();
+    let after = db.retired_snapshots();
+    assert!(
+        after <= 4,
+        "retired set must drain once pins are released; still {after} entries"
+    );
+    // And the quiesced contents add up exactly.
+    let rows = db.scan("Points", &ScanRequest::all()).unwrap();
+    assert_eq!(rows.len(), 400 + SWAPS * 5 + 2);
+}
+
+/// The per-table registry round-trips through a checkpoint: several tables
+/// with distinct layouts, strategies, stats, and workload profiles all come
+/// back exactly on `Database::open`.
+#[test]
+fn per_table_registry_round_trips_through_checkpoint_and_open() {
+    let dir = scratch_dir("registry-roundtrip");
+    let readings_schema = Schema::new(
+        "Readings",
+        vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("v", DataType::Float),
+        ],
+    );
+    let (points_stats, points_profile, readings_rows) = {
+        let db = Database::create_with(
+            &dir,
+            rodentstore::DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::GroupDurable,
+            },
+        )
+        .unwrap();
+        // Table 1: ordered projection, lazy reorganization, profiled scans.
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", batch_rows(0, 300)).unwrap();
+        db.apply_layout(
+            "Points",
+            rodentstore::parse("orderby[x](project[batch,x,y,tag](Points))").unwrap(),
+            ReorgStrategy::Lazy,
+        )
+        .unwrap();
+        for _ in 0..6 {
+            db.scan("Points", &ScanRequest::all().fields(["x"])).unwrap();
+        }
+        // Table 2: fold layout, eager strategy, rebuilt once by an insert.
+        db.create_table(readings_schema.clone()).unwrap();
+        db.insert(
+            "Readings",
+            (0..120_i64)
+                .map(|i| vec![Value::Int(i % 7), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        db.apply_layout_text("Readings", "fold[sensor|v](Readings)").unwrap();
+        db.insert(
+            "Readings",
+            vec![vec![Value::Int(3), Value::Float(999.0)]],
+        )
+        .unwrap();
+        // Table 3: canonical rows only, no layout declared.
+        db.create_table(Schema::new(
+            "Tags",
+            vec![Field::new("name", DataType::String)],
+        ))
+        .unwrap();
+        db.insert("Tags", vec![vec![Value::Str("a".into())], vec![Value::Str("b".into())]])
+            .unwrap();
+        db.checkpoint().unwrap();
+        (
+            db.layout_stats("Points").unwrap(),
+            db.workload_profile("Points").unwrap(),
+            db.scan("Readings", &ScanRequest::all()).unwrap(),
+        )
+    };
+
+    let db = Database::open(&dir).unwrap();
+    let view = db.catalog();
+    let mut names = view.table_names();
+    names.sort();
+    assert_eq!(names, ["Points", "Readings", "Tags"]);
+
+    // Per-table layout expressions, strategies, and schemas came back.
+    let points = view.get("Points").unwrap();
+    assert_eq!(
+        points.layout_expr.as_ref().map(|e| e.to_string()),
+        Some("orderby[x](project[batch,x,y,tag](Points))".to_string())
+    );
+    assert_eq!(points.strategy, ReorgStrategy::Lazy);
+    assert_eq!(points.schema.to_string(), points_schema().to_string());
+    let readings = view.get("Readings").unwrap();
+    assert_eq!(
+        readings.layout_expr.as_ref().map(|e| e.to_string()),
+        Some("fold[sensor|v](Readings)".to_string())
+    );
+    assert_eq!(readings.strategy, ReorgStrategy::Eager);
+    assert!(view.get("Tags").unwrap().layout_expr.is_none());
+
+    // Stats and the workload profile are the checkpointed values, not
+    // defaults: the lazy re-render and the profiled scans survived.
+    let stats = db.layout_stats("Points").unwrap();
+    assert_eq!(stats, points_stats);
+    let profile = db.workload_profile("Points").unwrap();
+    assert_eq!(profile.queries_observed, points_profile.queries_observed);
+
+    // And the contents themselves.
+    assert_eq!(db.scan("Readings", &ScanRequest::all()).unwrap(), readings_rows);
+    assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), 300);
+    assert_eq!(db.scan("Tags", &ScanRequest::all()).unwrap().len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

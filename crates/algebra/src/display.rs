@@ -174,6 +174,9 @@ fn write_expr(expr: &LayoutExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         LayoutExpr::Index { input, fields } => {
             write!(f, "index[{}]({input})", join(fields))
         }
+        LayoutExpr::Lsm { input, key } => {
+            write!(f, "lsm[{}]({input})", join(key))
+        }
         LayoutExpr::Comprehension(c) => {
             write!(f, "<comprehension over {}>", c.base_tables().join(","))
         }
@@ -243,6 +246,7 @@ fn explain_into(expr: &LayoutExpr, indent: usize, out: &mut String) {
         LayoutExpr::Transpose { .. } => "transpose".to_string(),
         LayoutExpr::Chunk { size, .. } => format!("chunk {size}"),
         LayoutExpr::Index { fields, .. } => format!("index [{}]", fields.join(", ")),
+        LayoutExpr::Lsm { key, .. } => format!("lsm [{}]", key.join(", ")),
         LayoutExpr::Comprehension(_) => "comprehension".to_string(),
     };
     out.push_str(&pad);

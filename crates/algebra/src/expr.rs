@@ -314,6 +314,18 @@ pub enum LayoutExpr {
         /// Attributes to index (1 = B-tree, 2 = R-tree).
         fields: Vec<String>,
     },
+    /// `lsm[A1,…,An](N)` — a write-optimized levelled tier over the inner
+    /// layout. Appended tuples land in an in-memory memtable, spill into
+    /// sorted immutable runs (keyed on the named attributes), and are merged
+    /// into deeper levels by incremental compaction; the inner expression
+    /// still governs how the bulk-rendered base is stored. Scans read the
+    /// base, then the runs (deepest level first), then the memtable.
+    Lsm {
+        /// Input expression (governs the bulk-rendered base).
+        input: Box<LayoutExpr>,
+        /// Attributes runs are sorted on.
+        key: Vec<String>,
+    },
     /// An explicit list comprehension.
     Comprehension(Comprehension),
 }
@@ -344,6 +356,7 @@ pub enum TransformKind {
     Transpose,
     Chunk,
     Index,
+    Lsm,
     Comprehension,
 }
 
@@ -608,6 +621,19 @@ impl LayoutExpr {
         }
     }
 
+    /// `lsm[key](self)` — wrap in a write-optimized levelled tier whose runs
+    /// are sorted on `key`.
+    pub fn lsm<I, S>(self, key: I) -> LayoutExpr
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LayoutExpr::Lsm {
+            input: Box::new(self),
+            key: key.into_iter().map(Into::into).collect(),
+        }
+    }
+
     /// The discriminant of this node.
     pub fn kind(&self) -> TransformKind {
         match self {
@@ -632,6 +658,7 @@ impl LayoutExpr {
             LayoutExpr::Transpose { .. } => TransformKind::Transpose,
             LayoutExpr::Chunk { .. } => TransformKind::Chunk,
             LayoutExpr::Index { .. } => TransformKind::Index,
+            LayoutExpr::Lsm { .. } => TransformKind::Lsm,
             LayoutExpr::Comprehension(_) => TransformKind::Comprehension,
         }
     }
@@ -659,7 +686,8 @@ impl LayoutExpr {
             | LayoutExpr::ZOrder { input, .. }
             | LayoutExpr::Transpose { input }
             | LayoutExpr::Chunk { input, .. }
-            | LayoutExpr::Index { input, .. } => vec![input],
+            | LayoutExpr::Index { input, .. }
+            | LayoutExpr::Lsm { input, .. } => vec![input],
         }
     }
 

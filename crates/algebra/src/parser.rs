@@ -344,6 +344,13 @@ fn build_transform(
             }
             Ok(one_input(inputs, name)?.index(fields))
         }
+        "lsm" => {
+            let key = split_names(args.ok_or_else(|| parse_err("lsm requires [key]"))?);
+            if key.is_empty() {
+                return Err(parse_err("lsm requires at least one key field"));
+            }
+            Ok(one_input(inputs, name)?.lsm(key))
+        }
         "chunk" => {
             let n: usize = args
                 .ok_or_else(|| parse_err("chunk requires [size]"))?

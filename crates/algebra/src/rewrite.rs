@@ -137,6 +137,10 @@ fn rebuild_with_simplified_children(expr: &LayoutExpr) -> LayoutExpr {
             input: Box::new(simplify_once(input)),
             fields: fields.clone(),
         },
+        Lsm { input, key } => Lsm {
+            input: Box::new(simplify_once(input)),
+            key: key.clone(),
+        },
     }
 }
 
@@ -241,6 +245,20 @@ fn rewrite_node(expr: LayoutExpr) -> LayoutExpr {
             other => Index {
                 input: Box::new(other),
                 fields,
+            },
+        },
+        // Nested levelled tiers collapse: the outer memtable/runs subsume
+        // the inner ones (one write buffer per table is enough).
+        Lsm { input, key } => match *input {
+            Lsm {
+                input: inner_input, ..
+            } => Lsm {
+                input: inner_input,
+                key,
+            },
+            other => Lsm {
+                input: Box::new(other),
+                key,
             },
         },
         // Identical adjacent compression steps collapse.

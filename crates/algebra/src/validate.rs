@@ -78,6 +78,10 @@ pub struct DerivedLayout {
     /// Secondary index declared over the layout: the indexed field names
     /// (one field = B-tree, two fields = R-tree).
     pub index: Option<Vec<String>>,
+    /// Levelled write-optimized tier (`lsm[...]`): the key fields runs are
+    /// sorted on. `Some` means appends are absorbed by a memtable and
+    /// spilled into immutable sorted runs instead of rewriting the base.
+    pub lsm: Option<Vec<String>>,
 }
 
 impl DerivedLayout {
@@ -98,6 +102,7 @@ impl DerivedLayout {
             chunk: None,
             transposed: false,
             index: None,
+            lsm: None,
         }
     }
 
@@ -177,6 +182,11 @@ pub fn check_with(expr: &LayoutExpr, provider: &dyn SchemaProvider) -> Result<De
             if let Some(idx) = &d.index {
                 if !idx.iter().all(|f| fields.contains(f)) {
                     d.index = None;
+                }
+            }
+            if let Some(key) = &d.lsm {
+                if !key.iter().all(|f| fields.contains(f)) {
+                    d.lsm = None;
                 }
             }
             Ok(d)
@@ -449,6 +459,33 @@ pub fn check_with(expr: &LayoutExpr, provider: &dyn SchemaProvider) -> Result<De
                 ));
             }
             d.index = Some(fields.clone());
+            Ok(d)
+        }
+        LayoutExpr::Lsm { input, key } => {
+            let mut d = check_with(input, provider)?;
+            if key.is_empty() {
+                return Err(AlgebraError::InvalidParameter(
+                    "lsm requires at least one key field".into(),
+                ));
+            }
+            let mut seen: Vec<&String> = Vec::new();
+            for field in key {
+                d.schema.index_of(field)?;
+                if seen.contains(&field) {
+                    return Err(AlgebraError::DuplicateField(field.clone()));
+                }
+                seen.push(field);
+            }
+            if d.lsm.is_some() {
+                return Err(AlgebraError::ShapeMismatch(
+                    "nested lsm tiers are not supported (one write buffer per table)".into(),
+                ));
+            }
+            // Memtable rows arrive in insertion order and runs are key-sorted,
+            // so the layout as a whole can no longer deliver the inner
+            // layout's declared orderings without re-sorting.
+            d.orderings.clear();
+            d.lsm = Some(key.clone());
             Ok(d)
         }
         LayoutExpr::Comprehension(c) => check_comprehension(c, provider),

@@ -1,0 +1,221 @@
+//! Sustained-write bench: a vertically partitioned table kept current
+//! the pre-tier way — eagerly re-rendering `vertical[k|v]` after every
+//! batch — versus the same shape wrapped in the levelled tier,
+//! `lsm[k](vertical[k|v](Events))`, declared once. Asserted bounds so CI
+//! catches regressions (set `RODENTSTORE_BENCH_SMOKE=1` for the small
+//! sizes and criterion samples).
+//!
+//! Three claims, all asserted:
+//!
+//! 1. **Throughput** — absorbing a batch into the tier is O(|batch|);
+//!    re-rendering is O(table). Over the flood the tier must sustain
+//!    ≥ 5× the rows/sec of the rebuild baseline while returning the
+//!    same logical contents.
+//! 2. **No rebuilds** — the flood leaves `full_renders` at 1 (the
+//!    declaration render) and counts one incremental append per batch.
+//! 3. **Bounded file** — on a durable database, flood + checkpoint must
+//!    not accrete compaction garbage: the flooded file stays within a
+//!    small factor of a file built by loading the same rows once.
+//!
+//! Writes `BENCH_lsm.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{Database, DurabilityOptions, ScanRequest, SyncPolicy, Value};
+use rodentstore_algebra::{DataType, Field, Schema};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+}
+
+const PAGE_SIZE: usize = 1024;
+
+fn events_schema() -> Schema {
+    Schema::new(
+        "Events",
+        vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ],
+    )
+}
+
+fn batch_rows(start: i64, rows: usize) -> Vec<Vec<Value>> {
+    (0..rows as i64)
+        .map(|i| {
+            let k = start + i;
+            // Interleave keys so spilled runs overlap and compaction does
+            // real merge work instead of concatenation.
+            vec![Value::Int((k * 7919) % 1_000_003), Value::Float(k as f64 * 0.5)]
+        })
+        .collect()
+}
+
+fn sorted_contents(db: &Database) -> Vec<String> {
+    let mut rows: Vec<String> = db
+        .scan("Events", &ScanRequest::all())
+        .unwrap()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn bench_sustained_writes(c: &mut Criterion) {
+    let (initial, batches, batch) = if smoke_mode() {
+        (800usize, 16usize, 50usize)
+    } else {
+        (2_000usize, 40usize, 100usize)
+    };
+    let appended = batches * batch;
+
+    // ---- Baseline: keep the shape current by re-rendering per batch. ----
+    let rebuild = Database::with_page_size(PAGE_SIZE);
+    rebuild.create_table(events_schema()).unwrap();
+    rebuild.insert("Events", batch_rows(0, initial)).unwrap();
+    rebuild.apply_layout_text("Events", "vertical[k|v](Events)").unwrap();
+    let t = Instant::now();
+    for b in 0..batches {
+        let start = (initial + b * batch) as i64;
+        rebuild.insert("Events", batch_rows(start, batch)).unwrap();
+        rebuild.apply_layout_text("Events", "vertical[k|v](Events)").unwrap();
+    }
+    let rebuild_secs = t.elapsed().as_secs_f64();
+    let rebuild_renders = rebuild.layout_stats("Events").unwrap().full_renders;
+    assert!(
+        rebuild_renders >= batches as u64,
+        "baseline must actually re-render per batch, got {rebuild_renders}"
+    );
+
+    // ---- The tier: declare once, then only insert. ----
+    let lsm = Database::with_page_size(PAGE_SIZE);
+    lsm.create_table(events_schema()).unwrap();
+    lsm.insert("Events", batch_rows(0, initial)).unwrap();
+    lsm.apply_layout_text("Events", "lsm[k](vertical[k|v](Events))").unwrap();
+    let t = Instant::now();
+    for b in 0..batches {
+        let start = (initial + b * batch) as i64;
+        lsm.insert("Events", batch_rows(start, batch)).unwrap();
+    }
+    let lsm_secs = t.elapsed().as_secs_f64();
+
+    // Same logical contents, zero rebuilds, one absorb per batch.
+    assert_eq!(sorted_contents(&lsm), sorted_contents(&rebuild));
+    let stats = lsm.layout_stats("Events").unwrap();
+    assert_eq!(
+        stats.full_renders, 1,
+        "the flood must never re-render the tier"
+    );
+    assert_eq!(stats.incremental_appends, batches as u64);
+
+    let lsm_tput = appended as f64 / lsm_secs;
+    let rebuild_tput = appended as f64 / rebuild_secs;
+    let speedup = lsm_tput / rebuild_tput;
+    println!(
+        "sustained_writes: lsm {lsm_tput:.0} rows/s vs eager rebuild {rebuild_tput:.0} rows/s → {speedup:.1}×"
+    );
+    assert!(
+        speedup >= 5.0,
+        "lsm sustained inserts must be ≥5× the eager-rebuild baseline, got {speedup:.1}×"
+    );
+
+    // ---- Durable: flood + checkpoint must not accrete garbage. ----
+    let dir = std::env::temp_dir().join(format!(
+        "rodentstore-bench-sustained-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let flooded_pages = {
+        let db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: PAGE_SIZE,
+                sync: SyncPolicy::GroupCommit(8),
+            },
+        )
+        .unwrap();
+        db.create_table(events_schema()).unwrap();
+        db.insert("Events", batch_rows(0, initial)).unwrap();
+        db.apply_layout_text("Events", "lsm[k](vertical[k|v](Events))").unwrap();
+        for b in 0..batches {
+            let start = (initial + b * batch) as i64;
+            db.insert("Events", batch_rows(start, batch)).unwrap();
+            if (b + 1) % 8 == 0 {
+                db.checkpoint().unwrap();
+            }
+        }
+        // Two quiesced checkpoints: the first frees what the drained run
+        // tokens allow, the second reuses and truncates the freed tail.
+        db.checkpoint().unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.layout_stats("Events").unwrap().full_renders, 1);
+        db.pager().page_count()
+    };
+    let flooded_bytes = std::fs::metadata(dir.join("data.rodent")).unwrap().len();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Self-calibrating bound: the same rows loaded once, rendered once.
+    std::fs::create_dir_all(&dir).unwrap();
+    let fresh_pages = {
+        let db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: PAGE_SIZE,
+                sync: SyncPolicy::GroupCommit(8),
+            },
+        )
+        .unwrap();
+        db.create_table(events_schema()).unwrap();
+        db.insert("Events", batch_rows(0, initial + appended)).unwrap();
+        db.apply_layout_text("Events", "lsm[k](vertical[k|v](Events))").unwrap();
+        db.checkpoint().unwrap();
+        db.pager().page_count()
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "sustained_writes: flooded file {flooded_pages} pages ({flooded_bytes} bytes) vs fresh load {fresh_pages} pages"
+    );
+    assert!(
+        flooded_pages <= fresh_pages * 4,
+        "flood + compaction + checkpoint accreted garbage: {flooded_pages} pages vs {fresh_pages} fresh"
+    );
+
+    // Criterion samples of the steady-state absorb and the tiered scan.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.canonicalize().unwrap_or(root).join("BENCH_lsm.json");
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"initial_rows\": {initial},\n  \"batches\": {batches},\n  \
+         \"batch_rows\": {batch},\n  \"page_size\": {PAGE_SIZE},\n  \
+         \"lsm_rows_per_sec\": {lsm_tput:.0},\n  \"eager_rebuild_rows_per_sec\": {rebuild_tput:.0},\n  \
+         \"speedup\": {speedup:.2},\n  \"asserted_minimum_speedup\": 5.0,\n  \
+         \"lsm_full_renders\": {},\n  \"flooded_file_pages\": {flooded_pages},\n  \
+         \"fresh_load_pages\": {fresh_pages},\n  \"asserted_maximum_bloat\": 4.0\n}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        stats.full_renders,
+    );
+    std::fs::write(&path, json).unwrap();
+    println!("sustained_writes/json → {}", path.display());
+
+    let mut group = c.benchmark_group("sustained_writes");
+    group.sample_size(if smoke_mode() { 10 } else { 40 });
+    let mut next_key = (initial + appended) as i64;
+    group.bench_function("lsm_absorb_batch", |b| {
+        b.iter(|| {
+            lsm.insert("Events", batch_rows(next_key, batch)).unwrap();
+            next_key += batch as i64;
+        })
+    });
+    group.bench_function("lsm_full_scan", |b| {
+        b.iter(|| lsm.scan("Events", &ScanRequest::all()).unwrap().len())
+    });
+    group.finish();
+
+    // The criterion sampling itself must not have re-rendered either.
+    assert_eq!(lsm.layout_stats("Events").unwrap().full_renders, 1);
+}
+
+criterion_group!(benches, bench_sustained_writes);
+criterion_main!(benches);

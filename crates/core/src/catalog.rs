@@ -321,6 +321,11 @@ pub struct TableSlot {
     /// Whether an adaptation check is currently in flight for this table
     /// (auto mode runs at most one at a time; concurrent triggers skip).
     pub(crate) adapting: AtomicBool,
+    /// Set when another table this one's layout joins (prejoin reads its
+    /// base tables outside their writer mutexes) published rows after this
+    /// table's rendering captured them: the rendering is stale and the next
+    /// access must rebuild it from fresh captures.
+    pub(crate) deps_dirty: AtomicBool,
     /// Apply-order resolution of durable insert commits (see [`CommitQueue`]).
     pub(crate) commit_queue: Arc<CommitQueue>,
 }
@@ -336,6 +341,7 @@ impl TableSlot {
             writer: Mutex::new(()),
             profile: Mutex::new(profile),
             adapting: AtomicBool::new(false),
+            deps_dirty: AtomicBool::new(false),
             commit_queue: Arc::new(CommitQueue::default()),
         }
     }

@@ -12,8 +12,8 @@ use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
 use rodentstore_layout::{
-    render, AppendOutcome, MemTableProvider, PhysicalLayout, RenderOptions, StoredIndex,
-    StoredObject,
+    render, AppendOutcome, LsmRun, LsmState, MemTableProvider, PhysicalLayout, RenderOptions,
+    StoredIndex, StoredObject,
 };
 use rodentstore_optimizer::{
     advise, advise_with_baseline, AdvisorOptions, Recommendation, Workload,
@@ -229,6 +229,13 @@ pub struct Database {
     /// overwritten. In-memory databases bypass this (no recovery to
     /// protect) and free straight to the pager.
     pending_free: Mutex<Vec<PageId>>,
+    /// Extents vacated by levelled-tier compaction, parked until their run
+    /// token is unique. A compacted run's sealed pages are shared by every
+    /// published generation since the run was created, so they cannot ride
+    /// a single generation's retirement — a reader decoding any older
+    /// generation still reaches them. Each reap re-checks the tokens and
+    /// quarantines the extents whose last holder dropped.
+    parked_extents: Mutex<Vec<(Arc<()>, Vec<PageId>)>>,
     /// Fences durable mutation windows against checkpoints. A durable
     /// mutation holds the *read* side from before it applies until its
     /// commit resolves (acknowledged or rolled back); a checkpoint holds
@@ -289,6 +296,7 @@ impl Database {
             durability: None,
             retired: Mutex::new(Vec::new()),
             pending_free: Mutex::new(Vec::new()),
+            parked_extents: Mutex::new(Vec::new()),
             commit_fence: RwLock::new(()),
             replaying: std::sync::atomic::AtomicBool::new(false),
         }
@@ -502,6 +510,48 @@ impl Database {
                         orphaned_index_pages.extend(manifest_pages);
                     }
                 }
+                // Reattach the levelled tier. Runs are immutable once sealed
+                // — a spill writes, flushes, and re-opens them with every
+                // page sealed — so recovery re-opens each run over its
+                // recorded extent: zero page allocation, zero re-rendering,
+                // whether the crash hit mid-spill or mid-compaction (the
+                // manifest describes whichever generation last
+                // checkpointed; later spills replay from the WAL). If the
+                // declared layout no longer carries a tier, the run pages
+                // quarantine like orphaned index pages.
+                if let Some(lm) = r.lsm {
+                    if let Some(key) = layout.derived.lsm.clone() {
+                        let runs = lm
+                            .runs
+                            .into_iter()
+                            .map(|run| LsmRun {
+                                heap: HeapFile::from_pages(
+                                    format!("{}.run{}", layout.name, run.seq),
+                                    Arc::clone(&pager),
+                                    run.pages,
+                                    run.heap_records,
+                                ),
+                                level: run.level,
+                                seq: run.seq,
+                                row_count: run.row_count as usize,
+                                key_bounds: run.key_bounds,
+                                token: Arc::new(()),
+                            })
+                            .collect();
+                        layout.lsm = Some(LsmState::restore(
+                            key,
+                            lm.memtable_cap as usize,
+                            lm.fanout as usize,
+                            lm.next_seq,
+                            lm.memtable,
+                            runs,
+                        ));
+                    } else {
+                        for run in lm.runs {
+                            orphaned_index_pages.extend(run.pages);
+                        }
+                    }
+                }
                 let slot = db.slot(&name)?;
                 let cur = db.pin_state(&slot);
                 let mut next = (*cur).clone();
@@ -605,6 +655,7 @@ impl Database {
         };
         let _fence = self.commit_fence.write();
         self.reap_retired();
+        let mut notes = Vec::new();
         let view = self.catalog();
         // Write out partially filled heap tails so every page extent is
         // complete (tails stay open: later appends keep refilling them, and
@@ -631,6 +682,13 @@ impl Database {
                         pending.extend(idx.take_relocated());
                         idx.protect();
                     }
+                    // Sealed lsm runs carry no refillable tails and were
+                    // flushed when sealed; extents vacated by tier
+                    // compaction ride the token-guarded parking lot and are
+                    // swept below once no generation can still read them.
+                    if let Some(lsm) = &access.layout().lsm {
+                        notes.extend(lsm.take_relocation_notes());
+                    }
                 }
             }
             // Relocation notes of retired-but-pinned renderings are dead
@@ -639,8 +697,25 @@ impl Database {
             for retired in self.retired.lock().iter() {
                 if let Retired::Access { access, .. } = retired {
                     pending.extend(access.layout().take_relocated());
+                    notes.extend(access.layout().take_lsm_relocation_notes());
                 }
             }
+        }
+        self.park_lsm_notes(notes);
+        // Sweep the parking lot: extents whose run token drained join this
+        // checkpoint's quarantine (and thus this manifest's free list).
+        {
+            let mut parked = self.parked_extents.lock();
+            let mut freed = Vec::new();
+            parked.retain_mut(|(token, pages)| {
+                if Arc::strong_count(token) == 1 {
+                    freed.append(pages);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.pending_free.lock().extend(freed);
         }
         self.pager.sync().map_err(RodentError::Storage)?;
         let replay_from = self.wal.next_lsn();
@@ -657,6 +732,11 @@ impl Database {
             if let Retired::Access { pages, .. } = retired {
                 free_pages.extend(pages.iter().copied());
             }
+        }
+        // Parked compaction extents are likewise only held back by
+        // in-process readers; after a restart nothing references them.
+        for (_, pages) in self.parked_extents.lock().iter() {
+            free_pages.extend(pages.iter().copied());
         }
         free_pages.sort_unstable();
         free_pages.dedup();
@@ -682,6 +762,24 @@ impl Database {
         self.pager.free_pages(quarantined);
         if let Some(last) = self.wal.last_lsn() {
             self.wal.truncate(last).map_err(RodentError::Storage)?;
+        }
+        // The copying vacuum's payoff: compaction and retirement leave free
+        // pages behind, and when a contiguous run of them forms the file's
+        // tail, the data file can actually shrink. Safe only *now*: the
+        // manifest just written lists these pages as free, so a crash after
+        // the truncate recovers by extending the file back with zeroed
+        // pages nothing references.
+        let mut free = self.pager.free_list();
+        free.sort_unstable();
+        let mut keep = self.pager.page_count();
+        while keep > 0 && free.last() == Some(&(keep - 1)) {
+            free.pop();
+            keep -= 1;
+        }
+        if keep < self.pager.page_count() {
+            self.pager
+                .truncate_pages(keep)
+                .map_err(RodentError::Storage)?;
         }
         Ok(())
     }
@@ -814,6 +912,7 @@ impl Database {
     fn reap_retired(&self) {
         let min_active = self.epochs.min_active();
         let mut reclaimed = Vec::new();
+        let mut notes = Vec::new();
         {
             let mut retired = self.retired.lock();
             retired.retain(|r| match r {
@@ -845,20 +944,44 @@ impl Database {
                     }
                     reclaimed.extend(pages.iter().copied());
                     reclaimed.extend(access.layout().take_relocated());
+                    notes.extend(access.layout().take_lsm_relocation_notes());
                     false
                 });
             }
+        }
+        self.park_lsm_notes(notes);
+        // Parked compaction extents: free the ones whose run token just
+        // became unique (every generation that shared the run has dropped).
+        {
+            let mut parked = self.parked_extents.lock();
+            parked.retain_mut(|(token, pages)| {
+                if Arc::strong_count(token) == 1 {
+                    reclaimed.append(pages);
+                    false
+                } else {
+                    true
+                }
+            });
         }
         if !reclaimed.is_empty() {
             self.quarantine(reclaimed);
         }
     }
 
+    /// Parks compaction-vacated extents until their run tokens drain (see
+    /// the `parked_extents` field).
+    fn park_lsm_notes(&self, notes: Vec<(Arc<()>, Vec<PageId>)>) {
+        if !notes.is_empty() {
+            self.parked_extents.lock().extend(notes);
+        }
+    }
+
     /// Number of retired-but-unreclaimed values (states, maps, configs, and
-    /// renderings) currently deferred behind reader pins. Diagnostic: tests
-    /// assert it stays bounded and drains to zero once pins are released.
+    /// renderings, and parked compaction extents) currently deferred behind
+    /// reader pins. Diagnostic: tests assert it stays bounded and drains
+    /// once pins are released.
     pub fn retired_snapshots(&self) -> usize {
-        self.retired.lock().len()
+        self.retired.lock().len() + self.parked_extents.lock().len()
     }
 
     /// Writes a mutation's op record to the WAL (no-op for in-memory
@@ -936,6 +1059,17 @@ impl Database {
     /// Overrides the disk-model parameters used for cost estimates.
     pub fn set_cost_params(&self, cost_params: CostParams) {
         self.update_config(|c| c.cost_params = cost_params);
+    }
+
+    /// Overrides the memtable spill threshold and level fanout used when
+    /// rendering *new* `lsm` tiers (tests shrink them to exercise
+    /// multi-level shapes with few rows). Already-rendered tiers keep the
+    /// parameters they were created — or reattached — with.
+    pub fn set_lsm_params(&self, memtable_cap: usize, fanout: usize) {
+        self.update_config(|c| {
+            c.render_options.lsm_memtable_cap = memtable_cap;
+            c.render_options.lsm_fanout = fanout;
+        });
     }
 
     /// Replaces the self-adaptation policy.
@@ -1155,7 +1289,28 @@ impl Database {
                 }
             }
         }
-        commit_result
+        commit_result?;
+        // Inserts feed the profile the way queries do: the decayed write
+        // weight is what lets the advisor propose — and later retire — the
+        // levelled tier, and a write flood must be able to trip the
+        // auto-adaptation check without a single read in between. Replay
+        // re-records too (reconstructing the post-checkpoint in-memory
+        // weight) but never re-runs the advisor: the adaptations it decided
+        // are already in the log as `ApplyLayout` ops.
+        let config = self.config_snapshot();
+        let run_check = {
+            let mut profile = slot.profile.lock();
+            profile.record_insert();
+            config.adaptive.auto && profile.queries_since_check >= config.adaptive.check_every
+        };
+        if run_check && !self.replaying.load(Ordering::SeqCst) {
+            // The check may re-declare the layout, which takes the commit
+            // fence itself — release ours first (read-reacquisition would
+            // deadlock behind a waiting checkpoint).
+            drop(_fence);
+            self.auto_adapt_check(table)?;
+        }
+        Ok(())
     }
 
     /// The apply half of [`Database::insert`]: validation and WAL logging
@@ -1184,6 +1339,10 @@ impl Database {
             next.records.push_rows(records);
         }
         self.publish_state(slot, next, retire);
+        // Any table whose layout joins this one rendered from our *previous*
+        // rows; flag it so its next access rebuilds (see
+        // `mark_dependents_dirty`).
+        self.mark_dependents_dirty(table);
         Ok(())
     }
 
@@ -1243,9 +1402,36 @@ impl Database {
                 });
             }
             self.publish_state(slot, next, retire);
+            self.mark_dependents_dirty(table);
             count as u64
         };
         queue.finish(ticket, removed);
+    }
+
+    /// Flags every table whose declared layout reads `table` as a joined
+    /// base (prejoin is the only multi-table operator) as having stale
+    /// joined inputs. Prejoins capture their base tables *outside* those
+    /// tables' writer mutexes, so a base-table publish that races a
+    /// dependent's render would otherwise leave the dependent trailing by
+    /// one batch until its own next write; the flag makes the dependent's
+    /// next access — and the publish-time re-validation in
+    /// `render_or_absorb` — rebuild from fresh captures instead.
+    fn mark_dependents_dirty(&self, table: &str) {
+        let guard = self.epochs.pin();
+        let map = self.registry.load(&guard);
+        for (name, slot) in map.entries.iter() {
+            if name == table {
+                continue;
+            }
+            let state = slot.load(&guard);
+            let depends = state
+                .layout_expr
+                .as_ref()
+                .is_some_and(|e| e.base_tables().iter().any(|t| t == table));
+            if depends {
+                slot.deps_dirty.store(true, Ordering::SeqCst);
+            }
+        }
     }
 
     /// Number of logical rows in a table.
@@ -1394,6 +1580,7 @@ impl Database {
             }
             if state.access.is_some()
                 && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty())
+                && !slot.deps_dirty.load(Ordering::SeqCst)
             {
                 return Ok(());
             }
@@ -1416,7 +1603,8 @@ impl Database {
         // absorbed while we waited.
         if state.layout_expr.is_none()
             || (state.access.is_some()
-                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty()))
+                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty())
+                && !slot.deps_dirty.load(Ordering::SeqCst))
         {
             return Ok(());
         }
@@ -1451,7 +1639,14 @@ impl Database {
             return Ok(());
         }
         let absorbs = next.strategy.absorbs_new_data_on_access();
-        if let Some(access) = next.access.clone() {
+        let slot = self.slot(table)?;
+        // A joined base table published rows after this table's rendering
+        // captured them (see `mark_dependents_dirty`): the rendering is
+        // stale no matter how current it looks — skip the absorb fast path
+        // and fall through to the full render, which retires it whole and
+        // rebuilds from fresh captures.
+        let stale_deps = slot.deps_dirty.load(Ordering::SeqCst);
+        if let Some(access) = next.access.clone().filter(|_| !stale_deps) {
             if !(absorbs && !next.pending.is_empty()) {
                 return Ok(()); // rendering is current
             }
@@ -1477,6 +1672,10 @@ impl Database {
                     // fork and the original are generations of one page
                     // chain.
                     let vacated = forked.layout().take_relocated();
+                    // Extents vacated by tier compaction are shared with
+                    // every older generation and take the token-guarded
+                    // parking route instead of the per-generation one.
+                    self.park_lsm_notes(forked.layout().take_lsm_relocation_notes());
                     next.access = Some(Arc::new(forked));
                     next.pending.clear();
                     next.stats.incremental_appends += 1;
@@ -1522,34 +1721,68 @@ impl Database {
         // exactly one — unrelated tables are never copied). Under the
         // new-data-only strategy, rows inserted after the layout was
         // declared stay in the row buffer and are excluded. Other tables
-        // are read at their currently published states.
+        // are read at their currently published states — *outside* their
+        // writer mutexes, so an insert into a joined table can publish
+        // between our capture and our publication, and the rendering would
+        // trail it by one batch until this table's own next write.
+        // Re-validate at publish: after rendering, re-pin every joined
+        // table and re-render from fresh captures if any moved. The retries
+        // are bounded — a joined table that outruns them has set
+        // `deps_dirty` (its publish precedes the mark), so the next access
+        // heals the rendering anyway.
         let referenced = expr.base_tables();
-        let mut provider = MemTableProvider::new();
-        let view = self.catalog();
-        for name in view.table_names() {
-            if !referenced.contains(&name) {
-                continue;
+        let joins_others = referenced.iter().any(|n| n != table);
+        let mut attempts = 0;
+        let layout = loop {
+            if joins_others {
+                slot.deps_dirty.store(false, Ordering::SeqCst);
             }
-            if name == table {
-                let mut records = next.records.to_vec();
-                if !absorbs {
-                    records.truncate(records.len().saturating_sub(next.pending.len()));
+            let view = self.catalog();
+            let mut provider = MemTableProvider::new();
+            let mut captured: Vec<(String, Arc<TableState>)> = Vec::new();
+            for (name, _, state) in view.entries().iter() {
+                if !referenced.contains(name) {
+                    continue;
                 }
-                provider.add(next.schema.clone(), records);
-            } else {
-                let other = view.get(&name)?;
-                provider.add(other.schema.clone(), other.records.to_vec());
+                if name == table {
+                    let mut records = next.records.to_vec();
+                    if !absorbs {
+                        records.truncate(records.len().saturating_sub(next.pending.len()));
+                    }
+                    provider.add(next.schema.clone(), records);
+                } else {
+                    provider.add(state.schema.clone(), state.records.to_vec());
+                    captured.push((name.clone(), Arc::clone(state)));
+                }
             }
-        }
-        let layout = render(
-            &expr,
-            &provider,
-            Arc::clone(&self.pager),
-            RenderOptions {
-                name: Some(format!("{table}__layout")),
-                ..config.render_options
-            },
-        )?;
+            let layout = render(
+                &expr,
+                &provider,
+                Arc::clone(&self.pager),
+                RenderOptions {
+                    name: Some(format!("{table}__layout")),
+                    ..config.render_options
+                },
+            )?;
+            if !joins_others {
+                break layout;
+            }
+            let fresh = self.catalog();
+            let moved = captured.iter().any(|(name, seen)| {
+                fresh
+                    .entries()
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .map_or(true, |(_, _, cur)| !Arc::ptr_eq(seen, cur))
+            });
+            attempts += 1;
+            if !moved || attempts >= 3 {
+                break layout;
+            }
+            // Never published: quarantine the stale rendering's pages and
+            // capture again.
+            self.quarantine(layout.extent_pages().unwrap_or_default());
+        };
         if let Some(old) = next.access.take() {
             retire.push(RetiredAccess {
                 pages: owned_pages(&old),

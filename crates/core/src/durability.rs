@@ -63,8 +63,12 @@ const MANIFEST_MAGIC: &[u8; 8] = b"RDNTMAN1";
 /// Version 2 added the free-page list, the persisted adaptive policy and
 /// cost parameters, and per-object tail slot counts. Version 3 added the
 /// declared-index description (kind, fields, root, page extent, outliers)
-/// so indexes reattach from pages instead of rebuilding.
-const MANIFEST_VERSION: u32 = 3;
+/// so indexes reattach from pages instead of rebuilding. Version 4 added
+/// the levelled-tier (`lsm`) description — per-run level/seq/extent/bounds
+/// plus the memtable rows — and the profile's decayed insert weight, so a
+/// write-optimized table reattaches its runs without re-rendering and the
+/// adaptation loop remembers the write pressure across restarts.
+const MANIFEST_VERSION: u32 = 4;
 
 /// Sentinel in the object encoding for "no open tail page".
 const NO_TAIL: u32 = u32::MAX;
@@ -763,6 +767,7 @@ pub(crate) struct ProfileManifest {
     pub max_templates: u64,
     pub queries_observed: u64,
     pub queries_since_check: u64,
+    pub write_weight: f64,
     pub templates: Vec<QueryTemplate>,
 }
 
@@ -773,6 +778,7 @@ impl ProfileManifest {
             self.max_templates as usize,
             self.queries_observed,
             self.queries_since_check,
+            self.write_weight,
             self.templates,
         )
     }
@@ -790,6 +796,30 @@ pub(crate) struct RenderedManifest {
     pub orderings: Vec<Vec<SortKey>>,
     pub objects: Vec<ObjectManifest>,
     pub index: Option<IndexManifest>,
+    pub lsm: Option<LsmManifest>,
+}
+
+/// A levelled tier's persisted description: the tuning knobs, the sealed
+/// runs (reattached from their page extents without re-rendering — runs are
+/// immutable once sealed, so the extent alone reproduces them byte for
+/// byte), and the memtable rows. The merge key is re-derived from the
+/// layout expression at open time, like every other physical property.
+pub(crate) struct LsmManifest {
+    pub memtable_cap: u64,
+    pub fanout: u64,
+    pub next_seq: u64,
+    pub runs: Vec<LsmRunManifest>,
+    pub memtable: Vec<Record>,
+}
+
+/// One sealed run's persisted metadata and page extent.
+pub(crate) struct LsmRunManifest {
+    pub level: u32,
+    pub seq: u64,
+    pub row_count: u64,
+    pub pages: Vec<PageId>,
+    pub heap_records: u64,
+    pub key_bounds: Option<Vec<(f64, f64)>>,
 }
 
 /// A declared index's persisted description: everything
@@ -1070,6 +1100,82 @@ fn dec_index(d: &mut Dec) -> Result<IndexManifest> {
     })
 }
 
+fn enc_lsm(e: &mut Enc, lsm: &LsmManifest) {
+    e.u64(lsm.memtable_cap);
+    e.u64(lsm.fanout);
+    e.u64(lsm.next_seq);
+    e.u32(lsm.runs.len() as u32);
+    for run in &lsm.runs {
+        e.u32(run.level);
+        e.u64(run.seq);
+        e.u64(run.row_count);
+        e.u32(run.pages.len() as u32);
+        for p in &run.pages {
+            e.u64(*p);
+        }
+        e.u64(run.heap_records);
+        match &run.key_bounds {
+            None => e.bool(false),
+            Some(bounds) => {
+                e.bool(true);
+                e.u32(bounds.len() as u32);
+                for (lo, hi) in bounds {
+                    e.f64(*lo);
+                    e.f64(*hi);
+                }
+            }
+        }
+    }
+    enc_records(e, &lsm.memtable);
+}
+
+fn dec_lsm(d: &mut Dec) -> Result<LsmManifest> {
+    let memtable_cap = d.u64()?;
+    let fanout = d.u64()?;
+    let next_seq = d.u64()?;
+    let nruns = d.u32()? as usize;
+    let mut runs = Vec::with_capacity(nruns.min(1 << 16));
+    for _ in 0..nruns {
+        let level = d.u32()?;
+        let seq = d.u64()?;
+        let row_count = d.u64()?;
+        let npages = d.u32()? as usize;
+        let mut pages = Vec::with_capacity(npages.min(1 << 20));
+        for _ in 0..npages {
+            pages.push(d.u64()?);
+        }
+        let heap_records = d.u64()?;
+        let key_bounds = if d.bool()? {
+            let nbounds = d.u32()? as usize;
+            let mut bounds = Vec::with_capacity(nbounds.min(1 << 8));
+            for _ in 0..nbounds {
+                let lo = d.f64()?;
+                let hi = d.f64()?;
+                bounds.push((lo, hi));
+            }
+            Some(bounds)
+        } else {
+            None
+        };
+        runs.push(LsmRunManifest {
+            level,
+            seq,
+            row_count,
+            pages,
+            heap_records,
+            key_bounds,
+        });
+    }
+    let memtable = dec_records(d)?;
+    Ok(LsmManifest {
+        memtable_cap,
+        fanout,
+        next_seq,
+        runs,
+        memtable,
+    })
+}
+
 /// Serializes the whole catalog (plus the file geometry) into manifest
 /// bytes. Every rendered layout's heap tails must already be flushed —
 /// [`crate::Database::checkpoint`] does that before calling this.
@@ -1104,6 +1210,7 @@ pub(crate) fn encode_manifest(catalog: &CatalogView, ctx: &ManifestContext) -> R
         e.u64(profile.max_templates() as u64);
         e.u64(profile.queries_observed);
         e.u64(profile.queries_since_check);
+        e.f64(profile.write_weight());
         let templates = profile.templates();
         e.u32(templates.len() as u32);
         for t in templates {
@@ -1177,6 +1284,35 @@ pub(crate) fn encode_manifest(catalog: &CatalogView, ctx: &ManifestContext) -> R
                         );
                     }
                 }
+                match &layout.lsm {
+                    None => e.bool(false),
+                    Some(lsm) => {
+                        e.bool(true);
+                        let mut runs = Vec::with_capacity(lsm.runs.len());
+                        for run in &lsm.runs {
+                            let pages =
+                                run.heap.page_ids().map_err(RodentError::Storage)?;
+                            runs.push(LsmRunManifest {
+                                level: run.level,
+                                seq: run.seq,
+                                row_count: run.row_count as u64,
+                                pages,
+                                heap_records: run.heap.record_count(),
+                                key_bounds: run.key_bounds.clone(),
+                            });
+                        }
+                        enc_lsm(
+                            &mut e,
+                            &LsmManifest {
+                                memtable_cap: lsm.memtable_cap as u64,
+                                fanout: lsm.fanout as u64,
+                                next_seq: lsm.next_seq,
+                                runs,
+                                memtable: lsm.memtable.clone(),
+                            },
+                        );
+                    }
+                }
             }
         }
     }
@@ -1234,6 +1370,7 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
         let max_templates = d.u64()?;
         let queries_observed = d.u64()?;
         let queries_since_check = d.u64()?;
+        let write_weight = d.f64()?;
         let ntemplates = d.u32()? as usize;
         let mut templates = Vec::with_capacity(ntemplates.min(1 << 12));
         for _ in 0..ntemplates {
@@ -1271,12 +1408,18 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
             } else {
                 None
             };
+            let lsm = if d.bool()? {
+                Some(dec_lsm(&mut d)?)
+            } else {
+                None
+            };
             Some(RenderedManifest {
                 name,
                 row_count,
                 orderings,
                 objects,
                 index,
+                lsm,
             })
         } else {
             None
@@ -1292,6 +1435,7 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<ManifestData> {
                 max_templates,
                 queries_observed,
                 queries_since_check,
+                write_weight,
                 templates,
             },
             stats,

@@ -47,6 +47,11 @@ pub struct WorkloadProfile {
     pub queries_since_check: u64,
     decay: f64,
     max_templates: usize,
+    /// Exponentially decayed weight of insert batches (recent batches count
+    /// ~1 each, on the same decay clock as the query templates). The ratio
+    /// of this weight to the total template weight is what lets the advisor
+    /// notice a write-heavy phase and propose a levelled (`lsm`) tier.
+    write_weight: f64,
 }
 
 impl Default for WorkloadProfile {
@@ -57,6 +62,7 @@ impl Default for WorkloadProfile {
             queries_since_check: 0,
             decay: 0.95,
             max_templates: 16,
+            write_weight: 0.0,
         }
     }
 }
@@ -80,6 +86,7 @@ impl WorkloadProfile {
         max_templates: usize,
         queries_observed: u64,
         queries_since_check: u64,
+        write_weight: f64,
         mut templates: Vec<QueryTemplate>,
     ) -> WorkloadProfile {
         templates.sort_by(|a, b| {
@@ -93,6 +100,11 @@ impl WorkloadProfile {
             queries_since_check,
             decay: decay.clamp(0.0, 1.0),
             max_templates: max_templates.max(1),
+            write_weight: if write_weight.is_finite() {
+                write_weight.max(0.0)
+            } else {
+                0.0
+            },
         }
     }
 
@@ -109,6 +121,38 @@ impl WorkloadProfile {
     /// The tracked templates, heaviest first.
     pub fn templates(&self) -> &[QueryTemplate] {
         &self.templates
+    }
+
+    /// The decayed weight of observed insert batches.
+    pub fn write_weight(&self) -> f64 {
+        self.write_weight
+    }
+
+    /// The fraction of recent (decay-weighted) traffic that was inserts:
+    /// `write / (write + reads)`, 0.0 for a profile that never saw a write.
+    pub fn write_fraction(&self) -> f64 {
+        let reads: f64 = self.templates.iter().map(|t| t.weight).sum();
+        let total = reads + self.write_weight;
+        if total > 0.0 {
+            self.write_weight / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Records one insert batch. Inserts share the decay clock with the
+    /// query templates (each event fades the other side), so a table that
+    /// stops being written drifts back toward a read profile within tens of
+    /// queries — the same dynamics `record_scan` gives shifted read traffic.
+    /// Inserts also count toward the adaptation-check window: a write flood
+    /// must be able to trigger a re-advise even when reads are sparse.
+    pub fn record_insert(&mut self) {
+        self.queries_observed += 1;
+        self.queries_since_check += 1;
+        for t in &mut self.templates {
+            t.weight *= self.decay;
+        }
+        self.write_weight = self.write_weight * self.decay + 1.0;
     }
 
     /// Records one `scan`/`open_cursor` request.
@@ -136,6 +180,7 @@ impl WorkloadProfile {
         for t in &mut self.templates {
             t.weight *= self.decay;
         }
+        self.write_weight *= self.decay;
         if let Some(t) = self.templates.iter_mut().find(|t| t.fingerprint == fingerprint) {
             t.weight += 1.0;
             t.hits += 1;
@@ -188,7 +233,7 @@ impl WorkloadProfile {
             }
             workload = workload.weighted_query(t.request.clone(), t.weight);
         }
-        workload
+        workload.with_write_weight(self.write_weight)
     }
 }
 
@@ -336,6 +381,36 @@ mod tests {
         // The single old projection query decayed to < 1% of total weight.
         let workload = profile.to_workload();
         assert_eq!(workload.queries.len(), 1);
+    }
+
+    #[test]
+    fn write_weight_rises_with_inserts_and_fades_under_reads() {
+        let mut profile = WorkloadProfile::default();
+        assert_eq!(profile.write_fraction(), 0.0);
+        for _ in 0..200 {
+            profile.record_insert();
+        }
+        profile.record_scan(&spatial(40.0));
+        assert!(
+            profile.write_fraction() > 0.9,
+            "a write flood must dominate, got {}",
+            profile.write_fraction()
+        );
+        // The workload handed to the advisor carries the write pressure.
+        assert!(profile.to_workload().write_weight > 1.0);
+        // A long read-only phase fades the write weight back out.
+        for _ in 0..200 {
+            profile.record_scan(&spatial(40.0));
+        }
+        assert!(
+            profile.write_fraction() < 0.05,
+            "reads must reclaim the profile, got {}",
+            profile.write_fraction()
+        );
+        // Inserts count toward the adaptation-check window.
+        profile.end_check_window();
+        profile.record_insert();
+        assert_eq!(profile.queries_since_check, 1);
     }
 
     #[test]

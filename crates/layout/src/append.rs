@@ -65,6 +65,33 @@ fn needs(reason: &str) -> Result<AppendOutcome> {
     Ok(AppendOutcome::NeedsRebuild(reason.to_string()))
 }
 
+/// Estimated pages written to absorb one batch of new rows — the write side
+/// of the cost model, mirroring the [`append_records`] rejection ladder so
+/// the advisor and the executor can never disagree about what a shape pays
+/// per insert. Shapes that reject incremental appends re-render the whole
+/// layout (every page); a levelled tier absorbs a batch for a couple of
+/// amortized run pages; in-place shapes touch roughly one tail page per
+/// stored object.
+pub fn estimate_append_pages(layout: &PhysicalLayout) -> usize {
+    let rebuild_always = layout.expr.contains_kind(TransformKind::Prejoin)
+        || layout.expr.contains_kind(TransformKind::Limit)
+        || layout.expr.contains_kind(TransformKind::Comprehension);
+    if rebuild_always {
+        return layout.total_pages().max(1);
+    }
+    if layout.lsm.is_some() {
+        // Memtable absorb plus the amortized share of spills and compaction.
+        return 2;
+    }
+    if layout.derived.folded.is_some()
+        || (!layout.derived.groups.is_empty()
+            && (layout.derived.grid.is_some() || layout.derived.partitioned))
+    {
+        return layout.total_pages().max(1);
+    }
+    layout.objects.len().max(1)
+}
+
 /// Appends the rows supplied by `provider` (the *new* canonical rows of the
 /// layout's base table, under the base table's name) into the rendered
 /// representation, without touching the rows already stored.
@@ -80,6 +107,15 @@ pub fn append_records<P: TableProvider + ?Sized>(
     }
     if layout.expr.contains_kind(TransformKind::Comprehension) {
         return needs("comprehension");
+    }
+    // A levelled tier absorbs the new rows into its memtable no matter how
+    // unfriendly the base shape is (fold, vertical+grid, …): the base objects
+    // are left untouched and the rows surface through the tier's runs. Only
+    // transforms whose output cannot be computed from the new rows alone
+    // (prejoin, limit, comprehensions — rejected above) still force a
+    // rebuild.
+    if layout.lsm.is_some() {
+        return append_lsm(layout, provider);
     }
     if layout.derived.folded.is_some() {
         return needs("fold");
@@ -139,6 +175,43 @@ pub fn append_records<P: TableProvider + ?Sized>(
     }
     Ok(AppendOutcome::Appended {
         objects_touched,
+        rows_appended,
+    })
+}
+
+/// Appends into the levelled tier of an `lsm[...]` layout: the new rows run
+/// through the record pipeline and land in the memtable (spilling into sorted
+/// runs and compacting as thresholds are crossed); the base objects are never
+/// touched.
+fn append_lsm<P: TableProvider + ?Sized>(
+    layout: &mut PhysicalLayout,
+    provider: &P,
+) -> Result<AppendOutcome> {
+    let expr = layout.expr.clone();
+    let (schema, new_rows) = pipeline::materialize(&expr, provider)?;
+    if schema.field_names() != layout.schema.field_names() {
+        return needs("schema drift");
+    }
+    if new_rows.is_empty() {
+        return Ok(AppendOutcome::Appended {
+            objects_touched: 0,
+            rows_appended: 0,
+        });
+    }
+    let rows_appended = new_rows.len();
+    let name = layout.name.clone();
+    let layout_schema = layout.schema.clone();
+    let pager = Arc::clone(layout.pager());
+    let lsm = layout
+        .lsm
+        .as_mut()
+        .expect("append_lsm called without a levelled tier");
+    let runs_before = lsm.runs.len();
+    lsm.absorb(&pager, &name, &layout_schema, new_rows)?;
+    let runs_after = lsm.runs.len();
+    layout.row_count += rows_appended;
+    Ok(AppendOutcome::Appended {
+        objects_touched: runs_after.saturating_sub(runs_before),
         rows_appended,
     })
 }

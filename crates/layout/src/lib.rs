@@ -27,14 +27,16 @@
 
 pub mod append;
 pub mod index;
+pub mod lsm;
 pub mod pipeline;
 pub mod plan;
 pub mod render;
 pub mod rowcodec;
 pub mod scan;
 
-pub use append::{append_records, AppendOutcome};
+pub use append::{append_records, estimate_append_pages, AppendOutcome};
 pub use index::{IndexKind, KeyKind, StoredIndex};
+pub use lsm::{LsmRun, LsmState};
 pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use rodentstore_compress::CodecKind;

@@ -1,0 +1,490 @@
+//! The levelled write-optimized tier behind the `lsm[...]` operator.
+//!
+//! An [`LsmState`] rides on a [`crate::plan::PhysicalLayout`]: appended
+//! tuples land in an in-memory *memtable* (O(new rows) per batch, no page
+//! writes), spill into immutable key-sorted *runs* once the memtable fills,
+//! and are merged into deeper levels by incremental compaction. The inner
+//! expression still governs how the bulk-rendered base is stored; the tier
+//! only owns rows appended after the render.
+//!
+//! Runs are never rewritten once sealed — a spill writes a fresh heap file,
+//! flushes it, and re-opens it with every page sealed — so crash recovery
+//! can reattach them from manifest metadata without re-rendering a byte.
+//! Compaction merges the runs of an overflowing level into one run on the
+//! next level and parks the vacated extents in a relocation note; the
+//! checkpoint quarantine turns that into the copying vacuum the free list
+//! has been waiting for.
+
+use crate::pipeline::sort_records;
+use crate::rowcodec::{decode_record, encode_record};
+use crate::Result;
+use rodentstore_algebra::expr::SortKey;
+use rodentstore_algebra::schema::Schema;
+use rodentstore_algebra::value::Record;
+use rodentstore_storage::heap::HeapFile;
+use rodentstore_storage::page::PageId;
+use rodentstore_storage::pager::Pager;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Rows the memtable absorbs before spilling into a level-0 run.
+pub const DEFAULT_MEMTABLE_CAP: usize = 256;
+/// Runs a level may accumulate before compaction merges it into the next.
+pub const DEFAULT_FANOUT: usize = 4;
+
+/// One immutable sorted run of the levelled tier.
+pub struct LsmRun {
+    /// Sealed heap file holding the run's rows (row-encoded, full width).
+    pub heap: HeapFile,
+    /// Level the run lives on (0 = freshest spills).
+    pub level: u32,
+    /// Monotonic sequence number (creation order across all runs).
+    pub seq: u64,
+    /// Number of rows in the run.
+    pub row_count: usize,
+    /// Inclusive `(min, max)` of each key field over the run's rows, when
+    /// every key value maps to `f64`; `None` disables pruning for the run.
+    pub key_bounds: Option<Vec<(f64, f64)>>,
+    /// Lifetime token, cloned by every fork that shares the run's sealed
+    /// pages. A run's extent is reclaimable only once its token is unique:
+    /// sealed pages are shared across *every* published generation since the
+    /// run was created, so a per-generation retirement guard is not enough —
+    /// a reader holding any older generation still decodes these pages.
+    pub token: Arc<()>,
+}
+
+impl std::fmt::Debug for LsmRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmRun")
+            .field("level", &self.level)
+            .field("seq", &self.seq)
+            .field("rows", &self.row_count)
+            .field("pages", &self.heap.page_count())
+            .finish()
+    }
+}
+
+impl LsmRun {
+    /// Whether the run may hold rows satisfying the per-field ranges
+    /// (conservative: unknown bounds or unconstrained fields never prune).
+    pub fn may_match(&self, key: &[String], ranges: &HashMap<String, (f64, f64)>) -> bool {
+        let Some(bounds) = &self.key_bounds else {
+            return true;
+        };
+        for (field, (lo, hi)) in key.iter().zip(bounds) {
+            if let Some((qlo, qhi)) = ranges.get(field) {
+                if *hi < *qlo || *lo > *qhi {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Decodes every row of the run, in key order.
+    pub fn read_rows(&self) -> Result<Vec<Record>> {
+        let mut rows = Vec::with_capacity(self.row_count);
+        self.heap.scan(|_, payload| {
+            rows.push(payload.to_vec());
+            Ok(())
+        })?;
+        rows.into_iter().map(|bytes| decode_record(&bytes)).collect()
+    }
+}
+
+/// The mutable state of a layout's levelled tier.
+pub struct LsmState {
+    /// Key fields runs are sorted on.
+    pub key: Vec<String>,
+    /// Rows absorbed since the last spill, in insertion order.
+    pub memtable: Vec<Record>,
+    /// Sealed runs, kept in scan order: deepest level first, then by
+    /// ascending sequence number (oldest data first).
+    pub runs: Vec<LsmRun>,
+    /// Memtable spill threshold, in rows.
+    pub memtable_cap: usize,
+    /// Runs per level before compaction merges the level.
+    pub fanout: usize,
+    /// Next run sequence number.
+    pub next_seq: u64,
+    /// Extents vacated by compaction since the last drain, each tagged with
+    /// the vacated run's lifetime token.
+    relocated: Mutex<Vec<(Arc<()>, Vec<PageId>)>>,
+}
+
+impl std::fmt::Debug for LsmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmState")
+            .field("key", &self.key)
+            .field("memtable_rows", &self.memtable.len())
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+impl LsmState {
+    /// Fresh tier with default spill and fanout parameters.
+    pub fn new(key: Vec<String>) -> LsmState {
+        LsmState::with_params(key, DEFAULT_MEMTABLE_CAP, DEFAULT_FANOUT)
+    }
+
+    /// Fresh tier with explicit parameters (tests shrink them to exercise
+    /// multi-level shapes with few rows).
+    pub fn with_params(key: Vec<String>, memtable_cap: usize, fanout: usize) -> LsmState {
+        LsmState {
+            key,
+            memtable: Vec::new(),
+            runs: Vec::new(),
+            memtable_cap: memtable_cap.max(1),
+            fanout: fanout.max(2),
+            next_seq: 0,
+            relocated: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Reattaches a tier from persisted metadata: the caller re-opens each
+    /// run's sealed heap over its recorded extent (no page allocation, no
+    /// re-rendering) and this puts them back in scan order.
+    pub fn restore(
+        key: Vec<String>,
+        memtable_cap: usize,
+        fanout: usize,
+        next_seq: u64,
+        memtable: Vec<Record>,
+        runs: Vec<LsmRun>,
+    ) -> LsmState {
+        let mut state = LsmState::with_params(key, memtable_cap, fanout);
+        state.next_seq = next_seq;
+        state.memtable = memtable;
+        state.runs = runs;
+        state.order_runs();
+        state
+    }
+
+    /// Total rows held by the tier (runs plus memtable).
+    pub fn rows(&self) -> usize {
+        self.runs.iter().map(|r| r.row_count).sum::<usize>() + self.memtable.len()
+    }
+
+    /// Total pages the runs occupy (the memtable holds none).
+    pub fn total_pages(&self) -> usize {
+        self.runs.iter().map(|r| r.heap.page_count()).sum()
+    }
+
+    /// Every page currently referenced by a run.
+    pub fn extent_pages(&self) -> Vec<PageId> {
+        self.runs.iter().flat_map(|r| r.heap.extent()).collect()
+    }
+
+    /// The row at `idx` in the tier's scan order: runs deepest level first
+    /// (oldest first within a level), each in key order, then the memtable
+    /// in insertion order. Decodes only the containing run.
+    pub fn row_at(&self, mut idx: usize) -> Result<Option<Record>> {
+        for run in &self.runs {
+            if idx < run.row_count {
+                let rows = run.read_rows()?;
+                return Ok(rows.into_iter().nth(idx));
+            }
+            idx -= run.row_count;
+        }
+        Ok(self.memtable.get(idx).cloned())
+    }
+
+    /// Drains the vacated extents that are already safe to reuse: those
+    /// whose run token is unique, meaning no forked generation (and thus no
+    /// pinned reader) can still reach the run's pages. Notes whose token is
+    /// still shared stay parked for a later drain.
+    pub fn take_relocated(&self) -> Vec<PageId> {
+        let mut relocated = self.relocated.lock().unwrap();
+        let mut pages = Vec::new();
+        relocated.retain_mut(|(token, extent)| {
+            if Arc::strong_count(token) == 1 {
+                pages.append(extent);
+                false
+            } else {
+                true
+            }
+        });
+        pages
+    }
+
+    /// Drains *every* relocation note, shared tokens included. Callers that
+    /// outlive this tier (the database's central parking lot) take the notes
+    /// wholesale and re-check token uniqueness themselves on each reap.
+    pub fn take_relocation_notes(&self) -> Vec<(Arc<()>, Vec<PageId>)> {
+        std::mem::take(&mut *self.relocated.lock().unwrap())
+    }
+
+    fn sort_keys(&self) -> Vec<SortKey> {
+        self.key.iter().map(|f| SortKey::asc(f.clone())).collect()
+    }
+
+    /// Restores the scan-order invariant after runs were added or merged.
+    fn order_runs(&mut self) {
+        self.runs
+            .sort_by(|a, b| b.level.cmp(&a.level).then(a.seq.cmp(&b.seq)));
+    }
+
+    /// Absorbs appended rows: into the memtable, spilling a level-0 run at
+    /// capacity and compacting any level that overflows its fanout.
+    pub fn absorb(
+        &mut self,
+        pager: &Arc<Pager>,
+        layout_name: &str,
+        schema: &Schema,
+        rows: Vec<Record>,
+    ) -> Result<()> {
+        self.memtable.extend(rows);
+        while self.memtable.len() >= self.memtable_cap {
+            let spill: Vec<Record> = if self.memtable.len() > self.memtable_cap {
+                self.memtable.drain(..self.memtable_cap).collect()
+            } else {
+                std::mem::take(&mut self.memtable)
+            };
+            self.seal_run(pager, layout_name, schema, spill, 0)?;
+            self.compact(pager, layout_name, schema)?;
+        }
+        Ok(())
+    }
+
+    /// Sorts `rows` by the key and seals them as a fresh immutable run on
+    /// `level`. The heap is flushed and re-opened with every page sealed, so
+    /// the run can never be appended to again.
+    fn seal_run(
+        &mut self,
+        pager: &Arc<Pager>,
+        layout_name: &str,
+        schema: &Schema,
+        mut rows: Vec<Record>,
+        level: u32,
+    ) -> Result<()> {
+        sort_records(schema, &mut rows, &self.sort_keys())?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let name = format!("{layout_name}.run{seq}");
+        let heap = HeapFile::create(name.clone(), Arc::clone(pager));
+        for row in &rows {
+            heap.append(&encode_record(row))?;
+        }
+        heap.flush()?;
+        let sealed = HeapFile::from_pages(name, Arc::clone(pager), heap.extent(), rows.len() as u64);
+        let key_bounds = self.bounds_of(schema, &rows)?;
+        self.runs.push(LsmRun {
+            heap: sealed,
+            level,
+            seq,
+            row_count: rows.len(),
+            key_bounds,
+            token: Arc::new(()),
+        });
+        self.order_runs();
+        Ok(())
+    }
+
+    /// Per-key-field `(min, max)` over `rows`, or `None` when any key value
+    /// has no numeric interpretation.
+    fn bounds_of(&self, schema: &Schema, rows: &[Record]) -> Result<Option<Vec<(f64, f64)>>> {
+        if rows.is_empty() {
+            return Ok(Some(vec![(f64::INFINITY, f64::NEG_INFINITY); self.key.len()]));
+        }
+        let mut positions = Vec::with_capacity(self.key.len());
+        for f in &self.key {
+            positions.push(schema.index_of(f).map_err(crate::LayoutError::Algebra)?);
+        }
+        let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); self.key.len()];
+        for row in rows {
+            for (k, &p) in positions.iter().enumerate() {
+                match row[p].as_f64() {
+                    Some(v) if !v.is_nan() => {
+                        bounds[k].0 = bounds[k].0.min(v);
+                        bounds[k].1 = bounds[k].1.max(v);
+                    }
+                    _ => return Ok(None),
+                }
+            }
+        }
+        Ok(Some(bounds))
+    }
+
+    /// Merges every level holding at least `fanout` runs into a single run
+    /// on the next level, cascading until no level overflows. Vacated run
+    /// extents are parked for [`LsmState::take_relocated`].
+    pub fn compact(
+        &mut self,
+        pager: &Arc<Pager>,
+        layout_name: &str,
+        schema: &Schema,
+    ) -> Result<()> {
+        loop {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for r in &self.runs {
+                *counts.entry(r.level).or_insert(0) += 1;
+            }
+            let Some(&level) = counts
+                .iter()
+                .filter(|(_, &n)| n >= self.fanout)
+                .map(|(l, _)| l)
+                .min()
+            else {
+                return Ok(());
+            };
+            self.merge_level(pager, layout_name, schema, level)?;
+        }
+    }
+
+    /// Merges all runs of `level` into one run on `level + 1`.
+    fn merge_level(
+        &mut self,
+        pager: &Arc<Pager>,
+        layout_name: &str,
+        schema: &Schema,
+        level: u32,
+    ) -> Result<()> {
+        let mut merged: Vec<LsmRun> = Vec::new();
+        let mut keep: Vec<LsmRun> = Vec::new();
+        for run in self.runs.drain(..) {
+            if run.level == level {
+                merged.push(run);
+            } else {
+                keep.push(run);
+            }
+        }
+        self.runs = keep;
+        // Oldest first, so the stable merge sort preserves arrival order
+        // among equal keys.
+        merged.sort_by_key(|r| r.seq);
+        let mut rows = Vec::with_capacity(merged.iter().map(|r| r.row_count).sum());
+        for run in &merged {
+            rows.extend(run.read_rows()?);
+        }
+        self.seal_run(pager, layout_name, schema, rows, level + 1)?;
+        let mut relocated = self.relocated.lock().unwrap();
+        for run in merged {
+            relocated.push((Arc::clone(&run.token), run.heap.extent()));
+        }
+        Ok(())
+    }
+
+    /// Clones the tier for an append fork: run heaps are reattached over the
+    /// same sealed pages (no copying), the memtable is cloned, and pending
+    /// relocation notes stay with the original.
+    pub fn fork(&self, pager: &Arc<Pager>) -> LsmState {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| LsmRun {
+                heap: HeapFile::from_pages(
+                    r.heap.name().to_string(),
+                    Arc::clone(pager),
+                    r.heap.extent(),
+                    r.row_count as u64,
+                ),
+                level: r.level,
+                seq: r.seq,
+                row_count: r.row_count,
+                key_bounds: r.key_bounds.clone(),
+                token: Arc::clone(&r.token),
+            })
+            .collect();
+        LsmState {
+            key: self.key.clone(),
+            memtable: self.memtable.clone(),
+            runs,
+            memtable_cap: self.memtable_cap,
+            fanout: self.fanout,
+            next_seq: self.next_seq,
+            relocated: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodentstore_algebra::schema::{Field, Schema};
+    use rodentstore_algebra::types::DataType;
+    use rodentstore_algebra::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Field::new("id", DataType::Int),
+                Field::new("x", DataType::Float),
+            ],
+        )
+    }
+
+    fn row(id: i64) -> Record {
+        vec![Value::Int(id), Value::Float(id as f64 / 2.0)]
+    }
+
+    #[test]
+    fn spill_and_cascading_compaction() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let mut lsm = LsmState::with_params(vec!["id".into()], 4, 2);
+        let schema = schema();
+        for i in 0..32 {
+            lsm.absorb(&pager, "t", &schema, vec![row(31 - i)]).unwrap();
+        }
+        assert_eq!(lsm.rows(), 32);
+        // With cap 4 and fanout 2 the tier must have cascaded past level 0.
+        assert!(lsm.runs.iter().any(|r| r.level >= 1), "{:?}", lsm.runs);
+        // Every run is internally key-sorted.
+        for run in &lsm.runs {
+            let rows = run.read_rows().unwrap();
+            let ids: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted);
+        }
+        // Compaction vacated the merged runs' extents.
+        assert!(!lsm.take_relocated().is_empty());
+        assert!(lsm.take_relocated().is_empty(), "drain is a take");
+        // Scan order: deepest level first, seq ascending within a level.
+        let levels: Vec<u32> = lsm.runs.iter().map(|r| r.level).collect();
+        let mut expected = levels.clone();
+        expected.sort_by(|a, b| b.cmp(a));
+        assert_eq!(levels, expected);
+    }
+
+    #[test]
+    fn key_bounds_prune_disjoint_ranges() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let mut lsm = LsmState::with_params(vec!["id".into()], 4, 4);
+        let schema = schema();
+        lsm.absorb(&pager, "t", &schema, (0..4).map(row).collect())
+            .unwrap();
+        lsm.absorb(&pager, "t", &schema, (100..104).map(row).collect())
+            .unwrap();
+        assert_eq!(lsm.runs.len(), 2);
+        let key = vec!["id".to_string()];
+        let mut ranges = HashMap::new();
+        ranges.insert("id".to_string(), (50.0, 60.0));
+        assert!(lsm.runs.iter().all(|r| !r.may_match(&key, &ranges)));
+        ranges.insert("id".to_string(), (2.0, 3.0));
+        assert_eq!(
+            lsm.runs.iter().filter(|r| r.may_match(&key, &ranges)).count(),
+            1
+        );
+        // Unconstrained fields never prune.
+        assert!(lsm.runs.iter().all(|r| r.may_match(&key, &HashMap::new())));
+    }
+
+    #[test]
+    fn fork_shares_sealed_pages_and_clones_memtable() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let mut lsm = LsmState::with_params(vec!["id".into()], 4, 4);
+        let schema = schema();
+        lsm.absorb(&pager, "t", &schema, (0..6).map(row).collect())
+            .unwrap();
+        let before = pager.page_count();
+        let mut fork = lsm.fork(&pager);
+        assert_eq!(pager.page_count(), before, "fork allocates no pages");
+        assert_eq!(fork.rows(), lsm.rows());
+        fork.absorb(&pager, "t", &schema, vec![row(99)]).unwrap();
+        assert_eq!(fork.rows(), lsm.rows() + 1);
+        assert_eq!(lsm.memtable.len(), 2, "original untouched");
+    }
+}

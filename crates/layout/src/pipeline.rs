@@ -239,7 +239,8 @@ pub fn materialize<P: TableProvider + ?Sized>(
         | LayoutExpr::ZOrder { input, .. }
         | LayoutExpr::Transpose { input }
         | LayoutExpr::Chunk { input, .. }
-        | LayoutExpr::Index { input, .. } => materialize(input, provider),
+        | LayoutExpr::Index { input, .. }
+        | LayoutExpr::Lsm { input, .. } => materialize(input, provider),
     }
 }
 

@@ -12,6 +12,7 @@ use crate::rowcodec::{
     column_to_values, decode_record, decode_record_subset, encode_record, values_to_column,
 };
 use crate::index::StoredIndex;
+use crate::lsm::LsmState;
 use crate::scan::{CompiledPredicate, ScanIter};
 use crate::{LayoutError, Result};
 use rodentstore_algebra::comprehension::{CmpOp, Condition, ElemExpr};
@@ -422,6 +423,10 @@ pub struct PhysicalLayout {
     pub row_count: usize,
     /// Secondary index declared with the `index[...]` operator, if any.
     pub index: Option<StoredIndex>,
+    /// Levelled write tier declared with the `lsm[...]` operator, if any.
+    /// Holds the rows appended after the bulk render; `row_count` above
+    /// counts them, so `base_row_count()` is what the objects hold.
+    pub lsm: Option<LsmState>,
     pager: Arc<Pager>,
 }
 
@@ -456,8 +461,16 @@ impl PhysicalLayout {
             objects,
             row_count,
             index: None,
+            lsm: None,
             pager,
         }
+    }
+
+    /// Number of tuples held by the stored objects alone, excluding the
+    /// levelled tier's runs and memtable. Equal to `row_count` for layouts
+    /// without an `lsm[...]` tier.
+    pub fn base_row_count(&self) -> usize {
+        self.row_count - self.lsm.as_ref().map(LsmState::rows).unwrap_or(0)
     }
 
     /// The pager holding this layout's pages.
@@ -527,6 +540,7 @@ impl PhysicalLayout {
             Arc::clone(&self.pager),
         );
         fork.index = index;
+        fork.lsm = self.lsm.as_ref().map(|l| l.fork(&self.pager));
         Ok(fork)
     }
 
@@ -540,7 +554,22 @@ impl PhysicalLayout {
         if let Some(idx) = &self.index {
             pages.extend(idx.take_relocated());
         }
+        if let Some(lsm) = &self.lsm {
+            pages.extend(lsm.take_relocated());
+        }
         pages
+    }
+
+    /// Drains the levelled tier's relocation notes wholesale, shared tokens
+    /// included (see [`LsmState::take_relocation_notes`]). Empty for layouts
+    /// without a tier.
+    pub fn take_lsm_relocation_notes(
+        &self,
+    ) -> Vec<(std::sync::Arc<()>, Vec<rodentstore_storage::page::PageId>)> {
+        self.lsm
+            .as_ref()
+            .map(LsmState::take_relocation_notes)
+            .unwrap_or_default()
     }
 
     /// Every page currently referenced by this layout: object heap extents
@@ -552,6 +581,9 @@ impl PhysicalLayout {
         }
         if let Some(idx) = &self.index {
             pages.extend(idx.page_ids()?);
+        }
+        if let Some(lsm) = &self.lsm {
+            pages.extend(lsm.extent_pages());
         }
         Ok(pages)
     }
@@ -566,9 +598,10 @@ impl PhysicalLayout {
         Ok(())
     }
 
-    /// Total number of pages across all objects.
+    /// Total number of pages across all objects and levelled-tier runs.
     pub fn total_pages(&self) -> usize {
-        self.objects.iter().map(StoredObject::page_count).sum()
+        self.objects.iter().map(StoredObject::page_count).sum::<usize>()
+            + self.lsm.as_ref().map(LsmState::total_pages).unwrap_or(0)
     }
 
     /// Whether the layout is gridded (objects are cells with bounds).
@@ -649,18 +682,33 @@ impl PhysicalLayout {
         fields: Option<&[String]>,
         predicate: Option<&Condition>,
     ) -> u64 {
+        // Levelled-tier runs are merged into every scan: non-pruned run pages
+        // are read on top of whatever the base costs (the memtable is
+        // in-memory and costs no pages).
+        let lsm_pages = match (&self.lsm, predicate) {
+            (Some(lsm), pred) => {
+                let ranges = pred.map(extract_ranges).unwrap_or_default();
+                lsm.runs
+                    .iter()
+                    .filter(|r| r.may_match(&lsm.key, &ranges))
+                    .map(|r| r.heap.page_count() as u64)
+                    .sum()
+            }
+            (None, _) => 0u64,
+        };
         if let (Some(pred), Some(idx)) = (predicate, &self.index) {
             let ranges = extract_ranges(pred);
             if idx.covers(&ranges) {
                 if let Ok(pages) = self.index_scan_pages(idx, &ranges) {
-                    return pages;
+                    return pages + lsm_pages;
                 }
             }
         }
         self.objects_to_read(fields, predicate)
             .iter()
             .map(|&i| self.objects[i].page_count() as u64)
-            .sum()
+            .sum::<u64>()
+            + lsm_pages
     }
 
     fn index_scan_pages(
@@ -754,7 +802,7 @@ impl PhysicalLayout {
                 continue;
             }
             let col_rows = self.read_vertical_object(obj)?;
-            let bitmap = survivors.get_or_insert_with(|| vec![true; self.row_count]);
+            let bitmap = survivors.get_or_insert_with(|| vec![true; self.base_row_count()]);
             'row: for (idx, row) in col_rows.iter().enumerate() {
                 if !bitmap[idx] {
                     continue;
@@ -770,9 +818,9 @@ impl PhysicalLayout {
         }
         // Dense output slot per surviving row (usize::MAX = filtered out).
         let (survivor_count, dense_of) = match &survivors {
-            None => (self.row_count, None),
+            None => (self.base_row_count(), None),
             Some(bits) => {
-                let mut dense_of = vec![usize::MAX; self.row_count];
+                let mut dense_of = vec![usize::MAX; self.base_row_count()];
                 let mut n = 0usize;
                 for (i, &alive) in bits.iter().enumerate() {
                     if alive {
@@ -818,12 +866,12 @@ impl PhysicalLayout {
     fn read_vertical_object(&self, obj: &StoredObject) -> Result<Vec<Record>> {
         let templates = self.templates_for(&obj.fields);
         let col_rows = obj.read_rows(&templates)?;
-        if col_rows.len() != self.row_count {
+        if col_rows.len() != self.base_row_count() {
             return Err(LayoutError::Corrupted(format!(
                 "object `{}` has {} rows, layout has {}",
                 obj.name,
                 col_rows.len(),
-                self.row_count
+                self.base_row_count()
             )));
         }
         Ok(col_rows)
@@ -850,6 +898,20 @@ impl PhysicalLayout {
         };
         let out_indices = self.schema.indices_of(&out_fields).map_err(LayoutError::Algebra)?;
 
+        // Positions past the stored base fall into the levelled tier, which
+        // serves them in its scan order (runs, then memtable).
+        if position >= self.base_row_count() {
+            if let Some(lsm) = &self.lsm {
+                let row = lsm.row_at(position - self.base_row_count())?.ok_or_else(|| {
+                    LayoutError::Corrupted(format!(
+                        "lsm tier of `{}` does not cover element {position}",
+                        self.name
+                    ))
+                })?;
+                return Ok(out_indices.iter().map(|&i| row[i].clone()).collect());
+            }
+        }
+
         if self.is_vertically_partitioned() {
             // Fetch the element of every object holding a requested field and
             // stitch just that one row.
@@ -863,10 +925,12 @@ impl PhysicalLayout {
                 if !needed.iter().any(|&b| b) {
                     continue;
                 }
-                if obj.row_count != self.row_count {
+                if obj.row_count != self.base_row_count() {
                     return Err(LayoutError::Corrupted(format!(
                         "object `{}` has {} rows, layout has {}",
-                        obj.name, obj.row_count, self.row_count
+                        obj.name,
+                        obj.row_count,
+                        self.base_row_count()
                     )));
                 }
                 let templates = self.templates_for(&obj.fields);

@@ -42,6 +42,12 @@ pub struct RenderOptions {
     pub block_rows: usize,
     /// Space-filling curve used when the expression requests `zorder`.
     pub curve: Curve,
+    /// Memtable spill threshold (rows) for freshly rendered `lsm` tiers.
+    /// Tests shrink it to exercise multi-level shapes with few rows;
+    /// reattached tiers keep whatever was persisted.
+    pub lsm_memtable_cap: usize,
+    /// Runs per level before a freshly rendered `lsm` tier compacts it.
+    pub lsm_fanout: usize,
 }
 
 impl Default for RenderOptions {
@@ -50,6 +56,8 @@ impl Default for RenderOptions {
             name: None,
             block_rows: 1024,
             curve: Curve::ZOrder,
+            lsm_memtable_cap: crate::lsm::DEFAULT_MEMTABLE_CAP,
+            lsm_fanout: crate::lsm::DEFAULT_FANOUT,
         }
     }
 }
@@ -201,6 +209,15 @@ pub fn render<P: TableProvider + ?Sized>(
     );
     if let Some(fields) = layout.derived.index.clone() {
         layout.index = Some(crate::index::build_index(&layout, &fields)?);
+    }
+    if let Some(key) = layout.derived.lsm.clone() {
+        // A render absorbs every known tuple into the base, so the tier
+        // starts empty; appends fill it from here on.
+        layout.lsm = Some(crate::lsm::LsmState::with_params(
+            key,
+            options.lsm_memtable_cap,
+            options.lsm_fanout,
+        ));
     }
     Ok(layout)
 }

@@ -463,6 +463,17 @@ pub struct ScanIter<'a> {
     /// on [`ScanIter::rewind`].
     buffered: Option<Vec<Record>>,
     buffered_pos: usize,
+    /// Levelled-tier state: once the base path is exhausted, the scan
+    /// continues through the non-pruned runs (deepest level first) and then
+    /// the memtable. Rows there are full-width, so the predicate and
+    /// projection are compiled once against the layout schema.
+    lsm_runs: Vec<usize>,
+    lsm_cursor: usize,
+    lsm_buf: VecDeque<Record>,
+    lsm_mem_pos: usize,
+    lsm_pred: Option<CompiledPredicate>,
+    lsm_out: Vec<usize>,
+    lsm_has_dup: bool,
     done: bool,
 }
 
@@ -492,8 +503,35 @@ impl<'a> ScanIter<'a> {
             indexed: None,
             buffered: None,
             buffered_pos: 0,
+            lsm_runs: Vec::new(),
+            lsm_cursor: 0,
+            lsm_buf: VecDeque::new(),
+            lsm_mem_pos: 0,
+            lsm_pred: None,
+            lsm_out: Vec::new(),
+            lsm_has_dup: false,
             done: false,
         };
+        if let Some(lsm) = &layout.lsm {
+            let ranges = predicate.map(extract_ranges).unwrap_or_default();
+            iter.lsm_runs = lsm
+                .runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.may_match(&lsm.key, &ranges))
+                .map(|(i, _)| i)
+                .collect();
+            let schema_fields = layout.schema.field_names();
+            iter.lsm_out = iter
+                .out_fields
+                .iter()
+                .map(|f| resolve(f, &schema_fields, layout.schema.name()))
+                .collect::<Result<_>>()?;
+            iter.lsm_has_dup = has_duplicates(&iter.lsm_out);
+            iter.lsm_pred = predicate
+                .map(|p| CompiledPredicate::compile(p, &schema_fields, layout.schema.name()))
+                .transpose()?;
+        }
         if layout.is_vertically_partitioned() {
             iter.buffered = Some(iter.build_vertical_buffer()?);
         } else if let (Some(pred), Some(idx)) = (predicate, layout.index.as_ref()) {
@@ -542,6 +580,9 @@ impl<'a> ScanIter<'a> {
         self.obj_cursor = 0;
         self.current = None;
         self.buffered_pos = 0;
+        self.lsm_cursor = 0;
+        self.lsm_buf.clear();
+        self.lsm_mem_pos = 0;
         self.done = false;
         if let Some(indexed) = &mut self.indexed {
             indexed.next_batch = 0;
@@ -759,6 +800,44 @@ impl<'a> ScanIter<'a> {
             }
         }
     }
+
+    /// Continues the scan through the levelled tier after the base objects
+    /// are exhausted: non-pruned runs in scan order (deepest level first,
+    /// oldest first within a level, each internally key-sorted), then the
+    /// memtable in insertion order.
+    fn next_lsm(&mut self) -> Result<Option<Record>> {
+        let Some(lsm) = &self.layout.lsm else {
+            return Ok(None);
+        };
+        loop {
+            if let Some(mut row) = self.lsm_buf.pop_front() {
+                return Ok(Some(project_row(&mut row, &self.lsm_out, self.lsm_has_dup)));
+            }
+            if let Some(&run_idx) = self.lsm_runs.get(self.lsm_cursor) {
+                self.lsm_cursor += 1;
+                for row in lsm.runs[run_idx].read_rows()? {
+                    if let Some(pred) = &self.lsm_pred {
+                        if !pred.matches(&row)? {
+                            continue;
+                        }
+                    }
+                    self.lsm_buf.push_back(row);
+                }
+                continue;
+            }
+            while let Some(row) = lsm.memtable.get(self.lsm_mem_pos) {
+                self.lsm_mem_pos += 1;
+                if let Some(pred) = &self.lsm_pred {
+                    if !pred.matches(row)? {
+                        continue;
+                    }
+                }
+                let mut row = row.clone();
+                return Ok(Some(project_row(&mut row, &self.lsm_out, self.lsm_has_dup)));
+            }
+            return Ok(None);
+        }
+    }
 }
 
 fn has_duplicates(positions: &[usize]) -> bool {
@@ -789,20 +868,31 @@ impl Iterator for ScanIter<'_> {
             return None;
         }
         if let Some(buf) = &mut self.buffered {
-            let row = buf.get_mut(self.buffered_pos)?;
-            self.buffered_pos += 1;
-            return Some(Ok(std::mem::take(row)));
-        }
-        let stepped = if self.indexed.is_some() {
-            self.next_indexed()
+            if let Some(row) = buf.get_mut(self.buffered_pos) {
+                self.buffered_pos += 1;
+                return Some(Ok(std::mem::take(row)));
+            }
         } else {
-            self.next_streamed()
-        };
-        match stepped {
+            let stepped = if self.indexed.is_some() {
+                self.next_indexed()
+            } else {
+                self.next_streamed()
+            };
+            match stepped {
+                Ok(Some(row)) => return Some(Ok(row)),
+                Ok(None) => {}
+                Err(e) => {
+                    // An error ends the stream; further calls yield None.
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        // Base exhausted; the levelled tier (if any) continues the scan.
+        match self.next_lsm() {
             Ok(Some(row)) => Some(Ok(row)),
             Ok(None) => None,
             Err(e) => {
-                // An error ends the stream; further calls yield None.
                 self.done = true;
                 Some(Err(e))
             }

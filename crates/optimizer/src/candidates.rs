@@ -147,6 +147,40 @@ pub fn enumerate_candidates(schema: &Schema, workload: &Workload) -> Vec<LayoutE
         }
     }
 
+    // 10. Write-heavy profiles: wrap every read-oriented shape proposed so
+    //     far in a levelled (`lsm`) tier, so inserts absorb into a memtable
+    //     instead of re-rendering the layout. The tier's merge key is the
+    //     range-constrained numeric fields (runs prune against scan ranges)
+    //     or, failing that, the first numeric field. The wrap is only
+    //     proposed while inserts outweigh reads — when the profile shifts
+    //     back, the tier stops being enumerated and the cost model's lsm
+    //     read surcharge retires it.
+    if workload.is_write_heavy() {
+        let key: Vec<String> = if !grid_fields.is_empty() {
+            grid_fields.iter().map(|(f, _)| f.clone()).collect()
+        } else {
+            all_fields
+                .iter()
+                .filter(|f| {
+                    schema
+                        .field(f)
+                        .map(|fd| fd.ty.is_numeric())
+                        .unwrap_or(false)
+                })
+                .take(1)
+                .cloned()
+                .collect()
+        };
+        if !key.is_empty() {
+            for inner in candidates.clone() {
+                let wrapped = inner.lsm(key.clone());
+                if rodentstore_algebra::validate::check(&wrapped, schema).is_ok() {
+                    push(&mut candidates, wrapped);
+                }
+            }
+        }
+    }
+
     candidates
 }
 
@@ -241,9 +275,39 @@ mod tests {
     }
 
     #[test]
+    fn write_heavy_workloads_enumerate_lsm_tiers_and_read_heavy_retire_them() {
+        let schema = traces_schema();
+        let read_only = spatial_workload();
+        assert!(!enumerate_candidates(&schema, &read_only)
+            .iter()
+            .any(|c| c.contains_kind(TransformKind::Lsm)));
+
+        let write_heavy = spatial_workload().with_write_weight(50.0);
+        let candidates = enumerate_candidates(&schema, &write_heavy);
+        let lsm: Vec<&LayoutExpr> = candidates
+            .iter()
+            .filter(|c| c.kind() == TransformKind::Lsm)
+            .collect();
+        assert!(!lsm.is_empty(), "write-heavy profile must propose lsm tiers");
+        // The merge key comes from the range-constrained fields.
+        for c in &lsm {
+            if let LayoutExpr::Lsm { key, .. } = c {
+                assert_eq!(key[..], ["lat".to_string(), "lon".to_string()]);
+            }
+        }
+        // Writes alone (no range predicates) still key on a numeric field.
+        let blind = Workload::new()
+            .query(rodentstore_exec::ScanRequest::all())
+            .with_write_weight(10.0);
+        assert!(enumerate_candidates(&schema, &blind)
+            .iter()
+            .any(|c| c.kind() == TransformKind::Lsm));
+    }
+
+    #[test]
     fn candidates_are_unique_and_validate() {
         let schema = traces_schema();
-        let candidates = enumerate_candidates(&schema, &spatial_workload());
+        let candidates = enumerate_candidates(&schema, &spatial_workload().with_write_weight(9.0));
         for (i, a) in candidates.iter().enumerate() {
             rodentstore_algebra::validate::check(a, &schema).unwrap();
             for b in &candidates[i + 1..] {

@@ -10,13 +10,22 @@
 
 use crate::workload::Workload;
 use crate::{OptimizerError, Result};
-use rodentstore_algebra::expr::LayoutExpr;
+use rodentstore_algebra::expr::{LayoutExpr, TransformKind};
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams};
-use rodentstore_layout::{render, MemTableProvider, RenderOptions};
+use rodentstore_layout::{estimate_append_pages, render, MemTableProvider, RenderOptions};
 use rodentstore_storage::pager::Pager;
 use std::sync::Arc;
+
+/// Steady-state read amplification of a levelled (`lsm`) tier. A freshly
+/// rendered tier is empty (its scan cost equals the inner layout's), but a
+/// live one carries runs that every scan must merge; charging the long-run
+/// surcharge up front keeps read-heavy profiles from flapping into an lsm
+/// design — and, symmetrically, pushes an installed tier back out once the
+/// write pressure fades (the 25% surcharge comfortably clears the
+/// adaptation loop's 15% hysteresis band).
+pub const LSM_READ_AMPLIFICATION: f64 = 1.25;
 
 /// The cost of one candidate design on the workload.
 #[derive(Debug, Clone)]
@@ -107,6 +116,7 @@ impl CostModel {
         let pager = Arc::new(Pager::in_memory_with_page_size(self.page_size));
         let layout = render(expr, provider, pager, RenderOptions::default())?;
         let layout_pages = layout.total_pages();
+        let append_pages = estimate_append_pages(&layout);
         let methods = AccessMethods::with_cost_params(layout, self.cost_params);
 
         let mut total_ms = 0.0;
@@ -114,6 +124,21 @@ impl CostModel {
         for q in &workload.queries {
             total_ms += methods.scan_cost(&q.request)? * q.weight;
             total_pages += methods.scan_pages(&q.request);
+        }
+        if expr.contains_kind(TransformKind::Lsm) {
+            total_ms *= LSM_READ_AMPLIFICATION;
+        }
+        // Charge the writes: each insert batch costs one seek plus the pages
+        // the shape must (re)write to absorb it — a full re-render for
+        // append-hostile shapes, a couple of amortized run pages for a
+        // levelled tier. Write cost goes into `total_ms` only; `total_pages`
+        // stays the read-side page count the paper's figures report.
+        if workload.write_weight > 0.0 {
+            let page_ms = (self.page_size as f64 / (1024.0 * 1024.0))
+                / self.cost_params.transfer_mb_per_s.max(1e-9)
+                * 1000.0;
+            total_ms += workload.write_weight
+                * (self.cost_params.seek_ms + append_pages as f64 * page_ms);
         }
         Ok(DesignCost {
             expr: expr.clone(),
@@ -224,6 +249,39 @@ mod tests {
             indexed.total_pages,
             row.total_pages
         );
+    }
+
+    #[test]
+    fn write_weight_penalizes_rebuild_shapes_and_favors_lsm_tiers() {
+        let (schema, records) = small_traces();
+        let model = io_bound_model();
+        let reads = spatial_workload();
+        let writes = spatial_workload().with_write_weight(200.0);
+
+        // Vertical groups combined with gridding re-render on every batch;
+        // wrapping the shape in a levelled tier absorbs the batches, so
+        // under write pressure the tier must win.
+        let rebuild = LayoutExpr::table("Traces")
+            .vertical([vec!["lat", "lon"], vec!["t", "id"]])
+            .grid([("lat", 0.05)]);
+        let tiered = rebuild.clone().lsm(["lat"]);
+        let rebuild_cost = model.cost(&rebuild, &schema, &records, &writes).unwrap();
+        let tier_cost = model.cost(&tiered, &schema, &records, &writes).unwrap();
+        assert!(
+            tier_cost.total_ms < rebuild_cost.total_ms,
+            "tier {} vs rebuild {}",
+            tier_cost.total_ms,
+            rebuild_cost.total_ms
+        );
+
+        // Under a read-only workload the tier pays its steady-state merge
+        // surcharge and loses — that is what retires it.
+        let rebuild_reads = model.cost(&rebuild, &schema, &records, &reads).unwrap();
+        let tier_reads = model.cost(&tiered, &schema, &records, &reads).unwrap();
+        assert!(tier_reads.total_ms > rebuild_reads.total_ms * 1.2);
+        // The read-side page counts (the paper's figures) are untouched by
+        // write costing.
+        assert_eq!(rebuild_cost.total_pages, rebuild_reads.total_pages);
     }
 
     #[test]

@@ -33,6 +33,12 @@ impl WorkloadQuery {
 pub struct Workload {
     /// The queries.
     pub queries: Vec<WorkloadQuery>,
+    /// Relative weight of insert batches, on the same scale as the query
+    /// weights (one recent batch ≈ 1.0). When it rivals the total query
+    /// weight the workload is write-heavy: the candidate generator proposes
+    /// levelled (`lsm`) tiers and the cost model charges every design for
+    /// absorbing the writes.
+    pub write_weight: f64,
 }
 
 impl Workload {
@@ -58,6 +64,22 @@ impl Workload {
     pub fn weighted_query(mut self, request: ScanRequest, weight: f64) -> Workload {
         self.queries.push(WorkloadQuery::new(request).weighted(weight));
         self
+    }
+
+    /// Sets the insert-batch weight.
+    pub fn with_write_weight(mut self, weight: f64) -> Workload {
+        self.write_weight = if weight.is_finite() { weight.max(0.0) } else { 0.0 };
+        self
+    }
+
+    /// Total weight of the read queries.
+    pub fn read_weight(&self) -> f64 {
+        self.queries.iter().map(|q| q.weight).sum()
+    }
+
+    /// Whether recent inserts outweigh recent reads.
+    pub fn is_write_heavy(&self) -> bool {
+        self.write_weight > self.read_weight()
     }
 
     /// All fields referenced anywhere in the workload (projections and

@@ -13,8 +13,8 @@
 //! persisted adaptive policy and cost parameters, and the free-page list.
 
 use rodentstore::{
-    AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database, Field, ReorgStrategy,
-    ScanRequest, Schema, SyncPolicy, Value,
+    AdaptivePolicy, AdvisorOptions, CostParams, DataType, Database, Field, LayoutExpr,
+    ReorgStrategy, ScanRequest, Schema, SyncPolicy, Value,
 };
 use rodentstore_optimizer::CostModel;
 use std::collections::BTreeMap;
@@ -691,4 +691,217 @@ fn per_table_registry_round_trips_through_checkpoint_and_open() {
     assert_eq!(db.scan("Points", &ScanRequest::all()).unwrap().len(), 300);
     assert_eq!(db.scan("Tags", &ScanRequest::all()).unwrap().len(), 2);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a prejoined table's rendering captures its joined base
+/// tables *outside* their writer mutexes, so a base-table publish used to
+/// leave the dependent's rendering silently stale — current-looking but
+/// missing rows that became joinable — until the dependent's own next
+/// write. The dependency flag must heal it on the very next access.
+#[test]
+fn prejoin_rendering_heals_after_joined_base_publishes() {
+    for strategy in [ReorgStrategy::Eager, ReorgStrategy::Lazy] {
+        let db = Database::with_page_size(1024);
+        db.create_table(Schema::new(
+            "Customers",
+            vec![
+                Field::new("cid", DataType::Int),
+                Field::new("name", DataType::String),
+            ],
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "Orders",
+            vec![
+                Field::new("oid", DataType::Int),
+                Field::new("cid", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.insert(
+            "Customers",
+            vec![vec![Value::Int(1), Value::Str("ada".into())]],
+        )
+        .unwrap();
+        db.insert(
+            "Orders",
+            vec![
+                vec![Value::Int(10), Value::Int(1)],
+                vec![Value::Int(20), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        db.apply_layout(
+            "Orders",
+            LayoutExpr::table("Orders").prejoin(LayoutExpr::table("Customers"), "cid"),
+            strategy,
+        )
+        .unwrap();
+
+        // Inner join: order 20 references a customer that does not exist
+        // yet, so only order 10 denormalizes.
+        let rows = db.scan("Orders", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), 1, "{strategy:?}");
+        assert_eq!(rows[0][0], Value::Int(10));
+
+        // Publish the missing customer. This touches only Customers —
+        // Orders' rendering still *looks* current (it has a rendering and
+        // no pending rows), and before the dependency flag the newly
+        // joinable order stayed invisible indefinitely.
+        db.insert(
+            "Customers",
+            vec![vec![Value::Int(2), Value::Str("bob".into())]],
+        )
+        .unwrap();
+        let rows = db.scan("Orders", &ScanRequest::all()).unwrap();
+        assert_eq!(
+            rows.len(),
+            2,
+            "{strategy:?}: rendering did not heal after the joined base published"
+        );
+        for r in &rows {
+            // Joined shape: [oid, cid, Customers.cid, name] — the join
+            // attribute must agree on both sides and the name must be the
+            // matched customer's, never a stale or torn capture.
+            assert_eq!(r[1], r[2], "{strategy:?}: join attribute mismatch");
+        }
+        let bob = rows.iter().find(|r| r[0] == Value::Int(20)).unwrap();
+        assert_eq!(bob[3], Value::Str("bob".into()), "{strategy:?}");
+
+        // The flag clears: the healing render is one render, not a
+        // re-render on every subsequent access.
+        let renders = db.layout_stats("Orders").unwrap().full_renders;
+        db.scan("Orders", &ScanRequest::all()).unwrap();
+        assert_eq!(
+            db.layout_stats("Orders").unwrap().full_renders,
+            renders,
+            "{strategy:?}: dependency flag must clear after the heal"
+        );
+    }
+}
+
+/// The racing variant: one thread publishes Customers batches while
+/// another publishes Orders batches into a prejoined layout, with readers
+/// scanning throughout. Every scanned row must be internally consistent
+/// (join attribute equal on both sides, name belonging to that customer,
+/// no duplicated orders), and once all writers quiesce — with the *last*
+/// customers published after the last Orders write, the exact window the
+/// dependency flag covers — the scan must denormalize every order.
+#[test]
+fn prejoined_scans_stay_consistent_under_racing_base_inserts() {
+    const CIDS: i64 = 40;
+    const ORDER_BATCHES: i64 = 40;
+    const ORDERS_PER_BATCH: i64 = 5;
+    let db = Arc::new(Database::with_page_size(1024));
+    db.create_table(Schema::new(
+        "Customers",
+        vec![
+            Field::new("cid", DataType::Int),
+            Field::new("name", DataType::String),
+        ],
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "Orders",
+        vec![
+            Field::new("oid", DataType::Int),
+            Field::new("cid", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    db.apply_layout(
+        "Orders",
+        LayoutExpr::table("Orders").prejoin(LayoutExpr::table("Customers"), "cid"),
+        ReorgStrategy::Eager,
+    )
+    .unwrap();
+
+    let customer_batch = |cids: std::ops::Range<i64>| -> Vec<Vec<Value>> {
+        cids.map(|c| vec![Value::Int(c), Value::Str(format!("name-{c}"))])
+            .collect()
+    };
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut scans = 0usize;
+                while !done.load(Ordering::SeqCst) || scans < 5 {
+                    let rows = db.scan("Orders", &ScanRequest::all()).unwrap();
+                    let mut seen = std::collections::BTreeSet::new();
+                    for r in &rows {
+                        assert_eq!(r[1], r[2], "torn join: attribute mismatch");
+                        let cid = r[1].as_i64().unwrap();
+                        assert_eq!(
+                            r[3],
+                            Value::Str(format!("name-{cid}")),
+                            "torn join: wrong customer captured"
+                        );
+                        assert!(
+                            seen.insert(r[0].as_i64().unwrap()),
+                            "order denormalized twice"
+                        );
+                    }
+                    scans += 1;
+                }
+                scans
+            })
+        })
+        .collect();
+
+    // First half of the customers race the orders; the second half lands
+    // only after the orders writer has quiesced.
+    let customers_writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for start in (0..CIDS / 2).step_by(4) {
+                db.insert("Customers", customer_batch(start..start + 4))
+                    .unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+    let orders_writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let mut oid = 0i64;
+            for _ in 0..ORDER_BATCHES {
+                let batch: Vec<Vec<Value>> = (0..ORDERS_PER_BATCH)
+                    .map(|_| {
+                        let row = vec![Value::Int(oid), Value::Int(oid % CIDS)];
+                        oid += 1;
+                        row
+                    })
+                    .collect();
+                db.insert("Orders", batch).unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+    customers_writer.join().unwrap();
+    orders_writer.join().unwrap();
+    // The stale window under test: these publishes touch only Customers,
+    // after Orders' final (current-looking) rendering.
+    db.insert("Customers", customer_batch(CIDS / 2..CIDS)).unwrap();
+    done.store(true, Ordering::SeqCst);
+    for reader in readers {
+        assert!(reader.join().unwrap() >= 5);
+    }
+
+    let rows = db.scan("Orders", &ScanRequest::all()).unwrap();
+    assert_eq!(
+        rows.len(),
+        (ORDER_BATCHES * ORDERS_PER_BATCH) as usize,
+        "orders referencing late-published customers must denormalize"
+    );
+    let oids: std::collections::BTreeSet<i64> =
+        rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(oids.len(), rows.len());
+    for r in &rows {
+        assert_eq!(r[1], r[2]);
+        let cid = r[1].as_i64().unwrap();
+        assert_eq!(r[3], Value::Str(format!("name-{cid}")));
+    }
 }

@@ -1,0 +1,369 @@
+//! Property tests for the `lsm[...]` levelled write tier: whatever shape the
+//! tier is in — memtable only, freshly spilled L0 runs, multi-level cascades
+//! mid-compaction — a scan must return exactly what a *streaming reference*
+//! returns, in rows AND order, under every reorganization strategy. A final
+//! racing-appends test checks the same equivalence when writers and readers
+//! overlap (order asserted via scan idempotence, contents as batch prefixes).
+//!
+//! The reference re-implements the tier's contract over plain `Vec`s — no
+//! pager, no heaps, no forks — so any divergence points at the storage
+//! machinery (row codec, sealed runs, page reattachment, snapshot
+//! publication), not at the model.
+
+use proptest::prelude::*;
+use rodentstore::{Condition, Database, ReorgStrategy, ScanRequest, Value};
+use rodentstore_algebra::{validate, DataType, Field, LayoutExpr, Record, Schema, SortKey};
+use rodentstore_layout::pipeline::sort_records;
+
+fn events_schema() -> Schema {
+    Schema::new(
+        "Events",
+        vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("tag", DataType::Int),
+        ],
+    )
+}
+
+/// The streaming reference: the tier's contract over plain vectors. Spill
+/// and compaction thresholds mirror [`rodentstore_layout::lsm::LsmState`];
+/// rows live in `Vec`s the whole time.
+struct RefTier {
+    schema: Schema,
+    key: Vec<SortKey>,
+    cap: usize,
+    fanout: usize,
+    memtable: Vec<Record>,
+    /// `(level, seq, key-sorted rows)`, kept in scan order: deepest level
+    /// first, then ascending sequence number.
+    runs: Vec<(u32, u64, Vec<Record>)>,
+    next_seq: u64,
+}
+
+impl RefTier {
+    fn new(schema: Schema, key: &[&str], cap: usize, fanout: usize) -> RefTier {
+        RefTier {
+            schema,
+            key: key.iter().map(|f| SortKey::asc(*f)).collect(),
+            cap: cap.max(1),
+            fanout: fanout.max(2),
+            memtable: Vec::new(),
+            runs: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn absorb(&mut self, rows: Vec<Record>) {
+        self.memtable.extend(rows);
+        while self.memtable.len() >= self.cap {
+            let spill: Vec<Record> = if self.memtable.len() > self.cap {
+                self.memtable.drain(..self.cap).collect()
+            } else {
+                std::mem::take(&mut self.memtable)
+            };
+            self.seal(spill, 0);
+            self.compact();
+        }
+    }
+
+    fn seal(&mut self, mut rows: Vec<Record>, level: u32) {
+        sort_records(&self.schema, &mut rows, &self.key).unwrap();
+        self.runs.push((level, self.next_seq, rows));
+        self.next_seq += 1;
+        self.runs
+            .sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+
+    fn compact(&mut self) {
+        loop {
+            let mut counts = std::collections::HashMap::new();
+            for (level, _, _) in &self.runs {
+                *counts.entry(*level).or_insert(0usize) += 1;
+            }
+            let Some(&level) = counts
+                .iter()
+                .filter(|(_, &n)| n >= self.fanout)
+                .map(|(l, _)| l)
+                .min()
+            else {
+                return;
+            };
+            let mut merged: Vec<(u32, u64, Vec<Record>)> = Vec::new();
+            let mut keep = Vec::new();
+            for run in self.runs.drain(..) {
+                if run.0 == level {
+                    merged.push(run);
+                } else {
+                    keep.push(run);
+                }
+            }
+            self.runs = keep;
+            merged.sort_by_key(|r| r.1); // oldest first: stable merge
+            let rows: Vec<Record> = merged.into_iter().flat_map(|r| r.2).collect();
+            self.seal(rows, level + 1);
+        }
+    }
+
+    /// Scan order of the tier alone: runs deepest-first (oldest first within
+    /// a level), each in key order, then the memtable in insertion order.
+    fn scan(&self) -> Vec<Record> {
+        let mut out: Vec<Record> = self.runs.iter().flat_map(|r| r.2.clone()).collect();
+        out.extend(self.memtable.iter().cloned());
+        out
+    }
+}
+
+/// Inner expressions whose tuple pipeline preserves per-batch row order, so
+/// the full-scan order is exactly `base ++ tier` with no reordering to model.
+fn inner_exprs() -> Vec<LayoutExpr> {
+    vec![
+        LayoutExpr::table("Events"),
+        LayoutExpr::table("Events").project(["k", "v"]),
+        LayoutExpr::table("Events").columns(["k", "v", "tag"]),
+        LayoutExpr::table("Events").vertical([vec!["k", "v"], vec!["tag"]]),
+        LayoutExpr::table("Events").pax_with(64),
+    ]
+}
+
+fn project(rows: &[Record], fields: &[String]) -> Vec<Record> {
+    let schema = events_schema();
+    rows.iter()
+        .map(|r| schema.extract(r, fields).unwrap())
+        .collect()
+}
+
+/// Keep values exact (small ints, halves) so rows survive every codec
+/// byte-for-byte and `assert_eq!` on `Value` is meaningful.
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (0i64..12, -40i64..40, 0i64..5).prop_map(|(k, v, tag)| {
+        vec![Value::Int(k), Value::Float(v as f64 / 2.0), Value::Int(tag)]
+    })
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<Record>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(record_strategy(), 1..12),
+        1..8,
+    )
+}
+
+/// Drives one database through the insert/scan protocol and checks every
+/// scan against the reference. Returns nothing; panics on divergence.
+fn check_protocol(
+    strategy: ReorgStrategy,
+    inner: &LayoutExpr,
+    cap: usize,
+    fanout: usize,
+    initial: &[Record],
+    batches: &[Vec<Record>],
+) {
+    let db = Database::with_page_size(1024);
+    db.set_lsm_params(cap, fanout);
+    db.create_table(events_schema()).unwrap();
+    if !initial.is_empty() {
+        db.insert("Events", initial.to_vec()).unwrap();
+    }
+    let expr = inner.clone().lsm(["k"]);
+    let fields: Vec<String> = validate::check(&expr, &events_schema())
+        .unwrap()
+        .fields()
+        .to_vec();
+    db.apply_layout("Events", expr, strategy).unwrap();
+    // First access renders the base for the non-eager strategies; from here
+    // on the base is frozen at `initial` and every batch goes to the tier
+    // (Eager, Lazy) or the pending buffer (NewDataOnly).
+    let base = project(initial, &fields);
+    assert_eq!(db.scan("Events", &ScanRequest::all()).unwrap(), base);
+
+    let mut tier = RefTier::new(events_schema(), &["k"], cap, fanout);
+    let mut pending: Vec<Record> = Vec::new();
+    for batch in batches {
+        db.insert("Events", batch.clone()).unwrap();
+        match strategy {
+            // Eager absorbs at insert; Lazy absorbs the accumulated pending
+            // batch at the next access — which is this scan, so both see the
+            // batch absorbed as one unit.
+            ReorgStrategy::Eager | ReorgStrategy::Lazy => {
+                tier.absorb(project(batch, &fields));
+            }
+            // New rows stay in the pending buffer, merged after the layout.
+            ReorgStrategy::NewDataOnly => pending.extend(project(batch, &fields)),
+        }
+        let mut expected = base.clone();
+        expected.extend(tier.scan());
+        expected.extend(pending.iter().cloned());
+        let got = db.scan("Events", &ScanRequest::all()).unwrap();
+        assert_eq!(
+            got, expected,
+            "scan diverged from streaming reference \
+             ({strategy:?}, cap {cap}, fanout {fanout}, inner {inner})"
+        );
+
+        // Key-range scans must be the same sequence filtered — run pruning
+        // may skip extents but never rows, and never reorders survivors.
+        let kpos = fields.iter().position(|f| f == "k").unwrap();
+        for (lo, hi) in [(0.0, 5.0), (3.0, 3.0), (100.0, 200.0)] {
+            let filtered: Vec<Record> = expected
+                .iter()
+                .filter(|r| {
+                    let k = r[kpos].as_f64().unwrap();
+                    k >= lo && k <= hi
+                })
+                .cloned()
+                .collect();
+            let got = db
+                .scan(
+                    "Events",
+                    &ScanRequest::all().predicate(Condition::range("k", lo, hi)),
+                )
+                .unwrap();
+            assert_eq!(got, filtered, "pruned range [{lo},{hi}] diverged ({strategy:?})");
+        }
+    }
+
+    // Write-optimization invariant: the whole flood was absorbed without a
+    // single re-render of the base.
+    let stats = db.layout_stats("Events").unwrap();
+    assert_eq!(stats.full_renders, 1, "lsm absorb must never rebuild ({strategy:?})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Scans over any memtable/L0/levels state equal the streaming reference
+    /// in rows and order, for every reorganization strategy, including
+    /// key-range scans through run pruning.
+    #[test]
+    fn lsm_scans_match_streaming_reference(
+        initial in proptest::collection::vec(record_strategy(), 0..40),
+        batches in batches_strategy(),
+        cap in 1usize..6,
+        fanout in 2usize..5,
+        inner_idx in 0usize..5,
+    ) {
+        let inner = inner_exprs().swap_remove(inner_idx);
+        for strategy in [
+            ReorgStrategy::Eager,
+            ReorgStrategy::Lazy,
+            ReorgStrategy::NewDataOnly,
+        ] {
+            check_protocol(strategy, &inner, cap, fanout, &initial, &batches);
+        }
+    }
+}
+
+/// Deterministic multi-level shape: enough monotonic batches to cascade two
+/// levels deep, asserting the exact run topology the reference predicts.
+#[test]
+fn cascaded_levels_match_reference_exactly() {
+    let rows: Vec<Record> = (0..200)
+        .map(|i| vec![Value::Int(i % 16), Value::Float(i as f64), Value::Int(0)])
+        .collect();
+    let batches: Vec<Vec<Record>> = rows.chunks(7).map(<[Record]>::to_vec).collect();
+    check_protocol(
+        ReorgStrategy::Eager,
+        &LayoutExpr::table("Events"),
+        3,
+        2,
+        &rows[..0],
+        &batches,
+    );
+}
+
+/// Racing appends: writers flood batches while readers scan. Under races the
+/// exact interleaving is unknowable, so the invariants weaken to (a) every
+/// scan observes an exact batch prefix — never a torn batch, (b) a quiesced
+/// scan equals the reference as a multiset and re-scans are byte-identical,
+/// (c) the flood still never triggered a rebuild.
+#[test]
+fn racing_appends_observe_batch_prefixes_and_never_rebuild() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    const BATCH: usize = 9;
+    const BATCHES: i64 = 40;
+    let db = Arc::new(Database::with_page_size(1024));
+    db.set_lsm_params(8, 2);
+    db.create_table(events_schema()).unwrap();
+    let mk_batch = |b: i64| -> Vec<Record> {
+        (0..BATCH as i64)
+            .map(|i| vec![Value::Int(b), Value::Float(i as f64), Value::Int((b * 31 + i) % 7)])
+            .collect()
+    };
+    db.insert("Events", mk_batch(0)).unwrap();
+    db.apply_layout(
+        "Events",
+        LayoutExpr::table("Events").lsm(["k"]),
+        ReorgStrategy::Eager,
+    )
+    .unwrap();
+
+    let committed = Arc::new(AtomicUsize::new(0));
+    let writer = {
+        let db = Arc::clone(&db);
+        let committed = Arc::clone(&committed);
+        std::thread::spawn(move || {
+            for b in 1..=BATCHES {
+                db.insert("Events", mk_batch(b)).unwrap();
+                committed.store(b as usize, Ordering::SeqCst);
+                std::thread::yield_now();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                let mut scans = 0usize;
+                while committed.load(Ordering::SeqCst) < BATCHES as usize || scans < 5 {
+                    let floor = committed.load(Ordering::SeqCst);
+                    let rows = db.scan("Events", &ScanRequest::all()).unwrap();
+                    let mut counts = std::collections::BTreeMap::new();
+                    for row in &rows {
+                        *counts.entry(row[0].as_i64().unwrap()).or_insert(0usize) += 1;
+                    }
+                    let max_batch = *counts.keys().max().unwrap();
+                    for b in 0..=max_batch {
+                        assert_eq!(
+                            counts.get(&b),
+                            Some(&BATCH),
+                            "batch {b} torn (counts {counts:?})"
+                        );
+                    }
+                    assert!(max_batch >= floor as i64, "missed committed batch");
+                    scans += 1;
+                }
+                scans
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for reader in readers {
+        assert!(reader.join().unwrap() >= 5);
+    }
+
+    // Quiesced: exact reference equivalence, and scans are deterministic.
+    let mut tier = RefTier::new(events_schema(), &["k"], 8, 2);
+    for b in 1..=BATCHES {
+        tier.absorb(mk_batch(b));
+    }
+    let mut expected = mk_batch(0);
+    expected.extend(tier.scan());
+    let first = db.scan("Events", &ScanRequest::all()).unwrap();
+    let mut got_sorted = first.clone();
+    let mut want_sorted = expected.clone();
+    got_sorted.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    want_sorted.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    assert_eq!(got_sorted, want_sorted, "quiesced contents diverge from reference");
+    assert_eq!(
+        db.scan("Events", &ScanRequest::all()).unwrap(),
+        first,
+        "re-scan must be byte-identical"
+    );
+    assert_eq!(
+        db.layout_stats("Events").unwrap().full_renders,
+        1,
+        "the flood must never rebuild the base"
+    );
+}

@@ -179,7 +179,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.compare(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(-1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-1));

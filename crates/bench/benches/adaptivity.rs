@@ -23,7 +23,7 @@ use rodentstore_optimizer::CostModel;
 use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
 
 fn smoke_mode() -> bool {
-    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 struct Config {

@@ -54,7 +54,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 fn smoke_mode() -> bool {
-    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 fn cores() -> usize {

@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn smoke_mode() -> bool {
-    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 struct Config {

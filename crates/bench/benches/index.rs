@@ -23,7 +23,7 @@ use rodentstore_workload::{generate_traces, traces_schema, CartelConfig};
 use std::path::PathBuf;
 
 fn smoke_mode() -> bool {
-    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 const ROWS: usize = 30_000;

@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn smoke_mode() -> bool {
-    std::env::var("RODENTSTORE_BENCH_SMOKE").map_or(false, |v| v != "0")
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 const PAGE_SIZE: usize = 1024;
@@ -121,6 +121,39 @@ fn bench_sustained_writes(c: &mut Criterion) {
         "lsm sustained inserts must be ≥5× the eager-rebuild baseline, got {speedup:.1}×"
     );
 
+    // ---- Registry-sourced proof of the amortization claim. ----
+    // Compaction runs at most one level merge per spill, so no absorb can
+    // cascade through the tier: the merges counter is bounded by the spills
+    // counter, and the absorb tail (p99) stays below the cost of a single
+    // eager re-render — the stall the tier exists to avoid.
+    let registry = lsm.metrics();
+    let absorb = registry
+        .histogram("lsm.absorb_micros")
+        .expect("flood absorbs must be recorded");
+    assert_eq!(
+        absorb.count, batches as u64,
+        "exactly one absorb per flood batch"
+    );
+    let spills = registry.counter("lsm.spills").unwrap_or(0);
+    let merges = registry.counter("lsm.merges").unwrap_or(0);
+    assert!(spills > 0, "the flood must overflow the memtable");
+    assert!(
+        merges <= spills,
+        "amortized compaction allows at most one level merge per spill, \
+         got {merges} merges for {spills} spills"
+    );
+    let rebuild_batch_us = rebuild_secs / batches as f64 * 1e6;
+    println!(
+        "sustained_writes: absorb p50={}us p99={}us max={}us vs eager rebuild {rebuild_batch_us:.0}us/batch",
+        absorb.p50, absorb.p99, absorb.max
+    );
+    assert!(
+        (absorb.p99 as f64) <= rebuild_batch_us,
+        "absorb tail latency must stay below one eager re-render, \
+         got p99 {}us vs {rebuild_batch_us:.0}us",
+        absorb.p99
+    );
+
     // ---- Durable: flood + checkpoint must not accrete garbage. ----
     let dir = std::env::temp_dir().join(format!(
         "rodentstore-bench-sustained-{}",
@@ -152,8 +185,19 @@ fn bench_sustained_writes(c: &mut Criterion) {
         db.checkpoint().unwrap();
         db.checkpoint().unwrap();
         assert_eq!(db.layout_stats("Events").unwrap().full_renders, 1);
-        db.pager().page_count()
+        let m = db.metrics();
+        (
+            db.pager().page_count(),
+            m.counter("checkpoint.count").unwrap_or(0),
+            m.counter("wal.truncations").unwrap_or(0),
+        )
     };
+    let (flooded_pages, checkpoints, wal_truncations) = flooded_pages;
+    assert!(
+        checkpoints >= 2 && wal_truncations >= 1,
+        "durable flood must checkpoint and truncate the WAL, \
+         got {checkpoints} checkpoints / {wal_truncations} truncations"
+    );
     let flooded_bytes = std::fs::metadata(dir.join("data.rodent")).unwrap().len();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -192,9 +236,20 @@ fn bench_sustained_writes(c: &mut Criterion) {
          \"lsm_rows_per_sec\": {lsm_tput:.0},\n  \"eager_rebuild_rows_per_sec\": {rebuild_tput:.0},\n  \
          \"speedup\": {speedup:.2},\n  \"asserted_minimum_speedup\": 5.0,\n  \
          \"lsm_full_renders\": {},\n  \"flooded_file_pages\": {flooded_pages},\n  \
-         \"fresh_load_pages\": {fresh_pages},\n  \"asserted_maximum_bloat\": 4.0\n}}\n",
+         \"fresh_load_pages\": {fresh_pages},\n  \"asserted_maximum_bloat\": 4.0,\n  \
+         \"metrics\": {{\n    \"lsm.spills\": {spills},\n    \"lsm.merges\": {merges},\n    \
+         \"lsm.pages_written\": {},\n    \"lsm.pages_freed\": {},\n    \"insert.rows\": {},\n    \
+         \"checkpoint.count\": {checkpoints},\n    \"wal.truncations\": {wal_truncations},\n    \
+         \"lsm.absorb_micros\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}\n  }}\n}}\n",
         if smoke_mode() { "smoke" } else { "full" },
         stats.full_renders,
+        registry.counter("lsm.pages_written").unwrap_or(0),
+        registry.counter("lsm.pages_freed").unwrap_or(0),
+        registry.counter("insert.rows").unwrap_or(0),
+        absorb.count,
+        absorb.p50,
+        absorb.p99,
+        absorb.max,
     );
     std::fs::write(&path, json).unwrap();
     println!("sustained_writes/json → {}", path.display());

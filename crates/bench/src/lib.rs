@@ -45,7 +45,7 @@ impl Default for Figure2Config {
             queries: 200,
             page_size: 1024,
             cell_fraction_of_query: 0.25,
-            seed: 0xF16_2,
+            seed: 0xF162,
         }
     }
 }

@@ -25,7 +25,7 @@ use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::AccessMethods;
 use rodentstore_sync::{AtomicArc, EpochGuard};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Orders the *resolution* of a table's durable inserts by their apply
@@ -328,6 +328,14 @@ pub struct TableSlot {
     pub(crate) deps_dirty: AtomicBool,
     /// Apply-order resolution of durable insert commits (see [`CommitQueue`]).
     pub(crate) commit_queue: Arc<CommitQueue>,
+    /// Predicted-vs-actual scan-page calibration totals (relaxed; folded
+    /// into [`crate::Database::metrics`] as `calibration.<table>.*`). Sum of
+    /// `estimate_scan_pages` predictions across instrumented scans.
+    pub(crate) predicted_pages_total: AtomicU64,
+    /// Sum of the pager I/O deltas those same scans actually incurred.
+    pub(crate) actual_pages_total: AtomicU64,
+    /// Number of scans folded into the two totals.
+    pub(crate) calibration_samples: AtomicU64,
 }
 
 impl TableSlot {
@@ -343,6 +351,9 @@ impl TableSlot {
             adapting: AtomicBool::new(false),
             deps_dirty: AtomicBool::new(false),
             commit_queue: Arc::new(CommitQueue::default()),
+            predicted_pages_total: AtomicU64::new(0),
+            actual_pages_total: AtomicU64::new(0),
+            calibration_samples: AtomicU64::new(0),
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::catalog::{CatalogView, Registry, Rows, TableMap, TableSlot, TableState};
 use crate::durability::{self, Durability, DurabilityOptions, DurableOp, ManifestContext};
+use crate::observe::EngineObs;
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
 use parking_lot::{Mutex, RwLock};
@@ -12,21 +13,23 @@ use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
 use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
 use rodentstore_layout::{
-    render, AppendOutcome, LsmRun, LsmState, MemTableProvider, PhysicalLayout, RenderOptions,
-    StoredIndex, StoredObject,
+    render, AppendOutcome, LsmActivity, LsmRun, LsmState, MemTableProvider, PhysicalLayout,
+    RenderOptions, StoredIndex, StoredObject,
 };
 use rodentstore_optimizer::{
     advise, advise_with_baseline, AdvisorOptions, Recommendation, Workload,
 };
 use rodentstore_storage::heap::HeapFile;
 use rodentstore_storage::pager::{FileStore, PageStore, Pager};
+use rodentstore_obs::{CostedAlternative, Event, EventKind, JsonWriter, MetricsSnapshot};
 use rodentstore_storage::stats::IoSnapshot;
-use rodentstore_storage::wal::Wal;
+use rodentstore_storage::wal::{Wal, WalInstruments};
 use rodentstore_storage::PageId;
 use rodentstore_sync::{AtomicArc, EpochRegistry};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of the closed-loop self-adaptation machinery.
 ///
@@ -249,6 +252,8 @@ pub struct Database {
     /// freed pages are quarantined, not reused — the manifest being
     /// replayed against may still reference them).
     replaying: std::sync::atomic::AtomicBool,
+    /// Metrics registry, event ring, and pre-resolved instrument handles.
+    obs: EngineObs,
 }
 
 impl std::fmt::Debug for Database {
@@ -286,7 +291,7 @@ impl Database {
 
     /// Creates a database over an arbitrary pager (e.g. file-backed).
     pub fn with_pager(pager: Arc<Pager>) -> Database {
-        Database {
+        let db = Database {
             registry: Registry::new(),
             epochs: EpochRegistry::new(),
             pager,
@@ -299,7 +304,20 @@ impl Database {
             parked_extents: Mutex::new(Vec::new()),
             commit_fence: RwLock::new(()),
             replaying: std::sync::atomic::AtomicBool::new(false),
-        }
+            obs: EngineObs::new(),
+        };
+        db.install_wal_instruments();
+        db
+    }
+
+    /// Hands the WAL the engine's commit/fsync histograms. Called once per
+    /// WAL instance — the constructors that replace `self.wal` (durable
+    /// create/open) re-install after the swap.
+    fn install_wal_instruments(&self) {
+        self.wal.set_instruments(WalInstruments {
+            commit_micros: Arc::clone(&self.obs.ins.wal_commit_micros),
+            fsync_micros: Arc::clone(&self.obs.ins.wal_fsync_micros),
+        });
     }
 
     /// Creates (or resets) a durable database in directory `dir` with the
@@ -336,6 +354,7 @@ impl Database {
         ));
         let mut db = Database::with_pager(pager);
         db.wal = Wal::create(&wal_path, options.sync).map_err(RodentError::Storage)?;
+        db.install_wal_instruments();
         // An initial (empty) manifest makes the directory openable even if
         // the process dies before the first checkpoint.
         let config = db.config_snapshot();
@@ -538,14 +557,18 @@ impl Database {
                                 token: Arc::new(()),
                             })
                             .collect();
-                        layout.lsm = Some(LsmState::restore(
-                            key,
-                            lm.memtable_cap as usize,
-                            lm.fanout as usize,
-                            lm.next_seq,
-                            lm.memtable,
-                            runs,
-                        ));
+                        layout.lsm = Some(
+                            LsmState::restore(
+                                key,
+                                lm.memtable_cap as usize,
+                                lm.fanout as usize,
+                                lm.next_seq,
+                                &layout.schema,
+                                lm.memtable,
+                                runs,
+                            )
+                            .map_err(RodentError::Layout)?,
+                        );
                     } else {
                         for run in lm.runs {
                             orphaned_index_pages.extend(run.pages);
@@ -571,6 +594,7 @@ impl Database {
         // crash during or after replay (before the next checkpoint) must
         // find them intact.
         db.wal = Wal::open(&wal_path, options.sync).map_err(RodentError::Storage)?;
+        db.install_wal_instruments();
         db.durability = Some(Durability { dir });
         // Manifest tree pages that could not be reattached: the on-disk
         // manifest still references them until the next checkpoint, so they
@@ -654,7 +678,17 @@ impl Database {
             }
         };
         let _fence = self.commit_fence.write();
+        // Phase timings feed the `checkpoint` event; a few `Instant` reads
+        // are noise next to the fsyncs they bracket.
+        let cp_started = Instant::now();
+        let mut phases: Vec<(String, u64)> = Vec::new();
+        let mut phase_started = Instant::now();
+        let mark = |phases: &mut Vec<(String, u64)>, started: &mut Instant, name: &str| {
+            phases.push((name.to_string(), started.elapsed().as_micros() as u64));
+            *started = Instant::now();
+        };
         self.reap_retired();
+        mark(&mut phases, &mut phase_started, "reap_retired");
         let mut notes = Vec::new();
         let view = self.catalog();
         // Write out partially filled heap tails so every page extent is
@@ -717,7 +751,9 @@ impl Database {
             });
             self.pending_free.lock().extend(freed);
         }
+        mark(&mut phases, &mut phase_started, "flush_tails");
         self.pager.sync().map_err(RodentError::Storage)?;
+        mark(&mut phases, &mut phase_started, "pager_sync");
         let replay_from = self.wal.next_lsn();
         // The manifest's free list: pages free right now, plus everything
         // quarantined since the last checkpoint (this manifest is the one
@@ -753,16 +789,33 @@ impl Database {
             },
         )?;
         durability::write_manifest_file(&dir, &manifest)?;
+        mark(&mut phases, &mut phase_started, "write_manifest");
         // The manifest on disk no longer references the quarantined pages:
         // they are now safe to reallocate. `quarantine` only appends and
         // checkpoints are serialized, so the snapshot taken above is
         // exactly the current prefix of the list — pages quarantined
         // *during* the manifest write stay behind for the next checkpoint.
+        let pages_freed = quarantined.len() as u64;
         self.pending_free.lock().drain(..quarantined.len());
         self.pager.free_pages(quarantined);
+        mark(&mut phases, &mut phase_started, "release_quarantine");
         if let Some(last) = self.wal.last_lsn() {
+            let bytes_before = self.wal.bytes_len().map_err(RodentError::Storage)?;
             self.wal.truncate(last).map_err(RodentError::Storage)?;
+            if self.obs.enabled() {
+                let bytes_after = self.wal.bytes_len().map_err(RodentError::Storage)?;
+                self.obs.ins.wal_truncations.incr();
+                self.obs
+                    .ins
+                    .wal_truncated_bytes
+                    .add(bytes_before.saturating_sub(bytes_after));
+                self.obs.events.push(EventKind::WalTruncate {
+                    bytes_before,
+                    bytes_after,
+                });
+            }
         }
+        mark(&mut phases, &mut phase_started, "wal_truncate");
         // The copying vacuum's payoff: compaction and retirement leave free
         // pages behind, and when a contiguous run of them forms the file's
         // tail, the data file can actually shrink. Safe only *now*: the
@@ -780,6 +833,20 @@ impl Database {
             self.pager
                 .truncate_pages(keep)
                 .map_err(RodentError::Storage)?;
+        }
+        mark(&mut phases, &mut phase_started, "shrink_data_file");
+        if self.obs.enabled() {
+            self.obs.ins.checkpoint_count.incr();
+            self.obs.ins.checkpoint_pages_freed.add(pages_freed);
+            self.obs
+                .ins
+                .checkpoint_micros
+                .record(cp_started.elapsed().as_micros() as u64);
+            self.obs.events.push(EventKind::Checkpoint {
+                micros: cp_started.elapsed().as_micros() as u64,
+                pages_freed,
+                phases,
+            });
         }
         Ok(())
     }
@@ -913,6 +980,7 @@ impl Database {
         let min_active = self.epochs.min_active();
         let mut reclaimed = Vec::new();
         let mut notes = Vec::new();
+        let mut accesses_reclaimed = 0u64;
         {
             let mut retired = self.retired.lock();
             retired.retain(|r| match r {
@@ -945,6 +1013,7 @@ impl Database {
                     reclaimed.extend(pages.iter().copied());
                     reclaimed.extend(access.layout().take_relocated());
                     notes.extend(access.layout().take_lsm_relocation_notes());
+                    accesses_reclaimed += 1;
                     false
                 });
             }
@@ -964,6 +1033,18 @@ impl Database {
             });
         }
         if !reclaimed.is_empty() {
+            if self.obs.enabled() {
+                let pages = reclaimed.len() as u64;
+                let bytes = pages * self.pager.page_size() as u64;
+                self.obs.ins.epoch_reaps.incr();
+                self.obs.ins.epoch_reclaimed_pages.add(pages);
+                self.obs.ins.epoch_retired_bytes.add(bytes);
+                self.obs.events.push(EventKind::EpochReclaim {
+                    accesses: accesses_reclaimed,
+                    pages,
+                    bytes,
+                });
+            }
             self.quarantine(reclaimed);
         }
     }
@@ -973,6 +1054,56 @@ impl Database {
     fn park_lsm_notes(&self, notes: Vec<(Arc<()>, Vec<PageId>)>) {
         if !notes.is_empty() {
             self.parked_extents.lock().extend(notes);
+        }
+    }
+
+    /// Folds a levelled tier's drained structural-work journal into the
+    /// metrics registry and event ring: absorb timings become the
+    /// tail-latency histograms, spills and merges become counters plus
+    /// structured events.
+    fn record_lsm_activity(&self, table: &str, activity: Vec<LsmActivity>) {
+        if !self.obs.enabled() || activity.is_empty() {
+            return;
+        }
+        let ins = &self.obs.ins;
+        for entry in activity {
+            match entry {
+                LsmActivity::Absorb { micros, merges, .. } => {
+                    ins.lsm_absorb_micros.record(micros);
+                    ins.lsm_absorb_merges.record(merges);
+                }
+                LsmActivity::Spill { level, rows, pages } => {
+                    ins.lsm_spills.incr();
+                    ins.lsm_spill_rows.add(rows);
+                    ins.lsm_spill_pages.add(pages);
+                    self.obs.events.push(EventKind::LsmSpill {
+                        table: table.to_string(),
+                        level,
+                        rows,
+                        pages,
+                    });
+                }
+                LsmActivity::Merge {
+                    level,
+                    runs_merged,
+                    rows,
+                    pages_written,
+                    pages_freed,
+                } => {
+                    ins.lsm_merges.incr();
+                    ins.lsm_pages_written.add(pages_written);
+                    ins.lsm_pages_freed.add(pages_freed);
+                    ins.lsm_compaction_levels.record(u64::from(level));
+                    self.obs.events.push(EventKind::LsmMerge {
+                        table: table.to_string(),
+                        level,
+                        runs_merged,
+                        rows,
+                        pages_written,
+                        pages_freed,
+                    });
+                }
+            }
         }
     }
 
@@ -1226,6 +1357,7 @@ impl Database {
     /// [`rodentstore_storage::SyncPolicy`] chosen at create/open time.
     pub fn insert(&self, table: &str, records: Vec<Record>) -> Result<()> {
         let inserted = records.len();
+        let started = self.obs.enabled().then(Instant::now);
         // Durable inserts hold the commit fence (shared side) from before
         // the rows apply until the commit resolves, so a checkpoint can
         // never persist rows whose commit might still fail and roll back.
@@ -1303,6 +1435,14 @@ impl Database {
             profile.record_insert();
             config.adaptive.auto && profile.queries_since_check >= config.adaptive.check_every
         };
+        if let Some(started) = started {
+            self.obs.ins.insert_batches.incr();
+            self.obs.ins.insert_rows.add(inserted as u64);
+            self.obs
+                .ins
+                .insert_micros
+                .record(started.elapsed().as_micros() as u64);
+        }
         if run_check && !self.replaying.load(Ordering::SeqCst) {
             // The check may re-declare the layout, which takes the commit
             // fence itself — release ours first (read-reacquisition would
@@ -1579,7 +1719,7 @@ impl Database {
                 return Ok(());
             }
             if state.access.is_some()
-                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty())
+                && (state.pending.is_empty() || !state.strategy.absorbs_new_data_on_access())
                 && !slot.deps_dirty.load(Ordering::SeqCst)
             {
                 return Ok(());
@@ -1603,7 +1743,7 @@ impl Database {
         // absorbed while we waited.
         if state.layout_expr.is_none()
             || (state.access.is_some()
-                && !(state.strategy.absorbs_new_data_on_access() && !state.pending.is_empty())
+                && (state.pending.is_empty() || !state.strategy.absorbs_new_data_on_access())
                 && !slot.deps_dirty.load(Ordering::SeqCst))
         {
             return Ok(());
@@ -1647,7 +1787,7 @@ impl Database {
         // rebuilds from fresh captures.
         let stale_deps = slot.deps_dirty.load(Ordering::SeqCst);
         if let Some(access) = next.access.clone().filter(|_| !stale_deps) {
-            if !(absorbs && !next.pending.is_empty()) {
+            if !absorbs || next.pending.is_empty() {
                 return Ok(()); // rendering is current
             }
             // Incremental absorption on a fork: the fork shares the
@@ -1676,6 +1816,7 @@ impl Database {
                     // every older generation and take the token-guarded
                     // parking route instead of the per-generation one.
                     self.park_lsm_notes(forked.layout().take_lsm_relocation_notes());
+                    self.record_lsm_activity(table, forked.layout().take_lsm_activity());
                     next.access = Some(Arc::new(forked));
                     next.pending.clear();
                     next.stats.incremental_appends += 1;
@@ -1853,7 +1994,32 @@ impl Database {
     pub fn scan(&self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
         let run_check = self.observe(table, request)?;
         let snapshot = self.snapshot(table)?;
+        // When recording, bracket the scan with the pager's I/O counters so
+        // `scan.pages` reports pages *actually* read (the paper's headline
+        // metric), and fold the prediction into the table's calibration
+        // totals. The I/O delta is attributed to this scan; concurrent
+        // readers sharing the pager can smear it, so calibration is an
+        // approximation under contention (documented in
+        // `docs/OBSERVABILITY.md`).
+        let recording = self
+            .obs
+            .enabled()
+            .then(|| (Instant::now(), self.pager.stats().snapshot()));
         let rows = snapshot.scan(request)?;
+        if let Some((started, before)) = recording {
+            let after = self.pager.stats().snapshot();
+            let pages = after.pages_read.saturating_sub(before.pages_read);
+            let ins = &self.obs.ins;
+            ins.scan_count.incr();
+            ins.scan_rows.add(rows.len() as u64);
+            ins.scan_pages.add(pages);
+            ins.scan_micros.record(started.elapsed().as_micros() as u64);
+            if let (Ok(predicted), Ok(slot)) = (snapshot.scan_pages(request), self.slot(table)) {
+                slot.predicted_pages_total.fetch_add(predicted, Ordering::Relaxed);
+                slot.actual_pages_total.fetch_add(pages, Ordering::Relaxed);
+                slot.calibration_samples.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         drop(snapshot); // release the pin before adaptation may re-render
         if run_check {
             self.auto_adapt_check(table)?;
@@ -1893,6 +2059,9 @@ impl Database {
         };
         let snapshot = self.snapshot(table)?;
         let element = snapshot.get_element(index, fields)?;
+        if self.obs.enabled() {
+            self.obs.ins.get_element_count.incr();
+        }
         drop(snapshot);
         if run_check {
             self.auto_adapt_check(table)?;
@@ -1912,6 +2081,150 @@ impl Database {
     /// served from the in-memory canonical rows).
     pub fn scan_pages(&self, table: &str, request: &ScanRequest) -> Result<u64> {
         self.snapshot(table)?.scan_pages(request)
+    }
+
+    /// A point-in-time snapshot of every engine metric: the registered
+    /// counters and histograms (see [`crate::observe::metric_names`] for the
+    /// stable catalog), the pager's I/O statistics under `io.*`, and each
+    /// table's predicted-vs-actual scan-page calibration under
+    /// `calibration.<table>.*` (only for tables with at least one
+    /// instrumented scan). Serialize with [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        let io = self.pager.stats().snapshot();
+        snap.set_counter("io.pages_read", io.pages_read);
+        snap.set_counter("io.pages_written", io.pages_written);
+        snap.set_counter("io.seeks", io.seeks);
+        snap.set_counter("io.bytes_read", io.bytes_read);
+        snap.set_counter("io.bytes_written", io.bytes_written);
+        snap.set_counter("io.cache_hits", io.cache_hits);
+        snap.set_counter("io.cache_misses", io.cache_misses);
+        for (name, slot, _) in self.catalog().entries().iter() {
+            let samples = slot.calibration_samples.load(Ordering::Relaxed);
+            if samples == 0 {
+                continue;
+            }
+            snap.set_counter(
+                &format!("calibration.{name}.predicted_pages"),
+                slot.predicted_pages_total.load(Ordering::Relaxed),
+            );
+            snap.set_counter(
+                &format!("calibration.{name}.actual_pages"),
+                slot.actual_pages_total.load(Ordering::Relaxed),
+            );
+            snap.set_counter(&format!("calibration.{name}.samples"), samples);
+        }
+        snap
+    }
+
+    /// Drains the engine's decision-trace event ring: adaptation decisions
+    /// (with their costed alternatives), lsm spills and merges, checkpoint
+    /// phase timings, WAL truncations, and epoch reclamation batches, oldest
+    /// first. Each [`Event`] serializes itself with [`Event::to_json`];
+    /// [`Database::events_json`] dumps the whole drain at once.
+    pub fn events(&self) -> Vec<Event> {
+        self.obs.events.drain()
+    }
+
+    /// Drains the event ring and dumps it as one JSON array.
+    pub fn events_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("[");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// Events discarded because the ring filled before a drain (monotone).
+    pub fn events_dropped(&self) -> u64 {
+        self.obs.events.dropped()
+    }
+
+    /// Whether metric/event recording is currently on (the default).
+    pub fn metrics_enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Turns metric and event recording on or off. Off reduces every
+    /// instrumentation site to one relaxed atomic load — the configuration
+    /// the `scan_hot_path` bench compares against to bound the overhead.
+    /// Already-recorded values are kept.
+    pub fn set_metrics_enabled(&self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+    }
+
+    /// Explains how a scan would be served *without running it*: the chosen
+    /// access path, the predicted page count (the same
+    /// `estimate_scan_pages` number the cost model uses — compare with the
+    /// `calibration.<table>.*` metrics for how honest it is), and how much
+    /// auxiliary merging (levelled-tier runs, memtable rows, pending buffer
+    /// rows) the scan would fold in.
+    pub fn explain(&self, table: &str, request: &ScanRequest) -> Result<Explain> {
+        let snapshot = self.snapshot(table)?;
+        let state = &snapshot.state;
+        let layout_expr = state.layout_expr.as_ref().map(|e| e.to_string());
+        let pending_rows = state.pending.len() as u64;
+        match &state.access {
+            Some(access) if layout_serves(access, request) => {
+                let layout = access.layout();
+                let fields = request.fields.as_deref();
+                let predicate = request.predicate.as_ref();
+                // Mirror the scan dispatch exactly: opening the iterator is
+                // what decides between the streaming, probing, and
+                // materializing paths.
+                let iter = layout
+                    .scan_iter(fields, predicate)
+                    .map_err(RodentError::Layout)?;
+                let access_path = if iter.uses_index() {
+                    AccessPath::IndexProbe
+                } else if iter.is_lazy() {
+                    AccessPath::Streaming
+                } else {
+                    AccessPath::Materialized
+                };
+                drop(iter);
+                let (lsm_runs_total, lsm_runs_pruned, lsm_memtable_rows) = match &layout.lsm {
+                    Some(lsm) => {
+                        let ranges = predicate
+                            .map(rodentstore_layout::extract_ranges)
+                            .unwrap_or_default();
+                        let total = lsm.runs.len() as u64;
+                        let scanned = lsm
+                            .runs
+                            .iter()
+                            .filter(|r| r.may_match(&lsm.key, &ranges))
+                            .count() as u64;
+                        (total, total - scanned, lsm.memtable.len() as u64)
+                    }
+                    None => (0, 0, 0),
+                };
+                Ok(Explain {
+                    table: table.to_string(),
+                    layout_expr,
+                    access_path,
+                    predicted_pages: layout.estimate_scan_pages(fields, predicate),
+                    lsm_runs_total,
+                    lsm_runs_pruned,
+                    lsm_memtable_rows,
+                    pending_rows,
+                })
+            }
+            _ => Ok(Explain {
+                table: table.to_string(),
+                layout_expr,
+                access_path: AccessPath::Canonical,
+                predicted_pages: 0,
+                lsm_runs_total: 0,
+                lsm_runs_pruned: 0,
+                lsm_memtable_rows: 0,
+                pending_rows,
+            }),
+        }
     }
 
     /// The sort orders the table's current organization is efficient for.
@@ -1979,12 +2292,30 @@ impl Database {
     pub fn maybe_adapt(&self, table: &str) -> Result<AdaptOutcome> {
         let policy = self.config_snapshot().adaptive.clone();
         let slot = self.slot(table)?;
+        let recording = self.obs.enabled();
+        if recording {
+            self.obs.ins.adapt_checks.incr();
+        }
         let (workload, observed) = {
             let mut profile = slot.profile.lock();
             profile.end_check_window();
             (profile.to_workload(), profile.queries_observed)
         };
         if observed < policy.min_queries || workload.is_empty() {
+            if recording {
+                // Even no-op checks leave a trace: an operator asking "why
+                // has this table never adapted?" reads the answer here.
+                self.obs.events.push(EventKind::AdaptDecision {
+                    table: table.to_string(),
+                    outcome: "insufficient_data".into(),
+                    current_expr: String::new(),
+                    best_expr: String::new(),
+                    current_ms: 0.0,
+                    best_ms: 0.0,
+                    hysteresis: policy.hysteresis,
+                    alternatives: Vec::new(),
+                });
+            }
             return Ok(AdaptOutcome::InsufficientData {
                 queries_observed: observed,
             });
@@ -1994,6 +2325,7 @@ impl Database {
             .layout_expr
             .clone()
             .unwrap_or_else(|| LayoutExpr::table(table));
+        let advise_started = Instant::now();
         let (recommendation, baseline) = advise_with_baseline(
             &state.schema,
             &state.records.to_vec(),
@@ -2002,10 +2334,45 @@ impl Database {
             &current_expr,
         )?;
         drop(state);
+        if recording {
+            self.obs
+                .ins
+                .adapt_advise_micros
+                .record(advise_started.elapsed().as_micros() as u64);
+        }
+        // Captured before `best` moves out of the recommendation: the top
+        // explored designs (best first, capped) become the decision trace's
+        // costed alternatives.
+        let alternatives: Vec<CostedAlternative> = if recording { {
+                recommendation
+                    .explored
+                    .iter()
+                    .take(8)
+                    .map(|d| CostedAlternative {
+                        expr: d.expr.to_string(),
+                        total_ms: d.total_ms,
+                    })
+                    .collect()
+            } } else { Default::default() };
         let best = recommendation.best;
         let current_ms = baseline.map(|c| c.total_ms).unwrap_or(f64::INFINITY);
         let improves = best.total_ms < current_ms * (1.0 - policy.hysteresis);
+        let decision = |outcome: &str| {
+            self.obs.events.push(EventKind::AdaptDecision {
+                table: table.to_string(),
+                outcome: outcome.into(),
+                current_expr: current_expr.to_string(),
+                best_expr: best.expr.to_string(),
+                current_ms,
+                best_ms: best.total_ms,
+                hysteresis: policy.hysteresis,
+                alternatives: alternatives.clone(),
+            });
+        };
         if best.expr == current_expr || !improves {
+            if recording {
+                decision("kept_current");
+            }
             return Ok(AdaptOutcome::KeptCurrent {
                 current_ms,
                 best_ms: best.total_ms,
@@ -2024,12 +2391,19 @@ impl Database {
             true,
             Some(&current_expr),
         )? {
+            if recording {
+                self.obs.ins.adapt_adaptations.incr();
+                decision("adapted");
+            }
             Ok(AdaptOutcome::Adapted {
                 expr: best.expr,
                 from_ms: current_ms,
                 to_ms: best.total_ms,
             })
         } else {
+            if recording {
+                decision("kept_current");
+            }
             Ok(AdaptOutcome::KeptCurrent {
                 current_ms,
                 best_ms: best.total_ms,
@@ -2231,6 +2605,79 @@ impl TableSnapshot {
             Some(access) if layout_serves(access, request) => Ok(access.scan_pages(request)),
             _ => Ok(0),
         }
+    }
+}
+
+/// The access path [`Database::explain`] predicts a scan would take —
+/// mirroring the dispatch [`TableSnapshot::scan`] actually performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Served from the in-memory canonical rows: no rendered layout, or the
+    /// layout projected away a field the request references.
+    Canonical,
+    /// Streamed from the rendered layout's pages in storage order,
+    /// decoding on demand.
+    Streaming,
+    /// The declared index covers the predicate: tree probe plus targeted
+    /// heap page reads.
+    IndexProbe,
+    /// The layout shape forces up-front materialization (vertical
+    /// partitions stitch their groups positionally before yielding).
+    Materialized,
+}
+
+impl AccessPath {
+    /// Stable machine-readable name (the JSON `"access_path"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPath::Canonical => "canonical",
+            AccessPath::Streaming => "streaming",
+            AccessPath::IndexProbe => "index_probe",
+            AccessPath::Materialized => "materialized",
+        }
+    }
+}
+
+/// What [`Database::explain`] reports about a prospective scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// Table the request targets.
+    pub table: String,
+    /// The declared layout expression, if any.
+    pub layout_expr: Option<String>,
+    /// The predicted access path.
+    pub access_path: AccessPath,
+    /// Pages the cost model predicts the scan reads
+    /// (`estimate_scan_pages`; 0 for canonical scans, which touch no
+    /// pages). Compare against the `calibration.<table>.*` metrics.
+    pub predicted_pages: u64,
+    /// Sealed levelled-tier runs in the pinned state.
+    pub lsm_runs_total: u64,
+    /// Runs the predicate's key range proves irrelevant (skipped without
+    /// reading a page).
+    pub lsm_runs_pruned: u64,
+    /// Rows buffered in the tier's in-memory memtable.
+    pub lsm_memtable_rows: u64,
+    /// Rows in the new-data-only pending buffer the scan would merge in.
+    pub pending_rows: u64,
+}
+
+impl Explain {
+    /// Serializes the explanation as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.str_field("table", &self.table);
+        match &self.layout_expr {
+            Some(expr) => w.str_field("layout_expr", expr),
+            None => w.raw_field("layout_expr", "null"),
+        };
+        w.str_field("access_path", self.access_path.name())
+            .u64_field("predicted_pages", self.predicted_pages)
+            .u64_field("lsm_runs_total", self.lsm_runs_total)
+            .u64_field("lsm_runs_pruned", self.lsm_runs_pruned)
+            .u64_field("lsm_memtable_rows", self.lsm_memtable_rows)
+            .u64_field("pending_rows", self.pending_rows);
+        w.finish()
     }
 }
 

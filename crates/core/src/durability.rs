@@ -1308,7 +1308,7 @@ pub(crate) fn encode_manifest(catalog: &CatalogView, ctx: &ManifestContext) -> R
                                 fanout: lsm.fanout as u64,
                                 next_seq: lsm.next_seq,
                                 runs,
-                                memtable: lsm.memtable.clone(),
+                                memtable: lsm.memtable.rows(),
                             },
                         );
                     }

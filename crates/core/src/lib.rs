@@ -50,6 +50,7 @@ pub mod catalog;
 pub mod database;
 pub mod durability;
 pub mod monitor;
+pub mod observe;
 pub mod reorg;
 
 #[doc = include_str!("../../../docs/LAYOUT_ALGEBRA.md")]
@@ -58,9 +59,12 @@ pub mod reorg;
 pub mod layout_algebra {}
 
 pub use catalog::{CatalogView, LayoutStats, Rows, TableState};
-pub use database::{AdaptOutcome, AdaptivePolicy, Database, TableSnapshot};
+pub use database::{
+    AccessPath, AdaptOutcome, AdaptivePolicy, Database, Explain, TableSnapshot,
+};
 pub use durability::DurabilityOptions;
 pub use monitor::{QueryTemplate, WorkloadProfile};
+pub use observe::metric_names;
 pub use reorg::ReorgStrategy;
 
 // Re-export the pieces users need to drive the system without importing
@@ -68,6 +72,9 @@ pub use reorg::ReorgStrategy;
 pub use rodentstore_algebra::{parse, Condition, DataType, Field, LayoutExpr, Schema, Value};
 pub use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
 pub use rodentstore_layout::{PhysicalLayout, RenderOptions};
+pub use rodentstore_obs::{
+    CostedAlternative, Event, EventKind, HistogramSummary, MetricsSnapshot,
+};
 pub use rodentstore_optimizer::{advise, AdvisorOptions, Recommendation, Workload};
 pub use rodentstore_storage::{IoSnapshot, IoStats, SyncPolicy};
 

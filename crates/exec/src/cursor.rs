@@ -28,6 +28,10 @@ pub struct Cursor<'a> {
     error: Option<ExecError>,
 }
 
+// `Streaming` dwarfs `Materialized`, but it is also the hot variant —
+// boxing it would put a pointer chase on every `next()` — and cursors are
+// created per query, not per row, so the footprint is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum Source<'a> {
     Materialized { rows: Vec<Record>, position: usize },
     Streaming(ScanIter<'a>),

@@ -200,7 +200,7 @@ mod tests {
         assert_eq!(seg.area(), 0.0);
         assert!(seg.intersects(&Rect::point(1.0, 2.5)));
         assert!(!seg.intersects(&Rect::point(1.0001, 2.5)));
-        assert!(Rect::new(0.0, 0.0, 2.0, 2.0).contains(&seg) == false, "segment extends past y=2");
+        assert!(!Rect::new(0.0, 0.0, 2.0, 2.0).contains(&seg), "segment extends past y=2");
         assert!(Rect::new(0.0, 0.0, 2.0, 5.0).contains(&seg));
     }
 

@@ -447,7 +447,7 @@ fn append_partitions(layout: &mut PhysicalLayout, rows: Vec<Record>) -> Result<(
             .objects
             .iter_mut()
             .enumerate()
-            .find(|(_, o)| o.name.splitn(2, '=').nth(1) == Some(label.as_str()));
+            .find(|(_, o)| o.name.split_once('=').map(|x| x.1) == Some(label.as_str()));
         match existing {
             Some((obj_idx, obj)) => {
                 let ids = obj.write_rows(&bucket)?;

@@ -588,7 +588,7 @@ mod tests {
         let layout = render(&expr, &provider, pager, RenderOptions::default()).unwrap();
 
         let pred = Condition::range("x", 10.0, 30.0).and(Condition::range("y", 20.0, 60.0));
-        let mut iter = layout.scan_iter(None, Some(&pred)).unwrap();
+        let iter = layout.scan_iter(None, Some(&pred)).unwrap();
         assert!(iter.uses_index());
         let indexed: Vec<Record> = iter.map(|r| r.unwrap()).collect();
 
@@ -620,7 +620,7 @@ mod tests {
         .unwrap();
 
         let pred = Condition::range("id", 190i64, 219i64);
-        let mut iter = layout.scan_iter(None, Some(&pred)).unwrap();
+        let iter = layout.scan_iter(None, Some(&pred)).unwrap();
         assert!(iter.uses_index());
         let got: Vec<Record> = iter.map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), 30);

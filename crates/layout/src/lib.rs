@@ -36,9 +36,9 @@ pub mod scan;
 
 pub use append::{append_records, estimate_append_pages, AppendOutcome};
 pub use index::{IndexKind, KeyKind, StoredIndex};
-pub use lsm::{LsmRun, LsmState};
+pub use lsm::{LsmActivity, LsmRun, LsmState, Memtable};
 pub use pipeline::{MemTableProvider, TableProvider};
-pub use plan::{CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
+pub use plan::{extract_ranges, CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use rodentstore_compress::CodecKind;
 pub use render::{render, RenderOptions};
 pub use scan::{CompiledPredicate, ScanIter};

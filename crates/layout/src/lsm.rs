@@ -1,37 +1,209 @@
 //! The levelled write-optimized tier behind the `lsm[...]` operator.
 //!
 //! An [`LsmState`] rides on a [`crate::plan::PhysicalLayout`]: appended
-//! tuples land in an in-memory *memtable* (O(new rows) per batch, no page
-//! writes), spill into immutable key-sorted *runs* once the memtable fills,
-//! and are merged into deeper levels by incremental compaction. The inner
-//! expression still governs how the bulk-rendered base is stored; the tier
-//! only owns rows appended after the render.
+//! tuples land in an in-memory *memtable* — an ordered map keyed by the
+//! tier's sort key, so a spill is an O(n) walk instead of a sort and point
+//! lookups can push a key range straight into the memtable — spill into
+//! immutable key-sorted *runs* once the memtable fills, and are merged into
+//! deeper levels by incremental compaction. The inner expression still
+//! governs how the bulk-rendered base is stored; the tier only owns rows
+//! appended after the render.
 //!
 //! Runs are never rewritten once sealed — a spill writes a fresh heap file,
 //! flushes it, and re-opens it with every page sealed — so crash recovery
 //! can reattach them from manifest metadata without re-rendering a byte.
-//! Compaction merges the runs of an overflowing level into one run on the
-//! next level and parks the vacated extents in a relocation note; the
-//! checkpoint quarantine turns that into the copying vacuum the free list
-//! has been waiting for.
+//! Compaction is amortized: each absorb performs **at most one** level
+//! merge (the shallowest overflowing level), so the worst-case work per
+//! appended batch is bounded by a single merge instead of a full cascade.
+//! Merges park the vacated extents in a relocation note; the checkpoint
+//! quarantine turns that into the copying vacuum the free list has been
+//! waiting for.
+//!
+//! Everything the tier does is additionally journaled as [`LsmActivity`]
+//! records, drained by the engine into its observability registry and
+//! event ring.
 
 use crate::pipeline::sort_records;
 use crate::rowcodec::{decode_record, encode_record};
 use crate::Result;
 use rodentstore_algebra::expr::SortKey;
 use rodentstore_algebra::schema::Schema;
-use rodentstore_algebra::value::Record;
+use rodentstore_algebra::value::{Record, Value};
 use rodentstore_storage::heap::HeapFile;
 use rodentstore_storage::page::PageId;
 use rodentstore_storage::pager::Pager;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Rows the memtable absorbs before spilling into a level-0 run.
 pub const DEFAULT_MEMTABLE_CAP: usize = 256;
 /// Runs a level may accumulate before compaction merges it into the next.
 pub const DEFAULT_FANOUT: usize = 4;
+
+/// One thing the tier did, recorded for the engine's observability layer.
+/// Drained (not polled) via [`LsmState::take_activity`], mirroring how
+/// relocation notes travel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsmActivity {
+    /// One `absorb` call completed: its wall-clock cost and how much
+    /// structural work it triggered.
+    Absorb {
+        /// Wall-clock duration of the whole absorb, in microseconds.
+        micros: u64,
+        /// Rows appended by this absorb.
+        rows: u64,
+        /// Level-0 runs sealed.
+        spills: u64,
+        /// Level merges performed (at most one per spill by construction).
+        merges: u64,
+    },
+    /// The memtable spilled a sealed level-0 run.
+    Spill {
+        /// Level the run was sealed on (always 0 for spills).
+        level: u32,
+        /// Rows in the sealed run.
+        rows: u64,
+        /// Pages the run occupies.
+        pages: u64,
+    },
+    /// Compaction merged one level's runs into a run one level deeper.
+    Merge {
+        /// The level that was merged (the new run lives on `level + 1`).
+        level: u32,
+        /// Runs merged away.
+        runs_merged: u64,
+        /// Rows in the merged run.
+        rows: u64,
+        /// Pages the new run occupies.
+        pages_written: u64,
+        /// Pages vacated (parked as relocation notes).
+        pages_freed: u64,
+    },
+}
+
+/// The tier's in-memory write buffer: rows grouped by their sort key in an
+/// ordered map. Keeping the map sorted makes a spill a linear walk (no
+/// per-spill sort) and lets point/range reads seek directly to the keys
+/// they need instead of filtering the whole buffer.
+///
+/// Rows with equal keys keep arrival order within their group, which is
+/// exactly what the stable per-spill sort used to guarantee.
+#[derive(Clone)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<Value>, Vec<Record>>,
+    len: usize,
+    /// Every first-key value seen so far maps to a non-NaN `f64`, so a
+    /// numeric range on the first key field can seek the map directly.
+    /// Conservative: once false it stays false, even across drains.
+    numeric: bool,
+}
+
+impl Default for Memtable {
+    fn default() -> Memtable {
+        Memtable::new()
+    }
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Memtable {
+        Memtable {
+            entries: BTreeMap::new(),
+            len: 0,
+            numeric: true,
+        }
+    }
+
+    /// Number of buffered rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the memtable holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buffers `row` under its extracted sort `key`.
+    pub fn insert(&mut self, key: Vec<Value>, row: Record) {
+        if self.numeric {
+            self.numeric = key
+                .first()
+                .map_or(true, |v| v.as_f64().is_some_and(|f| !f.is_nan()));
+        }
+        self.entries.entry(key).or_default().push(row);
+        self.len += 1;
+    }
+
+    /// Rows in key order (arrival order within equal keys).
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.entries.values().flatten()
+    }
+
+    /// Clones every row out, in key order (manifest serialization).
+    pub fn rows(&self) -> Vec<Record> {
+        self.iter().cloned().collect()
+    }
+
+    /// The `idx`-th row in key order.
+    pub fn get(&self, idx: usize) -> Option<&Record> {
+        self.iter().nth(idx)
+    }
+
+    /// Removes and returns the first `n` rows in key order — already
+    /// sorted, so a spill can seal them without sorting. A key group that
+    /// straddles the cut is split, its remainder staying buffered.
+    pub fn drain_first(&mut self, n: usize) -> Vec<Record> {
+        let mut out = Vec::with_capacity(n.min(self.len));
+        while out.len() < n {
+            let Some((key, mut rows)) = self.entries.pop_first() else {
+                break;
+            };
+            let remaining = n - out.len();
+            if rows.len() <= remaining {
+                out.extend(rows);
+            } else {
+                let rest = rows.split_off(remaining);
+                out.extend(rows);
+                self.entries.insert(key, rest);
+                break;
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Rows whose *first* key value falls in the inclusive numeric range,
+    /// found by seeking the ordered map when every first-key value is
+    /// numeric. Falls back to every row when the range is absent or the
+    /// keys are not uniformly numeric (the caller still applies its full
+    /// predicate either way).
+    pub fn select(&self, range: Option<(f64, f64)>) -> Vec<&Record> {
+        match range {
+            Some((lo, hi)) if self.numeric => self
+                .entries
+                .range(vec![Value::Float(lo)]..)
+                .take_while(|(k, _)| {
+                    k.first().and_then(|v| v.as_f64()).is_some_and(|v| v <= hi)
+                })
+                .flat_map(|(_, rows)| rows.iter())
+                .collect(),
+            _ => self.iter().collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Memtable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memtable")
+            .field("rows", &self.len)
+            .field("keys", &self.entries.len())
+            .field("numeric", &self.numeric)
+            .finish()
+    }
+}
 
 /// One immutable sorted run of the levelled tier.
 pub struct LsmRun {
@@ -97,8 +269,8 @@ impl LsmRun {
 pub struct LsmState {
     /// Key fields runs are sorted on.
     pub key: Vec<String>,
-    /// Rows absorbed since the last spill, in insertion order.
-    pub memtable: Vec<Record>,
+    /// Rows absorbed since the last spill, ordered by the tier's key.
+    pub memtable: Memtable,
     /// Sealed runs, kept in scan order: deepest level first, then by
     /// ascending sequence number (oldest data first).
     pub runs: Vec<LsmRun>,
@@ -111,6 +283,9 @@ pub struct LsmState {
     /// Extents vacated by compaction since the last drain, each tagged with
     /// the vacated run's lifetime token.
     relocated: Mutex<Vec<(Arc<()>, Vec<PageId>)>>,
+    /// Structural work performed since the last drain, for the engine's
+    /// metrics registry and event ring.
+    activity: Mutex<Vec<LsmActivity>>,
 }
 
 impl std::fmt::Debug for LsmState {
@@ -134,32 +309,40 @@ impl LsmState {
     pub fn with_params(key: Vec<String>, memtable_cap: usize, fanout: usize) -> LsmState {
         LsmState {
             key,
-            memtable: Vec::new(),
+            memtable: Memtable::new(),
             runs: Vec::new(),
             memtable_cap: memtable_cap.max(1),
             fanout: fanout.max(2),
             next_seq: 0,
             relocated: Mutex::new(Vec::new()),
+            activity: Mutex::new(Vec::new()),
         }
     }
 
     /// Reattaches a tier from persisted metadata: the caller re-opens each
     /// run's sealed heap over its recorded extent (no page allocation, no
-    /// re-rendering) and this puts them back in scan order.
+    /// re-rendering) and this puts them back in scan order. Memtable rows
+    /// were persisted in key order and re-keying them here preserves the
+    /// within-key arrival order.
     pub fn restore(
         key: Vec<String>,
         memtable_cap: usize,
         fanout: usize,
         next_seq: u64,
-        memtable: Vec<Record>,
+        schema: &Schema,
+        memtable_rows: Vec<Record>,
         runs: Vec<LsmRun>,
-    ) -> LsmState {
+    ) -> Result<LsmState> {
         let mut state = LsmState::with_params(key, memtable_cap, fanout);
         state.next_seq = next_seq;
-        state.memtable = memtable;
+        let positions = state.key_positions(schema)?;
+        for row in memtable_rows {
+            let key = positions.iter().map(|&p| row[p].clone()).collect();
+            state.memtable.insert(key, row);
+        }
         state.runs = runs;
         state.order_runs();
-        state
+        Ok(state)
     }
 
     /// Total rows held by the tier (runs plus memtable).
@@ -179,7 +362,7 @@ impl LsmState {
 
     /// The row at `idx` in the tier's scan order: runs deepest level first
     /// (oldest first within a level), each in key order, then the memtable
-    /// in insertion order. Decodes only the containing run.
+    /// in key order. Decodes only the containing run.
     pub fn row_at(&self, mut idx: usize) -> Result<Option<Record>> {
         for run in &self.runs {
             if idx < run.row_count {
@@ -216,8 +399,25 @@ impl LsmState {
         std::mem::take(&mut *self.relocated.lock().unwrap())
     }
 
+    /// Drains the structural-work journal accumulated since the last drain.
+    pub fn take_activity(&self) -> Vec<LsmActivity> {
+        std::mem::take(&mut *self.activity.lock().unwrap())
+    }
+
+    fn record(&self, activity: LsmActivity) {
+        self.activity.lock().unwrap().push(activity);
+    }
+
     fn sort_keys(&self) -> Vec<SortKey> {
         self.key.iter().map(|f| SortKey::asc(f.clone())).collect()
+    }
+
+    /// Schema positions of the tier's key fields.
+    fn key_positions(&self, schema: &Schema) -> Result<Vec<usize>> {
+        self.key
+            .iter()
+            .map(|f| schema.index_of(f).map_err(crate::LayoutError::Algebra))
+            .collect()
     }
 
     /// Restores the scan-order invariant after runs were added or merged.
@@ -226,8 +426,11 @@ impl LsmState {
             .sort_by(|a, b| b.level.cmp(&a.level).then(a.seq.cmp(&b.seq)));
     }
 
-    /// Absorbs appended rows: into the memtable, spilling a level-0 run at
-    /// capacity and compacting any level that overflows its fanout.
+    /// Absorbs appended rows: into the ordered memtable, spilling level-0
+    /// runs at capacity. Each spill triggers **at most one** level merge
+    /// (the shallowest overflowing level), so the structural work riding on
+    /// any single absorb is bounded — deeper levels drain over subsequent
+    /// absorbs instead of cascading into one stall.
     pub fn absorb(
         &mut self,
         pager: &Arc<Pager>,
@@ -235,22 +438,42 @@ impl LsmState {
         schema: &Schema,
         rows: Vec<Record>,
     ) -> Result<()> {
-        self.memtable.extend(rows);
-        while self.memtable.len() >= self.memtable_cap {
-            let spill: Vec<Record> = if self.memtable.len() > self.memtable_cap {
-                self.memtable.drain(..self.memtable_cap).collect()
-            } else {
-                std::mem::take(&mut self.memtable)
-            };
-            self.seal_run(pager, layout_name, schema, spill, 0)?;
-            self.compact(pager, layout_name, schema)?;
+        let started = Instant::now();
+        let absorbed = rows.len() as u64;
+        let positions = self.key_positions(schema)?;
+        for row in rows {
+            let key = positions.iter().map(|&p| row[p].clone()).collect();
+            self.memtable.insert(key, row);
         }
+        let mut spills = 0u64;
+        let mut merges = 0u64;
+        while self.memtable.len() >= self.memtable_cap {
+            let spill = self.memtable.drain_first(self.memtable_cap);
+            let (rows_sealed, pages) = self.seal_run(pager, layout_name, schema, spill, 0, true)?;
+            spills += 1;
+            self.record(LsmActivity::Spill {
+                level: 0,
+                rows: rows_sealed,
+                pages,
+            });
+            if self.compact_one(pager, layout_name, schema)? {
+                merges += 1;
+            }
+        }
+        self.record(LsmActivity::Absorb {
+            micros: started.elapsed().as_micros() as u64,
+            rows: absorbed,
+            spills,
+            merges,
+        });
         Ok(())
     }
 
-    /// Sorts `rows` by the key and seals them as a fresh immutable run on
-    /// `level`. The heap is flushed and re-opened with every page sealed, so
-    /// the run can never be appended to again.
+    /// Seals `rows` as a fresh immutable run on `level`, sorting them by
+    /// the key first unless the caller guarantees they already are
+    /// (memtable drains are; merge inputs rely on the sort as the merge).
+    /// The heap is flushed and re-opened with every page sealed, so the run
+    /// can never be appended to again. Returns `(rows, pages)` sealed.
     fn seal_run(
         &mut self,
         pager: &Arc<Pager>,
@@ -258,8 +481,11 @@ impl LsmState {
         schema: &Schema,
         mut rows: Vec<Record>,
         level: u32,
-    ) -> Result<()> {
-        sort_records(schema, &mut rows, &self.sort_keys())?;
+        presorted: bool,
+    ) -> Result<(u64, u64)> {
+        if !presorted {
+            sort_records(schema, &mut rows, &self.sort_keys())?;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let name = format!("{layout_name}.run{seq}");
@@ -269,17 +495,19 @@ impl LsmState {
         }
         heap.flush()?;
         let sealed = HeapFile::from_pages(name, Arc::clone(pager), heap.extent(), rows.len() as u64);
+        let pages = sealed.page_count() as u64;
         let key_bounds = self.bounds_of(schema, &rows)?;
+        let row_count = rows.len();
         self.runs.push(LsmRun {
             heap: sealed,
             level,
             seq,
-            row_count: rows.len(),
+            row_count,
             key_bounds,
             token: Arc::new(()),
         });
         self.order_runs();
-        Ok(())
+        Ok((row_count as u64, pages))
     }
 
     /// Per-key-field `(min, max)` over `rows`, or `None` when any key value
@@ -288,10 +516,7 @@ impl LsmState {
         if rows.is_empty() {
             return Ok(Some(vec![(f64::INFINITY, f64::NEG_INFINITY); self.key.len()]));
         }
-        let mut positions = Vec::with_capacity(self.key.len());
-        for f in &self.key {
-            positions.push(schema.index_of(f).map_err(crate::LayoutError::Algebra)?);
-        }
+        let positions = self.key_positions(schema)?;
         let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); self.key.len()];
         for row in rows {
             for (k, &p) in positions.iter().enumerate() {
@@ -307,30 +532,44 @@ impl LsmState {
         Ok(Some(bounds))
     }
 
-    /// Merges every level holding at least `fanout` runs into a single run
-    /// on the next level, cascading until no level overflows. Vacated run
-    /// extents are parked for [`LsmState::take_relocated`].
+    /// Merges the *shallowest* level holding at least `fanout` runs into a
+    /// single run on the next level — one merge, no cascade. Returns whether
+    /// a merge happened. Vacated run extents are parked for
+    /// [`LsmState::take_relocated`].
+    pub fn compact_one(
+        &mut self,
+        pager: &Arc<Pager>,
+        layout_name: &str,
+        schema: &Schema,
+    ) -> Result<bool> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for r in &self.runs {
+            *counts.entry(r.level).or_insert(0) += 1;
+        }
+        let Some(&level) = counts
+            .iter()
+            .filter(|(_, &n)| n >= self.fanout)
+            .map(|(l, _)| l)
+            .min()
+        else {
+            return Ok(false);
+        };
+        self.merge_level(pager, layout_name, schema, level)?;
+        Ok(true)
+    }
+
+    /// Fully compacts the tier: merges overflowing levels until none
+    /// remains. The incremental write path never calls this (it amortizes
+    /// via [`LsmState::compact_one`]); it exists for quiescing — tests,
+    /// shutdown, and explicit maintenance.
     pub fn compact(
         &mut self,
         pager: &Arc<Pager>,
         layout_name: &str,
         schema: &Schema,
     ) -> Result<()> {
-        loop {
-            let mut counts: HashMap<u32, usize> = HashMap::new();
-            for r in &self.runs {
-                *counts.entry(r.level).or_insert(0) += 1;
-            }
-            let Some(&level) = counts
-                .iter()
-                .filter(|(_, &n)| n >= self.fanout)
-                .map(|(l, _)| l)
-                .min()
-            else {
-                return Ok(());
-            };
-            self.merge_level(pager, layout_name, schema, level)?;
-        }
+        while self.compact_one(pager, layout_name, schema)? {}
+        Ok(())
     }
 
     /// Merges all runs of `level` into one run on `level + 1`.
@@ -358,17 +597,28 @@ impl LsmState {
         for run in &merged {
             rows.extend(run.read_rows()?);
         }
-        self.seal_run(pager, layout_name, schema, rows, level + 1)?;
+        let pages_freed: u64 = merged.iter().map(|r| r.heap.extent().len() as u64).sum();
+        let runs_merged = merged.len() as u64;
+        let (rows_sealed, pages_written) =
+            self.seal_run(pager, layout_name, schema, rows, level + 1, false)?;
         let mut relocated = self.relocated.lock().unwrap();
         for run in merged {
             relocated.push((Arc::clone(&run.token), run.heap.extent()));
         }
+        drop(relocated);
+        self.record(LsmActivity::Merge {
+            level,
+            runs_merged,
+            rows: rows_sealed,
+            pages_written,
+            pages_freed,
+        });
         Ok(())
     }
 
     /// Clones the tier for an append fork: run heaps are reattached over the
     /// same sealed pages (no copying), the memtable is cloned, and pending
-    /// relocation notes stay with the original.
+    /// relocation notes and activity stay with the original.
     pub fn fork(&self, pager: &Arc<Pager>) -> LsmState {
         let runs = self
             .runs
@@ -395,6 +645,7 @@ impl LsmState {
             fanout: self.fanout,
             next_seq: self.next_seq,
             relocated: Mutex::new(Vec::new()),
+            activity: Mutex::new(Vec::new()),
         }
     }
 }
@@ -429,7 +680,7 @@ mod tests {
             lsm.absorb(&pager, "t", &schema, vec![row(31 - i)]).unwrap();
         }
         assert_eq!(lsm.rows(), 32);
-        // With cap 4 and fanout 2 the tier must have cascaded past level 0.
+        // With cap 4 and fanout 2 the tier must have merged past level 0.
         assert!(lsm.runs.iter().any(|r| r.level >= 1), "{:?}", lsm.runs);
         // Every run is internally key-sorted.
         for run in &lsm.runs {
@@ -486,5 +737,90 @@ mod tests {
         fork.absorb(&pager, "t", &schema, vec![row(99)]).unwrap();
         assert_eq!(fork.rows(), lsm.rows() + 1);
         assert_eq!(lsm.memtable.len(), 2, "original untouched");
+    }
+
+    #[test]
+    fn memtable_drains_in_key_order_and_splits_groups() {
+        let mut mem = Memtable::new();
+        for (i, id) in [5i64, 1, 5, 3, 1].iter().enumerate() {
+            mem.insert(vec![Value::Int(*id)], vec![Value::Int(*id), Value::Int(i as i64)]);
+        }
+        assert_eq!(mem.len(), 5);
+        // First three in key order: both 1s (arrival order), then one 3.
+        let first = mem.drain_first(3);
+        let keys: Vec<i64> = first.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![1, 1, 3]);
+        // Arrival order within the equal-key group: row 1 before row 4.
+        assert_eq!(first[0][1], Value::Int(1));
+        assert_eq!(first[1][1], Value::Int(4));
+        assert_eq!(mem.len(), 2);
+        let rest = mem.drain_first(10);
+        let keys: Vec<i64> = rest.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![5, 5]);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn memtable_select_seeks_numeric_first_key() {
+        let mut mem = Memtable::new();
+        for id in [10i64, 2, 7, 4, 9] {
+            mem.insert(vec![Value::Int(id)], vec![Value::Int(id)]);
+        }
+        let hits = mem.select(Some((4.0, 9.0)));
+        let keys: Vec<i64> = hits.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![4, 7, 9]);
+        // No range: everything, in key order.
+        assert_eq!(mem.select(None).len(), 5);
+        // A non-numeric key disables seeking but not correctness.
+        mem.insert(vec![Value::Str("z".into())], vec![Value::Str("z".into())]);
+        assert_eq!(mem.select(Some((4.0, 9.0))).len(), 6, "falls back to full walk");
+    }
+
+    #[test]
+    fn absorb_runs_at_most_one_merge_and_journals_activity() {
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let mut lsm = LsmState::with_params(vec!["id".into()], 4, 2);
+        let schema = schema();
+        for i in 0..32 {
+            lsm.absorb(&pager, "t", &schema, vec![row(i)]).unwrap();
+        }
+        let activity = lsm.take_activity();
+        assert!(lsm.take_activity().is_empty(), "drain is a take");
+        let mut absorbs = 0;
+        let mut spills = 0;
+        let mut merges = 0;
+        for a in &activity {
+            match a {
+                LsmActivity::Absorb {
+                    spills: s,
+                    merges: m,
+                    ..
+                } => {
+                    absorbs += 1;
+                    assert!(
+                        *m <= *s,
+                        "at most one merge per spill, got {m} merges for {s} spills"
+                    );
+                }
+                LsmActivity::Spill { level, rows, pages } => {
+                    spills += 1;
+                    assert_eq!(*level, 0);
+                    assert_eq!(*rows, 4);
+                    assert!(*pages > 0);
+                }
+                LsmActivity::Merge {
+                    runs_merged,
+                    pages_freed,
+                    ..
+                } => {
+                    merges += 1;
+                    assert!(*runs_merged >= 2);
+                    assert!(*pages_freed > 0);
+                }
+            }
+        }
+        assert_eq!(absorbs, 32, "one absorb record per call");
+        assert_eq!(spills, 8, "32 rows at cap 4");
+        assert!(merges >= 4, "fanout 2 forces regular merges, saw {merges}");
     }
 }

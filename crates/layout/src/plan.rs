@@ -313,11 +313,11 @@ impl StoredObject {
                 let probe_col = self.decode_column_block(probe, &chunk[probe], templates)?;
                 if remaining < probe_col.len() {
                     let mut row = Vec::with_capacity(ncols);
-                    for f in 0..ncols {
+                    for (f, block) in chunk.iter().enumerate() {
                         let value = if f == probe {
                             probe_col.get(remaining).cloned().unwrap_or(Value::Null)
                         } else if needed.get(f).copied().unwrap_or(false) {
-                            self.decode_column_block(f, &chunk[f], templates)?
+                            self.decode_column_block(f, block, templates)?
                                 .get(remaining)
                                 .cloned()
                                 .unwrap_or(Value::Null)
@@ -569,6 +569,16 @@ impl PhysicalLayout {
         self.lsm
             .as_ref()
             .map(LsmState::take_relocation_notes)
+            .unwrap_or_default()
+    }
+
+    /// Drains the levelled tier's structural-work journal (spills, merges,
+    /// absorb timings) for the engine's observability layer. Empty for
+    /// layouts without a tier.
+    pub fn take_lsm_activity(&self) -> Vec<crate::lsm::LsmActivity> {
+        self.lsm
+            .as_ref()
+            .map(LsmState::take_activity)
             .unwrap_or_default()
     }
 

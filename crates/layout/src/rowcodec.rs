@@ -372,7 +372,7 @@ mod tests {
         assert_eq!(short[1], Value::Str("skipped".into()));
         assert_eq!(short.len(), record.len());
         assert_eq!(
-            decode_record_subset(&bytes, &vec![true; 5]).unwrap(),
+            decode_record_subset(&bytes, &[true; 5]).unwrap(),
             record
         );
         // Truncated payloads are still rejected even when skipped over.

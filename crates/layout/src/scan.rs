@@ -470,6 +470,9 @@ pub struct ScanIter<'a> {
     lsm_runs: Vec<usize>,
     lsm_cursor: usize,
     lsm_buf: VecDeque<Record>,
+    /// Memtable rows the scan may yield, pre-selected by pushing the
+    /// predicate's first-key range into the ordered memtable.
+    lsm_mem: Vec<&'a Record>,
     lsm_mem_pos: usize,
     lsm_pred: Option<CompiledPredicate>,
     lsm_out: Vec<usize>,
@@ -506,6 +509,7 @@ impl<'a> ScanIter<'a> {
             lsm_runs: Vec::new(),
             lsm_cursor: 0,
             lsm_buf: VecDeque::new(),
+            lsm_mem: Vec::new(),
             lsm_mem_pos: 0,
             lsm_pred: None,
             lsm_out: Vec::new(),
@@ -521,6 +525,8 @@ impl<'a> ScanIter<'a> {
                 .filter(|(_, r)| r.may_match(&lsm.key, &ranges))
                 .map(|(i, _)| i)
                 .collect();
+            let first_key_range = lsm.key.first().and_then(|f| ranges.get(f)).copied();
+            iter.lsm_mem = lsm.memtable.select(first_key_range);
             let schema_fields = layout.schema.field_names();
             iter.lsm_out = iter
                 .out_fields
@@ -804,7 +810,8 @@ impl<'a> ScanIter<'a> {
     /// Continues the scan through the levelled tier after the base objects
     /// are exhausted: non-pruned runs in scan order (deepest level first,
     /// oldest first within a level, each internally key-sorted), then the
-    /// memtable in insertion order.
+    /// memtable in key order (already narrowed to the predicate's first-key
+    /// range by the ordered memtable).
     fn next_lsm(&mut self) -> Result<Option<Record>> {
         let Some(lsm) = &self.layout.lsm else {
             return Ok(None);
@@ -825,7 +832,7 @@ impl<'a> ScanIter<'a> {
                 }
                 continue;
             }
-            while let Some(row) = lsm.memtable.get(self.lsm_mem_pos) {
+            while let Some(&row) = self.lsm_mem.get(self.lsm_mem_pos) {
                 self.lsm_mem_pos += 1;
                 if let Some(pred) = &self.lsm_pred {
                     if !pred.matches(row)? {

@@ -1,0 +1,363 @@
+//! The bounded event ring: structured engine decisions, drainable as JSON.
+//!
+//! Events are *rare* relative to queries (an adaptation decision, a spill,
+//! a checkpoint — not a page read), so the ring is a plain mutex-guarded
+//! `VecDeque`: pushing never blocks readers of anything else, and the
+//! bound guarantees a misbehaving producer costs O(capacity) memory. When
+//! the ring is full the *oldest* event is dropped and counted, so a drain
+//! always sees the freshest history plus an honest gap counter.
+
+use crate::json::{array, JsonWriter};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Events kept before the oldest is dropped.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One explored design alternative from an adaptation decision, with its
+/// predicted workload cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostedAlternative {
+    /// The layout expression, rendered in the algebra's textual syntax.
+    pub expr: String,
+    /// Predicted total workload cost in milliseconds.
+    pub total_ms: f64,
+}
+
+/// What happened. Every variant carries enough context to reconstruct the
+/// decision without the engine's internal state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// One run of the adaptation check: the advisor costed alternatives
+    /// against the live workload profile and either re-declared the layout
+    /// or kept the current one.
+    AdaptDecision {
+        /// Table checked.
+        table: String,
+        /// `"adapted"`, `"kept_current"`, or `"insufficient_data"`.
+        outcome: String,
+        /// The layout declared when the check started.
+        current_expr: String,
+        /// The advisor's winning expression (equal to `current_expr` when
+        /// nothing better was found).
+        best_expr: String,
+        /// Predicted cost of the current layout over the profiled workload.
+        current_ms: f64,
+        /// Predicted cost of the winning expression.
+        best_ms: f64,
+        /// The hysteresis threshold the improvement had to clear.
+        hysteresis: f64,
+        /// Explored designs with their predicted costs (capped; best first).
+        alternatives: Vec<CostedAlternative>,
+    },
+    /// The lsm memtable spilled a sealed level-0 run.
+    LsmSpill {
+        /// Table whose tier spilled.
+        table: String,
+        /// Level the run was sealed on (0 for spills).
+        level: u32,
+        /// Rows in the sealed run.
+        rows: u64,
+        /// Pages the run occupies.
+        pages: u64,
+    },
+    /// Compaction merged one level's runs into a run one level deeper.
+    LsmMerge {
+        /// Table whose tier compacted.
+        table: String,
+        /// The level that was merged (the new run lives on `level + 1`).
+        level: u32,
+        /// Runs merged away.
+        runs_merged: u64,
+        /// Rows in the merged run.
+        rows: u64,
+        /// Pages the new run occupies.
+        pages_written: u64,
+        /// Pages vacated (parked for the checkpoint quarantine).
+        pages_freed: u64,
+    },
+    /// A checkpoint completed, with per-phase wall-clock timings.
+    Checkpoint {
+        /// Total checkpoint duration in microseconds.
+        micros: u64,
+        /// Pages returned to the free list by this checkpoint.
+        pages_freed: u64,
+        /// `(phase name, microseconds)` in execution order.
+        phases: Vec<(String, u64)>,
+    },
+    /// The WAL dropped records up to the checkpoint's cut.
+    WalTruncate {
+        /// Log body size before the truncation, in bytes.
+        bytes_before: u64,
+        /// Log body size after, in bytes.
+        bytes_after: u64,
+    },
+    /// Epoch-based reclamation freed a batch of retired pages.
+    EpochReclaim {
+        /// Retired renderings whose pages were reclaimed.
+        accesses: u64,
+        /// Pages reclaimed.
+        pages: u64,
+        /// Bytes those pages represent.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable machine-readable discriminant (the JSON `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::AdaptDecision { .. } => "adapt_decision",
+            EventKind::LsmSpill { .. } => "lsm_spill",
+            EventKind::LsmMerge { .. } => "lsm_merge",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::WalTruncate { .. } => "wal_truncate",
+            EventKind::EpochReclaim { .. } => "epoch_reclaim",
+        }
+    }
+}
+
+/// One drained event: a monotone sequence number plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position in the ring's history (monotone across drops, so gaps are
+    /// visible).
+    pub seq: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.u64_field("seq", self.seq)
+            .str_field("event", self.kind.name());
+        match &self.kind {
+            EventKind::AdaptDecision {
+                table,
+                outcome,
+                current_expr,
+                best_expr,
+                current_ms,
+                best_ms,
+                hysteresis,
+                alternatives,
+            } => {
+                let alts = array(alternatives.iter().map(|a| {
+                    let mut alt = JsonWriter::object();
+                    alt.str_field("expr", &a.expr).f64_field("total_ms", a.total_ms);
+                    alt.finish()
+                }));
+                w.str_field("table", table)
+                    .str_field("outcome", outcome)
+                    .str_field("current_expr", current_expr)
+                    .str_field("best_expr", best_expr)
+                    .f64_field("current_ms", *current_ms)
+                    .f64_field("best_ms", *best_ms)
+                    .f64_field("hysteresis", *hysteresis)
+                    .raw_field("alternatives", &alts);
+            }
+            EventKind::LsmSpill {
+                table,
+                level,
+                rows,
+                pages,
+            } => {
+                w.str_field("table", table)
+                    .u64_field("level", u64::from(*level))
+                    .u64_field("rows", *rows)
+                    .u64_field("pages", *pages);
+            }
+            EventKind::LsmMerge {
+                table,
+                level,
+                runs_merged,
+                rows,
+                pages_written,
+                pages_freed,
+            } => {
+                w.str_field("table", table)
+                    .u64_field("level", u64::from(*level))
+                    .u64_field("runs_merged", *runs_merged)
+                    .u64_field("rows", *rows)
+                    .u64_field("pages_written", *pages_written)
+                    .u64_field("pages_freed", *pages_freed);
+            }
+            EventKind::Checkpoint {
+                micros,
+                pages_freed,
+                phases,
+            } => {
+                let phases = array(phases.iter().map(|(name, us)| {
+                    let mut p = JsonWriter::object();
+                    p.str_field("phase", name).u64_field("micros", *us);
+                    p.finish()
+                }));
+                w.u64_field("micros", *micros)
+                    .u64_field("pages_freed", *pages_freed)
+                    .raw_field("phases", &phases);
+            }
+            EventKind::WalTruncate {
+                bytes_before,
+                bytes_after,
+            } => {
+                w.u64_field("bytes_before", *bytes_before)
+                    .u64_field("bytes_after", *bytes_after);
+            }
+            EventKind::EpochReclaim {
+                accesses,
+                pages,
+                bytes,
+            } => {
+                w.u64_field("accesses", *accesses)
+                    .u64_field("pages", *pages)
+                    .u64_field("bytes", *bytes);
+            }
+        }
+        w.finish()
+    }
+}
+
+struct RingInner {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, drain-oriented ring of [`Event`]s.
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// A ring keeping at most `capacity` undrained events.
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        EventRing {
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, dropping (and counting) the oldest if full.
+    pub fn push(&self, kind: EventKind) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(Event { seq, kind });
+    }
+
+    /// Takes every buffered event (oldest first), leaving the ring empty.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.drain(..).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full (monotone).
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dropped
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spill(n: u64) -> EventKind {
+        EventKind::LsmSpill {
+            table: "T".into(),
+            level: 0,
+            rows: n,
+            pages: 1,
+        }
+    }
+
+    #[test]
+    fn drains_in_order_with_monotone_seqs() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..5 {
+            ring.push(spill(i));
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let ring = EventRing::with_capacity(3);
+        for i in 0..7 {
+            ring.push(spill(i));
+        }
+        assert_eq!(ring.dropped(), 4);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 4, "oldest surviving event");
+    }
+
+    #[test]
+    fn event_json_is_self_describing() {
+        let ring = EventRing::default();
+        ring.push(EventKind::AdaptDecision {
+            table: "Traces".into(),
+            outcome: "adapted".into(),
+            current_expr: "Traces".into(),
+            best_expr: "vertical[lat|lon](Traces)".into(),
+            current_ms: 12.5,
+            best_ms: 3.25,
+            hysteresis: 0.1,
+            alternatives: vec![CostedAlternative {
+                expr: "column(Traces)".into(),
+                total_ms: 5.0,
+            }],
+        });
+        let json = ring.drain()[0].to_json();
+        assert!(json.contains("\"event\":\"adapt_decision\""));
+        assert!(json.contains("\"best_expr\":\"vertical[lat|lon](Traces)\""));
+        assert!(json.contains("\"alternatives\":[{\"expr\":\"column(Traces)\""));
+    }
+}

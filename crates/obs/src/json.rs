@@ -1,0 +1,140 @@
+//! Hand-rolled JSON emission (the workspace is hermetic — no serde).
+//!
+//! [`JsonWriter`] builds one object at a time; values are escaped per RFC
+//! 8259. Floats are emitted with enough precision to round-trip the
+//! cost-model numbers the engine produces; non-finite floats become
+//! `null` (JSON has no NaN/Infinity).
+
+/// Escapes `s` into `out` as the *contents* of a JSON string literal
+/// (quotes not included).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// An append-only JSON object/array builder. Keys arrive in call order;
+/// the caller is responsible for not repeating them.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    needs_comma: bool,
+}
+
+impl JsonWriter {
+    /// A writer positioned inside a fresh object (`{` already emitted).
+    pub fn object() -> JsonWriter {
+        JsonWriter {
+            buf: String::from("{"),
+            needs_comma: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.needs_comma {
+            self.buf.push(',');
+        }
+        self.needs_comma = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when not finite).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON (an object or
+    /// array built elsewhere). The caller guarantees `json` is valid.
+    pub fn raw_field(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the serialized text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serializes a sequence of already-serialized JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_builds_objects() {
+        let mut w = JsonWriter::object();
+        w.str_field("name", "a\"b\\c\n")
+            .u64_field("n", 42)
+            .f64_field("x", 1.5)
+            .f64_field("bad", f64::NAN)
+            .bool_field("ok", true)
+            .raw_field("inner", "[1,2]");
+        let json = w.finish();
+        assert_eq!(
+            json,
+            r#"{"name":"a\"b\\c\n","n":42,"x":1.5,"bad":null,"ok":true,"inner":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn arrays_join_items() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array([]), "[]");
+    }
+}

@@ -65,7 +65,7 @@ impl Default for CostModel {
 impl CostModel {
     /// Draws a deterministic sample of the records (stride sampling keeps the
     /// value distributions and orderings representative).
-    pub fn sample<'a>(&self, records: &'a [Record]) -> Vec<Record> {
+    pub fn sample(&self, records: &[Record]) -> Vec<Record> {
         if records.len() <= self.sample_size {
             return records.to_vec();
         }

@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn every_distance_is_unique_and_covers_grid() {
         let order = 3; // 8x8 grid, 64 cells
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for x in 0..8u32 {
             for y in 0..8u32 {
                 let d = hilbert2(order, x, y) as usize;

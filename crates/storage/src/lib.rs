@@ -31,7 +31,7 @@ pub use page::{Page, PageId, DEFAULT_PAGE_SIZE};
 pub use pager::{FileStore, MemStore, PageStore, Pager};
 pub use slotted::{SlottedPage, SlottedReader};
 pub use stats::{IoSnapshot, IoStats};
-pub use wal::{LogRecord, Lsn, SyncPolicy, TxId, Wal};
+pub use wal::{LogRecord, Lsn, SyncPolicy, TxId, Wal, WalInstruments};
 
 use std::fmt;
 

@@ -59,11 +59,13 @@ use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::{Result, StorageError};
 use parking_lot::Mutex;
+use rodentstore_obs::Histogram;
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::time::Instant;
 
 /// Transaction identifier.
 pub type TxId = u64;
@@ -424,6 +426,20 @@ struct GroupSync {
     syncing: bool,
 }
 
+/// Latency instruments the engine installs on a log (see
+/// [`Wal::set_instruments`]): recording is a handful of relaxed atomics, so
+/// the commit path pays nothing measurable for being observed.
+#[derive(Clone)]
+pub struct WalInstruments {
+    /// End-to-end [`Wal::commit`] latency, in microseconds (includes any
+    /// inline or group `fsync` the sync policy demands).
+    pub commit_micros: Arc<Histogram>,
+    /// Latency of each physical `fsync`, in microseconds, across every sync
+    /// site (inline commit syncs, group-commit leader syncs, explicit
+    /// [`Wal::sync`] calls).
+    pub fsync_micros: Arc<Histogram>,
+}
+
 /// A redo-only write-ahead log with transactional records, durable commits,
 /// and checksum-aware replay. See the module docs for the on-disk format.
 pub struct Wal {
@@ -443,6 +459,9 @@ pub struct Wal {
     /// the state lock) proceed while the disk flush is in flight. Refreshed
     /// by [`Wal::truncate`], whose rewrite replaces the underlying file.
     sync_file: Mutex<Option<File>>,
+    /// Observability hooks, installed at most once by the engine; absent for
+    /// logs nobody watches (unit tests, tools).
+    instruments: OnceLock<WalInstruments>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -492,6 +511,20 @@ impl Wal {
             group_cv: Condvar::new(),
             file_backed: sync_file.is_some(),
             sync_file: Mutex::new(sync_file),
+            instruments: OnceLock::new(),
+        }
+    }
+
+    /// Installs the latency instruments. First caller wins; later calls are
+    /// ignored, so the hooks never change under a concurrent commit.
+    pub fn set_instruments(&self, instruments: WalInstruments) {
+        let _ = self.instruments.set(instruments);
+    }
+
+    /// Records `micros` into the fsync histogram, if instruments are set.
+    fn note_fsync(&self, started: Instant) {
+        if let Some(ins) = self.instruments.get() {
+            ins.fsync_micros.record(started.elapsed().as_micros() as u64);
         }
     }
 
@@ -634,6 +667,7 @@ impl Wal {
     /// Under [`SyncPolicy::GroupDurable`] the commit record is guaranteed
     /// durable when this returns; concurrent callers share the `fsync`.
     pub fn commit(&self, tx: TxId) -> Result<()> {
+        let started = Instant::now();
         let (commit_lsn, policy) = {
             let mut state = self.state.lock();
             state.active.retain(|&t| t != tx);
@@ -645,7 +679,9 @@ impl Wal {
                 SyncPolicy::GroupCommit(n) => state.unsynced_commits >= n.max(1),
             };
             if should_sync_inline {
+                let sync_started = Instant::now();
                 state.backend.sync()?;
+                self.note_fsync(sync_started);
                 state.unsynced_commits = 0;
                 state.syncs += 1;
             }
@@ -653,6 +689,9 @@ impl Wal {
         };
         if policy == SyncPolicy::GroupDurable {
             self.await_durable(commit_lsn)?;
+        }
+        if let Some(ins) = self.instruments.get() {
+            ins.commit_micros.record(started.elapsed().as_micros() as u64);
         }
         Ok(())
     }
@@ -711,7 +750,9 @@ impl Wal {
         // started now covers every record below this watermark.
         let covered_upto = self.state.lock().next_lsn;
         if let Some(file) = handle.as_ref() {
+            let sync_started = Instant::now();
             file.sync_data().map_err(StorageError::from)?;
+            self.note_fsync(sync_started);
         }
         drop(handle);
         let mut state = self.state.lock();
@@ -732,7 +773,9 @@ impl Wal {
     /// batch). No-op for the in-memory backend.
     pub fn sync(&self) -> Result<()> {
         let mut state = self.state.lock();
+        let started = Instant::now();
         state.backend.sync()?;
+        self.note_fsync(started);
         state.unsynced_commits = 0;
         state.syncs += 1;
         Ok(())

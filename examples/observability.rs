@@ -1,0 +1,75 @@
+//! Observability tour: the metrics registry, the decision-trace event
+//! ring, and `explain` — watching the adaptive engine work from outside.
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use rodentstore::{
+    AdaptivePolicy, Condition, Database, DataType, Field, ScanRequest, Schema, Value,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+    db.set_lsm_params(64, 2);
+    db.create_table(Schema::new(
+        "Readings",
+        vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("t", DataType::Float),
+            Field::new("value", DataType::Float),
+        ],
+    ))?;
+
+    // A write-heavy phase into a levelled tier: absorbs spill runs and
+    // trigger (amortized) compaction, all of it journaled.
+    db.apply_layout_text("Readings", "lsm[t](Readings)")?;
+    for batch in 0..32 {
+        let rows: Vec<Vec<Value>> = (0..32)
+            .map(|i| {
+                let t = (batch * 32 + i) as f64;
+                vec![
+                    Value::Int(i % 4),
+                    Value::Float(t),
+                    Value::Float((t * 0.1).sin()),
+                ]
+            })
+            .collect();
+        db.insert("Readings", rows)?;
+    }
+
+    // EXPLAIN: how would this range query be served, and at what predicted
+    // cost? Recent data lives in few runs; the key range prunes the rest.
+    let recent = ScanRequest::all().predicate(Condition::range("t", 900.0, 1024.0));
+    let explain = db.explain("Readings", &recent)?;
+    println!("explain: {}", explain.to_json());
+
+    // Run the query and some point lookups, then let the advisor look at
+    // the observed workload (decision goes to the event ring either way).
+    for _ in 0..24 {
+        db.scan("Readings", &recent)?;
+    }
+    db.set_adaptive_policy(AdaptivePolicy {
+        min_queries: 8,
+        ..AdaptivePolicy::default()
+    });
+    let outcome = db.maybe_adapt("Readings")?;
+    println!("adaptation outcome: {outcome:?}");
+
+    // The decision trace: spills, merges, and the adaptation decision with
+    // every costed alternative the advisor explored.
+    println!("events: {}", db.events_json());
+
+    // The metrics snapshot: stable dotted names, pager I/O under `io.*`,
+    // predicted-vs-actual scan calibration under `calibration.<table>.*`.
+    let metrics = db.metrics();
+    for (name, value) in metrics.counters() {
+        println!("{name} = {value}");
+    }
+    let absorb = metrics.histogram("lsm.absorb_micros").expect("recorded");
+    println!(
+        "lsm.absorb_micros: count={} p50={}us p99={}us max={}us",
+        absorb.count, absorb.p50, absorb.p99, absorb.max
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! CI gate: every dotted metric name appearing in a `BENCH_*.json` file at
+//! the workspace root must be a registered name from
+//! [`rodentstore::metric_names`] or carry one of the reserved injected
+//! prefixes (`io.`, `calibration.`). Benches report engine numbers straight
+//! from the metrics registry, so a name this check rejects means either a
+//! typo in a bench or an unannounced change to the stable catalog.
+//!
+//! ```text
+//! cargo run --example validate_bench_metrics
+//! ```
+//!
+//! Exits non-zero listing the offending names; prints a per-file summary
+//! otherwise. Files are located relative to the binary's manifest, so the
+//! check works from any working directory.
+
+use rodentstore::metric_names;
+use std::path::PathBuf;
+
+/// Extracts every JSON object key that looks like a dotted metric name
+/// (contains a `.`). The BENCH files are flat, machine-written JSON, so a
+/// scan for `"<key>":` is exact — no string *values* in them contain a
+/// quote-colon sequence.
+fn dotted_keys(json: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = json[i + 1..].find('"') {
+                let key = &json[i + 1..i + 1 + end];
+                let after = i + 1 + end + 1;
+                let is_key = json[after..].trim_start().starts_with(':');
+                if is_key && key.contains('.') {
+                    keys.push(key.to_string());
+                }
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    keys
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    let catalog = metric_names();
+    let mut checked = 0usize;
+    let mut bad: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&root)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let json = std::fs::read_to_string(&path)?;
+        let keys = dotted_keys(&json);
+        for key in &keys {
+            let known = catalog.contains(&key.as_str())
+                || key.starts_with("io.")
+                || key.starts_with("calibration.");
+            if !known {
+                bad.push(format!("{name}: `{key}`"));
+            }
+        }
+        println!("{name}: {} dotted metric name(s) validated", keys.len());
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("no BENCH_*.json files found — run the benches first".into());
+    }
+    if !bad.is_empty() {
+        eprintln!("metric names not in rodentstore::metric_names() (and not io.*/calibration.*):");
+        for b in &bad {
+            eprintln!("  {b}");
+        }
+        return Err(format!("{} unknown metric name(s)", bad.len()).into());
+    }
+    println!("all BENCH json metric names are catalogued");
+    Ok(())
+}

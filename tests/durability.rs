@@ -206,7 +206,7 @@ fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
 
     for cut in checkpoint_len..=pristine_wal.len() as u64 {
         copy_db(&dir, &crash);
-        std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        std::fs::write(crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
         let db = Database::open(&crash)
             .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
         let expected_rows = boundaries
@@ -640,7 +640,7 @@ fn kill_at_every_wal_byte_recovers_indexed_scans() {
 
     for cut in checkpoint_len..=pristine_wal.len() as u64 {
         copy_db(&dir, &crash);
-        std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        std::fs::write(crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
         let db = Database::open(&crash)
             .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
         let expected_rows = boundaries
@@ -839,7 +839,7 @@ fn kill_at_every_wal_byte_recovers_lsm_tier() {
 
     for cut in checkpoint_len..=pristine_wal.len() as u64 {
         copy_db(&dir, &crash);
-        std::fs::write(&crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        std::fs::write(crash.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
         let db = Database::open(&crash)
             .unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
         let expected_ids = boundaries

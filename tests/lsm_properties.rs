@@ -54,16 +54,17 @@ impl RefTier {
         }
     }
 
+    /// Mirrors the ordered memtable: rows buffer in key order (stable
+    /// within equal keys), a spill removes the first `cap` rows *in key
+    /// order*, and each spill triggers at most one level merge.
     fn absorb(&mut self, rows: Vec<Record>) {
         self.memtable.extend(rows);
         while self.memtable.len() >= self.cap {
-            let spill: Vec<Record> = if self.memtable.len() > self.cap {
-                self.memtable.drain(..self.cap).collect()
-            } else {
-                std::mem::take(&mut self.memtable)
-            };
-            self.seal(spill, 0);
-            self.compact();
+            let mut sorted = std::mem::take(&mut self.memtable);
+            sort_records(&self.schema, &mut sorted, &self.key).unwrap();
+            self.memtable = sorted.split_off(self.cap);
+            self.seal(sorted, 0);
+            self.compact_one();
         }
     }
 
@@ -75,41 +76,44 @@ impl RefTier {
             .sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     }
 
-    fn compact(&mut self) {
-        loop {
-            let mut counts = std::collections::HashMap::new();
-            for (level, _, _) in &self.runs {
-                *counts.entry(*level).or_insert(0usize) += 1;
-            }
-            let Some(&level) = counts
-                .iter()
-                .filter(|(_, &n)| n >= self.fanout)
-                .map(|(l, _)| l)
-                .min()
-            else {
-                return;
-            };
-            let mut merged: Vec<(u32, u64, Vec<Record>)> = Vec::new();
-            let mut keep = Vec::new();
-            for run in self.runs.drain(..) {
-                if run.0 == level {
-                    merged.push(run);
-                } else {
-                    keep.push(run);
-                }
-            }
-            self.runs = keep;
-            merged.sort_by_key(|r| r.1); // oldest first: stable merge
-            let rows: Vec<Record> = merged.into_iter().flat_map(|r| r.2).collect();
-            self.seal(rows, level + 1);
+    /// Merges the shallowest overflowing level once — no cascade, matching
+    /// the amortized `compact_one` the write path runs per spill.
+    fn compact_one(&mut self) {
+        let mut counts = std::collections::HashMap::new();
+        for (level, _, _) in &self.runs {
+            *counts.entry(*level).or_insert(0usize) += 1;
         }
+        let Some(&level) = counts
+            .iter()
+            .filter(|(_, &n)| n >= self.fanout)
+            .map(|(l, _)| l)
+            .min()
+        else {
+            return;
+        };
+        let mut merged: Vec<(u32, u64, Vec<Record>)> = Vec::new();
+        let mut keep = Vec::new();
+        for run in self.runs.drain(..) {
+            if run.0 == level {
+                merged.push(run);
+            } else {
+                keep.push(run);
+            }
+        }
+        self.runs = keep;
+        merged.sort_by_key(|r| r.1); // oldest first: stable merge
+        let rows: Vec<Record> = merged.into_iter().flat_map(|r| r.2).collect();
+        self.seal(rows, level + 1);
     }
 
     /// Scan order of the tier alone: runs deepest-first (oldest first within
-    /// a level), each in key order, then the memtable in insertion order.
+    /// a level), each in key order, then the memtable in key order (stable
+    /// within equal keys — the ordered memtable's iteration order).
     fn scan(&self) -> Vec<Record> {
         let mut out: Vec<Record> = self.runs.iter().flat_map(|r| r.2.clone()).collect();
-        out.extend(self.memtable.iter().cloned());
+        let mut mem = self.memtable.clone();
+        sort_records(&self.schema, &mut mem, &self.key).unwrap();
+        out.extend(mem);
         out
     }
 }

@@ -459,7 +459,7 @@ fn bench_concurrency(c: &mut Criterion) {
         locked.get(id).unwrap();
     }
     let pool_locked = measure_pool(
-        |id| locked.get(id).unwrap().id,
+        |id| locked.get(id).unwrap().id(),
         &pages,
         4,
         config.pool_touches,
@@ -469,7 +469,7 @@ fn bench_concurrency(c: &mut Criterion) {
         sharded.get(id).unwrap();
     }
     let pool_sharded = measure_pool(
-        |id| sharded.get(id).unwrap().id,
+        |id| sharded.get(id).unwrap().id(),
         &pages,
         4,
         config.pool_touches,

@@ -84,6 +84,7 @@ fn measure_insert_throughput(config: &Config, sync: SyncPolicy, tag: &str) -> f6
         DurabilityOptions {
             page_size: config.page_size,
             sync,
+            ..DurabilityOptions::default()
         },
     )
     .unwrap();
@@ -147,6 +148,7 @@ fn run_recovery_scenario(config: &Config) -> RecoveryNumbers {
             DurabilityOptions {
                 page_size: config.page_size,
                 sync: SyncPolicy::GroupCommit(64),
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();

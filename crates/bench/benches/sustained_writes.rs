@@ -167,6 +167,7 @@ fn bench_sustained_writes(c: &mut Criterion) {
             DurabilityOptions {
                 page_size: PAGE_SIZE,
                 sync: SyncPolicy::GroupCommit(8),
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -209,6 +210,7 @@ fn bench_sustained_writes(c: &mut Criterion) {
             DurabilityOptions {
                 page_size: PAGE_SIZE,
                 sync: SyncPolicy::GroupCommit(8),
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();

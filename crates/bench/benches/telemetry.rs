@@ -1,0 +1,254 @@
+//! Append-heavy telemetry bench: batched ingest followed by a projected raw
+//! scan and a windowed aggregate (`count/sum/min/max` of `value` grouped by
+//! fixed-width `ts` buckets) over three layouts of the same relation — eager
+//! rows, the levelled write tier `lsm[ts](Telemetry)`, and delta-compressed
+//! column groups. All reported numbers come straight from the metrics
+//! registry (`scan.pages`, `scan.rows`, `scan.agg_rows_folded`,
+//! `scan.frame_hits`/`scan.frame_copies`) and the bench asserts the pushdown
+//! claim on every layout: the aggregate reads exactly the pages of the
+//! projected scan it replaces while materializing zero rows, and its buckets
+//! match a reference fold computed directly from the generated readings.
+//!
+//! Set `RODENTSTORE_BENCH_SMOKE=1` for the small dataset and trial counts.
+//! Writes `BENCH_telemetry.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rodentstore::{Database, ScanRequest, Value, WindowAccumulator, WindowRow, WindowedAggregate};
+use rodentstore_algebra::value::Record;
+use rodentstore_workload::{generate_telemetry, telemetry_schema, TelemetryConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("RODENTSTORE_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+const PAGE_SIZE: usize = 4096;
+const BUCKET_WIDTH: f64 = 512.0;
+
+/// The three layouts under test: the eager row heap the stream lands in by
+/// default, the levelled tier an append-heavy table should declare, and the
+/// compressed column groups a scan-heavy consumer would render.
+const LAYOUTS: [(&str, &str); 3] = [
+    ("eager_rows", "Telemetry"),
+    ("lsm", "lsm[ts](Telemetry)"),
+    (
+        "compressed_columns",
+        "delta[ts,seq](vertical[ts,value|sensor,status,seq](Telemetry))",
+    ),
+];
+
+/// Reference fold computed straight from the generated readings, bypassing
+/// the storage engine entirely.
+fn reference_windows(rows: &[Record]) -> Vec<WindowRow> {
+    let spec = WindowedAggregate::new("ts", BUCKET_WIDTH, "value");
+    let mut acc = WindowAccumulator::new(&spec);
+    for row in rows {
+        let (Value::Int(ts), Value::Float(value)) = (&row[0], &row[2]) else {
+            panic!("telemetry rows are (int ts, str sensor, float value, ..)");
+        };
+        acc.fold(*ts as f64, *value);
+    }
+    acc.finish()
+}
+
+struct LayoutReport {
+    name: &'static str,
+    expr: &'static str,
+    ingest_rows_per_sec: f64,
+    scan_rows_per_sec: f64,
+    scan_micros: f64,
+    agg_micros: f64,
+    scan_pages: u64,
+    agg_pages: u64,
+    agg_rows_materialized: u64,
+    agg_rows_folded: u64,
+    frame_hits: u64,
+    frame_copies: u64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench_telemetry(_c: &mut Criterion) {
+    let (readings, batch, trials) = if smoke_mode() {
+        (20_000usize, 1_000usize, 5usize)
+    } else {
+        (200_000usize, 5_000usize, 15usize)
+    };
+    let rows = generate_telemetry(&TelemetryConfig::with_readings(readings));
+    let reference = reference_windows(&rows);
+    let spec = WindowedAggregate::new("ts", BUCKET_WIDTH, "value");
+    let request = ScanRequest::all().fields(["ts", "value"]);
+
+    let mut reports: Vec<LayoutReport> = Vec::new();
+    for (name, expr) in LAYOUTS {
+        let db = Database::with_page_size(PAGE_SIZE);
+        db.create_table(telemetry_schema()).unwrap();
+        // Declare the layout before the stream arrives, the way an ingest
+        // pipeline would, then append in arrival-order batches. The levelled
+        // tier absorbs each batch incrementally; the eager shapes buffer
+        // pending rows, so their ingest cost includes the re-render that
+        // makes the table scannable at full speed again.
+        db.apply_layout_text("Telemetry", expr).unwrap();
+        let t = Instant::now();
+        for chunk in rows.chunks(batch) {
+            db.insert("Telemetry", chunk.to_vec()).unwrap();
+        }
+        if name != "lsm" {
+            db.apply_layout_text("Telemetry", expr).unwrap();
+        }
+        let ingest_secs = t.elapsed().as_secs_f64();
+        if name == "lsm" {
+            let stats = db.layout_stats("Telemetry").unwrap();
+            assert_eq!(
+                stats.full_renders, 1,
+                "the levelled tier must absorb the stream without re-rendering"
+            );
+        }
+
+        // Raw projected scan: median latency over interleaved trials, pages
+        // and rows from the registry (one extra untimed run calibrates the
+        // per-query deltas).
+        let before = db.metrics();
+        let got = db.scan("Telemetry", &request).unwrap();
+        assert_eq!(got.len(), readings);
+        drop(got);
+        let after = db.metrics();
+        let scan_pages =
+            after.counter("scan.pages").unwrap_or(0) - before.counter("scan.pages").unwrap_or(0);
+        let scan_rows =
+            after.counter("scan.rows").unwrap_or(0) - before.counter("scan.rows").unwrap_or(0);
+        assert_eq!(
+            scan_rows, readings as u64,
+            "{name}: the projected scan materializes every reading"
+        );
+        let mut scan_samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let start = Instant::now();
+            let got = db.scan("Telemetry", &request).unwrap();
+            scan_samples.push(start.elapsed().as_secs_f64());
+            assert_eq!(got.len(), readings);
+            drop(got);
+        }
+        scan_samples.sort_by(f64::total_cmp);
+        let scan_secs = scan_samples[scan_samples.len() / 2];
+
+        // Windowed aggregate: same pages, zero rows materialized, every
+        // reading folded, buckets identical to the engine-free reference.
+        let before = db.metrics();
+        let windows = db.scan_aggregate("Telemetry", &spec, None).unwrap();
+        let after = db.metrics();
+        assert_eq!(windows, reference, "{name}: aggregate buckets diverge");
+        let agg_pages =
+            after.counter("scan.pages").unwrap_or(0) - before.counter("scan.pages").unwrap_or(0);
+        let agg_rows_materialized =
+            after.counter("scan.rows").unwrap_or(0) - before.counter("scan.rows").unwrap_or(0);
+        let agg_rows_folded = after.counter("scan.agg_rows_folded").unwrap_or(0)
+            - before.counter("scan.agg_rows_folded").unwrap_or(0);
+        assert_eq!(
+            agg_pages, scan_pages,
+            "{name}: the pushed-down aggregate must read exactly the pages of \
+             the projected scan it replaces"
+        );
+        assert_eq!(
+            agg_rows_materialized, 0,
+            "{name}: the pushed-down aggregate must materialize zero rows"
+        );
+        assert_eq!(
+            agg_rows_folded, readings as u64,
+            "{name}: every reading contributes to a bucket"
+        );
+        let mut agg_samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let start = Instant::now();
+            let windows = db.scan_aggregate("Telemetry", &spec, None).unwrap();
+            agg_samples.push(start.elapsed().as_secs_f64());
+            assert_eq!(windows.len(), reference.len());
+            drop(windows);
+        }
+        agg_samples.sort_by(f64::total_cmp);
+        let agg_secs = agg_samples[agg_samples.len() / 2];
+
+        let snapshot = db.metrics();
+        let report = LayoutReport {
+            name,
+            expr,
+            ingest_rows_per_sec: readings as f64 / ingest_secs,
+            scan_rows_per_sec: readings as f64 / scan_secs,
+            scan_micros: scan_secs * 1e6,
+            agg_micros: agg_secs * 1e6,
+            scan_pages,
+            agg_pages,
+            agg_rows_materialized,
+            agg_rows_folded,
+            frame_hits: snapshot.counter("scan.frame_hits").unwrap_or(0),
+            frame_copies: snapshot.counter("scan.frame_copies").unwrap_or(0),
+        };
+        println!(
+            "telemetry/{name}: ingest {:.0} rows/s, scan {:.0} rows/s ({} pages), \
+             aggregate {:.0}us ({} pages, 0 rows out, {} folded)",
+            report.ingest_rows_per_sec,
+            report.scan_rows_per_sec,
+            scan_pages,
+            report.agg_micros,
+            agg_pages,
+            agg_rows_folded,
+        );
+        reports.push(report);
+    }
+
+    // The compressed column groups must beat the eager rows on pages/query,
+    // and the tier must not cost more pages than the eager heap — the
+    // layout-composition claim the workload exists to exercise.
+    let eager = &reports[0];
+    let compressed = &reports[2];
+    assert!(
+        compressed.scan_pages < eager.scan_pages,
+        "compressed columns must read fewer pages than eager rows: {} vs {}",
+        compressed.scan_pages,
+        eager.scan_pages
+    );
+
+    let layouts_json: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"layout\": \"{}\",\n      \
+                 \"ingest_rows_per_sec\": {:.0},\n      \"scan_rows_per_sec\": {:.0},\n      \
+                 \"scan_median_us\": {:.1},\n      \"aggregate_median_us\": {:.1},\n      \
+                 \"scan.pages\": {},\n      \"aggregate_pages\": {},\n      \
+                 \"aggregate_rows_materialized\": {},\n      \"scan.agg_rows_folded\": {},\n      \
+                 \"scan.frame_hits\": {},\n      \"scan.frame_copies\": {}\n    }}",
+                r.name,
+                r.expr,
+                r.ingest_rows_per_sec,
+                r.scan_rows_per_sec,
+                r.scan_micros,
+                r.agg_micros,
+                r.scan_pages,
+                r.agg_pages,
+                r.agg_rows_materialized,
+                r.agg_rows_folded,
+                r.frame_hits,
+                r.frame_copies,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"rows\": {readings},\n  \"batch_rows\": {batch},\n  \
+         \"page_size\": {PAGE_SIZE},\n  \"bucket_width\": {BUCKET_WIDTH},\n  \
+         \"buckets\": {},\n  \"layouts\": [\n{}\n  ]\n}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        reference.len(),
+        layouts_json.join(",\n"),
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root
+        .canonicalize()
+        .unwrap_or(root)
+        .join("BENCH_telemetry.json");
+    std::fs::write(&path, json).unwrap();
+    println!("telemetry/json → {}", path.display());
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

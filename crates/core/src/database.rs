@@ -6,12 +6,16 @@ use crate::observe::EngineObs;
 use crate::reorg::ReorgStrategy;
 use crate::{Result, RodentError};
 use parking_lot::{Mutex, RwLock};
+use rodentstore_algebra::comprehension::Condition;
 use rodentstore_algebra::expr::{LayoutExpr, SortOrder};
 use rodentstore_algebra::parse;
 use rodentstore_algebra::schema::Schema;
 use rodentstore_algebra::validate;
 use rodentstore_algebra::value::Record;
-use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
+use rodentstore_exec::{
+    AccessMethods, CostParams, Cursor, ScanRequest, WindowAccumulator, WindowRow,
+    WindowedAggregate,
+};
 use rodentstore_layout::{
     render, AppendOutcome, LsmActivity, LsmRun, LsmState, MemTableProvider, PhysicalLayout,
     RenderOptions, StoredIndex, StoredObject,
@@ -22,7 +26,7 @@ use rodentstore_optimizer::{
 use rodentstore_storage::heap::HeapFile;
 use rodentstore_storage::pager::{FileStore, PageStore, Pager};
 use rodentstore_obs::{CostedAlternative, Event, EventKind, JsonWriter, MetricsSnapshot};
-use rodentstore_storage::stats::IoSnapshot;
+use rodentstore_storage::stats::{IoSnapshot, OpStatsScope};
 use rodentstore_storage::wal::{Wal, WalInstruments};
 use rodentstore_storage::PageId;
 use rodentstore_sync::{AtomicArc, EpochRegistry};
@@ -346,9 +350,10 @@ impl Database {
             std::fs::remove_file(&manifest_path)
                 .map_err(|e| RodentError::Storage(rodentstore_storage::StorageError::Io(e)))?;
         }
-        let store = Arc::new(
-            FileStore::create(&data_path, options.page_size).map_err(RodentError::Storage)?,
-        );
+        let mut store =
+            FileStore::create(&data_path, options.page_size).map_err(RodentError::Storage)?;
+        store.set_mmap_reads(options.mmap_reads);
+        let store = Arc::new(store);
         let pager = Arc::new(Pager::with_store(
             Arc::clone(&store) as Arc<dyn PageStore>
         ));
@@ -390,10 +395,10 @@ impl Database {
         let dir = dir.as_ref().to_path_buf();
         let (data_path, wal_path, _) = durability::db_paths(&dir);
         let manifest = durability::decode_manifest(&durability::read_manifest_file(&dir)?)?;
-        let store = Arc::new(
-            FileStore::open_expecting(&data_path, manifest.page_size)
-                .map_err(RodentError::Storage)?,
-        );
+        let mut store = FileStore::open_expecting(&data_path, manifest.page_size)
+            .map_err(RodentError::Storage)?;
+        store.set_mmap_reads(options.mmap_reads);
+        let store = Arc::new(store);
         // Pages written after the checkpoint are not described by the
         // manifest; drop them — the WAL replay below re-derives their
         // contents from the logged logical operations.
@@ -1228,6 +1233,21 @@ impl Database {
         &self.pager
     }
 
+    /// Forces every page read back onto the legacy copy-out path: scans
+    /// copy page bytes out of the store and eagerly decode whole records,
+    /// instead of borrowing shared frames. Reads return identical bytes
+    /// either way — this exists as the A/B baseline for the zero-copy read
+    /// path (`scan_hot_path` bench) and as a correctness oracle in property
+    /// tests.
+    pub fn set_copy_reads(&self, on: bool) {
+        self.pager.set_force_copy(on);
+    }
+
+    /// Whether forced-copy reads are on (see [`Database::set_copy_reads`]).
+    pub fn copy_reads(&self) -> bool {
+        self.pager.force_copy()
+    }
+
     /// Snapshot of the I/O statistics.
     pub fn io_snapshot(&self) -> IoSnapshot {
         self.pager.stats().snapshot()
@@ -1994,29 +2014,29 @@ impl Database {
     pub fn scan(&self, table: &str, request: &ScanRequest) -> Result<Vec<Record>> {
         let run_check = self.observe(table, request)?;
         let snapshot = self.snapshot(table)?;
-        // When recording, bracket the scan with the pager's I/O counters so
-        // `scan.pages` reports pages *actually* read (the paper's headline
-        // metric), and fold the prediction into the table's calibration
-        // totals. The I/O delta is attributed to this scan; concurrent
-        // readers sharing the pager can smear it, so calibration is an
-        // approximation under contention (documented in
-        // `docs/OBSERVABILITY.md`).
+        // When recording, run the scan under a per-operation I/O scope: the
+        // pager mirrors this thread's reads into the scope, so `scan.pages`
+        // (the paper's headline metric) and the table's calibration totals
+        // count exactly the pages *this* scan read — concurrent readers
+        // sharing the pager no longer bleed into each other's attribution.
         let recording = self
             .obs
             .enabled()
-            .then(|| (Instant::now(), self.pager.stats().snapshot()));
+            .then(|| (Instant::now(), OpStatsScope::enter()));
         let rows = snapshot.scan(request)?;
-        if let Some((started, before)) = recording {
-            let after = self.pager.stats().snapshot();
-            let pages = after.pages_read.saturating_sub(before.pages_read);
+        if let Some((started, scope)) = recording {
+            let op = scope.stats().snapshot();
+            drop(scope);
             let ins = &self.obs.ins;
             ins.scan_count.incr();
             ins.scan_rows.add(rows.len() as u64);
-            ins.scan_pages.add(pages);
+            ins.scan_pages.add(op.pages_read);
+            ins.scan_frame_hits.add(op.frame_hits);
+            ins.scan_frame_copies.add(op.frame_copies);
             ins.scan_micros.record(started.elapsed().as_micros() as u64);
             if let (Ok(predicted), Ok(slot)) = (snapshot.scan_pages(request), self.slot(table)) {
                 slot.predicted_pages_total.fetch_add(predicted, Ordering::Relaxed);
-                slot.actual_pages_total.fetch_add(pages, Ordering::Relaxed);
+                slot.actual_pages_total.fetch_add(op.pages_read, Ordering::Relaxed);
                 slot.calibration_samples.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -2025,6 +2045,52 @@ impl Database {
             self.auto_adapt_check(table)?;
         }
         Ok(rows)
+    }
+
+    /// Folds a table's rows into fixed-width buckets (`count/sum/min/max`
+    /// grouped by `floor(bucket_field / bucket_width)`) without materializing
+    /// a result set. The fold is pushed into the scan: it reads exactly the
+    /// pages a projected scan of the two fields would read, and on the
+    /// borrowed-frame row path no output row is ever allocated. Pending rows
+    /// not yet absorbed into the layout are folded from the snapshot's row
+    /// buffers, so the result always reflects the full table.
+    ///
+    /// Folded rows are recorded under `scan.agg_rows_folded` (not
+    /// `scan.rows`, which counts materialized rows only); the query feeds
+    /// the workload profile and adaptation loop exactly like a projected
+    /// scan of the bucket and value fields.
+    pub fn scan_aggregate(
+        &self,
+        table: &str,
+        spec: &WindowedAggregate,
+        predicate: Option<&Condition>,
+    ) -> Result<Vec<WindowRow>> {
+        // Profile the query as the projected scan it replaces.
+        let mut request = ScanRequest::all().fields([&spec.bucket_field, &spec.value_field]);
+        request.predicate = predicate.cloned();
+        let run_check = self.observe(table, &request)?;
+        let snapshot = self.snapshot(table)?;
+        let recording = self
+            .obs
+            .enabled()
+            .then(|| (Instant::now(), OpStatsScope::enter()));
+        let acc = snapshot.scan_aggregate(spec, predicate)?;
+        if let Some((started, scope)) = recording {
+            let op = scope.stats().snapshot();
+            drop(scope);
+            let ins = &self.obs.ins;
+            ins.scan_count.incr();
+            ins.scan_pages.add(op.pages_read);
+            ins.scan_frame_hits.add(op.frame_hits);
+            ins.scan_frame_copies.add(op.frame_copies);
+            ins.scan_agg_rows_folded.add(acc.rows_folded());
+            ins.scan_micros.record(started.elapsed().as_micros() as u64);
+        }
+        drop(snapshot);
+        if run_check {
+            self.auto_adapt_check(table)?;
+        }
+        Ok(acc.finish())
     }
 
     /// Opens a (materialized) cursor over a scan. The facade merges freshly
@@ -2099,6 +2165,8 @@ impl Database {
         snap.set_counter("io.bytes_written", io.bytes_written);
         snap.set_counter("io.cache_hits", io.cache_hits);
         snap.set_counter("io.cache_misses", io.cache_misses);
+        snap.set_counter("io.frame_hits", io.frame_hits);
+        snap.set_counter("io.frame_copies", io.frame_copies);
         for (name, slot, _) in self.catalog().entries().iter() {
             let samples = slot.calibration_samples.load(Ordering::Relaxed);
             if samples == 0 {
@@ -2516,6 +2584,55 @@ impl TableSnapshot {
                 Ok(rows)
             }
             _ => scan_canonical(&self.state.schema, self.state.records.iter(), request),
+        }
+    }
+
+    /// Folds the snapshot's rows into fixed-width buckets without
+    /// materializing a result set. Dispatch mirrors [`TableSnapshot::scan`]:
+    /// a layout that serves the (bucket, value) projection folds inside its
+    /// scan (zero rows materialized on the borrowed row path), pending rows
+    /// not yet absorbed fold from the in-memory buffer, and everything else
+    /// folds from the canonical rows.
+    pub fn scan_aggregate(
+        &self,
+        spec: &WindowedAggregate,
+        predicate: Option<&Condition>,
+    ) -> Result<WindowAccumulator> {
+        spec.validate().map_err(RodentError::Layout)?;
+        let bucket_idx = self
+            .state
+            .schema
+            .index_of(&spec.bucket_field)
+            .map_err(RodentError::Algebra)?;
+        let value_idx = self
+            .state
+            .schema
+            .index_of(&spec.value_field)
+            .map_err(RodentError::Algebra)?;
+        let fold_rows = |acc: &mut WindowAccumulator, rows: &Rows| -> Result<()> {
+            for row in rows.iter() {
+                if let Some(pred) = predicate {
+                    if !pred.eval(&self.state.schema, row).map_err(RodentError::Algebra)? {
+                        continue;
+                    }
+                }
+                acc.fold_values(&row[bucket_idx], &row[value_idx]);
+            }
+            Ok(())
+        };
+        let mut request = ScanRequest::all().fields([&spec.bucket_field, &spec.value_field]);
+        request.predicate = predicate.cloned();
+        match &self.state.access {
+            Some(access) if layout_serves(access, &request) => {
+                let mut acc = access.scan_aggregate(spec, predicate)?;
+                fold_rows(&mut acc, &self.state.pending)?;
+                Ok(acc)
+            }
+            _ => {
+                let mut acc = WindowAccumulator::new(spec);
+                fold_rows(&mut acc, &self.state.records)?;
+                Ok(acc)
+            }
         }
     }
 

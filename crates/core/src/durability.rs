@@ -86,6 +86,12 @@ pub struct DurabilityOptions {
     /// an explicit policy (e.g. [`SyncPolicy::GroupCommit`]) to trade
     /// durability of the last few commits for latency.
     pub sync: SyncPolicy,
+    /// Serve data-file reads as memory-mapped shared frames instead of
+    /// copying page bytes out of the file. Defaults to the value of the
+    /// `RODENTSTORE_MMAP` environment variable (`1`/`true` = on); ignored on
+    /// platforms without mmap support, where reads fall back to the copy
+    /// path. Purely a read-path choice: the bytes served are identical.
+    pub mmap_reads: bool,
 }
 
 impl Default for DurabilityOptions {
@@ -93,8 +99,17 @@ impl Default for DurabilityOptions {
         DurabilityOptions {
             page_size: DEFAULT_PAGE_SIZE,
             sync: SyncPolicy::GroupDurable,
+            mmap_reads: mmap_env_default(),
         }
     }
+}
+
+/// Reads the `RODENTSTORE_MMAP` environment default for
+/// [`DurabilityOptions::mmap_reads`].
+fn mmap_env_default() -> bool {
+    std::env::var("RODENTSTORE_MMAP")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 /// Handle to the on-disk pieces of a durable database (held by

@@ -70,7 +70,10 @@ pub use reorg::ReorgStrategy;
 // Re-export the pieces users need to drive the system without importing
 // every sub-crate explicitly.
 pub use rodentstore_algebra::{parse, Condition, DataType, Field, LayoutExpr, Schema, Value};
-pub use rodentstore_exec::{AccessMethods, CostParams, Cursor, ScanRequest};
+pub use rodentstore_exec::{
+    AccessMethods, CostParams, Cursor, ScanRequest, WindowAccumulator, WindowRow,
+    WindowedAggregate,
+};
 pub use rodentstore_layout::{PhysicalLayout, RenderOptions};
 pub use rodentstore_obs::{
     CostedAlternative, Event, EventKind, HistogramSummary, MetricsSnapshot,

@@ -31,6 +31,15 @@ pub struct Instruments {
     pub scan_pages: Arc<Counter>,
     /// `scan.micros` — end-to-end scan latency.
     pub scan_micros: Arc<Histogram>,
+    /// `scan.frame_hits` — pages served to scans as shared frames (no copy).
+    pub scan_frame_hits: Arc<Counter>,
+    /// `scan.frame_copies` — pages scans had to copy out of the store
+    /// (forced-copy mode, or a file store without an mmap window).
+    pub scan_frame_copies: Arc<Counter>,
+    /// `scan.agg_rows_folded` — rows folded by windowed-aggregate scans
+    /// (these rows are never materialized, so they do not count toward
+    /// `scan.rows`).
+    pub scan_agg_rows_folded: Arc<Counter>,
     /// `get_element.count` — positional element reads.
     pub get_element_count: Arc<Counter>,
 
@@ -106,6 +115,9 @@ impl Instruments {
             scan_rows: registry.counter("scan.rows"),
             scan_pages: registry.counter("scan.pages"),
             scan_micros: registry.histogram("scan.micros"),
+            scan_frame_hits: registry.counter("scan.frame_hits"),
+            scan_frame_copies: registry.counter("scan.frame_copies"),
+            scan_agg_rows_folded: registry.counter("scan.agg_rows_folded"),
             get_element_count: registry.counter("get_element.count"),
             insert_batches: registry.counter("insert.batches"),
             insert_rows: registry.counter("insert.rows"),
@@ -164,7 +176,10 @@ pub fn metric_names() -> &'static [&'static str] {
         "lsm.spill.pages",
         "lsm.spill.rows",
         "lsm.spills",
+        "scan.agg_rows_folded",
         "scan.count",
+        "scan.frame_copies",
+        "scan.frame_hits",
         "scan.micros",
         "scan.pages",
         "scan.rows",

@@ -23,6 +23,7 @@ pub mod cursor;
 
 pub use api::{AccessMethods, CostParams, ScanRequest};
 pub use cursor::Cursor;
+pub use rodentstore_layout::{WindowAccumulator, WindowRow, WindowedAggregate};
 
 use rodentstore_layout::LayoutError;
 use std::fmt;

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod append;
 pub mod index;
 pub mod lsm;
@@ -34,6 +35,7 @@ pub mod render;
 pub mod rowcodec;
 pub mod scan;
 
+pub use aggregate::{WindowAccumulator, WindowRow, WindowedAggregate};
 pub use append::{append_records, estimate_append_pages, AppendOutcome};
 pub use index::{IndexKind, KeyKind, StoredIndex};
 pub use lsm::{LsmActivity, LsmRun, LsmState, Memtable};
@@ -41,6 +43,7 @@ pub use pipeline::{MemTableProvider, TableProvider};
 pub use plan::{extract_ranges, CellBounds, ObjectEncoding, PhysicalLayout, StoredObject};
 pub use rodentstore_compress::CodecKind;
 pub use render::{render, RenderOptions};
+pub use rowcodec::FieldRef;
 pub use scan::{CompiledPredicate, ScanIter};
 
 use rodentstore_algebra::AlgebraError;

@@ -246,8 +246,9 @@ impl StoredObject {
             ObjectEncoding::Rows => {
                 let mut remaining = index;
                 for page_id in self.heap.page_ids()? {
-                    let page = self.heap.pager().read(page_id)?;
-                    let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+                    let frame = self.heap.pager().read_frame(page_id)?;
+                    let reader =
+                        rodentstore_storage::slotted::SlottedReader::over(frame.data(), frame.id());
                     let slots = reader.slot_count();
                     if remaining < slots {
                         return decode_record_subset(reader.get(remaining)?, needed);
@@ -263,8 +264,9 @@ impl StoredObject {
                 let key_fields = *key_fields;
                 let mut remaining = index;
                 for page_id in self.heap.page_ids()? {
-                    let page = self.heap.pager().read(page_id)?;
-                    let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+                    let frame = self.heap.pager().read_frame(page_id)?;
+                    let reader =
+                        rodentstore_storage::slotted::SlottedReader::over(frame.data(), frame.id());
                     for slot in 0..reader.slot_count() {
                         let folded = decode_record(reader.get(slot)?)?;
                         let (key, nested) = split_folded(&folded, key_fields, &self.name)?;
@@ -303,8 +305,9 @@ impl StoredObject {
         let mut pending: std::collections::VecDeque<Vec<u8>> = std::collections::VecDeque::new();
         let mut remaining = index;
         for page_id in self.heap.page_ids()? {
-            let page = self.heap.pager().read(page_id)?;
-            let reader = rodentstore_storage::slotted::SlottedReader::new(&page);
+            let frame = self.heap.pager().read_frame(page_id)?;
+            let reader =
+                rodentstore_storage::slotted::SlottedReader::over(frame.data(), frame.id());
             for slot in 0..reader.slot_count() {
                 pending.push_back(reader.get(slot)?.to_vec());
             }
@@ -753,14 +756,33 @@ impl PhysicalLayout {
     }
 
     /// Scans the layout, optionally projecting to `fields` and filtering with
-    /// `predicate`. Results are returned in storage order. This is a thin
-    /// `collect()` over [`PhysicalLayout::scan_iter`].
+    /// `predicate`. Results are returned in storage order. Cursor page
+    /// buffers that are already final (the borrowed-frame pushdown path)
+    /// are moved out wholesale — see [`ScanIter::collect_rows`].
     pub fn scan(
         &self,
         fields: Option<&[String]>,
         predicate: Option<&Condition>,
     ) -> Result<Vec<Record>> {
-        self.scan_iter(fields, predicate)?.collect()
+        self.scan_iter(fields, predicate)?.collect_rows()
+    }
+
+    /// Folds the rows matching `predicate` into fixed-width buckets without
+    /// materializing a result set: the scan projects only the bucket and
+    /// value fields, and on the borrowed-frame row path the fold runs inside
+    /// the page decode loop, so no output `Record` is ever allocated.
+    pub fn scan_aggregate(
+        &self,
+        spec: &crate::aggregate::WindowedAggregate,
+        predicate: Option<&Condition>,
+    ) -> Result<crate::aggregate::WindowAccumulator> {
+        spec.validate()?;
+        let mut fields = vec![spec.bucket_field.clone()];
+        if spec.value_field != spec.bucket_field {
+            fields.push(spec.value_field.clone());
+        }
+        let mut iter = self.scan_iter(Some(&fields), predicate)?;
+        iter.fold_windowed(spec)
     }
 
     /// Reads vertically partitioned objects and stitches them back into full

@@ -17,17 +17,21 @@
 //!   and `rodentstore_exec::Cursor` wraps the iterator directly so
 //!   native-order scans never materialize the full result set.
 
+use crate::aggregate::{WindowAccumulator, WindowedAggregate};
 use crate::index::unpack_pos;
 use crate::plan::{
     extract_ranges, split_folded, stitch_folded_row, ObjectEncoding, PhysicalLayout, StoredObject,
 };
-use crate::rowcodec::{decode_record, decode_record_projected};
+use crate::rowcodec::{
+    decode_fields_borrowed, decode_record, decode_record_projected, FieldRef, FixedRowPlan,
+};
 use crate::{LayoutError, Result};
 use rodentstore_algebra::comprehension::{interleave_bits, CmpOp, Condition, ElemExpr};
 use rodentstore_algebra::value::{Record, Value};
 use rodentstore_algebra::AlgebraError;
 use rodentstore_storage::page::PageId;
 use rodentstore_storage::slotted::SlottedReader;
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 /// An element expression with field references resolved to positions.
@@ -234,6 +238,128 @@ impl CompiledPredicate {
     }
 }
 
+/// A predicate restricted to the shapes that can be evaluated against
+/// borrowed [`FieldRef`]s without materializing a single owned [`Value`]:
+/// comparisons of a field against a literal, ranges, and boolean combinators.
+/// Anything else (arithmetic, `pos()`/`count()`, field-vs-field comparisons)
+/// falls back to the owned [`CompiledPredicate`] above the cursor.
+///
+/// Semantics match [`CompiledPredicate::matches`] exactly:
+/// [`FieldRef::compare_value`] mirrors [`Value::compare`], and `Value::compare`
+/// is antisymmetric, so literal-on-the-left comparisons are evaluated by
+/// reversing the field-vs-literal ordering.
+#[derive(Debug, Clone)]
+enum BorrowedPred {
+    True,
+    Cmp {
+        index: usize,
+        op: CmpOp,
+        literal: Value,
+        /// The literal was the *left* operand; reverse the ordering.
+        flipped: bool,
+    },
+    Range {
+        index: usize,
+        lo: Value,
+        hi: Value,
+    },
+    And(Vec<BorrowedPred>),
+    Or(Vec<BorrowedPred>),
+    Not(Box<BorrowedPred>),
+}
+
+impl BorrowedPred {
+    /// Compiles a positional predicate into borrowed form, or `None` when any
+    /// node needs owned evaluation.
+    fn compile(node: &CompiledCond) -> Option<BorrowedPred> {
+        match node {
+            CompiledCond::True => Some(BorrowedPred::True),
+            CompiledCond::Cmp { left, op, right } => match (left, right) {
+                (CompiledExpr::Field(i), CompiledExpr::Literal(v)) => Some(BorrowedPred::Cmp {
+                    index: *i,
+                    op: *op,
+                    literal: v.clone(),
+                    flipped: false,
+                }),
+                (CompiledExpr::Literal(v), CompiledExpr::Field(i)) => Some(BorrowedPred::Cmp {
+                    index: *i,
+                    op: *op,
+                    literal: v.clone(),
+                    flipped: true,
+                }),
+                _ => None,
+            },
+            CompiledCond::Range { index, lo, hi } => Some(BorrowedPred::Range {
+                index: *index,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            }),
+            CompiledCond::And(items) => items
+                .iter()
+                .map(BorrowedPred::compile)
+                .collect::<Option<Vec<_>>>()
+                .map(BorrowedPred::And),
+            CompiledCond::Or(items) => items
+                .iter()
+                .map(BorrowedPred::compile)
+                .collect::<Option<Vec<_>>>()
+                .map(BorrowedPred::Or),
+            CompiledCond::Not(inner) => {
+                BorrowedPred::compile(inner).map(|p| BorrowedPred::Not(Box::new(p)))
+            }
+        }
+    }
+
+    fn matches(&self, row: &[FieldRef<'_>]) -> Result<bool> {
+        match self {
+            BorrowedPred::True => Ok(true),
+            BorrowedPred::Cmp {
+                index,
+                op,
+                literal,
+                flipped,
+            } => {
+                let ord = row[*index].compare_value(literal)?;
+                let ord = if *flipped { ord.reverse() } else { ord };
+                Ok(op.matches(ord))
+            }
+            BorrowedPred::Range { index, lo, hi } => {
+                let v = &row[*index];
+                Ok(v.compare_value(lo)? != Ordering::Less
+                    && v.compare_value(hi)? != Ordering::Greater)
+            }
+            BorrowedPred::And(items) => {
+                for p in items {
+                    if !p.matches(row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            BorrowedPred::Or(items) => {
+                for p in items {
+                    if p.matches(row)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            BorrowedPred::Not(inner) => Ok(!inner.matches(row)?),
+        }
+    }
+}
+
+/// A windowed-aggregate fold running inside a cursor's borrowed decode loop:
+/// matching rows feed the accumulator as [`FieldRef`]s and are never
+/// materialized into the row buffer.
+struct CursorFold {
+    /// Index of the bucket field within the decoded compact refs.
+    bucket: usize,
+    /// Index of the value field within the decoded compact refs.
+    value: usize,
+    acc: WindowAccumulator,
+}
+
 /// Streams the decoded rows of one stored object, page by page (row and
 /// folded encodings) or block-chunk by block-chunk (column blocks).
 ///
@@ -252,10 +378,33 @@ struct ObjectCursor<'a> {
     templates: Vec<Value>,
     /// Raw column-block payloads awaiting a complete chunk.
     pending_blocks: VecDeque<Vec<u8>>,
+    /// Borrowed-frame decode is active: the object is row-encoded and the
+    /// pager is not in forced-copy mode, so records are decoded as
+    /// [`FieldRef`]s straight out of the shared page frame.
+    borrowed: bool,
+    /// Predicate pushed down into the borrowed decode loop (evaluated on
+    /// borrowed refs before anything is materialized).
+    borrowed_pred: Option<BorrowedPred>,
+    /// Projection pushed down into the borrowed loop: indices into the
+    /// compact refs. When set, rows in `buf` are final output rows.
+    out: Option<Vec<usize>>,
+    /// Rows in `buf` are already filtered and projected; the state above the
+    /// cursor must pass them through untouched.
+    finished: bool,
+    /// When set, matching rows are folded here instead of entering `buf`.
+    fold: Option<CursorFold>,
+    /// Fixed-offset decode plan compiled from the object's schema templates;
+    /// records matching the expected shape skip the generic varint walk.
+    fast: Option<FixedRowPlan>,
+    /// Reusable staging vector for the row-at-a-time borrowed refill (the
+    /// bulk drain writes past it, straight into the caller's output).
+    scratch: Vec<Record>,
 }
 
 impl<'a> ObjectCursor<'a> {
     fn new(obj: &'a StoredObject, needed: &[bool], templates: Vec<Value>) -> Result<Self> {
+        let borrowed =
+            matches!(obj.encoding, ObjectEncoding::Rows) && !obj.heap.pager().force_copy();
         let mut compact: Vec<usize> = match obj.encoding {
             // Folded groups are decoded whole anyway; keep every field.
             ObjectEncoding::Folded { .. } => (0..obj.fields.len()).collect(),
@@ -274,6 +423,11 @@ impl<'a> ObjectCursor<'a> {
             // least one column must be decoded even for zero-width outputs.
             compact.push(0);
         }
+        let fast = if borrowed {
+            FixedRowPlan::compile(&templates, &compact)
+        } else {
+            None
+        };
         Ok(ObjectCursor {
             pages: obj.heap.page_ids()?,
             obj,
@@ -282,7 +436,19 @@ impl<'a> ObjectCursor<'a> {
             compact,
             templates,
             pending_blocks: VecDeque::new(),
+            borrowed,
+            borrowed_pred: None,
+            out: None,
+            finished: false,
+            fold: None,
+            fast,
+            scratch: Vec::new(),
         })
+    }
+
+    /// Takes the accumulator of a completed in-cursor fold, if one ran.
+    fn take_fold(&mut self) -> Option<WindowAccumulator> {
+        self.fold.take().map(|f| f.acc)
     }
 
     fn next_row(&mut self) -> Result<Option<Record>> {
@@ -305,6 +471,13 @@ impl<'a> ObjectCursor<'a> {
                     return Ok(false);
                 };
                 self.next_page += 1;
+                if self.borrowed {
+                    return self.refill_rows_borrowed(page_id);
+                }
+                // Forced-copy mode: the legacy eager path — copy the page out
+                // of the store and decode every record into owned values
+                // before filtering. Kept as the A/B baseline and as the
+                // fallback when frames are unavailable.
                 let page = self.obj.heap.pager().read(page_id)?;
                 let reader = SlottedReader::new(&page);
                 for slot in 0..reader.slot_count() {
@@ -319,8 +492,8 @@ impl<'a> ObjectCursor<'a> {
                 };
                 self.next_page += 1;
                 let key_fields = *key_fields;
-                let page = self.obj.heap.pager().read(page_id)?;
-                let reader = SlottedReader::new(&page);
+                let frame = self.obj.heap.pager().read_frame(page_id)?;
+                let reader = SlottedReader::over(frame.data(), frame.id());
                 for slot in 0..reader.slot_count() {
                     let folded = decode_record(reader.get(slot)?)?;
                     let (key, nested) = split_folded(&folded, key_fields, &self.obj.name)?;
@@ -332,6 +505,155 @@ impl<'a> ObjectCursor<'a> {
             }
             ObjectEncoding::ColumnBlocks { .. } => self.refill_block_chunk(),
         }
+    }
+
+    /// The zero-copy hot loop: decodes each record of one shared page frame
+    /// into borrowed [`FieldRef`]s, evaluates the pushed-down predicate on
+    /// the refs, and only then pays for materialization — either building the
+    /// final projected row (strings/lists allocate only for survivors) or,
+    /// in fold mode, feeding the aggregate accumulator with no allocation at
+    /// all.
+    fn refill_rows_borrowed(&mut self, page_id: PageId) -> Result<bool> {
+        let mut rows = std::mem::take(&mut self.scratch);
+        rows.clear();
+        let res = self.refill_rows_borrowed_into(page_id, &mut rows);
+        self.buf.extend(rows.drain(..));
+        self.scratch = rows;
+        res.map(|()| true)
+    }
+
+    /// Bulk-drains a finished (already filtered and projected) cursor: rows
+    /// buffered by earlier `next_row` calls first, then every remaining page
+    /// decoded straight into `out` — the row buffer is bypassed entirely.
+    fn drain_finished_into(&mut self, out: &mut Vec<Record>) -> Result<()> {
+        debug_assert!(self.finished && self.borrowed);
+        out.extend(self.buf.drain(..));
+        while let Some(&page_id) = self.pages.get(self.next_page) {
+            self.next_page += 1;
+            self.refill_rows_borrowed_into(page_id, out)?;
+        }
+        Ok(())
+    }
+
+    /// The borrowed page decode, parameterized over the destination so the
+    /// bulk drain writes final rows with no intermediate buffer.
+    fn refill_rows_borrowed_into(&mut self, page_id: PageId, sink: &mut Vec<Record>) -> Result<()> {
+        let frame = self.obj.heap.pager().read_frame(page_id)?;
+        let reader = SlottedReader::over(frame.data(), frame.id());
+        let slots = reader.slot_count();
+        let compact = &self.compact;
+        let plan = self.fast.as_ref();
+        let mut refs: Vec<FieldRef<'_>> = Vec::with_capacity(compact.len());
+        // One record decode, shared by every mode below: the fixed-offset
+        // plan when the record matches the compiled shape, the generic
+        // varint walk otherwise.
+        macro_rules! decode_slot {
+            ($slot:expr) => {{
+                let bytes = reader.get($slot)?;
+                let fast = match plan {
+                    Some(p) => p.decode_borrowed(bytes, &mut refs)?,
+                    None => false,
+                };
+                if !fast {
+                    decode_fields_borrowed(bytes, compact, &mut refs)?;
+                }
+            }};
+        }
+        // The mode (filter, fold, plain materialize) is fixed for the whole
+        // object, so dispatch once per page — the slot loops stay branch-free.
+        if self.borrowed_pred.is_some() || self.fold.is_some() {
+            for slot in 0..slots {
+                decode_slot!(slot);
+                if let Some(pred) = &self.borrowed_pred {
+                    if !pred.matches(&refs)? {
+                        continue;
+                    }
+                }
+                if let Some(fold) = &mut self.fold {
+                    fold.acc.fold_refs(&refs[fold.bucket], &refs[fold.value]);
+                    continue;
+                }
+                let row: Record = match &self.out {
+                    Some(out) => {
+                        let mut row = Vec::with_capacity(out.len());
+                        for &i in out {
+                            row.push(refs[i].to_value()?);
+                        }
+                        row
+                    }
+                    None => {
+                        let mut row = Vec::with_capacity(refs.len());
+                        for r in &refs {
+                            row.push(r.to_value()?);
+                        }
+                        row
+                    }
+                };
+                sink.push(row);
+            }
+            return Ok(());
+        }
+        // No predicate, no fold: every record materializes — the full-scan
+        // hot path the frame-vs-copy A/B measures. With a plan, wanted
+        // fields decode straight to owned values at their fixed offsets in
+        // output order (no borrowed intermediate at all); shape deviants and
+        // plan-less objects take the borrowed walk plus materialization.
+        sink.reserve(slots);
+        if let Some(plan) = plan {
+            let offsets: Vec<u32> = match &self.out {
+                Some(out) => out.iter().map(|&i| plan.offsets()[i]).collect(),
+                None => plan.offsets().to_vec(),
+            };
+            for slot in 0..slots {
+                let bytes = reader.get(slot)?;
+                if let Some(row) = plan.decode_owned(bytes, &offsets)? {
+                    sink.push(row);
+                    continue;
+                }
+                decode_fields_borrowed(bytes, compact, &mut refs)?;
+                let row: Record = match &self.out {
+                    Some(out) => {
+                        let mut row = Vec::with_capacity(out.len());
+                        for &i in out {
+                            row.push(refs[i].to_value()?);
+                        }
+                        row
+                    }
+                    None => {
+                        let mut row = Vec::with_capacity(refs.len());
+                        for r in &refs {
+                            row.push(r.to_value()?);
+                        }
+                        row
+                    }
+                };
+                sink.push(row);
+            }
+            return Ok(());
+        }
+        match &self.out {
+            Some(out) => {
+                for slot in 0..slots {
+                    decode_slot!(slot);
+                    let mut row: Record = Vec::with_capacity(out.len());
+                    for &i in out {
+                        row.push(refs[i].to_value()?);
+                    }
+                    sink.push(row);
+                }
+            }
+            None => {
+                for slot in 0..slots {
+                    decode_slot!(slot);
+                    let mut row: Record = Vec::with_capacity(refs.len());
+                    for r in &refs {
+                        row.push(r.to_value()?);
+                    }
+                    sink.push(row);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn refill_block_chunk(&mut self) -> Result<bool> {
@@ -477,7 +799,22 @@ pub struct ScanIter<'a> {
     lsm_pred: Option<CompiledPredicate>,
     lsm_out: Vec<usize>,
     lsm_has_dup: bool,
+    /// Set while [`ScanIter::fold_windowed`] drives the scan: newly opened
+    /// cursors that fully absorb the predicate and projection fold in place
+    /// instead of yielding rows.
+    fold_spec: Option<FoldSpec>,
+    /// Accumulators harvested from exhausted in-cursor folds.
+    fold_acc: Option<WindowAccumulator>,
     done: bool,
+}
+
+/// Where the bucket and value fields of an active windowed fold live in the
+/// scan's output projection, plus the aggregate spec itself (needed to seed
+/// per-cursor accumulators).
+struct FoldSpec {
+    bucket_pos: usize,
+    value_pos: usize,
+    spec: WindowedAggregate,
 }
 
 impl<'a> ScanIter<'a> {
@@ -514,6 +851,8 @@ impl<'a> ScanIter<'a> {
             lsm_pred: None,
             lsm_out: Vec::new(),
             lsm_has_dup: false,
+            fold_spec: None,
+            fold_acc: None,
             done: false,
         };
         if let Some(lsm) = &layout.lsm {
@@ -589,6 +928,7 @@ impl<'a> ScanIter<'a> {
         self.lsm_cursor = 0;
         self.lsm_buf.clear();
         self.lsm_mem_pos = 0;
+        self.fold_acc = None;
         self.done = false;
         if let Some(indexed) = &mut self.indexed {
             indexed.next_batch = 0;
@@ -645,7 +985,7 @@ impl<'a> ScanIter<'a> {
             }
         }
         let templates = self.layout.templates_for(&obj.fields);
-        let cursor = ObjectCursor::new(obj, &needed, templates)?;
+        let mut cursor = ObjectCursor::new(obj, &needed, templates)?;
         // The cursor yields compact rows; rebind names to compact positions.
         let compact_names: Vec<String> = cursor
             .compact
@@ -665,6 +1005,30 @@ impl<'a> ScanIter<'a> {
         let identity = out_positions.len() == compact_names.len()
             && out_positions.iter().enumerate().all(|(i, &p)| i == p);
         let has_dup = has_duplicates(&out_positions);
+        if cursor.borrowed {
+            // Push the predicate and projection down into the borrowed decode
+            // loop when the predicate (if any) compiles to borrowed form, so
+            // rows that fail the filter never materialize a single value.
+            let pushed = match &predicate {
+                None => Some(None),
+                Some(p) => BorrowedPred::compile(&p.node).map(Some),
+            };
+            if let Some(pred) = pushed {
+                cursor.borrowed_pred = pred;
+                cursor.finished = true;
+                if let Some(fs) = &self.fold_spec {
+                    // Aggregate pushdown: fold inside the page loop instead
+                    // of materializing projected rows.
+                    cursor.fold = Some(CursorFold {
+                        bucket: out_positions[fs.bucket_pos],
+                        value: out_positions[fs.value_pos],
+                        acc: WindowAccumulator::new(&fs.spec),
+                    });
+                } else {
+                    cursor.out = Some(out_positions.clone());
+                }
+            }
+        }
         Ok(ObjectState {
             cursor,
             predicate,
@@ -757,8 +1121,8 @@ impl<'a> ScanIter<'a> {
                 "index references page ordinal {page_ord} beyond object {obj_idx}"
             ))
         })?;
-        let page = layout.objects[obj_idx].heap.pager().read(page_id)?;
-        let reader = SlottedReader::new(&page);
+        let frame = layout.objects[obj_idx].heap.pager().read_frame(page_id)?;
+        let reader = SlottedReader::over(frame.data(), frame.id());
         let mut decoded = Vec::with_capacity(slots.len());
         for &slot in slots {
             let mut row = decode_record_projected(reader.get(slot)?, &st.compact)?;
@@ -789,10 +1153,22 @@ impl<'a> ScanIter<'a> {
             let state = self.current.as_mut().expect("object state opened above");
             match state.cursor.next_row()? {
                 None => {
+                    // Harvest the accumulator of an in-cursor fold before the
+                    // state is dropped; `fold_windowed` merges it at the end.
+                    if let Some(harvest) = state.cursor.take_fold() {
+                        match &mut self.fold_acc {
+                            Some(acc) => acc.absorb(harvest),
+                            None => self.fold_acc = Some(harvest),
+                        }
+                    }
                     self.current = None;
                     self.obj_cursor += 1;
                 }
                 Some(mut row) => {
+                    if state.cursor.finished {
+                        // The cursor already filtered and projected.
+                        return Ok(Some(row));
+                    }
                     if let Some(pred) = &state.predicate {
                         if !pred.matches(&row)? {
                             continue;
@@ -805,6 +1181,105 @@ impl<'a> ScanIter<'a> {
                 }
             }
         }
+    }
+
+    /// Collects every remaining row. Result-equivalent to
+    /// `collect::<Result<Vec<_>>>()`, but cursors that already filtered and
+    /// projected their rows inside the page decode loop (the borrowed-frame
+    /// pushdown path) are emptied page-at-a-time instead of pumping the
+    /// row-at-a-time iterator protocol — the streaming machinery runs once
+    /// per page, not once per row.
+    pub fn collect_rows(mut self) -> Result<Vec<Record>> {
+        if self.done || self.buffered.is_some() || self.indexed.is_some() {
+            return self.collect();
+        }
+        let mut out = Vec::new();
+        self.drain_streamed_into(&mut out)?;
+        while let Some(row) = self.next_lsm()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Drains the streamed (non-indexed, non-buffered) path into `out`.
+    /// Finished cursors — the borrowed-frame pushdown path, whose page loop
+    /// already filtered, projected, and materialized — decode every page
+    /// straight into `out`. Anything else (forced-copy cursors, predicates
+    /// that did not compile to borrowed form) streams through the same
+    /// row-at-a-time protocol the iterator uses.
+    fn drain_streamed_into(&mut self, out: &mut Vec<Record>) -> Result<()> {
+        loop {
+            if self.current.is_none() {
+                let Some(&obj_index) = self.selected.get(self.obj_cursor) else {
+                    return Ok(());
+                };
+                self.current = Some(self.open_object(obj_index)?);
+            }
+            let state = self.current.as_mut().expect("object state opened above");
+            if state.cursor.finished {
+                state.cursor.drain_finished_into(out)?;
+                if let Some(harvest) = state.cursor.take_fold() {
+                    match &mut self.fold_acc {
+                        Some(acc) => acc.absorb(harvest),
+                        None => self.fold_acc = Some(harvest),
+                    }
+                }
+                self.current = None;
+                self.obj_cursor += 1;
+                continue;
+            }
+            // The current cursor needs the outer filter/project; let the
+            // row-at-a-time machinery run it (it re-enters this loop's fast
+            // path once the next finished cursor opens).
+            match self.next_streamed()? {
+                Some(row) => out.push(row),
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Exhausts the scan, folding every matching row into fixed-width
+    /// buckets. The bucket and value fields must be part of the scan's
+    /// projection. On the borrowed-frame row path the fold runs inside the
+    /// page decode loop (`ObjectCursor::refill_rows_borrowed`) and no
+    /// output row is ever allocated; every other path (column blocks,
+    /// vertical stitches, index probes, levelled runs, memtables) folds the
+    /// rows it would have yielded. Terminal: the iterator is left exhausted.
+    pub fn fold_windowed(&mut self, spec: &WindowedAggregate) -> Result<WindowAccumulator> {
+        spec.validate()?;
+        let position = |field: &str| {
+            self.out_fields
+                .iter()
+                .position(|f| f == field)
+                .ok_or_else(|| {
+                    LayoutError::Unsupported(format!(
+                        "windowed aggregate field `{field}` is not in the scan projection"
+                    ))
+                })
+        };
+        let fs = FoldSpec {
+            bucket_pos: position(&spec.bucket_field)?,
+            value_pos: position(&spec.value_field)?,
+            spec: spec.clone(),
+        };
+        let (bucket_pos, value_pos) = (fs.bucket_pos, fs.value_pos);
+        self.fold_spec = Some(fs);
+        let mut acc = WindowAccumulator::new(spec);
+        loop {
+            match self.next() {
+                Some(Ok(row)) => acc.fold_values(&row[bucket_pos], &row[value_pos]),
+                Some(Err(e)) => {
+                    self.fold_spec = None;
+                    return Err(e);
+                }
+                None => break,
+            }
+        }
+        self.fold_spec = None;
+        if let Some(harvest) = self.fold_acc.take() {
+            acc.absorb(harvest);
+        }
+        Ok(acc)
     }
 
     /// Continues the scan through the levelled tier after the base objects
@@ -1035,6 +1510,96 @@ mod tests {
             let a = r[0].as_i64().unwrap();
             (30..60).contains(&a) && r[1].as_str() == Some(&format!("row-{a}"))
         }));
+    }
+
+    #[test]
+    fn borrowed_and_forced_copy_paths_agree() {
+        let provider = MemTableProvider::single(schema(), records(150));
+        let pager = Arc::new(Pager::in_memory_with_page_size(512));
+        let layout = render(
+            &LayoutExpr::table("T"),
+            &provider,
+            Arc::clone(&pager),
+            RenderOptions::default(),
+        )
+        .unwrap();
+        let fields = vec!["name".to_string(), "a".to_string()];
+        let preds = [
+            None,
+            Some(Condition::range("a", 10i64, 120i64)),
+            Some(Condition::eq("name", "row-42")),
+            Some(Condition::Or(vec![
+                Condition::eq("a", 3i64),
+                Condition::Not(Box::new(Condition::range("v", 0.0, 30.0))),
+            ])),
+        ];
+        for pred in &preds {
+            assert!(!pager.force_copy());
+            let borrowed = layout.scan(Some(&fields), pred.as_ref()).unwrap();
+            pager.set_force_copy(true);
+            let copied = layout.scan(Some(&fields), pred.as_ref()).unwrap();
+            pager.set_force_copy(false);
+            assert_eq!(borrowed, copied, "{pred:?}");
+            assert!(!borrowed.is_empty());
+        }
+    }
+
+    #[test]
+    fn non_borrowable_predicates_fall_back_to_owned_eval() {
+        // `pos()` needs positional context, so the predicate cannot be pushed
+        // into the borrowed loop; the scan must still produce correct rows.
+        let layout = rendered(LayoutExpr::table("T"), 50);
+        let pred = Condition::Cmp {
+            left: ElemExpr::Field("a".into()),
+            op: CmpOp::Eq,
+            right: ElemExpr::Pos,
+        };
+        let rows = layout.scan(None, Some(&pred)).unwrap();
+        // Every row satisfies a == pos()... except pos() is evaluated with
+        // context zero in scans, so only the row with a == 0 survives.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn fold_windowed_matches_reference_fold_across_encodings() {
+        use crate::aggregate::WindowedAggregate;
+        for expr in [
+            LayoutExpr::table("T"),
+            LayoutExpr::table("T").columns(["a", "name", "v"]),
+            LayoutExpr::table("T").vertical([vec!["a", "v"], vec!["name"]]),
+        ] {
+            let layout = rendered(expr, 120);
+            let spec = WindowedAggregate::new("a", 16.0, "v");
+            let pred = Condition::range("a", 8i64, 99i64);
+            for pred in [None, Some(&pred)] {
+                let got = layout.scan_aggregate(&spec, pred).unwrap();
+                // Reference: fold the rows an ordinary scan yields.
+                let fields = vec!["a".to_string(), "v".to_string()];
+                let rows = layout.scan(Some(&fields), pred).unwrap();
+                let mut want = WindowAccumulator::new(&spec);
+                for row in &rows {
+                    want.fold_values(&row[0], &row[1]);
+                }
+                assert_eq!(got.rows_folded(), want.rows_folded());
+                assert_eq!(got.rows_folded(), rows.len() as u64);
+                assert_eq!(got.finish(), want.finish());
+            }
+        }
+    }
+
+    #[test]
+    fn fold_windowed_with_bucket_equal_to_value() {
+        let layout = rendered(LayoutExpr::table("T"), 40);
+        let spec = WindowedAggregate::new("a", 10.0, "a");
+        let acc = layout.scan_aggregate(&spec, None).unwrap();
+        assert_eq!(acc.rows_folded(), 40);
+        let rows = acc.finish();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].count, 10);
+        assert_eq!(rows[0].sum, 45.0); // 0 + 1 + ... + 9
+        assert_eq!(rows[3].min, 30.0);
+        assert_eq!(rows[3].max, 39.0);
     }
 
     #[test]

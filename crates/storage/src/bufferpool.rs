@@ -6,6 +6,10 @@
 //! how a real storage manager amortizes hot pages. Dirty pages are written
 //! back on eviction or on [`BufferPool::flush_all`].
 //!
+//! Residents are stored as shared immutable [`PageFrame`]s, so a cache hit
+//! is a reference-count bump — page bytes are never cloned on a hit, even
+//! when the pager is on the legacy copying read path.
+//!
 //! Recency is tracked with an intrusive doubly-linked list kept in a slab
 //! (`Vec` of nodes + free list), the classic linked-hash-map scheme: every
 //! `get`/`put` relinks one node and every eviction pops the list tail, so
@@ -14,6 +18,7 @@
 //! O(n) per hit, which dominated scans the moment pools grew past a few
 //! hundred pages.)
 
+use crate::frame::PageFrame;
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::stats::IoStats;
@@ -25,7 +30,7 @@ use std::sync::Arc;
 const NIL: usize = usize::MAX;
 
 struct Frame {
-    page: Arc<Page>,
+    frame: PageFrame,
     dirty: bool,
     /// Index of this frame's node in the recency list slab.
     node: usize,
@@ -190,37 +195,40 @@ impl BufferPool {
         self.state.lock().frames.contains_key(&id)
     }
 
-    /// Fetches a page, serving it from the cache when possible.
-    pub fn get(&self, id: PageId) -> Result<Arc<Page>> {
+    /// Fetches a page, serving it from the cache when possible. A hit
+    /// returns a clone of the cached frame — no byte copies.
+    pub fn get(&self, id: PageId) -> Result<PageFrame> {
         let mut state = self.state.lock();
         if let Some(frame) = state.frames.get(&id) {
-            let page = Arc::clone(&frame.page);
+            let page = frame.frame.clone();
             let node = frame.node;
             state.lru.touch(node);
             self.pager.stats().record_cache_hit();
             return Ok(page);
         }
         self.pager.stats().record_cache_miss();
-        let page = Arc::new(self.pager.read(id)?);
-        self.insert_frame(&mut state, id, Arc::clone(&page), false)?;
-        Ok(page)
+        let frame = self.pager.read_frame(id)?;
+        self.insert_frame(&mut state, id, frame.clone(), false)?;
+        Ok(frame)
     }
 
     /// Allocates a fresh page and caches it (dirty) without an immediate
     /// write-back.
-    pub fn allocate(&self) -> Result<Arc<Page>> {
-        let page = Arc::new(self.pager.allocate()?);
+    pub fn allocate(&self) -> Result<PageFrame> {
+        let page = self.pager.allocate()?;
+        let frame = PageFrame::copied(page.id, page.data);
         let mut state = self.state.lock();
-        self.insert_frame(&mut state, page.id, Arc::clone(&page), true)?;
-        Ok(page)
+        self.insert_frame(&mut state, frame.id(), frame.clone(), true)?;
+        Ok(frame)
     }
 
     /// Replaces the cached contents of a page and marks it dirty. The page is
     /// written back on eviction or flush.
     pub fn put(&self, page: Page) -> Result<()> {
         let id = page.id;
+        let frame = PageFrame::copied(id, page.data);
         let mut state = self.state.lock();
-        self.insert_frame(&mut state, id, Arc::new(page), true)
+        self.insert_frame(&mut state, id, frame, true)
     }
 
     /// Writes every dirty page back to the pager.
@@ -234,7 +242,7 @@ impl BufferPool {
             .collect();
         for id in ids {
             if let Some(frame) = state.frames.get_mut(&id) {
-                self.pager.write(&frame.page)?;
+                self.pager.write_raw(id, frame.frame.data())?;
                 frame.dirty = false;
             }
         }
@@ -254,11 +262,11 @@ impl BufferPool {
         &self,
         state: &mut PoolState,
         id: PageId,
-        page: Arc<Page>,
+        frame: PageFrame,
         dirty: bool,
     ) -> Result<()> {
         if let Some(existing) = state.frames.get_mut(&id) {
-            existing.page = page;
+            existing.frame = frame;
             existing.dirty = existing.dirty || dirty;
             let node = existing.node;
             state.lru.touch(node);
@@ -268,14 +276,14 @@ impl BufferPool {
             let Some(victim) = state.lru.pop_lru() else {
                 break;
             };
-            if let Some(frame) = state.frames.remove(&victim) {
-                if frame.dirty {
-                    self.pager.write(&frame.page)?;
+            if let Some(evicted) = state.frames.remove(&victim) {
+                if evicted.dirty {
+                    self.pager.write_raw(victim, evicted.frame.data())?;
                 }
             }
         }
         let node = state.lru.push_mru(id);
-        state.frames.insert(id, Frame { page, dirty, node });
+        state.frames.insert(id, Frame { frame, dirty, node });
         Ok(())
     }
 
@@ -328,7 +336,7 @@ impl ShardedBufferPool {
     }
 
     /// Fetches a page through its shard, serving from cache when possible.
-    pub fn get(&self, id: PageId) -> Result<Arc<Page>> {
+    pub fn get(&self, id: PageId) -> Result<PageFrame> {
         self.shard(id).get(id)
     }
 
@@ -391,6 +399,26 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_the_cached_frame_bytes() {
+        let (pager, pool) = make_pool(4);
+        let id = pager.allocate_with(|p| p.write_bytes(0, b"shared")).unwrap();
+        let a = pool.get(id).unwrap();
+        let b = pool.get(id).unwrap();
+        assert_eq!(
+            a.data().as_ptr(),
+            b.data().as_ptr(),
+            "hits alias the resident frame instead of cloning bytes"
+        );
+        assert!(!a.is_copied(), "memory store serves zero-copy frames");
+        // Even with the pager forced onto the copying path, the *hit* still
+        // shares the frame cached at miss time.
+        pager.set_force_copy(true);
+        let c = pool.get(id).unwrap();
+        assert_eq!(a.data().as_ptr(), c.data().as_ptr());
+        pager.set_force_copy(false);
+    }
+
+    #[test]
     fn eviction_respects_lru_order_and_writes_back_dirty_pages() {
         let (pager, pool) = make_pool(2);
         let a = pager.allocate_with(|_| Ok(())).unwrap();
@@ -418,7 +446,7 @@ mod tests {
     fn flush_all_persists_dirty_pages() {
         let (pager, pool) = make_pool(8);
         let page = pool.allocate().unwrap();
-        let id = page.id;
+        let id = page.id();
         let mut updated = Page::zeroed(id, 128);
         updated.write_bytes(0, b"flushed").unwrap();
         pool.put(updated).unwrap();
@@ -538,7 +566,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..2_000usize {
                         let id = ids[(i * 7 + t) % ids.len()];
-                        assert_eq!(pool.get(id).unwrap().id, id);
+                        assert_eq!(pool.get(id).unwrap().id(), id);
                     }
                 })
             })

@@ -340,8 +340,8 @@ impl HeapFile {
             return Err(StorageError::PageNotFound(id.page_index as PageId));
         };
         drop(state);
-        let page = self.pager.read(page_id)?;
-        let reader = SlottedReader::new(&page);
+        let frame = self.pager.read_frame(page_id)?;
+        let reader = SlottedReader::over(frame.data(), frame.id());
         Ok(reader.get(id.slot)?.to_vec())
     }
 
@@ -352,8 +352,8 @@ impl HeapFile {
         self.flush()?;
         let pages = self.extent();
         for (page_index, page_id) in pages.iter().enumerate() {
-            let page = self.pager.read(*page_id)?;
-            let reader = SlottedReader::new(&page);
+            let frame = self.pager.read_frame(*page_id)?;
+            let reader = SlottedReader::over(frame.data(), frame.id());
             for slot in 0..reader.slot_count() {
                 let payload = reader.get(slot)?;
                 visit(RecordId { page_index, slot }, payload)?;
@@ -387,8 +387,8 @@ impl HeapFile {
             let Some(&page_id) = pages.get(page_index) else {
                 return Err(StorageError::PageNotFound(page_index as PageId));
             };
-            let page = self.pager.read(page_id)?;
-            let reader = SlottedReader::new(&page);
+            let frame = self.pager.read_frame(page_id)?;
+            let reader = SlottedReader::over(frame.data(), frame.id());
             for slot in 0..reader.slot_count() {
                 let payload = reader.get(slot)?;
                 visit(RecordId { page_index, slot }, payload)?;

@@ -1,0 +1,255 @@
+//! Read-only memory mapping of the data file.
+//!
+//! The zero-copy read path serves page frames straight out of a `MAP_SHARED`
+//! read-only mapping of the data file instead of copying every page through
+//! a `read(2)` buffer. The mapping is advisory: any failure to map (platform
+//! without `mmap`, exotic filesystem, resource limits) silently falls back to
+//! the copying read path, so correctness never depends on this module.
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! root is `#![deny(unsafe_code)]`); it is kept deliberately tiny — one
+//! syscall pair and one slice construction — and the safety argument lives
+//! next to each `unsafe` block.
+//!
+//! Safety contract for callers (upheld by `FileStore` and documented in
+//! ARCHITECTURE.md): a [`Mapping`] slice must only be dereferenced at byte
+//! ranges that lie within the file's current length. RodentStore only
+//! truncates `data.rodent` at a checkpoint, and only over quarantined pages
+//! that no reader can still reference (the epoch retired set plus the lsm
+//! relocation tokens guarantee this), so frames handed out for live pages
+//! always point below any future truncation point.
+
+pub use imp::Mapping;
+
+/// Whether this build can serve mmap-backed frames at all. On platforms
+/// where the raw `mmap` shim is not compiled in, `FileStore` silently uses
+/// the copying read path regardless of configuration.
+pub fn mmap_supported() -> bool {
+    imp::SUPPORTED
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[allow(unsafe_code)]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    pub(super) const SUPPORTED: bool = true;
+
+    const PROT_READ: c_int = 1;
+    const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only, shared mapping of the first `len` bytes of a file.
+    ///
+    /// The mapping observes later `write(2)`s to the file through the
+    /// kernel's unified page cache, exactly like a fresh `read(2)` would.
+    /// It is unmapped when the last `Arc<Mapping>` clone drops, so frames
+    /// that outlive a remap keep their backing bytes alive.
+    pub struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable from this process (PROT_READ) and the
+    // pointer refers to kernel-managed memory that is valid until `munmap`
+    // in `Drop`; sharing the slice between threads is no different from
+    // sharing any `&[u8]`.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the first `len` bytes of `file` read-only and shared.
+        pub fn of_file(file: &File, len: usize) -> io::Result<Mapping> {
+            if len == 0 {
+                return Ok(Mapping {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: a fresh anonymous address (addr = NULL), a validated fd,
+            // and offset 0; the kernel either returns a valid mapping of
+            // exactly `len` bytes or MAP_FAILED (-1), which we turn into an
+            // io::Error without ever dereferencing it.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        /// Length of the mapped region in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the mapping is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// The mapped bytes. Callers must only index ranges that are within
+        /// the file's current length (see the module-level safety contract).
+        pub fn data(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (established in `of_file`, released only in `Drop`).
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: `ptr`/`len` came from a successful mmap and are
+                // unmapped exactly once.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Mapping {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mapping").field("len", &self.len).finish()
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+
+    pub(super) const SUPPORTED: bool = false;
+
+    /// Stub mapping for platforms without the mmap shim; never constructed
+    /// (`of_file` always fails), so the copying read path is always taken.
+    #[derive(Debug)]
+    pub struct Mapping {
+        _private: (),
+    }
+
+    impl Mapping {
+        /// Always fails on this platform; `FileStore` falls back to copies.
+        pub fn of_file(_file: &File, _len: usize) -> io::Result<Mapping> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is not supported on this platform",
+            ))
+        }
+
+        /// Length of the mapped region (always zero for the stub).
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        /// Whether the mapping is empty (always true for the stub).
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        /// The mapped bytes (always empty for the stub).
+        pub fn data(&self) -> &[u8] {
+            &[]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn mapping_mirrors_file_bytes() {
+        if !mmap_supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!(
+            "rodentstore-mmap-test-{}.bin",
+            std::process::id()
+        ));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"mapped bytes").unwrap();
+        file.sync_data().unwrap();
+        let map = Mapping::of_file(&file, 12).unwrap();
+        assert_eq!(map.data(), b"mapped bytes");
+        assert_eq!(map.len(), 12);
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_mapping_is_allowed() {
+        if !mmap_supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!(
+            "rodentstore-mmap-empty-{}.bin",
+            std::process::id()
+        ));
+        let file = std::fs::File::create(&path).unwrap();
+        let map = Mapping::of_file(&file, 0).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.data(), b"");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapping_sees_writes_through_the_page_cache() {
+        if !mmap_supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!(
+            "rodentstore-mmap-coherent-{}.bin",
+            std::process::id()
+        ));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"aaaa").unwrap();
+        let map = Mapping::of_file(&file, 4).unwrap();
+        assert_eq!(map.data(), b"aaaa");
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(0)).unwrap();
+        file.write_all(b"bbbb").unwrap();
+        assert_eq!(map.data(), b"bbbb", "MAP_SHARED observes write(2)");
+        let _ = std::fs::remove_file(&path);
+    }
+}

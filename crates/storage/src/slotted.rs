@@ -126,48 +126,76 @@ impl<'a> SlottedPage<'a> {
     }
 }
 
-/// Read-only helpers that work on an immutable page reference (the common
-/// path when scanning through the buffer pool).
+/// Read-only helpers over an immutable view of a slotted page's bytes.
+///
+/// The reader is backed by a plain byte slice, so it works equally over an
+/// owned [`Page`] ([`SlottedReader::new`]) and over borrowed frame bytes
+/// ([`SlottedReader::over`]) — the zero-copy scan path decodes records
+/// straight out of a [`crate::frame::PageFrame`] without ever constructing
+/// a `Page`.
 #[derive(Debug, Clone, Copy)]
 pub struct SlottedReader<'a> {
-    page: &'a Page,
+    data: &'a [u8],
+    /// Page id carried for error reporting only.
+    page: crate::page::PageId,
 }
 
 impl<'a> SlottedReader<'a> {
     /// Wraps an initialized slotted page for reading.
     pub fn new(page: &'a Page) -> SlottedReader<'a> {
-        SlottedReader { page }
+        SlottedReader {
+            data: &page.data,
+            page: page.id,
+        }
+    }
+
+    /// Wraps the raw bytes of an initialized slotted page (e.g. a frame's
+    /// contents); `page` is used only in error values.
+    pub fn over(data: &'a [u8], page: crate::page::PageId) -> SlottedReader<'a> {
+        SlottedReader { data, page }
+    }
+
+    fn read_u32(&self, offset: usize) -> Result<u32> {
+        match self.data.get(offset..offset + 4) {
+            Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            None => Err(StorageError::OutOfBounds {
+                offset,
+                len: 4,
+                page_size: self.data.len(),
+            }),
+        }
     }
 
     /// Number of records in the page.
     pub fn slot_count(&self) -> usize {
-        self.page.read_u32(0).unwrap_or(0) as usize
+        self.read_u32(0).unwrap_or(0) as usize
     }
 
     /// Reads the record stored in `slot`.
     pub fn get(&self, slot: usize) -> Result<&'a [u8]> {
         if slot >= self.slot_count() {
             return Err(StorageError::SlotNotFound {
-                page: self.page.id,
+                page: self.page,
                 slot,
             });
         }
         let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
-        let offset = self.page.read_u32(slot_offset)? as usize;
-        let len = self.page.read_u32(slot_offset + 4)? as usize;
-        self.page.read_bytes(offset, len)
+        let offset = self.read_u32(slot_offset)? as usize;
+        let len = self.read_u32(slot_offset + 4)? as usize;
+        self.data
+            .get(offset..offset + len)
+            .ok_or(StorageError::OutOfBounds {
+                offset,
+                len,
+                page_size: self.data.len(),
+            })
     }
 
     /// Iterates over all records in slot order.
     pub fn records(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
         let count = self.slot_count();
-        let page = self.page;
-        (0..count).filter_map(move |slot| {
-            let slot_offset = HEADER_SIZE + slot * SLOT_SIZE;
-            let offset = page.read_u32(slot_offset).ok()? as usize;
-            let len = page.read_u32(slot_offset + 4).ok()? as usize;
-            page.read_bytes(offset, len).ok()
-        })
+        let this = *self;
+        (0..count).filter_map(move |slot| this.get(slot).ok())
     }
 }
 
@@ -231,6 +259,28 @@ mod tests {
         assert!(reader.get(2).is_err());
         let all: Vec<&[u8]> = reader.records().collect();
         assert_eq!(all, vec![b"one".as_ref(), b"two".as_ref()]);
+    }
+
+    #[test]
+    fn reader_over_raw_bytes_matches_page_reader() {
+        let mut page = Page::zeroed(3, 256);
+        {
+            let mut sp = SlottedPage::init(&mut page).unwrap();
+            sp.insert(b"frame").unwrap();
+            sp.insert(b"bytes").unwrap();
+        }
+        let reader = SlottedReader::over(&page.data, page.id);
+        assert_eq!(reader.slot_count(), 2);
+        assert_eq!(reader.get(0).unwrap(), b"frame");
+        assert_eq!(reader.get(1).unwrap(), b"bytes");
+        assert!(matches!(
+            reader.get(2),
+            Err(StorageError::SlotNotFound { page: 3, slot: 2 })
+        ));
+        // A truncated view is rejected with a bounds error, not a panic.
+        let short = SlottedReader::over(&page.data[..4], page.id);
+        assert_eq!(short.slot_count(), 2);
+        assert!(short.get(0).is_err());
     }
 
     #[test]

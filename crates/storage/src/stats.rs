@@ -13,6 +13,8 @@
 //! Counters are atomic so a single `IoStats` can be shared (via `Arc`)
 //! between the pager, the buffer pool, and measurement code without locking.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,6 +28,8 @@ pub struct IoStats {
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    frame_hits: AtomicU64,
+    frame_copies: AtomicU64,
 }
 
 /// A point-in-time copy of the counters; two snapshots can be subtracted to
@@ -46,6 +50,10 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Buffer-pool misses.
     pub cache_misses: u64,
+    /// Page accesses served as shared frames without copying the bytes.
+    pub frame_hits: u64,
+    /// Page accesses that copied the page bytes out of the store.
+    pub frame_copies: u64,
 }
 
 impl IoSnapshot {
@@ -59,6 +67,8 @@ impl IoSnapshot {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            frame_hits: self.frame_hits.saturating_sub(earlier.frame_hits),
+            frame_copies: self.frame_copies.saturating_sub(earlier.frame_copies),
         }
     }
 
@@ -107,6 +117,16 @@ impl IoStats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a page access served as a frame; `copied` distinguishes the
+    /// copy fallback from a zero-copy shared/mapped frame.
+    pub fn record_frame(&self, copied: bool) {
+        if copied {
+            self.frame_copies.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.frame_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -117,6 +137,8 @@ impl IoStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            frame_hits: self.frame_hits.load(Ordering::Relaxed),
+            frame_copies: self.frame_copies.load(Ordering::Relaxed),
         }
     }
 
@@ -129,6 +151,8 @@ impl IoStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.frame_hits.store(0, Ordering::Relaxed);
+        self.frame_copies.store(0, Ordering::Relaxed);
     }
 
     /// Total pages read so far.
@@ -145,6 +169,72 @@ impl IoStats {
     pub fn seeks(&self) -> u64 {
         self.seeks.load(Ordering::Relaxed)
     }
+}
+
+thread_local! {
+    /// Stack of per-operation counter sets for the current thread. The pager
+    /// mirrors every access into each entry, so a scope sees exactly the I/O
+    /// performed by its own thread while it is alive.
+    static OP_STACK: RefCell<Vec<Arc<IoStats>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard attributing this thread's I/O to a private counter set.
+///
+/// While the guard is alive, every page access the current thread performs
+/// through a [`crate::pager::Pager`] is recorded into [`OpStatsScope::stats`]
+/// *in addition to* the pager's shared counters. Concurrent threads never
+/// bleed into the scope, which makes per-scan attribution (the
+/// `calibration.<table>.*` metrics) exact under load — unlike diffing the
+/// pager's global counters around the operation.
+///
+/// Scopes nest: an inner scope's I/O is also visible to enclosing scopes.
+/// One caveat carries over from the global counters: *seek* detection
+/// compares against the pager's process-wide last-read page, so the scope's
+/// `seeks` count is exact only when no other thread interleaves reads on the
+/// same pager. Page and byte counts are always exact.
+pub struct OpStatsScope {
+    stats: Arc<IoStats>,
+    // Dropping on a different thread would pop the wrong thread's stack;
+    // keep the guard thread-local by construction.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl OpStatsScope {
+    /// Pushes a fresh, zeroed counter set for the current thread.
+    pub fn enter() -> OpStatsScope {
+        let stats = IoStats::new_shared();
+        OP_STACK.with(|stack| stack.borrow_mut().push(Arc::clone(&stats)));
+        OpStatsScope {
+            stats,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The counters accumulated by this scope so far.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+impl Drop for OpStatsScope {
+    fn drop(&mut self) {
+        OP_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.stats)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Applies `record` to every active per-operation scope on this thread.
+/// Called by the pager next to each update of its shared counters.
+pub(crate) fn with_op_stats(record: impl Fn(&IoStats)) {
+    OP_STACK.with(|stack| {
+        for stats in stack.borrow().iter() {
+            record(stats);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -208,5 +298,39 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn frame_counters_split_hits_and_copies() {
+        let stats = IoStats::default();
+        stats.record_frame(false);
+        stats.record_frame(false);
+        stats.record_frame(true);
+        let s = stats.snapshot();
+        assert_eq!(s.frame_hits, 2);
+        assert_eq!(s.frame_copies, 1);
+    }
+
+    #[test]
+    fn op_scopes_nest_and_stay_thread_local() {
+        let outer = OpStatsScope::enter();
+        with_op_stats(|s| s.record_read(10, false));
+        {
+            let inner = OpStatsScope::enter();
+            with_op_stats(|s| s.record_read(10, true));
+            assert_eq!(inner.stats().snapshot().pages_read, 1);
+        }
+        with_op_stats(|s| s.record_read(10, true));
+        assert_eq!(outer.stats().snapshot().pages_read, 3);
+
+        // A scope on another thread never sees this thread's I/O.
+        let handle = std::thread::spawn(|| {
+            let scope = OpStatsScope::enter();
+            with_op_stats(|s| s.record_read(7, false));
+            scope.stats().snapshot().pages_read
+        });
+        with_op_stats(|s| s.record_read(10, true));
+        assert_eq!(handle.join().unwrap(), 1);
+        assert_eq!(outer.stats().snapshot().pages_read, 4);
     }
 }

@@ -11,6 +11,10 @@
 //!   regions covering 1% of the area.
 //! * [`sales`] — the OLAP-style sales relation from the paper's introduction
 //!   (`zorder(grid[y, z](N))` example).
+//! * [`telemetry`] — an append-heavy sensor stream
+//!   (`Telemetry(ts, sensor, value, status, seq)`) whose columns exercise the
+//!   delta, RLE, and frame-of-reference codecs and whose queries are windowed
+//!   aggregates over time buckets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,7 +22,9 @@
 pub mod cartel;
 pub mod queries;
 pub mod sales;
+pub mod telemetry;
 
 pub use cartel::{generate_traces, traces_schema, BoundingBox, CartelConfig};
 pub use queries::{figure2_queries, random_square_queries, SpatialQuery};
 pub use sales::{generate_sales, sales_schema, SalesConfig};
+pub use telemetry::{generate_telemetry, telemetry_schema, TelemetryConfig};

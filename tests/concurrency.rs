@@ -357,6 +357,7 @@ fn restart_restores_policy_cost_params_and_free_list() {
             rodentstore::DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::GroupDurable,
+                ..rodentstore::DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -430,6 +431,7 @@ fn checkpointed_extents_survive_unlogged_rebuilds_until_next_checkpoint() {
             rodentstore::DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..rodentstore::DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -476,6 +478,7 @@ fn concurrent_durable_inserts_all_recover() {
                 rodentstore::DurabilityOptions {
                     page_size: 1024,
                     sync: SyncPolicy::GroupDurable,
+                    ..rodentstore::DurabilityOptions::default()
                 },
             )
             .unwrap(),
@@ -611,6 +614,7 @@ fn per_table_registry_round_trips_through_checkpoint_and_open() {
             rodentstore::DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::GroupDurable,
+                ..rodentstore::DurabilityOptions::default()
             },
         )
         .unwrap();

@@ -64,6 +64,7 @@ fn create_checkpoint_reopen_round_trips_rows_and_layout() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::GroupCommit(8),
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -121,6 +122,7 @@ fn wal_replay_recovers_unchekpointed_mutations() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -172,6 +174,7 @@ fn kill_at_every_wal_byte_truncation_point_recovers_committed_prefix() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -260,6 +263,7 @@ fn adapted_layout_and_profile_survive_restart_without_rerender() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::GroupCommit(16),
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -353,6 +357,7 @@ fn pending_buffer_and_strategy_survive_restart() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -407,6 +412,7 @@ fn drop_table_and_multiple_tables_replay_correctly() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -446,6 +452,7 @@ fn failed_mutations_do_not_poison_recovery() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -489,6 +496,7 @@ fn failed_apply_layout_keeps_the_previous_layout_live_and_recovered() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -599,6 +607,7 @@ fn kill_at_every_wal_byte_recovers_indexed_scans() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -769,6 +778,7 @@ fn kill_at_every_wal_byte_recovers_lsm_tier() {
             DurabilityOptions {
                 page_size: 1024,
                 sync: SyncPolicy::EveryCommit,
+                ..DurabilityOptions::default()
             },
         )
         .unwrap();
@@ -912,4 +922,158 @@ fn kill_at_every_wal_byte_recovers_lsm_tier() {
     }
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&crash);
+}
+
+/// Memory-mapped reads must be invisible to recovery: at a spread of WAL
+/// truncation points (commit boundaries and torn mid-record tails alike),
+/// opening the crashed image with `mmap_reads` enabled must replay to
+/// byte-identical scan results as the copy-read fallback, attribute its page
+/// accesses to zero-copy frames rather than copies, and keep accepting
+/// writes and checkpoints while mapped.
+#[test]
+fn mmap_open_replays_byte_identically_to_copy_reads() {
+    let dir = scratch_dir("mmap-sweep");
+    let checkpoint_len = {
+        let db = Database::create_with(
+            &dir,
+            DurabilityOptions {
+                page_size: 1024,
+                sync: SyncPolicy::EveryCommit,
+                mmap_reads: false,
+            },
+        )
+        .unwrap();
+        db.create_table(traces_schema()).unwrap();
+        db.insert(
+            "Traces",
+            generate_traces(&CartelConfig {
+                observations: 300,
+                vehicles: 5,
+                ..CartelConfig::default()
+            }),
+        )
+        .unwrap();
+        // A rendered layout so replayed inserts land in pages and reopened
+        // scans actually read them (canonical rows would read none).
+        db.apply_layout_text("Traces", "vertical[lat,lon|t,id](Traces)").unwrap();
+        db.checkpoint().unwrap();
+        let checkpoint_len = std::fs::metadata(dir.join("wal.rodent")).unwrap().len();
+        for tx in 0..10i64 {
+            db.insert(
+                "Traces",
+                vec![vec![
+                    Value::Timestamp(100_000 + tx),
+                    Value::Float(tx as f64),
+                    Value::Float(-(tx as f64)),
+                    Value::Str(format!("car-tail-{tx}")),
+                ]],
+            )
+            .unwrap();
+        }
+        checkpoint_len
+    };
+    let pristine_wal = std::fs::read(dir.join("wal.rodent")).unwrap();
+    let mapped_dir = scratch_dir("mmap-sweep-mapped");
+    let copied_dir = scratch_dir("mmap-sweep-copied");
+
+    let wal_len = pristine_wal.len() as u64;
+    let request = ScanRequest::all();
+    let projected = ScanRequest::all().fields(["lat", "t"]);
+    for i in 0..=8u64 {
+        let cut = checkpoint_len + (wal_len - checkpoint_len) * i / 8;
+        copy_db(&dir, &mapped_dir);
+        copy_db(&dir, &copied_dir);
+        std::fs::write(mapped_dir.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        std::fs::write(copied_dir.join("wal.rodent"), &pristine_wal[..cut as usize]).unwrap();
+        let mapped = Database::open_with(
+            &mapped_dir,
+            DurabilityOptions {
+                mmap_reads: true,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("mmap open failed at cut {cut}: {e}"));
+        let copied = Database::open_with(
+            &copied_dir,
+            DurabilityOptions {
+                mmap_reads: false,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("copy open failed at cut {cut}: {e}"));
+
+        assert_eq!(
+            mapped.row_count("Traces").unwrap(),
+            copied.row_count("Traces").unwrap(),
+            "row counts diverge at cut {cut}"
+        );
+        let before_mapped = mapped.metrics();
+        let before_copied = copied.metrics();
+        assert_eq!(
+            mapped.scan("Traces", &request).unwrap(),
+            copied.scan("Traces", &request).unwrap(),
+            "full scans diverge at cut {cut}"
+        );
+        assert_eq!(
+            mapped.scan("Traces", &projected).unwrap(),
+            copied.scan("Traces", &projected).unwrap(),
+            "projected scans diverge at cut {cut}"
+        );
+        let after_mapped = mapped.metrics();
+        let after_copied = copied.metrics();
+        let hits = |b: &rodentstore::MetricsSnapshot, a: &rodentstore::MetricsSnapshot, n: &str| {
+            a.counter(n).unwrap_or(0) - b.counter(n).unwrap_or(0)
+        };
+        // Same pages either way; the mapped store serves them as zero-copy
+        // frames, the fallback copies every one of them.
+        assert_eq!(
+            hits(&before_mapped, &after_mapped, "scan.pages"),
+            hits(&before_copied, &after_copied, "scan.pages"),
+            "page counts diverge at cut {cut}"
+        );
+        assert!(
+            hits(&before_mapped, &after_mapped, "scan.frame_hits") > 0,
+            "mapped reads must be served as frames at cut {cut}"
+        );
+        assert_eq!(
+            hits(&before_mapped, &after_mapped, "scan.frame_copies"),
+            0,
+            "mapped reads must not copy at cut {cut}"
+        );
+        assert_eq!(
+            hits(&before_copied, &after_copied, "scan.frame_hits"),
+            0,
+            "fallback reads must not map at cut {cut}"
+        );
+        assert!(
+            hits(&before_copied, &after_copied, "scan.frame_copies") > 0,
+            "fallback reads must copy at cut {cut}"
+        );
+
+        // The mapped database keeps working: a write, a checkpoint (which
+        // rewrites and remaps the data file), and a re-scan.
+        if cut == checkpoint_len || cut == wal_len {
+            let count = mapped.row_count("Traces").unwrap();
+            mapped
+                .insert(
+                    "Traces",
+                    vec![vec![
+                        Value::Timestamp(999_999),
+                        Value::Float(1.0),
+                        Value::Float(2.0),
+                        Value::Str("car-post-map".into()),
+                    ]],
+                )
+                .unwrap();
+            mapped.checkpoint().unwrap();
+            assert_eq!(
+                mapped.scan("Traces", &request).unwrap().len(),
+                count + 1,
+                "post-checkpoint scan wrong at cut {cut}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&mapped_dir);
+    let _ = std::fs::remove_dir_all(&copied_dir);
 }

@@ -51,6 +51,22 @@ fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
     ]
 }
 
+/// Layout shapes that retain every field of `Points`, as algebra text —
+/// covering the plain heap, PAX, sort orders, column groups, compression,
+/// the `index[...]` probe path, and the levelled `lsm[...]` tier.
+fn full_field_layout_text() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Points"),
+        Just("pax[64](Points)"),
+        Just("orderby[tag](Points)"),
+        Just("vertical[x,y|tag](Points)"),
+        Just("index[x](Points)"),
+        Just("lsm[tag](Points)"),
+        Just("lsm[tag](vertical[x|y,tag](Points))"),
+        Just("rle[tag](orderby[tag](Points))"),
+    ]
+}
+
 /// Predicates over the fields every generated layout retains (`x`, `y`).
 fn predicate_strategy() -> impl Strategy<Value = Condition> {
     let range = |field: &'static str| {
@@ -217,6 +233,72 @@ proptest! {
             );
         }
         prop_assert!(rendered.get_element(full.len(), None).is_err());
+    }
+
+    /// The zero-copy read path is invisible to results: for every layout
+    /// shape (including `index[...]` probes and the levelled `lsm[...]`
+    /// tier), a projected + filtered scan and a windowed-aggregate pushdown
+    /// on the borrowed-frame path return exactly what the forced-copy
+    /// fallback returns, and both match an owned decode-everything reference
+    /// computed from the full scan in memory.
+    #[test]
+    fn borrowed_frame_path_matches_forced_copy_reference(
+        records in proptest::collection::vec(record_strategy(), 1..150),
+        layout in full_field_layout_text(),
+        predicate in predicate_strategy(),
+        width in 1.0f64..8.0,
+    ) {
+        use rodentstore::{WindowAccumulator, WindowedAggregate};
+
+        let db = Database::with_page_size(512);
+        db.create_table(points_schema()).unwrap();
+        db.insert("Points", records).unwrap();
+        db.apply_layout_text("Points", layout).unwrap();
+
+        // Owned decode-everything reference, read through the copy fallback.
+        db.set_copy_reads(true);
+        let full = db.scan("Points", &ScanRequest::all()).unwrap();
+        let schema = points_schema();
+        let spec = WindowedAggregate::new("tag", width, "x");
+        let mut acc = WindowAccumulator::new(&spec);
+        let mut expected: Vec<String> = Vec::new();
+        for row in &full {
+            if predicate.eval(&schema, row).unwrap() {
+                expected.push(format!("{:?}", [&row[0], &row[2]]));
+                acc.fold(row[2].as_f64().unwrap(), row[0].as_f64().unwrap());
+            }
+        }
+        let reference_windows = acc.finish();
+        let request = ScanRequest::all().fields(["x", "tag"]).predicate(predicate);
+        let copied = db.scan("Points", &request).unwrap();
+        let copied_windows = db.scan_aggregate("Points", &spec, Some(&request.predicate.clone().unwrap())).unwrap();
+
+        // The borrowed-frame path must be byte-for-byte the same answer.
+        db.set_copy_reads(false);
+        let borrowed = db.scan("Points", &request).unwrap();
+        let borrowed_windows = db.scan_aggregate("Points", &spec, Some(&request.predicate.clone().unwrap())).unwrap();
+        prop_assert_eq!(&borrowed, &copied, "scan rows diverge on layout {}", layout);
+        prop_assert_eq!(&borrowed_windows, &copied_windows, "aggregate diverges on layout {}", layout);
+
+        // Both match the in-memory reference as a multiset (index probes may
+        // emit rows in key order rather than heap order).
+        let mut got: Vec<String> = borrowed.iter().map(|r| format!("{:?}", [&r[0], &r[1]])).collect();
+        got.sort();
+        expected.sort();
+        prop_assert_eq!(got, expected, "layout {}", layout);
+        // Float sums may differ in the last ulp when the access path folds in
+        // a different row order than the reference; everything else is exact.
+        prop_assert_eq!(borrowed_windows.len(), reference_windows.len(), "layout {}", layout);
+        for (b, r) in borrowed_windows.iter().zip(&reference_windows) {
+            prop_assert_eq!(b.bucket_start, r.bucket_start, "layout {}", layout);
+            prop_assert_eq!(b.count, r.count, "layout {}", layout);
+            prop_assert_eq!(b.min, r.min, "layout {}", layout);
+            prop_assert_eq!(b.max, r.max, "layout {}", layout);
+            prop_assert!(
+                (b.sum - r.sum).abs() <= 1e-9 * b.sum.abs().max(1.0),
+                "bucket sum diverges on layout {}: {} vs {}", layout, b.sum, r.sum
+            );
+        }
     }
 
     /// Every generated layout expression round-trips through its textual form.

@@ -184,6 +184,7 @@ fn checkpoint_under_churn_reclaims_extents_and_reopens_identically() {
                 DurabilityOptions {
                     page_size: 1024,
                     sync: SyncPolicy::GroupCommit(8),
+                    ..DurabilityOptions::default()
                 },
             )
             .unwrap(),

@@ -140,6 +140,88 @@ fn index_probe_scans_attribute_only_their_own_pages() {
     assert!(metrics.counter("calibration.Points.predicted_pages").unwrap() > 0);
 }
 
+/// Per-operation attribution is *exact* under concurrency: scans run under a
+/// thread-local `OpStatsScope`, so the `calibration.<table>.actual_pages`
+/// total a table accumulates counts only the pages its own scans read, even
+/// while neighbour threads hammer a different table on the same pager. A
+/// global-counter diff around each scan would be polluted by the neighbours;
+/// the scoped attribution must reproduce the solo per-scan page count to the
+/// page, times the number of scans.
+#[test]
+fn calibration_attribution_is_exact_under_concurrent_neighbours() {
+    let db = Database::in_memory();
+    db.create_table(points_schema()).unwrap();
+    db.insert("Points", points(400)).unwrap();
+    db.apply_layout_text("Points", "vertical[x|y,tag](Points)")
+        .unwrap();
+    db.create_table(Schema::new(
+        "Noise",
+        vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ],
+    ))
+    .unwrap();
+    db.insert(
+        "Noise",
+        (0..600i64)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+            .collect(),
+    )
+    .unwrap();
+    db.apply_layout_text("Noise", "Noise").unwrap();
+
+    // Solo baseline: pages one projected scan of Points attributes to itself.
+    let request = ScanRequest::all().fields(["x"]);
+    let before = db.metrics();
+    db.scan("Points", &request).unwrap();
+    let after = db.metrics();
+    let solo_pages = delta(&before, &after, "calibration.Points.actual_pages");
+    assert!(solo_pages > 0, "the projected scan reads layout pages");
+
+    // Each noise thread performs a fixed amount of work and is joined inside
+    // the measurement window, so the window provably contains neighbour I/O.
+    const SCANS: u64 = 16;
+    let before = db.metrics();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                s.spawn(|| {
+                    for _ in 0..24 {
+                        let rows = db.scan("Noise", &ScanRequest::all()).unwrap();
+                        assert_eq!(rows.len(), 600);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..SCANS {
+            let rows = db.scan("Points", &request).unwrap();
+            assert_eq!(rows.len(), 400);
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+    let after = db.metrics();
+    assert_eq!(
+        delta(&before, &after, "calibration.Points.samples"),
+        SCANS,
+        "one calibration sample per scan of Points"
+    );
+    assert_eq!(
+        delta(&before, &after, "calibration.Points.actual_pages"),
+        SCANS * solo_pages,
+        "scoped attribution must reproduce the solo page count exactly \
+         despite concurrent Noise scans on the same pager"
+    );
+    // The neighbours really were running: the pager-wide delta over the
+    // same window exceeds what Points alone accounts for.
+    assert!(
+        delta(&before, &after, "io.pages_read") > SCANS * solo_pages,
+        "the noise threads must actually pollute the global counters"
+    );
+}
+
 /// `explain` mirrors the dispatch the scan actually performs.
 #[test]
 fn explain_reports_the_dispatched_access_path() {
